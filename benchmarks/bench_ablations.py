@@ -1,0 +1,234 @@
+"""A1-A3 -- ablations of the design choices called out in DESIGN.md.
+
+* A1 -- permission checking: incremental monitors vs. naive full-trace
+  re-evaluation.  Expected shape: the naive curve grows with history;
+  the incremental curve stays flat, so the gap widens with trace
+  length (the crossover is immediate -- monitors also pay a small
+  per-event update, measured separately).
+* A2 -- synchronization-set atomicity: the cost of snapshot/rollback
+  machinery, measured as occurrence cost vs. the length of the called
+  event chain, and the price of a rolled-back (denied) attempt.
+* A3 -- relation access paths: linear scan vs. hash vs. B-tree for
+  point lookups as the relation grows.  Expected shape: list grows
+  linearly, hash stays flat, the B-tree sits between (logarithmic) and
+  additionally supports ordered range scans.
+"""
+
+import pytest
+
+from repro.library import FULL_COMPANY_SPEC
+from repro.relational import Relation, RelationSchema
+from repro.runtime import ObjectBase
+from repro.datatypes.sorts import INTEGER, STRING
+
+from benchmarks.conftest import D1960, D1991
+
+
+# ----------------------------------------------------------------------
+# A1 -- incremental vs. naive permission checking
+# ----------------------------------------------------------------------
+
+def grown_department(mode: str, history: int):
+    system = ObjectBase(FULL_COMPANY_SPEC, permission_mode=mode)
+    dept = system.create("DEPT", {"id": "D"}, "establishment", [D1991])
+    person = system.create(
+        "PERSON", {"Name": "p", "BirthDate": D1960}, "hire_into", ["D", 1.0]
+    )
+    system.occur(dept, "hire", [person])
+    for _ in range(history):
+        system.occur(dept, "fire", [person])
+        system.occur(dept, "hire", [person])
+    return system, dept, person
+
+
+@pytest.mark.parametrize("history", [25, 100, 400])
+@pytest.mark.parametrize("mode", ["incremental", "naive"])
+def test_a1_check_cost(benchmark, mode, history):
+    system, dept, person = grown_department(mode, history)
+
+    def probe():
+        return system.is_permitted(dept, "closure")
+
+    benchmark(probe)
+
+
+@pytest.mark.parametrize("mode", ["incremental", "naive"])
+def test_a1_build_cost(benchmark, mode):
+    """The flip side: incremental mode pays a per-event monitor update."""
+    benchmark(grown_department, mode, 50)
+
+
+# ----------------------------------------------------------------------
+# A2 -- atomic synchronization sets
+# ----------------------------------------------------------------------
+
+def chain_spec(length: int) -> str:
+    events = "\n      ".join(f"e{i};" for i in range(length))
+    valuations = "\n      ".join(f"e{i} N = N + 1;" for i in range(length))
+    callings = "\n      ".join(f"e{i} >> e{i + 1};" for i in range(length - 1))
+    return f"""
+object chain
+  template
+    attributes N: integer;
+    events
+      birth boot;
+      {events}
+    valuation
+      boot N = 0;
+      {valuations}
+    interaction
+      {callings}
+end object chain;
+"""
+
+
+@pytest.mark.parametrize("length", [1, 8, 32])
+def test_a2_sync_set_cost(benchmark, length):
+    system = ObjectBase(chain_spec(length))
+    obj = system.create("chain")
+
+    def fire():
+        system.occur(obj, "e0")
+
+    benchmark(fire)
+    assert system.get(obj, "N").payload >= length
+
+
+DENIED = """
+object guard
+  template
+    attributes N: integer;
+    events
+      birth boot;
+      step; blocked;
+    valuation
+      boot N = 0;
+      step N = N + 1;
+      blocked N = N + 100;
+    permissions
+      { 1 = 2 } blocked;
+    interaction
+      step >> blocked;
+end object guard;
+"""
+
+
+def test_a2_rollback_cost(benchmark):
+    """A denied synchronization set: everything computed, nothing kept."""
+    system = ObjectBase(DENIED)
+    obj = system.create("guard")
+    from repro.diagnostics import PermissionDenied
+
+    def denied_attempt():
+        try:
+            system.occur(obj, "step")
+        except PermissionDenied:
+            pass
+
+    benchmark(denied_attempt)
+    assert system.get(obj, "N").payload == 0
+
+
+# ----------------------------------------------------------------------
+# A3 -- access paths
+# ----------------------------------------------------------------------
+
+SCHEMA = RelationSchema("kv", (("k", STRING), ("v", INTEGER)), ("k",))
+
+
+def filled_relation(storage: str, rows: int) -> Relation:
+    relation = Relation(SCHEMA, storage)
+    for index in range(rows):
+        relation.insert(f"key{index:06d}", index)
+    return relation
+
+
+@pytest.mark.parametrize("rows", [100, 2000])
+@pytest.mark.parametrize("storage", ["list", "hash", "btree"])
+def test_a3_point_lookup(benchmark, storage, rows):
+    relation = filled_relation(storage, rows)
+    probe = f"key{rows - 1:06d}"  # worst case for the linear scan
+
+    def lookup():
+        return relation.lookup(probe)
+
+    row = benchmark(lookup)
+    assert row is not None
+
+
+@pytest.mark.parametrize("storage", ["list", "hash", "btree"])
+def test_a3_insert_delete_churn(benchmark, storage):
+    def churn():
+        relation = Relation(SCHEMA, storage)
+        for index in range(300):
+            relation.insert(f"key{index:06d}", index)
+        for index in range(0, 300, 2):
+            relation.delete(f"key{index:06d}")
+        return relation
+
+    relation = benchmark(churn)
+    assert len(relation) == 150
+
+
+def test_a3_btree_range_scan(benchmark):
+    relation = filled_relation("btree", 2000)
+    storage = relation.storage
+
+    def scan():
+        return list(storage.range(("key000500",), ("key000599",)))
+
+    rows = benchmark(scan)
+    assert len(rows) == 100
+
+
+# ----------------------------------------------------------------------
+# A4 -- protocol enforcement: automaton vs. temporal-permission encoding
+# ----------------------------------------------------------------------
+
+PROTOCOL_AUTOMATON = """
+object flip
+  template
+    attributes N: integer initially 0;
+    events
+      birth boot;
+      ping; pong;
+    valuation
+      ping N = N + 1;
+    behavior
+      patterns (boot; (ping; pong)*);
+end object flip;
+"""
+
+# The same alternation discipline encoded with temporal permissions:
+# ping admissible initially or right after pong, pong right after ping.
+PROTOCOL_TEMPORAL = """
+object flip
+  template
+    attributes N: integer initially 0;
+    events
+      birth boot;
+      ping; pong;
+    valuation
+      ping N = N + 1;
+    permissions
+      { after(boot) or after(pong) } ping;
+      { after(ping) } pong;
+end object flip;
+"""
+
+
+@pytest.mark.parametrize(
+    "label,text",
+    [("automaton", PROTOCOL_AUTOMATON), ("temporal", PROTOCOL_TEMPORAL)],
+)
+def test_a4_protocol_encoding(benchmark, label, text):
+    system = ObjectBase(text)
+    obj = system.create("flip")
+
+    def ping_pong_round():
+        for _ in range(50):
+            system.occur(obj, "ping")
+            system.occur(obj, "pong")
+
+    benchmark(ping_pong_round)
+    assert system.get(obj, "N").payload >= 50

@@ -1,0 +1,89 @@
+"""E10 -- the inheritance schema (Examples 3.2-3.6).
+
+Reproduced behaviour (asserted before timing):
+
+* the computer-equipment schema built by specialization, multiple
+  inheritance, abstraction and generalization;
+* derived-aspect closure: a workstation instance has exactly the
+  computer / el_device / calculator / thing aspects;
+* homogeneous-class polymorphism: MAC•personal_c and SUN•workstation
+  are both members of a class typed over ``computer`` via their derived
+  computer aspects (Example 3.3).
+
+Timed: derived-aspect closure over deep and wide schemas.
+"""
+
+from repro.core import InheritanceSchema, Template, aspect
+
+
+def equipment_schema() -> InheritanceSchema:
+    schema = InheritanceSchema()
+    thing = schema.add_template(Template.build("thing", ["exist"]))
+    el_device = Template.build("el_device", ["exist", "switch"])
+    calculator = Template.build("calculator", ["exist", "compute"])
+    schema.specialize(el_device, thing)
+    schema.specialize(calculator, thing)
+    computer = Template.build("computer", ["exist", "switch", "compute"])
+    schema.specialize(computer, el_device, calculator)
+    for leaf in ("personal_c", "workstation", "mainframe"):
+        schema.specialize(
+            Template.build(leaf, ["exist", "switch", "compute"]), computer
+        )
+    return schema
+
+
+def test_e10_shapes():
+    schema = equipment_schema()
+    workstation = schema.templates["workstation"]
+    computer = schema.templates["computer"]
+
+    # derived-aspect closure (Example 3.2 discussion)
+    sun = aspect("SUN", workstation)
+    assert {a.template.name for a in schema.derived_aspects(sun)} == {
+        "computer", "el_device", "calculator", "thing",
+    }
+
+    # homogeneous class with polymorphic membership (Example 3.3):
+    # the CEQ class is typed over `computer`; both MAC and SUN join it
+    # through their computer aspect.
+    mac = aspect("MAC", schema.templates["personal_c"])
+    ceq_members = [
+        member.with_template(computer)
+        for member in (mac, sun)
+        if computer in schema.ancestors(member.template)
+    ]
+    assert len(ceq_members) == 2
+    assert all(m.template is computer for m in ceq_members)
+    assert ceq_members[0].same_object_as(mac)
+
+    # abstraction upward (the `sensitive` discussion)
+    sensitive = Template.build("sensitive", ["exist"])
+    schema.abstract(sensitive, computer)
+    assert sensitive in schema.ancestors(workstation)
+
+
+def deep_schema(depth: int, fanout: int) -> InheritanceSchema:
+    schema = InheritanceSchema()
+    root = schema.add_template(Template.build("root", ["a"]))
+    level = [root]
+    for d in range(depth):
+        next_level = []
+        for parent in level[:3]:
+            for f in range(fanout):
+                child = Template.build(f"n_{d}_{parent.name}_{f}", ["a"])
+                schema.specialize(child, parent)
+                next_level.append(child)
+        level = next_level
+    return schema
+
+
+def test_e10_closure_benchmark(benchmark):
+    schema = deep_schema(depth=5, fanout=3)
+    leaves = [t for t in schema.templates.values() if not schema.descendants(t)]
+    leaf = leaves[-1]
+
+    def closure():
+        return schema.derived_aspects(aspect("X", leaf))
+
+    derived = benchmark(closure)
+    assert len(derived) >= 5

@@ -1,0 +1,58 @@
+"""E1 -- the DEPT listing (Section 4).
+
+Reproduced behaviour (asserted before timing):
+
+* establishment initialises ``est_date`` and the empty member set;
+* hire/fire maintain ``employees`` per the valuation rules;
+* ``fire(P)`` is denied without a prior ``hire(P)``
+  (``{ sometime(after(hire(P))) } fire(P);``);
+* ``closure`` is denied while some past member was never fired, and
+  admitted once everyone has been.
+
+Timed: a full department life cycle (birth, N hire/fire pairs, death).
+"""
+
+import pytest
+
+from repro.diagnostics import PermissionDenied
+from repro.runtime import ObjectBase
+
+from benchmarks.conftest import D1960, D1991, staffed_dept
+
+
+def full_lifecycle(compiled, people: int) -> None:
+    system = ObjectBase(compiled)
+    dept = system.create("DEPT", {"id": "D"}, "establishment", [D1991])
+    persons = [
+        system.create(
+            "PERSON", {"Name": f"p{i}", "BirthDate": D1960},
+            "hire_into", ["D", 6000.0],
+        )
+        for i in range(people)
+    ]
+    for person in persons:
+        system.occur(dept, "hire", [person])
+    for person in persons:
+        system.occur(dept, "fire", [person])
+    system.occur(dept, "closure")
+    assert dept.dead
+
+
+def test_e1_shapes(compiled_company):
+    system, dept, persons = staffed_dept(compiled_company, people=2)
+    assert system.get(dept, "est_date").payload == (1991, 3, 1)
+    assert len(system.get(dept, "employees").payload) == 2
+    outsider = system.create(
+        "PERSON", {"Name": "out", "BirthDate": D1960}, "hire_into", ["X", 1.0]
+    )
+    with pytest.raises(PermissionDenied):
+        system.occur(dept, "fire", [outsider])
+    with pytest.raises(PermissionDenied):
+        system.occur(dept, "closure")
+    for person in persons:
+        system.occur(dept, "fire", [person])
+    system.occur(dept, "closure")
+
+
+def test_e1_lifecycle_benchmark(benchmark, compiled_company):
+    benchmark(full_lifecycle, compiled_company, 10)

@@ -1,0 +1,55 @@
+"""E2 -- PERSON/MANAGER roles and phases (Section 4).
+
+Reproduced behaviour (asserted before timing):
+
+* ``become_manager`` (a phase-entry event bound as MANAGER's birth)
+  creates the MANAGER aspect sharing the PERSON's identity and state;
+* the MANAGER constraint ``Salary >= 5000`` rejects under-paid
+  promotions atomically and guards base-state changes while the phase
+  is active;
+* ``retire_manager`` ends the phase; the base object lives on.
+
+Timed: a full phase cycle (promote, observe through the role, raise
+salary via the role, retire).
+"""
+
+import pytest
+
+from repro.diagnostics import ConstraintViolation
+from repro.runtime import ObjectBase
+
+from benchmarks.conftest import D1960, staffed_dept
+
+
+def phase_cycle(compiled) -> None:
+    system, dept, persons = staffed_dept(compiled, people=1)
+    person = persons[0]
+    system.occur(person, "become_manager")
+    manager = system.find("MANAGER", person.key)
+    assert system.get(manager, "Salary").payload == 6000.0
+    system.occur(manager, "ChangeSalary", [9000.0])
+    system.occur(person, "retire_manager")
+    assert manager.dead and person.alive
+
+
+def test_e2_shapes(compiled_company):
+    system, dept, persons = staffed_dept(compiled_company, people=1)
+    person = persons[0]
+    # underpaid promotion rejected atomically
+    system.occur(person, "ChangeSalary", [3000.0])
+    with pytest.raises(ConstraintViolation):
+        system.occur(person, "become_manager")
+    assert system.find("MANAGER", person.key) is None
+    # adequately paid promotion succeeds
+    system.occur(person, "ChangeSalary", [5500.0])
+    system.occur(person, "become_manager")
+    manager = system.find("MANAGER", person.key)
+    assert manager.alive and manager.base is person
+    # the constraint now guards the base state
+    with pytest.raises(ConstraintViolation):
+        system.occur(person, "ChangeSalary", [1000.0])
+    assert system.get(person, "Salary").payload == 5500.0
+
+
+def test_e2_phase_cycle_benchmark(benchmark, compiled_company):
+    benchmark(phase_cycle, compiled_company)

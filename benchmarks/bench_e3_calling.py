@@ -1,0 +1,50 @@
+"""E3 -- TheCompany complex object and global interactions (Section 4).
+
+Reproduced behaviour (asserted before timing):
+
+* TheCompany aggregates departments in a ``LIST(DEPT)`` component;
+* the global interaction
+  ``DEPT(D).new_manager(P) >> PERSON(P).become_manager`` forces the
+  synchronous occurrence of the promotion on the person object;
+* the synchronization set is atomic: a constraint violation anywhere
+  rolls back everything.
+
+Timed: a promotion (the full synchronization set: new_manager +
+become_manager + MANAGER role birth + constraint checks).
+"""
+
+import pytest
+
+from repro.diagnostics import ConstraintViolation
+from repro.runtime import ObjectBase
+
+from benchmarks.conftest import D1960, D1991, staffed_dept
+
+
+def test_e3_shapes(compiled_company):
+    system, dept, persons = staffed_dept(compiled_company, people=2)
+    company = system.create("TheCompany", None, "founded", ["ACME"])
+    system.occur(company, "add_dept", [dept])
+    assert [d.payload for d in system.get(company, "depts").payload] == ["Sales"]
+
+    # promotion through the global interaction
+    system.occur(dept, "new_manager", [persons[0]])
+    assert bool(system.get(persons[0], "IsManager"))
+    assert "become_manager" in [s.event for s in persons[0].trace]
+
+    # atomicity of the synchronization set
+    system.occur(persons[1], "ChangeSalary", [100.0])
+    with pytest.raises(ConstraintViolation):
+        system.occur(dept, "new_manager", [persons[1]])
+    assert system.get(dept, "manager") == persons[0].identity
+    assert not bool(system.get(persons[1], "IsManager"))
+
+
+def promotion_round(compiled, people: int) -> None:
+    system, dept, persons = staffed_dept(compiled, people=people)
+    for person in persons:
+        system.occur(dept, "new_manager", [person])
+
+
+def test_e3_promotion_benchmark(benchmark, compiled_company):
+    benchmark(promotion_round, compiled_company, 5)

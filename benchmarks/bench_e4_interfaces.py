@@ -1,0 +1,99 @@
+"""E4-E7 -- the four interface classes of Section 5.1.
+
+Reproduced behaviour (asserted before timing):
+
+* E4 ``SAL_EMPLOYEE``: projection hides Dept, passes ChangeSalary;
+* E5 ``SAL_EMPLOYEE2``: derived attribute ``Salary * 13.5`` and derived
+  event ``IncreaseSalary >> ChangeSalary(Salary * 1.1)``;
+* E6 ``RESEARCH_EMPLOYEE``: the selection ``SELF.Dept = 'Research'``
+  restricts the visible subpopulation dynamically;
+* E7 ``WORKS_FOR``: the join view over the implicit PERSON x DEPT
+  aggregation yields exactly the membership pairs.
+
+Timed: derived-attribute reads, selection filtering, and join-row
+materialisation.
+"""
+
+import pytest
+
+from repro.diagnostics import CheckError, PermissionDenied
+from repro.interfaces import open_view
+from repro.runtime import ObjectBase
+
+from benchmarks.conftest import D1960, D1991
+
+
+def build_views_world(compiled, people: int = 10):
+    system = ObjectBase(compiled)
+    research = system.create("DEPT", {"id": "Research"}, "establishment", [D1991])
+    sales = system.create("DEPT", {"id": "Sales"}, "establishment", [D1991])
+    persons = []
+    for index in range(people):
+        dept = "Research" if index % 2 == 0 else "Sales"
+        person = system.create(
+            "PERSON", {"Name": f"p{index}", "BirthDate": D1960},
+            "hire_into", [dept, 4000.0 + index],
+        )
+        system.occur(research if index % 2 == 0 else sales, "hire", [person])
+        persons.append(person)
+    return system, research, sales, persons
+
+
+def test_e4_to_e7_shapes(compiled_company):
+    system, research, sales, persons = build_views_world(compiled_company, people=6)
+
+    # E4: projection
+    sal = open_view(system, "SAL_EMPLOYEE")
+    assert sal.get(persons[0].key, "Salary").payload == 4000.0
+    with pytest.raises(CheckError):
+        sal.get(persons[0].key, "Dept")
+    sal.call(persons[0].key, "ChangeSalary", [4100.0])
+    assert system.get(persons[0], "Salary").payload == 4100.0
+
+    # E5: derivation
+    sal2 = open_view(system, "SAL_EMPLOYEE2")
+    assert sal2.get(persons[1].key, "CurrentIncomePerYear").payload == pytest.approx(
+        4001.0 * 13.5
+    )
+    sal2.call(persons[1].key, "IncreaseSalary")
+    assert system.get(persons[1], "Salary").payload == pytest.approx(4001.0 * 1.1)
+
+    # E6: selection
+    research_view = open_view(system, "RESEARCH_EMPLOYEE")
+    assert len(research_view.instances()) == 3
+    with pytest.raises(PermissionDenied):
+        research_view.get(persons[1].key, "Salary")
+
+    # E7: join -- exactly the membership pairs
+    works_for = open_view(system, "WORKS_FOR")
+    rows = works_for.rows()
+    assert len(rows) == 6
+    pairs = {(r["PersonName"].payload, r["DeptName"].payload) for r in rows}
+    assert ("p0", "Research") in pairs and ("p1", "Sales") in pairs
+
+
+def test_e5_derived_read_benchmark(benchmark, compiled_company):
+    system, research, sales, persons = build_views_world(compiled_company)
+    view = open_view(system, "SAL_EMPLOYEE2")
+    key = persons[0].key
+
+    def read():
+        return view.get(key, "CurrentIncomePerYear")
+
+    assert benchmark(read).payload == pytest.approx(4000.0 * 13.5)
+
+
+def test_e6_selection_benchmark(benchmark, compiled_company):
+    system, research, sales, persons = build_views_world(compiled_company, people=40)
+    view = open_view(system, "RESEARCH_EMPLOYEE")
+
+    result = benchmark(view.instances)
+    assert len(result) == 20
+
+
+def test_e7_join_benchmark(benchmark, compiled_company):
+    system, research, sales, persons = build_views_world(compiled_company, people=30)
+    view = open_view(system, "WORKS_FOR")
+
+    rows = benchmark(view.rows)
+    assert len(rows) == 30

@@ -1,0 +1,80 @@
+"""E8 -- the Section 5.2 stepwise-refinement stack.
+
+Reproduced behaviour (asserted before timing):
+
+* the relation object ``emp_rel`` animates with key-constraint
+  permissions and the delete-then-insert update transaction;
+* EMPL_IMPL implements the abstract EMPLOYEE events by event calling
+  into the shared base object;
+* the hiding interface EMPL exposes exactly the abstract signature;
+* the co-simulation conformance check passes ("all properties of the
+  original EMPLOYEE specification can be derived from EMPL, too").
+
+Timed: the conformance checker over random traces, and the raw
+implementation-stack throughput (hire / raise / fire through calling).
+"""
+
+import pytest
+
+from repro.diagnostics import PermissionDenied
+from repro.refinement import EventProfile, RefinementChecker
+from repro.runtime import ObjectBase
+
+from benchmarks.conftest import D1960
+
+
+def profiles():
+    return [
+        EventProfile("HireEmployee", kind="birth"),
+        EventProfile("IncreaseSalary", args=lambda rng: [rng.randint(0, 300)], weight=3),
+        EventProfile("FireEmployee", kind="death"),
+    ]
+
+
+def test_e8_shapes(compiled_refinement):
+    system = ObjectBase(compiled_refinement)
+    system.create("emp_rel")
+    employee = system.create(
+        "EMPL_IMPL", {"EmpName": "a", "EmpBirth": D1960}, "HireEmployee"
+    )
+    system.occur(employee, "IncreaseSalary", [100])
+    assert system.get(employee, "Salary").payload == 100
+    relation = system.single_object("emp_rel")
+    with pytest.raises(PermissionDenied):
+        system.occur(relation, "InsertEmp", ["a", D1960, 5])  # key constraint
+    checker = RefinementChecker(system, "EMPLOYEE", "EMPL")
+    report = checker.random_conformance(profiles(), traces=5, trace_length=8, seed=3)
+    assert report.ok
+
+
+def test_e8_conformance_benchmark(benchmark, compiled_refinement):
+    def conformance():
+        system = ObjectBase(compiled_refinement)
+        system.create("emp_rel")
+        checker = RefinementChecker(system, "EMPLOYEE", "EMPL")
+        report = checker.random_conformance(
+            profiles(), traces=4, trace_length=8, seed=11
+        )
+        assert report.ok
+        return report
+
+    report = benchmark(conformance)
+    assert report.events_run == 36
+
+
+def test_e8_stack_throughput_benchmark(benchmark, compiled_refinement):
+    def stack_round():
+        system = ObjectBase(compiled_refinement)
+        system.create("emp_rel")
+        for index in range(10):
+            employee = system.create(
+                "EMPL_IMPL",
+                {"EmpName": f"e{index}", "EmpBirth": D1960},
+                "HireEmployee",
+            )
+            system.occur(employee, "IncreaseSalary", [index])
+            system.occur(employee, "FireEmployee")
+        relation = system.single_object("emp_rel")
+        assert len(system.get(relation, "Emps").payload) == 0
+
+    benchmark(stack_round)

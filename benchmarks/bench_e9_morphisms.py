@@ -1,0 +1,109 @@
+"""E9 -- aspects and morphisms (Examples 3.1, 3.7, 3.9).
+
+Reproduced behaviour (asserted before timing):
+
+* ``SUN • computer`` / ``SUN • el_device`` related by an inheritance
+  morphism (equal identities), parts by interaction morphisms;
+* behaviour containment along the projection (Example 3.4);
+* the sharing diagram ``CYY•cpu -> CBZ•cable <- PXX•powsply``;
+* aggregation of SUN from its parts (Example 3.9).
+
+Timed: community construction with aggregation + sharing at scale.
+"""
+
+from repro.core import (
+    LTS,
+    ObjectCommunity,
+    Template,
+    TemplateMorphism,
+    aspect,
+)
+
+
+def make_templates():
+    el_device = Template.build(
+        "el_device", ["switch_on", "switch_off"], ["is_on"],
+        LTS("off")
+        .add_transition("off", "switch_on", "on")
+        .add_transition("on", "switch_off", "off"),
+    )
+    computer = Template.build(
+        "computer", ["switch_on_c", "switch_off_c", "boot"], ["is_on_c"],
+        LTS("off")
+        .add_transition("off", "switch_on_c", "on")
+        .add_transition("on", "boot", "ready")
+        .add_transition("ready", "switch_off_c", "off"),
+    )
+    powsply = Template.build("powsply", ["switch_on", "switch_off"])
+    cpu = Template.build("cpu", ["switch_on", "switch_off"])
+    cable = Template.build("cable", ["switch_on", "switch_off"])
+    return el_device, computer, powsply, cpu, cable
+
+
+def test_e9_shapes():
+    el_device, computer, powsply, cpu, cable = make_templates()
+    h = TemplateMorphism(
+        "h", computer, el_device,
+        {"switch_on_c": "switch_on", "switch_off_c": "switch_off"},
+        {"is_on_c": "is_on"},
+    ).validate()
+    assert h.is_surjective() and h.preserves_behavior()
+
+    community = ObjectCommunity()
+    sun = aspect("SUN", computer)
+    pxx, cyy, cbz = aspect("PXX", powsply), aspect("CYY", cpu), aspect("CBZ", cable)
+    community.add_aspect(pxx)
+    community.add_aspect(cyy)
+    on_off = {"switch_on": "switch_on", "switch_off": "switch_off"}
+    c_on_off = {"switch_on_c": "switch_on", "switch_off_c": "switch_off"}
+    aggregation = community.aggregate(
+        sun, pxx, cyy,
+        morphisms=[
+            TemplateMorphism("f", computer, powsply, c_on_off),
+            TemplateMorphism("g", computer, cpu, c_on_off),
+        ],
+    )
+    assert [m.kind for m in aggregation] == ["interaction", "interaction"]
+    community.synchronize(
+        cbz, cyy, pxx,
+        morphisms=[
+            TemplateMorphism("sc", cpu, cable, on_off),
+            TemplateMorphism("sp", powsply, cable, on_off),
+        ],
+    )
+    diagrams = community.sharing_diagrams()
+    assert len(diagrams) == 1 and diagrams[0].shared == cbz
+
+
+def build_community(machines: int) -> ObjectCommunity:
+    el_device, computer, powsply, cpu, cable = make_templates()
+    community = ObjectCommunity()
+    on_off = {"switch_on": "switch_on", "switch_off": "switch_off"}
+    c_on_off = {"switch_on_c": "switch_on", "switch_off_c": "switch_off"}
+    for index in range(machines):
+        pxx = aspect(f"PS{index}", powsply)
+        cyy = aspect(f"CPU{index}", cpu)
+        cbz = aspect(f"CABLE{index}", cable)
+        community.add_aspect(pxx)
+        community.add_aspect(cyy)
+        community.aggregate(
+            aspect(f"HOST{index}", computer), pxx, cyy,
+            morphisms=[
+                TemplateMorphism("f", computer, powsply, c_on_off),
+                TemplateMorphism("g", computer, cpu, c_on_off),
+            ],
+        )
+        community.synchronize(
+            cbz, cyy, pxx,
+            morphisms=[
+                TemplateMorphism("sc", cpu, cable, on_off),
+                TemplateMorphism("sp", powsply, cable, on_off),
+            ],
+        )
+    return community
+
+
+def test_e9_community_benchmark(benchmark):
+    community = benchmark(build_community, 50)
+    assert len(community.sharing_diagrams()) == 50
+    assert not community.check_identity_uniqueness()

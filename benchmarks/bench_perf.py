@@ -1,0 +1,213 @@
+"""P1-P6 -- performance characterisation of the machinery.
+
+The paper has no performance evaluation; these benches characterise the
+reproduction itself (the series EXPERIMENTS.md reports):
+
+* P1 parse+check throughput over the full company specification;
+* P2 event-occurrence throughput (valuation only);
+* P3 permission checking as the trace grows (incremental mode -- the
+  flat curve; the naive curve lives in bench_ablations);
+* P4 inheritance-closure scaling with schema depth;
+* P5 join-view evaluation scaling with population;
+* P6 refinement-check scaling with trace length.
+"""
+
+import pytest
+
+from repro.interfaces import open_view
+from repro.lang import check_specification, parse_specification
+from repro.library import FULL_COMPANY_SPEC
+from repro.refinement import EventProfile, RefinementChecker
+from repro.runtime import ObjectBase
+
+from benchmarks.conftest import D1960, D1991, staffed_dept
+
+
+# ----------------------------------------------------------------------
+# P1 -- front-end throughput
+# ----------------------------------------------------------------------
+
+def test_p1_parse_benchmark(benchmark):
+    spec = benchmark(parse_specification, FULL_COMPANY_SPEC)
+    assert len(spec.object_classes) == 4
+
+
+def test_p1_check_benchmark(benchmark):
+    spec = parse_specification(FULL_COMPANY_SPEC)
+    checked = benchmark(check_specification, spec)
+    assert not checked.diagnostics.has_errors()
+
+
+# ----------------------------------------------------------------------
+# P2 -- occurrence throughput
+# ----------------------------------------------------------------------
+
+COUNTER = """
+object tick_counter
+  template
+    attributes N: integer;
+    events
+      birth boot;
+      tick;
+    valuation
+      boot N = 0;
+      tick N = N + 1;
+end object tick_counter;
+"""
+
+
+def test_p2_occurrence_benchmark(benchmark):
+    system = ObjectBase(COUNTER)
+    counter = system.create("tick_counter")
+
+    def hundred_ticks():
+        for _ in range(100):
+            system.occur(counter, "tick")
+
+    benchmark(hundred_ticks)
+    assert system.get(counter, "N").payload >= 100
+
+
+# ----------------------------------------------------------------------
+# P3 -- permission checking vs. trace length (incremental mode)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("history", [10, 100, 400])
+def test_p3_incremental_check_vs_history(benchmark, compiled_company, history):
+    system, dept, persons = staffed_dept(compiled_company, people=1)
+    person = persons[0]
+    for _ in range(history):
+        system.occur(dept, "fire", [person])
+        system.occur(dept, "hire", [person])
+
+    def probe():
+        return system.is_permitted(dept, "fire", [person])
+
+    assert benchmark(probe)
+
+
+# ----------------------------------------------------------------------
+# P4 -- inheritance closure vs. schema depth
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("depth", [4, 16, 64])
+def test_p4_closure_vs_depth(benchmark, depth):
+    from repro.core import InheritanceSchema, Template, aspect
+
+    schema = InheritanceSchema()
+    previous = schema.add_template(Template.build("t0", ["a"]))
+    for level in range(1, depth + 1):
+        current = Template.build(f"t{level}", ["a"])
+        schema.specialize(current, previous)
+        previous = current
+
+    def closure():
+        return schema.derived_aspects(aspect("X", previous))
+
+    derived = benchmark(closure)
+    assert len(derived) == depth
+
+
+# ----------------------------------------------------------------------
+# P5 -- join view vs. population
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("people", [5, 20, 60])
+def test_p5_join_vs_population(benchmark, compiled_company, people):
+    system = ObjectBase(compiled_company)
+    dept = system.create("DEPT", {"id": "D"}, "establishment", [D1991])
+    for index in range(people):
+        person = system.create(
+            "PERSON", {"Name": f"p{index}", "BirthDate": D1960},
+            "hire_into", ["D", 1.0],
+        )
+        system.occur(dept, "hire", [person])
+    view = open_view(system, "WORKS_FOR")
+
+    rows = benchmark(view.rows)
+    assert len(rows) == people
+
+
+# ----------------------------------------------------------------------
+# P6 -- refinement check vs. trace length
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("trace_length", [4, 16])
+def test_p6_refinement_vs_trace_length(benchmark, compiled_refinement, trace_length):
+    def conformance():
+        system = ObjectBase(compiled_refinement)
+        system.create("emp_rel")
+        checker = RefinementChecker(system, "EMPLOYEE", "EMPL")
+        return checker.random_conformance(
+            [
+                EventProfile("HireEmployee", kind="birth"),
+                EventProfile(
+                    "IncreaseSalary", args=lambda rng: [rng.randint(0, 50)], weight=4
+                ),
+                EventProfile("FireEmployee", kind="death"),
+            ],
+            traces=2,
+            trace_length=trace_length,
+            seed=5,
+        )
+
+    report = benchmark(conformance)
+    assert report.ok
+
+
+# ----------------------------------------------------------------------
+# P7 -- persistence round trip vs. population (added with the
+# persistence extension)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("people", [5, 40])
+def test_p7_snapshot_roundtrip(benchmark, compiled_company, people):
+    from repro.runtime import dump_json, restore_json
+
+    system = ObjectBase(compiled_company)
+    dept = system.create("DEPT", {"id": "D"}, "establishment", [D1991])
+    for index in range(people):
+        person = system.create(
+            "PERSON", {"Name": f"p{index}", "BirthDate": D1960},
+            "hire_into", ["D", 1.0],
+        )
+        system.occur(dept, "hire", [person])
+
+    def roundtrip():
+        return restore_json(ObjectBase(compiled_company), dump_json(system))
+
+    restored = benchmark(roundtrip)
+    assert len(restored.population("PERSON")) == people
+
+
+# ----------------------------------------------------------------------
+# P8 -- state-space exploration cost vs. reachable states (added with
+# the explorer extension)
+# ----------------------------------------------------------------------
+
+BOUNDED_COUNTER = """
+object class RING
+  identification id: string;
+  template
+    attributes N: integer initially 0;
+    events
+      birth boot;
+      step;
+    valuation
+      step N = mod(N + 1, %d);
+end object class RING;
+"""
+
+
+@pytest.mark.parametrize("states", [4, 16])
+def test_p8_exploration_vs_states(benchmark, states):
+    from repro.runtime.explore import class_lts
+
+    def derive():
+        return class_lts(
+            BOUNDED_COUNTER % states, "RING", {"id": "r"}, [],
+            {"step": [()]}, max_states=states + 4,
+        )
+
+    lts = benchmark(derive)
+    assert len(lts.states) == states

@@ -1,0 +1,54 @@
+"""Shared fixtures and builders for the benchmark harness.
+
+Every benchmark double-checks the *shape* of the reproduced behaviour
+with assertions before timing it, so ``pytest benchmarks/
+--benchmark-only`` is simultaneously the regeneration harness for the
+experiment index in DESIGN.md / EXPERIMENTS.md.
+"""
+
+import datetime
+
+import pytest
+
+from repro.library import FULL_COMPANY_SPEC, REFINEMENT_SPEC
+from repro.lang import check_specification, parse_specification
+from repro.runtime import ObjectBase
+from repro.runtime.compilespec import compile_specification
+
+D1960 = datetime.date(1960, 1, 1)
+D1991 = datetime.date(1991, 3, 1)
+
+
+@pytest.fixture(scope="session")
+def compiled_company():
+    """The company specification, parsed/checked/compiled once."""
+    return compile_specification(
+        check_specification(parse_specification(FULL_COMPANY_SPEC)).raise_if_errors()
+    )
+
+
+@pytest.fixture(scope="session")
+def compiled_refinement():
+    return compile_specification(
+        check_specification(parse_specification(REFINEMENT_SPEC)).raise_if_errors()
+    )
+
+
+def fresh_company(compiled) -> ObjectBase:
+    return ObjectBase(compiled)
+
+
+def staffed_dept(compiled, people: int = 2):
+    """A DEPT with ``people`` hired persons; returns (system, dept, persons)."""
+    system = ObjectBase(compiled)
+    dept = system.create("DEPT", {"id": "Sales"}, "establishment", [D1991])
+    persons = []
+    for index in range(people):
+        person = system.create(
+            "PERSON",
+            {"Name": f"p{index}", "BirthDate": D1960},
+            "hire_into", ["Sales", 6000.0],
+        )
+        system.occur(dept, "hire", [person])
+        persons.append(person)
+    return system, dept, persons

@@ -1,0 +1,263 @@
+"""Regenerate the EXPERIMENTS.md artifact table from live runs.
+
+Run:  python benchmarks/report.py
+
+Each row re-executes the behavioural checks of one paper artifact
+(E1-E10, F1 from DESIGN.md) and prints PASS/FAIL; this is the
+human-readable face of the assertions in ``benchmarks/bench_e*.py``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import sys
+import time
+import traceback
+from typing import Callable, List, Tuple
+
+from repro.core import (
+    InheritanceSchema,
+    LTS,
+    ObjectCommunity,
+    Template,
+    TemplateMorphism,
+    aspect,
+)
+from repro.diagnostics import ConstraintViolation, PermissionDenied
+from repro.interfaces import open_view
+from repro.library import FULL_COMPANY_SPEC, REFINEMENT_SPEC
+from repro.modules import ExternalSchema, Module, ModuleSystem, RefinementBinding
+from repro.refinement import EventProfile, RefinementChecker
+from repro.runtime import ObjectBase
+from repro.runtime.clock import CLOCK_SPEC, start_clock
+
+D1960 = datetime.date(1960, 1, 1)
+D1991 = datetime.date(1991, 3, 1)
+
+
+def expect_denied(action) -> None:
+    try:
+        action()
+    except (PermissionDenied, ConstraintViolation):
+        return
+    raise AssertionError("expected the occurrence to be denied")
+
+
+def staffed():
+    system = ObjectBase(FULL_COMPANY_SPEC)
+    dept = system.create("DEPT", {"id": "Sales"}, "establishment", [D1991])
+    alice = system.create(
+        "PERSON", {"Name": "alice", "BirthDate": D1960},
+        "hire_into", ["Research", 6000.0],
+    )
+    bob = system.create(
+        "PERSON", {"Name": "bob", "BirthDate": datetime.date(1970, 2, 2)},
+        "hire_into", ["Sales", 3000.0],
+    )
+    system.occur(dept, "hire", [alice])
+    system.occur(dept, "hire", [bob])
+    return system, dept, alice, bob
+
+
+def e1_dept() -> str:
+    system, dept, alice, bob = staffed()
+    assert system.get(dept, "est_date").payload == (1991, 3, 1)
+    outsider = system.create(
+        "PERSON", {"Name": "out", "BirthDate": D1960}, "hire_into", ["X", 1.0]
+    )
+    expect_denied(lambda: system.occur(dept, "fire", [outsider]))
+    expect_denied(lambda: system.occur(dept, "closure"))
+    system.occur(dept, "fire", [alice])
+    system.occur(dept, "fire", [bob])
+    system.occur(dept, "closure")
+    return "life cycle, valuation and both temporal permissions behave as described"
+
+
+def e2_roles() -> str:
+    system, dept, alice, bob = staffed()
+    expect_denied(lambda: system.occur(bob, "become_manager"))  # 3000 < 5000
+    system.occur(alice, "become_manager")
+    manager = system.find("MANAGER", alice.key)
+    assert manager.alive and manager.base is alice
+    expect_denied(lambda: system.occur(alice, "ChangeSalary", [100.0]))
+    system.occur(alice, "retire_manager")
+    return "phase birth/death bound to base events; salary constraint guards the aspect"
+
+
+def e3_calling() -> str:
+    system, dept, alice, bob = staffed()
+    company = system.create("TheCompany", None, "founded", ["ACME"])
+    system.occur(company, "add_dept", [dept])
+    system.occur(dept, "new_manager", [alice])
+    assert bool(system.get(alice, "IsManager"))
+    expect_denied(lambda: system.occur(dept, "new_manager", [bob]))
+    assert system.get(dept, "manager") == alice.identity  # rolled back
+    return "LIST(DEPT) component + global interaction with atomic rollback"
+
+
+def e4_to_e7_views() -> str:
+    system, dept, alice, bob = staffed()
+    sal = open_view(system, "SAL_EMPLOYEE")
+    assert sal.get(alice.key, "IncomeInYear", [1991]).payload == 81000.0
+    sal2 = open_view(system, "SAL_EMPLOYEE2")
+    assert sal2.get(alice.key, "CurrentIncomePerYear").payload == 81000.0
+    sal2.call(alice.key, "IncreaseSalary")
+    assert abs(system.get(alice, "Salary").payload - 6600.0) < 1e-9
+    research = open_view(system, "RESEARCH_EMPLOYEE")
+    assert [i.payload for i in research.instances()] == [alice.key]
+    works_for = open_view(system, "WORKS_FOR")
+    assert len(works_for.rows()) == 2
+    return "projection, derivation, selection and join views all reproduce §5.1"
+
+
+def e8_refinement() -> str:
+    system = ObjectBase(REFINEMENT_SPEC)
+    system.create("emp_rel")
+    checker = RefinementChecker(system, "EMPLOYEE", "EMPL")
+    report = checker.random_conformance(
+        [
+            EventProfile("HireEmployee", kind="birth"),
+            EventProfile("IncreaseSalary", args=lambda rng: [rng.randint(0, 300)], weight=3),
+            EventProfile("FireEmployee", kind="death"),
+        ],
+        traces=10, trace_length=10, seed=91,
+    )
+    assert report.ok
+    return (
+        f"co-simulation conformance over {report.events_run} events "
+        f"({report.accepted_events} accepted, {report.rejected_events} "
+        "rejected by both sides)"
+    )
+
+
+def e9_morphisms() -> str:
+    el_device = Template.build(
+        "el_device", ["switch_on", "switch_off"], ["is_on"],
+        LTS("off").add_transition("off", "switch_on", "on")
+        .add_transition("on", "switch_off", "off"),
+    )
+    computer = Template.build(
+        "computer", ["switch_on_c", "switch_off_c", "boot"], ["is_on_c"],
+        LTS("off").add_transition("off", "switch_on_c", "on")
+        .add_transition("on", "boot", "ready")
+        .add_transition("ready", "switch_off_c", "off"),
+    )
+    TemplateMorphism(
+        "h", computer, el_device,
+        {"switch_on_c": "switch_on", "switch_off_c": "switch_off"},
+        {"is_on_c": "is_on"},
+    ).validate()
+    community = ObjectCommunity()
+    cpu = Template.build("cpu", ["switch_on", "switch_off"])
+    powsply = Template.build("powsply", ["switch_on", "switch_off"])
+    cable = Template.build("cable", ["switch_on", "switch_off"])
+    on_off = {"switch_on": "switch_on", "switch_off": "switch_off"}
+    pxx, cyy, cbz = aspect("PXX", powsply), aspect("CYY", cpu), aspect("CBZ", cable)
+    community.add_aspect(pxx)
+    community.add_aspect(cyy)
+    community.synchronize(
+        cbz, cyy, pxx,
+        morphisms=[
+            TemplateMorphism("sc", cpu, cable, on_off),
+            TemplateMorphism("sp", powsply, cable, on_off),
+        ],
+    )
+    assert len(community.sharing_diagrams()) == 1
+    return "surjective+behaviour-preserving projection, sharing diagram CYY→CBZ←PXX"
+
+
+def e10_schema() -> str:
+    schema = InheritanceSchema()
+    thing = schema.add_template(Template.build("thing", ["exist"]))
+    device = Template.build("el_device", ["exist", "switch"])
+    calculator = Template.build("calculator", ["exist", "compute"])
+    schema.specialize(device, thing)
+    schema.specialize(calculator, thing)
+    computer = Template.build("computer", ["exist", "switch", "compute"])
+    schema.specialize(computer, device, calculator)
+    workstation = Template.build("workstation", ["exist", "switch", "compute"])
+    schema.specialize(workstation, computer)
+    sun = aspect("SUN", workstation)
+    names = {a.template.name for a in schema.derived_aspects(sun)}
+    assert names == {"computer", "el_device", "calculator", "thing"}
+    return "Example 3.2 schema; SUN's derived-aspect closure has all four ancestors"
+
+
+def f1_architecture() -> str:
+    enterprise = ModuleSystem()
+    personnel = enterprise.add(
+        Module(
+            "personnel", conceptual=FULL_COMPANY_SPEC,
+            externals=[
+                ExternalSchema("salary_dept", ("SAL_EMPLOYEE",)),
+                ExternalSchema("admin", (), active=True),
+            ],
+        )
+    )
+    storage = enterprise.add(
+        Module(
+            "storage", conceptual=REFINEMENT_SPEC,
+            bindings=[RefinementBinding("EMPLOYEE", "EMPL")],
+        )
+    )
+    clock = enterprise.add(
+        Module("clock", conceptual=CLOCK_SPEC,
+               externals=[ExternalSchema("time", (), active=True)])
+    )
+    storage.system.create("emp_rel")
+    reports = storage.verify_bindings(
+        {"EMPLOYEE": [
+            EventProfile("HireEmployee", kind="birth"),
+            EventProfile("IncreaseSalary", args=lambda rng: [rng.randint(0, 50)], weight=2),
+            EventProfile("FireEmployee", kind="death"),
+        ]},
+        traces=3, trace_length=5,
+    )
+    assert reports["EMPLOYEE"].ok
+    salary = enterprise.import_schema("storage", "personnel", "salary_dept")
+    alice = personnel.system.create(
+        "PERSON", {"Name": "a", "BirthDate": D1960}, "hire_into", ["R", 100.0]
+    )
+    assert salary.view("SAL_EMPLOYEE").get(alice.key, "Salary").payload == 100.0
+    ticks = []
+    enterprise.connect("clock", "SystemClock", "tick",
+                       lambda occ: ticks.append(occ), via_schema="time")
+    start_clock(clock.system, horizon=3)
+    clock.system.run_active()
+    assert len(ticks) == 3
+    return "3-level modules verified; hierarchical import + clock relay work"
+
+
+ARTIFACTS: List[Tuple[str, str, Callable[[], str]]] = [
+    ("E1", "DEPT listing (§4)", e1_dept),
+    ("E2", "PERSON/MANAGER phases (§4)", e2_roles),
+    ("E3", "TheCompany + global interactions (§4)", e3_calling),
+    ("E4-E7", "interface views (§5.1)", e4_to_e7_views),
+    ("E8", "stepwise refinement stack (§5.2)", e8_refinement),
+    ("E9", "aspects and morphisms (Ex. 3.1/3.7/3.9)", e9_morphisms),
+    ("E10", "inheritance schema (Ex. 3.2-3.6)", e10_schema),
+    ("F1", "three-level schema architecture (Fig. 1)", f1_architecture),
+]
+
+
+def main() -> int:
+    print(f"{'Exp':6} {'Artifact':45} Result")
+    print("-" * 100)
+    failures = 0
+    for exp_id, title, check in ARTIFACTS:
+        start = time.perf_counter()
+        try:
+            detail = check()
+            elapsed = (time.perf_counter() - start) * 1000
+            print(f"{exp_id:6} {title:45} PASS ({elapsed:6.1f} ms)  {detail}")
+        except Exception as error:  # pragma: no cover - report path
+            failures += 1
+            print(f"{exp_id:6} {title:45} FAIL  {error}")
+            traceback.print_exc()
+    print("-" * 100)
+    print(f"{len(ARTIFACTS) - failures}/{len(ARTIFACTS)} artifacts reproduced")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""A bank account: behaviour patterns and obligations together.
+
+Demonstrates the two life-cycle disciplines the TROLL family layers on
+top of permissions:
+
+* a **behaviour pattern** (safety): the account protocol
+  ``open; (deposit | withdraw | freeze;thaw)*; close`` -- no money
+  movement while frozen, no closing mid-freeze;
+* **obligations** (liveness): every account must be audited before it
+  may close.
+
+Run:  python examples/bank_account.py
+"""
+
+from repro import ObjectBase, PermissionDenied
+
+BANK_SPEC = """
+object class ACCOUNT
+  identification
+    Number: string;
+  template
+    attributes
+      Balance: integer initially 0;
+      Audited: bool initially false;
+    events
+      birth open;
+      deposit(integer);
+      withdraw(integer);
+      freeze;
+      thaw;
+      audit;
+      death close;
+    valuation
+      variables k: integer;
+      deposit(k) Balance = Balance + k;
+      withdraw(k) Balance = Balance - k;
+      audit Audited = true;
+    permissions
+      variables k: integer;
+      { Balance >= k } withdraw(k);
+      { Balance = 0 } close;
+    behavior
+      patterns (open; (deposit | withdraw | (freeze; thaw))*; close);
+    obligations
+      audit;
+end object class ACCOUNT;
+"""
+
+
+def expect_denied(label, action):
+    try:
+        action()
+        print(f"  BUG: {label} was admitted")
+    except PermissionDenied as denial:
+        print(f"  {label}: denied -- {denial.message.split(': ', 1)[-1]}")
+
+
+def main() -> None:
+    system = ObjectBase(BANK_SPEC)
+    account = system.create("ACCOUNT", {"Number": "DE-1991"}, "open")
+    system.occur(account, "deposit", [120])
+    print("balance:", system.get(account, "Balance"))
+
+    print("\nsafety (behaviour pattern):")
+    system.occur(account, "freeze")
+    expect_denied("withdraw while frozen",
+                  lambda: system.occur(account, "withdraw", [10]))
+    expect_denied("close while frozen",
+                  lambda: system.occur(account, "close"))
+    system.occur(account, "thaw")
+    system.occur(account, "withdraw", [120])
+
+    print("\nliveness (obligations):")
+    print("  pending:", system.pending_obligations(account))
+    expect_denied("close before audit",
+                  lambda: system.occur(account, "close"))
+    system.occur(account, "audit")
+    print("  pending after audit:", system.pending_obligations(account))
+
+    system.occur(account, "close")
+    print("\naccount closed:", account.dead)
+    print("life cycle:", " -> ".join(step.event for step in account.trace))
+
+
+if __name__ == "__main__":
+    main()

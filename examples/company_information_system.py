@@ -1,0 +1,103 @@
+"""The Section 4 / 5.1 company information system, end to end.
+
+Everything the paper's running example does, in one script: complex
+objects (TheCompany with a LIST(DEPT) component), roles/phases (MANAGER
+as a phase of PERSON with a salary constraint), global interactions
+(promotion calls become_manager), and all four interface views
+(projection, derived, selection, join).
+
+Run:  python examples/company_information_system.py
+"""
+
+import datetime
+
+from repro import ConstraintViolation, ObjectBase, open_view
+from repro.library import FULL_COMPANY_SPEC
+
+
+def main() -> None:
+    system = ObjectBase(FULL_COMPANY_SPEC)
+
+    # --- populate the object base -------------------------------------
+    company = system.create("TheCompany", None, "founded", ["ACME Computing"])
+    research = system.create(
+        "DEPT", {"id": "Research"}, "establishment", [datetime.date(1990, 1, 1)]
+    )
+    sales = system.create(
+        "DEPT", {"id": "Sales"}, "establishment", [datetime.date(1991, 3, 1)]
+    )
+    for dept in (research, sales):
+        system.occur(company, "add_dept", [dept])
+
+    alice = system.create(
+        "PERSON", {"Name": "alice", "BirthDate": datetime.date(1958, 5, 5)},
+        "hire_into", ["Research", 6200.0],
+    )
+    bob = system.create(
+        "PERSON", {"Name": "bob", "BirthDate": datetime.date(1971, 9, 9)},
+        "hire_into", ["Sales", 3100.0],
+    )
+    system.occur(research, "hire", [alice])
+    system.occur(sales, "hire", [bob])
+    print("company:", system.get(company, "CName"))
+    print("departments:", system.get(company, "depts"))
+
+    # --- roles: promotion through the global interaction --------------
+    # DEPT(D).new_manager(P) >> PERSON(P).become_manager
+    system.occur(research, "new_manager", [alice])
+    manager = system.find("MANAGER", alice.key)
+    print("\nalice promoted; MANAGER aspect:", manager)
+    print("IsManager through PERSON:", system.get(alice, "IsManager"))
+
+    # the MANAGER constraint (Salary >= 5000) guards the whole
+    # synchronization set: promoting bob (3100) rolls everything back
+    try:
+        system.occur(sales, "new_manager", [bob])
+    except ConstraintViolation as violation:
+        print("\nbob's promotion rejected atomically:")
+        print("   ", violation.message)
+        print("    sales.manager unset:", "manager" not in sales.state)
+
+    # official car for the manager aspect
+    car = system.create(
+        "CAR", {"Registration": "BS-AC-91"}, "register", ["Tower 3000"]
+    )
+    system.occur(research, "assign_official_car", [car, alice])
+    print("\nalice's official car:", system.get(manager, "OfficialCar"))
+
+    # --- interfaces (Section 5.1) --------------------------------------
+    print("\n-- SAL_EMPLOYEE (projection) --")
+    salary_view = open_view(system, "SAL_EMPLOYEE")
+    for key in (alice.key, bob.key):
+        print(
+            f"  {salary_view.get(key, 'Name')}:",
+            salary_view.get(key, "Salary"),
+            "| income 1991:",
+            salary_view.get(key, "IncomeInYear", [1991]),
+        )
+
+    print("\n-- SAL_EMPLOYEE2 (derived attribute and event) --")
+    salary2 = open_view(system, "SAL_EMPLOYEE2")
+    print("  bob CurrentIncomePerYear:", salary2.get(bob.key, "CurrentIncomePerYear"))
+    salary2.call(bob.key, "IncreaseSalary")  # >> ChangeSalary(Salary * 1.1)
+    print("  bob after IncreaseSalary:", salary2.get(bob.key, "Salary"))
+
+    print("\n-- RESEARCH_EMPLOYEE (selection) --")
+    research_view = open_view(system, "RESEARCH_EMPLOYEE")
+    print("  visible:", [str(i) for i in research_view.instances()])
+    print("  includes bob?", research_view.includes(bob.key))
+
+    print("\n-- WORKS_FOR (join view) --")
+    works_for = open_view(system, "WORKS_FOR")
+    for row in works_for.rows():
+        print(f"  {row['PersonName']} works for {row['DeptName']}")
+
+    # --- classes as objects --------------------------------------------
+    print("\nclass objects:")
+    for class_name in ("DEPT", "PERSON", "MANAGER"):
+        cls = system.class_object(class_name)
+        print(f"  {class_name}: count = {cls.count}")
+
+
+if __name__ == "__main__":
+    main()

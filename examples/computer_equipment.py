@@ -1,0 +1,141 @@
+"""The Section 3 semantic framework: Examples 3.1-3.9 made executable.
+
+Templates, aspects (``b • t``), inheritance vs. interaction morphisms,
+the computer-equipment inheritance schema, derived-aspect closure,
+aggregation (SUN from its power supply and cpu) and synchronization by
+sharing (the CBZ cable shared by cpu and power supply).
+
+Run:  python examples/computer_equipment.py
+"""
+
+from repro.core import (
+    InheritanceSchema,
+    LTS,
+    ObjectCommunity,
+    Template,
+    TemplateMorphism,
+    aspect,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Example 3.2: the inheritance schema, grown top-down.
+    # ------------------------------------------------------------------
+    schema = InheritanceSchema()
+    thing = schema.add_template(Template.build("thing", ["exist"]))
+    el_device = Template.build(
+        "el_device",
+        ["exist", "switch_on", "switch_off"],
+        ["is_on"],
+        LTS("off")
+        .add_transition("off", "switch_on", "on")
+        .add_transition("on", "switch_off", "off"),
+    )
+    calculator = Template.build("calculator", ["exist", "compute"])
+    schema.specialize(el_device, thing)
+    schema.specialize(calculator, thing)
+
+    # Example 3.5: computer by multiple inheritance, with a protocol that
+    # honours the inherited switch-on-before-switch-off discipline
+    # (Example 3.4).
+    computer = Template.build(
+        "computer",
+        ["exist", "switch_on", "switch_off", "compute", "boot"],
+        ["is_on"],
+        LTS("off")
+        .add_transition("off", "switch_on", "on")
+        .add_transition("on", "boot", "ready")
+        .add_transition("ready", "compute", "ready")
+        .add_transition("ready", "switch_off", "off")
+        .add_transition("on", "switch_off", "off"),
+    )
+    schema.specialize(computer, el_device, calculator)
+    for leaf in ("personal_c", "workstation", "mainframe"):
+        schema.specialize(
+            Template.build(
+                leaf, ["exist", "switch_on", "switch_off", "compute", "boot"], ["is_on"]
+            ),
+            computer,
+        )
+    print("inheritance schema templates:", sorted(schema.templates))
+
+    # behaviour containment: the computer IS an el_device behaviourally
+    h = schema.path_morphism(computer, el_device)
+    print("computer -> el_device preserves behaviour:", h.preserves_behavior())
+
+    # ------------------------------------------------------------------
+    # Example 3.1: aspects of the SUN workstation.
+    # ------------------------------------------------------------------
+    workstation = schema.templates["workstation"]
+    sun = aspect("SUN", workstation)
+    print("\nSUN's aspects (derived-aspect closure):")
+    for derived in schema.object_of(sun):
+        print("   ", derived)
+
+    # ------------------------------------------------------------------
+    # Example 3.6 flavour: generalization upward.
+    # ------------------------------------------------------------------
+    person = schema.add_template(Template.build("person", ["sign"]))
+    company = schema.add_template(Template.build("company", ["sign"]))
+    contract_partner = Template.build("contract_partner", ["sign"])
+    schema.abstract(contract_partner, person, company)
+    print("\ngeneralization: person/company ->",
+          [t.name for t in schema.ancestors(person)])
+
+    # ------------------------------------------------------------------
+    # Examples 3.7 / 3.9: the community -- aggregation and sharing.
+    # ------------------------------------------------------------------
+    community = ObjectCommunity(schema=schema)
+    powsply = Template.build("powsply", ["switch_on", "switch_off"])
+    cpu = Template.build("cpu", ["switch_on", "switch_off"])
+    cable = Template.build("cable", ["switch_on", "switch_off"], ["voltage"])
+    pxx, cyy, cbz = aspect("PXX", powsply), aspect("CYY", cpu), aspect("CBZ", cable)
+    community.add_aspect(pxx)
+    community.add_aspect(cyy)
+
+    # aggregation: assemble SUN from its parts (Example 3.9)
+    sun_morphisms = community.aggregate(
+        sun, pxx, cyy,
+        morphisms=[
+            TemplateMorphism(
+                "f", workstation, powsply,
+                {"switch_on": "switch_on", "switch_off": "switch_off"},
+            ),
+            TemplateMorphism(
+                "g", workstation, cpu,
+                {"switch_on": "switch_on", "switch_off": "switch_off"},
+            ),
+        ],
+    )
+    print("\naggregation morphisms:")
+    for morphism in sun_morphisms:
+        print(f"    {morphism}  [{morphism.kind}]")
+
+    # sharing: the cable CBZ as a shared part (Example 3.7)
+    community.synchronize(
+        cbz, cyy, pxx,
+        morphisms=[
+            TemplateMorphism(
+                "sc", cpu, cable,
+                {"switch_on": "switch_on", "switch_off": "switch_off"},
+            ),
+            TemplateMorphism(
+                "sp", powsply, cable,
+                {"switch_on": "switch_on", "switch_off": "switch_off"},
+            ),
+        ],
+    )
+    print("\nsharing diagrams:")
+    for diagram in community.sharing_diagrams():
+        print("   ", diagram)
+
+    print("\ncommunity summary:")
+    print("  aspects:", len(community.aspects))
+    print("  inheritance morphisms:", len(community.inheritance_morphisms()))
+    print("  interaction morphisms:", len(community.interaction_morphisms()))
+    print("  identity problems:", community.check_identity_uniqueness() or "none")
+
+
+if __name__ == "__main__":
+    main()

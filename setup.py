@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets has no ``wheel`` package, so
+PEP 660 editable installs are unavailable; this shim lets
+``pip install -e .`` fall back to ``setup.py develop``.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

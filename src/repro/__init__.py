@@ -1,0 +1,81 @@
+"""troll-py: an executable reproduction of *Object-Oriented
+Specification and Stepwise Refinement* (Saake, Jungclaus, Ehrich, 1991).
+
+The library implements the paper end to end:
+
+* the **TROLL language** front end -- lexer, parser, static checker
+  (:mod:`repro.lang`) over the abstract-data-type substrate
+  (:mod:`repro.datatypes`);
+* the **semantic framework** of Section 3 -- templates, aspects,
+  morphisms, inheritance schemas, object communities (:mod:`repro.core`);
+* the **animator** -- object bases with life cycles, valuation,
+  temporal permissions (:mod:`repro.temporal`), constraints, event and
+  transaction calling, roles/phases, active objects
+  (:mod:`repro.runtime`);
+* **object interfaces** -- projection/derivation/selection/join views
+  (:mod:`repro.interfaces`) over the query algebra (:mod:`repro.query`);
+* **formal implementation** -- refinement conformance checking
+  (:mod:`repro.refinement`) over the relational substrate
+  (:mod:`repro.relational`);
+* **modularization** -- the three-level schema architecture and module
+  composition (:mod:`repro.modules`);
+* the paper's listings as a reusable specification library
+  (:mod:`repro.library`).
+
+Quickstart::
+
+    import datetime
+    from repro import ObjectBase
+    from repro.library import FULL_COMPANY_SPEC
+
+    system = ObjectBase(FULL_COMPANY_SPEC)
+    sales = system.create("DEPT", {"id": "Sales"},
+                          "establishment", [datetime.date(1991, 3, 1)])
+"""
+
+from repro.diagnostics import (
+    CheckError,
+    ConstraintViolation,
+    EvaluationError,
+    LexerError,
+    LifecycleError,
+    ParseError,
+    PermissionDenied,
+    RefinementError,
+    RuntimeSpecError,
+    SortError,
+    TrollError,
+)
+from repro.lang import check_specification, parse_specification
+from repro.runtime import ObjectBase
+from repro.interfaces import InterfaceView, open_view
+from repro.refinement import EventProfile, RefinementChecker
+from repro.modules import ExternalSchema, Module, ModuleSystem, RefinementBinding
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CheckError",
+    "ConstraintViolation",
+    "EvaluationError",
+    "EventProfile",
+    "ExternalSchema",
+    "InterfaceView",
+    "LexerError",
+    "LifecycleError",
+    "Module",
+    "ModuleSystem",
+    "ObjectBase",
+    "ParseError",
+    "PermissionDenied",
+    "RefinementBinding",
+    "RefinementChecker",
+    "RefinementError",
+    "RuntimeSpecError",
+    "SortError",
+    "TrollError",
+    "check_specification",
+    "open_view",
+    "parse_specification",
+    "__version__",
+]

@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``dot FILE...``    -- emit a Graphviz class diagram of the checked
+  specification (classes, view-of, components, interfaces).
+* ``check FILE...``  -- parse and statically check specification files,
+  printing diagnostics; exit status 1 on errors.
+* ``format FILE``    -- parse and pretty-print (normalise) a
+  specification to stdout.
+* ``info FILE...``   -- print the inventory (classes, objects,
+  interfaces, global interaction blocks) of the checked specification.
+* ``library NAME``   -- print a specification from the bundled paper
+  library (``library list`` enumerates the names).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.diagnostics import TrollError
+from repro.lang import check_specification, parse_specification
+from repro.lang.printer import print_specification
+
+
+def _read_sources(paths: List[str]) -> str:
+    chunks = []
+    for path in paths:
+        if path == "-":
+            chunks.append(sys.stdin.read())
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                chunks.append(handle.read())
+    return "\n".join(chunks)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    text = _read_sources(args.files)
+    spec = parse_specification(text, source=args.files[0])
+    checked = check_specification(spec)
+    for diagnostic in checked.diagnostics:
+        print(diagnostic)
+    errors = len(checked.diagnostics.errors)
+    warnings = len(checked.diagnostics.warnings)
+    print(f"{errors} error(s), {warnings} warning(s)")
+    return 1 if errors else 0
+
+
+def _cmd_format(args: argparse.Namespace) -> int:
+    text = _read_sources(args.files)
+    spec = parse_specification(text, source=args.files[0])
+    sys.stdout.write(print_specification(spec))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    text = _read_sources(args.files)
+    spec = parse_specification(text, source=args.files[0])
+    checked = check_specification(spec)
+    for name, info in sorted(checked.classes.items()):
+        kind = "object" if info.kind == "object" else "object class"
+        base = f" (view of {info.base})" if info.base else ""
+        print(f"{kind} {name}{base}")
+        print(f"  attributes: {', '.join(sorted(info.attributes)) or '-'}")
+        print(f"  events:     {', '.join(sorted(info.all_events())) or '-'}")
+        if info.components:
+            print(f"  components: {', '.join(sorted(info.components))}")
+    for name, interface in sorted(checked.interfaces.items()):
+        bases = ", ".join(
+            f"{cls} {alias}" if alias != cls else cls
+            for alias, cls in interface.encapsulating.items()
+        )
+        print(f"interface class {name} encapsulating {bases}")
+        print(f"  attributes: {', '.join(sorted(interface.attributes)) or '-'}")
+        print(f"  events:     {', '.join(sorted(interface.events)) or '-'}")
+    blocks = len(checked.spec.global_interactions)
+    if blocks:
+        rules = sum(len(b.rules) for b in checked.spec.global_interactions)
+        print(f"global interactions: {rules} rule(s) in {blocks} block(s)")
+    if checked.diagnostics.has_errors():
+        print(f"({len(checked.diagnostics.errors)} check error(s) -- run 'check')")
+        return 1
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.core.viz import specification_to_dot
+
+    text = _read_sources(args.files)
+    spec = parse_specification(text, source=args.files[0])
+    checked = check_specification(spec)
+    checked.raise_if_errors()
+    sys.stdout.write(specification_to_dot(checked))
+    return 0
+
+
+def _cmd_library(args: argparse.Namespace) -> int:
+    import repro.library as library
+
+    names = [n for n in library.__all__ if n.endswith("_SPEC")]
+    if args.name == "list":
+        for name in names:
+            print(name)
+        return 0
+    if args.name not in names:
+        print(f"unknown library spec {args.name!r}; try 'library list'",
+              file=sys.stderr)
+        return 1
+    sys.stdout.write(getattr(library, args.name))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TROLL specification tools "
+        "(Saake/Jungclaus/Ehrich 1991 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="parse and statically check")
+    check.add_argument("files", nargs="+", help="specification files ('-' for stdin)")
+    check.set_defaults(func=_cmd_check)
+
+    fmt = sub.add_parser("format", help="parse and pretty-print")
+    fmt.add_argument("files", nargs="+", help="specification files ('-' for stdin)")
+    fmt.set_defaults(func=_cmd_format)
+
+    info = sub.add_parser("info", help="print the specification inventory")
+    info.add_argument("files", nargs="+", help="specification files ('-' for stdin)")
+    info.set_defaults(func=_cmd_info)
+
+    dot = sub.add_parser("dot", help="emit a Graphviz class diagram")
+    dot.add_argument("files", nargs="+", help="specification files ('-' for stdin)")
+    dot.set_defaults(func=_cmd_dot)
+
+    library = sub.add_parser("library", help="print a bundled paper listing")
+    library.add_argument("name", help="spec constant name, or 'list'")
+    library.set_defaults(func=_cmd_library)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except TrollError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""The semantic framework of Section 3: objects as aspects of templates.
+
+The paper's semantic domain is built from
+
+* **templates** -- structure and behaviour patterns without identity
+  (:mod:`repro.core.templates`), with behaviour modelled as a labelled
+  transition system (:mod:`repro.core.behavior`);
+* **identities** -- values of an abstract data type
+  (:func:`repro.datatypes.identity`);
+* **aspects** -- identity-template pairs ``b • t``
+  (:mod:`repro.core.aspects`);
+* **morphisms** -- structure/behaviour-preserving maps between templates
+  and aspects; an aspect morphism with equal identities is an
+  *inheritance* morphism, otherwise an *interaction* morphism
+  (:mod:`repro.core.morphisms`);
+* **inheritance schemas** -- diagrams of templates and inheritance
+  schema morphisms, grown by specialization and abstraction
+  (:mod:`repro.core.schema`);
+* **object communities** -- collections of aspects and aspect morphisms,
+  grown by incorporation (aggregation) and interfacing (synchronization
+  by sharing), closed under the inheritance schema
+  (:mod:`repro.core.community`).
+
+:mod:`repro.core.bridge` derives templates and an inheritance schema
+from a checked TROLL specification, connecting the language front end to
+this domain.
+"""
+
+from repro.core.behavior import LTS, simulate_containment
+from repro.core.templates import ActionItem, ObservationItem, Template
+from repro.core.aspects import Aspect, aspect
+from repro.core.morphisms import (
+    AspectMorphism,
+    MorphismError,
+    TemplateMorphism,
+    compose,
+    identity_morphism,
+)
+from repro.core.schema import InheritanceSchema
+from repro.core.community import ObjectCommunity, SharingDiagram
+from repro.core.bridge import schema_from_specification, template_from_class
+from repro.core.viz import community_to_dot, schema_to_dot, specification_to_dot
+
+__all__ = [
+    "ActionItem",
+    "Aspect",
+    "AspectMorphism",
+    "InheritanceSchema",
+    "LTS",
+    "MorphismError",
+    "ObjectCommunity",
+    "ObservationItem",
+    "SharingDiagram",
+    "Template",
+    "TemplateMorphism",
+    "aspect",
+    "community_to_dot",
+    "compose",
+    "identity_morphism",
+    "schema_from_specification",
+    "schema_to_dot",
+    "simulate_containment",
+    "specification_to_dot",
+    "template_from_class",
+]

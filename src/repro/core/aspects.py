@@ -1,0 +1,52 @@
+"""Aspects: identity-template pairs ``b • t``.
+
+"An object aspect ... is a pair b•t where b is an identity and t is a
+template" (Section 3).  The same identity may carry several templates --
+that is the heart of inheritance: ``SUN • computer`` and
+``SUN • el_device`` are two aspects of one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.datatypes.sorts import IdSort
+from repro.datatypes.values import Value, identity as make_identity
+from repro.core.templates import Template
+
+
+@dataclass(frozen=True)
+class Aspect:
+    """An object aspect ``identity • template`` ("b as t")."""
+
+    identity: Value
+    template: Template
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.identity.sort, IdSort):
+            raise TypeError(
+                f"aspect identity must be an identity value, got sort "
+                f"{self.identity.sort}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.identity.payload}•{self.template.name}"
+
+    def with_template(self, template: Template) -> "Aspect":
+        """The aspect of the *same* object under another template."""
+        return Aspect(identity=self.identity, template=template)
+
+    def same_object_as(self, other: "Aspect") -> bool:
+        """Do the two aspects belong to the same individual object?
+
+        Identity payloads are compared; the identity's class tag is a
+        sort-level artifact (``SUN • computer`` and ``SUN • el_device``
+        denote one object).
+        """
+        return self.identity.payload == other.identity.payload
+
+
+def aspect(key: Any, template: Template) -> Aspect:
+    """Build ``key • template`` -- the usual way to create an aspect."""
+    return Aspect(identity=make_identity(template.name, key), template=template)

@@ -1,0 +1,128 @@
+"""Behaviour as labelled transition systems.
+
+The paper models templates as *processes* [ES91]; for the finite
+examples it discusses, a labelled transition system (LTS) is an adequate
+concrete process representation.  Example 3.4 expects that "a computer's
+behaviour *contains* that of an el_device: also a computer is bound to
+the protocol of switching on before being able to switch off" --
+:func:`simulate_containment` makes that containment checkable: the
+source behaviour, with its actions renamed through a (partial) action
+map and unmapped actions read as stuttering steps, must be simulated by
+the target behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Set, Tuple
+
+
+@dataclass
+class LTS:
+    """A finite labelled transition system.
+
+    Transitions are stored as ``state -> action -> {successor states}``;
+    nondeterminism is allowed.
+    """
+
+    initial: str = "init"
+    transitions: Dict[str, Dict[str, Set[str]]] = field(default_factory=dict)
+
+    def add_transition(self, source: str, action: str, target: str) -> "LTS":
+        self.transitions.setdefault(source, {}).setdefault(action, set()).add(target)
+        self.transitions.setdefault(target, {})
+        return self
+
+    @property
+    def states(self) -> Set[str]:
+        found = {self.initial}
+        for source, moves in self.transitions.items():
+            found.add(source)
+            for targets in moves.values():
+                found |= targets
+        return found
+
+    @property
+    def actions(self) -> Set[str]:
+        result: Set[str] = set()
+        for moves in self.transitions.values():
+            result |= set(moves)
+        return result
+
+    def successors(self, state: str, action: str) -> Set[str]:
+        return self.transitions.get(state, {}).get(action, set())
+
+    def enabled(self, state: str) -> Set[str]:
+        return set(self.transitions.get(state, {}))
+
+    def traces(self, max_length: int) -> Iterator[Tuple[str, ...]]:
+        """All action sequences of length <= ``max_length`` admitted from
+        the initial state (including the empty trace)."""
+        frontier: List[Tuple[str, Tuple[str, ...]]] = [(self.initial, ())]
+        yield ()
+        for _ in range(max_length):
+            next_frontier: List[Tuple[str, Tuple[str, ...]]] = []
+            emitted: Set[Tuple[str, Tuple[str, ...]]] = set()
+            for state, trace in frontier:
+                for action in sorted(self.enabled(state)):
+                    for successor in sorted(self.successors(state, action)):
+                        item = (successor, trace + (action,))
+                        if item not in emitted:
+                            emitted.add(item)
+                            next_frontier.append(item)
+            for _, trace in next_frontier:
+                yield trace
+            frontier = next_frontier
+            if not frontier:
+                return
+
+    def accepts(self, trace: Tuple[str, ...]) -> bool:
+        """Is ``trace`` an admissible action sequence from the initial
+        state?"""
+        current = {self.initial}
+        for action in trace:
+            current = {
+                successor
+                for state in current
+                for successor in self.successors(state, action)
+            }
+            if not current:
+                return False
+        return True
+
+
+def simulate_containment(
+    source: LTS,
+    target: LTS,
+    action_map: Dict[str, str],
+) -> bool:
+    """Check that ``source``'s behaviour is contained in ``target``'s.
+
+    ``action_map`` maps source actions to target actions (the item map of
+    a template morphism); a source action outside the map is *local* and
+    treated as a stuttering step of the target.  The check constructs the
+    standard simulation: every reachable pair ``(s, t)`` must allow every
+    enabled source action to be answered by the target.
+    """
+    start = (source.initial, target.initial)
+    seen: Set[Tuple[str, str]] = set()
+    frontier: List[Tuple[str, str]] = [start]
+    while frontier:
+        s, t = frontier.pop()
+        if (s, t) in seen:
+            continue
+        seen.add((s, t))
+        for action in source.enabled(s):
+            mapped = action_map.get(action)
+            for s_next in source.successors(s, action):
+                if mapped is None:
+                    pairs = [(s_next, t)]
+                else:
+                    targets = target.successors(t, mapped)
+                    if not targets:
+                        return False
+                    pairs = [(s_next, t_next) for t_next in targets]
+                for pair in pairs:
+                    if pair not in seen:
+                        frontier.append(pair)
+    return True

@@ -1,0 +1,63 @@
+"""Bridge from the language front end to the semantic domain.
+
+A checked TROLL specification induces a fragment of the Section 3
+domain: every object class yields a :class:`~repro.core.templates.Template`
+(attributes become observations, events become actions), and every
+``view of`` declaration yields an inheritance schema morphism from the
+view to its base, mapping the inherited items by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.datatypes.sorts import ANY
+from repro.core.morphisms import TemplateMorphism
+from repro.core.schema import InheritanceSchema
+from repro.core.templates import ActionItem, ObservationItem, Template
+from repro.lang.checker import CheckedSpecification, ClassInfo
+
+
+def template_from_class(info: ClassInfo) -> Template:
+    """The template induced by one object class / single object."""
+    actions = {
+        name: ActionItem(name=name, param_sorts=decl.param_sorts, kind=decl.kind)
+        for name, decl in info.all_events().items()
+    }
+    observations = {
+        name: ObservationItem(
+            name=name,
+            sort=decl.sort if decl.sort is not None else ANY,
+            param_sorts=decl.param_sorts,
+        )
+        for name, decl in info.attributes.items()
+    }
+    return Template(name=info.name, actions=actions, observations=observations)
+
+
+def schema_from_specification(
+    checked: CheckedSpecification,
+) -> Tuple[InheritanceSchema, Dict[str, Template]]:
+    """Derive the inheritance schema of a checked specification.
+
+    Returns the schema together with the name -> template table.  The
+    schema morphisms are the ``view of`` relations; their item maps are
+    by-name (a view's inherited items *are* the base's items).
+    Surjectivity is not enforced here: a TROLL base class may declare
+    members the view hides.
+    """
+    templates: Dict[str, Template] = {
+        name: template_from_class(info) for name, info in checked.classes.items()
+    }
+    schema = InheritanceSchema()
+    for template in templates.values():
+        schema.add_template(template)
+    for name, info in checked.classes.items():
+        if info.base is None:
+            continue
+        morphism = TemplateMorphism.by_name(
+            f"{name}_is_{info.base}", templates[name], templates[info.base]
+        )
+        morphism.validate(require_surjective=False)
+        schema.add_morphism(morphism, validate=False)
+    return schema, templates

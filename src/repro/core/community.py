@@ -1,0 +1,228 @@
+"""Object communities: interacting aspects, closed under inheritance.
+
+"When we build an object-oriented system, we must provide an object
+community, i.e. a collection of interacting objects" (Section 3).  A
+community holds aspects and the aspect morphisms relating them, and is
+grown by the two constructions of the paper:
+
+* **incorporation** -- take an existing part and enlarge it: the new
+  aspect is the morphism's *source*; the multiple version is
+  **aggregation** (Example 3.9: SUN•computer from PXX•powsply and
+  CYY•cpu);
+* **interfacing** -- create a new abstraction *of* existing objects with
+  a new identity: the new aspect is the morphism's *target*; the
+  multiple version is **synchronization by sharing** (Example 3.7:
+  CYY•cpu -> CBZ•cable <- PXX•powsply).
+
+After connecting a new morphism the community is closed with respect to
+the inheritance schema: every aspect derived from a member is added too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.aspects import Aspect
+from repro.core.morphisms import AspectMorphism, MorphismError, TemplateMorphism
+from repro.core.schema import InheritanceSchema
+
+
+@dataclass(frozen=True)
+class SharingDiagram:
+    """A shared part: one aspect that is the target of two (or more)
+    interaction morphisms, e.g. ``cpu -> cable <- powsply``."""
+
+    shared: Aspect
+    sharers: Tuple[Aspect, ...]
+
+    def __str__(self) -> str:
+        arrows = " , ".join(f"{s} ->" for s in self.sharers)
+        return f"{arrows} {self.shared}"
+
+
+@dataclass
+class ObjectCommunity:
+    """A collection of aspects related by aspect morphisms."""
+
+    schema: Optional[InheritanceSchema] = None
+    aspects: List[Aspect] = field(default_factory=list)
+    morphisms: List[AspectMorphism] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def add_aspect(self, aspect: Aspect) -> Aspect:
+        """Add an aspect, enforcing identity consistency and closing
+        under the inheritance schema."""
+        if aspect in self.aspects:
+            return aspect
+        self.aspects.append(aspect)
+        if self.schema is not None:
+            for derived in self.schema.derived_aspects(aspect):
+                if derived not in self.aspects:
+                    self.aspects.append(derived)
+                    morphism = self.schema.path_morphism(
+                        aspect.template, derived.template
+                    )
+                    if morphism is not None:
+                        self.morphisms.append(
+                            AspectMorphism(
+                                source=aspect,
+                                target=derived,
+                                template_morphism=morphism,
+                            )
+                        )
+        return aspect
+
+    def __contains__(self, aspect: Aspect) -> bool:
+        return aspect in self.aspects
+
+    # ------------------------------------------------------------------
+    # Construction steps
+    # ------------------------------------------------------------------
+
+    def incorporate(
+        self,
+        new: Aspect,
+        *parts: Aspect,
+        morphisms: Optional[Iterable[TemplateMorphism]] = None,
+    ) -> List[AspectMorphism]:
+        """Enlarge existing ``parts`` into a ``new`` whole (aggregation
+        when several parts are given).
+
+        The interaction morphisms run from the new whole to each part:
+        ``f : SUN•computer -> PXX•powsply``.
+        """
+        if not parts:
+            raise MorphismError("incorporate needs at least one part")
+        for part in parts:
+            if part not in self.aspects:
+                raise MorphismError(f"part {part} is not in the community")
+        self.add_aspect(new)
+        supplied = list(morphisms) if morphisms is not None else None
+        added: List[AspectMorphism] = []
+        for index, part in enumerate(parts):
+            template_morphism = (
+                supplied[index]
+                if supplied is not None
+                else TemplateMorphism.by_name(
+                    f"{new.template.name}_has_{part.template.name}",
+                    new.template,
+                    part.template,
+                )
+            )
+            morphism = AspectMorphism(
+                source=new, target=part, template_morphism=template_morphism
+            )
+            if not morphism.is_interaction:
+                raise MorphismError(
+                    f"incorporation of {part} into {new} is not an interaction "
+                    "(identities coincide)"
+                )
+            self.morphisms.append(morphism)
+            added.append(morphism)
+        return added
+
+    #: Aggregation is the multiple version of incorporation.
+    aggregate = incorporate
+
+    def interface(
+        self,
+        new: Aspect,
+        *bases: Aspect,
+        morphisms: Optional[Iterable[TemplateMorphism]] = None,
+    ) -> List[AspectMorphism]:
+        """Create ``new`` (with a fresh identity) as an interface over
+        existing ``bases`` (synchronization by sharing when several
+        bases are given).
+
+        The interaction morphisms run from each base to the new aspect:
+        ``CYY•cpu -> CBZ•cable``.
+        """
+        if not bases:
+            raise MorphismError("interface needs at least one base")
+        for base in bases:
+            if base not in self.aspects:
+                raise MorphismError(f"base {base} is not in the community")
+        self.add_aspect(new)
+        supplied = list(morphisms) if morphisms is not None else None
+        added: List[AspectMorphism] = []
+        for index, base in enumerate(bases):
+            template_morphism = (
+                supplied[index]
+                if supplied is not None
+                else TemplateMorphism.by_name(
+                    f"{base.template.name}_shares_{new.template.name}",
+                    base.template,
+                    new.template,
+                )
+            )
+            morphism = AspectMorphism(
+                source=base, target=new, template_morphism=template_morphism
+            )
+            if not morphism.is_interaction:
+                raise MorphismError(
+                    f"interfacing {new} over {base} is not an interaction "
+                    "(identities coincide)"
+                )
+            self.morphisms.append(morphism)
+            added.append(morphism)
+        return added
+
+    #: Synchronization by sharing is the multiple version of interfacing.
+    synchronize = interface
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def objects(self) -> Dict[object, List[Aspect]]:
+        """Group the community's aspects into objects by identity payload
+        ("all aspects of one object have the same identity")."""
+        grouped: Dict[object, List[Aspect]] = {}
+        for aspect in self.aspects:
+            grouped.setdefault(aspect.identity.payload, []).append(aspect)
+        return grouped
+
+    def inheritance_morphisms(self) -> List[AspectMorphism]:
+        return [m for m in self.morphisms if m.is_inheritance]
+
+    def interaction_morphisms(self) -> List[AspectMorphism]:
+        return [m for m in self.morphisms if m.is_interaction]
+
+    def parts_of(self, whole: Aspect) -> List[Aspect]:
+        """Aspects incorporated into ``whole`` (interaction targets)."""
+        return [
+            m.target
+            for m in self.morphisms
+            if m.is_interaction and m.source == whole
+        ]
+
+    def sharing_diagrams(self) -> List[SharingDiagram]:
+        """All shared parts: aspects that are interaction targets of two
+        or more distinct sources."""
+        incoming: Dict[Aspect, List[Aspect]] = {}
+        for morphism in self.morphisms:
+            if morphism.is_interaction:
+                incoming.setdefault(morphism.target, []).append(morphism.source)
+        return [
+            SharingDiagram(shared=shared, sharers=tuple(sources))
+            for shared, sources in incoming.items()
+            if len(set(sources)) >= 2
+        ]
+
+    def check_identity_uniqueness(self) -> List[str]:
+        """Report identities whose aspects use one template twice (an
+        object may have many aspects but only one per template)."""
+        problems: List[str] = []
+        for key, group in self.objects().items():
+            templates = [a.template.name for a in group]
+            duplicates = {t for t in templates if templates.count(t) > 1}
+            if duplicates:
+                problems.append(
+                    f"identity {key!r} has duplicate aspects for templates "
+                    f"{sorted(duplicates)}"
+                )
+        return problems

@@ -1,0 +1,223 @@
+"""Template and aspect morphisms.
+
+A template morphism ``h : t -> u`` is a structure- and
+behaviour-preserving map between templates ([ES91]; Section 3 uses the
+special case of a *template projection*, projecting ``t`` onto a portion
+``u`` -- an abstraction (computer -> el_device) or a part
+(computer -> cpu)).
+
+Concretely, the morphism maps items of ``t`` to items of ``u``:
+``h`` maps ``switch_on_c`` to ``switch_on``, "expressing that the
+switch_on_c of the computer *is* the switch_on inherited from
+el_device" (Example 3.4).  The morphisms of interest are *surjective* --
+every item of the target is hit.
+
+Behaviour preservation is checked (when both templates carry protocols)
+by :func:`repro.core.behavior.simulate_containment`: the source's
+behaviour, with actions renamed through the morphism, must be admitted
+by the target.
+
+An :class:`AspectMorphism` is "nothing else but a template morphism with
+identities attached"; the identities decide its kind: equal identities
+make it an **inheritance morphism**, different identities an
+**interaction morphism**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.diagnostics import TrollError
+from repro.core.aspects import Aspect
+from repro.core.behavior import simulate_containment
+from repro.core.templates import Template
+
+
+class MorphismError(TrollError):
+    """An ill-formed morphism (non-total/non-surjective map, unknown
+    items, behaviour violation)."""
+
+
+@dataclass(frozen=True)
+class TemplateMorphism:
+    """``h : source -> target`` with an explicit item map.
+
+    ``action_map`` / ``observation_map`` send source items to target
+    items.  Items of the source outside the maps are *local* to the
+    source (the richer template may have items the portion lacks);
+    surjectivity onto the target is required by :meth:`validate` --
+    "the inheritance morphisms of interest seem to be surjective in the
+    sense that all items of both partners are involved".
+    """
+
+    name: str
+    source: Template
+    target: Template
+    action_map: Dict[str, str] = field(default_factory=dict)
+    observation_map: Dict[str, str] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.source} -> {self.target}"
+
+    # ------------------------------------------------------------------
+    # Well-formedness
+    # ------------------------------------------------------------------
+
+    def validate(self, require_surjective: bool = True, check_behavior: bool = True) -> "TemplateMorphism":
+        """Validate the morphism; returns self for chaining.
+
+        Raises :class:`MorphismError` when a mapped item does not exist
+        on either side, when the map is not surjective onto the target
+        (unless ``require_surjective`` is false), or when both templates
+        carry protocols and behaviour containment fails (unless
+        ``check_behavior`` is false).
+        """
+        for src, dst in self.action_map.items():
+            if src not in self.source.actions:
+                raise MorphismError(
+                    f"{self}: source has no action {src!r}"
+                )
+            if dst not in self.target.actions:
+                raise MorphismError(
+                    f"{self}: target has no action {dst!r}"
+                )
+        for src, dst in self.observation_map.items():
+            if src not in self.source.observations:
+                raise MorphismError(
+                    f"{self}: source has no observation {src!r}"
+                )
+            if dst not in self.target.observations:
+                raise MorphismError(
+                    f"{self}: target has no observation {dst!r}"
+                )
+        if require_surjective and not self.is_surjective():
+            missing_actions = set(self.target.actions) - set(self.action_map.values())
+            missing_observations = set(self.target.observations) - set(
+                self.observation_map.values()
+            )
+            raise MorphismError(
+                f"{self}: not surjective; unreached target items "
+                f"{sorted(missing_actions | missing_observations)}"
+            )
+        if check_behavior and not self.preserves_behavior():
+            raise MorphismError(f"{self}: behaviour containment fails")
+        return self
+
+    def is_surjective(self) -> bool:
+        """Every target item is the image of some source item."""
+        return set(self.action_map.values()) >= set(self.target.actions) and set(
+            self.observation_map.values()
+        ) >= set(self.target.observations)
+
+    def preserves_behavior(self) -> bool:
+        """Behaviour containment, trivially true without protocols."""
+        if self.source.protocol is None or self.target.protocol is None:
+            return True
+        return simulate_containment(
+            self.source.protocol, self.target.protocol, self.action_map
+        )
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+
+    def map_action(self, name: str) -> Optional[str]:
+        return self.action_map.get(name)
+
+    def map_observation(self, name: str) -> Optional[str]:
+        return self.observation_map.get(name)
+
+    @classmethod
+    def by_name(cls, name: str, source: Template, target: Template) -> "TemplateMorphism":
+        """The morphism identifying equally-named items -- the common
+        case when a specialization re-uses the base's item names."""
+        return cls(
+            name=name,
+            source=source,
+            target=target,
+            action_map={a: a for a in target.actions if a in source.actions},
+            observation_map={
+                o: o for o in target.observations if o in source.observations
+            },
+        )
+
+
+def identity_morphism(template: Template) -> TemplateMorphism:
+    """The identity morphism on ``template``."""
+    return TemplateMorphism(
+        name=f"id_{template.name}",
+        source=template,
+        target=template,
+        action_map={a: a for a in template.actions},
+        observation_map={o: o for o in template.observations},
+    )
+
+
+def compose(outer: TemplateMorphism, inner: TemplateMorphism) -> TemplateMorphism:
+    """``outer ∘ inner``: first ``inner`` (t -> u), then ``outer``
+    (u -> v)."""
+    if inner.target is not outer.source and inner.target != outer.source:
+        raise MorphismError(
+            f"cannot compose {outer} after {inner}: middle templates differ"
+        )
+    action_map = {
+        src: outer.action_map[mid]
+        for src, mid in inner.action_map.items()
+        if mid in outer.action_map
+    }
+    observation_map = {
+        src: outer.observation_map[mid]
+        for src, mid in inner.observation_map.items()
+        if mid in outer.observation_map
+    }
+    return TemplateMorphism(
+        name=f"{outer.name}∘{inner.name}",
+        source=inner.source,
+        target=outer.target,
+        action_map=action_map,
+        observation_map=observation_map,
+    )
+
+
+@dataclass(frozen=True)
+class AspectMorphism:
+    """``h : a•t -> b•u`` -- a template morphism with identities attached.
+
+    ``kind`` distinguishes the two fundamental cases: **inheritance**
+    (equal identities -- one object in two of its aspects) and
+    **interaction** (different identities -- e.g. part-of, sharing).
+    """
+
+    source: Aspect
+    target: Aspect
+    template_morphism: TemplateMorphism
+
+    def __post_init__(self) -> None:
+        if self.template_morphism.source != self.source.template:
+            raise MorphismError(
+                f"aspect morphism source template mismatch: "
+                f"{self.source.template} vs {self.template_morphism.source}"
+            )
+        if self.template_morphism.target != self.target.template:
+            raise MorphismError(
+                f"aspect morphism target template mismatch: "
+                f"{self.target.template} vs {self.template_morphism.target}"
+            )
+
+    @property
+    def kind(self) -> str:
+        if self.source.same_object_as(self.target):
+            return "inheritance"
+        return "interaction"
+
+    @property
+    def is_inheritance(self) -> bool:
+        return self.kind == "inheritance"
+
+    @property
+    def is_interaction(self) -> bool:
+        return self.kind == "interaction"
+
+    def __str__(self) -> str:
+        return f"{self.template_morphism.name}: {self.source} -> {self.target}"

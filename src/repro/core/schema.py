@@ -1,0 +1,199 @@
+"""Inheritance schemas: diagrams of templates and inheritance morphisms.
+
+"An inheritance schema is a diagram consisting of a collection of
+templates related by inheritance schema morphisms" (Section 3).  The
+schema is grown step by step:
+
+* **specialization** -- the source template is new (``h : t -> u`` with
+  ``u`` already present): top-down growth, adding detail;
+* **abstraction** -- the target template is new: upward growth, hiding
+  detail;
+* **multiple inheritance** -- one new template specialized from several
+  existing ones simultaneously (Example 3.5: computer from el_device and
+  calculator);
+* **generalization** -- one new template abstracting several existing
+  ones (Example 3.6: contract_partner from person and company).
+
+Given an aspect ``b • t``, :meth:`InheritanceSchema.derived_aspects`
+computes "all aspects obtained by relating the same identity b to all
+derived aspects t'" -- the closure along schema morphisms, which is what
+makes an aspect into a full *object*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.aspects import Aspect
+from repro.core.morphisms import MorphismError, TemplateMorphism, compose
+from repro.core.templates import Template
+
+
+@dataclass
+class InheritanceSchema:
+    """A DAG of templates connected by inheritance schema morphisms."""
+
+    templates: Dict[str, Template] = field(default_factory=dict)
+    #: morphisms indexed by source template name
+    morphisms: List[TemplateMorphism] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction steps
+    # ------------------------------------------------------------------
+
+    def add_template(self, template: Template) -> Template:
+        existing = self.templates.get(template.name)
+        if existing is not None and existing is not template:
+            raise MorphismError(
+                f"schema already contains a template named {template.name!r}"
+            )
+        self.templates[template.name] = template
+        return template
+
+    def add_morphism(self, morphism: TemplateMorphism, validate: bool = True) -> TemplateMorphism:
+        """Connect two templates (both must already be in the schema)."""
+        for side in (morphism.source, morphism.target):
+            if side.name not in self.templates:
+                raise MorphismError(
+                    f"{morphism}: template {side.name!r} is not in the schema"
+                )
+        if validate:
+            morphism.validate()
+        self.morphisms.append(morphism)
+        if self._has_cycle():
+            self.morphisms.pop()
+            raise MorphismError(f"{morphism}: would create an inheritance cycle")
+        return morphism
+
+    def specialize(
+        self, new: Template, *bases: Template, morphisms: Optional[Iterable[TemplateMorphism]] = None
+    ) -> List[TemplateMorphism]:
+        """Add ``new`` as a specialization of ``bases`` (multiple
+        inheritance when several bases are given)."""
+        if not bases:
+            raise MorphismError("specialize needs at least one base template")
+        self.add_template(new)
+        added: List[TemplateMorphism] = []
+        supplied = list(morphisms) if morphisms is not None else None
+        for index, base in enumerate(bases):
+            if supplied is not None:
+                morphism = supplied[index]
+            else:
+                morphism = TemplateMorphism.by_name(
+                    f"{new.name}_is_{base.name}", new, base
+                )
+            added.append(self.add_morphism(morphism))
+        return added
+
+    def abstract(
+        self, new: Template, *concretes: Template, morphisms: Optional[Iterable[TemplateMorphism]] = None
+    ) -> List[TemplateMorphism]:
+        """Add ``new`` as an abstraction of ``concretes`` (generalization
+        when several are given)."""
+        if not concretes:
+            raise MorphismError("abstract needs at least one concrete template")
+        self.add_template(new)
+        added: List[TemplateMorphism] = []
+        supplied = list(morphisms) if morphisms is not None else None
+        for index, concrete in enumerate(concretes):
+            if supplied is not None:
+                morphism = supplied[index]
+            else:
+                morphism = TemplateMorphism.by_name(
+                    f"{concrete.name}_is_{new.name}", concrete, new
+                )
+            added.append(self.add_morphism(morphism))
+        return added
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def outgoing(self, template: Template) -> List[TemplateMorphism]:
+        return [m for m in self.morphisms if m.source == template]
+
+    def incoming(self, template: Template) -> List[TemplateMorphism]:
+        return [m for m in self.morphisms if m.target == template]
+
+    def ancestors(self, template: Template) -> List[Template]:
+        """Templates reachable along schema morphisms (the more abstract
+        aspects every instance of ``template`` also has)."""
+        result: List[Template] = []
+        seen: Set[str] = {template.name}
+        frontier = [template]
+        while frontier:
+            current = frontier.pop(0)
+            for morphism in self.outgoing(current):
+                target = morphism.target
+                if target.name not in seen:
+                    seen.add(target.name)
+                    result.append(target)
+                    frontier.append(target)
+        return result
+
+    def descendants(self, template: Template) -> List[Template]:
+        result: List[Template] = []
+        seen: Set[str] = {template.name}
+        frontier = [template]
+        while frontier:
+            current = frontier.pop(0)
+            for morphism in self.incoming(current):
+                source = morphism.source
+                if source.name not in seen:
+                    seen.add(source.name)
+                    result.append(source)
+                    frontier.append(source)
+        return result
+
+    def path_morphism(self, source: Template, target: Template) -> Optional[TemplateMorphism]:
+        """The composite morphism along a path from ``source`` up to
+        ``target``, or None if ``target`` is not an ancestor."""
+        if source == target:
+            from repro.core.morphisms import identity_morphism
+
+            return identity_morphism(source)
+        for morphism in self.outgoing(source):
+            if morphism.target == target:
+                return morphism
+            rest = self.path_morphism(morphism.target, target)
+            if rest is not None:
+                return compose(rest, morphism)
+        return None
+
+    def is_ancestor(self, ancestor: Template, descendant: Template) -> bool:
+        return ancestor in self.ancestors(descendant)
+
+    def derived_aspects(self, base: Aspect) -> List[Aspect]:
+        """All aspects of ``base``'s object induced by the schema:
+        the same identity under every ancestor template."""
+        return [base.with_template(t) for t in self.ancestors(base.template)]
+
+    def object_of(self, base: Aspect) -> List[Aspect]:
+        """The full object ``base`` determines: the aspect itself plus
+        all derived aspects ("an object is an aspect together with all
+        its derived aspects")."""
+        return [base] + self.derived_aspects(base)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _has_cycle(self) -> bool:
+        graph: Dict[str, List[str]] = {name: [] for name in self.templates}
+        for morphism in self.morphisms:
+            graph[morphism.source.name].append(morphism.target.name)
+        state: Dict[str, int] = {}
+
+        def visit(node: str) -> bool:
+            state[node] = 1
+            for succ in graph.get(node, ()):
+                mark = state.get(succ, 0)
+                if mark == 1:
+                    return True
+                if mark == 0 and visit(succ):
+                    return True
+            state[node] = 2
+            return False
+
+        return any(state.get(n, 0) == 0 and visit(n) for n in graph)

@@ -1,0 +1,107 @@
+"""Templates: structure and behaviour patterns without identity.
+
+"By template we mean an object's structure and behavior pattern without
+individual identity" (Section 3).  A :class:`Template` bundles
+
+* *actions* (the event alphabet -- abstractions of methods),
+* *observations* (the attribute alphabet), and
+* an optional behaviour *protocol* (an :class:`~repro.core.behavior.LTS`
+  over the action names).
+
+Templates are the objects of the category in which template morphisms
+(:mod:`repro.core.morphisms`) are the arrows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.datatypes.sorts import ANY, Sort
+from repro.core.behavior import LTS
+
+
+@dataclass(frozen=True)
+class ActionItem:
+    """An action (event) of a template's signature."""
+
+    name: str
+    param_sorts: Tuple[Sort, ...] = ()
+    kind: str = "normal"  # "normal" | "birth" | "death"
+
+    def __str__(self) -> str:
+        params = ", ".join(str(s) for s in self.param_sorts)
+        return f"{self.name}({params})" if params else self.name
+
+
+@dataclass(frozen=True)
+class ObservationItem:
+    """An observation (attribute) of a template's signature."""
+
+    name: str
+    sort: Sort = ANY
+    param_sorts: Tuple[Sort, ...] = ()
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.sort}"
+
+
+@dataclass
+class Template:
+    """A structure/behaviour pattern.
+
+    Attributes:
+        name: The template's (anonymous-in-theory, practical-in-code)
+            label, e.g. ``"computer"``.
+        actions: Action name -> :class:`ActionItem`.
+        observations: Observation name -> :class:`ObservationItem`.
+        protocol: Optional behaviour LTS over the action names.
+    """
+
+    name: str
+    actions: Dict[str, ActionItem] = field(default_factory=dict)
+    observations: Dict[str, ObservationItem] = field(default_factory=dict)
+    protocol: Optional[LTS] = None
+
+    def __post_init__(self) -> None:
+        if self.protocol is not None:
+            unknown = self.protocol.actions - set(self.actions)
+            if unknown:
+                raise ValueError(
+                    f"template {self.name!r}: protocol uses undeclared "
+                    f"actions {sorted(unknown)}"
+                )
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        actions: Iterable[str] = (),
+        observations: Iterable[str] = (),
+        protocol: Optional[LTS] = None,
+    ) -> "Template":
+        """Convenience constructor from bare item names."""
+        return cls(
+            name=name,
+            actions={a: ActionItem(name=a) for a in actions},
+            observations={o: ObservationItem(name=o) for o in observations},
+            protocol=protocol,
+        )
+
+    @property
+    def item_names(self) -> frozenset:
+        return frozenset(self.actions) | frozenset(self.observations)
+
+    def has_item(self, name: str) -> bool:
+        return name in self.actions or name in self.observations
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Template):
+            return NotImplemented
+        return self.name == other.name
+
+    def __str__(self) -> str:
+        return self.name

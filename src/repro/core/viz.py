@@ -1,0 +1,129 @@
+"""Graph export: inheritance schemas and communities as DOT.
+
+The paper closes with "graphical notations for TROLL" as further work
+(Section 7).  This module provides the structural half: Graphviz DOT
+renderings of
+
+* an :class:`~repro.core.schema.InheritanceSchema` -- templates as
+  nodes, inheritance schema morphisms as upward edges (the Example 3.2
+  diagram, machine-drawn);
+* an :class:`~repro.core.community.ObjectCommunity` -- aspects as
+  nodes, inheritance morphisms dashed, interaction morphisms solid,
+  shared parts highlighted;
+* a checked specification -- classes with their view-of edges and
+  component/incorporation edges.
+
+The output is plain DOT text (no Graphviz dependency); render with
+``dot -Tsvg``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.community import ObjectCommunity
+from repro.core.schema import InheritanceSchema
+from repro.lang.checker import CheckedSpecification
+
+
+def _quote(name: object) -> str:
+    text = str(name).replace('"', '\\"')
+    return f'"{text}"'
+
+
+def schema_to_dot(schema: InheritanceSchema, name: str = "inheritance") -> str:
+    """Render an inheritance schema (morphism arrows point to the more
+    abstract template, as in the paper's Example 3.2 with 'the morphisms
+    go upward')."""
+    lines: List[str] = [
+        f"digraph {_quote(name)} {{",
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="Helvetica"];',
+    ]
+    for template_name in sorted(schema.templates):
+        lines.append(f"  {_quote(template_name)};")
+    for morphism in schema.morphisms:
+        label = _quote(morphism.name)
+        lines.append(
+            f"  {_quote(morphism.source.name)} -> {_quote(morphism.target.name)}"
+            f" [label={label}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def community_to_dot(community: ObjectCommunity, name: str = "community") -> str:
+    """Render an object community: aspects grouped by identity,
+    inheritance morphisms dashed, interactions solid, shared parts
+    double-bordered."""
+    shared = {diagram.shared for diagram in community.sharing_diagrams()}
+    lines: List[str] = [
+        f"digraph {_quote(name)} {{",
+        "  rankdir=LR;",
+        '  node [shape=ellipse, fontname="Helvetica"];',
+    ]
+    for index, (identity, aspects) in enumerate(sorted(
+        community.objects().items(), key=lambda kv: str(kv[0])
+    )):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f"    label={_quote(identity)};")
+        for aspect in aspects:
+            attrs = ["peripheries=2"] if aspect in shared else []
+            attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+            lines.append(f"    {_quote(aspect)}{attr_text};")
+        lines.append("  }")
+    for morphism in community.morphisms:
+        style = "dashed" if morphism.is_inheritance else "solid"
+        lines.append(
+            f"  {_quote(morphism.source)} -> {_quote(morphism.target)}"
+            f" [style={style}, label={_quote(morphism.template_morphism.name)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def specification_to_dot(
+    checked: CheckedSpecification, name: str = "specification"
+) -> str:
+    """Render a checked specification's class diagram: classes and
+    single objects as nodes, ``view of`` edges dashed-up, component
+    slots and ``inheriting`` incorporations as labelled edges,
+    interfaces as dotted boxes pointing at what they encapsulate."""
+    lines: List[str] = [
+        f"digraph {_quote(name)} {{",
+        "  rankdir=BT;",
+        '  node [shape=record, fontname="Helvetica"];',
+    ]
+    for class_name, info in sorted(checked.classes.items()):
+        kind = "object" if info.kind == "object" else "class"
+        attrs = ", ".join(sorted(info.attributes)[:6])
+        label = _quote(f"{class_name}\\n({kind})\\n{attrs}")
+        lines.append(f"  {_quote(class_name)} [label={label}];")
+    for class_name, info in sorted(checked.classes.items()):
+        if info.base is not None:
+            lines.append(
+                f"  {_quote(class_name)} -> {_quote(info.base)}"
+                ' [style=dashed, label="view of"];'
+            )
+        for component in info.components.values():
+            container = f" [{component.container}]" if component.container else ""
+            lines.append(
+                f"  {_quote(class_name)} -> {_quote(component.target)}"
+                f" [label={_quote(component.name + container)}, arrowhead=diamond];"
+            )
+        for alias, base in sorted(info.inheriting.items()):
+            lines.append(
+                f"  {_quote(class_name)} -> {_quote(base)}"
+                f" [label={_quote('inheriting as ' + alias)}, arrowhead=odiamond];"
+            )
+    for interface_name, interface in sorted(checked.interfaces.items()):
+        lines.append(
+            f"  {_quote(interface_name)} [shape=box, style=dotted];"
+        )
+        for class_name in interface.encapsulating.values():
+            lines.append(
+                f"  {_quote(interface_name)} -> {_quote(class_name)}"
+                ' [style=dotted, label="encapsulates"];'
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

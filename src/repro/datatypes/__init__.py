@@ -1,0 +1,120 @@
+"""The abstract-data-type substrate.
+
+TROLL object specifications are written over "an arbitrary abstract data
+type" (Section 3 of the paper): object identities are values of an
+abstract data type, attributes take data values, and event parameters are
+data values.  This package provides that substrate:
+
+* :mod:`repro.datatypes.sorts` -- the sort (type) system: base sorts and
+  the parametrized constructors ``set``, ``list``, ``map`` and ``tuple``
+  used in the paper's listings, plus identity sorts ``|C|`` for object
+  surrogates.
+* :mod:`repro.datatypes.values` -- immutable, sort-tagged runtime values.
+* :mod:`repro.datatypes.operations` -- the built-in operation signatures
+  (``insert``, ``remove``, ``in``, arithmetic, comparisons, ...) together
+  with their implementations.
+* :mod:`repro.datatypes.terms` -- the data-valued term language shared by
+  valuation rules, permissions, constraints and derivation rules, and
+* :mod:`repro.datatypes.evaluator` -- term evaluation against an
+  :class:`~repro.datatypes.evaluator.Environment`.
+"""
+
+from repro.datatypes.sorts import (
+    ANY,
+    BOOL,
+    CHAR,
+    DATE,
+    INTEGER,
+    MONEY,
+    NAT,
+    REAL,
+    STRING,
+    IdSort,
+    ListSort,
+    MapSort,
+    SetSort,
+    Sort,
+    TupleSort,
+    parse_sort_name,
+)
+from repro.datatypes.values import (
+    Value,
+    boolean,
+    date,
+    false,
+    identity,
+    integer,
+    list_value,
+    map_value,
+    money,
+    real,
+    set_value,
+    string,
+    true,
+    tuple_value,
+)
+from repro.datatypes.operations import BUILTIN_OPERATIONS, Operation, apply_operation
+from repro.datatypes.terms import (
+    Apply,
+    AttributeAccess,
+    ComponentAccess,
+    Exists,
+    Forall,
+    Lit,
+    QueryOp,
+    SelfExpr,
+    Term,
+    TupleCons,
+    Var,
+)
+from repro.datatypes.evaluator import Environment, MapEnvironment, evaluate
+
+__all__ = [
+    "ANY",
+    "BOOL",
+    "BUILTIN_OPERATIONS",
+    "CHAR",
+    "DATE",
+    "INTEGER",
+    "MONEY",
+    "NAT",
+    "REAL",
+    "STRING",
+    "Apply",
+    "AttributeAccess",
+    "ComponentAccess",
+    "Environment",
+    "Exists",
+    "Forall",
+    "IdSort",
+    "ListSort",
+    "Lit",
+    "MapEnvironment",
+    "MapSort",
+    "Operation",
+    "QueryOp",
+    "SelfExpr",
+    "SetSort",
+    "Sort",
+    "Term",
+    "TupleCons",
+    "TupleSort",
+    "Value",
+    "Var",
+    "apply_operation",
+    "boolean",
+    "date",
+    "evaluate",
+    "false",
+    "identity",
+    "integer",
+    "list_value",
+    "map_value",
+    "money",
+    "parse_sort_name",
+    "real",
+    "set_value",
+    "string",
+    "true",
+    "tuple_value",
+]

@@ -1,0 +1,366 @@
+"""Term evaluation.
+
+:func:`evaluate` reduces a :class:`~repro.datatypes.terms.Term` to a
+:class:`~repro.datatypes.values.Value` against an :class:`Environment`.
+The environment abstracts over where names come from: a plain variable
+binding (:class:`MapEnvironment`), an object's attribute state (provided
+by the runtime), or an interface's derivation rules.
+
+Quantifiers use *active-domain* semantics (see
+:mod:`repro.datatypes.terms`): the candidate domain of a quantified
+variable is assembled from the class population (for identity sorts) and
+from the values reachable in the current scope (for data sorts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.diagnostics import EvaluationError
+from repro.datatypes.operations import apply_operation
+from repro.datatypes.sorts import (
+    BOOL,
+    IdSort,
+    ListSort,
+    MapSort,
+    SetSort,
+    Sort,
+    TupleSort,
+)
+from repro.datatypes.terms import (
+    Apply,
+    AttributeAccess,
+    Exists,
+    Forall,
+    ListCons,
+    Lit,
+    QueryOp,
+    SelfExpr,
+    SetCons,
+    Term,
+    TupleCons,
+    Var,
+)
+from repro.datatypes.values import (
+    Value,
+    boolean,
+    list_value,
+    set_value,
+    tuple_value,
+)
+
+
+class Environment:
+    """Name-resolution context for term evaluation.
+
+    Subclasses override the lookup hooks.  The default implementations
+    raise, so a bare :class:`Environment` evaluates only closed terms.
+    """
+
+    def lookup(self, name: str) -> Value:
+        """Resolve a variable (or in-scope attribute) name to a value."""
+        raise EvaluationError(f"unbound variable {name!r}")
+
+    def lookup_self(self) -> Value:
+        """Resolve ``SELF`` to the identity of the current instance."""
+        raise EvaluationError("SELF is not bound in this context")
+
+    def attribute_of(self, obj: Value, name: str, args: tuple = ()) -> Value:
+        """Observe attribute ``name`` of the object identified by ``obj``.
+
+        ``args`` carries the parameter values of a parametrized attribute
+        (``P.IncomeInYear(1990)``).  The base implementation handles
+        tuple-field projection and the ``surrogate`` pseudo-attribute;
+        object observation requires a runtime-backed environment.
+        """
+        if isinstance(obj.sort, TupleSort):
+            for field_name, field_value in obj.payload:
+                if field_name == name:
+                    return field_value
+            raise EvaluationError(
+                f"tuple has no field {name!r} (fields: {obj.sort.field_names})"
+            )
+        if name == "surrogate":
+            return obj
+        raise EvaluationError(
+            f"cannot observe attribute {name!r} of a value of sort {obj.sort}"
+        )
+
+    def class_population(self, class_name: str) -> Iterable[Value]:
+        """Identities currently populating class ``class_name``.
+
+        Used as the quantifier domain for identity sorts.  The default is
+        the empty population.
+        """
+        return ()
+
+    def scope_values(self) -> Iterable[Value]:
+        """Values reachable from the current scope, used to seed the
+        active domain of data-sorted quantifiers."""
+        return ()
+
+    def attribute_call(self, name: str, args: tuple) -> Value:
+        """Resolve a parametrized-attribute read written in application
+        form (``Balance(a)``).  Runtime-backed environments override."""
+        raise EvaluationError(f"unknown operation {name!r}")
+
+    def child(self, bindings: Dict[str, Value]) -> "Environment":
+        """An environment extending this one with extra bindings."""
+        return _ChildEnvironment(self, bindings)
+
+
+class _ChildEnvironment(Environment):
+    """An environment layered over a parent with extra bindings."""
+
+    def __init__(self, parent: Environment, bindings: Dict[str, Value]):
+        self._parent = parent
+        self._bindings = dict(bindings)
+
+    def lookup(self, name: str) -> Value:
+        if name in self._bindings:
+            return self._bindings[name]
+        return self._parent.lookup(name)
+
+    def lookup_self(self) -> Value:
+        return self._parent.lookup_self()
+
+    def attribute_of(self, obj: Value, name: str, args: tuple = ()) -> Value:
+        return self._parent.attribute_of(obj, name, args)
+
+    def class_population(self, class_name: str) -> Iterable[Value]:
+        return self._parent.class_population(class_name)
+
+    def attribute_call(self, name: str, args: tuple) -> Value:
+        return self._parent.attribute_call(name, args)
+
+    def scope_values(self) -> Iterable[Value]:
+        yield from self._bindings.values()
+        yield from self._parent.scope_values()
+
+
+class MapEnvironment(Environment):
+    """A simple dictionary-backed environment (tests, standalone use)."""
+
+    def __init__(
+        self,
+        bindings: Optional[Dict[str, Value]] = None,
+        self_value: Optional[Value] = None,
+        populations: Optional[Dict[str, Iterable[Value]]] = None,
+    ):
+        self.bindings = dict(bindings or {})
+        self.self_value = self_value
+        self.populations = {k: list(v) for k, v in (populations or {}).items()}
+
+    def lookup(self, name: str) -> Value:
+        if name in self.bindings:
+            return self.bindings[name]
+        raise EvaluationError(f"unbound variable {name!r}")
+
+    def lookup_self(self) -> Value:
+        if self.self_value is None:
+            raise EvaluationError("SELF is not bound in this context")
+        return self.self_value
+
+    def class_population(self, class_name: str) -> Iterable[Value]:
+        return self.populations.get(class_name, ())
+
+    def scope_values(self) -> Iterable[Value]:
+        return list(self.bindings.values())
+
+
+def _harvest(value: Value, sort: Sort, out: List[Value], depth: int = 0) -> None:
+    """Collect sub-values of ``value`` compatible with ``sort``."""
+    if depth > 6:
+        return
+    if value.sort.is_compatible_with(sort):
+        out.append(value)
+    if isinstance(value.sort, (SetSort, ListSort)):
+        for item in value.payload:
+            _harvest(item, sort, out, depth + 1)
+    elif isinstance(value.sort, MapSort):
+        for k, v in value.payload:
+            _harvest(k, sort, out, depth + 1)
+            _harvest(v, sort, out, depth + 1)
+    elif isinstance(value.sort, TupleSort):
+        for _, v in value.payload:
+            _harvest(v, sort, out, depth + 1)
+
+
+def candidate_domain(sort: Sort, body: Term, env: Environment) -> List[Value]:
+    """The active domain a quantified variable of ``sort`` ranges over.
+
+    * ``bool`` -- the two truth values;
+    * identity sorts -- the current class population;
+    * other sorts -- every compatible value reachable from (a) the values
+      bound in the current scope and (b) the closed sub-terms of the
+      quantifier body (e.g. the set a membership test inspects), plus the
+      literals occurring in the body.
+    """
+    if sort.is_compatible_with(BOOL) and sort.name in ("bool", "boolean"):
+        return [boolean(True), boolean(False)]
+    if isinstance(sort, IdSort):
+        pop = list(env.class_population(sort.class_name))
+        if pop:
+            return pop
+    out: List[Value] = []
+    seen = set()
+    for value in env.scope_values():
+        _harvest(value, sort, out)
+    for node in body.walk():
+        if isinstance(node, Lit):
+            _harvest(node.value, sort, out)
+        elif not node.free_variables():
+            try:
+                _harvest(evaluate(node, env), sort, out)
+            except EvaluationError:
+                continue
+    unique: List[Value] = []
+    for v in out:
+        if v not in seen:
+            seen.add(v)
+            unique.append(v)
+    return unique
+
+
+def evaluate(term: Term, env: Optional[Environment] = None) -> Value:
+    """Evaluate ``term`` against ``env`` (an empty environment if omitted)."""
+    if env is None:
+        env = Environment()
+    return _eval(term, env)
+
+
+def _eval(term: Term, env: Environment) -> Value:
+    if isinstance(term, Lit):
+        return term.value
+    if isinstance(term, Var):
+        return env.lookup(term.name)
+    if isinstance(term, SelfExpr):
+        return env.lookup_self()
+    if isinstance(term, Apply):
+        if term.op == "and":
+            # Short-circuit so guards like `x <> 0 and 1/x > 2` are safe.
+            left = _eval(term.args[0], env)
+            if not bool(left):
+                return boolean(False)
+            return boolean(bool(_eval(term.args[1], env)))
+        if term.op == "or":
+            left = _eval(term.args[0], env)
+            if bool(left):
+                return boolean(True)
+            return boolean(bool(_eval(term.args[1], env)))
+        if term.op == "implies":
+            left = _eval(term.args[0], env)
+            if not bool(left):
+                return boolean(True)
+            return boolean(bool(_eval(term.args[1], env)))
+        args = [_eval(a, env) for a in term.args]
+        from repro.datatypes.operations import BUILTIN_OPERATIONS
+
+        if term.op not in BUILTIN_OPERATIONS:
+            # Parametrized-attribute read in application form
+            # (``Balance(a)``), resolved by the environment.
+            return env.attribute_call(term.op, tuple(args))
+        return apply_operation(term.op, args)
+    if isinstance(term, TupleCons):
+        return _eval_tuple_cons(term, env)
+    if isinstance(term, SetCons):
+        return set_value(_eval(t, env) for t in term.items)
+    if isinstance(term, ListCons):
+        return list_value(_eval(t, env) for t in term.items)
+    if isinstance(term, AttributeAccess):
+        obj = _eval(term.obj, env)
+        attr_args = tuple(_eval(a, env) for a in term.args)
+        return env.attribute_of(obj, term.attribute, attr_args)
+    if isinstance(term, QueryOp):
+        return _eval_query(term, env)
+    if isinstance(term, Forall):
+        return _eval_quantifier(term, env, want=True)
+    if isinstance(term, Exists):
+        return _eval_quantifier(term, env, want=False)
+    raise EvaluationError(f"cannot evaluate term of kind {type(term).__name__}")
+
+
+def _eval_tuple_cons(term: TupleCons, env: Environment) -> Value:
+    fields: Dict[str, Value] = {}
+    for index, (name, sub) in enumerate(term.items):
+        if name is None:
+            if index < len(term.field_names):
+                name = term.field_names[index]
+            else:
+                name = f"_{index + 1}"
+        fields[name] = _eval(sub, env)
+    return tuple_value(fields)
+
+
+def _eval_query(term: QueryOp, env: Environment) -> Value:
+    source = _eval(term.source, env)
+    if not isinstance(source.sort, (SetSort, ListSort)):
+        raise EvaluationError(
+            f"query {term.op} expects a collection source, got sort {source.sort}"
+        )
+    items = list(source.payload)
+    if term.op == "select":
+        kept = []
+        for item in items:
+            bindings = _tuple_scope(item)
+            verdict = _eval(term.param, env.child(bindings))
+            if bool(verdict):
+                kept.append(item)
+        if isinstance(source.sort, SetSort):
+            return set_value(kept, source.sort.element)
+        return list_value(kept, source.sort.element)
+    if term.op == "project":
+        names = tuple(term.param)
+        projected = []
+        for item in items:
+            if not isinstance(item.sort, TupleSort):
+                raise EvaluationError("project expects a collection of tuples")
+            fields = {n: v for n, v in item.payload}
+            missing = [n for n in names if n not in fields]
+            if missing:
+                raise EvaluationError(f"project: unknown fields {missing}")
+            if len(names) == 1:
+                projected.append(fields[names[0]])
+            else:
+                projected.append(tuple_value({n: fields[n] for n in names}))
+        if isinstance(source.sort, SetSort):
+            return set_value(projected)
+        return list_value(projected)
+    raise EvaluationError(f"unknown query operation {term.op!r}")
+
+
+def _tuple_scope(item: Value) -> Dict[str, Value]:
+    """The variable scope a select-parameter formula sees for one tuple."""
+    if isinstance(item.sort, TupleSort):
+        return {n: v for n, v in item.payload}
+    # Non-tuple elements are in scope as `it`.
+    return {"it": item}
+
+
+def _eval_quantifier(term, env: Environment, want: bool) -> Value:
+    """Evaluate ``Forall`` (want=True) / ``Exists`` (want=False).
+
+    ``Forall`` succeeds unless a counterexample is found; ``Exists``
+    succeeds as soon as a witness is found.
+    """
+    return boolean(_quantify(term.variables, term.body, env, want))
+
+
+def _quantify(variables, body: Term, env: Environment, want: bool) -> bool:
+    if not variables:
+        try:
+            result = bool(_eval(body, env))
+        except EvaluationError:
+            # A binding for which the body is undefined neither witnesses
+            # an Exists nor refutes a Forall.
+            return want
+        return result
+    (name, sort), rest = variables[0], variables[1:]
+    domain = candidate_domain(sort, body, env)
+    for value in domain:
+        outcome = _quantify(rest, body, env.child({name: value}), want)
+        if want and not outcome:
+            return False
+        if not want and outcome:
+            return True
+    return want

@@ -1,0 +1,454 @@
+"""Built-in data-type operations.
+
+The paper's listings apply operations such as ``insert``, ``remove``,
+``delete`` and ``in`` to set-valued attributes, arithmetic and comparison
+operators in derivation rules and constraints, and aggregate operations
+(``count``) in query terms.  This module is the single registry of those
+operations: each :class:`Operation` bundles a sort-inference function
+(used by the static checker) with an implementation (used by the
+evaluator).
+
+A quirk of the paper's concrete syntax is that collection operations are
+written with either argument order -- ``insert(P, employees)`` in the
+DEPT listing but ``insert(Emps, tuple(n, b, s))`` in the ``emp_rel``
+listing.  The registry therefore normalises the argument order of the
+polymorphic collection operations: whichever argument is the collection
+is treated as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.diagnostics import EvaluationError, SortError
+from repro.datatypes.sorts import (
+    ANY,
+    BOOL,
+    DATE,
+    INTEGER,
+    ListSort,
+    MONEY,
+    MapSort,
+    NAT,
+    REAL,
+    SetSort,
+    Sort,
+    is_numeric,
+)
+from repro.datatypes.values import (
+    Value,
+    boolean,
+    date,
+    integer,
+    list_value,
+    map_value,
+    real,
+    set_value,
+    string,
+)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A built-in operation: name, arity, sort inference, implementation."""
+
+    name: str
+    arity: int
+    infer: Callable[[Sequence[Sort]], Sort]
+    apply: Callable[[Sequence[Value]], Value]
+    doc: str = ""
+
+
+def _is_collection(v: Value) -> bool:
+    return isinstance(v.sort, (SetSort, ListSort))
+
+
+def _collection_first(args: Sequence[Value], op: str) -> tuple:
+    """Normalise a (collection, element) pair regardless of given order."""
+    if len(args) != 2:
+        raise EvaluationError(f"{op} expects 2 arguments, got {len(args)}")
+    a, b = args
+    if _is_collection(a):
+        return a, b
+    if _is_collection(b):
+        return b, a
+    raise EvaluationError(f"{op} expects a set or list argument")
+
+
+def _numeric_result(sorts: Sequence[Sort]) -> Sort:
+    for s in sorts:
+        if not (is_numeric(s) or s is ANY or s.name == "any"):
+            raise SortError(f"expected a numeric sort, got {s}")
+    # money sits between integer and real in the promotion order.
+    order = {"nat": 0, "integer": 1, "money": 2, "real": 3, "any": 0}
+    best = max((order.get(s.name, 0) for s in sorts), default=1)
+    return (NAT, INTEGER, MONEY, REAL)[best]
+
+
+def _num(v: Value, op: str):
+    if not is_numeric(v.sort):
+        raise EvaluationError(f"{op} expects numeric arguments, got sort {v.sort}")
+    return v.payload
+
+
+def _wrap_numeric(result, sorts: Sequence[Sort]) -> Value:
+    sort = _numeric_result(sorts)
+    if sort in (NAT, INTEGER) and isinstance(result, float) and result.is_integer():
+        result = int(result)
+    if isinstance(result, float) and sort in (NAT, INTEGER):
+        sort = REAL
+    return Value(sort, result)
+
+
+def _arith(name: str, fn: Callable) -> Operation:
+    def apply(args: Sequence[Value]) -> Value:
+        x, y = (_num(a, name) for a in args)
+        try:
+            result = fn(x, y)
+        except ZeroDivisionError:
+            raise EvaluationError(f"division by zero in {name}")
+        return _wrap_numeric(result, [a.sort for a in args])
+
+    def infer(sorts: Sequence[Sort]) -> Sort:
+        return _numeric_result(sorts)
+
+    return Operation(name, 2, infer, apply, doc=f"numeric {name}")
+
+
+def _compare(name: str, fn: Callable) -> Operation:
+    def apply(args: Sequence[Value]) -> Value:
+        a, b = args
+        if is_numeric(a.sort) and is_numeric(b.sort):
+            return boolean(fn(a.payload, b.payload))
+        if a.sort != b.sort and not a.sort.is_compatible_with(b.sort):
+            raise EvaluationError(
+                f"cannot compare values of sorts {a.sort} and {b.sort}"
+            )
+        return boolean(fn(a.payload, b.payload))
+
+    return Operation(name, 2, lambda s: BOOL, apply, doc=f"comparison {name}")
+
+
+def _infer_elem(sort: Sort) -> Sort:
+    if isinstance(sort, (SetSort, ListSort)):
+        return sort.element
+    return ANY
+
+
+def _op_insert(args: Sequence[Value]) -> Value:
+    coll, elem = _collection_first(args, "insert")
+    if isinstance(coll.sort, SetSort):
+        return set_value(set(coll.payload) | {elem}, _join_elem(coll.sort.element, elem.sort))
+    return list_value(tuple(coll.payload) + (elem,), _join_elem(coll.sort.element, elem.sort))
+
+
+def _join_elem(current: Sort, incoming: Sort) -> Sort:
+    return incoming if current is ANY or current.name == "any" else current
+
+
+def _op_remove(args: Sequence[Value]) -> Value:
+    coll, elem = _collection_first(args, "remove")
+    if isinstance(coll.sort, SetSort):
+        return set_value(set(coll.payload) - {elem}, coll.sort.element)
+    return list_value((v for v in coll.payload if v != elem), coll.sort.element)
+
+
+def _op_in(args: Sequence[Value]) -> Value:
+    coll, elem = _collection_first(args, "in")
+    return boolean(elem in coll.payload)
+
+
+def _op_count(args: Sequence[Value]) -> Value:
+    (coll,) = args
+    if not _is_collection(coll) and not isinstance(coll.sort, MapSort):
+        raise EvaluationError(f"count expects a collection, got sort {coll.sort}")
+    return Value(NAT, len(coll.payload))
+
+
+def _op_union(args: Sequence[Value]) -> Value:
+    a, b = args
+    if not (isinstance(a.sort, SetSort) and isinstance(b.sort, SetSort)):
+        raise EvaluationError("union expects two sets")
+    return set_value(set(a.payload) | set(b.payload), a.sort.element)
+
+
+def _op_intersection(args: Sequence[Value]) -> Value:
+    a, b = args
+    if not (isinstance(a.sort, SetSort) and isinstance(b.sort, SetSort)):
+        raise EvaluationError("intersection expects two sets")
+    return set_value(set(a.payload) & set(b.payload), a.sort.element)
+
+
+def _op_difference(args: Sequence[Value]) -> Value:
+    a, b = args
+    if not (isinstance(a.sort, SetSort) and isinstance(b.sort, SetSort)):
+        raise EvaluationError("difference expects two sets")
+    return set_value(set(a.payload) - set(b.payload), a.sort.element)
+
+
+def _op_subset(args: Sequence[Value]) -> Value:
+    a, b = args
+    if not (isinstance(a.sort, SetSort) and isinstance(b.sort, SetSort)):
+        raise EvaluationError("subset expects two sets")
+    return boolean(set(a.payload) <= set(b.payload))
+
+
+def _op_isempty(args: Sequence[Value]) -> Value:
+    (coll,) = args
+    if not _is_collection(coll):
+        raise EvaluationError("isempty expects a collection")
+    return boolean(len(coll.payload) == 0)
+
+
+def _op_head(args: Sequence[Value]) -> Value:
+    (lst,) = args
+    if not isinstance(lst.sort, ListSort):
+        raise EvaluationError("head expects a list")
+    if not lst.payload:
+        raise EvaluationError("head of the empty list")
+    return lst.payload[0]
+
+
+def _op_tail(args: Sequence[Value]) -> Value:
+    (lst,) = args
+    if not isinstance(lst.sort, ListSort):
+        raise EvaluationError("tail expects a list")
+    if not lst.payload:
+        raise EvaluationError("tail of the empty list")
+    return list_value(lst.payload[1:], lst.sort.element)
+
+
+def _op_last(args: Sequence[Value]) -> Value:
+    (lst,) = args
+    if not isinstance(lst.sort, ListSort):
+        raise EvaluationError("last expects a list")
+    if not lst.payload:
+        raise EvaluationError("last of the empty list")
+    return lst.payload[-1]
+
+
+def _op_append(args: Sequence[Value]) -> Value:
+    coll, elem = _collection_first(args, "append")
+    if not isinstance(coll.sort, ListSort):
+        raise EvaluationError("append expects a list")
+    return list_value(tuple(coll.payload) + (elem,), _join_elem(coll.sort.element, elem.sort))
+
+
+def _op_concat(args: Sequence[Value]) -> Value:
+    a, b = args
+    if isinstance(a.sort, ListSort) and isinstance(b.sort, ListSort):
+        return list_value(tuple(a.payload) + tuple(b.payload), a.sort.element)
+    if a.sort.name == "string" and b.sort.name == "string":
+        return string(a.payload + b.payload)
+    raise EvaluationError("concat expects two lists or two strings")
+
+
+def _op_nth(args: Sequence[Value]) -> Value:
+    lst, idx = args
+    if not isinstance(lst.sort, ListSort):
+        raise EvaluationError("nth expects a list")
+    i = _num(idx, "nth")
+    if not 1 <= i <= len(lst.payload):
+        raise EvaluationError(f"nth index {i} out of range 1..{len(lst.payload)}")
+    return lst.payload[int(i) - 1]
+
+
+def _op_length(args: Sequence[Value]) -> Value:
+    (v,) = args
+    if isinstance(v.sort, ListSort) or v.sort.name == "string":
+        return Value(NAT, len(v.payload))
+    raise EvaluationError("length expects a list or string")
+
+
+def _op_get(args: Sequence[Value]) -> Value:
+    m, k = args
+    if not isinstance(m.sort, MapSort):
+        raise EvaluationError("get expects a map")
+    for key, val in m.payload:
+        if key == k:
+            return val
+    raise EvaluationError(f"map has no key {k}")
+
+
+def _op_put(args: Sequence[Value]) -> Value:
+    m, k, v = args
+    if not isinstance(m.sort, MapSort):
+        raise EvaluationError("put expects a map")
+    entries = {key: val for key, val in m.payload}
+    entries[k] = v
+    return map_value(entries, m.sort.key, m.sort.value)
+
+
+def _op_remove_key(args: Sequence[Value]) -> Value:
+    m, k = args
+    if not isinstance(m.sort, MapSort):
+        raise EvaluationError("remove_key expects a map")
+    entries = {key: val for key, val in m.payload if key != k}
+    return map_value(entries, m.sort.key, m.sort.value)
+
+
+def _op_dom(args: Sequence[Value]) -> Value:
+    (m,) = args
+    if not isinstance(m.sort, MapSort):
+        raise EvaluationError("dom expects a map")
+    return set_value((k for k, _ in m.payload), m.sort.key)
+
+
+def _op_has_key(args: Sequence[Value]) -> Value:
+    m, k = args
+    if not isinstance(m.sort, MapSort):
+        raise EvaluationError("has_key expects a map")
+    return boolean(any(key == k for key, _ in m.payload))
+
+
+def _aggregate(name: str, fn: Callable) -> Operation:
+    def apply(args: Sequence[Value]) -> Value:
+        (coll,) = args
+        if not _is_collection(coll):
+            raise EvaluationError(f"{name} expects a collection")
+        items = list(coll.payload)
+        if not items:
+            if name == "sum":
+                return integer(0)
+            raise EvaluationError(f"{name} of an empty collection")
+        payloads = [_num(v, name) for v in items]
+        result = fn(payloads)
+        if isinstance(result, float) and result.is_integer():
+            return integer(int(result))
+        return real(result) if isinstance(result, float) else integer(result)
+
+    return Operation(name, 1, lambda s: INTEGER, apply, doc=f"aggregate {name}")
+
+
+def _op_the(args: Sequence[Value]) -> Value:
+    """Extract the unique element of a singleton collection."""
+    (coll,) = args
+    if not _is_collection(coll):
+        raise EvaluationError("the expects a collection")
+    items = list(coll.payload)
+    if len(items) != 1:
+        raise EvaluationError(f"the expects a singleton, got {len(items)} elements")
+    return items[0]
+
+
+def _op_elems(args: Sequence[Value]) -> Value:
+    """The set of elements of a list."""
+    (lst,) = args
+    if not isinstance(lst.sort, ListSort):
+        raise EvaluationError("elems expects a list")
+    return set_value(lst.payload, lst.sort.element)
+
+
+def _op_mkdate(args: Sequence[Value]) -> Value:
+    y, m, d = (_num(a, "date") for a in args)
+    return date(int(y), int(m), int(d))
+
+
+def _op_not(args: Sequence[Value]) -> Value:
+    (v,) = args
+    return boolean(not bool(v))
+
+
+def _op_neg(args: Sequence[Value]) -> Value:
+    (v,) = args
+    n = _num(v, "neg")
+    return _wrap_numeric(-n, [v.sort if v.sort != NAT else INTEGER])
+
+
+def _bool_binop(name: str, fn: Callable) -> Operation:
+    def apply(args: Sequence[Value]) -> Value:
+        a, b = args
+        return boolean(fn(bool(a), bool(b)))
+
+    return Operation(name, 2, lambda s: BOOL, apply, doc=f"boolean {name}")
+
+
+def _infer_first_elem(sorts: Sequence[Sort]) -> Sort:
+    for s in sorts:
+        if isinstance(s, (SetSort, ListSort)):
+            return s.element
+    return ANY
+
+
+def _infer_first_coll(sorts: Sequence[Sort]) -> Sort:
+    for s in sorts:
+        if isinstance(s, (SetSort, ListSort)):
+            return s
+    return ANY
+
+
+BUILTIN_OPERATIONS: Dict[str, Operation] = {}
+
+
+def _register(op: Operation) -> None:
+    BUILTIN_OPERATIONS[op.name] = op
+
+
+for _op in (
+    _arith("+", lambda a, b: a + b),
+    _arith("-", lambda a, b: a - b),
+    _arith("*", lambda a, b: a * b),
+    _arith("/", lambda a, b: a / b),
+    _arith("div", lambda a, b: a // b),
+    _arith("mod", lambda a, b: a % b),
+    _compare("=", lambda a, b: a == b),
+    _compare("<>", lambda a, b: a != b),
+    _compare("<", lambda a, b: a < b),
+    _compare("<=", lambda a, b: a <= b),
+    _compare(">", lambda a, b: a > b),
+    _compare(">=", lambda a, b: a >= b),
+    Operation("insert", 2, _infer_first_coll, _op_insert, "add an element to a set/list"),
+    Operation("remove", 2, _infer_first_coll, _op_remove, "remove an element from a set/list"),
+    Operation("delete", 2, _infer_first_coll, _op_remove, "alias of remove (emp_rel listing)"),
+    Operation("in", 2, lambda s: BOOL, _op_in, "collection membership"),
+    Operation("count", 1, lambda s: NAT, _op_count, "cardinality"),
+    Operation("card", 1, lambda s: NAT, _op_count, "alias of count"),
+    Operation("union", 2, _infer_first_coll, _op_union, "set union"),
+    Operation("intersection", 2, _infer_first_coll, _op_intersection, "set intersection"),
+    Operation("difference", 2, _infer_first_coll, _op_difference, "set difference"),
+    Operation("subset", 2, lambda s: BOOL, _op_subset, "subset test"),
+    Operation("isempty", 1, lambda s: BOOL, _op_isempty, "emptiness test"),
+    Operation("head", 1, _infer_first_elem, _op_head, "first list element"),
+    Operation("tail", 1, _infer_first_coll, _op_tail, "list without its head"),
+    Operation("last", 1, _infer_first_elem, _op_last, "last list element"),
+    Operation("append", 2, _infer_first_coll, _op_append, "append an element to a list"),
+    Operation("concat", 2, _infer_first_coll, _op_concat, "list/string concatenation"),
+    Operation("nth", 2, _infer_first_elem, _op_nth, "1-based list indexing"),
+    Operation("length", 1, lambda s: NAT, _op_length, "list/string length"),
+    Operation("elems", 1, lambda s: _infer_first_coll(s), _op_elems, "set of list elements"),
+    Operation("get", 2, lambda s: ANY, _op_get, "map lookup"),
+    Operation("put", 3, _infer_first_coll, _op_put, "map update"),
+    Operation("remove_key", 2, _infer_first_coll, _op_remove_key, "map key removal"),
+    Operation("dom", 1, lambda s: ANY, _op_dom, "map domain"),
+    Operation("has_key", 2, lambda s: BOOL, _op_has_key, "map key test"),
+    _aggregate("sum", sum),
+    _aggregate("min", min),
+    _aggregate("max", max),
+    _aggregate("avg", lambda xs: sum(xs) / len(xs)),
+    Operation("the", 1, _infer_first_elem, _op_the, "unique element of a singleton"),
+    Operation("date", 3, lambda s: DATE, _op_mkdate, "construct a calendar date"),
+    Operation("not", 1, lambda s: BOOL, _op_not, "boolean negation"),
+    Operation("neg", 1, _numeric_result, _op_neg, "numeric negation"),
+    _bool_binop("and", lambda a, b: a and b),
+    _bool_binop("or", lambda a, b: a or b),
+    _bool_binop("implies", lambda a, b: (not a) or b),
+    _bool_binop("xor", lambda a, b: a != b),
+):
+    _register(_op)
+
+
+def apply_operation(name: str, args: List[Value]) -> Value:
+    """Apply the built-in operation ``name`` to ``args``.
+
+    Raises :class:`~repro.diagnostics.EvaluationError` if the operation is
+    unknown, the arity is wrong, or the arguments are ill-sorted.
+    """
+    op = BUILTIN_OPERATIONS.get(name)
+    if op is None:
+        raise EvaluationError(f"unknown operation {name!r}")
+    if len(args) != op.arity:
+        raise EvaluationError(
+            f"operation {name!r} expects {op.arity} arguments, got {len(args)}"
+        )
+    return op.apply(args)

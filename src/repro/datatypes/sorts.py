@@ -1,0 +1,193 @@
+"""The sort system underlying TROLL data values.
+
+Sorts classify data values.  The paper's listings use the base sorts
+``string``, ``date``, ``integer``, ``money``, ``nat``, ``bool``, ``real``
+and ``char``, the parametrized constructors ``set(...)``, ``list(...)``,
+``map(...)`` and ``tuple(field: sort, ...)``, and *identity sorts*: the
+sort of surrogates (object identities) of a class ``C``, written ``|C|``
+in TROLL concrete syntax (and often abbreviated to the bare class name in
+variable declarations, e.g. ``P: PERSON``).
+
+Sorts are immutable and hashable so they can serve as dictionary keys in
+signatures.  Sort compatibility is structural; :data:`ANY` is compatible
+with everything and is used by polymorphic built-in operations (e.g. the
+element sort of the empty set literal ``{}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Sort:
+    """A base sort, identified by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def is_compatible_with(self, other: "Sort") -> bool:
+        """Structural compatibility check used by the static checker."""
+        if self is ANY or other is ANY or self.name == "any" or other.name == "any":
+            return True
+        if type(self) is Sort and type(other) is Sort:
+            if self.name == other.name:
+                return True
+            # The numeric tower: nat <= integer <= money/real.
+            return (self.name in _NUMERIC and other.name in _NUMERIC)
+        return False
+
+
+@dataclass(frozen=True)
+class IdSort(Sort):
+    """The sort of object identities (surrogates) of class ``class_name``.
+
+    Written ``|C|`` in TROLL concrete syntax.
+    """
+
+    class_name: str = ""
+
+    def __str__(self) -> str:
+        return f"|{self.class_name}|"
+
+    def is_compatible_with(self, other: Sort) -> bool:
+        if other is ANY or other.name == "any":
+            return True
+        return isinstance(other, IdSort) and other.class_name == self.class_name
+
+
+@dataclass(frozen=True)
+class SetSort(Sort):
+    """``set(element)`` -- finite sets over an element sort."""
+
+    element: Sort = None  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return f"set({self.element})"
+
+    def is_compatible_with(self, other: Sort) -> bool:
+        if other is ANY or other.name == "any":
+            return True
+        return isinstance(other, SetSort) and self.element.is_compatible_with(other.element)
+
+
+@dataclass(frozen=True)
+class ListSort(Sort):
+    """``list(element)`` -- finite sequences over an element sort."""
+
+    element: Sort = None  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return f"list({self.element})"
+
+    def is_compatible_with(self, other: Sort) -> bool:
+        if other is ANY or other.name == "any":
+            return True
+        return isinstance(other, ListSort) and self.element.is_compatible_with(other.element)
+
+
+@dataclass(frozen=True)
+class MapSort(Sort):
+    """``map(key, value)`` -- finite maps from a key sort to a value sort."""
+
+    key: Sort = None  # type: ignore[assignment]
+    value: Sort = None  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return f"map({self.key}, {self.value})"
+
+    def is_compatible_with(self, other: Sort) -> bool:
+        if other is ANY or other.name == "any":
+            return True
+        return (
+            isinstance(other, MapSort)
+            and self.key.is_compatible_with(other.key)
+            and self.value.is_compatible_with(other.value)
+        )
+
+
+@dataclass(frozen=True)
+class TupleSort(Sort):
+    """``tuple(f1: s1, ..., fn: sn)`` -- records with named fields.
+
+    The paper uses ``tuple`` both as the sort constructor and as the value
+    constructor (`emp_rel`'s ``Emps : set(tuple(ename:string, ...))``).
+    """
+
+    fields: Tuple[Tuple[str, Sort], ...] = field(default=())
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{n}:{s}" for n, s in self.fields)
+        return f"tuple({inner})"
+
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(n for n, _ in self.fields)
+
+    def field_sort(self, name: str) -> Optional[Sort]:
+        for n, s in self.fields:
+            if n == name:
+                return s
+        return None
+
+    def is_compatible_with(self, other: Sort) -> bool:
+        if other is ANY or other.name == "any":
+            return True
+        if not isinstance(other, TupleSort):
+            return False
+        if len(self.fields) != len(other.fields):
+            return False
+        return all(
+            a[0] == b[0] and a[1].is_compatible_with(b[1])
+            for a, b in zip(self.fields, other.fields)
+        )
+
+
+_NUMERIC = frozenset({"nat", "integer", "money", "real"})
+
+#: The base sorts used throughout the paper's listings.
+NAT = Sort("nat")
+INTEGER = Sort("integer")
+REAL = Sort("real")
+MONEY = Sort("money")
+STRING = Sort("string")
+CHAR = Sort("char")
+BOOL = Sort("bool")
+DATE = Sort("date")
+#: Compatible with every sort; used by polymorphic operations.
+ANY = Sort("any")
+
+_BASE_SORTS = {
+    s.name: s
+    for s in (NAT, INTEGER, REAL, MONEY, STRING, CHAR, BOOL, DATE, ANY)
+}
+_BASE_SORTS["boolean"] = BOOL
+_BASE_SORTS["int"] = INTEGER
+
+
+def is_numeric(sort: Sort) -> bool:
+    """True for members of the numeric tower (nat, integer, money, real)."""
+    return type(sort) is Sort and sort.name in _NUMERIC
+
+
+def base_sort(name: str) -> Optional[Sort]:
+    """Look up a base sort by name, or ``None`` if unknown."""
+    return _BASE_SORTS.get(name)
+
+
+def parse_sort_name(name: str) -> Sort:
+    """Resolve a simple (non-parametrized) sort name.
+
+    Base sort names resolve to base sorts; anything else is treated as an
+    identity sort for a class of that name, matching the paper's usage of
+    bare class names as surrogate sorts (``manager: PERSON``).
+    """
+    known = base_sort(name)
+    if known is not None:
+        return known
+    if name.startswith("|") and name.endswith("|"):
+        return IdSort(name=name, class_name=name[1:-1])
+    return IdSort(name=f"|{name}|", class_name=name)

@@ -1,0 +1,243 @@
+"""The data-valued term language.
+
+Terms appear everywhere in a TROLL specification: on the right-hand side
+of valuation rules, inside permission and constraint formulas, in
+derivation rules of interfaces, and as event parameters.  This module
+defines the term AST; evaluation lives in
+:mod:`repro.datatypes.evaluator`.
+
+Formulas are simply terms of sort ``bool`` -- the connectives ``and``,
+``or``, ``not`` and ``⇒`` are ordinary operations, and the quantifiers
+:class:`Forall` / :class:`Exists` are term forms.  (Temporal formulas,
+which talk about an object's *history* rather than a single state, live
+in :mod:`repro.temporal`.)
+
+Quantifier semantics follow the *active domain* convention of relational
+calculus: a quantified variable of an identity sort ranges over the
+current population of the corresponding class, and a variable of a data
+sort ranges over the values harvested from the collections in scope (see
+:func:`repro.datatypes.evaluator.candidate_domain`).  This matches every
+quantified formula in the paper -- e.g. ``exists(s1: integer)
+in(Emps, tuple(n, b, s1))`` only ever needs salaries already in ``Emps``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+from repro.datatypes.sorts import Sort
+from repro.datatypes.values import Value
+from repro.diagnostics import SourcePosition
+
+
+@dataclass(frozen=True)
+class Term:
+    """Base class of all term forms."""
+
+    position: Optional[SourcePosition] = field(default=None, compare=False, repr=False)
+
+    def children(self) -> Sequence["Term"]:
+        """Immediate sub-terms, for generic traversals."""
+        return ()
+
+    def walk(self) -> Iterator["Term"]:
+        """Pre-order traversal of the term tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def free_variables(self) -> frozenset:
+        """Names of variables occurring free in this term."""
+        if isinstance(self, Var):
+            return frozenset({self.name})
+        if isinstance(self, (Forall, Exists)):
+            bound = {n for n, _ in self.variables}
+            return self.body.free_variables() - bound
+        result = set()
+        for child in self.children():
+            result |= child.free_variables()
+        return frozenset(result)
+
+
+@dataclass(frozen=True)
+class Lit(Term):
+    """A literal value."""
+
+    value: Value = None  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A variable reference (declared in a ``variables`` clause, bound by
+    a quantifier, or naming an event parameter)."""
+
+    name: str = ""
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SelfExpr(Term):
+    """``SELF`` / ``self`` -- the identity of the instance under
+    evaluation (used in selection clauses and interaction rules)."""
+
+    def __str__(self) -> str:
+        return "self"
+
+
+@dataclass(frozen=True)
+class Apply(Term):
+    """Application of a (built-in) operation to argument terms."""
+
+    op: str = ""
+    args: Tuple[Term, ...] = ()
+
+    def children(self) -> Sequence[Term]:
+        return self.args
+
+    def __str__(self) -> str:
+        if self.op in {"=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/",
+                       "and", "or", "implies", "in"} and len(self.args) == 2:
+            op = "=>" if self.op == "implies" else self.op
+            return f"({self.args[0]} {op} {self.args[1]})"
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.op}({inner})"
+
+
+@dataclass(frozen=True)
+class TupleCons(Term):
+    """``tuple(e1, ..., en)`` or ``tuple(f1: e1, ...)`` -- record creation.
+
+    Positional fields get their names from the expected tuple sort at
+    evaluation time (``field_names``), matching the paper's positional
+    usage ``tuple(n, b, s)``.
+    """
+
+    items: Tuple[Tuple[Optional[str], Term], ...] = ()
+    field_names: Tuple[str, ...] = ()
+
+    def children(self) -> Sequence[Term]:
+        return tuple(t for _, t in self.items)
+
+    def __str__(self) -> str:
+        inner = ", ".join(
+            f"{n}: {t}" if n else str(t) for n, t in self.items
+        )
+        return f"tuple({inner})"
+
+
+@dataclass(frozen=True)
+class SetCons(Term):
+    """``{e1, ..., en}`` -- set display (``{}`` is the empty set)."""
+
+    items: Tuple[Term, ...] = ()
+
+    def children(self) -> Sequence[Term]:
+        return self.items
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(t) for t in self.items) + "}"
+
+
+@dataclass(frozen=True)
+class ListCons(Term):
+    """``< e1, ..., en >`` -- list display."""
+
+    items: Tuple[Term, ...] = ()
+
+    def children(self) -> Sequence[Term]:
+        return self.items
+
+    def __str__(self) -> str:
+        return "<" + ", ".join(str(t) for t in self.items) + ">"
+
+
+@dataclass(frozen=True)
+class AttributeAccess(Term):
+    """``e.name`` -- attribute observation or tuple-field projection.
+
+    When ``e`` evaluates to an object identity the environment resolves
+    the observation against the named instance's current state
+    (``SELF.Dept``, ``D.id``); when ``e`` evaluates to a tuple value the
+    field is projected directly.  The pseudo-attribute ``surrogate``
+    yields the identity itself (``P.surrogate in D.employees``).
+    """
+
+    obj: Term = None  # type: ignore[assignment]
+    attribute: str = ""
+    args: Tuple[Term, ...] = ()
+
+    def children(self) -> Sequence[Term]:
+        return (self.obj,) + self.args
+
+    def __str__(self) -> str:
+        suffix = f"({', '.join(str(a) for a in self.args)})" if self.args else ""
+        return f"{self.obj}.{self.attribute}{suffix}"
+
+
+#: Component access shares the syntax and semantics of attribute access;
+#: the runtime resolves the name against components first, then
+#: attributes.  The alias documents intent at use sites.
+ComponentAccess = AttributeAccess
+
+
+@dataclass(frozen=True)
+class QueryOp(Term):
+    """A query-algebra operation with a binding parameter.
+
+    The paper's derivation rules use an object query algebra (Section
+    5.1, [SJ90]): ``select`` filters a collection of tuples by a formula
+    over the tuple's fields, ``project`` maps tuples to a subset of their
+    fields.  ``op`` is ``"select"`` or ``"project"``; ``param`` is the
+    filter formula resp. the tuple of field names; ``source`` is the
+    collection-valued term being queried.
+
+    Inside a ``select`` parameter formula, the fields of the tuple under
+    test are in scope as variables.
+    """
+
+    op: str = ""
+    param: object = None
+    source: Term = None  # type: ignore[assignment]
+
+    def children(self) -> Sequence[Term]:
+        kids = [self.source]
+        if isinstance(self.param, Term):
+            kids.append(self.param)
+        return tuple(kids)
+
+    def __str__(self) -> str:
+        if self.op == "project":
+            return f"project[{', '.join(self.param)}]({self.source})"
+        return f"select[{self.param}]({self.source})"
+
+
+@dataclass(frozen=True)
+class _Quantifier(Term):
+    """Shared structure of :class:`Forall` and :class:`Exists`."""
+
+    variables: Tuple[Tuple[str, Sort], ...] = ()
+    body: Term = None  # type: ignore[assignment]
+
+    def children(self) -> Sequence[Term]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        decls = ", ".join(f"{n}: {s}" for n, s in self.variables)
+        word = "for all" if isinstance(self, Forall) else "exists"
+        return f"{word}({decls} : {self.body})"
+
+
+@dataclass(frozen=True)
+class Forall(_Quantifier):
+    """``for all(x: S, ... : φ)`` -- universal quantification."""
+
+
+@dataclass(frozen=True)
+class Exists(_Quantifier):
+    """``exists(x: S, ... : φ)`` -- existential quantification."""

@@ -1,0 +1,302 @@
+"""Immutable, sort-tagged runtime values.
+
+Every datum flowing through the animator -- attribute observations, event
+parameters, identities -- is a :class:`Value`: a payload tagged with its
+:class:`~repro.datatypes.sorts.Sort`.  Values are immutable and hashable
+so that they can be elements of sets and keys of maps, which the paper's
+``set``/``map`` data-type constructors require.
+
+Construction helpers (:func:`integer`, :func:`string`, :func:`set_value`,
+:func:`tuple_value`, ...) are the intended public API; they normalise
+payloads into hashable canonical forms (``frozenset`` for sets, tuples
+for lists, sorted pair-tuples for maps).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional, Tuple
+
+from repro.datatypes.sorts import (
+    ANY,
+    BOOL,
+    DATE,
+    INTEGER,
+    MONEY,
+    NAT,
+    REAL,
+    STRING,
+    IdSort,
+    ListSort,
+    MapSort,
+    SetSort,
+    Sort,
+    TupleSort,
+    is_numeric,
+)
+
+
+@dataclass(frozen=True)
+class Value:
+    """A sort-tagged immutable datum.
+
+    Attributes:
+        sort: The value's sort.
+        payload: The canonical Python representation (see module docs).
+    """
+
+    sort: Sort
+    payload: Any
+
+    def __str__(self) -> str:
+        return format_value(self)
+
+    def __bool__(self) -> bool:
+        """Truthiness of a boolean value; other sorts raise."""
+        if self.sort.is_compatible_with(BOOL):
+            return bool(self.payload)
+        raise TypeError(f"value of sort {self.sort} is not a boolean")
+
+    # Ordering delegates to payloads; mixed-sort comparison orders by sort
+    # name so that sorted() over heterogeneous sets is deterministic.
+    def __lt__(self, other: "Value") -> bool:
+        if not isinstance(other, Value):
+            return NotImplemented
+        try:
+            if is_numeric(self.sort) and is_numeric(other.sort):
+                return self.payload < other.payload
+            if self.sort == other.sort:
+                return self.payload < other.payload
+        except TypeError:
+            pass
+        return (str(self.sort), str(self.payload)) < (str(other.sort), str(other.payload))
+
+    def __eq__(self, other: object) -> bool:
+        """Structural value equality.
+
+        Numeric values compare across the numeric tower; collection and
+        tuple values compare by *payload* (element/field sorts are a
+        static-checking artifact -- the empty set equals the empty set
+        whatever element sort was inferred, matching the paper's
+        ``Emps = {}`` tests).  Scalars and identities compare
+        sort-nominally.
+        """
+        if not isinstance(other, Value):
+            return NotImplemented
+        if is_numeric(self.sort) and is_numeric(other.sort):
+            return self.payload == other.payload
+        if isinstance(self.sort, (SetSort, ListSort, MapSort, TupleSort)):
+            return (
+                type(self.sort) is type(other.sort)
+                and self.payload == other.payload
+            )
+        return self.sort == other.sort and self.payload == other.payload
+
+    def __hash__(self) -> int:
+        if is_numeric(self.sort):
+            return hash(("__numeric__", self.payload))
+        if isinstance(self.sort, (SetSort, ListSort, MapSort, TupleSort)):
+            return hash((self.sort.name, self.payload))
+        return hash((self.sort, self.payload))
+
+
+#: Shared singletons for the boolean constants.
+TRUE = Value(BOOL, True)
+FALSE = Value(BOOL, False)
+
+
+def true() -> Value:
+    return TRUE
+
+
+def false() -> Value:
+    return FALSE
+
+
+def boolean(flag: bool) -> Value:
+    return TRUE if flag else FALSE
+
+
+def natural(n: int) -> Value:
+    if n < 0:
+        raise ValueError(f"nat value must be non-negative, got {n}")
+    return Value(NAT, int(n))
+
+
+def integer(n: int) -> Value:
+    return Value(INTEGER, int(n))
+
+
+def real(x: float) -> Value:
+    return Value(REAL, float(x))
+
+
+def money(amount: float) -> Value:
+    """A money amount.
+
+    Money is stored as a float of currency units; the paper never relies
+    on sub-cent precision, and comparisons in its listings are plain
+    numeric comparisons.
+    """
+    return Value(MONEY, float(amount))
+
+
+def string(text: str) -> Value:
+    return Value(STRING, str(text))
+
+
+def date(year: int, month: int, day: int) -> Value:
+    """A calendar date; validated via :mod:`datetime`."""
+    _dt.date(year, month, day)
+    return Value(DATE, (int(year), int(month), int(day)))
+
+
+def identity(class_name: str, key: Any) -> Value:
+    """An object identity (surrogate) for class ``class_name``.
+
+    ``key`` is any hashable datum distinguishing this identity -- for
+    classes with declared identification attributes it is the tuple of
+    those attribute values.
+    """
+    if isinstance(key, Value):
+        key = key.payload
+    if isinstance(key, list):
+        key = tuple(key)
+    return Value(IdSort(name=f"|{class_name}|", class_name=class_name), key)
+
+
+def _common_sort(items) -> Sort:
+    """The element sort shared by all items, or ``ANY`` for mixed or
+    empty collections (deterministic regardless of iteration order)."""
+    sorts = {item.sort for item in items}
+    if len(sorts) == 1:
+        return next(iter(sorts))
+    return ANY
+
+
+def set_value(items: Iterable[Value], element_sort: Optional[Sort] = None) -> Value:
+    """A finite set over ``element_sort`` (inferred if omitted)."""
+    frozen = frozenset(items)
+    if element_sort is None:
+        element_sort = _common_sort(frozen)
+    return Value(SetSort(name="set", element=element_sort), frozen)
+
+
+def empty_set(element_sort: Sort = ANY) -> Value:
+    return set_value((), element_sort)
+
+
+def list_value(items: Iterable[Value], element_sort: Optional[Sort] = None) -> Value:
+    """A finite sequence over ``element_sort`` (inferred if omitted)."""
+    tup = tuple(items)
+    if element_sort is None:
+        element_sort = _common_sort(tup)
+    return Value(ListSort(name="list", element=element_sort), tup)
+
+
+def empty_list(element_sort: Sort = ANY) -> Value:
+    return list_value((), element_sort)
+
+
+def map_value(
+    entries: Mapping[Value, Value],
+    key_sort: Optional[Sort] = None,
+    value_sort: Optional[Sort] = None,
+) -> Value:
+    """A finite map, canonicalised to a sorted tuple of pairs."""
+    pairs = tuple(sorted(entries.items(), key=lambda kv: kv[0]))
+    if key_sort is None:
+        key_sort = _common_sort([k for k, _ in pairs])
+    if value_sort is None:
+        value_sort = _common_sort([v for _, v in pairs])
+    return Value(MapSort(name="map", key=key_sort, value=value_sort), pairs)
+
+
+def tuple_value(fields: Mapping[str, Value]) -> Value:
+    """A record value with named fields, in declaration order."""
+    items: Tuple[Tuple[str, Value], ...] = tuple(fields.items())
+    sort = TupleSort(name="tuple", fields=tuple((n, v.sort) for n, v in items))
+    return Value(sort, items)
+
+
+def tuple_field(value: Value, name: str) -> Value:
+    """Project a field out of a tuple value."""
+    if not isinstance(value.sort, TupleSort):
+        raise TypeError(f"cannot project field {name!r} from sort {value.sort}")
+    for n, v in value.payload:
+        if n == name:
+            return v
+    raise KeyError(f"tuple has no field {name!r} (has {value.sort.field_names})")
+
+
+def from_python(obj: Any) -> Value:
+    """Best-effort conversion of a plain Python object to a :class:`Value`.
+
+    Convenience for tests and examples; library code constructs values
+    explicitly.
+    """
+    if isinstance(obj, Value):
+        return obj
+    if isinstance(obj, bool):
+        return boolean(obj)
+    if isinstance(obj, int):
+        return integer(obj)
+    if isinstance(obj, float):
+        return real(obj)
+    if isinstance(obj, str):
+        return string(obj)
+    if isinstance(obj, _dt.date):
+        return date(obj.year, obj.month, obj.day)
+    if isinstance(obj, (set, frozenset)):
+        return set_value(from_python(x) for x in obj)
+    if isinstance(obj, (list, tuple)):
+        return list_value(from_python(x) for x in obj)
+    if isinstance(obj, dict):
+        return tuple_value({str(k): from_python(v) for k, v in obj.items()})
+    raise TypeError(f"cannot convert {type(obj).__name__} to a Value")
+
+
+def to_python(value: Value) -> Any:
+    """Convert a :class:`Value` back to a plain Python object."""
+    sort = value.sort
+    if isinstance(sort, SetSort):
+        return {to_python(v) for v in value.payload}
+    if isinstance(sort, ListSort):
+        return [to_python(v) for v in value.payload]
+    if isinstance(sort, MapSort):
+        return {to_python(k): to_python(v) for k, v in value.payload}
+    if isinstance(sort, TupleSort):
+        return {n: to_python(v) for n, v in value.payload}
+    if sort == DATE:
+        return _dt.date(*value.payload)
+    return value.payload
+
+
+def format_value(value: Value) -> str:
+    """Render a value in TROLL-ish concrete syntax (deterministically)."""
+    sort = value.sort
+    if sort.is_compatible_with(BOOL) and isinstance(value.payload, bool):
+        return "true" if value.payload else "false"
+    if isinstance(sort, SetSort):
+        inner = ", ".join(format_value(v) for v in sorted(value.payload))
+        return "{" + inner + "}"
+    if isinstance(sort, ListSort):
+        inner = ", ".join(format_value(v) for v in value.payload)
+        return "<" + inner + ">"
+    if isinstance(sort, MapSort):
+        inner = ", ".join(
+            f"{format_value(k)} |-> {format_value(v)}" for k, v in value.payload
+        )
+        return "[" + inner + "]"
+    if isinstance(sort, TupleSort):
+        inner = ", ".join(f"{n}: {format_value(v)}" for n, v in value.payload)
+        return "tuple(" + inner + ")"
+    if isinstance(sort, IdSort):
+        return f"{sort.class_name}({value.payload!r})"
+    if sort == STRING:
+        return repr(value.payload)
+    if sort == DATE:
+        y, m, d = value.payload
+        return f"{y:04d}-{m:02d}-{d:02d}"
+    return str(value.payload)

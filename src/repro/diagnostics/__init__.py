@@ -1,0 +1,50 @@
+"""Source positions, diagnostics, and the exception hierarchy.
+
+Every error raised while processing a TROLL specification carries a
+:class:`SourcePosition` when one is known, so that tooling built on the
+library can point users at the offending line of specification text.
+
+The exception hierarchy mirrors the processing pipeline:
+
+* :class:`TrollError` -- root of everything raised by this library.
+* :class:`LexerError` / :class:`ParseError` -- concrete-syntax problems.
+* :class:`CheckError` -- static-semantics problems (unknown names, sort
+  mismatches, ill-formed sections).
+* :class:`RuntimeSpecError` -- problems detected while animating a
+  specification (permission denied, constraint violated, ...).
+* :class:`RefinementError` -- a formal-implementation conformance failure.
+"""
+
+from repro.diagnostics.positions import SourcePosition
+from repro.diagnostics.errors import (
+    CheckError,
+    ConstraintViolation,
+    Diagnostic,
+    DiagnosticBag,
+    EvaluationError,
+    LexerError,
+    LifecycleError,
+    ParseError,
+    PermissionDenied,
+    RefinementError,
+    RuntimeSpecError,
+    SortError,
+    TrollError,
+)
+
+__all__ = [
+    "CheckError",
+    "ConstraintViolation",
+    "Diagnostic",
+    "DiagnosticBag",
+    "EvaluationError",
+    "LexerError",
+    "LifecycleError",
+    "ParseError",
+    "PermissionDenied",
+    "RefinementError",
+    "RuntimeSpecError",
+    "SortError",
+    "SourcePosition",
+    "TrollError",
+]

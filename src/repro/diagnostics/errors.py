@@ -1,0 +1,148 @@
+"""Exception hierarchy and diagnostic collection.
+
+All exceptions raised by the library derive from :class:`TrollError` and
+carry an optional :class:`~repro.diagnostics.positions.SourcePosition`.
+
+Non-fatal findings (warnings, informational notes produced by the static
+checker) are collected in a :class:`DiagnosticBag` rather than raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.diagnostics.positions import SourcePosition
+
+
+class TrollError(Exception):
+    """Root of the library's exception hierarchy."""
+
+    def __init__(self, message: str, position: Optional[SourcePosition] = None):
+        self.message = message
+        self.position = position
+        if position is not None and position.line > 0:
+            super().__init__(f"{position}: {message}")
+        else:
+            super().__init__(message)
+
+
+class LexerError(TrollError):
+    """A character sequence that is not part of the TROLL lexical syntax."""
+
+
+class ParseError(TrollError):
+    """A token sequence that is not part of the TROLL concrete syntax."""
+
+
+class CheckError(TrollError):
+    """A static-semantics violation found by the checker."""
+
+
+class SortError(CheckError):
+    """A term whose sort does not match its context."""
+
+
+class RuntimeSpecError(TrollError):
+    """Base class for problems detected while animating a specification."""
+
+
+class PermissionDenied(RuntimeSpecError):
+    """An event occurrence whose permission precondition does not hold."""
+
+
+class ConstraintViolation(RuntimeSpecError):
+    """An event occurrence that would violate a static constraint."""
+
+
+class LifecycleError(RuntimeSpecError):
+    """An event occurrence outside the birth/death life cycle.
+
+    Raised e.g. for events on dead or not-yet-born instances, a second
+    birth event, or a death event on a never-born identity.
+    """
+
+
+class EvaluationError(RuntimeSpecError):
+    """A data-valued term that cannot be evaluated (unbound variable,
+    unknown operation, division by zero, ...)."""
+
+
+class RefinementError(TrollError):
+    """A formal-implementation conformance failure.
+
+    Carries the counterexample trace when one is available.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: Optional[SourcePosition] = None,
+        counterexample: Optional[list] = None,
+    ):
+        super().__init__(message, position)
+        self.counterexample = counterexample or []
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """A single non-fatal finding.
+
+    Attributes:
+        severity: ``"error"``, ``"warning"`` or ``"note"``.
+        message: Human-readable description.
+        position: Where in the source the finding applies.
+    """
+
+    severity: str
+    message: str
+    position: Optional[SourcePosition] = None
+
+    def __str__(self) -> str:
+        where = f"{self.position}: " if self.position else ""
+        return f"{where}{self.severity}: {self.message}"
+
+
+@dataclass
+class DiagnosticBag:
+    """An ordered collection of diagnostics produced by one pipeline stage."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def error(self, message: str, position: Optional[SourcePosition] = None) -> None:
+        self.diagnostics.append(Diagnostic("error", message, position))
+
+    def warning(self, message: str, position: Optional[SourcePosition] = None) -> None:
+        self.diagnostics.append(Diagnostic("warning", message, position))
+
+    def note(self, message: str, position: Optional[SourcePosition] = None) -> None:
+        self.diagnostics.append(Diagnostic("note", message, position))
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    def has_errors(self) -> bool:
+        return any(d.severity == "error" for d in self.diagnostics)
+
+    def extend(self, other: "DiagnosticBag") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    def raise_if_errors(self) -> None:
+        """Raise a :class:`CheckError` summarising all errors, if any."""
+        errs = self.errors
+        if errs:
+            summary = "; ".join(str(e) for e in errs[:10])
+            if len(errs) > 10:
+                summary += f" (and {len(errs) - 10} more)"
+            raise CheckError(summary, errs[0].position)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)

@@ -1,0 +1,44 @@
+"""Source positions for diagnostics.
+
+A :class:`SourcePosition` identifies a point in a specification text by
+line and column (both 1-based) plus an optional source name (typically a
+file name, or a synthetic label such as ``"<string>"`` for inline text).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class SourcePosition:
+    """A point in a specification source text.
+
+    Attributes:
+        line: 1-based line number.
+        column: 1-based column number.
+        source: Name of the source the position refers to.
+    """
+
+    line: int = 1
+    column: int = 1
+    source: str = "<string>"
+
+    def advanced(self, text: str) -> "SourcePosition":
+        """Return the position reached after reading ``text`` from here."""
+        line = self.line
+        column = self.column
+        for ch in text:
+            if ch == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+        return SourcePosition(line=line, column=column, source=self.source)
+
+    def __str__(self) -> str:
+        return f"{self.source}:{self.line}:{self.column}"
+
+
+#: A default position used when no better information is available.
+UNKNOWN_POSITION = SourcePosition(line=0, column=0, source="<unknown>")

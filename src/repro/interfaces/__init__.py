@@ -1,0 +1,17 @@
+"""Object interfaces: controlled access to existing objects (Section 5.1).
+
+"The basic idea of object interface definition is to give an access
+interface to existing objects.  That is, we do not define new objects by
+defining interfaces."  An :class:`InterfaceView` is the runtime face of
+one ``interface class``: it exposes exactly the listed attributes and
+events of the encapsulated object(s) -- a *projection* -- possibly
+extended with derived attributes (computed by the query algebra over the
+encapsulated state) and derived events (defined by process calling), and
+possibly restricted to a subpopulation by a ``selection`` clause.  Join
+views over several encapsulated classes expose rows of the implicit
+aggregation.
+"""
+
+from repro.interfaces.views import InterfaceView, open_view
+
+__all__ = ["InterfaceView", "open_view"]

@@ -1,0 +1,248 @@
+"""Runtime interface views.
+
+An :class:`InterfaceView` never copies objects: "interfaces have nothing
+to do with object copies; they are only a restricted view on existing
+objects".  Reads and calls go straight through to the encapsulated
+instances in the underlying :class:`~repro.runtime.objectbase.ObjectBase`;
+internal object identity is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datatypes.evaluator import evaluate
+from repro.datatypes.values import Value
+from repro.diagnostics import CheckError, EvaluationError, PermissionDenied
+from repro.lang import ast
+from repro.lang.checker import InterfaceInfo
+from repro.runtime.instance import Instance, SystemEnvironment
+from repro.runtime.objectbase import ObjectBase
+
+
+class InterfaceView:
+    """The runtime face of one ``interface class``."""
+
+    def __init__(self, system: ObjectBase, interface_name: str):
+        info = system.checked.interfaces.get(interface_name)
+        if info is None:
+            raise CheckError(f"unknown interface class {interface_name!r}")
+        self.system = system
+        self.info: InterfaceInfo = info
+        self.decl: ast.InterfaceClassDecl = info.decl
+        self._derivation = {r.attribute: r for r in self.decl.derivation_rules}
+        self._callings: Dict[str, List[ast.CallingRule]] = {}
+        for rule in self.decl.callings:
+            self._callings.setdefault(rule.trigger.name, []).append(rule)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.info.name
+
+    @property
+    def is_join(self) -> bool:
+        return self.info.is_join
+
+    @property
+    def visible_attributes(self) -> List[str]:
+        return list(self.info.attributes)
+
+    @property
+    def visible_events(self) -> List[str]:
+        return list(self.info.events)
+
+    def _single_class(self) -> str:
+        if self.is_join:
+            raise CheckError(
+                f"{self.name} is a join view; use rows() instead of "
+                "instance-keyed access"
+            )
+        return next(iter(self.info.encapsulating.values()))
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+
+    def _passes_selection(self, instances: Dict[str, Instance]) -> bool:
+        if self.decl.selection is None:
+            return True
+        bindings = {alias: inst.identity for alias, inst in instances.items()}
+        if len(instances) == 1:
+            instance = next(iter(instances.values()))
+            env = instance.environment(bindings)
+        else:
+            env = SystemEnvironment(self.system, bindings)
+        try:
+            return bool(evaluate(self.decl.selection, env))
+        except EvaluationError:
+            return False
+
+    def includes(self, key) -> bool:
+        """Is the instance with this identity in the view's
+        subpopulation?"""
+        instance = self.system.find(self._single_class(), key)
+        if instance is None or not instance.alive:
+            return False
+        alias = next(iter(self.info.encapsulating))
+        return self._passes_selection({alias: instance})
+
+    def instances(self) -> List[Value]:
+        """The identities currently visible through the view."""
+        class_name = self._single_class()
+        alias = next(iter(self.info.encapsulating))
+        return [
+            inst.identity
+            for inst in self.system.alive_instances(class_name)
+            if self._passes_selection({alias: inst})
+        ]
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def get(self, key, attribute: str, args: Sequence[object] = ()) -> Value:
+        """Observe a visible (possibly derived) attribute of one
+        instance."""
+        if attribute not in self.info.attributes:
+            raise CheckError(
+                f"{self.name} does not expose attribute {attribute!r}"
+            )
+        instance = self._visible_instance(key)
+        rule = self._derivation.get(attribute)
+        coerced = self.system._coerce_args(args)
+        if rule is None:
+            return instance.observe(attribute, coerced)
+        env = instance.environment()
+        if rule.params:
+            env = env.child(dict(zip(rule.params, coerced)))
+        return evaluate(rule.expr, env)
+
+    def _visible_instance(self, key) -> Instance:
+        class_name = self._single_class()
+        instance = self.system.instance(class_name, key)
+        alias = next(iter(self.info.encapsulating))
+        if not self._passes_selection({alias: instance}):
+            raise PermissionDenied(
+                f"{class_name}({instance.key!r}) is outside the {self.name} "
+                "selection"
+            )
+        return instance
+
+    # ------------------------------------------------------------------
+    # Manipulation
+    # ------------------------------------------------------------------
+
+    def call(self, key, event: str, args: Sequence[object] = ()) -> None:
+        """Drive a visible event of one instance through the view.
+
+        Pass-through events go straight to the encapsulated object;
+        derived events expand their calling rules (a target sequence is
+        one atomic unit)."""
+        if event not in self.info.events:
+            raise CheckError(f"{self.name} does not expose event {event!r}")
+        instance = self._visible_instance(key)
+        decl = self.info.events[event]
+        coerced = self.system._coerce_args(args)
+        if not decl.derived:
+            self.system.occur(instance, event, coerced)
+            return
+        if not self._callings.get(event):
+            raise CheckError(
+                f"{self.name}: derived event {event!r} has no calling rule"
+            )
+        pairs = _expand_derived(self, instance, event, coerced)
+        if not pairs:
+            raise PermissionDenied(
+                f"{self.name}.{event}: no calling rule applies to these "
+                "arguments"
+            )
+        self.system.occur_sequence(pairs)
+
+    def can_call(self, key, event: str, args: Sequence[object] = ()) -> bool:
+        """Would :meth:`call` succeed?  Checked by a dry transaction."""
+        if event not in self.info.events:
+            return False
+        try:
+            instance = self._visible_instance(key)
+        except (PermissionDenied, Exception):
+            return False
+        decl = self.info.events[event]
+        coerced = self.system._coerce_args(args)
+        if not decl.derived:
+            return self.system.is_permitted(instance, event, coerced)
+        try:
+            pairs = _expand_derived(self, instance, event, coerced)
+        except EvaluationError:
+            return False
+        if not pairs:
+            return False
+        return self.system.sequence_permitted(pairs)
+
+    # ------------------------------------------------------------------
+    # Join views
+    # ------------------------------------------------------------------
+
+    def rows(self) -> List[Dict[str, Value]]:
+        """All visible attribute rows of a join view (or, degenerately,
+        of a single-class view): one row per alias combination passing
+        the selection."""
+        aliases = list(self.info.encapsulating)
+        combos = self._combinations(aliases)
+        result: List[Dict[str, Value]] = []
+        for combo in combos:
+            if not self._passes_selection(combo):
+                continue
+            bindings = {alias: inst.identity for alias, inst in combo.items()}
+            env = SystemEnvironment(self.system, bindings)
+            if len(combo) == 1:
+                only = next(iter(combo.values()))
+                env = only.environment(bindings)
+            row: Dict[str, Value] = {}
+            for attr_name in self.info.attributes:
+                rule = self._derivation.get(attr_name)
+                if rule is not None:
+                    row[attr_name] = evaluate(rule.expr, env)
+                else:
+                    only = next(iter(combo.values()))
+                    row[attr_name] = only.observe(attr_name)
+            result.append(row)
+        return result
+
+    def _combinations(self, aliases: List[str]) -> List[Dict[str, Instance]]:
+        pools = [
+            self.system.alive_instances(self.info.encapsulating[alias])
+            for alias in aliases
+        ]
+        combos: List[Dict[str, Instance]] = [{}]
+        for alias, pool in zip(aliases, pools):
+            combos = [
+                {**combo, alias: instance} for combo in combos for instance in pool
+            ]
+        return combos
+
+
+def open_view(system: ObjectBase, interface_name: str) -> InterfaceView:
+    """Open the named interface over a running object base."""
+    return InterfaceView(system, interface_name)
+
+
+def _expand_derived(view: InterfaceView, instance: Instance, event: str, coerced):
+    """The (instance, event, args) sequence a derived event expands to."""
+    pairs: List[Tuple[Instance, str, Sequence[object]]] = []
+    for rule in view._callings.get(event, []):
+        bindings = view.system._match_event_args(
+            rule.trigger.args, coerced, instance, rule.variables
+        )
+        if bindings is None:
+            continue
+        env = instance.environment(bindings)
+        if rule.guard is not None and not bool(evaluate(rule.guard, env)):
+            continue
+        for target in rule.targets:
+            target_args = tuple(evaluate(a, env) for a in target.args)
+            pairs.append((instance, target.name, target_args))
+    return pairs

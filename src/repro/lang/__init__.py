@@ -1,0 +1,38 @@
+"""The TROLL language front end.
+
+This package implements a concrete syntax for TROLL covering every
+listing in the paper -- object classes (identification, attributes,
+events, valuation, permissions, constraints, components, inheriting,
+interaction), single objects, interface classes (encapsulating,
+selection, derivation rules, calling) and global interactions -- plus a
+static checker.
+
+Pipeline::
+
+    text --lexer--> tokens --parser--> Specification (AST)
+         --checker--> CheckedSpecification (resolved, sorted)
+
+ASCII spellings are accepted alongside the paper's typography: ``=>``
+for ``⇒``, ``>=`` for ``≥``, ``<=`` for ``≤``, ``--`` starts a line
+comment, ``(*`` ... ``*)`` a block comment.
+"""
+
+from repro.lang.lexer import Lexer, Token, tokenize
+from repro.lang.parser import parse_formula, parse_specification, parse_term
+from repro.lang import ast
+from repro.lang.checker import CheckedSpecification, check_specification
+from repro.lang.printer import print_specification, print_term
+
+__all__ = [
+    "CheckedSpecification",
+    "Lexer",
+    "Token",
+    "ast",
+    "check_specification",
+    "parse_formula",
+    "parse_specification",
+    "parse_term",
+    "print_specification",
+    "print_term",
+    "tokenize",
+]

@@ -1,0 +1,331 @@
+"""Abstract syntax of TROLL specifications.
+
+The nodes here mirror the paper's concrete syntax one-to-one: an
+:class:`ObjectClassDecl` is the ``object class ... end object class``
+construct with its ``identification`` and ``template`` sections, an
+:class:`InterfaceClassDecl` is the ``interface class ... encapsulating``
+construct, and so on.  Data-valued expressions inside rules reuse the
+term AST of :mod:`repro.datatypes.terms`; permission formulas reuse the
+temporal AST of :mod:`repro.temporal.formulas`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.datatypes.sorts import Sort
+from repro.datatypes.terms import Term
+from repro.diagnostics import SourcePosition
+from repro.temporal.formulas import Formula
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class of specification AST nodes."""
+
+    position: Optional[SourcePosition] = field(default=None, compare=False, repr=False)
+
+
+@dataclass(frozen=True)
+class VariableDecl(Node):
+    """``P: PERSON`` inside a ``variables`` clause."""
+
+    name: str = ""
+    sort: Sort = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class AttributeDecl(Node):
+    """An attribute of the object signature.
+
+    ``IncomeInYear(integer): money`` declares a *parametrized* attribute
+    (one observation per parameter tuple); ``derived`` attributes take
+    their value from a derivation rule instead of valuation rules.  A
+    missing result sort (``derived Salary;`` in the EMPL_IMPL listing)
+    is recorded as ``None`` and inferred by the checker.
+    """
+
+    name: str = ""
+    param_sorts: Tuple[Sort, ...] = ()
+    sort: Optional[Sort] = None
+    derived: bool = False
+    constant: bool = False
+    hidden: bool = False
+    initial: Optional[Term] = None
+
+
+@dataclass(frozen=True)
+class ComponentDecl(Node):
+    """A component slot of a complex object.
+
+    ``depts : LIST(DEPT)`` -- ``container`` is ``"list"``, ``"set"``,
+    ``"map"`` or ``None`` for a single-object component; ``target`` is
+    the component class name.
+    """
+
+    name: str = ""
+    container: Optional[str] = None
+    target: str = ""
+
+
+@dataclass(frozen=True)
+class QualifiedEventName(Node):
+    """A reference to an event of another object: ``PERSON.become_manager``
+    (in the MANAGER listing's birth-event binding)."""
+
+    object_name: str = ""
+    event_name: str = ""
+
+
+@dataclass(frozen=True)
+class EventDecl(Node):
+    """An event of the object signature.
+
+    ``kind`` is ``"normal"``, ``"birth"`` or ``"death"``; ``derived``
+    events are defined by calling rules rather than occurring freely;
+    ``active`` events may occur on the object's own initiative;
+    ``binding`` carries the base-object event a role's event is
+    identified with (``birth PERSON.become_manager;``).
+    """
+
+    name: str = ""
+    param_sorts: Tuple[Sort, ...] = ()
+    kind: str = "normal"
+    derived: bool = False
+    active: bool = False
+    #: hidden events occur only through event calling, never through the
+    #: public occur() API
+    hidden: bool = False
+    binding: Optional[QualifiedEventName] = None
+
+
+@dataclass(frozen=True)
+class Qualifier(Node):
+    """The target-object part of a qualified event reference.
+
+    ``DEPT(D)`` -- ``name="DEPT"``, ``key`` the identity term;
+    ``employees`` (a component or inherited-base alias) -- ``key=None``.
+    """
+
+    name: str = ""
+    key: Optional[Term] = None
+
+
+@dataclass(frozen=True)
+class EventRef(Node):
+    """An event term: optionally qualified name plus argument terms."""
+
+    qualifier: Optional[Qualifier] = None
+    name: str = ""
+    args: Tuple[Term, ...] = ()
+
+    def __str__(self) -> str:
+        prefix = ""
+        if self.qualifier is not None:
+            prefix = self.qualifier.name
+            if self.qualifier.key is not None:
+                prefix += f"({self.qualifier.key})"
+            prefix += "."
+        inner = ", ".join(str(a) for a in self.args)
+        suffix = f"({inner})" if self.args else ""
+        return f"{prefix}{self.name}{suffix}"
+
+
+@dataclass(frozen=True)
+class ValuationRule(Node):
+    """``{guard} => [event] attribute = expr;``
+
+    The guard and the right-hand side are evaluated in the state *before*
+    the occurrence ("a data-valued term evaluated before the event
+    occurrence which determines the new attribute value").
+    """
+
+    variables: Tuple[VariableDecl, ...] = ()
+    guard: Optional[Term] = None
+    event: EventRef = None  # type: ignore[assignment]
+    attribute: str = ""
+    attribute_args: Tuple[Term, ...] = ()
+    expr: Term = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class PermissionRule(Node):
+    """``{ formula } event;`` -- the event is admissible only in states
+    whose history satisfies the (past-temporal) formula."""
+
+    variables: Tuple[VariableDecl, ...] = ()
+    formula: Formula = None  # type: ignore[assignment]
+    event: EventRef = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ConstraintDecl(Node):
+    """``static Salary >= 5000;`` -- ``kind`` is ``"static"`` (must hold
+    in every state) or ``"initially"`` (must hold at birth)."""
+
+    kind: str = "static"
+    formula: Term = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class DerivationRule(Node):
+    """``attribute = expr;`` -- defines a derived attribute's value."""
+
+    attribute: str = ""
+    params: Tuple[str, ...] = ()
+    expr: Term = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class CallingRule(Node):
+    """``trigger >> target;`` or ``trigger >> (e1; e2; ...);``
+
+    Event calling: the occurrence of ``trigger`` forces the synchronous
+    occurrence of the targets.  A parenthesised sequence is a
+    *transaction call* ([SE90]): the targets occur as one atomic unit.
+    """
+
+    variables: Tuple[VariableDecl, ...] = ()
+    guard: Optional[Term] = None
+    trigger: EventRef = None  # type: ignore[assignment]
+    targets: Tuple[EventRef, ...] = ()
+    atomic: bool = False
+
+
+@dataclass(frozen=True)
+class ObligationDecl(Node):
+    """``obligations e1; e2;`` -- liveness: each listed event must have
+    occurred (with any arguments) before the object may die.
+
+    The paper names "liveness requirements (i.e. goals to be achieved by
+    the object in an active way)" among TROLL's features without showing
+    syntax; this is the executable reading: obligations strengthen the
+    permission of every death event by ``sometime(after(e))``.
+    """
+
+    event: str = ""
+
+
+@dataclass(frozen=True)
+class InheritingDecl(Node):
+    """``inheriting emp_rel as employees;`` -- incorporation of a base
+    object under a local alias (Section 5.2)."""
+
+    base_object: str = ""
+    alias: str = ""
+
+
+@dataclass(frozen=True)
+class TemplateDecl(Node):
+    """The ``template`` section: the structure/behaviour pattern."""
+
+    data_types: Tuple[Sort, ...] = ()
+    inheriting: Tuple[InheritingDecl, ...] = ()
+    attributes: Tuple[AttributeDecl, ...] = ()
+    components: Tuple[ComponentDecl, ...] = ()
+    events: Tuple[EventDecl, ...] = ()
+    valuation: Tuple[ValuationRule, ...] = ()
+    permissions: Tuple[PermissionRule, ...] = ()
+    constraints: Tuple[ConstraintDecl, ...] = ()
+    derivation_rules: Tuple[DerivationRule, ...] = ()
+    interactions: Tuple[CallingRule, ...] = ()
+    obligations: Tuple[ObligationDecl, ...] = ()
+    #: explicit life-cycle protocols (``behavior patterns (...)``);
+    #: each entry is an alternative pattern (repro.lang.patterns)
+    behavior_patterns: Tuple[object, ...] = ()
+
+
+@dataclass(frozen=True)
+class IdentificationDecl(Node):
+    """The ``identification`` section: the key attributes whose values
+    form object identities (declared "analogously to database keys")."""
+
+    data_types: Tuple[Sort, ...] = ()
+    attributes: Tuple[AttributeDecl, ...] = ()
+
+
+@dataclass(frozen=True)
+class ObjectClassDecl(Node):
+    """``object class NAME ... end object class NAME;``
+
+    ``view_of`` names the base class when this class is a specialization
+    or phase (``view of PERSON;`` in the MANAGER listing).
+    """
+
+    name: str = ""
+    identification: IdentificationDecl = field(default_factory=IdentificationDecl)
+    view_of: Optional[str] = None
+    template: TemplateDecl = field(default_factory=TemplateDecl)
+
+
+@dataclass(frozen=True)
+class ObjectDecl(Node):
+    """``object NAME ... end object NAME;`` -- a single named object."""
+
+    name: str = ""
+    template: TemplateDecl = field(default_factory=TemplateDecl)
+
+
+@dataclass(frozen=True)
+class EncapsulationDecl(Node):
+    """One entry of an interface's ``encapsulating`` list; the alias is
+    the join-view variable (``PERSON P``)."""
+
+    class_name: str = ""
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class InterfaceClassDecl(Node):
+    """``interface class NAME encapsulating ... end interface class``.
+
+    Projection is expressed by re-listing the visible attributes and
+    events; ``derived`` members get their meaning from the derivation
+    rules / calling section; ``selection`` restricts the visible
+    subpopulation.
+    """
+
+    name: str = ""
+    encapsulating: Tuple[EncapsulationDecl, ...] = ()
+    selection: Optional[Term] = None
+    attributes: Tuple[AttributeDecl, ...] = ()
+    events: Tuple[EventDecl, ...] = ()
+    derivation_rules: Tuple[DerivationRule, ...] = ()
+    callings: Tuple[CallingRule, ...] = ()
+
+
+@dataclass(frozen=True)
+class GlobalInteractionsDecl(Node):
+    """``global interactions`` -- event-calling rules between classes."""
+
+    variables: Tuple[VariableDecl, ...] = ()
+    rules: Tuple[CallingRule, ...] = ()
+
+
+@dataclass(frozen=True)
+class Specification(Node):
+    """A parsed specification document."""
+
+    object_classes: Tuple[ObjectClassDecl, ...] = ()
+    objects: Tuple[ObjectDecl, ...] = ()
+    interfaces: Tuple[InterfaceClassDecl, ...] = ()
+    global_interactions: Tuple[GlobalInteractionsDecl, ...] = ()
+
+    def class_by_name(self) -> Dict[str, ObjectClassDecl]:
+        return {c.name: c for c in self.object_classes}
+
+    def object_by_name(self) -> Dict[str, ObjectDecl]:
+        return {o.name: o for o in self.objects}
+
+    def interface_by_name(self) -> Dict[str, InterfaceClassDecl]:
+        return {i.name: i for i in self.interfaces}
+
+    def merged_with(self, other: "Specification") -> "Specification":
+        """A specification containing both documents' declarations."""
+        return Specification(
+            object_classes=self.object_classes + other.object_classes,
+            objects=self.objects + other.objects,
+            interfaces=self.interfaces + other.interfaces,
+            global_interactions=self.global_interactions + other.global_interactions,
+        )

@@ -1,0 +1,935 @@
+"""Static semantics: name resolution and (weak) sort checking.
+
+:func:`check_specification` validates a parsed
+:class:`~repro.lang.ast.Specification` and produces a
+:class:`CheckedSpecification` -- the resolved symbol tables the runtime
+compiler works from.
+
+Checks performed:
+
+* uniqueness of class/object/interface names and of member names within
+  a signature;
+* resolution of ``view of`` bases (with cycle detection), component
+  targets, ``inheriting`` bases, interface encapsulations;
+* signature inheritance: a view/phase class inherits the base's
+  attributes, events and identification (Section 4: "inheritance of
+  templates ... means the reuse of specification texts");
+* rule well-formedness: every event referenced by a valuation,
+  permission or calling rule is declared (calling-rule *triggers* that
+  are undeclared are registered as implicitly-declared derived events,
+  matching the ``ChangeSalary`` usage in the ``emp_rel`` listing, with a
+  note emitted); arities match; valuation targets are non-derived
+  attributes; derivation rules target derived attributes;
+* free-variable discipline: every variable in a rule body is bound by
+  the rule's ``variables`` clause, by an event parameter, by a
+  quantifier, or names an attribute/component in scope;
+* weak sort checking of rule bodies (mismatched valuation sorts and
+  ill-sorted operator applications are reported; ``any`` is permissive,
+  reflecting the "weak typing" this Python reproduction accepts).
+
+The checker never mutates the AST; all results live in the returned
+tables.  Errors are collected in a
+:class:`~repro.diagnostics.DiagnosticBag` -- callers decide whether to
+raise (:meth:`CheckedSpecification.raise_if_errors`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.datatypes.sorts import ANY, BOOL, IdSort, Sort
+from repro.datatypes.operations import BUILTIN_OPERATIONS
+from repro.datatypes.terms import (
+    Apply,
+    AttributeAccess,
+    Exists,
+    Forall,
+    ListCons,
+    Lit,
+    QueryOp,
+    SelfExpr,
+    SetCons,
+    Term,
+    TupleCons,
+    Var,
+)
+from repro.diagnostics import DiagnosticBag
+from repro.lang import ast
+from repro.temporal.formulas import (
+    After,
+    Always,
+    AndF,
+    ExistsF,
+    ForallF,
+    Formula,
+    ImpliesF,
+    NotF,
+    OrF,
+    Since,
+    Sometime,
+    StateProp,
+)
+
+
+@dataclass
+class ClassInfo:
+    """The resolved signature of one object class or single object."""
+
+    name: str
+    kind: str  # "class" or "object"
+    decl: object
+    base: Optional[str] = None
+    id_attributes: Tuple[ast.AttributeDecl, ...] = ()
+    attributes: Dict[str, ast.AttributeDecl] = field(default_factory=dict)
+    events: Dict[str, ast.EventDecl] = field(default_factory=dict)
+    components: Dict[str, ast.ComponentDecl] = field(default_factory=dict)
+    inheriting: Dict[str, str] = field(default_factory=dict)
+    template: ast.TemplateDecl = field(default_factory=ast.TemplateDecl)
+    #: Event names referenced as calling triggers without a declaration,
+    #: registered as implicit derived events.
+    implicit_events: Dict[str, ast.EventDecl] = field(default_factory=dict)
+
+    @property
+    def identity_sort(self) -> IdSort:
+        return IdSort(name=f"|{self.name}|", class_name=self.name)
+
+    def all_events(self) -> Dict[str, ast.EventDecl]:
+        merged = dict(self.events)
+        merged.update(self.implicit_events)
+        return merged
+
+    def birth_events(self) -> List[ast.EventDecl]:
+        return [e for e in self.events.values() if e.kind == "birth"]
+
+    def death_events(self) -> List[ast.EventDecl]:
+        return [e for e in self.events.values() if e.kind == "death"]
+
+
+@dataclass
+class InterfaceInfo:
+    """The resolved signature of one interface class."""
+
+    name: str
+    decl: ast.InterfaceClassDecl
+    #: alias -> encapsulated class name (single encapsulation uses the
+    #: class name itself as alias).
+    encapsulating: Dict[str, str] = field(default_factory=dict)
+    attributes: Dict[str, ast.AttributeDecl] = field(default_factory=dict)
+    events: Dict[str, ast.EventDecl] = field(default_factory=dict)
+
+    @property
+    def is_join(self) -> bool:
+        return len(self.encapsulating) > 1
+
+
+@dataclass
+class CheckedSpecification:
+    """A checked specification: AST plus resolved symbol tables."""
+
+    spec: ast.Specification
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    interfaces: Dict[str, InterfaceInfo] = field(default_factory=dict)
+    diagnostics: DiagnosticBag = field(default_factory=DiagnosticBag)
+
+    def raise_if_errors(self) -> "CheckedSpecification":
+        self.diagnostics.raise_if_errors()
+        return self
+
+    def class_info(self, name: str) -> ClassInfo:
+        return self.classes[name]
+
+
+class _Scope:
+    """A static scope: variable/attribute names with (optional) sorts."""
+
+    def __init__(self, parent: Optional["_Scope"] = None, permissive: bool = False):
+        self.parent = parent
+        self.names: Dict[str, Sort] = {}
+        #: A permissive scope resolves any name to ``any`` -- used inside
+        #: ``select[...]`` parameters whose source sort is unknown.
+        self.permissive = permissive
+
+    def declare(self, name: str, sort: Sort) -> None:
+        self.names[name] = sort
+
+    def sort_of(self, name: str) -> Optional[Sort]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            if scope.permissive:
+                return ANY
+            scope = scope.parent
+        return None
+
+    def child(self, permissive: bool = False) -> "_Scope":
+        return _Scope(self, permissive=permissive)
+
+
+class Checker:
+    """Single-use checker over one specification."""
+
+    def __init__(self, spec: ast.Specification):
+        self.spec = spec
+        self.out = CheckedSpecification(spec=spec)
+        self.bag = self.out.diagnostics
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(self) -> CheckedSpecification:
+        self._collect_declarations()
+        self._resolve_views()
+        for info in self.out.classes.values():
+            self._check_class(info)
+        for decl in self.spec.interfaces:
+            self._check_interface(decl)
+        for block in self.spec.global_interactions:
+            self._check_global_interactions(block)
+        return self.out
+
+    # ------------------------------------------------------------------
+    # Declaration collection
+    # ------------------------------------------------------------------
+
+    def _collect_declarations(self) -> None:
+        for decl in self.spec.object_classes:
+            if decl.name in self.out.classes:
+                self.bag.error(f"duplicate class name {decl.name!r}", decl.position)
+                continue
+            self.out.classes[decl.name] = self._class_info(decl, "class")
+        for decl in self.spec.objects:
+            if decl.name in self.out.classes:
+                self.bag.error(f"duplicate object name {decl.name!r}", decl.position)
+                continue
+            info = ClassInfo(
+                name=decl.name, kind="object", decl=decl, template=decl.template
+            )
+            self._fill_signature(info, decl.template)
+            self.out.classes[decl.name] = info
+
+    def _class_info(self, decl: ast.ObjectClassDecl, kind: str) -> ClassInfo:
+        info = ClassInfo(
+            name=decl.name,
+            kind=kind,
+            decl=decl,
+            base=decl.view_of,
+            id_attributes=decl.identification.attributes,
+            template=decl.template,
+        )
+        for attr in decl.identification.attributes:
+            info.attributes[attr.name] = attr
+        self._fill_signature(info, decl.template)
+        return info
+
+    def _fill_signature(self, info: ClassInfo, template: ast.TemplateDecl) -> None:
+        for attr in template.attributes:
+            if attr.name in info.attributes:
+                self.bag.error(
+                    f"duplicate attribute {attr.name!r} in {info.name}", attr.position
+                )
+            info.attributes[attr.name] = attr
+        for comp in template.components:
+            if comp.name in info.attributes or comp.name in info.components:
+                self.bag.error(
+                    f"duplicate member {comp.name!r} in {info.name}", comp.position
+                )
+            info.components[comp.name] = comp
+        for event in template.events:
+            if event.name in info.events:
+                self.bag.error(
+                    f"duplicate event {event.name!r} in {info.name}", event.position
+                )
+            info.events[event.name] = event
+        for inh in template.inheriting:
+            info.inheriting[inh.alias] = inh.base_object
+
+    # ------------------------------------------------------------------
+    # View (specialization / phase) resolution
+    # ------------------------------------------------------------------
+
+    def _resolve_views(self) -> None:
+        for info in list(self.out.classes.values()):
+            if info.base is None:
+                continue
+            chain = self._base_chain(info)
+            if chain is None:
+                continue
+            for base_name in chain:
+                base = self.out.classes[base_name]
+                for name, attr in base.attributes.items():
+                    info.attributes.setdefault(name, attr)
+                for name, event in base.events.items():
+                    existing = info.events.get(name)
+                    if existing is None:
+                        # Inherited events lose their birth/death role in
+                        # the view unless re-declared: a phase is not
+                        # born/killed by the base's birth/death.
+                        inherited = ast.EventDecl(
+                            position=event.position,
+                            name=event.name,
+                            param_sorts=event.param_sorts,
+                            kind="normal" if event.kind in ("birth", "death") else event.kind,
+                            derived=event.derived,
+                            active=event.active,
+                            binding=ast.QualifiedEventName(
+                                object_name=base_name, event_name=event.name
+                            ),
+                        )
+                        info.events[name] = inherited
+                for name, comp in base.components.items():
+                    info.components.setdefault(name, comp)
+                if not info.id_attributes:
+                    info.id_attributes = base.id_attributes
+                    for attr in base.id_attributes:
+                        info.attributes.setdefault(attr.name, attr)
+
+    def _base_chain(self, info: ClassInfo) -> Optional[List[str]]:
+        """The view-of chain from direct base to root, or None on error."""
+        chain: List[str] = []
+        seen: Set[str] = {info.name}
+        current = info.base
+        while current is not None:
+            if current not in self.out.classes:
+                self.bag.error(
+                    f"{info.name}: unknown base class {current!r} in 'view of'",
+                    getattr(info.decl, "position", None),
+                )
+                return None
+            if current in seen:
+                self.bag.error(
+                    f"cyclic 'view of' chain through {current!r}",
+                    getattr(info.decl, "position", None),
+                )
+                return None
+            seen.add(current)
+            chain.append(current)
+            current = self.out.classes[current].base
+        return chain
+
+    # ------------------------------------------------------------------
+    # Class body checks
+    # ------------------------------------------------------------------
+
+    def _check_class(self, info: ClassInfo) -> None:
+        template = info.template
+        for comp in template.components:
+            if comp.target not in self.out.classes:
+                self.bag.error(
+                    f"{info.name}: unknown component class {comp.target!r}",
+                    comp.position,
+                )
+        for alias, base in info.inheriting.items():
+            if base not in self.out.classes:
+                self.bag.error(
+                    f"{info.name}: unknown base object {base!r} in 'inheriting'",
+                    template.position,
+                )
+        if info.kind == "class" and not info.id_attributes and info.base is None:
+            self.bag.warning(
+                f"{info.name}: object class without identification attributes",
+                getattr(info.decl, "position", None),
+            )
+
+        # Triggers of calling rules may be implicitly-declared derived
+        # events (the emp_rel ChangeSalary idiom); register them first so
+        # later references resolve.
+        for rule in template.interactions:
+            name = rule.trigger.name
+            if rule.trigger.qualifier is None and name not in info.all_events():
+                scope = self._rule_scope(info, rule.variables)
+                param_sorts = tuple(
+                    self._infer(arg, scope, info) for arg in rule.trigger.args
+                )
+                info.implicit_events[name] = ast.EventDecl(
+                    position=rule.position,
+                    name=name,
+                    param_sorts=param_sorts,
+                    kind="normal",
+                    derived=True,
+                )
+                self.bag.note(
+                    f"{info.name}: calling trigger {name!r} registered as an "
+                    "implicitly-declared derived event",
+                    rule.position,
+                )
+
+        for rule in template.valuation:
+            self._check_valuation_rule(info, rule)
+        for rule in template.permissions:
+            self._check_permission_rule(info, rule)
+        for constraint in template.constraints:
+            scope = self._rule_scope(info, ())
+            self._check_term(constraint.formula, scope, info, f"{info.name} constraint")
+        for attr in info.attributes.values():
+            if attr.initial is not None:
+                scope = self._rule_scope(info, ())
+                initial_sort = self._check_term(
+                    attr.initial, scope, info, f"{info.name} initially"
+                )
+                if (
+                    attr.sort is not None
+                    and initial_sort is not None
+                    and not initial_sort.is_compatible_with(attr.sort)
+                ):
+                    self.bag.error(
+                        f"{info.name}: initial value of {attr.name!r} has sort "
+                        f"{initial_sort}, attribute declared {attr.sort}",
+                        attr.position,
+                    )
+                if attr.derived:
+                    self.bag.error(
+                        f"{info.name}: derived attribute {attr.name!r} cannot "
+                        "have an initial value",
+                        attr.position,
+                    )
+        for rule in template.derivation_rules:
+            self._check_derivation_rule(info, rule)
+        for rule in template.interactions:
+            self._check_calling_rule(info, rule)
+        for pattern in template.behavior_patterns:
+            unknown = sorted(set(pattern.alphabet()) - set(info.all_events()))
+            if unknown:
+                self.bag.error(
+                    f"{info.name}: behaviour pattern references unknown "
+                    f"event(s) {unknown}",
+                    getattr(info.decl, "position", None),
+                )
+        for obligation in template.obligations:
+            if obligation.event not in info.all_events():
+                self.bag.error(
+                    f"{info.name}: obligation references unknown event "
+                    f"{obligation.event!r}",
+                    obligation.position,
+                )
+            elif not info.death_events():
+                self.bag.warning(
+                    f"{info.name}: obligations without a death event are "
+                    "never enforced",
+                    obligation.position,
+                )
+
+    def _rule_scope(
+        self, info: ClassInfo, variables: Tuple[ast.VariableDecl, ...]
+    ) -> _Scope:
+        scope = _Scope()
+        for attr in info.attributes.values():
+            scope.declare(attr.name, attr.sort or ANY)
+        for comp in info.components.values():
+            target_sort: Sort = IdSort(
+                name=f"|{comp.target}|", class_name=comp.target
+            )
+            if comp.container == "list":
+                from repro.datatypes.sorts import ListSort
+
+                target_sort = ListSort(name="list", element=target_sort)
+            elif comp.container == "set":
+                from repro.datatypes.sorts import SetSort
+
+                target_sort = SetSort(name="set", element=target_sort)
+            scope.declare(comp.name, target_sort)
+        for alias in info.inheriting:
+            scope.declare(alias, ANY)
+        for var in variables:
+            scope.declare(var.name, var.sort)
+        return scope
+
+    def _bind_event_args(
+        self, info: ClassInfo, event: ast.EventRef, scope: _Scope, context: str
+    ) -> None:
+        """Declare `Var` arguments of a rule's event as binders."""
+        decl = info.all_events().get(event.name) if event.qualifier is None else None
+        for index, arg in enumerate(event.args):
+            if isinstance(arg, Var) and scope.sort_of(arg.name) is None:
+                sort = ANY
+                if decl is not None and index < len(decl.param_sorts):
+                    sort = decl.param_sorts[index]
+                scope.declare(arg.name, sort)
+
+    def _check_event_ref(
+        self, info: ClassInfo, event: ast.EventRef, scope: _Scope, context: str
+    ) -> None:
+        if event.qualifier is None:
+            decl = info.all_events().get(event.name)
+            if decl is None:
+                self.bag.error(
+                    f"{context}: unknown event {event.name!r}", event.position
+                )
+                return
+            if len(event.args) != len(decl.param_sorts):
+                self.bag.error(
+                    f"{context}: event {event.name!r} expects "
+                    f"{len(decl.param_sorts)} argument(s), got {len(event.args)}",
+                    event.position,
+                )
+            for arg in event.args:
+                self._check_term(arg, scope, info, context)
+            return
+        # Qualified: resolve the qualifier.
+        qualifier = event.qualifier
+        target_info: Optional[ClassInfo] = None
+        if qualifier.name == "self":
+            target_info = info
+        elif qualifier.name in info.components:
+            target_info = self.out.classes.get(info.components[qualifier.name].target)
+        elif qualifier.name in info.inheriting:
+            target_info = self.out.classes.get(info.inheriting[qualifier.name])
+        elif qualifier.name in self.out.classes:
+            target_info = self.out.classes[qualifier.name]
+            if qualifier.key is not None:
+                self._check_term(qualifier.key, scope, info, context)
+        else:
+            self.bag.error(
+                f"{context}: cannot resolve qualifier {qualifier.name!r}",
+                event.position,
+            )
+            return
+        if target_info is None:
+            return  # unknown component class already reported
+        decl = target_info.all_events().get(event.name)
+        if decl is None:
+            self.bag.error(
+                f"{context}: {target_info.name} has no event {event.name!r}",
+                event.position,
+            )
+            return
+        if len(event.args) != len(decl.param_sorts):
+            self.bag.error(
+                f"{context}: event {target_info.name}.{event.name!r} expects "
+                f"{len(decl.param_sorts)} argument(s), got {len(event.args)}",
+                event.position,
+            )
+        for arg in event.args:
+            self._check_term(arg, scope, info, context)
+
+    def _check_valuation_rule(self, info: ClassInfo, rule: ast.ValuationRule) -> None:
+        context = f"{info.name} valuation"
+        scope = self._rule_scope(info, rule.variables)
+        self._bind_event_args(info, rule.event, scope, context)
+        self._check_event_ref(info, rule.event, scope, context)
+        attr = info.attributes.get(rule.attribute)
+        if attr is None and rule.attribute in info.components:
+            pass  # valuation may manage a component slot (TheCompany's depts)
+        elif attr is None:
+            self.bag.error(
+                f"{context}: unknown attribute {rule.attribute!r}", rule.position
+            )
+        else:
+            if attr.constant:
+                event_decl = info.all_events().get(rule.event.name)
+                if event_decl is not None and event_decl.kind != "birth":
+                    self.bag.error(
+                        f"{context}: constant attribute {rule.attribute!r} "
+                        "may only be set by a birth event",
+                        rule.position,
+                    )
+            if attr.derived:
+                self.bag.error(
+                    f"{context}: derived attribute {rule.attribute!r} cannot be "
+                    "the target of a valuation rule",
+                    rule.position,
+                )
+            if len(rule.attribute_args) != len(attr.param_sorts):
+                self.bag.error(
+                    f"{context}: attribute {rule.attribute!r} expects "
+                    f"{len(attr.param_sorts)} parameter(s), got "
+                    f"{len(rule.attribute_args)}",
+                    rule.position,
+                )
+        if rule.guard is not None:
+            self._check_term(rule.guard, scope, info, context)
+        expr_sort = self._check_term(rule.expr, scope, info, context)
+        if (
+            attr is not None
+            and attr.sort is not None
+            and expr_sort is not None
+            and not expr_sort.is_compatible_with(attr.sort)
+        ):
+            self.bag.error(
+                f"{context}: rule for {rule.attribute!r} has sort {expr_sort}, "
+                f"attribute declared {attr.sort}",
+                rule.position,
+            )
+
+    def _check_permission_rule(self, info: ClassInfo, rule: ast.PermissionRule) -> None:
+        context = f"{info.name} permission"
+        scope = self._rule_scope(info, rule.variables)
+        self._bind_event_args(info, rule.event, scope, context)
+        self._check_event_ref(info, rule.event, scope, context)
+        self._check_formula(rule.formula, scope, info, context)
+
+    def _check_derivation_rule(self, info: ClassInfo, rule: ast.DerivationRule) -> None:
+        context = f"{info.name} derivation"
+        attr = info.attributes.get(rule.attribute)
+        if attr is None:
+            self.bag.error(
+                f"{context}: unknown attribute {rule.attribute!r}", rule.position
+            )
+        elif not attr.derived:
+            self.bag.error(
+                f"{context}: attribute {rule.attribute!r} is not declared derived",
+                rule.position,
+            )
+        scope = self._rule_scope(info, ())
+        for param in rule.params:
+            scope.declare(param, ANY)
+        self._check_term(rule.expr, scope, info, context)
+
+    def _check_calling_rule(self, info: ClassInfo, rule: ast.CallingRule) -> None:
+        context = f"{info.name} interaction"
+        scope = self._rule_scope(info, rule.variables)
+        self._bind_event_args(info, rule.trigger, scope, context)
+        self._check_event_ref(info, rule.trigger, scope, context)
+        if rule.guard is not None:
+            self._check_term(rule.guard, scope, info, context)
+        for target in rule.targets:
+            self._check_event_ref(info, target, scope, context)
+
+    # ------------------------------------------------------------------
+    # Interfaces
+    # ------------------------------------------------------------------
+
+    def _check_interface(self, decl: ast.InterfaceClassDecl) -> None:
+        if decl.name in self.out.interfaces or decl.name in self.out.classes:
+            self.bag.error(f"duplicate interface name {decl.name!r}", decl.position)
+            return
+        info = InterfaceInfo(name=decl.name, decl=decl)
+        for enc in decl.encapsulating:
+            if enc.class_name not in self.out.classes:
+                self.bag.error(
+                    f"{decl.name}: unknown encapsulated class {enc.class_name!r}",
+                    enc.position,
+                )
+                continue
+            alias = enc.alias or enc.class_name
+            if alias in info.encapsulating:
+                self.bag.error(
+                    f"{decl.name}: duplicate encapsulation alias {alias!r}",
+                    enc.position,
+                )
+            info.encapsulating[alias] = enc.class_name
+        bases = [
+            self.out.classes[c]
+            for c in info.encapsulating.values()
+            if c in self.out.classes
+        ]
+
+        derived_rule_names = {r.attribute for r in decl.derivation_rules}
+        for attr in decl.attributes:
+            info.attributes[attr.name] = attr
+            hidden_in_base = any(
+                attr.name in b.attributes and b.attributes[attr.name].hidden
+                for b in bases
+            )
+            if hidden_in_base and not attr.derived:
+                self.bag.error(
+                    f"{decl.name}: attribute {attr.name!r} is hidden in the "
+                    "encapsulated class and cannot be projected",
+                    attr.position,
+                )
+            if attr.derived:
+                if attr.name not in derived_rule_names:
+                    self.bag.error(
+                        f"{decl.name}: derived attribute {attr.name!r} has no "
+                        "derivation rule",
+                        attr.position,
+                    )
+                continue
+            if not any(attr.name in b.attributes for b in bases) and not any(
+                attr.name in (a.name for a in b.id_attributes) for b in bases
+            ):
+                if not info.is_join:
+                    self.bag.error(
+                        f"{decl.name}: attribute {attr.name!r} not found in "
+                        "the encapsulated class",
+                        attr.position,
+                    )
+                elif attr.name not in derived_rule_names:
+                    self.bag.error(
+                        f"{decl.name}: join-view attribute {attr.name!r} needs "
+                        "a derivation rule",
+                        attr.position,
+                    )
+
+        calling_triggers = {r.trigger.name for r in decl.callings}
+        for event in decl.events:
+            info.events[event.name] = event
+            if any(
+                event.name in b.all_events() and b.all_events()[event.name].hidden
+                for b in bases
+            ) and not event.derived:
+                self.bag.error(
+                    f"{decl.name}: event {event.name!r} is hidden in the "
+                    "encapsulated class and cannot be projected",
+                    event.position,
+                )
+            if event.derived:
+                if event.name not in calling_triggers:
+                    self.bag.error(
+                        f"{decl.name}: derived event {event.name!r} has no "
+                        "calling rule",
+                        event.position,
+                    )
+                continue
+            if not any(event.name in b.all_events() for b in bases):
+                self.bag.error(
+                    f"{decl.name}: event {event.name!r} not found in the "
+                    "encapsulated class(es)",
+                    event.position,
+                )
+
+        # Selection and derivation bodies: names resolve against the
+        # union of base attributes, the aliases, and SELF.
+        scope = _Scope()
+        for base in bases:
+            for attr_name, attr in base.attributes.items():
+                scope.declare(attr_name, attr.sort or ANY)
+        for alias, class_name in info.encapsulating.items():
+            scope.declare(alias, IdSort(name=f"|{class_name}|", class_name=class_name))
+        base_info = bases[0] if bases else None
+        if decl.selection is not None and base_info is not None:
+            self._check_term(decl.selection, scope, base_info, f"{decl.name} selection")
+        for rule in decl.derivation_rules:
+            rule_scope = scope.child()
+            for param in rule.params:
+                rule_scope.declare(param, ANY)
+            if base_info is not None:
+                self._check_term(
+                    rule.expr, rule_scope, base_info, f"{decl.name} derivation"
+                )
+        for rule in decl.callings:
+            if base_info is not None:
+                rule_scope = scope.child()
+                for var in rule.variables:
+                    rule_scope.declare(var.name, var.sort)
+                self._bind_event_args(base_info, rule.trigger, rule_scope, decl.name)
+                for target in rule.targets:
+                    self._check_event_ref(base_info, target, rule_scope, decl.name)
+
+        self.out.interfaces[decl.name] = info
+
+    # ------------------------------------------------------------------
+    # Global interactions
+    # ------------------------------------------------------------------
+
+    def _check_global_interactions(self, block: ast.GlobalInteractionsDecl) -> None:
+        context = "global interactions"
+        scope = _Scope()
+        for var in block.variables:
+            scope.declare(var.name, var.sort)
+        for rule in block.rules:
+            for ref in (rule.trigger,) + rule.targets:
+                if ref.qualifier is None:
+                    self.bag.error(
+                        f"{context}: event reference {ref.name!r} must be "
+                        "class-qualified",
+                        ref.position,
+                    )
+                    continue
+                target_info = self.out.classes.get(ref.qualifier.name)
+                if target_info is None:
+                    self.bag.error(
+                        f"{context}: unknown class {ref.qualifier.name!r}",
+                        ref.position,
+                    )
+                    continue
+                decl = target_info.all_events().get(ref.name)
+                if decl is None:
+                    self.bag.error(
+                        f"{context}: {target_info.name} has no event {ref.name!r}",
+                        ref.position,
+                    )
+                    continue
+                if len(ref.args) != len(decl.param_sorts):
+                    self.bag.error(
+                        f"{context}: event {target_info.name}.{ref.name!r} "
+                        f"expects {len(decl.param_sorts)} argument(s), got "
+                        f"{len(ref.args)}",
+                        ref.position,
+                    )
+
+    # ------------------------------------------------------------------
+    # Term / formula checking
+    # ------------------------------------------------------------------
+
+    def _check_term(
+        self, term: Term, scope: _Scope, info: ClassInfo, context: str
+    ) -> Optional[Sort]:
+        sort = self._infer(term, scope, info, context)
+        return sort
+
+    def _infer(
+        self,
+        term: Term,
+        scope: _Scope,
+        info: ClassInfo,
+        context: str = "",
+    ) -> Sort:
+        if isinstance(term, Lit):
+            return term.value.sort
+        if isinstance(term, Var):
+            sort = scope.sort_of(term.name)
+            if sort is None:
+                self.bag.error(
+                    f"{context}: unbound name {term.name!r}", term.position
+                )
+                return ANY
+            return sort
+        if isinstance(term, SelfExpr):
+            return info.identity_sort
+        if isinstance(term, Apply):
+            arg_sorts = [self._infer(a, scope, info, context) for a in term.args]
+            op = BUILTIN_OPERATIONS.get(term.op)
+            if op is None:
+                attr = info.attributes.get(term.op)
+                if attr is not None and attr.param_sorts:
+                    if len(term.args) != len(attr.param_sorts):
+                        self.bag.error(
+                            f"{context}: attribute {term.op!r} expects "
+                            f"{len(attr.param_sorts)} parameter(s), got "
+                            f"{len(term.args)}",
+                            term.position,
+                        )
+                    return attr.sort or ANY
+                self.bag.error(
+                    f"{context}: unknown operation {term.op!r}", term.position
+                )
+                return ANY
+            if len(term.args) != op.arity:
+                self.bag.error(
+                    f"{context}: operation {term.op!r} expects {op.arity} "
+                    f"argument(s), got {len(term.args)}",
+                    term.position,
+                )
+                return ANY
+            try:
+                return op.infer(arg_sorts)
+            except Exception:
+                self.bag.error(
+                    f"{context}: ill-sorted application of {term.op!r} to "
+                    f"({', '.join(str(s) for s in arg_sorts)})",
+                    term.position,
+                )
+                return ANY
+        if isinstance(term, TupleCons):
+            for _, sub in term.items:
+                self._infer(sub, scope, info, context)
+            return ANY
+        if isinstance(term, (SetCons, ListCons)):
+            for sub in term.items:
+                self._infer(sub, scope, info, context)
+            from repro.datatypes.sorts import ListSort, SetSort
+
+            cls = SetSort if isinstance(term, SetCons) else ListSort
+            name = "set" if isinstance(term, SetCons) else "list"
+            element = (
+                self._infer(term.items[0], scope, info, context) if term.items else ANY
+            )
+            return cls(name=name, element=element)
+        if isinstance(term, AttributeAccess):
+            obj_sort = self._infer(term.obj, scope, info, context)
+            for arg in term.args:
+                self._infer(arg, scope, info, context)
+            if isinstance(obj_sort, IdSort):
+                target = self.out.classes.get(obj_sort.class_name)
+                if target is not None:
+                    if term.attribute == "surrogate":
+                        return obj_sort
+                    attr = target.attributes.get(term.attribute)
+                    if attr is None and term.attribute not in target.components:
+                        self.bag.error(
+                            f"{context}: {obj_sort.class_name} has no attribute "
+                            f"{term.attribute!r}",
+                            term.position,
+                        )
+                        return ANY
+                    if attr is not None:
+                        return attr.sort or ANY
+            from repro.datatypes.sorts import TupleSort
+
+            if isinstance(obj_sort, TupleSort):
+                field_sort = obj_sort.field_sort(term.attribute)
+                if field_sort is None:
+                    self.bag.error(
+                        f"{context}: tuple has no field {term.attribute!r}",
+                        term.position,
+                    )
+                    return ANY
+                return field_sort
+            return ANY
+        if isinstance(term, QueryOp):
+            source_sort = self._infer(term.source, scope, info, context)
+            if isinstance(term.param, Term):
+                inner = scope.child()
+                from repro.datatypes.sorts import ListSort, SetSort, TupleSort
+
+                if isinstance(source_sort, (SetSort, ListSort)) and isinstance(
+                    source_sort.element, TupleSort
+                ):
+                    for field_name, field_sort in source_sort.element.fields:
+                        inner.declare(field_name, field_sort)
+                else:
+                    # Unknown element structure: names inside the filter
+                    # cannot be resolved statically.
+                    inner = scope.child(permissive=True)
+                    inner.declare("it", ANY)
+                self._infer(term.param, inner, info, context)
+            return source_sort
+        if isinstance(term, (Forall, Exists)):
+            inner = scope.child()
+            for name, sort in term.variables:
+                inner.declare(name, sort)
+            self._infer(term.body, inner, info, context)
+            return BOOL
+        return ANY
+
+    def _check_formula(
+        self, formula: Formula, scope: _Scope, info: ClassInfo, context: str
+    ) -> None:
+        if isinstance(formula, StateProp):
+            self._check_term(formula.term, scope, info, context)
+            return
+        if isinstance(formula, After):
+            pattern = formula.pattern
+            decl = info.all_events().get(pattern.event)
+            if decl is None:
+                self.bag.error(
+                    f"{context}: after(...) references unknown event "
+                    f"{pattern.event!r}",
+                    formula.position,
+                )
+            elif not pattern.match_any_args and len(pattern.args) != len(
+                decl.param_sorts
+            ):
+                self.bag.error(
+                    f"{context}: after({pattern.event}) arity mismatch",
+                    formula.position,
+                )
+            for arg in pattern.args:
+                self._check_term(arg, scope, info, context)
+            return
+        if isinstance(formula, (Sometime, Always, NotF)):
+            self._check_formula(formula.body, scope, info, context)
+            return
+        if isinstance(formula, Since):
+            self._check_formula(formula.hold, scope, info, context)
+            self._check_formula(formula.anchor, scope, info, context)
+            return
+        if isinstance(formula, (AndF, OrF, ImpliesF)):
+            self._check_formula(formula.left, scope, info, context)
+            self._check_formula(formula.right, scope, info, context)
+            return
+        if isinstance(formula, (ForallF, ExistsF)):
+            inner = scope.child()
+            for name, sort in formula.variables:
+                inner.declare(name, sort)
+            self._check_formula(formula.body, inner, info, context)
+            return
+
+
+def check_specification(spec: ast.Specification) -> CheckedSpecification:
+    """Check ``spec`` and return the resolved tables (never raises for
+    spec errors; inspect/raise via the returned diagnostics)."""
+    return Checker(spec).run()

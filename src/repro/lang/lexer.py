@@ -1,0 +1,222 @@
+"""Tokenizer for TROLL concrete syntax.
+
+Token kinds:
+
+* ``ident`` -- identifiers (``DEPT``, ``est_date``);
+* ``keyword`` -- reserved words (see :data:`KEYWORDS`); the sort
+  constructors ``set``/``list``/``map``/``tuple`` and ``self`` are
+  recognised case-insensitively (the paper writes both ``LIST(DEPT)``
+  and ``set(PERSON)``), all other keywords only in lowercase;
+* ``number`` -- integer or real literals;
+* ``string`` -- single-quoted string literals (``'Research'``);
+* ``punct`` -- operators and punctuation, with the paper's typography
+  normalised to ASCII (``⇒`` -> ``=>``, ``≥`` -> ``>=``, ``≤`` -> ``<=``,
+  ``≠`` -> ``<>``, ``∈`` -> the keyword ``in``);
+* ``eof`` -- end of input.
+
+Comments: ``--`` to end of line, and ``(* ... *)`` blocks (nestable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.diagnostics import LexerError, SourcePosition
+
+#: Reserved words of the TROLL subset implemented here.
+KEYWORDS = frozenset(
+    {
+        "object", "class", "interface", "encapsulating", "end",
+        "identification", "data", "types", "template", "attributes",
+        "events", "valuation", "permissions", "constraints", "derivation",
+        "rules", "calling", "interaction", "interactions", "global",
+        "variables", "components", "behavior", "patterns", "obligations",
+        "birth", "death", "derived", "active", "hidden", "constant",
+        "initially", "static", "dynamic",
+        "view", "of", "inheriting", "as", "specializing", "selection",
+        "where", "import", "export", "module", "schema", "conceptual",
+        "internal", "external", "society",
+        "sometime", "always", "after", "since", "for", "all", "exists",
+        "and", "or", "not", "in", "true", "false",
+        "set", "list", "map", "tuple", "self",
+    }
+)
+
+#: Keywords recognised regardless of letter case.
+CASELESS_KEYWORDS = frozenset({"set", "list", "map", "tuple", "self"})
+
+#: Multi-character punctuation, longest first.
+_MULTI_PUNCT = (">>", "=>", ">=", "<=", "<>", "|->", "..", ":=")
+_SINGLE_PUNCT = "()[]{},;:.=<>+-*/|?"
+
+#: Typographic characters normalised to their ASCII spelling.
+_UNICODE_PUNCT = {
+    "⇒": "=>",   # ⇒
+    "≥": ">=",   # ≥
+    "≤": "<=",   # ≤
+    "≠": "<>",   # ≠
+    "•": ".",    # • (aspect dot, b•t)
+    "→": "->",   # →
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str
+    text: str
+    position: SourcePosition
+    value: object = None
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind == "keyword" and self.text in words
+
+    def is_punct(self, *symbols: str) -> bool:
+        return self.kind == "punct" and self.text in symbols
+
+    def __str__(self) -> str:
+        if self.kind == "eof":
+            return "<end of input>"
+        return repr(self.text)
+
+
+class Lexer:
+    """Streaming tokenizer; :func:`tokenize` is the usual entry point."""
+
+    def __init__(self, text: str, source: str = "<string>"):
+        self.text = text
+        self.source = source
+        self.offset = 0
+        self.line = 1
+        self.column = 1
+
+    def _position(self) -> SourcePosition:
+        return SourcePosition(line=self.line, column=self.column, source=self.source)
+
+    def _peek(self, ahead: int = 0) -> str:
+        index = self.offset + ahead
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        taken = self.text[self.offset : self.offset + count]
+        for ch in taken:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.offset += count
+        return taken
+
+    def _skip_trivia(self) -> None:
+        while self.offset < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self.offset < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "(" and self._peek(1) == "*":
+                self._skip_block_comment()
+            else:
+                return
+
+    def _skip_block_comment(self) -> None:
+        start = self._position()
+        self._advance(2)
+        depth = 1
+        while depth > 0:
+            if self.offset >= len(self.text):
+                raise LexerError("unterminated block comment", start)
+            if self._peek() == "(" and self._peek(1) == "*":
+                depth += 1
+                self._advance(2)
+            elif self._peek() == "*" and self._peek(1) == ")":
+                depth -= 1
+                self._advance(2)
+            else:
+                self._advance()
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        position = self._position()
+        if self.offset >= len(self.text):
+            return Token("eof", "", position)
+        ch = self._peek()
+
+        if ch in _UNICODE_PUNCT:
+            self._advance()
+            text = _UNICODE_PUNCT[ch]
+            return Token("punct", text, position)
+
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(position)
+        if ch.isdigit():
+            return self._lex_number(position)
+        if ch == "'":
+            return self._lex_string(position)
+
+        for multi in _MULTI_PUNCT:
+            if self.text.startswith(multi, self.offset):
+                self._advance(len(multi))
+                return Token("punct", multi, position)
+        if ch in _SINGLE_PUNCT:
+            self._advance()
+            return Token("punct", ch, position)
+        raise LexerError(f"unexpected character {ch!r}", position)
+
+    def _lex_word(self, position: SourcePosition) -> Token:
+        start = self.offset
+        while self.offset < len(self.text) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        word = self.text[start : self.offset]
+        lowered = word.lower()
+        if word in KEYWORDS:
+            return Token("keyword", word, position)
+        if lowered in CASELESS_KEYWORDS:
+            return Token("keyword", lowered, position)
+        return Token("ident", word, position)
+
+    def _lex_number(self, position: SourcePosition) -> Token:
+        start = self.offset
+        while self.offset < len(self.text) and self._peek().isdigit():
+            self._advance()
+        is_real = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_real = True
+            self._advance()
+            while self.offset < len(self.text) and self._peek().isdigit():
+                self._advance()
+        text = self.text[start : self.offset]
+        value: object = float(text) if is_real else int(text)
+        return Token("number", text, position, value=value)
+
+    def _lex_string(self, position: SourcePosition) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self.offset >= len(self.text):
+                raise LexerError("unterminated string literal", position)
+            ch = self._advance()
+            if ch == "'":
+                if self._peek() == "'":  # '' escapes a quote
+                    chars.append(self._advance())
+                    continue
+                break
+            chars.append(ch)
+        text = "".join(chars)
+        return Token("string", text, position, value=text)
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            token = self.next_token()
+            yield token
+            if token.kind == "eof":
+                return
+
+
+def tokenize(text: str, source: str = "<string>") -> List[Token]:
+    """Tokenize ``text`` completely (including the trailing EOF token)."""
+    return list(Lexer(text, source).tokens())

@@ -1,0 +1,1239 @@
+"""Recursive-descent parser for TROLL specifications.
+
+The grammar accepts every listing in the paper verbatim (modulo ASCII
+spellings; see :mod:`repro.lang.lexer`).  Notable surface conveniences
+from the listings that the grammar supports:
+
+* valuation rules in both bare (``establishment(d) est_date = d;``) and
+  bracketed (``[InsertEmp(n,b,s)] Emps = insert(...);``) form, with an
+  optional ``{guard} =>`` prefix;
+* ``variables`` clauses with either ``;`` or ``,`` separated declarations
+  (``variables P: PERSON; d: date;`` and ``variables n:string, b:date``);
+* quantifiers in both attached-body (``for all(P: PERSON : φ)``) and
+  detached-body (``exists(s1: integer) φ``) form;
+* query algebra in bracket form: ``select[φ](source)``,
+  ``project[f1, f2](source)``;
+* transaction calls: ``e >> (e1; e2);``.
+
+Permission formulas are parsed with the ordinary term grammar (in which
+``sometime``/``always``/``after``/``since`` look like function
+applications) and converted to the temporal AST by
+:func:`term_to_formula`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.datatypes.sorts import Sort, SetSort, ListSort, MapSort, TupleSort, parse_sort_name
+from repro.datatypes.terms import (
+    Apply,
+    AttributeAccess,
+    Exists,
+    Forall,
+    ListCons,
+    Lit,
+    QueryOp,
+    SelfExpr,
+    SetCons,
+    Term,
+    TupleCons,
+    Var,
+)
+from repro.datatypes.values import boolean, integer, real, string
+from repro.diagnostics import ParseError
+from repro.lang import ast
+from repro.lang.lexer import Token, tokenize
+from repro.temporal.formulas import (
+    After,
+    Always,
+    AndF,
+    EventPattern,
+    ExistsF,
+    ForallF,
+    Formula,
+    ImpliesF,
+    NotF,
+    OrF,
+    Since,
+    Sometime,
+    StateProp,
+)
+
+#: Keywords that open a template/interface section (or close a declaration);
+#: member lists (attributes, events, ...) stop when one of these is next.
+_SECTION_KEYWORDS = frozenset(
+    {
+        "attributes", "events", "valuation", "permissions", "constraints",
+        "derivation", "rules", "calling", "interaction", "interactions",
+        "components", "template", "identification", "data", "inheriting",
+        "variables", "behavior", "patterns", "obligations", "end", "object", "class",
+        "interface", "global", "selection",
+    }
+)
+
+_EVENT_MODIFIERS = frozenset({"birth", "death", "derived", "active", "hidden"})
+_ATTR_MODIFIERS = frozenset({"derived", "constant", "hidden"})
+
+
+class Parser:
+    """A single-pass recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        token = token or self._peek()
+        return ParseError(f"{message} (found {token})", token.position)
+
+    def _expect_punct(self, symbol: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(symbol):
+            raise self._error(f"expected {symbol!r}")
+        return self._advance()
+
+    def _expect_keyword(self, *words: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(*words):
+            raise self._error(f"expected keyword {' or '.join(words)!s}")
+        return self._advance()
+
+    def _expect_ident(self, what: str = "identifier") -> Token:
+        token = self._peek()
+        if token.kind != "ident":
+            raise self._error(f"expected {what}")
+        return self._advance()
+
+    def _accept_punct(self, symbol: str) -> bool:
+        if self._peek().is_punct(symbol):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, *words: str) -> bool:
+        if self._peek().is_keyword(*words):
+            self._advance()
+            return True
+        return False
+
+    def _at_section_keyword(self) -> bool:
+        token = self._peek()
+        return token.kind == "eof" or (
+            token.kind == "keyword" and token.text in _SECTION_KEYWORDS
+        )
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def parse_specification(self) -> ast.Specification:
+        classes: List[ast.ObjectClassDecl] = []
+        objects: List[ast.ObjectDecl] = []
+        interfaces: List[ast.InterfaceClassDecl] = []
+        globals_: List[ast.GlobalInteractionsDecl] = []
+        while self._peek().kind != "eof":
+            token = self._peek()
+            if token.is_keyword("object"):
+                if self._peek(1).is_keyword("class"):
+                    classes.append(self._parse_object_class())
+                else:
+                    objects.append(self._parse_object())
+            elif token.is_keyword("interface"):
+                interfaces.append(self._parse_interface_class())
+            elif token.is_keyword("global"):
+                globals_.append(self._parse_global_interactions())
+            else:
+                raise self._error(
+                    "expected 'object', 'object class', 'interface class' "
+                    "or 'global interactions'"
+                )
+        return ast.Specification(
+            object_classes=tuple(classes),
+            objects=tuple(objects),
+            interfaces=tuple(interfaces),
+            global_interactions=tuple(globals_),
+        )
+
+    # ------------------------------------------------------------------
+    # Object classes and single objects
+    # ------------------------------------------------------------------
+
+    def _parse_object_class(self) -> ast.ObjectClassDecl:
+        position = self._expect_keyword("object").position
+        self._expect_keyword("class")
+        name = self._expect_ident("object class name").text
+        self._accept_punct(";")
+
+        view_of: Optional[str] = None
+        identification = ast.IdentificationDecl()
+        data_types: Tuple[Sort, ...] = ()
+        template = ast.TemplateDecl()
+
+        while not self._peek().is_keyword("end"):
+            token = self._peek()
+            if token.is_keyword("view"):
+                self._advance()
+                self._expect_keyword("of")
+                view_of = self._expect_ident("base class name").text
+                self._accept_punct(";")
+            elif token.is_keyword("identification"):
+                identification = self._parse_identification()
+            elif token.is_keyword("data"):
+                data_types = data_types + self._parse_data_types()
+            elif token.is_keyword("template"):
+                self._advance()
+                template = self._parse_template()
+            else:
+                raise self._error(
+                    "expected 'view of', 'identification', 'data types', "
+                    "'template' or 'end'"
+                )
+
+        self._parse_end_marker("object class", name)
+        if data_types:
+            template = ast.TemplateDecl(
+                position=template.position,
+                data_types=data_types + template.data_types,
+                inheriting=template.inheriting,
+                attributes=template.attributes,
+                components=template.components,
+                events=template.events,
+                valuation=template.valuation,
+                permissions=template.permissions,
+                constraints=template.constraints,
+                derivation_rules=template.derivation_rules,
+                interactions=template.interactions,
+                obligations=template.obligations,
+                behavior_patterns=template.behavior_patterns,
+            )
+        return ast.ObjectClassDecl(
+            position=position,
+            name=name,
+            identification=identification,
+            view_of=view_of,
+            template=template,
+        )
+
+    def _parse_object(self) -> ast.ObjectDecl:
+        position = self._expect_keyword("object").position
+        name = self._expect_ident("object name").text
+        self._accept_punct(";")
+        template = ast.TemplateDecl()
+        while not self._peek().is_keyword("end"):
+            if self._accept_keyword("template"):
+                template = self._parse_template()
+            else:
+                raise self._error("expected 'template' or 'end'")
+        self._parse_end_marker("object", name)
+        return ast.ObjectDecl(position=position, name=name, template=template)
+
+    def _parse_end_marker(self, construct: str, name: str) -> None:
+        self._expect_keyword("end")
+        for word in construct.split():
+            self._expect_keyword(word)
+        closing = self._peek()
+        if closing.kind == "ident":
+            self._advance()
+            if closing.text != name:
+                raise ParseError(
+                    f"mismatched end marker: expected {name!r}, got {closing.text!r}",
+                    closing.position,
+                )
+        self._accept_punct(";")
+
+    def _parse_identification(self) -> ast.IdentificationDecl:
+        position = self._expect_keyword("identification").position
+        data_types: Tuple[Sort, ...] = ()
+        if self._peek().is_keyword("data"):
+            data_types = self._parse_data_types()
+        attributes: List[ast.AttributeDecl] = []
+        while self._peek().kind == "ident":
+            attributes.append(self._parse_attribute_decl())
+        return ast.IdentificationDecl(
+            position=position,
+            data_types=data_types,
+            attributes=tuple(attributes),
+        )
+
+    def _parse_data_types(self) -> Tuple[Sort, ...]:
+        self._expect_keyword("data")
+        self._expect_keyword("types")
+        sorts = [self._parse_sort()]
+        while self._accept_punct(","):
+            sorts.append(self._parse_sort())
+        self._accept_punct(";")
+        return tuple(sorts)
+
+    # ------------------------------------------------------------------
+    # Template sections
+    # ------------------------------------------------------------------
+
+    def _parse_template(self) -> ast.TemplateDecl:
+        position = self._peek().position
+        data_types: Tuple[Sort, ...] = ()
+        inheriting: List[ast.InheritingDecl] = []
+        attributes: List[ast.AttributeDecl] = []
+        components: List[ast.ComponentDecl] = []
+        events: List[ast.EventDecl] = []
+        valuation: List[ast.ValuationRule] = []
+        permissions: List[ast.PermissionRule] = []
+        constraints: List[ast.ConstraintDecl] = []
+        derivation_rules: List[ast.DerivationRule] = []
+        interactions: List[ast.CallingRule] = []
+        obligations: List[ast.ObligationDecl] = []
+        behavior_patterns: List[object] = []
+
+        while True:
+            token = self._peek()
+            if token.is_keyword("data"):
+                data_types = data_types + self._parse_data_types()
+            elif token.is_keyword("inheriting"):
+                inheriting.append(self._parse_inheriting())
+            elif token.is_keyword("attributes"):
+                self._advance()
+                while self._peek().kind == "ident" or self._peek().is_keyword(
+                    *_ATTR_MODIFIERS
+                ):
+                    attributes.append(self._parse_attribute_decl())
+            elif token.is_keyword("components"):
+                self._advance()
+                while self._peek().kind == "ident":
+                    components.append(self._parse_component_decl())
+            elif token.is_keyword("events"):
+                self._advance()
+                while self._peek().kind == "ident" or self._peek().is_keyword(
+                    *_EVENT_MODIFIERS
+                ):
+                    events.append(self._parse_event_decl())
+            elif token.is_keyword("valuation"):
+                self._advance()
+                valuation.extend(self._parse_valuation_section())
+            elif token.is_keyword("permissions"):
+                self._advance()
+                permissions.extend(self._parse_permission_section())
+            elif token.is_keyword("constraints"):
+                self._advance()
+                constraints.extend(self._parse_constraints_section())
+            elif token.is_keyword("derivation") or token.is_keyword("rules"):
+                self._advance()
+                self._accept_keyword("rules")
+                derivation_rules.extend(self._parse_derivation_rules())
+            elif token.is_keyword("interaction", "interactions", "calling"):
+                self._advance()
+                interactions.extend(self._parse_calling_section())
+            elif token.is_keyword("behavior"):
+                self._advance()
+                from repro.lang.patterns import PatternParser
+
+                while True:
+                    self._accept_keyword("patterns")
+                    if not self._peek().is_punct("("):
+                        break
+                    behavior_patterns.append(PatternParser(self).parse())
+                    self._accept_punct(";")
+            elif token.is_keyword("obligations"):
+                self._advance()
+                while self._peek().kind == "ident":
+                    position = self._peek().position
+                    name = self._advance().text
+                    self._accept_punct(";")
+                    obligations.append(
+                        ast.ObligationDecl(position=position, event=name)
+                    )
+            else:
+                break
+
+        return ast.TemplateDecl(
+            position=position,
+            data_types=data_types,
+            inheriting=tuple(inheriting),
+            attributes=tuple(attributes),
+            components=tuple(components),
+            events=tuple(events),
+            valuation=tuple(valuation),
+            permissions=tuple(permissions),
+            constraints=tuple(constraints),
+            derivation_rules=tuple(derivation_rules),
+            interactions=tuple(interactions),
+            obligations=tuple(obligations),
+            behavior_patterns=tuple(behavior_patterns),
+        )
+
+    def _parse_inheriting(self) -> ast.InheritingDecl:
+        position = self._expect_keyword("inheriting").position
+        base = self._expect_ident("base object name").text
+        self._expect_keyword("as")
+        alias = self._expect_ident("alias").text
+        self._accept_punct(";")
+        return ast.InheritingDecl(position=position, base_object=base, alias=alias)
+
+    def _parse_attribute_decl(self) -> ast.AttributeDecl:
+        position = self._peek().position
+        derived = constant = hidden = False
+        while self._peek().is_keyword(*_ATTR_MODIFIERS):
+            word = self._advance().text
+            derived = derived or word == "derived"
+            constant = constant or word == "constant"
+            hidden = hidden or word == "hidden"
+        name = self._expect_ident("attribute name").text
+        param_sorts: Tuple[Sort, ...] = ()
+        if self._accept_punct("("):
+            params = [self._parse_sort()]
+            while self._accept_punct(","):
+                params.append(self._parse_sort())
+            self._expect_punct(")")
+            param_sorts = tuple(params)
+        sort: Optional[Sort] = None
+        if self._accept_punct(":"):
+            sort = self._parse_sort()
+        initial: Optional[Term] = None
+        if self._accept_keyword("initially"):
+            initial = self.parse_term()
+        self._accept_punct(";")
+        return ast.AttributeDecl(
+            position=position,
+            name=name,
+            param_sorts=param_sorts,
+            sort=sort,
+            derived=derived,
+            constant=constant,
+            hidden=hidden,
+            initial=initial,
+        )
+
+    def _parse_component_decl(self) -> ast.ComponentDecl:
+        position = self._peek().position
+        name = self._expect_ident("component name").text
+        self._expect_punct(":")
+        container: Optional[str] = None
+        token = self._peek()
+        if token.is_keyword("list", "set", "map"):
+            container = self._advance().text
+            self._expect_punct("(")
+            target = self._expect_ident("component class").text
+            self._expect_punct(")")
+        else:
+            target = self._expect_ident("component class").text
+        self._accept_punct(";")
+        return ast.ComponentDecl(
+            position=position, name=name, container=container, target=target
+        )
+
+    def _parse_event_decl(self) -> ast.EventDecl:
+        position = self._peek().position
+        kind = "normal"
+        derived = active = hidden = False
+        while self._peek().is_keyword(*_EVENT_MODIFIERS):
+            word = self._advance().text
+            if word in ("birth", "death"):
+                kind = word
+            derived = derived or word == "derived"
+            active = active or word == "active"
+            hidden = hidden or word == "hidden"
+        name = self._expect_ident("event name").text
+        binding: Optional[ast.QualifiedEventName] = None
+        if self._accept_punct("."):
+            event_name = self._expect_ident("event name").text
+            binding = ast.QualifiedEventName(
+                position=position, object_name=name, event_name=event_name
+            )
+            name = event_name
+        param_sorts: Tuple[Sort, ...] = ()
+        if self._accept_punct("("):
+            params = [self._parse_sort()]
+            while self._accept_punct(","):
+                params.append(self._parse_sort())
+            self._expect_punct(")")
+            param_sorts = tuple(params)
+        self._accept_punct(";")
+        return ast.EventDecl(
+            position=position,
+            name=name,
+            param_sorts=param_sorts,
+            kind=kind,
+            derived=derived,
+            active=active,
+            hidden=hidden,
+            binding=binding,
+        )
+
+    # ------------------------------------------------------------------
+    # Variables clauses
+    # ------------------------------------------------------------------
+
+    def _parse_variables_clause(self) -> Tuple[ast.VariableDecl, ...]:
+        if not self._accept_keyword("variables"):
+            return ()
+        decls: List[ast.VariableDecl] = []
+        while True:
+            names = [self._expect_ident("variable name").text]
+            # `P, Q: PERSON` -- consume further names while the comma is
+            # followed by `ident` and then either another comma or the colon.
+            while (
+                self._peek().is_punct(",")
+                and self._peek(1).kind == "ident"
+                and (self._peek(2).is_punct(",") or self._peek(2).is_punct(":"))
+            ):
+                self._advance()
+                names.append(self._expect_ident("variable name").text)
+            position = self._peek().position
+            self._expect_punct(":")
+            sort = self._parse_sort()
+            for n in names:
+                decls.append(ast.VariableDecl(position=position, name=n, sort=sort))
+            if self._accept_punct(";") or self._accept_punct(","):
+                # Continue while the next tokens look like another declaration.
+                if self._peek().kind == "ident" and (
+                    self._peek(1).is_punct(":") or self._peek(1).is_punct(",")
+                ):
+                    continue
+            break
+        return tuple(decls)
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    def _parse_valuation_section(self) -> List[ast.ValuationRule]:
+        variables = self._parse_variables_clause()
+        rules: List[ast.ValuationRule] = []
+        while not self._at_section_keyword():
+            rules.append(self._parse_valuation_rule(variables))
+        return rules
+
+    def _parse_valuation_rule(
+        self, variables: Tuple[ast.VariableDecl, ...]
+    ) -> ast.ValuationRule:
+        position = self._peek().position
+        guard: Optional[Term] = None
+        if self._accept_punct("{"):
+            guard = self.parse_term()
+            self._expect_punct("}")
+            self._accept_punct("=>")
+        if self._accept_punct("["):
+            event = self._parse_event_ref()
+            self._expect_punct("]")
+        else:
+            event = self._parse_event_ref()
+        attribute = self._expect_ident("attribute name").text
+        attribute_args: Tuple[Term, ...] = ()
+        if self._accept_punct("("):
+            args = [self.parse_term()]
+            while self._accept_punct(","):
+                args.append(self.parse_term())
+            self._expect_punct(")")
+            attribute_args = tuple(args)
+        self._expect_punct("=")
+        expr = self.parse_term()
+        self._expect_punct(";")
+        return ast.ValuationRule(
+            position=position,
+            variables=variables,
+            guard=guard,
+            event=event,
+            attribute=attribute,
+            attribute_args=attribute_args,
+            expr=expr,
+        )
+
+    def _parse_permission_section(self) -> List[ast.PermissionRule]:
+        variables = self._parse_variables_clause()
+        rules: List[ast.PermissionRule] = []
+        while self._peek().is_punct("{"):
+            rules.append(self._parse_permission_rule(variables))
+        return rules
+
+    def _parse_permission_rule(
+        self, variables: Tuple[ast.VariableDecl, ...]
+    ) -> ast.PermissionRule:
+        position = self._expect_punct("{").position
+        formula_term = self.parse_term()
+        self._expect_punct("}")
+        event = self._parse_event_ref()
+        self._expect_punct(";")
+        return ast.PermissionRule(
+            position=position,
+            variables=variables,
+            formula=term_to_formula(formula_term),
+            event=event,
+        )
+
+    def _parse_constraints_section(self) -> List[ast.ConstraintDecl]:
+        rules: List[ast.ConstraintDecl] = []
+        while True:
+            token = self._peek()
+            if token.is_keyword("static", "initially"):
+                kind = self._advance().text
+                kind = "initially" if kind == "initially" else "static"
+            elif self._starts_term(token):
+                kind = "static"
+            else:
+                break
+            position = self._peek().position
+            formula = self.parse_term()
+            self._accept_punct(";")
+            rules.append(
+                ast.ConstraintDecl(position=position, kind=kind, formula=formula)
+            )
+        return rules
+
+    def _starts_term(self, token: Token) -> bool:
+        if token.kind in ("ident", "number", "string"):
+            return True
+        if token.is_punct("(", "{", "[", "-"):
+            return True
+        return token.is_keyword(
+            "not", "true", "false", "self", "exists", "for", "tuple", "in",
+            "sometime", "always", "after", "since",
+        )
+
+    def _parse_derivation_rules(self) -> List[ast.DerivationRule]:
+        rules: List[ast.DerivationRule] = []
+        while self._peek().kind == "ident":
+            position = self._peek().position
+            attribute = self._expect_ident("derived attribute name").text
+            params: Tuple[str, ...] = ()
+            if self._accept_punct("("):
+                names = [self._expect_ident("parameter name").text]
+                while self._accept_punct(","):
+                    names.append(self._expect_ident("parameter name").text)
+                self._expect_punct(")")
+                params = tuple(names)
+            self._expect_punct("=")
+            expr = self.parse_term()
+            self._accept_punct(";")
+            rules.append(
+                ast.DerivationRule(
+                    position=position, attribute=attribute, params=params, expr=expr
+                )
+            )
+        return rules
+
+    def _parse_calling_section(self) -> List[ast.CallingRule]:
+        variables = self._parse_variables_clause()
+        rules: List[ast.CallingRule] = []
+        while not self._at_section_keyword():
+            rules.append(self._parse_calling_rule(variables))
+        return rules
+
+    def _parse_calling_rule(
+        self, variables: Tuple[ast.VariableDecl, ...]
+    ) -> ast.CallingRule:
+        position = self._peek().position
+        guard: Optional[Term] = None
+        if self._accept_punct("{"):
+            guard = self.parse_term()
+            self._expect_punct("}")
+            self._accept_punct("=>")
+        trigger = self._parse_event_ref()
+        self._expect_punct(">>")
+        targets: List[ast.EventRef] = []
+        atomic = False
+        if self._accept_punct("("):
+            atomic = True
+            targets.append(self._parse_event_ref())
+            while self._accept_punct(";"):
+                targets.append(self._parse_event_ref())
+            self._expect_punct(")")
+        else:
+            targets.append(self._parse_event_ref())
+        self._expect_punct(";")
+        return ast.CallingRule(
+            position=position,
+            variables=variables,
+            guard=guard,
+            trigger=trigger,
+            targets=tuple(targets),
+            atomic=atomic,
+        )
+
+    def _parse_event_ref(self) -> ast.EventRef:
+        position = self._peek().position
+        if self._peek().is_keyword("self") and self._peek(1).is_punct("."):
+            # self.Event(...) -- an explicitly self-qualified event.
+            self._advance()
+            self._advance()
+            qualifier = ast.Qualifier(position=position, name="self", key=None)
+            name = self._expect_ident("event name").text
+            return ast.EventRef(
+                position=position,
+                qualifier=qualifier,
+                name=name,
+                args=self._parse_event_args(),
+            )
+        first = self._expect_ident("event name").text
+        qualifier: Optional[ast.Qualifier] = None
+        if self._peek().is_punct("."):
+            self._advance()
+            qualifier = ast.Qualifier(position=position, name=first, key=None)
+            name = self._expect_ident("event name").text
+        elif self._peek().is_punct("(") and self._looks_like_qualifier():
+            self._expect_punct("(")
+            key = self.parse_term()
+            self._expect_punct(")")
+            self._expect_punct(".")
+            qualifier = ast.Qualifier(position=position, name=first, key=key)
+            name = self._expect_ident("event name").text
+        else:
+            name = first
+        return ast.EventRef(
+            position=position,
+            qualifier=qualifier,
+            name=name,
+            args=self._parse_event_args(),
+        )
+
+    def _looks_like_qualifier(self) -> bool:
+        """Distinguish ``DEPT(D).event`` from ``hire(P)`` by scanning for a
+        ``.`` right after the balanced parenthesis group."""
+        depth = 0
+        ahead = 0
+        while True:
+            token = self._peek(ahead)
+            if token.kind == "eof":
+                return False
+            if token.is_punct("("):
+                depth += 1
+            elif token.is_punct(")"):
+                depth -= 1
+                if depth == 0:
+                    return self._peek(ahead + 1).is_punct(".")
+            ahead += 1
+            if ahead > 200:
+                return False
+
+    def _parse_event_args(self) -> Tuple[Term, ...]:
+        if not self._accept_punct("("):
+            return ()
+        if self._accept_punct(")"):
+            return ()
+        args = [self.parse_term()]
+        while self._accept_punct(","):
+            args.append(self.parse_term())
+        self._expect_punct(")")
+        return tuple(args)
+
+    # ------------------------------------------------------------------
+    # Interface classes
+    # ------------------------------------------------------------------
+
+    def _parse_interface_class(self) -> ast.InterfaceClassDecl:
+        position = self._expect_keyword("interface").position
+        self._expect_keyword("class")
+        name = self._expect_ident("interface class name").text
+        self._accept_punct(";")
+        self._expect_keyword("encapsulating")
+        encapsulating: List[ast.EncapsulationDecl] = []
+        while True:
+            enc_position = self._peek().position
+            class_name = self._expect_ident("encapsulated class name").text
+            alias: Optional[str] = None
+            if self._peek().kind == "ident":
+                alias = self._advance().text
+            encapsulating.append(
+                ast.EncapsulationDecl(
+                    position=enc_position, class_name=class_name, alias=alias
+                )
+            )
+            if not self._accept_punct(","):
+                break
+        self._accept_punct(";")
+
+        selection: Optional[Term] = None
+        attributes: List[ast.AttributeDecl] = []
+        events: List[ast.EventDecl] = []
+        derivation_rules: List[ast.DerivationRule] = []
+        callings: List[ast.CallingRule] = []
+
+        while not self._peek().is_keyword("end"):
+            token = self._peek()
+            if token.is_keyword("selection"):
+                self._advance()
+                self._expect_keyword("where")
+                selection = self.parse_term()
+                self._accept_punct(";")
+            elif token.is_keyword("attributes"):
+                self._advance()
+                while self._peek().kind == "ident" or self._peek().is_keyword(
+                    *_ATTR_MODIFIERS
+                ):
+                    attributes.append(self._parse_attribute_decl())
+            elif token.is_keyword("events"):
+                self._advance()
+                while self._peek().kind == "ident" or self._peek().is_keyword(
+                    *_EVENT_MODIFIERS
+                ):
+                    events.append(self._parse_event_decl())
+            elif token.is_keyword("derivation") or token.is_keyword("rules"):
+                self._advance()
+                self._accept_keyword("derivation")
+                self._accept_keyword("rules")
+                derivation_rules.extend(self._parse_derivation_rules())
+            elif token.is_keyword("calling"):
+                self._advance()
+                callings.extend(self._parse_calling_section())
+            else:
+                raise self._error(
+                    "expected 'selection', 'attributes', 'events', "
+                    "'derivation', 'calling' or 'end'"
+                )
+
+        self._parse_end_marker("interface class", name)
+        return ast.InterfaceClassDecl(
+            position=position,
+            name=name,
+            encapsulating=tuple(encapsulating),
+            selection=selection,
+            attributes=tuple(attributes),
+            events=tuple(events),
+            derivation_rules=tuple(derivation_rules),
+            callings=tuple(callings),
+        )
+
+    # ------------------------------------------------------------------
+    # Global interactions
+    # ------------------------------------------------------------------
+
+    def _parse_global_interactions(self) -> ast.GlobalInteractionsDecl:
+        position = self._expect_keyword("global").position
+        self._expect_keyword("interactions")
+        variables = self._parse_variables_clause()
+        rules: List[ast.CallingRule] = []
+        while not self._at_section_keyword():
+            rules.append(self._parse_calling_rule(variables))
+        if self._peek().is_keyword("end") and self._peek(1).is_keyword("global"):
+            self._advance()
+            self._advance()
+            self._accept_keyword("interactions")
+            self._accept_punct(";")
+        return ast.GlobalInteractionsDecl(
+            position=position, variables=variables, rules=tuple(rules)
+        )
+
+    # ------------------------------------------------------------------
+    # Sorts
+    # ------------------------------------------------------------------
+
+    def _parse_sort(self) -> Sort:
+        token = self._peek()
+        if token.is_keyword("set"):
+            self._advance()
+            self._expect_punct("(")
+            element = self._parse_sort()
+            self._expect_punct(")")
+            return SetSort(name="set", element=element)
+        if token.is_keyword("list"):
+            self._advance()
+            self._expect_punct("(")
+            element = self._parse_sort()
+            self._expect_punct(")")
+            return ListSort(name="list", element=element)
+        if token.is_keyword("map"):
+            self._advance()
+            self._expect_punct("(")
+            key = self._parse_sort()
+            self._expect_punct(",")
+            value = self._parse_sort()
+            self._expect_punct(")")
+            return MapSort(name="map", key=key, value=value)
+        if token.is_keyword("tuple"):
+            self._advance()
+            self._expect_punct("(")
+            fields: List[Tuple[str, Sort]] = []
+            while True:
+                field_name = self._expect_ident("field name").text
+                self._expect_punct(":")
+                fields.append((field_name, self._parse_sort()))
+                if not self._accept_punct(","):
+                    break
+            self._expect_punct(")")
+            return TupleSort(name="tuple", fields=tuple(fields))
+        if token.is_punct("|"):
+            self._advance()
+            class_name = self._expect_ident("class name").text
+            self._expect_punct("|")
+            return parse_sort_name(f"|{class_name}|")
+        if token.kind == "ident":
+            return parse_sort_name(self._advance().text)
+        raise self._error("expected a sort")
+
+    # ------------------------------------------------------------------
+    # Terms (Pratt-style precedence climbing)
+    # ------------------------------------------------------------------
+
+    def parse_term(self) -> Term:
+        return self._parse_implies()
+
+    def _parse_implies(self) -> Term:
+        left = self._parse_or()
+        if self._peek().is_punct("=>"):
+            position = self._advance().position
+            right = self._parse_implies()
+            return Apply(position=position, op="implies", args=(left, right))
+        return left
+
+    def _parse_or(self) -> Term:
+        left = self._parse_and()
+        while self._peek().is_keyword("or"):
+            position = self._advance().position
+            right = self._parse_and()
+            left = Apply(position=position, op="or", args=(left, right))
+        return left
+
+    def _parse_and(self) -> Term:
+        left = self._parse_not()
+        while self._peek().is_keyword("and"):
+            position = self._advance().position
+            right = self._parse_not()
+            left = Apply(position=position, op="and", args=(left, right))
+        return left
+
+    def _parse_not(self) -> Term:
+        # Prefix `not x`; the function-call form `not(x)` is handled as
+        # an atom in _parse_primary so it composes with infix operators.
+        if self._peek().is_keyword("not") and not self._peek(1).is_punct("("):
+            position = self._advance().position
+            body = self._parse_not()
+            return Apply(position=position, op="not", args=(body,))
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Term:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.is_punct("=", "<>", "<", "<=", ">", ">="):
+            position = self._advance().position
+            right = self._parse_additive()
+            return Apply(position=position, op=token.text, args=(left, right))
+        if token.is_keyword("in"):
+            position = self._advance().position
+            right = self._parse_additive()
+            return Apply(position=position, op="in", args=(left, right))
+        return left
+
+    def _parse_additive(self) -> Term:
+        left = self._parse_multiplicative()
+        while self._peek().is_punct("+", "-"):
+            token = self._advance()
+            right = self._parse_multiplicative()
+            left = Apply(position=token.position, op=token.text, args=(left, right))
+        return left
+
+    def _parse_multiplicative(self) -> Term:
+        left = self._parse_unary()
+        while self._peek().is_punct("*", "/"):
+            token = self._advance()
+            right = self._parse_unary()
+            left = Apply(position=token.position, op=token.text, args=(left, right))
+        return left
+
+    def _parse_unary(self) -> Term:
+        if self._peek().is_punct("-"):
+            position = self._advance().position
+            body = self._parse_unary()
+            return Apply(position=position, op="neg", args=(body,))
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Term:
+        term = self._parse_primary()
+        while self._peek().is_punct("."):
+            position = self._advance().position
+            attribute = self._expect_ident("attribute name").text
+            args: Tuple[Term, ...] = ()
+            if self._peek().is_punct("("):
+                self._advance()
+                if not self._accept_punct(")"):
+                    arg_list = [self.parse_term()]
+                    while self._accept_punct(","):
+                        arg_list.append(self.parse_term())
+                    self._expect_punct(")")
+                    args = tuple(arg_list)
+            term = AttributeAccess(
+                position=position, obj=term, attribute=attribute, args=args
+            )
+        return term
+
+    def _parse_primary(self) -> Term:
+        token = self._peek()
+        position = token.position
+
+        if token.kind == "number":
+            self._advance()
+            value = real(token.value) if isinstance(token.value, float) else integer(token.value)
+            return Lit(position=position, value=value)
+        if token.kind == "string":
+            self._advance()
+            return Lit(position=position, value=string(token.value))
+        if token.is_keyword("true"):
+            self._advance()
+            return Lit(position=position, value=boolean(True))
+        if token.is_keyword("false"):
+            self._advance()
+            return Lit(position=position, value=boolean(False))
+        if token.is_keyword("self"):
+            self._advance()
+            return SelfExpr(position=position)
+        if token.is_punct("("):
+            self._advance()
+            inner = self.parse_term()
+            self._expect_punct(")")
+            return inner
+        if token.is_punct("{"):
+            self._advance()
+            if self._accept_punct("}"):
+                return SetCons(position=position, items=())
+            items = [self.parse_term()]
+            while self._accept_punct(","):
+                items.append(self.parse_term())
+            self._expect_punct("}")
+            return SetCons(position=position, items=tuple(items))
+        if token.is_punct("["):
+            self._advance()
+            if self._accept_punct("]"):
+                return ListCons(position=position, items=())
+            items = [self.parse_term()]
+            while self._accept_punct(","):
+                items.append(self.parse_term())
+            self._expect_punct("]")
+            return ListCons(position=position, items=tuple(items))
+        if token.is_keyword("tuple"):
+            self._advance()
+            return self._parse_tuple_cons(position)
+        if token.is_keyword("sometime", "always"):
+            op = self._advance().text
+            self._expect_punct("(")
+            inner = self.parse_term()
+            self._expect_punct(")")
+            return Apply(position=position, op=op, args=(inner,))
+        if token.is_keyword("after"):
+            self._advance()
+            self._expect_punct("(")
+            inner = self.parse_term()
+            self._expect_punct(")")
+            return Apply(position=position, op="after", args=(inner,))
+        if token.is_keyword("since"):
+            self._advance()
+            self._expect_punct("(")
+            hold = self.parse_term()
+            self._expect_punct(",")
+            anchor = self.parse_term()
+            self._expect_punct(")")
+            return Apply(position=position, op="since", args=(hold, anchor))
+        if token.is_keyword("not") and self._peek(1).is_punct("("):
+            # `not(φ)` -- atomic function-call form.
+            self._advance()
+            self._expect_punct("(")
+            body = self.parse_term()
+            self._expect_punct(")")
+            return Apply(position=position, op="not", args=(body,))
+        if token.is_keyword("in"):
+            # `in(Emps, tuple(n, b, s))` -- the membership test in
+            # function-application form (emp_rel listing).
+            self._advance()
+            self._expect_punct("(")
+            left = self.parse_term()
+            self._expect_punct(",")
+            right = self.parse_term()
+            self._expect_punct(")")
+            return Apply(position=position, op="in", args=(left, right))
+        if token.is_keyword("for") or token.is_keyword("exists"):
+            return self._parse_quantifier()
+        if token.kind == "ident":
+            return self._parse_ident_primary()
+        raise self._error("expected a term")
+
+    def _parse_tuple_cons(self, position) -> Term:
+        self._expect_punct("(")
+        items: List[Tuple[Optional[str], Term]] = []
+        while True:
+            # `name: term` names the field; a bare term is positional.
+            if (
+                self._peek().kind == "ident"
+                and self._peek(1).is_punct(":")
+            ):
+                field_name = self._advance().text
+                self._advance()
+                items.append((field_name, self.parse_term()))
+            else:
+                items.append((None, self.parse_term()))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return TupleCons(position=position, items=tuple(items))
+
+    def _parse_quantifier(self) -> Term:
+        position = self._peek().position
+        if self._accept_keyword("for"):
+            self._expect_keyword("all")
+            universal = True
+        else:
+            self._expect_keyword("exists")
+            universal = False
+        self._expect_punct("(")
+        variables: List[Tuple[str, Sort]] = []
+        while True:
+            names = [self._expect_ident("variable name").text]
+            while (
+                self._peek().is_punct(",")
+                and self._peek(1).kind == "ident"
+                and (self._peek(2).is_punct(",") or self._peek(2).is_punct(":"))
+            ):
+                self._advance()
+                names.append(self._expect_ident("variable name").text)
+            self._expect_punct(":")
+            sort = self._parse_sort()
+            variables.extend((n, sort) for n in names)
+            if not self._accept_punct(","):
+                break
+        body: Term
+        if self._accept_punct(":"):
+            # Attached body: for all(P: PERSON : φ)
+            body = self.parse_term()
+            self._expect_punct(")")
+        else:
+            # Detached body: exists(s1: integer) φ
+            self._expect_punct(")")
+            body = self.parse_term()
+        cls = Forall if universal else Exists
+        return cls(position=position, variables=tuple(variables), body=body)
+
+    def _parse_ident_primary(self) -> Term:
+        token = self._advance()
+        position = token.position
+        name = token.text
+
+        if name in ("select", "project") and self._peek().is_punct("["):
+            return self._parse_query_op(name, position)
+        if self._peek().is_punct("("):
+            self._advance()
+            args: List[Term] = []
+            if not self._accept_punct(")"):
+                args.append(self.parse_term())
+                while self._accept_punct(","):
+                    args.append(self.parse_term())
+                self._expect_punct(")")
+            return Apply(position=position, op=name, args=tuple(args))
+        return Var(position=position, name=name)
+
+    def _parse_query_op(self, op: str, position) -> Term:
+        self._expect_punct("[")
+        if op == "project":
+            fields = [self._expect_ident("field name").text]
+            while self._accept_punct(","):
+                fields.append(self._expect_ident("field name").text)
+            param: object = tuple(fields)
+        else:
+            param = self.parse_term()
+        self._expect_punct("]")
+        self._expect_punct("(")
+        source = self.parse_term()
+        self._expect_punct(")")
+        return QueryOp(position=position, op=op, param=param, source=source)
+
+
+# ----------------------------------------------------------------------
+# Term-to-formula conversion
+# ----------------------------------------------------------------------
+
+def term_to_formula(term: Term) -> Formula:
+    """Convert a parsed term into a temporal formula.
+
+    The term grammar treats ``sometime``/``always``/``after``/``since``
+    as function applications; this pass rebuilds the temporal structure
+    and wraps everything else as a :class:`StateProp`.
+    """
+    if isinstance(term, Apply):
+        if term.op == "sometime" and len(term.args) == 1:
+            return Sometime(position=term.position, body=term_to_formula(term.args[0]))
+        if term.op == "always" and len(term.args) == 1:
+            return Always(position=term.position, body=term_to_formula(term.args[0]))
+        if term.op == "since" and len(term.args) == 2:
+            return Since(
+                position=term.position,
+                hold=term_to_formula(term.args[0]),
+                anchor=term_to_formula(term.args[1]),
+            )
+        if term.op == "after" and len(term.args) == 1:
+            return After(position=term.position, pattern=_event_pattern(term.args[0]))
+        if term.op == "and" and len(term.args) == 2:
+            return AndF(
+                position=term.position,
+                left=term_to_formula(term.args[0]),
+                right=term_to_formula(term.args[1]),
+            )
+        if term.op == "or" and len(term.args) == 2:
+            return OrF(
+                position=term.position,
+                left=term_to_formula(term.args[0]),
+                right=term_to_formula(term.args[1]),
+            )
+        if term.op == "implies" and len(term.args) == 2:
+            return ImpliesF(
+                position=term.position,
+                left=term_to_formula(term.args[0]),
+                right=term_to_formula(term.args[1]),
+            )
+        if term.op == "not" and len(term.args) == 1:
+            return NotF(position=term.position, body=term_to_formula(term.args[0]))
+    if isinstance(term, Forall):
+        return ForallF(
+            position=term.position,
+            variables=term.variables,
+            body=term_to_formula(term.body),
+        )
+    if isinstance(term, Exists):
+        return ExistsF(
+            position=term.position,
+            variables=term.variables,
+            body=term_to_formula(term.body),
+        )
+    return StateProp(position=term.position, term=term)
+
+
+def _event_pattern(term: Term) -> EventPattern:
+    """Extract the event pattern inside ``after(...)``."""
+    if isinstance(term, Apply) and term.op.isidentifier():
+        return EventPattern(event=term.op, args=term.args)
+    if isinstance(term, Var):
+        return EventPattern(event=term.name)
+    raise ParseError(
+        f"after(...) expects an event pattern, got {term}", term.position
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+def parse_specification(text: str, source: str = "<string>") -> ast.Specification:
+    """Parse a complete specification document."""
+    return Parser(tokenize(text, source)).parse_specification()
+
+
+def parse_term(text: str, source: str = "<term>") -> Term:
+    """Parse a standalone data-valued term (tests, derivation helpers)."""
+    parser = Parser(tokenize(text, source))
+    term = parser.parse_term()
+    trailing = parser._peek()
+    if trailing.kind != "eof":
+        raise ParseError(f"unexpected trailing input {trailing}", trailing.position)
+    return term
+
+
+def parse_formula(text: str, source: str = "<formula>") -> Formula:
+    """Parse a standalone temporal formula."""
+    return term_to_formula(parse_term(text, source))

@@ -1,0 +1,360 @@
+"""Behaviour patterns: explicit life-cycle protocols.
+
+The paper models templates as *processes* and reasons about protocols
+("also a computer is bound to the protocol of switching on before being
+able to switch off", Example 3.4).  TROLL's ``behavior`` section makes
+such protocols explicit; the paper reserves the keywords without showing
+syntax, so we give the section a regular-expression process language::
+
+    behavior
+      patterns (open; (deposit | withdraw)*; close);
+
+* ``;`` -- sequence, ``|`` -- alternation, ``*`` -- iteration,
+  ``?`` -- option, ``+`` -- one-or-more, parentheses group;
+* atoms are event names (argument values are not constrained);
+* several ``patterns (...)`` lines are alternative life cycles.
+
+Semantics (enforced by the animator):
+
+* only events *mentioned in the pattern alphabet* are constrained;
+  other events of the signature interleave freely;
+* an occurrence of a constrained event must advance the protocol,
+  otherwise it is denied (a permission violation);
+* at a death event the protocol must be *complete* (the automaton in an
+  accepting configuration after consuming the death event, when it is
+  constrained).
+
+Patterns compile to a Thompson NFA (:func:`compile_pattern`); the
+animator keeps the reachable state set per instance -- a frozen set, so
+snapshot/rollback is free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Sequence, Set, Tuple
+
+from repro.diagnostics import ParseError
+
+
+# ----------------------------------------------------------------------
+# Pattern AST
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Pattern:
+    """Base class of behaviour-pattern nodes."""
+
+    def alphabet(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - subclass duty
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PEvent(Pattern):
+    """An event-name atom."""
+
+    name: str = ""
+
+    def alphabet(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PSeq(Pattern):
+    """``p1; p2; ...`` -- sequential composition."""
+
+    parts: Tuple[Pattern, ...] = ()
+
+    def alphabet(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            result |= part.alphabet()
+        return result
+
+    def __str__(self) -> str:
+        return "(" + "; ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class PAlt(Pattern):
+    """``p1 | p2 | ...`` -- alternative."""
+
+    options: Tuple[Pattern, ...] = ()
+
+    def alphabet(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for option in self.options:
+            result |= option.alphabet()
+        return result
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(p) for p in self.options) + ")"
+
+
+@dataclass(frozen=True)
+class PStar(Pattern):
+    """``p*`` -- zero or more repetitions."""
+
+    body: Pattern = None  # type: ignore[assignment]
+
+    def alphabet(self) -> FrozenSet[str]:
+        return self.body.alphabet()
+
+    def __str__(self) -> str:
+        return f"{self.body}*"
+
+
+@dataclass(frozen=True)
+class PPlus(Pattern):
+    """``p+`` -- one or more repetitions."""
+
+    body: Pattern = None  # type: ignore[assignment]
+
+    def alphabet(self) -> FrozenSet[str]:
+        return self.body.alphabet()
+
+    def __str__(self) -> str:
+        return f"{self.body}+"
+
+
+@dataclass(frozen=True)
+class POpt(Pattern):
+    """``p?`` -- optional."""
+
+    body: Pattern = None  # type: ignore[assignment]
+
+    def alphabet(self) -> FrozenSet[str]:
+        return self.body.alphabet()
+
+    def __str__(self) -> str:
+        return f"{self.body}?"
+
+
+# ----------------------------------------------------------------------
+# Thompson construction
+# ----------------------------------------------------------------------
+
+class ProtocolAutomaton:
+    """An NFA over event names with frozen-set state tracking.
+
+    States are integers; ``transitions[state][event]`` is the successor
+    set; epsilon closure is pre-applied so the runtime never sees
+    epsilon edges.
+    """
+
+    def __init__(
+        self,
+        transitions: Dict[int, Dict[str, FrozenSet[int]]],
+        initial: FrozenSet[int],
+        accepting: FrozenSet[int],
+        alphabet: FrozenSet[str],
+    ):
+        self.transitions = transitions
+        self.initial = initial
+        self.accepting = accepting
+        self.alphabet = alphabet
+
+    def advance(self, states: FrozenSet[int], event: str) -> FrozenSet[int]:
+        """The successor configuration (empty = protocol violation)."""
+        result: Set[int] = set()
+        for state in states:
+            result |= self.transitions.get(state, {}).get(event, frozenset())
+        return frozenset(result)
+
+    def is_accepting(self, states: FrozenSet[int]) -> bool:
+        return bool(states & self.accepting)
+
+    def accepts(self, trace: Sequence[str]) -> bool:
+        """Does the automaton accept the (constrained-events-only)
+        sequence?"""
+        states = self.initial
+        for event in trace:
+            if event not in self.alphabet:
+                continue
+            states = self.advance(states, event)
+            if not states:
+                return False
+        return self.is_accepting(states)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.epsilon: Dict[int, Set[int]] = {}
+        self.moves: Dict[int, Dict[str, Set[int]]] = {}
+        self._next = 0
+
+    def state(self) -> int:
+        self._next += 1
+        return self._next - 1
+
+    def add_epsilon(self, source: int, target: int) -> None:
+        self.epsilon.setdefault(source, set()).add(target)
+
+    def add_move(self, source: int, event: str, target: int) -> None:
+        self.moves.setdefault(source, {}).setdefault(event, set()).add(target)
+
+    def build_fragment(self, pattern: Pattern) -> Tuple[int, int]:
+        """Thompson fragment: returns (entry, exit)."""
+        if isinstance(pattern, PEvent):
+            entry, exit_ = self.state(), self.state()
+            self.add_move(entry, pattern.name, exit_)
+            return entry, exit_
+        if isinstance(pattern, PSeq):
+            if not pattern.parts:
+                entry = self.state()
+                return entry, entry
+            entry, current = self.build_fragment(pattern.parts[0])
+            for part in pattern.parts[1:]:
+                nxt_entry, nxt_exit = self.build_fragment(part)
+                self.add_epsilon(current, nxt_entry)
+                current = nxt_exit
+            return entry, current
+        if isinstance(pattern, PAlt):
+            entry, exit_ = self.state(), self.state()
+            for option in pattern.options:
+                o_entry, o_exit = self.build_fragment(option)
+                self.add_epsilon(entry, o_entry)
+                self.add_epsilon(o_exit, exit_)
+            return entry, exit_
+        if isinstance(pattern, PStar):
+            entry, exit_ = self.state(), self.state()
+            b_entry, b_exit = self.build_fragment(pattern.body)
+            self.add_epsilon(entry, b_entry)
+            self.add_epsilon(entry, exit_)
+            self.add_epsilon(b_exit, b_entry)
+            self.add_epsilon(b_exit, exit_)
+            return entry, exit_
+        if isinstance(pattern, PPlus):
+            b_entry, b_exit = self.build_fragment(pattern.body)
+            exit_ = self.state()
+            self.add_epsilon(b_exit, b_entry)
+            self.add_epsilon(b_exit, exit_)
+            return b_entry, exit_
+        if isinstance(pattern, POpt):
+            entry, exit_ = self.state(), self.state()
+            b_entry, b_exit = self.build_fragment(pattern.body)
+            self.add_epsilon(entry, b_entry)
+            self.add_epsilon(entry, exit_)
+            self.add_epsilon(b_exit, exit_)
+            return entry, exit_
+        raise TypeError(f"unknown pattern node {type(pattern).__name__}")
+
+    def closure(self, states: Set[int]) -> FrozenSet[int]:
+        stack = list(states)
+        seen = set(states)
+        while stack:
+            state = stack.pop()
+            for target in self.epsilon.get(state, ()):
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return frozenset(seen)
+
+
+def compile_pattern(patterns: Sequence[Pattern]) -> ProtocolAutomaton:
+    """Compile alternative life-cycle ``patterns`` into one automaton."""
+    builder = _Builder()
+    combined = patterns[0] if len(patterns) == 1 else PAlt(options=tuple(patterns))
+    entry, exit_ = builder.build_fragment(combined)
+
+    initial = builder.closure({entry})
+    accepting = frozenset({exit_})
+    alphabet = combined.alphabet()
+
+    # Epsilon-free transition table: for every state, for every event,
+    # the closure of the targets.
+    transitions: Dict[int, Dict[str, FrozenSet[int]]] = {}
+    all_states = set(range(builder._next))
+    for state in all_states:
+        row: Dict[str, FrozenSet[int]] = {}
+        for via_state in builder.closure({state}):
+            for event, targets in builder.moves.get(via_state, {}).items():
+                existing = set(row.get(event, frozenset()))
+                existing |= builder.closure(set(targets))
+                row[event] = frozenset(existing)
+        if row:
+            transitions[state] = row
+
+    # Accepting = any state whose closure reaches the exit.
+    accepting_states = frozenset(
+        state for state in all_states if exit_ in builder.closure({state})
+    )
+    return ProtocolAutomaton(transitions, initial, accepting_states, alphabet)
+
+
+# ----------------------------------------------------------------------
+# Concrete-syntax parsing (called from the specification parser)
+# ----------------------------------------------------------------------
+
+class PatternParser:
+    """Parses a parenthesised pattern expression from the main parser's
+    token stream (duck-typed: needs _peek/_advance/_expect_punct/
+    _expect_ident/_accept_punct)."""
+
+    def __init__(self, host):
+        self.host = host
+
+    def parse(self) -> Pattern:
+        self.host._expect_punct("(")
+        pattern = self._alternation()
+        self.host._expect_punct(")")
+        return pattern
+
+    def _alternation(self) -> Pattern:
+        options = [self._sequence()]
+        while self.host._accept_punct("|"):
+            options.append(self._sequence())
+        if len(options) == 1:
+            return options[0]
+        return PAlt(options=tuple(options))
+
+    def _sequence(self) -> Pattern:
+        parts = [self._postfix()]
+        while self.host._peek().is_punct(";"):
+            # a ';' directly before ')' or '|' is a separator typo --
+            # only continue when an atom follows
+            nxt = self.host._peek(1)
+            if not (nxt.kind == "ident" or nxt.is_punct("(")):
+                break
+            self.host._advance()
+            parts.append(self._postfix())
+        if len(parts) == 1:
+            return parts[0]
+        return PSeq(parts=tuple(parts))
+
+    def _postfix(self) -> Pattern:
+        atom = self._atom()
+        while True:
+            token = self.host._peek()
+            if token.is_punct("*"):
+                self.host._advance()
+                atom = PStar(body=atom)
+            elif token.is_punct("+"):
+                self.host._advance()
+                atom = PPlus(body=atom)
+            elif token.is_punct("?"):
+                self.host._advance()
+                atom = POpt(body=atom)
+            else:
+                return atom
+
+    def _atom(self) -> Pattern:
+        token = self.host._peek()
+        if token.is_punct("("):
+            self.host._advance()
+            inner = self._alternation()
+            self.host._expect_punct(")")
+            return inner
+        if token.kind == "ident":
+            self.host._advance()
+            return PEvent(name=token.text)
+        raise ParseError(
+            f"expected an event name or '(' in behaviour pattern (found {token})",
+            token.position,
+        )

@@ -1,0 +1,399 @@
+"""Pretty-printer (unparser) for TROLL specifications.
+
+Renders an AST back into concrete syntax that the parser accepts and
+that parses to an equal AST -- the round-trip property the test suite
+checks.  Useful for generated specifications
+(:mod:`repro.relational.generate` builds text directly; tools composing
+ASTs can print instead) and for normalising user input.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.datatypes.sorts import ListSort, MapSort, SetSort, Sort, TupleSort
+from repro.datatypes.terms import (
+    Apply,
+    AttributeAccess,
+    Exists,
+    Forall,
+    ListCons,
+    Lit,
+    QueryOp,
+    SelfExpr,
+    SetCons,
+    Term,
+    TupleCons,
+    Var,
+)
+from repro.lang import ast
+from repro.temporal.formulas import (
+    After,
+    Always,
+    AndF,
+    ExistsF,
+    ForallF,
+    Formula,
+    ImpliesF,
+    NotF,
+    OrF,
+    Since,
+    Sometime,
+    StateProp,
+)
+
+
+def print_sort(sort: Sort) -> str:
+    """Concrete syntax of a sort."""
+    if isinstance(sort, SetSort):
+        return f"set({print_sort(sort.element)})"
+    if isinstance(sort, ListSort):
+        return f"list({print_sort(sort.element)})"
+    if isinstance(sort, MapSort):
+        return f"map({print_sort(sort.key)}, {print_sort(sort.value)})"
+    if isinstance(sort, TupleSort):
+        inner = ", ".join(f"{n}: {print_sort(s)}" for n, s in sort.fields)
+        return f"tuple({inner})"
+    from repro.datatypes.sorts import IdSort
+
+    if isinstance(sort, IdSort):
+        return f"|{sort.class_name}|"
+    return sort.name
+
+
+#: operator precedence levels for parenthesisation (higher binds tighter)
+_PRECEDENCE = {
+    "implies": 1, "or": 2, "and": 3, "not": 4,
+    "=": 5, "<>": 5, "<": 5, "<=": 5, ">": 5, ">=": 5, "in": 5,
+    "+": 6, "-": 6, "*": 7, "/": 7,
+}
+
+_INFIX = {"=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/"}
+
+
+def print_term(term: Term, parent_level: int = 0) -> str:
+    """Concrete syntax of a data-valued term."""
+    text, level = _term(term)
+    if level < parent_level:
+        return f"({text})"
+    return text
+
+
+def _term(term: Term):
+    if isinstance(term, Lit):
+        return _literal(term), 99
+    if isinstance(term, Var):
+        return term.name, 99
+    if isinstance(term, SelfExpr):
+        return "self", 99
+    if isinstance(term, Apply):
+        return _apply(term)
+    if isinstance(term, TupleCons):
+        parts = [
+            f"{name}: {print_term(sub)}" if name else print_term(sub)
+            for name, sub in term.items
+        ]
+        return "tuple(" + ", ".join(parts) + ")", 99
+    if isinstance(term, SetCons):
+        return "{" + ", ".join(print_term(t) for t in term.items) + "}", 99
+    if isinstance(term, ListCons):
+        return "[" + ", ".join(print_term(t) for t in term.items) + "]", 99
+    if isinstance(term, AttributeAccess):
+        base = print_term(term.obj, 8)
+        suffix = (
+            "(" + ", ".join(print_term(a) for a in term.args) + ")"
+            if term.args else ""
+        )
+        return f"{base}.{term.attribute}{suffix}", 8
+    if isinstance(term, QueryOp):
+        if term.op == "project":
+            param = ", ".join(term.param)
+        else:
+            param = print_term(term.param)
+        return f"{term.op}[{param}]({print_term(term.source)})", 99
+    if isinstance(term, Forall):
+        decls = ", ".join(f"{n}: {print_sort(s)}" for n, s in term.variables)
+        return f"for all({decls} : {print_term(term.body)})", 99
+    if isinstance(term, Exists):
+        decls = ", ".join(f"{n}: {print_sort(s)}" for n, s in term.variables)
+        return f"exists({decls} : {print_term(term.body)})", 99
+    raise TypeError(f"cannot print term of kind {type(term).__name__}")
+
+
+def _literal(term: Lit) -> str:
+    value = term.value
+    if value.sort.name == "string":
+        escaped = value.payload.replace("'", "''")
+        return f"'{escaped}'"
+    if value.sort.name == "bool":
+        return "true" if value.payload else "false"
+    if value.sort.name == "date":
+        y, m, d = value.payload
+        return f"date({y}, {m}, {d})"
+    return str(value.payload)
+
+
+def _apply(term: Apply):
+    op = term.op
+    if op == "neg" and len(term.args) == 1:
+        return f"-{print_term(term.args[0], 8)}", 7
+    if op == "not" and len(term.args) == 1:
+        # printed in the self-delimiting function-call form, so atomic
+        return f"not({print_term(term.args[0])})", 99
+    if op in ("and", "or", "implies", "in") and len(term.args) == 2:
+        symbol = {"implies": "=>"}.get(op, op)
+        level = _PRECEDENCE[op]
+        left_level = level + 1 if op == "in" else level
+        left = print_term(term.args[0], left_level)
+        right = print_term(term.args[1], level + (0 if op == "implies" else 1))
+        return f"{left} {symbol} {right}", level
+    if op in _INFIX and len(term.args) == 2:
+        level = _PRECEDENCE[op]
+        # Comparisons are non-associative in the grammar: parenthesise
+        # both operands at the same level.  Arithmetic is left-assoc.
+        left_level = level + 1 if level == 5 else level
+        left = print_term(term.args[0], left_level)
+        right = print_term(term.args[1], level + 1)
+        return f"{left} {op} {right}", level
+    inner = ", ".join(print_term(a) for a in term.args)
+    return f"{op}({inner})", 99
+
+
+def print_formula(formula: Formula) -> str:
+    """Concrete syntax of a temporal formula."""
+    if isinstance(formula, StateProp):
+        return print_term(formula.term)
+    if isinstance(formula, After):
+        pattern = formula.pattern
+        if pattern.args:
+            inner = ", ".join(print_term(a) for a in pattern.args)
+            return f"after({pattern.event}({inner}))"
+        return f"after({pattern.event})"
+    if isinstance(formula, Sometime):
+        return f"sometime({print_formula(formula.body)})"
+    if isinstance(formula, Always):
+        return f"always({print_formula(formula.body)})"
+    if isinstance(formula, Since):
+        return f"since({print_formula(formula.hold)}, {print_formula(formula.anchor)})"
+    if isinstance(formula, NotF):
+        return f"not({print_formula(formula.body)})"
+    if isinstance(formula, AndF):
+        return f"({print_formula(formula.left)} and {print_formula(formula.right)})"
+    if isinstance(formula, OrF):
+        return f"({print_formula(formula.left)} or {print_formula(formula.right)})"
+    if isinstance(formula, ImpliesF):
+        return f"({print_formula(formula.left)} => {print_formula(formula.right)})"
+    if isinstance(formula, (ForallF, ExistsF)):
+        word = "for all" if isinstance(formula, ForallF) else "exists"
+        decls = ", ".join(f"{n}: {print_sort(s)}" for n, s in formula.variables)
+        return f"{word}({decls} : {print_formula(formula.body)})"
+    raise TypeError(f"cannot print formula of kind {type(formula).__name__}")
+
+
+def print_event_ref(ref: ast.EventRef) -> str:
+    prefix = ""
+    if ref.qualifier is not None:
+        prefix = ref.qualifier.name
+        if ref.qualifier.key is not None:
+            prefix += f"({print_term(ref.qualifier.key)})"
+        prefix += "."
+    suffix = ""
+    if ref.args:
+        suffix = "(" + ", ".join(print_term(a) for a in ref.args) + ")"
+    return f"{prefix}{ref.name}{suffix}"
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def line(self, depth: int, text: str) -> None:
+        self.lines.append("  " * depth + text)
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _print_variables(w: _Writer, depth: int, variables) -> None:
+    if not variables:
+        return
+    decls = "; ".join(f"{v.name}: {print_sort(v.sort)}" for v in variables)
+    w.line(depth, f"variables {decls};")
+
+
+def _print_attribute(w: _Writer, depth: int, attr: ast.AttributeDecl) -> None:
+    prefix = ""
+    if attr.derived:
+        prefix += "derived "
+    if attr.constant:
+        prefix += "constant "
+    if attr.hidden:
+        prefix += "hidden "
+    params = (
+        "(" + ", ".join(print_sort(s) for s in attr.param_sorts) + ")"
+        if attr.param_sorts else ""
+    )
+    sort = f": {print_sort(attr.sort)}" if attr.sort is not None else ""
+    initial = f" initially {print_term(attr.initial)}" if attr.initial is not None else ""
+    w.line(depth, f"{prefix}{attr.name}{params}{sort}{initial};")
+
+
+def _print_event(w: _Writer, depth: int, event: ast.EventDecl) -> None:
+    prefix = ""
+    if event.kind in ("birth", "death"):
+        prefix += event.kind + " "
+    if event.derived:
+        prefix += "derived "
+    if event.active:
+        prefix += "active "
+    if event.hidden:
+        prefix += "hidden "
+    name = event.name
+    if event.binding is not None:
+        name = f"{event.binding.object_name}.{event.binding.event_name}"
+    params = (
+        "(" + ", ".join(print_sort(s) for s in event.param_sorts) + ")"
+        if event.param_sorts else ""
+    )
+    w.line(depth, f"{prefix}{name}{params};")
+
+
+def _print_template(w: _Writer, depth: int, template: ast.TemplateDecl) -> None:
+    if template.data_types:
+        sorts = ", ".join(print_sort(s) for s in template.data_types)
+        w.line(depth, f"data types {sorts};")
+    for inheriting in template.inheriting:
+        w.line(depth, f"inheriting {inheriting.base_object} as {inheriting.alias};")
+    if template.attributes:
+        w.line(depth, "attributes")
+        for attr in template.attributes:
+            _print_attribute(w, depth + 1, attr)
+    if template.components:
+        w.line(depth, "components")
+        for comp in template.components:
+            if comp.container:
+                w.line(depth + 1, f"{comp.name} : {comp.container}({comp.target});")
+            else:
+                w.line(depth + 1, f"{comp.name} : {comp.target};")
+    if template.events:
+        w.line(depth, "events")
+        for event in template.events:
+            _print_event(w, depth + 1, event)
+    if template.valuation:
+        w.line(depth, "valuation")
+        _print_variables(w, depth + 1, template.valuation[0].variables)
+        for rule in template.valuation:
+            guard = f"{{ {print_term(rule.guard)} }} => " if rule.guard is not None else ""
+            attr_args = (
+                "(" + ", ".join(print_term(a) for a in rule.attribute_args) + ")"
+                if rule.attribute_args else ""
+            )
+            w.line(
+                depth + 1,
+                f"{guard}[{print_event_ref(rule.event)}] "
+                f"{rule.attribute}{attr_args} = {print_term(rule.expr)};",
+            )
+    if template.permissions:
+        w.line(depth, "permissions")
+        _print_variables(w, depth + 1, template.permissions[0].variables)
+        for rule in template.permissions:
+            w.line(
+                depth + 1,
+                f"{{ {print_formula(rule.formula)} }} {print_event_ref(rule.event)};",
+            )
+    if template.constraints:
+        w.line(depth, "constraints")
+        for constraint in template.constraints:
+            kind = "initially " if constraint.kind == "initially" else "static "
+            w.line(depth + 1, f"{kind}{print_term(constraint.formula)};")
+    if template.derivation_rules:
+        w.line(depth, "derivation rules")
+        for rule in template.derivation_rules:
+            params = "(" + ", ".join(rule.params) + ")" if rule.params else ""
+            w.line(depth + 1, f"{rule.attribute}{params} = {print_term(rule.expr)};")
+    if template.interactions:
+        w.line(depth, "interaction")
+        _print_variables(w, depth + 1, template.interactions[0].variables)
+        for rule in template.interactions:
+            _print_calling(w, depth + 1, rule)
+    if template.behavior_patterns:
+        w.line(depth, "behavior")
+        for pattern in template.behavior_patterns:
+            text = str(pattern)
+            if not text.startswith("("):
+                text = f"({text})"
+            w.line(depth + 1, f"patterns {text};")
+    if template.obligations:
+        w.line(depth, "obligations")
+        for obligation in template.obligations:
+            w.line(depth + 1, f"{obligation.event};")
+
+
+def _print_calling(w: _Writer, depth: int, rule: ast.CallingRule) -> None:
+    guard = f"{{ {print_term(rule.guard)} }} => " if rule.guard is not None else ""
+    if rule.atomic or len(rule.targets) > 1:
+        targets = "(" + "; ".join(print_event_ref(t) for t in rule.targets) + ")"
+    else:
+        targets = print_event_ref(rule.targets[0])
+    w.line(depth, f"{guard}{print_event_ref(rule.trigger)} >> {targets};")
+
+
+def print_specification(spec: ast.Specification) -> str:
+    """Render a whole specification document."""
+    w = _Writer()
+    for decl in spec.object_classes:
+        w.line(0, f"object class {decl.name}")
+        if decl.view_of is not None:
+            w.line(1, f"view of {decl.view_of};")
+        if decl.identification.attributes or decl.identification.data_types:
+            w.line(1, "identification")
+            if decl.identification.data_types:
+                sorts = ", ".join(print_sort(s) for s in decl.identification.data_types)
+                w.line(2, f"data types {sorts};")
+            for attr in decl.identification.attributes:
+                _print_attribute(w, 2, attr)
+        w.line(1, "template")
+        _print_template(w, 2, decl.template)
+        w.line(0, f"end object class {decl.name};")
+        w.line(0, "")
+    for decl in spec.objects:
+        w.line(0, f"object {decl.name}")
+        w.line(1, "template")
+        _print_template(w, 2, decl.template)
+        w.line(0, f"end object {decl.name};")
+        w.line(0, "")
+    for decl in spec.interfaces:
+        w.line(0, f"interface class {decl.name}")
+        encs = ", ".join(
+            f"{e.class_name} {e.alias}" if e.alias else e.class_name
+            for e in decl.encapsulating
+        )
+        w.line(1, f"encapsulating {encs}")
+        if decl.selection is not None:
+            w.line(1, f"selection where {print_term(decl.selection)};")
+        if decl.attributes:
+            w.line(1, "attributes")
+            for attr in decl.attributes:
+                _print_attribute(w, 2, attr)
+        if decl.events:
+            w.line(1, "events")
+            for event in decl.events:
+                _print_event(w, 2, event)
+        if decl.derivation_rules:
+            w.line(1, "derivation rules")
+            for rule in decl.derivation_rules:
+                params = "(" + ", ".join(rule.params) + ")" if rule.params else ""
+                w.line(2, f"{rule.attribute}{params} = {print_term(rule.expr)};")
+        if decl.callings:
+            w.line(1, "calling")
+            for rule in decl.callings:
+                _print_calling(w, 2, rule)
+        w.line(0, f"end interface class {decl.name};")
+        w.line(0, "")
+    for block in spec.global_interactions:
+        w.line(0, "global interactions")
+        _print_variables(w, 1, block.variables)
+        for rule in block.rules:
+            _print_calling(w, 1, rule)
+        w.line(0, "")
+    return w.text()

@@ -1,0 +1,421 @@
+"""The paper's TROLL listings (Sections 4 and 5) as specification text.
+
+Repairs applied to the OCR'd listings, each preserving the described
+behaviour (see DESIGN.md):
+
+* ``DEPT``: an ``establishment(d) employees = {};`` valuation rule
+  initialises the member set (the paper's ``insert(P, employees)`` needs
+  a defined initial value), and a ``{ P in employees } new_manager(P);``
+  permission makes the promotion example meaningful.
+* ``PERSON`` is only sketched in the paper ("attributes ... events ...
+  become_manager"); we flesh it out with the attributes its interfaces
+  observe (``Name``, ``Salary``, ``Dept``, ``IncomeInYear``) and the
+  events they call (``ChangeSalary``).
+* ``emp_rel``: the paper's guarded delete rule binds ``s`` only inside
+  its guard pattern; we express the same effect with the query algebra
+  (``select[not(...)](Emps)``).  The transaction call the paper writes
+  for ``ChangeSalary`` is attached to the declared ``UpdateSalary``
+  event (the listing declares ``UpdateSalary`` but then calls an
+  undeclared ``ChangeSalary``; the surrounding prose makes clear they
+  are the same operation).  The key-constraint permission on
+  ``InsertEmp`` implements "under the requirement to satisfy the key
+  constraints".
+* ``EMPL_IMPL``: the derivation rule's garbled ``count(project|salary)
+  (select|...|employees))`` is read as the unique-value extraction
+  ``the(project[esalary](select[...](employees.Emps)))``.
+"""
+
+from repro.lang.parser import parse_specification
+
+
+CAR_SPEC = """
+object class CAR
+  identification
+    Registration: string;
+  template
+    attributes
+      Model: string;
+    events
+      birth register(string);
+      death scrap;
+    valuation
+      variables m: string;
+      register(m) Model = m;
+end object class CAR;
+"""
+
+
+PERSON_MANAGER_SPEC = """
+object class PERSON
+  identification
+    Name: string;
+    BirthDate: date;
+  template
+    data types date, money, string;
+    attributes
+      Dept: string;
+      Salary: money;
+      IsManager: bool;
+      derived IncomeInYear(integer): money;
+    events
+      birth hire_into(string, money);
+      death die;
+      ChangeSalary(money);
+      ChangeDept(string);
+      become_manager;
+      retire_manager;
+    valuation
+      variables d: string; s: money;
+      hire_into(d, s) Dept = d;
+      hire_into(d, s) Salary = s;
+      hire_into(d, s) IsManager = false;
+      ChangeSalary(s) Salary = s;
+      ChangeDept(d) Dept = d;
+      become_manager IsManager = true;
+      retire_manager IsManager = false;
+    permissions
+      { not(IsManager) } become_manager;
+      { IsManager } retire_manager;
+    derivation rules
+      IncomeInYear(y) = Salary * 13.5;
+end object class PERSON;
+
+object class MANAGER
+  view of PERSON;
+  template
+    attributes
+      OfficialCar : |CAR|;
+    events
+      birth PERSON.become_manager;
+      death PERSON.retire_manager;
+      get_car(CAR);
+    valuation
+      variables C: CAR;
+      get_car(C) OfficialCar = C;
+    constraints
+      static Salary >= 5000;
+end object class MANAGER;
+"""
+
+
+DEPT_SPEC = """
+object class DEPT
+  identification
+    id: string;
+  data types date, PERSON, set(PERSON);
+  template
+    attributes
+      est_date: date;
+      manager: PERSON;
+      employees: set(PERSON);
+    events
+      birth establishment(date);
+      death closure;
+      new_manager(PERSON); assign_official_car(CAR, PERSON);
+      hire(PERSON); fire(PERSON);
+    valuation
+      variables P: PERSON; d: date;
+      establishment(d) est_date = d;
+      establishment(d) employees = {};
+      new_manager(P) manager = P;
+      hire(P) employees = insert(P, employees);
+      fire(P) employees = remove(P, employees);
+    permissions
+      variables P: PERSON;
+      { P in employees } new_manager(P);
+      { sometime(after(hire(P))) } fire(P);
+      { for all(P: PERSON : sometime(P in employees) => sometime(after(fire(P)))) } closure;
+end object class DEPT;
+"""
+
+
+COMPANY_SPEC = """
+object TheCompany
+  template
+    attributes
+      CName: string;
+    components
+      depts : LIST(DEPT);
+    events
+      birth founded(string);
+      death liquidated;
+      add_dept(DEPT);
+      drop_dept(DEPT);
+    valuation
+      variables n: string; D: DEPT;
+      founded(n) CName = n;
+      founded(n) depts = [];
+      add_dept(D) depts = append(depts, D);
+      drop_dept(D) depts = remove(depts, D);
+end object TheCompany;
+"""
+
+
+GLOBAL_INTERACTIONS_SPEC = """
+global interactions
+  variables P: PERSON; D: DEPT; C: CAR;
+  DEPT(D).new_manager(P) >> PERSON(P).become_manager;
+  DEPT(D).assign_official_car(C, P) >> MANAGER(P).get_car(C);
+"""
+
+
+SAL_EMPLOYEE_SPEC = """
+interface class SAL_EMPLOYEE
+  encapsulating PERSON
+  attributes
+    Name: string;
+    IncomeInYear(integer): money;
+    Salary: money;
+  events
+    ChangeSalary(money);
+end interface class SAL_EMPLOYEE;
+"""
+
+
+SAL_EMPLOYEE2_SPEC = """
+interface class SAL_EMPLOYEE2
+  encapsulating PERSON
+  attributes
+    Name: string;
+    derived CurrentIncomePerYear: money;
+    Salary: money;
+  events
+    derived IncreaseSalary;
+  derivation
+    derivation rules
+      CurrentIncomePerYear = Salary * 13.5;
+    calling
+      IncreaseSalary >> ChangeSalary(Salary * 1.1);
+end interface class SAL_EMPLOYEE2;
+"""
+
+
+RESEARCH_EMPLOYEE_SPEC = """
+interface class RESEARCH_EMPLOYEE
+  encapsulating PERSON
+  selection where SELF.Dept = 'Research';
+  attributes
+    Name: string;
+    Salary: money;
+  events
+    ChangeSalary(money);
+end interface class RESEARCH_EMPLOYEE;
+"""
+
+
+WORKS_FOR_SPEC = """
+interface class WORKS_FOR
+  encapsulating PERSON P, DEPT D
+  selection where P.surrogate in D.employees;
+  attributes
+    DeptName: string;
+    PersonName: string;
+  derivation rules
+    DeptName = D.id;
+    PersonName = P.Name;
+end interface class WORKS_FOR;
+"""
+
+
+EMPLOYEE_ABSTRACT_SPEC = """
+object class EMPLOYEE
+  identification
+    EmpName: string;
+    EmpBirth: date;
+  template
+    attributes
+      Salary: integer;
+    events
+      birth HireEmployee;
+      death FireEmployee;
+      IncreaseSalary(integer);
+    valuation
+      variables n: integer;
+      HireEmployee Salary = 0;
+      IncreaseSalary(n) Salary = Salary + n;
+end object class EMPLOYEE;
+"""
+
+
+EMP_REL_SPEC = """
+object emp_rel
+  template
+    data types string, date, integer;
+    attributes
+      Emps : set(tuple(ename: string, ebirth: date, esalary: integer));
+    events
+      birth CreateEmpRel;
+      UpdateSalary(string, date, integer);
+      InsertEmp(string, date, integer);
+      DeleteEmp(string, date);
+      death CloseEmpRel;
+    valuation
+      variables n: string; b: date; s: integer;
+      [CreateEmpRel] Emps = {};
+      [InsertEmp(n, b, s)] Emps = insert(Emps, tuple(ename: n, ebirth: b, esalary: s));
+      [DeleteEmp(n, b)] Emps = select[not(ename = n and ebirth = b)](Emps);
+    permissions
+      variables n: string; b: date; s: integer;
+      { exists(s1: integer) in(Emps, tuple(ename: n, ebirth: b, esalary: s1)) } UpdateSalary(n, b, s);
+      { not(exists(s1: integer) in(Emps, tuple(ename: n, ebirth: b, esalary: s1))) } InsertEmp(n, b, s);
+      { exists(s1: integer) in(Emps, tuple(ename: n, ebirth: b, esalary: s1)) } DeleteEmp(n, b);
+      { Emps = {} } CloseEmpRel;
+    interaction
+      variables n: string; b: date; s: integer;
+      UpdateSalary(n, b, s) >> (DeleteEmp(n, b); InsertEmp(n, b, s));
+end object emp_rel;
+"""
+
+
+EMPL_IMPL_SPEC = """
+object class EMPL_IMPL
+  identification
+    data types date, string;
+    EmpName : string;
+    EmpBirth : date;
+  template
+    inheriting emp_rel as employees;
+    attributes
+      derived Salary: integer;
+    events
+      birth HireEmployee;
+      derived IncreaseSalary(integer);
+      death FireEmployee;
+    constraints
+    derivation rules
+      Salary = the(project[esalary](select[ename = EmpName and ebirth = EmpBirth](employees.Emps)));
+    interaction
+      variables n: integer;
+      HireEmployee >> employees.InsertEmp(self.EmpName, self.EmpBirth, 0);
+      FireEmployee >> employees.DeleteEmp(self.EmpName, self.EmpBirth);
+      IncreaseSalary(n) >> employees.UpdateSalary(self.EmpName, self.EmpBirth, self.Salary + n);
+end object class EMPL_IMPL;
+"""
+
+
+EMPL_INTERFACE_SPEC = """
+interface class EMPL
+  encapsulating EMPL_IMPL
+  attributes
+    EmpName: string;
+    EmpBirth: date;
+    Salary: integer;
+  events
+    IncreaseSalary(integer);
+    HireEmployee;
+    FireEmployee;
+end interface class EMPL;
+"""
+
+
+#: The complete Section 4/5.1 object society: classes, the complex
+#: object, the views and the global interactions.
+FULL_COMPANY_SPEC = "\n".join(
+    [
+        CAR_SPEC,
+        PERSON_MANAGER_SPEC,
+        DEPT_SPEC,
+        COMPANY_SPEC,
+        SAL_EMPLOYEE_SPEC,
+        SAL_EMPLOYEE2_SPEC,
+        RESEARCH_EMPLOYEE_SPEC,
+        WORKS_FOR_SPEC,
+        GLOBAL_INTERACTIONS_SPEC,
+    ]
+)
+
+#: The complete Section 5.2 refinement stack: the abstract class, the
+#: relation object, the implementation class and the hiding interface.
+REFINEMENT_SPEC = "\n".join(
+    [
+        EMPLOYEE_ABSTRACT_SPEC,
+        EMP_REL_SPEC,
+        EMPL_IMPL_SPEC,
+        EMPL_INTERFACE_SPEC,
+    ]
+)
+
+
+def load(text: str, source: str = "<library>"):
+    """Parse a library specification text into an AST document."""
+    return parse_specification(text, source)
+
+
+#: A second complete domain (not from the paper): a lending library.
+#: It exercises the full feature surface on fresh ground -- ``initially``
+#: defaults, cross-object atomicity through global interactions, state
+#: permissions, static constraints, and a derived interface.
+LENDING_LIBRARY_SPEC = """
+object class BOOK
+  identification
+    Isbn: string;
+  template
+    attributes
+      Title: string;
+      OnLoan: bool initially false;
+    events
+      birth acquire(string);
+      lend;
+      return_book;
+      death discard;
+    valuation
+      variables t: string;
+      acquire(t) Title = t;
+      lend OnLoan = true;
+      return_book OnLoan = false;
+    permissions
+      { not(OnLoan) } lend;
+      { OnLoan } return_book;
+      { not(OnLoan) } discard;
+end object class BOOK;
+
+object class MEMBER
+  identification
+    MName: string;
+  template
+    attributes
+      Borrowed: set(BOOK) initially {};
+      Fines: integer initially 0;
+    events
+      birth join;
+      borrow(BOOK);
+      give_back(BOOK);
+      incur_fine(integer);
+      pay_fine(integer);
+      death leave;
+    valuation
+      variables B: BOOK; k: integer;
+      borrow(B) Borrowed = insert(B, Borrowed);
+      give_back(B) Borrowed = remove(B, Borrowed);
+      incur_fine(k) Fines = Fines + k;
+      pay_fine(k) Fines = Fines - k;
+    permissions
+      variables B: BOOK; k: integer;
+      { count(Borrowed) < 3 } borrow(B);
+      { B in Borrowed } give_back(B);
+      { k <= Fines } pay_fine(k);
+      { Borrowed = {} and Fines = 0 } leave;
+    constraints
+      static Fines >= 0;
+      static count(Borrowed) <= 3;
+end object class MEMBER;
+
+interface class CIRCULATION
+  encapsulating MEMBER
+  attributes
+    MName: string;
+    derived LoanCount: integer;
+    derived HasFines: bool;
+  events
+    borrow(BOOK);
+    give_back(BOOK);
+  derivation rules
+    LoanCount = count(Borrowed);
+    HasFines = Fines > 0;
+end interface class CIRCULATION;
+
+global interactions
+  variables M: MEMBER; B: BOOK;
+  MEMBER(M).borrow(B) >> BOOK(B).lend;
+  MEMBER(M).give_back(B) >> BOOK(B).return_book;
+"""

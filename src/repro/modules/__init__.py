@@ -1,0 +1,44 @@
+"""Modularization: the three-level schema architecture (Section 6).
+
+A :class:`Module` organises one object subsystem the way Figure 1
+organises a database application:
+
+* the **conceptual schema** -- the abstract TROLL specification of the
+  module's object base;
+* the **internal schema** -- implementation objects plus refinement
+  bindings mapping conceptual classes to implementations-behind-
+  interfaces (Section 5.2's formal implementation);
+* several **external schemata** -- named sets of interface classes, the
+  module's export interfaces ("several different export interfaces for
+  one module for modelling a controlled communication of autonomous
+  subsystems").
+
+Composition:
+
+* **hierarchical** -- a module *imports* another module's external
+  schema and reads/manipulates through its views (dependent subsystems;
+  control flow follows the hierarchy);
+* **horizontal** -- autonomous modules *relay* events through active
+  society interfaces (communicating object societies, e.g. the shared
+  system clock of Section 6.1).
+"""
+
+from repro.modules.architecture import (
+    ExternalSchema,
+    ImportedSchema,
+    Module,
+    ModuleSystem,
+    RefinementBinding,
+    Relay,
+    SocietyInterface,
+)
+
+__all__ = [
+    "ExternalSchema",
+    "ImportedSchema",
+    "Module",
+    "ModuleSystem",
+    "RefinementBinding",
+    "Relay",
+    "SocietyInterface",
+]

@@ -1,0 +1,266 @@
+"""Modules, society interfaces, and module systems.
+
+The unit of modularization "must be expressed by an arbitrary object
+society"; its boundary is a *society interface* -- "structured like
+usual object societies but hiding module realization details", defined
+"as collections of object interfaces" (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.diagnostics import CheckError, RefinementError
+from repro.interfaces.views import InterfaceView
+from repro.refinement.checker import ConformanceReport, EventProfile, RefinementChecker
+from repro.runtime.objectbase import ObjectBase, Occurrence
+
+
+@dataclass(frozen=True)
+class ExternalSchema:
+    """A named export interface: a set of interface-class names defined
+    in the module's specification, optionally *active* (events committed
+    in the module are pushed to subscribers)."""
+
+    name: str
+    interfaces: Tuple[str, ...]
+    active: bool = False
+
+
+@dataclass(frozen=True)
+class RefinementBinding:
+    """An internal-schema binding: conceptual class ``abstract`` is
+    realised by the implementation behind ``interface``."""
+
+    abstract: str
+    interface: str
+
+
+class SocietyInterface:
+    """The runtime face of one external schema: the named views opened
+    over the module's object base, plus (for active schemata) event
+    subscription."""
+
+    def __init__(self, module: "Module", schema: ExternalSchema):
+        self.module = module
+        self.schema = schema
+        self.views: Dict[str, InterfaceView] = {
+            name: InterfaceView(module.system, name) for name in schema.interfaces
+        }
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def view(self, interface_name: str) -> InterfaceView:
+        found = self.views.get(interface_name)
+        if found is None:
+            raise CheckError(
+                f"external schema {self.schema.name!r} of module "
+                f"{self.module.name!r} does not export {interface_name!r}"
+            )
+        return found
+
+    def subscribe(
+        self, handler: Callable[[List[Occurrence]], None]
+    ) -> Callable[[List[Occurrence]], None]:
+        """Register a commit handler (active schemata only)."""
+        if not self.schema.active:
+            raise CheckError(
+                f"external schema {self.schema.name!r} is passive; "
+                "subscription needs an active society interface"
+            )
+        self.module.system.on_commit.append(handler)
+        return handler
+
+
+class Module:
+    """One object-system module organised by the three-level schema
+    architecture."""
+
+    def __init__(
+        self,
+        name: str,
+        conceptual: str,
+        internal: str = "",
+        bindings: Sequence[RefinementBinding] = (),
+        externals: Sequence[ExternalSchema] = (),
+        permission_mode: str = "incremental",
+    ):
+        self.name = name
+        self.conceptual_text = conceptual
+        self.internal_text = internal
+        self.bindings = list(bindings)
+        self.externals: Dict[str, ExternalSchema] = {e.name: e for e in externals}
+        full_text = conceptual + "\n" + internal
+        self.system = ObjectBase(full_text, permission_mode=permission_mode)
+        self._validate_externals()
+
+    def _validate_externals(self) -> None:
+        for schema in self.externals.values():
+            for interface_name in schema.interfaces:
+                if interface_name not in self.system.checked.interfaces:
+                    raise CheckError(
+                        f"module {self.name!r}: external schema "
+                        f"{schema.name!r} exports unknown interface "
+                        f"{interface_name!r}"
+                    )
+        for binding in self.bindings:
+            if binding.abstract not in self.system.checked.classes:
+                raise CheckError(
+                    f"module {self.name!r}: binding for unknown class "
+                    f"{binding.abstract!r}"
+                )
+            if binding.interface not in self.system.checked.interfaces:
+                raise CheckError(
+                    f"module {self.name!r}: binding through unknown "
+                    f"interface {binding.interface!r}"
+                )
+
+    def export(self, schema_name: str) -> SocietyInterface:
+        """Open one of the module's external schemata."""
+        schema = self.externals.get(schema_name)
+        if schema is None:
+            raise CheckError(
+                f"module {self.name!r} has no external schema {schema_name!r}"
+            )
+        return SocietyInterface(self, schema)
+
+    def verify_bindings(
+        self,
+        profiles_by_class: Dict[str, Sequence[EventProfile]],
+        traces: int = 10,
+        trace_length: int = 8,
+        seed: int = 0,
+    ) -> Dict[str, ConformanceReport]:
+        """Check every internal-schema binding by co-simulation
+        (module refinement as "formal implementation steps")."""
+        reports: Dict[str, ConformanceReport] = {}
+        for binding in self.bindings:
+            profiles = profiles_by_class.get(binding.abstract)
+            if profiles is None:
+                raise RefinementError(
+                    f"no event profiles supplied for {binding.abstract!r}"
+                )
+            checker = RefinementChecker(
+                self.system, binding.abstract, binding.interface
+            )
+            reports[binding.abstract] = checker.random_conformance(
+                profiles, traces=traces, trace_length=trace_length, seed=seed
+            )
+        return reports
+
+
+@dataclass
+class ImportedSchema:
+    """A hierarchical import: ``importer`` uses ``exporter``'s external
+    schema through its society interface."""
+
+    importer: str
+    exporter: str
+    interface: SocietyInterface
+
+
+@dataclass
+class Relay:
+    """A horizontal connection: occurrences of ``(class_name, event)``
+    committed in the source module trigger ``handler`` (which typically
+    drives events in the target module)."""
+
+    source: str
+    class_name: str
+    event: str
+    handler: Callable[[Occurrence], None]
+
+
+class ModuleSystem:
+    """A collection of modules composed hierarchically and horizontally.
+
+    "Arbitrary systems can be built by connecting object system modules
+    using society interface import" (Section 6.2).
+    """
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, Module] = {}
+        self.imports: List[ImportedSchema] = []
+        self.relays: List[Relay] = []
+
+    def add(self, module: Module) -> Module:
+        if module.name in self.modules:
+            raise CheckError(f"duplicate module name {module.name!r}")
+        self.modules[module.name] = module
+        return module
+
+    def module(self, name: str) -> Module:
+        found = self.modules.get(name)
+        if found is None:
+            raise CheckError(f"unknown module {name!r}")
+        return found
+
+    # ------------------------------------------------------------------
+    # Hierarchical composition
+    # ------------------------------------------------------------------
+
+    def import_schema(
+        self, importer: str, exporter: str, schema_name: str
+    ) -> SocietyInterface:
+        """Give ``importer`` access to ``exporter``'s external schema.
+
+        Returns the society interface; the importing module holds no
+        other handle on the exporter ("the implementation of single
+        modules is hidden to the outside").
+        """
+        self.module(importer)
+        interface = self.module(exporter).export(schema_name)
+        self.imports.append(
+            ImportedSchema(importer=importer, exporter=exporter, interface=interface)
+        )
+        return interface
+
+    # ------------------------------------------------------------------
+    # Horizontal composition
+    # ------------------------------------------------------------------
+
+    def connect(
+        self,
+        source: str,
+        class_name: str,
+        event: str,
+        handler: Callable[[Occurrence], None],
+        via_schema: Optional[str] = None,
+    ) -> Relay:
+        """Relay committed ``class_name.event`` occurrences of ``source``
+        to ``handler`` -- the active-society-interface mechanism behind
+        e.g. the shared system clock.
+
+        When ``via_schema`` is given, it must name an *active* external
+        schema of the source module (the subscription is part of the
+        module's declared communication surface).
+        """
+        source_module = self.module(source)
+        if via_schema is not None:
+            schema = source_module.externals.get(via_schema)
+            if schema is None:
+                raise CheckError(
+                    f"module {source!r} has no external schema {via_schema!r}"
+                )
+            if not schema.active:
+                raise CheckError(
+                    f"external schema {via_schema!r} of module {source!r} is "
+                    "passive; relays need an active schema"
+                )
+
+        relay = Relay(source=source, class_name=class_name, event=event, handler=handler)
+
+        def hook(occurrences: List[Occurrence]) -> None:
+            for occurrence in occurrences:
+                if (
+                    occurrence.instance.class_name == class_name
+                    and occurrence.event == event
+                ):
+                    handler(occurrence)
+
+        source_module.system.on_commit.append(hook)
+        self.relays.append(relay)
+        return relay

@@ -1,0 +1,43 @@
+"""The object query algebra (Section 5.1, [SJ90/SJS91]).
+
+"For the derivation of attribute values we may use an object query
+language enabling value retrieval from object states ...  This algebra
+resembles well known concepts of database query algebras handling values
+(not objects!).  Algebra terms are evaluated locally to the encapsulated
+object."
+
+Two faces:
+
+* the *term* face -- ``select[...](...)`` / ``project[...](...)`` terms
+  inside TROLL derivation rules, parsed by :mod:`repro.lang` and
+  evaluated by :mod:`repro.datatypes.evaluator`;
+* the *functional* face in this package -- plain Python combinators over
+  :class:`~repro.datatypes.values.Value` collections, for host programs
+  and tests.
+"""
+
+from repro.query.algebra import (
+    aggregate,
+    count,
+    exists,
+    group_by,
+    join,
+    product,
+    project,
+    rename,
+    select,
+    the,
+)
+
+__all__ = [
+    "aggregate",
+    "count",
+    "exists",
+    "group_by",
+    "join",
+    "product",
+    "project",
+    "rename",
+    "select",
+    "the",
+]

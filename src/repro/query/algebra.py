@@ -1,0 +1,155 @@
+"""Value-based query combinators.
+
+All combinators consume and produce :class:`~repro.datatypes.values.Value`
+collections (sets or lists of tuples), mirroring the paper's query
+algebra over values -- "handling values (not objects!)".  Predicates and
+key functions are plain Python callables receiving a ``{field: Value}``
+dict per tuple, which keeps the functional face free of the term
+machinery (derivation rules use the term face instead).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.datatypes.sorts import ListSort, SetSort, TupleSort
+from repro.datatypes.values import Value, integer, list_value, set_value, tuple_value
+from repro.diagnostics import EvaluationError
+
+Row = Dict[str, Value]
+Predicate = Callable[[Row], bool]
+
+
+def _rows(collection: Value) -> List[Row]:
+    if not isinstance(collection.sort, (SetSort, ListSort)):
+        raise EvaluationError(
+            f"query combinators expect a collection, got sort {collection.sort}"
+        )
+    rows: List[Row] = []
+    for item in collection.payload:
+        if isinstance(item.sort, TupleSort):
+            rows.append({name: value for name, value in item.payload})
+        else:
+            rows.append({"it": item})
+    return rows
+
+
+def _rebuild(collection: Value, rows: Iterable[Row]) -> Value:
+    items = []
+    for row in rows:
+        if list(row) == ["it"]:
+            items.append(row["it"])
+        else:
+            items.append(tuple_value(row))
+    if isinstance(collection.sort, SetSort):
+        return set_value(items)
+    return list_value(items)
+
+
+def select(collection: Value, predicate: Predicate) -> Value:
+    """Keep the tuples satisfying ``predicate``."""
+    return _rebuild(collection, (r for r in _rows(collection) if predicate(r)))
+
+
+def project(collection: Value, fields: Sequence[str]) -> Value:
+    """Restrict tuples to ``fields``; a single field projects to the bare
+    values (the paper's ``project[esalary]`` idiom)."""
+    rows = _rows(collection)
+    if len(fields) == 1:
+        name = fields[0]
+        items = []
+        for row in rows:
+            if name not in row:
+                raise EvaluationError(f"project: unknown field {name!r}")
+            items.append(row[name])
+        if isinstance(collection.sort, SetSort):
+            return set_value(items)
+        return list_value(items)
+    projected = []
+    for row in rows:
+        missing = [f for f in fields if f not in row]
+        if missing:
+            raise EvaluationError(f"project: unknown fields {missing}")
+        projected.append({f: row[f] for f in fields})
+    return _rebuild(collection, projected)
+
+
+def rename(collection: Value, mapping: Dict[str, str]) -> Value:
+    """Rename tuple fields (``{"old": "new"}``)."""
+    rows = []
+    for row in _rows(collection):
+        rows.append({mapping.get(name, name): value for name, value in row.items()})
+    return _rebuild(collection, rows)
+
+
+def count(collection: Value) -> Value:
+    """Cardinality, as a value."""
+    return integer(len(collection.payload))
+
+
+def the(collection: Value) -> Value:
+    """The unique element of a singleton collection."""
+    items = list(collection.payload)
+    if len(items) != 1:
+        raise EvaluationError(f"the: expected a singleton, got {len(items)} elements")
+    return items[0]
+
+
+def exists(collection: Value, predicate: Optional[Predicate] = None) -> bool:
+    """Does any tuple (satisfying ``predicate``) exist?"""
+    rows = _rows(collection)
+    if predicate is None:
+        return bool(rows)
+    return any(predicate(r) for r in rows)
+
+
+def product(left: Value, right: Value) -> Value:
+    """Cartesian product of two tuple collections (field collision is an
+    error; :func:`rename` first)."""
+    left_rows, right_rows = _rows(left), _rows(right)
+    out: List[Row] = []
+    for l in left_rows:
+        for r in right_rows:
+            clash = set(l) & set(r)
+            if clash:
+                raise EvaluationError(
+                    f"product: field collision {sorted(clash)}; rename first"
+                )
+            merged = dict(l)
+            merged.update(r)
+            out.append(merged)
+    return _rebuild(left, out)
+
+
+def join(left: Value, right: Value, on: Predicate) -> Value:
+    """Theta-join: the product filtered by ``on`` (the implicit
+    aggregation underlying the paper's join views)."""
+    return select(product(left, right), on)
+
+
+def group_by(collection: Value, key_fields: Sequence[str]) -> Dict[tuple, Value]:
+    """Partition a tuple collection by the values of ``key_fields``.
+
+    Returns ``{key tuple: sub-collection}`` preserving the collection
+    kind.
+    """
+    buckets: Dict[tuple, List[Row]] = {}
+    for row in _rows(collection):
+        missing = [f for f in key_fields if f not in row]
+        if missing:
+            raise EvaluationError(f"group_by: unknown fields {missing}")
+        key = tuple(row[f] for f in key_fields)
+        buckets.setdefault(key, []).append(row)
+    return {key: _rebuild(collection, rows) for key, rows in buckets.items()}
+
+
+def aggregate(
+    collection: Value, field: str, fn: Callable[[List[Value]], Value]
+) -> Value:
+    """Apply ``fn`` to the list of ``field`` values."""
+    values = []
+    for row in _rows(collection):
+        if field not in row:
+            raise EvaluationError(f"aggregate: unknown field {field!r}")
+        values.append(row[field])
+    return fn(values)

@@ -1,0 +1,29 @@
+"""Formal implementation and refinement checking (Section 5.2).
+
+"To show the correctness of our implementation, we have to prove that
+all properties of the original EMPLOYEE specification can be derived
+from EMPL, too."  The paper defers the proof theory to [FSMS90, FM91];
+this package provides the executable counterpart: a *co-simulation*
+conformance check between the abstract specification and the concrete
+realization accessed through its hiding interface.
+
+Conformance over a tested trace set means, step by step:
+
+* **acceptance agreement** -- an event is admitted by the abstract
+  object iff the interface admits it on the implementation;
+* **observation agreement** -- after every applied event, the observable
+  attributes (the interface's visible attributes) coincide.
+
+:class:`RefinementChecker` drives scripted traces and seeded random
+traces; a failure raises (or returns) a
+:class:`~repro.diagnostics.RefinementError` carrying the counterexample
+prefix.
+"""
+
+from repro.refinement.checker import (
+    ConformanceReport,
+    EventProfile,
+    RefinementChecker,
+)
+
+__all__ = ["ConformanceReport", "EventProfile", "RefinementChecker"]

@@ -1,0 +1,273 @@
+"""Co-simulation refinement checking.
+
+The abstract class and its implementation live in one
+:class:`~repro.runtime.objectbase.ObjectBase` (the Section 5.2 stack
+declares EMPLOYEE, emp_rel, EMPL_IMPL and EMPL together).  The checker
+creates one abstract instance and one concrete instance per tested
+trace, then replays events against both sides in lock step.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.diagnostics import RefinementError, RuntimeSpecError
+from repro.interfaces.views import InterfaceView
+from repro.runtime.objectbase import ObjectBase
+
+
+@dataclass(frozen=True)
+class EventProfile:
+    """How the trace generator exercises one abstract event.
+
+    Attributes:
+        name: The abstract event name.
+        args: A callable producing an argument list from the RNG (or a
+            constant list).  Defaults to no arguments.
+        kind: ``"birth"``, ``"death"`` or ``"normal"`` -- birth events
+            start a trace, death events end it.
+        weight: Relative pick probability for random traces.
+        concrete_name: The event name on the interface, when it differs.
+    """
+
+    name: str
+    args: Union[Sequence[object], Callable[[random.Random], Sequence[object]]] = ()
+    kind: str = "normal"
+    weight: float = 1.0
+    concrete_name: Optional[str] = None
+
+    def make_args(self, rng: random.Random) -> Sequence[object]:
+        if callable(self.args):
+            return self.args(rng)
+        return self.args
+
+    @property
+    def interface_event(self) -> str:
+        return self.concrete_name or self.name
+
+
+@dataclass
+class ConformanceReport:
+    """The outcome of a conformance run."""
+
+    ok: bool
+    traces_run: int = 0
+    events_run: int = 0
+    accepted_events: int = 0
+    rejected_events: int = 0
+    counterexample: List[str] = field(default_factory=list)
+    reason: str = ""
+
+    def raise_if_failed(self) -> "ConformanceReport":
+        if not self.ok:
+            raise RefinementError(self.reason, counterexample=self.counterexample)
+        return self
+
+
+class RefinementChecker:
+    """Checks that an implementation-through-interface refines an
+    abstract class."""
+
+    def __init__(
+        self,
+        system: ObjectBase,
+        abstract_class: str,
+        interface: str,
+        observed_attributes: Optional[Sequence[str]] = None,
+        attribute_map: Optional[Dict[str, str]] = None,
+        identity_counter_start: int = 0,
+    ):
+        self.system = system
+        self.abstract_class = abstract_class
+        self.view = InterfaceView(system, interface)
+        concrete_class = self.view._single_class()
+        self.concrete_class = concrete_class
+        #: abstract attribute -> interface attribute
+        self.attribute_map = dict(attribute_map or {})
+        if observed_attributes is None:
+            abstract_attrs = set(
+                system.checked.classes[abstract_class].attributes
+            )
+            observed_attributes = sorted(
+                set(self.view.visible_attributes) & abstract_attrs
+            )
+        self.observed_attributes = list(observed_attributes)
+        self._counter = identity_counter_start
+
+    # ------------------------------------------------------------------
+    # Identification plumbing
+    # ------------------------------------------------------------------
+
+    def _fresh_identification(self) -> Dict[str, object]:
+        """Identification values for a fresh abstract/concrete pair.
+
+        Both classes must share identification attribute names (true for
+        the paper's EMPLOYEE / EMPL_IMPL); values are synthesised per
+        sort.
+        """
+        self._counter += 1
+        values: Dict[str, object] = {}
+        info = self.system.checked.classes[self.abstract_class]
+        import datetime
+
+        for attr in info.id_attributes:
+            sort_name = attr.sort.name if attr.sort is not None else "string"
+            if sort_name == "string":
+                values[attr.name] = f"subject_{self._counter}"
+            elif sort_name in ("integer", "nat", "money", "real"):
+                values[attr.name] = self._counter
+            elif sort_name == "date":
+                values[attr.name] = datetime.date(1960, 1, 1) + datetime.timedelta(
+                    days=self._counter
+                )
+            else:
+                values[attr.name] = f"subject_{self._counter}"
+        return values
+
+    # ------------------------------------------------------------------
+    # Scripted traces
+    # ------------------------------------------------------------------
+
+    def check_trace(
+        self, script: Sequence[Tuple[str, Sequence[object]]]
+    ) -> ConformanceReport:
+        """Replay one scripted trace on both sides.
+
+        ``script`` is a list of (abstract event name, args); the first
+        entry must be a birth event.
+        """
+        report = ConformanceReport(ok=True, traces_run=1)
+        identification = self._fresh_identification()
+        prefix: List[str] = []
+        abstract = concrete = None
+        profiles = {name: EventProfile(name=name) for name, _ in script}
+        for event_name, args in script:
+            profile = profiles[event_name]
+            decl = self.system.checked.classes[self.abstract_class].all_events().get(
+                event_name
+            )
+            kind = decl.kind if decl is not None else "normal"
+            step = f"{event_name}({', '.join(map(str, args))})"
+            prefix.append(step)
+            report.events_run += 1
+            if abstract is None:
+                if kind != "birth":
+                    report.ok = False
+                    report.reason = f"trace must start with a birth event, got {step}"
+                    report.counterexample = prefix
+                    return report
+                abstract = self.system.create(
+                    self.abstract_class, identification, event_name, args
+                )
+                concrete = self.system.create(
+                    self.concrete_class, identification, profile.interface_event, args
+                )
+                report.accepted_events += 1
+            else:
+                outcome = self._lockstep(
+                    abstract, concrete, profile, args, prefix, report
+                )
+                if not outcome:
+                    return report
+            if not self._observations_agree(abstract, concrete, prefix, report):
+                return report
+        return report
+
+    def _lockstep(self, abstract, concrete, profile, args, prefix, report) -> bool:
+        abstract_ok = self.system.is_permitted(abstract, profile.name, args)
+        concrete_ok = self.view.can_call(
+            concrete.key, profile.interface_event, args
+        )
+        if abstract_ok != concrete_ok:
+            report.ok = False
+            report.reason = (
+                f"acceptance disagreement at {prefix[-1]}: abstract "
+                f"{'admits' if abstract_ok else 'rejects'}, implementation "
+                f"{'admits' if concrete_ok else 'rejects'}"
+            )
+            report.counterexample = list(prefix)
+            return False
+        if not abstract_ok:
+            report.rejected_events += 1
+            prefix[-1] += " [rejected by both]"
+            return True
+        self.system.occur(abstract, profile.name, args)
+        self.view.call(concrete.key, profile.interface_event, args)
+        report.accepted_events += 1
+        return True
+
+    def _observations_agree(self, abstract, concrete, prefix, report) -> bool:
+        if abstract is None or not abstract.alive or not concrete.alive:
+            return True
+        for attribute in self.observed_attributes:
+            concrete_name = self.attribute_map.get(attribute, attribute)
+            try:
+                expected = abstract.observe(attribute)
+            except RuntimeSpecError:
+                continue
+            try:
+                actual = self.view.get(concrete.key, concrete_name)
+            except RuntimeSpecError as exc:
+                report.ok = False
+                report.reason = (
+                    f"observation {attribute!r} unavailable on the "
+                    f"implementation after {prefix[-1]}: {exc.message}"
+                )
+                report.counterexample = list(prefix)
+                return False
+            if expected != actual:
+                report.ok = False
+                report.reason = (
+                    f"observation disagreement on {attribute!r} after "
+                    f"{prefix[-1]}: abstract {expected}, implementation {actual}"
+                )
+                report.counterexample = list(prefix)
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Random conformance
+    # ------------------------------------------------------------------
+
+    def random_conformance(
+        self,
+        profiles: Sequence[EventProfile],
+        traces: int = 20,
+        trace_length: int = 12,
+        seed: int = 0,
+    ) -> ConformanceReport:
+        """Run seeded random traces drawn from ``profiles``.
+
+        Each trace starts with the (unique) birth profile, then draws
+        weighted events -- including events the abstract object may
+        reject, exercising acceptance agreement on denials.
+        """
+        rng = random.Random(seed)
+        births = [p for p in profiles if p.kind == "birth"]
+        others = [p for p in profiles if p.kind != "birth"]
+        if len(births) != 1:
+            raise RefinementError(
+                f"random_conformance expects exactly one birth profile, got "
+                f"{len(births)}"
+            )
+        total = ConformanceReport(ok=True)
+        for _ in range(traces):
+            script: List[Tuple[str, Sequence[object]]] = [
+                (births[0].name, list(births[0].make_args(rng)))
+            ]
+            for _ in range(trace_length):
+                profile = rng.choices(others, weights=[p.weight for p in others])[0]
+                script.append((profile.name, list(profile.make_args(rng))))
+            report = self.check_trace(script)
+            total.traces_run += report.traces_run
+            total.events_run += report.events_run
+            total.accepted_events += report.accepted_events
+            total.rejected_events += report.rejected_events
+            if not report.ok:
+                total.ok = False
+                total.reason = report.reason
+                total.counterexample = report.counterexample
+                return total
+        return total

@@ -1,0 +1,41 @@
+"""The relational implementation platform (Section 5.2's substrate).
+
+The paper implements the EMPLOYEE class over an object ``emp_rel``
+"describing a database relation of a relational database", and remarks
+that "this relation object itself may be implemented for example by
+another object using a B-tree or a hash table access method", and that
+relation-object interfaces "can be derived automatically from a given
+relational schema".
+
+This package supplies all three layers:
+
+* :mod:`repro.relational.engine` -- relations with typed columns, key
+  constraints and pluggable access paths: a linear-scan store, a hash
+  index, and a real in-memory B-tree (:mod:`repro.relational.btree`);
+* :mod:`repro.relational.generate` -- the automatic derivation of a
+  TROLL relation-object specification (the ``emp_rel`` shape: Create /
+  Insert / Delete / Update / Close, with key-constraint permissions)
+  from a relational schema.
+"""
+
+from repro.relational.btree import BTree
+from repro.relational.engine import (
+    BTreeStorage,
+    HashStorage,
+    KeyViolation,
+    ListStorage,
+    Relation,
+    RelationSchema,
+)
+from repro.relational.generate import relation_object_spec
+
+__all__ = [
+    "BTree",
+    "BTreeStorage",
+    "HashStorage",
+    "KeyViolation",
+    "ListStorage",
+    "Relation",
+    "RelationSchema",
+    "relation_object_spec",
+]

@@ -1,0 +1,279 @@
+"""An in-memory B-tree.
+
+A classic order-``t`` B-tree (minimum degree ``t``): every node except
+the root holds between ``t - 1`` and ``2t - 1`` keys; all leaves are at
+the same depth.  Keys are arbitrary comparable Python objects; each key
+carries one value (the relation row).
+
+This is the "B-tree access method" Section 5.2 mentions as the next
+implementation layer below the relation object; benchmark A3 compares it
+against the linear-scan and hash access paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Tuple
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+        self.values: List[Any] = []
+        self.children: List["_Node"] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """A B-tree map with ordered iteration and range scans."""
+
+    def __init__(self, min_degree: int = 16):
+        if min_degree < 2:
+            raise ValueError("B-tree minimum degree must be >= 2")
+        self._t = min_degree
+        self._root = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        node = self._root
+        while True:
+            index = _bisect(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return node.values[index]
+            if node.is_leaf:
+                return default
+            node = node.children[index]
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> bool:
+        """Insert or update; returns True when the key was new."""
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _Node()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+        fresh = self._insert_nonfull(self._root, key, value)
+        if fresh:
+            self._size += 1
+        return fresh
+
+    def _insert_nonfull(self, node: _Node, key: Any, value: Any) -> bool:
+        index = _bisect(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            node.values[index] = value
+            return False
+        if node.is_leaf:
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            return True
+        child = node.children[index]
+        if len(child.keys) == 2 * self._t - 1:
+            self._split_child(node, index)
+            if key == node.keys[index]:
+                node.values[index] = value
+                return False
+            if key > node.keys[index]:
+                index += 1
+        return self._insert_nonfull(node.children[index], key, value)
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self._t
+        child = parent.children[index]
+        sibling = _Node()
+        parent.keys.insert(index, child.keys[t - 1])
+        parent.values.insert(index, child.values[t - 1])
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+        if not child.is_leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.children.insert(index + 1, sibling)
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, key: Any) -> bool:
+        """Delete ``key``; returns True when it was present."""
+        removed = self._delete(self._root, key)
+        if removed:
+            self._size -= 1
+        if not self._root.keys and not self._root.is_leaf:
+            self._root = self._root.children[0]
+        return removed
+
+    def _delete(self, node: _Node, key: Any) -> bool:
+        t = self._t
+        index = _bisect(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            if node.is_leaf:
+                node.keys.pop(index)
+                node.values.pop(index)
+                return True
+            left, right = node.children[index], node.children[index + 1]
+            if len(left.keys) >= t:
+                pred_key, pred_value = self._max_entry(left)
+                node.keys[index], node.values[index] = pred_key, pred_value
+                return self._delete(left, pred_key)
+            if len(right.keys) >= t:
+                succ_key, succ_value = self._min_entry(right)
+                node.keys[index], node.values[index] = succ_key, succ_value
+                return self._delete(right, succ_key)
+            self._merge_children(node, index)
+            return self._delete(node.children[index], key)
+        if node.is_leaf:
+            return False
+        child_index = index
+        child = node.children[child_index]
+        if len(child.keys) == t - 1:
+            child_index = self._grow_child(node, child_index)
+            child = node.children[child_index]
+        return self._delete(child, key)
+
+    def _grow_child(self, node: _Node, index: int) -> int:
+        """Ensure child ``index`` has >= t keys, borrowing or merging;
+        returns the (possibly shifted) child index holding the search
+        path."""
+        t = self._t
+        child = node.children[index]
+        if index > 0 and len(node.children[index - 1].keys) >= t:
+            left = node.children[index - 1]
+            child.keys.insert(0, node.keys[index - 1])
+            child.values.insert(0, node.values[index - 1])
+            node.keys[index - 1] = left.keys.pop()
+            node.values[index - 1] = left.values.pop()
+            if not left.is_leaf:
+                child.children.insert(0, left.children.pop())
+            return index
+        if index < len(node.children) - 1 and len(node.children[index + 1].keys) >= t:
+            right = node.children[index + 1]
+            child.keys.append(node.keys[index])
+            child.values.append(node.values[index])
+            node.keys[index] = right.keys.pop(0)
+            node.values[index] = right.values.pop(0)
+            if not right.is_leaf:
+                child.children.append(right.children.pop(0))
+            return index
+        if index > 0:
+            self._merge_children(node, index - 1)
+            return index - 1
+        self._merge_children(node, index)
+        return index
+
+    def _merge_children(self, node: _Node, index: int) -> None:
+        left = node.children[index]
+        right = node.children.pop(index + 1)
+        left.keys.append(node.keys.pop(index))
+        left.values.append(node.values.pop(index))
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.children.extend(right.children)
+
+    def _max_entry(self, node: _Node) -> Tuple[Any, Any]:
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1], node.values[-1]
+
+    def _min_entry(self, node: _Node) -> Tuple[Any, Any]:
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All entries in key order."""
+        yield from self._walk(self._root)
+
+    def _walk(self, node: _Node) -> Iterator[Tuple[Any, Any]]:
+        if node.is_leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for index, key in enumerate(node.keys):
+            yield from self._walk(node.children[index])
+            yield key, node.values[index]
+        yield from self._walk(node.children[-1])
+
+    def range(self, low: Any, high: Any) -> Iterator[Tuple[Any, Any]]:
+        """Entries with ``low <= key <= high``, in key order."""
+        for key, value in self.items():
+            if key > high:
+                return
+            if key >= low:
+                yield key, value
+
+    def depth(self) -> int:
+        depth = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            depth += 1
+        return depth
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the structural invariants are broken
+        (used by the property-based tests)."""
+        t = self._t
+        leaf_depths = set()
+
+        def visit(node: _Node, depth: int, lo: Any, hi: Any, is_root: bool) -> None:
+            assert node.keys == sorted(node.keys), "unsorted node keys"
+            assert len(node.keys) == len(node.values)
+            if not is_root:
+                assert len(node.keys) >= t - 1, "underfull node"
+            assert len(node.keys) <= 2 * t - 1, "overfull node"
+            for key in node.keys:
+                if lo is not None:
+                    assert key > lo, "key below subtree bound"
+                if hi is not None:
+                    assert key < hi, "key above subtree bound"
+            if node.is_leaf:
+                leaf_depths.add(depth)
+                return
+            assert len(node.children) == len(node.keys) + 1
+            bounds = [lo] + list(node.keys) + [hi]
+            for index, child in enumerate(node.children):
+                visit(child, depth + 1, bounds[index], bounds[index + 1], False)
+
+        visit(self._root, 1, None, None, True)
+        assert len(leaf_depths) <= 1, "leaves at differing depths"
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+
+def _bisect(keys: List[Any], key: Any) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

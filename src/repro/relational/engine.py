@@ -1,0 +1,252 @@
+"""Relations with key constraints and pluggable access paths.
+
+A :class:`Relation` stores rows (``{column: Value}``) under a
+:class:`RelationSchema` with a primary key.  The storage engine is
+pluggable -- the three access paths of ablation A3:
+
+* :class:`ListStorage` -- linear scan (the naive baseline);
+* :class:`HashStorage` -- a dict keyed by the primary key;
+* :class:`BTreeStorage` -- the :class:`~repro.relational.btree.BTree`,
+  which additionally supports ordered range scans.
+
+Update semantics follow the paper: "the semantics of update operations
+are semantically modelled by a sequence consisting of an insert and
+delete operation in a set of tuples under the requirement to satisfy the
+key constraints".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.datatypes.sorts import Sort, TupleSort
+from repro.datatypes.values import Value, from_python, tuple_value
+from repro.diagnostics import RuntimeSpecError
+
+
+class KeyViolation(RuntimeSpecError):
+    """A primary-key constraint violation."""
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation schema: name, typed columns, primary key."""
+
+    name: str
+    columns: Tuple[Tuple[str, Sort], ...]
+    key: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        names = [c for c, _ in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"relation {self.name}: duplicate column names")
+        unknown = [k for k in self.key if k not in names]
+        if unknown:
+            raise ValueError(f"relation {self.name}: key columns {unknown} undeclared")
+        if not self.key:
+            raise ValueError(f"relation {self.name}: empty primary key")
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(c for c, _ in self.columns)
+
+    @property
+    def tuple_sort(self) -> TupleSort:
+        return TupleSort(name="tuple", fields=self.columns)
+
+    def key_of(self, row: Dict[str, Value]) -> tuple:
+        return tuple(row[k].payload for k in self.key)
+
+
+Row = Dict[str, Value]
+
+
+class Storage:
+    """The access-path interface."""
+
+    def insert(self, key: tuple, row: Row) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: tuple) -> Optional[Row]:
+        raise NotImplementedError
+
+    def lookup(self, key: tuple) -> Optional[Row]:
+        raise NotImplementedError
+
+    def scan(self) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class ListStorage(Storage):
+    """Linear scan over an unordered list."""
+
+    def __init__(self) -> None:
+        self._rows: List[Tuple[tuple, Row]] = []
+
+    def insert(self, key: tuple, row: Row) -> None:
+        self._rows.append((key, row))
+
+    def delete(self, key: tuple) -> Optional[Row]:
+        for index, (k, row) in enumerate(self._rows):
+            if k == key:
+                self._rows.pop(index)
+                return row
+        return None
+
+    def lookup(self, key: tuple) -> Optional[Row]:
+        for k, row in self._rows:
+            if k == key:
+                return row
+        return None
+
+    def scan(self) -> Iterator[Row]:
+        for _, row in self._rows:
+            yield row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class HashStorage(Storage):
+    """A hash index on the primary key."""
+
+    def __init__(self) -> None:
+        self._rows: Dict[tuple, Row] = {}
+
+    def insert(self, key: tuple, row: Row) -> None:
+        self._rows[key] = row
+
+    def delete(self, key: tuple) -> Optional[Row]:
+        return self._rows.pop(key, None)
+
+    def lookup(self, key: tuple) -> Optional[Row]:
+        return self._rows.get(key)
+
+    def scan(self) -> Iterator[Row]:
+        yield from self._rows.values()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class BTreeStorage(Storage):
+    """The B-tree access path (ordered; supports range scans)."""
+
+    def __init__(self, min_degree: int = 16) -> None:
+        from repro.relational.btree import BTree
+
+        self._tree = BTree(min_degree=min_degree)
+
+    def insert(self, key: tuple, row: Row) -> None:
+        self._tree.insert(key, row)
+
+    def delete(self, key: tuple) -> Optional[Row]:
+        row = self._tree.get(key)
+        if row is None:
+            return None
+        self._tree.delete(key)
+        return row
+
+    def lookup(self, key: tuple) -> Optional[Row]:
+        return self._tree.get(key)
+
+    def scan(self) -> Iterator[Row]:
+        for _, row in self._tree.items():
+            yield row
+
+    def range(self, low: tuple, high: tuple) -> Iterator[Row]:
+        for _, row in self._tree.range(low, high):
+            yield row
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+
+_STORAGES = {
+    "list": ListStorage,
+    "hash": HashStorage,
+    "btree": BTreeStorage,
+}
+
+
+class Relation:
+    """A relation instance over a schema and an access path."""
+
+    def __init__(self, schema: RelationSchema, storage: str = "hash"):
+        self.schema = schema
+        if isinstance(storage, str):
+            factory = _STORAGES.get(storage)
+            if factory is None:
+                raise ValueError(
+                    f"unknown storage {storage!r}; choose from {sorted(_STORAGES)}"
+                )
+            self.storage: Storage = factory()
+        else:
+            self.storage = storage
+
+    def __len__(self) -> int:
+        return len(self.storage)
+
+    def _coerce_row(self, values: Sequence[object]) -> Row:
+        if len(values) != len(self.schema.columns):
+            raise RuntimeSpecError(
+                f"{self.schema.name}: expected {len(self.schema.columns)} "
+                f"column values, got {len(values)}"
+            )
+        return {
+            name: from_python(value)
+            for (name, _), value in zip(self.schema.columns, values)
+        }
+
+    def insert(self, *values: object) -> Row:
+        """Insert a row; raises :class:`KeyViolation` on a duplicate
+        key."""
+        row = self._coerce_row(values)
+        key = self.schema.key_of(row)
+        if self.storage.lookup(key) is not None:
+            raise KeyViolation(
+                f"{self.schema.name}: duplicate key {key!r}"
+            )
+        self.storage.insert(key, row)
+        return row
+
+    def delete(self, *key_values: object) -> Row:
+        """Delete by primary key; raises :class:`KeyViolation` when the
+        key is absent."""
+        key = tuple(from_python(v).payload for v in key_values)
+        row = self.storage.delete(key)
+        if row is None:
+            raise KeyViolation(f"{self.schema.name}: no row with key {key!r}")
+        return row
+
+    def update(self, key_values: Sequence[object], new_values: Sequence[object]) -> Row:
+        """Update by primary key, modelled as delete-then-insert (the
+        paper's update semantics)."""
+        old = self.delete(*key_values)
+        try:
+            return self.insert(*new_values)
+        except KeyViolation:
+            # restore the deleted row to keep the operation atomic
+            self.storage.insert(self.schema.key_of(old), old)
+            raise
+
+    def lookup(self, *key_values: object) -> Optional[Row]:
+        key = tuple(from_python(v).payload for v in key_values)
+        return self.storage.lookup(key)
+
+    def scan(self) -> List[Row]:
+        return list(self.storage.scan())
+
+    def as_value(self) -> Value:
+        """The relation's contents as a TROLL set-of-tuples value (the
+        shape of ``emp_rel``'s ``Emps`` attribute)."""
+        from repro.datatypes.values import set_value
+
+        return set_value(
+            (tuple_value(row) for row in self.storage.scan()),
+            self.schema.tuple_sort,
+        )

@@ -1,0 +1,109 @@
+"""Automatic derivation of relation-object specifications.
+
+"The interfaces (i.e., the object signature) of such implementation
+objects can be derived automatically from a given relational schema.
+... In general, there are a number of update events generated from a
+given relational schema."  (Section 5.2)
+
+:func:`relation_object_spec` emits, for a :class:`RelationSchema`, a
+TROLL single-object specification of the ``emp_rel`` shape:
+
+* a set-of-tuples attribute holding the relation state;
+* ``Create<R>`` / ``Close<R>`` birth and death events (closing only an
+  empty relation);
+* ``Insert<R>`` over all columns, guarded by the key constraint;
+* ``Delete<R>`` over the key columns, requiring presence;
+* ``Update<R>`` over all columns, implemented by transaction calling as
+  delete-then-insert.
+
+The emitted text round-trips through the parser and checker, so the
+generated object animates exactly like the hand-written ``emp_rel``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.datatypes.sorts import Sort, SetSort, ListSort, MapSort, TupleSort
+from repro.relational.engine import RelationSchema
+
+
+def _sort_text(sort: Sort) -> str:
+    if isinstance(sort, SetSort):
+        return f"set({_sort_text(sort.element)})"
+    if isinstance(sort, ListSort):
+        return f"list({_sort_text(sort.element)})"
+    if isinstance(sort, MapSort):
+        return f"map({_sort_text(sort.key)}, {_sort_text(sort.value)})"
+    if isinstance(sort, TupleSort):
+        inner = ", ".join(f"{n}: {_sort_text(s)}" for n, s in sort.fields)
+        return f"tuple({inner})"
+    return sort.name
+
+
+def relation_object_spec(schema: RelationSchema, object_name: str = "") -> str:
+    """Emit the TROLL single-object specification for ``schema``."""
+    name = object_name or f"{schema.name}_rel"
+    rel = schema.name.capitalize()
+    attr = f"{rel}s"
+    columns = list(schema.columns)
+    key = list(schema.key)
+    non_key = [c for c, _ in columns if c not in key]
+    sort_of = dict(columns)
+
+    all_sorts = ", ".join(_sort_text(s) for _, s in columns)
+    tuple_sort = ", ".join(f"{c}: {_sort_text(s)}" for c, s in columns)
+
+    def vars_decl(names: List[str]) -> str:
+        return "; ".join(f"{_var(c)}: {_sort_text(sort_of[c])}" for c in names) + ";"
+
+    def _var(column: str) -> str:
+        return f"v_{column}"
+
+    insert_args = ", ".join(_var(c) for c, _ in columns)
+    insert_fields = ", ".join(f"{c}: {_var(c)}" for c, _ in columns)
+    delete_args = ", ".join(_var(c) for c in key)
+    key_match = " and ".join(f"{c} = {_var(c)}" for c in key)
+    insert_sorts = ", ".join(_sort_text(s) for _, s in columns)
+    delete_sorts = ", ".join(_sort_text(sort_of[c]) for c in key)
+
+    # The key-presence test existentially quantifies the non-key columns.
+    if non_key:
+        quantifiers = ", ".join(f"q_{c}: {_sort_text(sort_of[c])}" for c in non_key)
+        probe_fields = ", ".join(
+            f"{c}: {_var(c)}" if c in key else f"{c}: q_{c}" for c, _ in columns
+        )
+        present = f"exists({quantifiers}) in({attr}, tuple({probe_fields}))"
+    else:
+        probe_fields = ", ".join(f"{c}: {_var(c)}" for c, _ in columns)
+        present = f"in({attr}, tuple({probe_fields}))"
+
+    lines = [
+        f"object {name}",
+        "  template",
+        f"    data types {all_sorts};",
+        "    attributes",
+        f"      {attr} : set(tuple({tuple_sort}));",
+        "    events",
+        f"      birth Create{rel};",
+        f"      Insert{rel}({insert_sorts});",
+        f"      Delete{rel}({delete_sorts});",
+        f"      Update{rel}({insert_sorts});",
+        f"      death Close{rel};",
+        "    valuation",
+        f"      variables {vars_decl([c for c, _ in columns])}",
+        f"      [Create{rel}] {attr} = {{}};",
+        f"      [Insert{rel}({insert_args})] {attr} = insert({attr}, tuple({insert_fields}));",
+        f"      [Delete{rel}({delete_args})] {attr} = select[not({key_match})]({attr});",
+        "    permissions",
+        f"      variables {vars_decl([c for c, _ in columns])}",
+        f"      {{ not({present}) }} Insert{rel}({insert_args});",
+        f"      {{ {present} }} Delete{rel}({delete_args});",
+        f"      {{ {present} }} Update{rel}({insert_args});",
+        f"      {{ {attr} = {{}} }} Close{rel};",
+        "    interaction",
+        f"      variables {vars_decl([c for c, _ in columns])}",
+        f"      Update{rel}({insert_args}) >> (Delete{rel}({delete_args}); Insert{rel}({insert_args}));",
+        f"end object {name};",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""The animator: executing TROLL specifications.
+
+TROLL is a specification language; the paper gives its objects a process
+semantics.  This package provides the executable counterpart: an *object
+base* (:class:`~repro.runtime.objectbase.ObjectBase`) populated with
+instances of the specification's classes, on which event occurrences are
+driven subject to the specified semantics:
+
+* **life cycles** -- instances come into existence through birth events
+  and cease through death events; anything else is a
+  :class:`~repro.diagnostics.LifecycleError`;
+* **valuation** -- each occurrence updates attributes per the valuation
+  rules, with right-hand sides evaluated in the pre-state;
+* **permissions** -- past-temporal preconditions checked against the
+  instance's history (incremental monitors by default; the naive
+  re-evaluating mode is kept for ablation A1);
+* **constraints** -- static constraints re-checked after every
+  occurrence that touches an instance (or one of its role aspects);
+* **event calling** -- the occurrence of a calling event forces the
+  synchronous occurrence of the called events, across components,
+  incorporated base objects and global interactions; parenthesised
+  target sequences are *transaction calls*, processed in order;
+* **atomicity** -- an occurrence together with everything it calls is
+  one atomic unit: if any participant is not permitted or a constraint
+  breaks, the whole unit rolls back;
+* **roles/phases** -- a ``view of`` class whose birth event is bound to
+  a base event comes into existence when that base event occurs, shares
+  the base instance's state, and contributes its own constraints and
+  permissions;
+* **classes as objects** -- every object class has a class object with
+  the implicit observations ``members``/``count`` maintained by
+  birth/death occurrences;
+* **active events** -- :meth:`~repro.runtime.objectbase.ObjectBase.step`
+  fires one enabled active event, the scheduler loop for active objects.
+"""
+
+from repro.runtime.compilespec import CompiledClass, CompiledSpecification, compile_specification
+from repro.runtime.instance import Instance, InstanceEnvironment, SystemEnvironment
+from repro.runtime.objectbase import ClassObject, ObjectBase, Occurrence
+from repro.runtime.persistence import dump_json, dump_state, restore_json, restore_state
+from repro.runtime.explore import class_lts, explore_lts
+
+__all__ = [
+    "ClassObject",
+    "CompiledClass",
+    "CompiledSpecification",
+    "Instance",
+    "InstanceEnvironment",
+    "ObjectBase",
+    "Occurrence",
+    "SystemEnvironment",
+    "class_lts",
+    "compile_specification",
+    "explore_lts",
+    "dump_json",
+    "dump_state",
+    "restore_json",
+    "restore_state",
+]

@@ -1,0 +1,43 @@
+"""The shared system clock: the paper's canonical *active* object.
+
+Section 6.1 names "a shared system clock or calendar, where we have both
+read access to the current time or date as well as an active triggering
+mechanism for time-dependent system activities" as a typical shared
+module.  :data:`CLOCK_SPEC` is that object: ``tick`` is an *active*
+event, so the scheduler (:meth:`~repro.runtime.objectbase.ObjectBase.step`)
+fires it on the clock's own initiative; ``Now`` counts ticks.
+
+The permission ``{ Now < Horizon } tick;`` bounds the clock's activity,
+so ``run_active`` reaches quiescence -- an unbounded active event would
+otherwise fire forever.
+"""
+
+from repro.runtime.objectbase import ObjectBase
+
+CLOCK_SPEC = """
+object SystemClock
+  template
+    attributes
+      Now: nat;
+      Horizon: nat;
+    events
+      birth start(nat);
+      active tick;
+      set_horizon(nat);
+      death halt;
+    valuation
+      variables h: nat;
+      start(h) Now = 0;
+      start(h) Horizon = h;
+      tick Now = Now + 1;
+      set_horizon(h) Horizon = h;
+    permissions
+      { Now < Horizon } tick;
+end object SystemClock;
+"""
+
+
+def start_clock(system: ObjectBase, horizon: int = 10):
+    """Create the clock inside ``system`` (whose specification must
+    include :data:`CLOCK_SPEC`'s text) with the given tick budget."""
+    return system.create("SystemClock", None, "start", [horizon])

@@ -1,0 +1,129 @@
+"""Bounded state-space exploration: from a running object to its LTS.
+
+Section 3 models templates as *processes*; :mod:`repro.core.behavior`
+makes processes concrete as labelled transition systems.  This module
+closes the loop: it derives the LTS an instance actually exhibits under
+the full animator semantics (permissions, protocols, constraints,
+calling), by bounded exploration over a supplied event/argument
+vocabulary.
+
+With the LTS in hand, the paper's behaviour-containment claims become
+machine-checkable *from specifications* -- e.g. Example 3.4's "a
+computer is bound to the protocol of switching on before being able to
+switch off" is verified by simulating the derived COMPUTER LTS against
+the derived EL_DEVICE LTS (see ``tests/test_explore.py``).
+
+Implementation: breadth-first search over system snapshots
+(:mod:`repro.runtime.persistence`), so exploration never mutates the
+caller's object base.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.behavior import LTS
+from repro.diagnostics import RuntimeSpecError, TrollError
+from repro.runtime.objectbase import ObjectBase
+from repro.runtime.instance import Instance
+from repro.runtime.persistence import dump_json, restore_json, value_to_json
+import json
+
+
+def _state_key(instance: Instance) -> str:
+    """A stable digest of the instance's observable configuration."""
+    payload = {
+        "born": instance.born,
+        "dead": instance.dead,
+        "state": sorted(
+            (name, json.dumps(value_to_json(value), sort_keys=True))
+            for name, value in instance.merged_state().items()
+        ),
+        "protocol": sorted(instance.protocol_states)
+        if instance.protocol_states is not None
+        else None,
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()[:12]
+    return f"s_{digest}"
+
+
+def explore_lts(
+    system: ObjectBase,
+    instance: Instance,
+    candidates: Dict[str, List[Sequence[object]]],
+    max_states: int = 200,
+    label_args: bool = False,
+) -> LTS:
+    """Derive the LTS of ``instance`` under the animator semantics.
+
+    ``candidates`` supplies the exploration vocabulary: event name ->
+    list of argument tuples (parameterless events may map to ``[()]`` or
+    be listed with an empty list of one empty tuple).  Exploration stops
+    at ``max_states`` distinct configurations (raising if exceeded, so a
+    truncated LTS is never silently returned).
+
+    The caller's system is left untouched (exploration works on
+    snapshots).
+    """
+    spec_source = system.compiled
+    root_blob = dump_json(system)
+    root_system = restore_json(ObjectBase(spec_source), root_blob)
+    root_instance = root_system.instance(instance.class_name, instance.key)
+
+    initial_key = _state_key(root_instance)
+    lts = LTS(initial=initial_key)
+    frontier: List[Tuple[str, str]] = [(initial_key, root_blob)]
+    seen: Dict[str, str] = {initial_key: root_blob}
+
+    while frontier:
+        state_key, blob = frontier.pop(0)
+        for event, arg_lists in sorted(candidates.items()):
+            for args in arg_lists or [()]:
+                probe_system = restore_json(ObjectBase(spec_source), blob)
+                probe = probe_system.instance(instance.class_name, instance.key)
+                try:
+                    probe_system.occur(probe, event, args)
+                except TrollError:
+                    continue
+                successor_key = _state_key(probe)
+                label = event
+                if label_args and args:
+                    rendered = ", ".join(str(a) for a in args)
+                    label = f"{event}({rendered})"
+                lts.add_transition(state_key, label, successor_key)
+                if successor_key not in seen:
+                    if len(seen) >= max_states:
+                        raise RuntimeSpecError(
+                            f"exploration exceeded {max_states} states; "
+                            "narrow the candidate vocabulary or raise the bound"
+                        )
+                    successor_blob = dump_json(probe_system)
+                    seen[successor_key] = successor_blob
+                    frontier.append((successor_key, successor_blob))
+    return lts
+
+
+def class_lts(
+    specification: str,
+    class_name: str,
+    identification: Optional[dict],
+    birth_args: Sequence[object],
+    candidates: Dict[str, List[Sequence[object]]],
+    birth_event: Optional[str] = None,
+    setup=None,
+    max_states: int = 200,
+) -> LTS:
+    """Derive the LTS of a freshly created instance of ``class_name``.
+
+    ``setup`` (optional) receives the new object base before the
+    instance is created -- use it to create required collaborators
+    (e.g. the shared ``emp_rel``).
+    """
+    system = ObjectBase(specification)
+    if setup is not None:
+        setup(system)
+    instance = system.create(class_name, identification, birth_event, birth_args)
+    return explore_lts(system, instance, candidates, max_states=max_states)

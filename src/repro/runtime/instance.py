@@ -1,0 +1,276 @@
+"""Instances: identified, stateful animations of one class.
+
+An :class:`Instance` is one object aspect at runtime: an identity, the
+encapsulated attribute state, the life-cycle flags, the recorded trace
+and the permission monitors.  Role aspects (instances of ``view of``
+classes) carry a ``base`` pointer to the instance they specialize;
+attribute reads fall through the base chain, realising semantic
+inheritance ("the same individual object").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple, TYPE_CHECKING
+
+from repro.datatypes.evaluator import Environment, evaluate
+from repro.datatypes.sorts import IdSort
+from repro.datatypes.values import Value
+from repro.diagnostics import EvaluationError
+from repro.temporal.evaluation import Trace
+from repro.runtime.compilespec import CompiledClass
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.objectbase import ObjectBase
+
+
+class Instance:
+    """A living (or dead) object aspect."""
+
+    def __init__(
+        self,
+        compiled: CompiledClass,
+        identity: Value,
+        system: "ObjectBase",
+        base: Optional["Instance"] = None,
+    ):
+        self.compiled = compiled
+        self.identity = identity
+        self.system = system
+        #: attribute name -> value (plain attributes and components)
+        self.state: Dict[str, Value] = {}
+        #: parametrized attributes: name -> {args tuple -> value}
+        self.param_state: Dict[str, Dict[Tuple[Value, ...], Value]] = {}
+        self.born = False
+        self.dead = False
+        self.trace = Trace()
+        #: per-permission-rule incremental monitors (id(rule) -> monitor)
+        self.monitors: Dict[int, object] = {}
+        #: the base aspect this role specializes, if any
+        self.base = base
+        #: role aspects of this instance, keyed by view class name
+        self.roles: Dict[str, "Instance"] = {}
+        #: behaviour-protocol configuration (frozen NFA state set), when
+        #: the class declares behaviour patterns
+        self.protocol_states = (
+            compiled.protocol.initial if compiled.protocol is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    # Identity & life cycle
+    # ------------------------------------------------------------------
+
+    @property
+    def class_name(self) -> str:
+        return self.compiled.name
+
+    @property
+    def key(self):
+        """The identity payload (hashable)."""
+        return self.identity.payload
+
+    @property
+    def alive(self) -> bool:
+        return self.born and not self.dead
+
+    def __repr__(self) -> str:
+        status = "alive" if self.alive else ("dead" if self.dead else "unborn")
+        return f"<{self.class_name}({self.key!r}) {status}>"
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def observe(self, name: str, args: Tuple[Value, ...] = ()) -> Value:
+        """Observe attribute ``name`` (following derivation rules and the
+        base-aspect chain)."""
+        rule = self.compiled.derivation_by_attribute.get(name)
+        if rule is not None:
+            env = self.environment()
+            if rule.params:
+                if len(args) != len(rule.params):
+                    raise EvaluationError(
+                        f"{self.class_name}.{name} expects {len(rule.params)} "
+                        f"parameter(s), got {len(args)}"
+                    )
+                env = env.child(dict(zip(rule.params, args)))
+            return evaluate(rule.expr, env)
+        if args:
+            table = self.param_state.get(name)
+            if table is not None and args in table:
+                return table[args]
+        elif name in self.state:
+            return self.state[name]
+        if self.base is not None:
+            return self.base.observe(name, args)
+        raise EvaluationError(
+            f"{self.class_name}({self.key!r}) has no observable value for "
+            f"attribute {name!r}"
+            + (f" with parameters {args}" if args else "")
+        )
+
+    def has_attribute(self, name: str) -> bool:
+        info = self.compiled.info
+        if name in info.attributes or name in info.components:
+            return True
+        return self.base.has_attribute(name) if self.base is not None else False
+
+    def set_attribute(self, name: str, value: Value, args: Tuple[Value, ...] = ()) -> None:
+        """Assign an attribute (valuation application).  Writes route to
+        the aspect that *stores* the attribute (the base chain)."""
+        owner = self._storage_owner(name)
+        if args:
+            owner.param_state.setdefault(name, {})[args] = value
+        else:
+            owner.state[name] = value
+
+    def _storage_owner(self, name: str) -> "Instance":
+        info = self.compiled.info
+        own_template_attrs = {a.name for a in getattr(info.template, "attributes", ())}
+        own_id_attrs = {a.name for a in info.id_attributes}
+        own_components = set(info.components)
+        if (
+            name in own_template_attrs
+            or name in own_id_attrs
+            or name in own_components
+            or self.base is None
+        ):
+            return self
+        if self.base.has_attribute(name):
+            return self.base._storage_owner(name)
+        return self
+
+    def snapshot_state(self) -> Dict[str, Value]:
+        """A flat copy of the plain attribute state (trace steps)."""
+        return dict(self.state)
+
+    def merged_state(self) -> Dict[str, Value]:
+        """The state visible from this aspect: the base chain's
+        attributes overridden by this aspect's own."""
+        merged = self.base.merged_state() if self.base is not None else {}
+        merged.update(self.state)
+        return merged
+
+    def full_snapshot(self):
+        """Everything needed to roll this instance back."""
+        return (
+            dict(self.state),
+            {name: dict(table) for name, table in self.param_state.items()},
+            self.born,
+            self.dead,
+            self.protocol_states,
+        )
+
+    def restore(self, snapshot) -> None:
+        state, param_state, born, dead, protocol_states = snapshot
+        self.state = state
+        self.param_state = param_state
+        self.born = born
+        self.dead = dead
+        self.protocol_states = protocol_states
+
+    # ------------------------------------------------------------------
+    # Environments
+    # ------------------------------------------------------------------
+
+    def environment(self, bindings: Optional[Dict[str, Value]] = None) -> Environment:
+        env: Environment = InstanceEnvironment(self)
+        if bindings:
+            env = env.child(bindings)
+        return env
+
+
+class InstanceEnvironment(Environment):
+    """Resolution of names against an instance's state and its system.
+
+    Lookup order: the instance's attributes/components (through the base
+    chain), then ``inheriting`` aliases (which resolve to the identity of
+    the shared base object), then failure.  ``SELF`` is the instance's
+    identity; ``attribute_of`` resolves identity values to instances via
+    the system registry; class populations come from the system.
+    """
+
+    def __init__(self, instance: Instance):
+        self.instance = instance
+
+    def lookup(self, name: str) -> Value:
+        instance = self.instance
+        if instance.has_attribute(name):
+            return instance.observe(name)
+        alias_target = self._alias_target(name)
+        if alias_target is not None:
+            return alias_target.identity
+        raise EvaluationError(
+            f"unbound name {name!r} in {instance.class_name}({instance.key!r})"
+        )
+
+    def _alias_target(self, name: str) -> Optional[Instance]:
+        instance: Optional[Instance] = self.instance
+        while instance is not None:
+            base_name = instance.compiled.info.inheriting.get(name)
+            if base_name is not None:
+                return self.instance.system.single_object(base_name)
+            instance = instance.base
+        return None
+
+    def lookup_self(self) -> Value:
+        return self.instance.identity
+
+    def attribute_of(self, obj: Value, name: str, args: tuple = ()) -> Value:
+        if isinstance(obj.sort, IdSort):
+            target = self.instance.system.resolve_instance(obj)
+            if target is not None:
+                if name == "surrogate":
+                    return target.identity
+                return target.observe(name, tuple(args))
+            if name == "surrogate":
+                return obj
+            raise EvaluationError(
+                f"no instance for identity {obj} (observing {name!r})"
+            )
+        return super().attribute_of(obj, name, args)
+
+    def class_population(self, class_name: str) -> Iterable[Value]:
+        return self.instance.system.population(class_name)
+
+    def attribute_call(self, name: str, args: tuple) -> Value:
+        if self.instance.has_attribute(name):
+            return self.instance.observe(name, args)
+        return super().attribute_call(name, args)
+
+    def scope_values(self) -> Iterable[Value]:
+        return list(self.instance.state.values())
+
+
+class SystemEnvironment(Environment):
+    """Resolution against the whole object base, without a home instance.
+
+    Used by join views and modules: names resolve only through explicit
+    bindings; identity values resolve to instances through the system.
+    """
+
+    def __init__(self, system: "ObjectBase", bindings: Optional[Dict[str, Value]] = None):
+        self.system = system
+        self.bindings = dict(bindings or {})
+
+    def lookup(self, name: str) -> Value:
+        if name in self.bindings:
+            return self.bindings[name]
+        raise EvaluationError(f"unbound name {name!r}")
+
+    def attribute_of(self, obj: Value, name: str, args: tuple = ()) -> Value:
+        if isinstance(obj.sort, IdSort):
+            target = self.system.resolve_instance(obj)
+            if target is not None:
+                if name == "surrogate":
+                    return target.identity
+                return target.observe(name, tuple(args))
+            if name == "surrogate":
+                return obj
+            raise EvaluationError(f"no instance for identity {obj}")
+        return super().attribute_of(obj, name, args)
+
+    def class_population(self, class_name: str):
+        return self.system.population(class_name)
+
+    def scope_values(self):
+        return list(self.bindings.values())

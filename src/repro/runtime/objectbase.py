@@ -1,0 +1,1001 @@
+"""The object base: populations, occurrences, atomic synchronization.
+
+:class:`ObjectBase` is the animator's heart.  It is built from a checked
+specification (or directly from specification text) and then drives
+event occurrences::
+
+    system = ObjectBase(FULL_COMPANY_SPEC)
+    sales = system.create("DEPT", {"id": "Sales"},
+                          "establishment", [date(1991, 3, 1)])
+    alice = system.create("PERSON",
+                          {"Name": "alice", "BirthDate": date(1960, 1, 1)},
+                          "hire_into", ["Research", 4000])
+    system.occur(sales, "hire", [alice.identity])
+
+Every ``occur``/``create`` call processes one *synchronization set*: the
+triggering occurrence plus everything event calling forces (local
+interaction rules, global interactions, role births/deaths), as one
+atomic unit -- any permission denial, life-cycle violation or constraint
+breach rolls the whole set back and raises.
+
+The occurrence pipeline per event, in order: route to the declaring
+aspect; life-cycle check; permission check (monitors or naive replay,
+per ``permission_mode``); valuation (all right-hand sides evaluated on
+the pre-state, then applied); role births/deaths; called events
+(transaction-call targets processed in sequence).  After the whole set:
+static-constraint check over every touched instance and its role
+aspects, then commit (traces, monitors, class objects).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.datatypes.evaluator import Environment, MapEnvironment, evaluate
+from repro.datatypes.sorts import IdSort
+from repro.datatypes.terms import Term, Var
+from repro.datatypes.values import Value, from_python, identity as make_identity
+from repro.diagnostics import (
+    CheckError,
+    ConstraintViolation,
+    EvaluationError,
+    LifecycleError,
+    PermissionDenied,
+    RuntimeSpecError,
+)
+from repro.lang import ast
+from repro.lang.checker import CheckedSpecification, check_specification
+from repro.lang.parser import parse_specification
+from repro.temporal.evaluation import TraceStep, evaluate_formula_now
+from repro.temporal.monitors import FormulaMonitor
+from repro.runtime.compilespec import (
+    CompiledClass,
+    CompiledSpecification,
+    compile_specification,
+)
+from repro.runtime.instance import Instance
+
+
+class Occurrence:
+    """One event occurrence inside a synchronization set."""
+
+    __slots__ = ("instance", "event", "args")
+
+    def __init__(self, instance: Instance, event: str, args: Tuple[Value, ...]):
+        self.instance = instance
+        self.event = event
+        self.args = args
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.instance.class_name}({self.instance.key!r}).{self.event}({inner})"
+
+
+class ClassObject:
+    """The class-as-object: implicit ``members``/``count`` observations
+    maintained by member birth and death (Section 3: "a class is again an
+    object, with a time varying set of objects as members")."""
+
+    def __init__(self, class_name: str):
+        self.class_name = class_name
+        self.members: Set[Value] = set()
+        from repro.temporal.evaluation import Trace
+
+        self.trace = Trace()
+
+    @property
+    def count(self) -> int:
+        return len(self.members)
+
+    def record(self, event: str, member: Value) -> None:
+        from repro.datatypes.values import integer, set_value
+
+        state = {
+            "members": set_value(
+                self.members, IdSort(name=f"|{self.class_name}|", class_name=self.class_name)
+            ),
+            "count": integer(self.count),
+        }
+        self.trace.append(TraceStep(event=event, args=(member,), state=tuple(state.items())))
+
+
+class _Transaction:
+    """Book-keeping for one atomic synchronization set."""
+
+    def __init__(self, system: "ObjectBase"):
+        self.system = system
+        self.processed: Set[Tuple[str, object, str, Tuple[Value, ...]]] = set()
+        self.snapshots: Dict[int, Tuple[Instance, tuple]] = {}
+        self.created: List[Instance] = []
+        self.steps: List[Tuple[Instance, TraceStep, str]] = []
+        self.depth = 0
+
+    def touch(self, instance: Instance) -> None:
+        if id(instance) not in self.snapshots:
+            self.snapshots[id(instance)] = (instance, instance.full_snapshot())
+
+    def touched_instances(self) -> List[Instance]:
+        return [inst for inst, _ in self.snapshots.values()]
+
+    def record(self, instance: Instance, step: TraceStep, kind: str) -> None:
+        self.steps.append((instance, step, kind))
+
+    def rollback(self) -> None:
+        for instance, snapshot in self.snapshots.values():
+            instance.restore(snapshot)
+        for instance in self.created:
+            self.system._unregister(instance)
+
+    def commit(self) -> None:
+        for instance, step, kind in self.steps:
+            instance.trace.append(step)
+            if self.system.permission_mode == "incremental":
+                self.system._update_monitors(instance, step)
+            if instance.compiled.info.kind == "class":
+                class_object = self.system.class_object(instance.class_name)
+                if kind == "birth":
+                    class_object.members.add(instance.identity)
+                    class_object.record("insert_member", instance.identity)
+                elif kind == "death":
+                    class_object.members.discard(instance.identity)
+                    class_object.record("delete_member", instance.identity)
+
+
+class ObjectBase:
+    """A running object society for one specification."""
+
+    #: recursion guard for pathological calling cycles
+    MAX_SYNC_DEPTH = 64
+
+    def __init__(
+        self,
+        source: Union[str, ast.Specification, CheckedSpecification, CompiledSpecification],
+        permission_mode: str = "incremental",
+        check_constraints: bool = True,
+    ):
+        if permission_mode not in ("incremental", "naive"):
+            raise ValueError("permission_mode must be 'incremental' or 'naive'")
+        self.permission_mode = permission_mode
+        self.check_constraints = check_constraints
+        if isinstance(source, str):
+            source = parse_specification(source)
+        if isinstance(source, ast.Specification):
+            source = check_specification(source)
+        if isinstance(source, CheckedSpecification):
+            source.raise_if_errors()
+            source = compile_specification(source)
+        self.compiled: CompiledSpecification = source
+        self.checked: CheckedSpecification = source.checked
+        #: class name -> key payload -> Instance
+        self.instances: Dict[str, Dict[object, Instance]] = {
+            name: {} for name in self.compiled.classes
+        }
+        self.class_objects: Dict[str, ClassObject] = {}
+        #: every occurrence committed, in order (for inspection/tests)
+        self.journal: List[Occurrence] = []
+        #: commit hooks: called with the occurrence list of each
+        #: committed synchronization set (society-interface relays,
+        #: Section 6's communicating object societies)
+        self.on_commit: List = []
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def compiled_class(self, class_name: str) -> CompiledClass:
+        try:
+            return self.compiled.classes[class_name]
+        except KeyError:
+            raise CheckError(f"unknown class {class_name!r}")
+
+    def find(self, class_name: str, key) -> Optional[Instance]:
+        if isinstance(key, Value):
+            key = key.payload
+        return self.instances.get(class_name, {}).get(key)
+
+    def instance(self, class_name: str, key) -> Instance:
+        found = self.find(class_name, key)
+        if found is None:
+            raise LifecycleError(f"no {class_name} instance with identity {key!r}")
+        return found
+
+    def single_object(self, name: str) -> Instance:
+        """The unique instance of a single-object declaration."""
+        compiled = self.compiled_class(name)
+        if not compiled.is_single_object:
+            raise CheckError(f"{name!r} is an object class, not a single object")
+        found = self.find(name, name)
+        if found is None:
+            raise LifecycleError(f"single object {name!r} has not been created yet")
+        return found
+
+    def resolve_instance(self, identity: Value) -> Optional[Instance]:
+        if not isinstance(identity.sort, IdSort):
+            return None
+        return self.find(identity.sort.class_name, identity.payload)
+
+    def population(self, class_name: str) -> List[Value]:
+        """Identities of the currently alive instances of a class."""
+        return [
+            inst.identity
+            for inst in self.instances.get(class_name, {}).values()
+            if inst.alive
+        ]
+
+    def alive_instances(self, class_name: str) -> List[Instance]:
+        return [i for i in self.instances.get(class_name, {}).values() if i.alive]
+
+    def class_object(self, class_name: str) -> ClassObject:
+        if class_name not in self.compiled.classes:
+            raise CheckError(f"unknown class {class_name!r}")
+        if class_name not in self.class_objects:
+            self.class_objects[class_name] = ClassObject(class_name)
+        return self.class_objects[class_name]
+
+    # ------------------------------------------------------------------
+    # Creation and occurrence API
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        class_name: str,
+        identification: Optional[dict] = None,
+        event: Optional[str] = None,
+        args: Sequence[object] = (),
+    ) -> Instance:
+        """Create an instance: register the identity, then run the birth
+        event (the class's unique birth event if ``event`` is omitted)."""
+        compiled = self.compiled_class(class_name)
+        instance = self._register(compiled, identification)
+        birth = self._birth_event(compiled, event)
+        try:
+            self._occur_root(instance, birth.name, self._coerce_args(args))
+        except Exception:
+            if not instance.born:
+                self._unregister(instance)
+            raise
+        return instance
+
+    def occur(
+        self,
+        instance: Union[Instance, Tuple[str, object]],
+        event: str,
+        args: Sequence[object] = (),
+    ) -> None:
+        """Drive one event occurrence (plus its synchronization set)."""
+        if not isinstance(instance, Instance):
+            class_name, key = instance
+            instance = self.instance(class_name, key)
+        decl = instance.compiled.event(event)
+        if decl is not None and decl.hidden:
+            raise PermissionDenied(
+                f"{instance.class_name}.{event} is hidden; it occurs only "
+                "through event calling"
+            )
+        self._occur_root(instance, event, self._coerce_args(args))
+
+    def is_permitted(
+        self,
+        instance: Instance,
+        event: str,
+        args: Sequence[object] = (),
+    ) -> bool:
+        """Would this occurrence (with everything it calls) be admitted?
+
+        Implemented as a dry transaction that always rolls back.
+        """
+        coerced = self._coerce_args(args)
+        txn = _Transaction(self)
+        try:
+            self._process(txn, instance, event, coerced)
+            self._check_static_constraints(txn)
+            return True
+        except RuntimeSpecError:
+            return False
+        finally:
+            txn.rollback()
+
+    def step(self, order: Optional[Sequence[Tuple[str, object, str]]] = None) -> Optional[Occurrence]:
+        """Fire one enabled *active* event (the scheduler step for active
+        objects).  Candidates are parameterless active events of alive
+        instances, probed in deterministic registry order (or the given
+        ``order`` of (class, key, event) triples).  Returns the fired
+        occurrence or None when no active event is enabled."""
+        candidates: Iterable[Tuple[Instance, str]]
+        if order is not None:
+            candidates = (
+                (self.instance(c, k), e) for c, k, e in order
+            )
+        else:
+            candidates = (
+                (instance, event.name)
+                for class_name in sorted(self.instances)
+                for instance in self.instances[class_name].values()
+                if instance.alive
+                for event in self.compiled_class(class_name).active_events()
+                if not event.param_sorts
+            )
+        for instance, event_name in candidates:
+            if self.is_permitted(instance, event_name):
+                self._occur_root(instance, event_name, ())
+                return Occurrence(instance, event_name, ())
+        return None
+
+    def run_active(self, max_steps: int = 100) -> List[Occurrence]:
+        """Run the active-event scheduler until quiescence (or the step
+        bound)."""
+        fired: List[Occurrence] = []
+        for _ in range(max_steps):
+            occurrence = self.step()
+            if occurrence is None:
+                break
+            fired.append(occurrence)
+        return fired
+
+    def enabled_events(
+        self,
+        instance: Instance,
+        candidate_args: Optional[Dict[str, List[Sequence[object]]]] = None,
+    ) -> List[Tuple[str, Tuple[Value, ...]]]:
+        """The admissible next occurrences of ``instance`` -- the
+        simulation explorer.
+
+        Parameterless events are probed directly; for events with
+        parameters, candidate argument lists must be supplied via
+        ``candidate_args`` (event name -> list of argument tuples),
+        since parameter domains are unbounded.  Each candidate is tried
+        in a dry transaction (full semantics: permissions, protocol,
+        constraints, called events).
+        """
+        candidate_args = candidate_args or {}
+        results: List[Tuple[str, Tuple[Value, ...]]] = []
+        for name, decl in sorted(instance.compiled.info.all_events().items()):
+            if decl.param_sorts:
+                for args in candidate_args.get(name, ()):
+                    coerced = self._coerce_args(args)
+                    if self.is_permitted(instance, name, coerced):
+                        results.append((name, coerced))
+            else:
+                if self.is_permitted(instance, name, ()):
+                    results.append((name, ()))
+        return results
+
+    def pending_obligations(self, instance: Instance) -> List[str]:
+        """Obligation events the instance has not yet performed (its
+        death events stay denied while this list is non-empty)."""
+        performed = {step.event for step in instance.trace}
+        return [
+            event
+            for event in instance.compiled.obligations
+            if event not in performed
+        ]
+
+    def get(self, instance: Union[Instance, Tuple[str, object]], attribute: str, args: Sequence[object] = ()) -> Value:
+        """Observe an attribute (read-only interface).  Hidden
+        attributes are not part of the public observation interface."""
+        if not isinstance(instance, Instance):
+            class_name, key = instance
+            instance = self.instance(class_name, key)
+        decl = instance.compiled.info.attributes.get(attribute)
+        if decl is not None and decl.hidden:
+            raise PermissionDenied(
+                f"{instance.class_name}.{attribute} is hidden; it is "
+                "observable only from the object's own rules"
+            )
+        return instance.observe(attribute, self._coerce_args(args))
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def _register(self, compiled: CompiledClass, identification: Optional[dict]) -> Instance:
+        if compiled.is_single_object:
+            payload: object = compiled.name
+            id_values: Dict[str, Value] = {}
+        else:
+            id_attrs = compiled.info.id_attributes
+            if not id_attrs:
+                raise CheckError(
+                    f"class {compiled.name} has no identification attributes; "
+                    "supply an explicit identity via identification={'id': ...}"
+                )
+            identification = identification or {}
+            id_values = {}
+            payload_parts = []
+            for attr in id_attrs:
+                if attr.name not in identification:
+                    raise CheckError(
+                        f"missing identification attribute {attr.name!r} for "
+                        f"{compiled.name}"
+                    )
+                value = from_python(identification[attr.name])
+                id_values[attr.name] = value
+                payload_parts.append(value.payload)
+            payload = payload_parts[0] if len(payload_parts) == 1 else tuple(payload_parts)
+        existing = self.find(compiled.name, payload)
+        if existing is not None:
+            if existing.dead:
+                raise LifecycleError(
+                    f"{compiled.name} identity {payload!r} already lived and "
+                    "died; identities are not reused"
+                )
+            raise LifecycleError(
+                f"{compiled.name} identity {payload!r} already exists"
+            )
+        identity = make_identity(compiled.name, payload)
+        instance = Instance(compiled, identity, self)
+        instance.state.update(id_values)
+        self.instances.setdefault(compiled.name, {})[payload] = instance
+        return instance
+
+    def _unregister(self, instance: Instance) -> None:
+        bucket = self.instances.get(instance.class_name, {})
+        if bucket.get(instance.key) is instance:
+            del bucket[instance.key]
+        if instance.base is not None:
+            instance.base.roles.pop(instance.class_name, None)
+
+    def _birth_event(self, compiled: CompiledClass, name: Optional[str]) -> ast.EventDecl:
+        births = compiled.info.birth_events()
+        if name is not None:
+            decl = compiled.event(name)
+            if decl is None or decl.kind != "birth":
+                raise CheckError(
+                    f"{compiled.name} has no birth event named {name!r}"
+                )
+            return decl
+        if len(births) != 1:
+            raise CheckError(
+                f"{compiled.name} has {len(births)} birth events; pass one "
+                "explicitly"
+            )
+        return births[0]
+
+    def _coerce_args(self, args: Sequence[object]) -> Tuple[Value, ...]:
+        coerced = []
+        for arg in args:
+            if isinstance(arg, Instance):
+                coerced.append(arg.identity)
+            else:
+                coerced.append(from_python(arg))
+        return tuple(coerced)
+
+    # ------------------------------------------------------------------
+    # The occurrence engine
+    # ------------------------------------------------------------------
+
+    def _occur_root(self, instance: Instance, event: str, args: Tuple[Value, ...]) -> None:
+        txn = _Transaction(self)
+        try:
+            self._process(txn, instance, event, args)
+            self._check_static_constraints(txn)
+        except Exception:
+            txn.rollback()
+            raise
+        txn.commit()
+        committed = [Occurrence(inst, step.event, step.args) for inst, step, _ in txn.steps]
+        self.journal.extend(committed)
+        self._notify_commit(committed)
+
+    def _notify_commit(self, committed: List[Occurrence]) -> None:
+        for hook in list(self.on_commit):
+            hook(committed)
+
+    def _process(
+        self, txn: _Transaction, instance: Instance, event: str, args: Tuple[Value, ...]
+    ) -> None:
+        txn.depth += 1
+        if txn.depth > self.MAX_SYNC_DEPTH:
+            raise RuntimeSpecError(
+                f"event calling exceeded depth {self.MAX_SYNC_DEPTH} "
+                f"(at {instance.class_name}.{event}) -- calling cycle?"
+            )
+        try:
+            decl = instance.compiled.event(event)
+            if decl is None:
+                raise CheckError(
+                    f"{instance.class_name} has no event {event!r}"
+                )
+            if len(args) != len(decl.param_sorts):
+                raise CheckError(
+                    f"{instance.class_name}.{event} expects "
+                    f"{len(decl.param_sorts)} argument(s), got {len(args)}"
+                )
+            # Route inherited (bound) normal events to the declaring
+            # aspect: PERSON owns ChangeSalary even when called on the
+            # MANAGER role.
+            if (
+                decl.binding is not None
+                and decl.binding.object_name != instance.class_name
+                and instance.base is not None
+            ):
+                target = instance
+                while target.base is not None and target.class_name != decl.binding.object_name:
+                    target = target.base
+                if target is not instance:
+                    self._process(txn, target, decl.binding.event_name, args)
+                    return
+
+            key = (instance.class_name, instance.key, event, args)
+            if key in txn.processed:
+                return
+            txn.processed.add(key)
+
+            self._check_lifecycle(instance, decl)
+            self._check_permissions(instance, event, args)
+            for role in self._all_roles(instance):
+                self._check_permissions(role, event, args)
+
+            new_protocol_states = self._check_protocol(instance, decl, event)
+
+            assignments = self._plan_valuation(instance, event, args)
+
+            txn.touch(instance)
+            if new_protocol_states is not None:
+                instance.protocol_states = new_protocol_states
+            kind = decl.kind
+            if kind == "birth":
+                instance.born = True
+                txn.created.append(instance)
+                self._apply_initial_values(instance)
+                self._check_initial_constraints(instance)
+            elif kind == "death":
+                instance.dead = True
+            for attribute, attr_args, value in assignments:
+                instance.set_attribute(attribute, value, attr_args)
+
+            step = TraceStep(
+                event=event,
+                args=args,
+                state=tuple(instance.merged_state().items()),
+            )
+            txn.record(instance, step, kind)
+            for role in self._all_roles(instance):
+                txn.touch(role)
+                txn.record(
+                    role,
+                    TraceStep(event=event, args=args, state=tuple(role.merged_state().items())),
+                    "normal",
+                )
+
+            # Role births and deaths bound to this event.
+            for view_name in instance.compiled.role_births_by_event.get(event, []):
+                self._birth_role(txn, instance, view_name, event, args)
+            for view_name in instance.compiled.role_deaths_by_event.get(event, []):
+                role = self._find_role(instance, view_name)
+                if role is not None and role.alive:
+                    txn.touch(role)
+                    role.dead = True
+                    txn.record(
+                        role,
+                        TraceStep(event=event, args=args, state=tuple(role.merged_state().items())),
+                        "death",
+                    )
+
+            # Event calling: local interaction rules, then globals.
+            for rule in instance.compiled.callings_by_event.get(event, []):
+                self._fire_calling_rule(txn, instance, rule, args)
+            for rule in self.compiled.global_callings.get(
+                (instance.class_name, event), []
+            ):
+                self._fire_global_rule(txn, instance, rule, args)
+        finally:
+            txn.depth -= 1
+
+    def _all_roles(self, instance: Instance):
+        """All alive role aspects of ``instance``, transitively (a
+        WORKSTATION is a role of the COMPUTER role of the device)."""
+        for role in instance.roles.values():
+            if role.alive:
+                yield role
+                yield from self._all_roles(role)
+
+    def _find_role(self, instance: Instance, view_name: str) -> Optional[Instance]:
+        for role in instance.roles.values():
+            if role.class_name == view_name:
+                return role
+            found = self._find_role(role, view_name)
+            if found is not None:
+                return found
+        return None
+
+    def _birth_role(
+        self,
+        txn: _Transaction,
+        base_instance: Instance,
+        view_name: str,
+        event: str,
+        args: Tuple[Value, ...],
+    ) -> None:
+        existing = self.find(view_name, base_instance.key)
+        if existing is not None and existing.alive:
+            # The role already exists; the phase-entry event is not a
+            # second birth (permissions on the base event govern this).
+            return
+        if existing is not None and existing.dead:
+            raise LifecycleError(
+                f"{view_name} role of {base_instance.key!r} already ended; "
+                "phases are not re-entered with the same role instance"
+            )
+        compiled = self.compiled_class(view_name)
+        # The role's base is its *view-of parent* aspect of the same
+        # identity, which may itself be a role (multi-level chains).
+        parent = base_instance
+        if compiled.base is not None and compiled.base != base_instance.class_name:
+            parent = self.find(compiled.base, base_instance.key)
+            if parent is None or not parent.alive:
+                raise LifecycleError(
+                    f"cannot enter the {view_name} phase of "
+                    f"{base_instance.key!r}: the required {compiled.base} "
+                    "aspect does not exist"
+                )
+        identity = make_identity(view_name, base_instance.key)
+        role = Instance(compiled, identity, self, base=parent)
+        self.instances.setdefault(view_name, {})[role.key] = role
+        parent.roles[view_name] = role
+        txn.created.append(role)
+        txn.touch(role)
+        self._check_permissions(role, event, args)
+        role.born = True
+        self._apply_initial_values(role)
+        self._check_initial_constraints(role)
+        for attribute, attr_args, value in self._plan_valuation(role, event, args):
+            role.set_attribute(attribute, value, attr_args)
+        txn.record(
+            role,
+            TraceStep(event=event, args=args, state=tuple(role.merged_state().items())),
+            "birth",
+        )
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+
+    def _check_lifecycle(self, instance: Instance, decl: ast.EventDecl) -> None:
+        name = f"{instance.class_name}({instance.key!r})"
+        if decl.kind == "birth":
+            if instance.born:
+                raise LifecycleError(f"{name}: second birth event {decl.name!r}")
+            return
+        if not instance.born:
+            raise LifecycleError(
+                f"{name}: event {decl.name!r} before birth"
+            )
+        if instance.dead:
+            raise LifecycleError(
+                f"{name}: event {decl.name!r} after death"
+            )
+
+    def _check_protocol(self, instance: Instance, decl: ast.EventDecl, event: str):
+        """Advance the behaviour-pattern automaton; deny occurrences
+        that violate the declared protocol.  Returns the successor state
+        set (to apply after snapshotting), or None when unconstrained."""
+        automaton = instance.compiled.protocol
+        if automaton is None:
+            return None
+        states = instance.protocol_states
+        constrained = event in automaton.alphabet
+        if constrained:
+            states = automaton.advance(states, event)
+            if not states:
+                raise PermissionDenied(
+                    f"{instance.class_name}({instance.key!r}).{event}: "
+                    "occurrence violates the declared behaviour pattern"
+                )
+        if decl.kind == "death" and not automaton.is_accepting(states):
+            raise PermissionDenied(
+                f"{instance.class_name}({instance.key!r}).{event}: "
+                "behaviour pattern incomplete at death"
+            )
+        return states if constrained else None
+
+    def _check_permissions(
+        self, instance: Instance, event: str, args: Tuple[Value, ...]
+    ) -> None:
+        rules = instance.compiled.permissions_by_event.get(event, ())
+        for rule in rules:
+            bindings = self._match_event_args(rule.event.args, args, instance, rule.variables)
+            if bindings is None:
+                continue
+            env = instance.environment(bindings)
+            if self.permission_mode == "incremental":
+                monitor = self._monitor_for(instance, rule)
+                admitted = monitor.check(env)
+            else:
+                admitted = evaluate_formula_now(rule.formula, instance.trace, env)
+            if not admitted:
+                raise PermissionDenied(
+                    f"{instance.class_name}({instance.key!r}).{event}: "
+                    f"permission {{ {rule.formula} }} does not hold",
+                    rule.position,
+                )
+
+    def _monitor_for(self, instance: Instance, rule: ast.PermissionRule) -> FormulaMonitor:
+        monitor = instance.monitors.get(id(rule))
+        if monitor is None:
+            monitor = FormulaMonitor(
+                rule.formula, instance.compiled.var_sorts_for(rule)
+            )
+            instance.monitors[id(rule)] = monitor
+        return monitor
+
+    def _update_monitors(self, instance: Instance, step: TraceStep) -> None:
+        for rule_list in instance.compiled.permissions_by_event.values():
+            for rule in rule_list:
+                self._monitor_for(instance, rule).update(step, instance.environment())
+
+    def _check_static_constraints(self, txn: _Transaction) -> None:
+        if not self.check_constraints:
+            return
+        seen: Set[int] = set()
+        for instance in txn.touched_instances():
+            for target in itertools.chain([instance], self._all_roles(instance)):
+                if id(target) in seen or not target.alive:
+                    continue
+                seen.add(id(target))
+                self._check_instance_constraints(target, target.compiled.static_constraints)
+
+    def _apply_initial_values(self, instance: Instance) -> None:
+        """Apply ``initially`` attribute defaults at birth (valuation
+        rules for the birth event may overwrite them)."""
+        env = instance.environment()
+        for attr in instance.compiled.info.attributes.values():
+            if attr.initial is None or attr.derived:
+                continue
+            # Inherited attributes live on the base aspect; a role birth
+            # must not reset them.
+            if instance._storage_owner(attr.name) is not instance:
+                continue
+            instance.set_attribute(attr.name, evaluate(attr.initial, env))
+
+    def _check_initial_constraints(self, instance: Instance) -> None:
+        if self.check_constraints:
+            self._check_instance_constraints(instance, instance.compiled.initial_constraints)
+
+    def _check_instance_constraints(
+        self, instance: Instance, constraints: Sequence[ast.ConstraintDecl]
+    ) -> None:
+        for constraint in constraints:
+            env = instance.environment()
+            try:
+                holds = bool(evaluate(constraint.formula, env))
+            except EvaluationError as exc:
+                raise ConstraintViolation(
+                    f"{instance.class_name}({instance.key!r}): constraint "
+                    f"{constraint.formula} cannot be evaluated: {exc.message}",
+                    constraint.position,
+                )
+            if not holds:
+                raise ConstraintViolation(
+                    f"{instance.class_name}({instance.key!r}): constraint "
+                    f"{constraint.formula} violated",
+                    constraint.position,
+                )
+
+    # ------------------------------------------------------------------
+    # Valuation
+    # ------------------------------------------------------------------
+
+    def _plan_valuation(
+        self, instance: Instance, event: str, args: Tuple[Value, ...]
+    ) -> List[Tuple[str, Tuple[Value, ...], Value]]:
+        assignments: List[Tuple[str, Tuple[Value, ...], Value]] = []
+        for rule in instance.compiled.valuation_by_event.get(event, ()):
+            bindings = self._match_event_args(
+                rule.event.args, args, instance, rule.variables
+            )
+            if bindings is None:
+                continue
+            env = instance.environment(bindings)
+            if rule.guard is not None:
+                try:
+                    if not bool(evaluate(rule.guard, env)):
+                        continue
+                except EvaluationError:
+                    continue
+            attr_args = tuple(evaluate(a, env) for a in rule.attribute_args)
+            value = evaluate(rule.expr, env)
+            assignments.append((rule.attribute, attr_args, value))
+        return assignments
+
+    def _match_event_args(
+        self,
+        patterns: Tuple[Term, ...],
+        args: Tuple[Value, ...],
+        instance: Instance,
+        rule_variables: Tuple[ast.VariableDecl, ...],
+    ) -> Optional[Dict[str, Value]]:
+        """Unify a rule's event-argument patterns with actual values.
+
+        A ``Var`` that is a declared rule variable (or fresh name) binds;
+        any other term is evaluated and compared.  Returns the bindings,
+        or None when the rule does not apply to this occurrence.
+        """
+        if len(patterns) != len(args):
+            return None
+        var_names = {v.name for v in rule_variables}
+        bindings: Dict[str, Value] = {}
+        for pattern, actual in zip(patterns, args):
+            if isinstance(pattern, Var) and (
+                pattern.name in var_names or not instance.has_attribute(pattern.name)
+            ):
+                bound = bindings.get(pattern.name)
+                if bound is None:
+                    bindings[pattern.name] = actual
+                elif bound != actual:
+                    return None
+                continue
+            try:
+                expected = evaluate(pattern, instance.environment(bindings))
+            except EvaluationError:
+                return None
+            if expected != actual:
+                return None
+        return bindings
+
+    # ------------------------------------------------------------------
+    # Event calling
+    # ------------------------------------------------------------------
+
+    def _fire_calling_rule(
+        self,
+        txn: _Transaction,
+        instance: Instance,
+        rule: ast.CallingRule,
+        args: Tuple[Value, ...],
+    ) -> None:
+        bindings = self._match_event_args(
+            rule.trigger.args, args, instance, rule.variables
+        )
+        if bindings is None:
+            return
+        env = instance.environment(bindings)
+        if rule.guard is not None:
+            try:
+                if not bool(evaluate(rule.guard, env)):
+                    return
+            except EvaluationError:
+                return
+        for target in rule.targets:
+            for target_instance in self._resolve_targets(instance, target, env):
+                target_args = tuple(evaluate(a, env) for a in target.args)
+                self._process(txn, target_instance, target.name, target_args)
+
+    def _fire_global_rule(
+        self,
+        txn: _Transaction,
+        instance: Instance,
+        rule: ast.CallingRule,
+        args: Tuple[Value, ...],
+    ) -> None:
+        bindings: Dict[str, Value] = {}
+        trigger = rule.trigger
+        if trigger.qualifier is not None and isinstance(trigger.qualifier.key, Var):
+            bindings[trigger.qualifier.key.name] = instance.identity
+        for pattern, actual in zip(trigger.args, args):
+            # In a global rule every Var is a binder (there is no local
+            # attribute scope to shadow it).
+            if isinstance(pattern, Var):
+                bound = bindings.get(pattern.name)
+                if bound is None:
+                    bindings[pattern.name] = actual
+                elif bound != actual:
+                    return
+            else:
+                try:
+                    expected = evaluate(pattern, MapEnvironment(bindings))
+                except EvaluationError:
+                    return
+                if expected != actual:
+                    return
+        env = instance.environment(bindings)
+        if rule.guard is not None:
+            try:
+                if not bool(evaluate(rule.guard, env)):
+                    return
+            except EvaluationError:
+                return
+        for target in rule.targets:
+            for target_instance in self._resolve_targets(instance, target, env):
+                target_args = tuple(evaluate(a, env) for a in target.args)
+                self._process(txn, target_instance, target.name, target_args)
+
+    def _resolve_targets(
+        self, instance: Instance, target: ast.EventRef, env: Environment
+    ) -> List[Instance]:
+        qualifier = target.qualifier
+        if qualifier is None or qualifier.name == "self":
+            return [instance]
+        info = instance.compiled.info
+        # Component slot: broadcast to the member(s).
+        if qualifier.name in info.components:
+            value = instance.observe(qualifier.name)
+            members: Iterable[Value]
+            if isinstance(value.sort, IdSort):
+                members = [value]
+            else:
+                members = list(value.payload)
+            resolved = []
+            for member in members:
+                found = self.resolve_instance(member)
+                if found is None:
+                    raise RuntimeSpecError(
+                        f"component {qualifier.name!r} of "
+                        f"{instance.class_name}({instance.key!r}) references "
+                        f"missing instance {member}"
+                    )
+                resolved.append(found)
+            return resolved
+        # Incorporated base object alias.
+        alias_base = self._alias_base(instance, qualifier.name)
+        if alias_base is not None:
+            return [self.single_object(alias_base)]
+        # Class-qualified: CLASS(key).event
+        if qualifier.name in self.compiled.classes:
+            if qualifier.key is None:
+                raise RuntimeSpecError(
+                    f"class-qualified call {qualifier.name}.{target.name} "
+                    "needs an identity"
+                )
+            key_value = evaluate(qualifier.key, env)
+            found = self.find(qualifier.name, key_value)
+            if found is None:
+                raise RuntimeSpecError(
+                    f"no {qualifier.name} instance with identity "
+                    f"{key_value.payload!r} for call to {target.name!r}"
+                )
+            return [found]
+        raise RuntimeSpecError(
+            f"cannot resolve call qualifier {qualifier.name!r} in "
+            f"{instance.class_name}"
+        )
+
+    def _alias_base(self, instance: Instance, alias: str) -> Optional[str]:
+        current: Optional[Instance] = instance
+        while current is not None:
+            base_name = current.compiled.info.inheriting.get(alias)
+            if base_name is not None:
+                return base_name
+            current = current.base
+        return None
+
+    # ------------------------------------------------------------------
+    # Sequenced occurrence (one atomic unit)
+    # ------------------------------------------------------------------
+
+    def occur_sequence(
+        self,
+        pairs: Sequence[Tuple[Instance, str, Sequence[object]]],
+    ) -> None:
+        """Drive several occurrences as *one* atomic unit (the runtime
+        face of transaction calling, used by derived interface events
+        whose calling rule lists a target sequence)."""
+        txn = _Transaction(self)
+        try:
+            for instance, event, args in pairs:
+                self._process(txn, instance, event, self._coerce_args(args))
+            self._check_static_constraints(txn)
+        except Exception:
+            txn.rollback()
+            raise
+        txn.commit()
+        committed = [Occurrence(inst, step.event, step.args) for inst, step, _ in txn.steps]
+        self.journal.extend(committed)
+        self._notify_commit(committed)
+
+    def sequence_permitted(
+        self, pairs: Sequence[Tuple[Instance, str, Sequence[object]]]
+    ) -> bool:
+        """Would :meth:`occur_sequence` over ``pairs`` be admitted?  A
+        dry transaction that always rolls back."""
+        txn = _Transaction(self)
+        try:
+            for instance, event, args in pairs:
+                self._process(txn, instance, event, self._coerce_args(args))
+            self._check_static_constraints(txn)
+            return True
+        except RuntimeSpecError:
+            return False
+        finally:
+            txn.rollback()

@@ -1,0 +1,58 @@
+"""Temporal logic over object life cycles.
+
+TROLL permissions restrict the admissible event sequences of an object by
+*past-directed* temporal formulas evaluated over the object's history --
+e.g. the DEPT listing permits ``fire(P)`` only under
+``sometime(after(hire(P)))`` and ``closure`` only when every person ever
+employed has been fired.
+
+This package provides:
+
+* :mod:`repro.temporal.formulas` -- the temporal formula AST
+  (``sometime``, ``always``, ``after``, quantifiers, connectives, state
+  propositions embedding plain data terms);
+* :mod:`repro.temporal.evaluation` -- the reference semantics: naive
+  evaluation over a recorded trace (replays history at every check);
+* :mod:`repro.temporal.monitors` -- incremental monitors that maintain a
+  per-formula summary updated once per event, giving O(1)-amortised
+  permission checks (ablation A1 compares the two).
+"""
+
+from repro.temporal.formulas import (
+    After,
+    Always,
+    AndF,
+    EventPattern,
+    ExistsF,
+    ForallF,
+    Formula,
+    ImpliesF,
+    NotF,
+    OrF,
+    Since,
+    Sometime,
+    StateProp,
+)
+from repro.temporal.evaluation import Trace, TraceStep, evaluate_formula
+from repro.temporal.monitors import FormulaMonitor, compile_monitor
+
+__all__ = [
+    "After",
+    "Always",
+    "AndF",
+    "EventPattern",
+    "ExistsF",
+    "ForallF",
+    "Formula",
+    "FormulaMonitor",
+    "ImpliesF",
+    "NotF",
+    "OrF",
+    "Since",
+    "Sometime",
+    "StateProp",
+    "Trace",
+    "TraceStep",
+    "compile_monitor",
+    "evaluate_formula",
+]

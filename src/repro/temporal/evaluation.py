@@ -1,0 +1,336 @@
+"""Reference (naive) semantics of temporal formulas over recorded traces.
+
+A :class:`Trace` is the recorded life cycle of one object: a sequence of
+:class:`TraceStep`\\ s, each an event occurrence together with the
+attribute state holding *after* it.  :func:`evaluate_formula` implements
+the textbook past-directed semantics by replaying the trace -- this is
+the correctness baseline the incremental monitors of
+:mod:`repro.temporal.monitors` are checked against (and ablation A1
+measures against).
+
+Conventions for the empty history (permission checks for *birth* events):
+``sometime`` and ``after`` are false, ``always`` is vacuously true, and a
+state proposition that cannot be evaluated (no state yet) is false --
+i.e. a permission that requires anything of a non-existent history denies
+the event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.datatypes.evaluator import Environment, _harvest, evaluate
+from repro.datatypes.sorts import IdSort, Sort
+from repro.datatypes.values import Value, boolean
+from repro.diagnostics import EvaluationError
+from repro.temporal.formulas import (
+    After,
+    Always,
+    AndF,
+    EventPattern,
+    ExistsF,
+    ForallF,
+    Formula,
+    ImpliesF,
+    NotF,
+    OrF,
+    Since,
+    Sometime,
+    StateProp,
+)
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One event occurrence and the state it produced.
+
+    Attributes:
+        event: The event name.
+        args: The occurrence's argument values.
+        state: Attribute name -> value, holding after the occurrence.
+    """
+
+    event: str
+    args: Tuple[Value, ...] = ()
+    state: Tuple[Tuple[str, Value], ...] = ()
+
+    def state_dict(self) -> Dict[str, Value]:
+        return dict(self.state)
+
+
+def make_step(event: str, args: Iterable[Value] = (), state: Optional[Dict[str, Value]] = None) -> TraceStep:
+    """Convenience constructor normalising ``state`` to the frozen form."""
+    return TraceStep(event=event, args=tuple(args), state=tuple((state or {}).items()))
+
+
+@dataclass
+class Trace:
+    """A recorded object life cycle."""
+
+    steps: List[TraceStep] = field(default_factory=list)
+
+    def append(self, step: TraceStep) -> None:
+        self.steps.append(step)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[TraceStep]:
+        return iter(self.steps)
+
+    def history_values(self, position: int) -> Iterator[Value]:
+        """Every value observable in the trace up to ``position``
+        (event arguments and attribute values) -- the *history active
+        domain* that history-directed quantifiers range over."""
+        for step in self.steps[: position + 1]:
+            yield from step.args
+            for _, value in step.state:
+                yield value
+
+
+class StateEnvironment(Environment):
+    """An environment exposing one trace position's attribute state,
+    falling back to an outer (binding) environment."""
+
+    def __init__(self, state: Dict[str, Value], base: Environment):
+        self._state = state
+        self._base = base
+
+    def lookup(self, name: str) -> Value:
+        if name in self._state:
+            return self._state[name]
+        return self._base.lookup(name)
+
+    def lookup_self(self) -> Value:
+        return self._base.lookup_self()
+
+    def attribute_of(self, obj: Value, name: str, args: tuple = ()) -> Value:
+        return self._base.attribute_of(obj, name, args)
+
+    def class_population(self, class_name: str) -> Iterable[Value]:
+        return self._base.class_population(class_name)
+
+    def attribute_call(self, name: str, args: tuple) -> Value:
+        return self._base.attribute_call(name, args)
+
+    def scope_values(self) -> Iterable[Value]:
+        yield from self._state.values()
+        yield from self._base.scope_values()
+
+
+def match_pattern(
+    pattern: EventPattern, event: str, args: Tuple[Value, ...], env: Environment
+) -> bool:
+    """Does occurrence ``event(args)`` match ``pattern`` under ``env``?"""
+    if pattern.event != event:
+        return False
+    if pattern.match_any_args:
+        return True
+    if len(pattern.args) != len(args):
+        return False
+    for term, value in zip(pattern.args, args):
+        try:
+            if evaluate(term, env) != value:
+                return False
+        except EvaluationError:
+            return False
+    return True
+
+
+def quantifier_domain(
+    sort: Sort, trace: Trace, position: int, env: Environment
+) -> List[Value]:
+    """The domain a history-directed quantifier ranges over.
+
+    Identity sorts draw from the class population known to the
+    environment; every sort additionally draws from the history active
+    domain (argument values and attribute values up to ``position``).
+    """
+    if sort.name in ("bool", "boolean"):
+        return [boolean(True), boolean(False)]
+    out: List[Value] = []
+    if isinstance(sort, IdSort):
+        out.extend(env.class_population(sort.class_name))
+    harvested: List[Value] = []
+    for value in trace.history_values(position):
+        _harvest(value, sort, harvested)
+    for value in env.scope_values():
+        _harvest(value, sort, harvested)
+    seen = set(out)
+    for v in harvested:
+        if v not in seen:
+            seen.add(v)
+            out.append(v)
+    return out
+
+
+def evaluate_formula(
+    formula: Formula,
+    trace: Trace,
+    env: Optional[Environment] = None,
+    position: Optional[int] = None,
+) -> bool:
+    """Evaluate ``formula`` at ``position`` of ``trace`` (default: the
+    final position; -1 for the empty trace) under binding ``env``."""
+    if env is None:
+        env = Environment()
+    if position is None:
+        position = len(trace.steps) - 1
+    return _eval(formula, trace, position, env)
+
+
+def _state_env(trace: Trace, position: int, env: Environment) -> Environment:
+    if 0 <= position < len(trace.steps):
+        return StateEnvironment(trace.steps[position].state_dict(), env)
+    return StateEnvironment({}, env)
+
+
+def _eval(formula: Formula, trace: Trace, position: int, env: Environment) -> bool:
+    if isinstance(formula, StateProp):
+        try:
+            return bool(evaluate(formula.term, _state_env(trace, position, env)))
+        except EvaluationError:
+            return False
+    if isinstance(formula, After):
+        if not 0 <= position < len(trace.steps):
+            return False
+        step = trace.steps[position]
+        return match_pattern(
+            formula.pattern, step.event, step.args, _state_env(trace, position, env)
+        )
+    if isinstance(formula, Sometime):
+        return any(
+            _eval(formula.body, trace, j, env) for j in range(position + 1)
+        )
+    if isinstance(formula, Always):
+        return all(
+            _eval(formula.body, trace, j, env) for j in range(position + 1)
+        )
+    if isinstance(formula, Since):
+        for j in range(position, -1, -1):
+            if _eval(formula.anchor, trace, j, env):
+                return all(
+                    _eval(formula.hold, trace, k, env)
+                    for k in range(j + 1, position + 1)
+                )
+        return False
+    if isinstance(formula, NotF):
+        return not _eval(formula.body, trace, position, env)
+    if isinstance(formula, AndF):
+        return _eval(formula.left, trace, position, env) and _eval(
+            formula.right, trace, position, env
+        )
+    if isinstance(formula, OrF):
+        return _eval(formula.left, trace, position, env) or _eval(
+            formula.right, trace, position, env
+        )
+    if isinstance(formula, ImpliesF):
+        return (not _eval(formula.left, trace, position, env)) or _eval(
+            formula.right, trace, position, env
+        )
+    if isinstance(formula, (ForallF, ExistsF)):
+        want = isinstance(formula, ForallF)
+        return _eval_quantified(formula, trace, position, env, want)
+    raise EvaluationError(f"cannot evaluate formula of kind {type(formula).__name__}")
+
+
+def _eval_quantified(
+    formula, trace: Trace, position: int, env: Environment, want: bool
+) -> bool:
+    def recurse(variables, env: Environment) -> bool:
+        if not variables:
+            return _eval(formula.body, trace, position, env)
+        (name, sort), rest = variables[0], variables[1:]
+        domain = quantifier_domain(sort, trace, position, _state_env(trace, position, env))
+        for value in domain:
+            outcome = recurse(rest, env.child({name: value}))
+            if want and not outcome:
+                return False
+            if not want and outcome:
+                return True
+        return want
+
+    return recurse(formula.variables, env)
+
+
+def evaluate_formula_now(
+    formula: Formula, trace: Trace, env: Optional[Environment] = None
+) -> bool:
+    """Evaluate ``formula`` *at the current instant* of an object.
+
+    Permission checks happen between events: the history is ``trace``,
+    but the state "now" may already differ from the last recorded step
+    (mid-transaction occurrences mutate state before they are committed
+    to the trace).  Semantics:
+
+    * state propositions read the live environment ``env``;
+    * ``after(e)`` matches the most recent *recorded* occurrence;
+    * past operators range over the recorded trace plus this instant.
+
+    This is also exactly the semantics the incremental monitors
+    implement, so the two permission modes agree.
+    """
+    if env is None:
+        env = Environment()
+    return _eval_now(formula, trace, env)
+
+
+def _eval_now(formula: Formula, trace: Trace, env: Environment) -> bool:
+    last = len(trace.steps) - 1
+    if isinstance(formula, StateProp):
+        try:
+            return bool(evaluate(formula.term, env))
+        except EvaluationError:
+            return False
+    if isinstance(formula, After):
+        if last < 0:
+            return False
+        step = trace.steps[last]
+        return match_pattern(formula.pattern, step.event, step.args, env)
+    if isinstance(formula, Sometime):
+        if _eval_now(formula.body, trace, env):
+            return True
+        return any(_eval(formula.body, trace, j, env) for j in range(last + 1))
+    if isinstance(formula, Always):
+        if not _eval_now(formula.body, trace, env):
+            return False
+        return all(_eval(formula.body, trace, j, env) for j in range(last + 1))
+    if isinstance(formula, Since):
+        if _eval_now(formula.anchor, trace, env):
+            return True
+        if not _eval_now(formula.hold, trace, env):
+            return False
+        return evaluate_formula(formula, trace, env, position=last)
+    if isinstance(formula, NotF):
+        return not _eval_now(formula.body, trace, env)
+    if isinstance(formula, AndF):
+        return _eval_now(formula.left, trace, env) and _eval_now(
+            formula.right, trace, env
+        )
+    if isinstance(formula, OrF):
+        return _eval_now(formula.left, trace, env) or _eval_now(
+            formula.right, trace, env
+        )
+    if isinstance(formula, ImpliesF):
+        return (not _eval_now(formula.left, trace, env)) or _eval_now(
+            formula.right, trace, env
+        )
+    if isinstance(formula, (ForallF, ExistsF)):
+        want = isinstance(formula, ForallF)
+
+        def recurse(variables, env: Environment) -> bool:
+            if not variables:
+                return _eval_now(formula.body, trace, env)
+            (name, sort), rest = variables[0], variables[1:]
+            domain = quantifier_domain(sort, trace, last, env)
+            for value in domain:
+                outcome = recurse(rest, env.child({name: value}))
+                if want and not outcome:
+                    return False
+                if not want and outcome:
+                    return True
+            return want
+
+        return recurse(formula.variables, env)
+    raise EvaluationError(f"cannot evaluate formula of kind {type(formula).__name__}")

@@ -1,0 +1,212 @@
+"""The temporal formula AST.
+
+Formulas are past-directed: they are evaluated at a position in an
+object's life cycle and quantify over *earlier* positions.  The paper's
+permission sections use
+
+* ``sometime(φ)`` -- φ held at some past (or the current) position;
+* ``after(e(t1, ..., tk))`` -- the event occurring at a position matches
+  the pattern (so ``sometime(after(hire(P)))`` reads "hire(P) has
+  occurred");
+* ``always(φ)`` -- φ held at every past position;
+* the usual connectives, and quantification ``for all`` / ``exists``.
+
+``since`` is included for completeness (it is standard in the TROLL
+family's underlying logic [SE90]) though the paper's listings do not use
+it.
+
+State propositions (:class:`StateProp`) embed plain data terms of sort
+``bool`` from :mod:`repro.datatypes.terms`; they are evaluated against
+the attribute state holding at a position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.datatypes.sorts import Sort
+from repro.datatypes.terms import Term
+from repro.diagnostics import SourcePosition
+
+
+@dataclass(frozen=True)
+class Formula:
+    """Base class of temporal formulas."""
+
+    position: Optional[SourcePosition] = field(default=None, compare=False, repr=False)
+
+    def children(self) -> Sequence["Formula"]:
+        return ()
+
+    def free_variables(self) -> frozenset:
+        """Free variable names, including those of embedded state terms."""
+        if isinstance(self, StateProp):
+            return self.term.free_variables()
+        if isinstance(self, After):
+            result = frozenset()
+            for arg in self.pattern.args:
+                result |= arg.free_variables()
+            return result
+        if isinstance(self, (ForallF, ExistsF)):
+            bound = {n for n, _ in self.variables}
+            return self.body.free_variables() - bound
+        result = frozenset()
+        for child in self.children():
+            result |= child.free_variables()
+        return result
+
+
+@dataclass(frozen=True)
+class EventPattern:
+    """An event name with argument terms, matched against occurrences.
+
+    An occurrence ``e(v1, ..., vk)`` matches pattern ``e(t1, ..., tk)``
+    under an environment when each ``ti`` evaluates to ``vi``.  A pattern
+    with no arguments and ``match_any_args=True`` matches any occurrence
+    of the event regardless of its arguments.
+    """
+
+    event: str
+    args: Tuple[Term, ...] = ()
+    match_any_args: bool = False
+
+    def __str__(self) -> str:
+        if self.match_any_args:
+            return f"{self.event}(...)"
+        if not self.args:
+            return self.event
+        return f"{self.event}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class StateProp(Formula):
+    """A boolean data term evaluated at a single position's state."""
+
+    term: Term = None  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return str(self.term)
+
+
+@dataclass(frozen=True)
+class After(Formula):
+    """True at a position iff the event occurring there matches the
+    pattern.  (At the current position: "the most recent event was ...")"""
+
+    pattern: EventPattern = None  # type: ignore[assignment]
+
+    def __str__(self) -> str:
+        return f"after({self.pattern})"
+
+
+@dataclass(frozen=True)
+class Sometime(Formula):
+    """φ held at some position up to and including the current one."""
+
+    body: Formula = None  # type: ignore[assignment]
+
+    def children(self) -> Sequence[Formula]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"sometime({self.body})"
+
+
+@dataclass(frozen=True)
+class Always(Formula):
+    """φ held at every position up to and including the current one."""
+
+    body: Formula = None  # type: ignore[assignment]
+
+    def children(self) -> Sequence[Formula]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"always({self.body})"
+
+
+@dataclass(frozen=True)
+class Since(Formula):
+    """``since(φ, ψ)``: ψ held at some past position, and φ has held at
+    every position after it."""
+
+    hold: Formula = None  # type: ignore[assignment]
+    anchor: Formula = None  # type: ignore[assignment]
+
+    def children(self) -> Sequence[Formula]:
+        return (self.hold, self.anchor)
+
+    def __str__(self) -> str:
+        return f"since({self.hold}, {self.anchor})"
+
+
+@dataclass(frozen=True)
+class NotF(Formula):
+    body: Formula = None  # type: ignore[assignment]
+
+    def children(self) -> Sequence[Formula]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        return f"not ({self.body})"
+
+
+@dataclass(frozen=True)
+class AndF(Formula):
+    left: Formula = None  # type: ignore[assignment]
+    right: Formula = None  # type: ignore[assignment]
+
+    def children(self) -> Sequence[Formula]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class OrF(Formula):
+    left: Formula = None  # type: ignore[assignment]
+    right: Formula = None  # type: ignore[assignment]
+
+    def children(self) -> Sequence[Formula]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True)
+class ImpliesF(Formula):
+    left: Formula = None  # type: ignore[assignment]
+    right: Formula = None  # type: ignore[assignment]
+
+    def children(self) -> Sequence[Formula]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} => {self.right})"
+
+
+@dataclass(frozen=True)
+class _QuantifiedF(Formula):
+    variables: Tuple[Tuple[str, Sort], ...] = ()
+    body: Formula = None  # type: ignore[assignment]
+
+    def children(self) -> Sequence[Formula]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        decls = ", ".join(f"{n}: {s}" for n, s in self.variables)
+        word = "for all" if isinstance(self, ForallF) else "exists"
+        return f"{word}({decls} : {self.body})"
+
+
+@dataclass(frozen=True)
+class ForallF(_QuantifiedF):
+    """``for all(x: S : φ)`` over the active domain at query time."""
+
+
+@dataclass(frozen=True)
+class ExistsF(_QuantifiedF):
+    """``exists(x: S) φ`` over the active domain at query time."""

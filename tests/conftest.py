@@ -1,0 +1,45 @@
+"""Shared fixtures: animated systems over the paper's specifications."""
+
+import datetime
+
+import pytest
+
+from repro.library import FULL_COMPANY_SPEC, REFINEMENT_SPEC
+from repro.runtime import ObjectBase
+
+D1960 = datetime.date(1960, 1, 1)
+D1970 = datetime.date(1970, 2, 2)
+D1991 = datetime.date(1991, 3, 1)
+
+
+@pytest.fixture
+def company_system():
+    """A fresh object base over the Section 4/5.1 company society."""
+    return ObjectBase(FULL_COMPANY_SPEC)
+
+
+@pytest.fixture
+def refinement_system():
+    """A fresh object base over the Section 5.2 refinement stack, with
+    the shared relation object already created."""
+    system = ObjectBase(REFINEMENT_SPEC)
+    system.create("emp_rel")
+    return system
+
+
+@pytest.fixture
+def staffed_company(company_system):
+    """The company society with one department and two persons hired."""
+    system = company_system
+    sales = system.create("DEPT", {"id": "Sales"}, "establishment", [D1991])
+    alice = system.create(
+        "PERSON", {"Name": "alice", "BirthDate": D1960},
+        "hire_into", ["Research", 6000.0],
+    )
+    bob = system.create(
+        "PERSON", {"Name": "bob", "BirthDate": D1970},
+        "hire_into", ["Sales", 3000.0],
+    )
+    system.occur(sales, "hire", [alice])
+    system.occur(sales, "hire", [bob])
+    return system, sales, alice, bob

@@ -1,0 +1,91 @@
+"""Unit tests for the LTS behaviour model and simulation containment."""
+
+import pytest
+
+from repro.core.behavior import LTS, simulate_containment
+
+
+def toggler():
+    return (
+        LTS("off")
+        .add_transition("off", "on", "on")
+        .add_transition("on", "off", "off")
+    )
+
+
+class TestLTS:
+    def test_states_and_actions(self):
+        lts = toggler()
+        assert lts.states == {"off", "on"}
+        assert lts.actions == {"on", "off"}
+
+    def test_successors(self):
+        assert toggler().successors("off", "on") == {"on"}
+        assert toggler().successors("off", "off") == set()
+
+    def test_enabled(self):
+        assert toggler().enabled("off") == {"on"}
+
+    def test_accepts(self):
+        lts = toggler()
+        assert lts.accepts(())
+        assert lts.accepts(("on", "off", "on"))
+        assert not lts.accepts(("off",))
+        assert not lts.accepts(("on", "on"))
+
+    def test_traces_bounded(self):
+        traces = set(toggler().traces(3))
+        assert () in traces
+        assert ("on", "off", "on") in traces
+        assert all(len(t) <= 3 for t in traces)
+
+    def test_traces_of_terminal_system(self):
+        lts = LTS("s0").add_transition("s0", "go", "s1")
+        assert set(lts.traces(5)) == {(), ("go",)}
+
+    def test_nondeterminism(self):
+        lts = LTS("s")
+        lts.add_transition("s", "a", "t1")
+        lts.add_transition("s", "a", "t2")
+        assert lts.successors("s", "a") == {"t1", "t2"}
+
+
+class TestSimulation:
+    def test_identical_systems(self):
+        assert simulate_containment(toggler(), toggler(), {"on": "on", "off": "off"})
+
+    def test_extended_protocol_contained(self):
+        # computer with an internal boot step still honours the toggler
+        computer = (
+            LTS("off")
+            .add_transition("off", "on_c", "booting")
+            .add_transition("booting", "boot", "ready")
+            .add_transition("ready", "off_c", "off")
+        )
+        assert simulate_containment(
+            computer, toggler(), {"on_c": "on", "off_c": "off"}
+        )
+
+    def test_violating_protocol_rejected(self):
+        bad = LTS("off").add_transition("off", "off_c", "off")
+        assert not simulate_containment(bad, toggler(), {"off_c": "off"})
+
+    def test_unmapped_actions_stutter(self):
+        source = LTS("a").add_transition("a", "internal", "a")
+        target = LTS("x")
+        assert simulate_containment(source, target, {})
+
+    def test_mapped_action_missing_in_target(self):
+        source = LTS("a").add_transition("a", "go", "b")
+        target = LTS("x")
+        assert not simulate_containment(source, target, {"go": "go"})
+
+    def test_reachability_matters(self):
+        # The bad transition is unreachable, so containment holds.
+        source = (
+            LTS("a")
+            .add_transition("a", "go", "b")
+            .add_transition("unreachable", "bad", "b")
+        )
+        target = LTS("x").add_transition("x", "go", "y")
+        assert simulate_containment(source, target, {"go": "go", "bad": "go"})

@@ -1,0 +1,178 @@
+"""Behaviour patterns: the explicit life-cycle protocol section."""
+
+import pytest
+
+from repro.diagnostics import PermissionDenied
+from repro.lang import check_specification, parse_specification, print_specification
+from repro.lang.patterns import (
+    PAlt,
+    PEvent,
+    POpt,
+    PPlus,
+    PSeq,
+    PStar,
+    compile_pattern,
+)
+from repro.runtime import ObjectBase, dump_json, restore_json
+
+ACCOUNT = """
+object class ACCOUNT
+  identification id: string;
+  template
+    attributes Balance: integer initially 0;
+    events
+      birth open;
+      deposit(integer);
+      withdraw(integer);
+      freeze;
+      thaw;
+      audit;
+      death close;
+    valuation
+      variables k: integer;
+      deposit(k) Balance = Balance + k;
+      withdraw(k) Balance = Balance - k;
+    permissions
+      variables k: integer;
+      { Balance >= k } withdraw(k);
+    behavior
+      patterns (open; (deposit | withdraw | (freeze; thaw))*; close);
+end object class ACCOUNT;
+"""
+
+
+@pytest.fixture
+def bank():
+    system = ObjectBase(ACCOUNT)
+    account = system.create("ACCOUNT", {"id": "a"}, "open")
+    return system, account
+
+
+class TestAutomaton:
+    def test_simple_sequence(self):
+        automaton = compile_pattern([PSeq(parts=(PEvent("a"), PEvent("b")))])
+        assert automaton.accepts(["a", "b"])
+        assert not automaton.accepts(["b"])
+        assert not automaton.accepts(["a"])
+        assert not automaton.accepts(["a", "b", "a"])
+
+    def test_alternation(self):
+        automaton = compile_pattern([PAlt(options=(PEvent("a"), PEvent("b")))])
+        assert automaton.accepts(["a"])
+        assert automaton.accepts(["b"])
+        assert not automaton.accepts(["a", "b"])
+
+    def test_star(self):
+        automaton = compile_pattern([PStar(body=PEvent("a"))])
+        assert automaton.accepts([])
+        assert automaton.accepts(["a", "a", "a"])
+
+    def test_plus(self):
+        automaton = compile_pattern([PPlus(body=PEvent("a"))])
+        assert not automaton.accepts([])
+        assert automaton.accepts(["a"])
+        assert automaton.accepts(["a", "a"])
+
+    def test_option(self):
+        automaton = compile_pattern(
+            [PSeq(parts=(POpt(body=PEvent("a")), PEvent("b")))]
+        )
+        assert automaton.accepts(["b"])
+        assert automaton.accepts(["a", "b"])
+        assert not automaton.accepts(["a"])
+
+    def test_unconstrained_events_skipped(self):
+        automaton = compile_pattern([PSeq(parts=(PEvent("a"), PEvent("b")))])
+        assert automaton.accepts(["a", "zz", "b"])
+
+    def test_multiple_patterns_are_alternatives(self):
+        automaton = compile_pattern(
+            [PSeq(parts=(PEvent("a"), PEvent("b"))), PEvent("c")]
+        )
+        assert automaton.accepts(["a", "b"])
+        assert automaton.accepts(["c"])
+        assert not automaton.accepts(["a", "c"])
+
+    def test_alphabet(self):
+        pattern = PSeq(parts=(PEvent("a"), PStar(body=PEvent("b"))))
+        assert pattern.alphabet() == {"a", "b"}
+
+
+class TestRuntimeEnforcement:
+    def test_normal_cycle(self, bank):
+        system, account = bank
+        system.occur(account, "deposit", [50])
+        system.occur(account, "withdraw", [20])
+        system.occur(account, "close")
+        assert account.dead
+
+    def test_frozen_account_blocks_money_movement(self, bank):
+        system, account = bank
+        system.occur(account, "deposit", [50])
+        system.occur(account, "freeze")
+        with pytest.raises(PermissionDenied):
+            system.occur(account, "withdraw", [10])
+        with pytest.raises(PermissionDenied):
+            system.occur(account, "deposit", [10])
+        system.occur(account, "thaw")
+        system.occur(account, "withdraw", [10])
+
+    def test_close_denied_mid_protocol(self, bank):
+        system, account = bank
+        system.occur(account, "freeze")
+        with pytest.raises(PermissionDenied):
+            system.occur(account, "close")
+
+    def test_unconstrained_event_free(self, bank):
+        system, account = bank
+        system.occur(account, "freeze")
+        system.occur(account, "audit")  # audit is not in the pattern
+        system.occur(account, "thaw")
+
+    def test_violation_rolls_back_everything(self, bank):
+        system, account = bank
+        system.occur(account, "deposit", [50])
+        system.occur(account, "freeze")
+        with pytest.raises(PermissionDenied):
+            system.occur(account, "deposit", [10])
+        assert system.get(account, "Balance").payload == 50
+        # protocol state itself rolled back: thaw still possible
+        system.occur(account, "thaw")
+
+    def test_double_thaw_rejected(self, bank):
+        system, account = bank
+        with pytest.raises(PermissionDenied):
+            system.occur(account, "thaw")
+
+
+class TestFrontEnd:
+    def test_round_trip(self):
+        spec = parse_specification(ACCOUNT)
+        assert parse_specification(print_specification(spec)) == spec
+
+    def test_unknown_event_in_pattern(self):
+        text = ACCOUNT.replace("(freeze; thaw)", "(freeze; vanish)")
+        checked = check_specification(parse_specification(text))
+        assert any(
+            "behaviour pattern references unknown" in e.message
+            for e in checked.diagnostics.errors
+        )
+
+    def test_parse_error_in_pattern(self):
+        from repro.diagnostics import ParseError
+
+        text = ACCOUNT.replace("(deposit | withdraw | (freeze; thaw))*", "(| deposit)")
+        with pytest.raises(ParseError):
+            parse_specification(text)
+
+
+class TestPersistence:
+    def test_protocol_state_restored(self, bank):
+        system, account = bank
+        system.occur(account, "freeze")
+        restored = restore_json(ObjectBase(ACCOUNT), dump_json(system))
+        account2 = restored.instance("ACCOUNT", "a")
+        with pytest.raises(PermissionDenied):
+            restored.occur(account2, "deposit", [1])
+        restored.occur(account2, "thaw")
+        restored.occur(account2, "deposit", [1])

@@ -1,0 +1,138 @@
+"""B-tree unit and property-based tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import BTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BTree()
+        assert len(tree) == 0
+        assert tree.get(1) is None
+        assert 1 not in tree
+
+    def test_insert_and_get(self):
+        tree = BTree()
+        assert tree.insert(1, "a")
+        assert tree.get(1) == "a"
+        assert 1 in tree
+
+    def test_insert_update(self):
+        tree = BTree()
+        tree.insert(1, "a")
+        assert not tree.insert(1, "b")  # not new
+        assert tree.get(1) == "b"
+        assert len(tree) == 1
+
+    def test_delete(self):
+        tree = BTree()
+        tree.insert(1, "a")
+        assert tree.delete(1)
+        assert not tree.delete(1)
+        assert len(tree) == 0
+
+    def test_get_default(self):
+        assert BTree().get(9, "fallback") == "fallback"
+
+    def test_min_degree_validation(self):
+        with pytest.raises(ValueError):
+            BTree(min_degree=1)
+
+    def test_items_in_key_order(self):
+        tree = BTree(min_degree=2)
+        for key in [5, 1, 9, 3, 7]:
+            tree.insert(key, key)
+        assert [k for k, _ in tree.items()] == [1, 3, 5, 7, 9]
+
+    def test_range(self):
+        tree = BTree(min_degree=2)
+        for key in range(20):
+            tree.insert(key, key)
+        assert [k for k, _ in tree.range(5, 9)] == [5, 6, 7, 8, 9]
+
+    def test_depth_grows_logarithmically(self):
+        tree = BTree(min_degree=2)
+        for key in range(1000):
+            tree.insert(key, key)
+        assert tree.depth() <= 10
+
+    def test_sequential_insert_then_delete_all(self):
+        tree = BTree(min_degree=2)
+        for key in range(200):
+            tree.insert(key, key * 2)
+        tree.check_invariants()
+        for key in range(200):
+            assert tree.delete(key)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_reverse_order_insert(self):
+        tree = BTree(min_degree=3)
+        for key in reversed(range(100)):
+            tree.insert(key, key)
+        tree.check_invariants()
+        assert [k for k, _ in tree.items()] == list(range(100))
+
+    def test_string_keys(self):
+        tree = BTree(min_degree=2)
+        for word in ["pear", "apple", "fig"]:
+            tree.insert(word, word.upper())
+        assert [k for k, _ in tree.items()] == ["apple", "fig", "pear"]
+        assert tree.get("fig") == "FIG"
+
+
+class TestAgainstDict:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("degree", [2, 3, 16])
+    def test_random_churn(self, seed, degree):
+        rng = random.Random(seed)
+        tree = BTree(min_degree=degree)
+        reference = {}
+        for _ in range(1500):
+            key = rng.randint(0, 200)
+            if rng.random() < 0.6:
+                tree.insert(key, key * 3)
+                reference[key] = key * 3
+            else:
+                assert tree.delete(key) == (key in reference)
+                reference.pop(key, None)
+        tree.check_invariants()
+        assert dict(tree.items()) == reference
+        assert len(tree) == len(reference)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(st.booleans(), st.integers(0, 50)), max_size=120
+    ),
+    degree=st.integers(2, 5),
+)
+def test_btree_matches_dict_property(operations, degree):
+    """Property: any insert/delete sequence leaves the tree equal to a
+    dict and structurally valid."""
+    tree = BTree(min_degree=degree)
+    reference = {}
+    for is_insert, key in operations:
+        if is_insert:
+            tree.insert(key, key)
+            reference[key] = key
+        else:
+            tree.delete(key)
+            reference.pop(key, None)
+    tree.check_invariants()
+    assert dict(tree.items()) == reference
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=st.sets(st.integers(-1000, 1000), max_size=200))
+def test_btree_iteration_sorted_property(keys):
+    tree = BTree(min_degree=2)
+    for key in keys:
+        tree.insert(key, None)
+    assert [k for k, _ in tree.items()] == sorted(keys)

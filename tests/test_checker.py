@@ -1,0 +1,345 @@
+"""Unit tests for the static checker (positive and negative cases)."""
+
+import pytest
+
+from repro.diagnostics import CheckError
+from repro.lang import check_specification, parse_specification
+from repro.library import FULL_COMPANY_SPEC, REFINEMENT_SPEC
+
+
+def check(text):
+    return check_specification(parse_specification(text))
+
+
+def errors_of(text):
+    return [d.message for d in check(text).diagnostics.errors]
+
+
+MINIMAL = """
+object class COUNTER
+  identification id: string;
+  template
+    attributes N: integer;
+    events
+      birth start;
+      bump(integer);
+      death stop;
+    valuation
+      variables k: integer;
+      start N = 0;
+      bump(k) N = N + k;
+end object class COUNTER;
+"""
+
+
+class TestPositive:
+    def test_minimal_class_clean(self):
+        checked = check(MINIMAL)
+        assert not checked.diagnostics.has_errors()
+
+    def test_company_spec_clean(self):
+        assert not check(FULL_COMPANY_SPEC).diagnostics.has_errors()
+
+    def test_refinement_spec_clean(self):
+        assert not check(REFINEMENT_SPEC).diagnostics.has_errors()
+
+    def test_symbol_tables_populated(self):
+        checked = check(FULL_COMPANY_SPEC)
+        dept = checked.class_info("DEPT")
+        assert set(dept.attributes) >= {"id", "est_date", "manager", "employees"}
+        assert dept.birth_events()[0].name == "establishment"
+        assert dept.death_events()[0].name == "closure"
+
+    def test_view_inherits_signature(self):
+        checked = check(FULL_COMPANY_SPEC)
+        manager = checked.class_info("MANAGER")
+        assert "Salary" in manager.attributes  # inherited from PERSON
+        assert "OfficialCar" in manager.attributes  # own
+        assert "ChangeSalary" in manager.events  # inherited
+        assert manager.events["ChangeSalary"].binding.object_name == "PERSON"
+
+    def test_inherited_birth_loses_kind(self):
+        checked = check(FULL_COMPANY_SPEC)
+        manager = checked.class_info("MANAGER")
+        # PERSON's birth hire_into is not MANAGER's birth.
+        assert manager.events["hire_into"].kind == "normal"
+        assert manager.events["become_manager"].kind == "birth"
+
+    def test_view_inherits_identification(self):
+        checked = check(FULL_COMPANY_SPEC)
+        manager = checked.class_info("MANAGER")
+        assert [a.name for a in manager.id_attributes] == ["Name", "BirthDate"]
+
+    def test_raise_if_errors_passthrough(self):
+        checked = check(MINIMAL)
+        assert checked.raise_if_errors() is checked
+
+
+class TestNegativeNames:
+    def test_duplicate_class(self):
+        text = MINIMAL + MINIMAL
+        assert any("duplicate class" in e for e in errors_of(text))
+
+    def test_unknown_view_base(self):
+        text = """
+object class GHOST
+  view of NOBODY;
+  template
+    events birth appear;
+end object class GHOST;
+"""
+        assert any("unknown base class" in e for e in errors_of(text))
+
+    def test_cyclic_views(self):
+        text = """
+object class A
+  view of B;
+  template
+    events birth a1;
+end object class A;
+object class B
+  view of A;
+  template
+    events birth b1;
+end object class B;
+"""
+        assert any("cyclic" in e for e in errors_of(text))
+
+    def test_unknown_component_class(self):
+        text = """
+object HOLDER
+  template
+    components part : WIDGET;
+    events birth make;
+end object HOLDER;
+"""
+        assert any("unknown component class" in e for e in errors_of(text))
+
+    def test_unknown_inheriting_base(self):
+        text = """
+object class W
+  identification id: string;
+  template
+    inheriting nothing as alias;
+    events birth make;
+end object class W;
+"""
+        assert any("unknown base object" in e for e in errors_of(text))
+
+    def test_duplicate_attribute(self):
+        text = MINIMAL.replace(
+            "attributes N: integer;", "attributes N: integer; N: string;"
+        )
+        assert any("duplicate attribute" in e for e in errors_of(text))
+
+    def test_duplicate_event(self):
+        text = MINIMAL.replace("bump(integer);", "bump(integer); bump(integer);")
+        assert any("duplicate event" in e for e in errors_of(text))
+
+    def test_missing_identification_warns(self):
+        text = """
+object class LOOSE
+  template
+    events birth go;
+end object class LOOSE;
+"""
+        checked = check(text)
+        assert any(
+            "identification" in w.message for w in checked.diagnostics.warnings
+        )
+
+
+class TestNegativeRules:
+    def test_valuation_unknown_event(self):
+        text = MINIMAL.replace("start N = 0;", "start N = 0; vanish N = 0;")
+        assert any("unknown event" in e for e in errors_of(text))
+
+    def test_valuation_unknown_attribute(self):
+        text = MINIMAL.replace("bump(k) N = N + k;", "bump(k) M = 1;")
+        assert any("unknown attribute" in e for e in errors_of(text))
+
+    def test_valuation_arity_mismatch(self):
+        text = MINIMAL.replace("bump(k) N = N + k;", "bump(k, k) N = 1;")
+        assert any("expects 1 argument" in e for e in errors_of(text))
+
+    def test_valuation_sort_mismatch(self):
+        text = MINIMAL.replace("bump(k) N = N + k;", "bump(k) N = 'oops';")
+        assert any("has sort string" in e for e in errors_of(text))
+
+    def test_valuation_on_derived_attribute(self):
+        text = MINIMAL.replace(
+            "attributes N: integer;", "attributes N: integer; derived D: integer;"
+        ).replace("start N = 0;", "start N = 0; start D = 1;")
+        assert any("derived attribute" in e for e in errors_of(text))
+
+    def test_unbound_name_in_rule(self):
+        text = MINIMAL.replace("bump(k) N = N + k;", "bump(k) N = N + zz;")
+        assert any("unbound name 'zz'" in e for e in errors_of(text))
+
+    def test_permission_unknown_event(self):
+        text = MINIMAL.replace(
+            "    valuation",
+            "    permissions\n      { N > 0 } vanish;\n    valuation",
+        )
+        assert any("unknown event" in e for e in errors_of(text))
+
+    def test_after_unknown_event(self):
+        text = MINIMAL.replace(
+            "    valuation",
+            "    permissions\n      { sometime(after(vanish)) } stop;\n    valuation",
+        )
+        assert any("unknown event 'vanish'" in e for e in errors_of(text))
+
+    def test_derivation_for_underived_attribute(self):
+        text = MINIMAL.replace(
+            "      bump(k) N = N + k;",
+            "      bump(k) N = N + k;\n    derivation rules\n      N = 1;",
+        )
+        assert any("not declared derived" in e for e in errors_of(text))
+
+    def test_implicit_calling_trigger_notes(self):
+        text = MINIMAL.replace(
+            "      bump(k) N = N + k;",
+            "      bump(k) N = N + k;\n    interaction\n      variables k: integer;\n      double(k) >> bump(k);",
+        )
+        checked = check(text)
+        assert not checked.diagnostics.has_errors()
+        notes = [d for d in checked.diagnostics if d.severity == "note"]
+        assert any("implicitly-declared" in n.message for n in notes)
+        assert "double" in checked.class_info("COUNTER").implicit_events
+
+
+class TestInterfaceChecks:
+    BASE = """
+object class ITEM
+  identification id: string;
+  template
+    attributes V: integer;
+    events
+      birth make;
+      set_v(integer);
+    valuation
+      variables k: integer;
+      make V = 0;
+      set_v(k) V = k;
+end object class ITEM;
+"""
+
+    def test_unknown_encapsulated_class(self):
+        text = self.BASE + """
+interface class IV
+  encapsulating GHOST
+  attributes V: integer;
+end interface class IV;
+"""
+        assert any("unknown encapsulated class" in e for e in errors_of(text))
+
+    def test_attribute_not_in_base(self):
+        text = self.BASE + """
+interface class IV
+  encapsulating ITEM
+  attributes W: integer;
+end interface class IV;
+"""
+        assert any("not found in the encapsulated class" in e for e in errors_of(text))
+
+    def test_event_not_in_base(self):
+        text = self.BASE + """
+interface class IV
+  encapsulating ITEM
+  events zap;
+end interface class IV;
+"""
+        assert any("not found in the encapsulated class" in e for e in errors_of(text))
+
+    def test_derived_attribute_needs_rule(self):
+        text = self.BASE + """
+interface class IV
+  encapsulating ITEM
+  attributes derived D: integer;
+end interface class IV;
+"""
+        assert any("no derivation rule" in e for e in errors_of(text))
+
+    def test_derived_event_needs_calling(self):
+        text = self.BASE + """
+interface class IV
+  encapsulating ITEM
+  events derived zap;
+end interface class IV;
+"""
+        assert any("no calling rule" in e for e in errors_of(text))
+
+    def test_valid_interface_clean(self):
+        text = self.BASE + """
+interface class IV
+  encapsulating ITEM
+  attributes
+    V: integer;
+    derived D: integer;
+  events
+    derived zap;
+  derivation rules
+    D = V * 2;
+  calling
+    zap >> set_v(0);
+end interface class IV;
+"""
+        checked = check(text)
+        assert not checked.diagnostics.has_errors()
+        assert "IV" in checked.interfaces
+
+
+class TestGlobalInteractionChecks:
+    def test_unqualified_global_rule(self):
+        text = MINIMAL + """
+global interactions
+  variables k: integer;
+  bump(k) >> bump(k);
+"""
+        assert any("must be class-qualified" in e for e in errors_of(text))
+
+    def test_unknown_class_in_global(self):
+        text = MINIMAL + """
+global interactions
+  variables C: COUNTER; k: integer;
+  GHOST(C).bump(k) >> COUNTER(C).bump(k);
+"""
+        assert any("unknown class 'GHOST'" in e for e in errors_of(text))
+
+    def test_unknown_event_in_global(self):
+        text = MINIMAL + """
+global interactions
+  variables C: COUNTER;
+  COUNTER(C).vanish >> COUNTER(C).stop;
+"""
+        assert any("no event 'vanish'" in e for e in errors_of(text))
+
+    def test_arity_in_global(self):
+        text = MINIMAL + """
+global interactions
+  variables C: COUNTER; k: integer;
+  COUNTER(C).bump(k, k) >> COUNTER(C).stop;
+"""
+        assert any("expects 1 argument" in e for e in errors_of(text))
+
+
+class TestInitially:
+    def test_initial_sort_mismatch(self):
+        text = MINIMAL.replace(
+            "attributes N: integer;", "attributes N: integer initially 'x';"
+        )
+        assert any("initial value" in e for e in errors_of(text))
+
+    def test_initial_on_derived_rejected(self):
+        text = MINIMAL.replace(
+            "attributes N: integer;",
+            "attributes N: integer; derived D: integer initially 1;",
+        )
+        assert any("cannot have an initial value" in e for e in errors_of(text))
+
+    def test_initial_unbound_name(self):
+        text = MINIMAL.replace(
+            "attributes N: integer;", "attributes N: integer initially zz;"
+        )
+        assert any("unbound name 'zz'" in e for e in errors_of(text))

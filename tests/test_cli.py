@@ -1,0 +1,121 @@
+"""CLI tests: check / format / info / library."""
+
+import pytest
+
+from repro.cli import main
+from repro.library import DEPT_SPEC, FULL_COMPANY_SPEC
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "dept.troll"
+    path.write_text(DEPT_SPEC)
+    return str(path)
+
+
+@pytest.fixture
+def broken_file(tmp_path):
+    path = tmp_path / "broken.troll"
+    path.write_text(
+        DEPT_SPEC.replace("establishment(d) est_date = d;", "vanish est_date = d;")
+    )
+    return str(path)
+
+
+class TestCheck:
+    def test_clean_spec_exits_zero(self, spec_file, capsys):
+        assert main(["check", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_broken_spec_exits_one(self, broken_file, capsys):
+        assert main(["check", broken_file]) == 1
+        out = capsys.readouterr().out
+        assert "unknown event" in out
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.troll"
+        path.write_text("object class ;;;")
+        assert main(["check", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent/path.troll"]) == 1
+
+    def test_multiple_files_concatenated(self, tmp_path, capsys):
+        a = tmp_path / "a.troll"
+        b = tmp_path / "b.troll"
+        full = FULL_COMPANY_SPEC
+        split_at = full.index("object class DEPT")
+        a.write_text(full[:split_at])
+        b.write_text(full[split_at:])
+        assert main(["check", str(a), str(b)]) == 0
+
+
+class TestFormat:
+    def test_format_output_reparses(self, spec_file, capsys):
+        assert main(["format", spec_file]) == 0
+        printed = capsys.readouterr().out
+        from repro.lang import parse_specification
+
+        assert parse_specification(printed).object_classes[0].name == "DEPT"
+
+    def test_format_is_normalising(self, tmp_path, capsys):
+        path = tmp_path / "messy.troll"
+        path.write_text(
+            "object class   X identification id:string;"
+            " template events birth go; end object class X;"
+        )
+        assert main(["format", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "object class X\n" in out
+
+
+class TestInfo:
+    def test_inventory_lines(self, spec_file, capsys):
+        assert main(["info", spec_file]) == 0
+        out = capsys.readouterr().out
+        assert "object class DEPT" in out
+        assert "employees" in out
+
+    def test_inventory_interfaces_and_globals(self, tmp_path, capsys):
+        path = tmp_path / "full.troll"
+        path.write_text(FULL_COMPANY_SPEC)
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "interface class WORKS_FOR encapsulating PERSON P, DEPT D" in out
+        assert "view of PERSON" in out
+        assert "global interactions: 2 rule(s)" in out
+
+
+class TestLibrary:
+    def test_list(self, capsys):
+        assert main(["library", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "DEPT_SPEC" in out and "REFINEMENT_SPEC" in out
+
+    def test_print_spec(self, capsys):
+        assert main(["library", "DEPT_SPEC"]) == 0
+        assert "object class DEPT" in capsys.readouterr().out
+
+    def test_unknown_name(self, capsys):
+        assert main(["library", "NOPE"]) == 1
+        assert "unknown" in capsys.readouterr().err
+
+
+class TestDot:
+    def test_dot_output(self, tmp_path, capsys):
+        path = tmp_path / "full.troll"
+        path.write_text(FULL_COMPANY_SPEC)
+        assert main(["dot", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert '"view of"' in out
+
+    def test_dot_rejects_broken_spec(self, tmp_path, capsys):
+        path = tmp_path / "broken.troll"
+        path.write_text(
+            DEPT_SPEC.replace("establishment(d) est_date = d;", "vanish est_date = d;")
+        )
+        assert main(["dot", str(path)]) == 1

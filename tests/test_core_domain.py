@@ -1,0 +1,417 @@
+"""Unit tests for the Section 3 semantic domain: templates, aspects,
+morphisms, inheritance schemas, communities (Examples 3.1-3.9)."""
+
+import pytest
+
+from repro.core import (
+    Aspect,
+    AspectMorphism,
+    InheritanceSchema,
+    LTS,
+    MorphismError,
+    ObjectCommunity,
+    Template,
+    TemplateMorphism,
+    aspect,
+    compose,
+    identity_morphism,
+    schema_from_specification,
+    template_from_class,
+)
+from repro.datatypes.values import identity
+from repro.lang import check_specification, parse_specification
+from repro.library import FULL_COMPANY_SPEC
+
+
+def device_protocol():
+    return (
+        LTS("off")
+        .add_transition("off", "switch_on", "on")
+        .add_transition("on", "switch_off", "off")
+    )
+
+
+def el_device():
+    return Template.build(
+        "el_device", ["switch_on", "switch_off"], ["is_on"], device_protocol()
+    )
+
+
+def computer(good_protocol=True):
+    protocol = (
+        LTS("off")
+        .add_transition("off", "switch_on_c", "on")
+        .add_transition("on", "boot", "ready")
+        .add_transition("ready", "switch_off_c", "off")
+    )
+    if not good_protocol:
+        # switch_off before switch_on: violates the device protocol
+        protocol = LTS("off").add_transition("off", "switch_off_c", "off")
+    return Template.build(
+        "computer", ["switch_on_c", "switch_off_c", "boot"], ["is_on_c"], protocol
+    )
+
+
+def computer_morphism(comp=None, dev=None):
+    return TemplateMorphism(
+        "h",
+        comp or computer(),
+        dev or el_device(),
+        {"switch_on_c": "switch_on", "switch_off_c": "switch_off"},
+        {"is_on_c": "is_on"},
+    )
+
+
+class TestTemplates:
+    def test_build(self):
+        t = el_device()
+        assert set(t.actions) == {"switch_on", "switch_off"}
+        assert set(t.observations) == {"is_on"}
+
+    def test_item_names(self):
+        assert el_device().item_names == {"switch_on", "switch_off", "is_on"}
+
+    def test_protocol_must_use_declared_actions(self):
+        with pytest.raises(ValueError):
+            Template.build("bad", ["a"], protocol=LTS("s").add_transition("s", "zz", "s"))
+
+    def test_equality_by_name(self):
+        assert Template.build("t", ["a"]) == Template.build("t", ["b"])
+
+
+class TestAspects:
+    def test_aspect_string(self):
+        sun = aspect("SUN", computer())
+        assert str(sun) == "SUN•computer"
+
+    def test_same_object_across_templates(self):
+        # SUN•computer and SUN•el_device are aspects of one object.
+        sun_c = aspect("SUN", computer())
+        sun_d = sun_c.with_template(el_device())
+        assert sun_c.same_object_as(sun_d)
+
+    def test_different_identities(self):
+        assert not aspect("SUN", computer()).same_object_as(
+            aspect("MAC", computer())
+        )
+
+    def test_identity_must_be_id_sorted(self):
+        from repro.datatypes.values import integer
+
+        with pytest.raises(TypeError):
+            Aspect(identity=integer(1), template=computer())
+
+
+class TestTemplateMorphisms:
+    def test_valid_projection(self):
+        computer_morphism().validate()
+
+    def test_unknown_source_item(self):
+        m = TemplateMorphism("h", computer(), el_device(), {"zz": "switch_on"})
+        with pytest.raises(MorphismError):
+            m.validate()
+
+    def test_unknown_target_item(self):
+        m = TemplateMorphism("h", computer(), el_device(), {"boot": "zz"})
+        with pytest.raises(MorphismError):
+            m.validate()
+
+    def test_surjectivity_enforced(self):
+        m = TemplateMorphism(
+            "h", computer(), el_device(), {"switch_on_c": "switch_on"}
+        )
+        with pytest.raises(MorphismError):
+            m.validate()
+        m.validate(require_surjective=False, check_behavior=False)
+
+    def test_behavior_containment_violation(self):
+        # Example 3.4: a computer switching off before on violates the
+        # inherited protocol.
+        bad = computer_morphism(comp=computer(good_protocol=False))
+        assert not bad.preserves_behavior()
+        with pytest.raises(MorphismError):
+            bad.validate()
+
+    def test_behavior_trivial_without_protocols(self):
+        a = Template.build("a", ["x"])
+        b = Template.build("b", ["y"])
+        m = TemplateMorphism("m", a, b, {"x": "y"})
+        assert m.preserves_behavior()
+
+    def test_by_name_construction(self):
+        base = Template.build("base", ["go"], ["n"])
+        special = Template.build("special", ["go", "extra"], ["n", "m"])
+        m = TemplateMorphism.by_name("m", special, base)
+        assert m.action_map == {"go": "go"}
+        assert m.observation_map == {"n": "n"}
+        assert m.is_surjective()
+
+    def test_identity_morphism(self):
+        m = identity_morphism(computer())
+        m.validate()
+        assert m.map_action("boot") == "boot"
+
+    def test_composition(self):
+        thing = Template.build("thing", ["switch_on"], [])
+        dev = Template.build("el_device", ["switch_on", "switch_off"], ["is_on"])
+        comp = computer()
+        h1 = TemplateMorphism(
+            "h1", comp, dev,
+            {"switch_on_c": "switch_on", "switch_off_c": "switch_off"},
+            {"is_on_c": "is_on"},
+        )
+        h2 = TemplateMorphism("h2", dev, thing, {"switch_on": "switch_on"})
+        composed = compose(h2, h1)
+        assert composed.source == comp
+        assert composed.target == thing
+        assert composed.map_action("switch_on_c") == "switch_on"
+        assert composed.map_action("boot") is None
+
+    def test_composition_middle_mismatch(self):
+        a, b, c = (Template.build(n, ["x"]) for n in "abc")
+        with pytest.raises(MorphismError):
+            compose(
+                TemplateMorphism("m1", a, b, {"x": "x"}),
+                TemplateMorphism("m2", b, c, {"x": "x"}),
+            )
+
+
+class TestAspectMorphisms:
+    def test_inheritance_kind(self):
+        sun_c = aspect("SUN", computer())
+        sun_d = sun_c.with_template(el_device())
+        m = AspectMorphism(sun_c, sun_d, computer_morphism(sun_c.template, sun_d.template))
+        assert m.kind == "inheritance"
+        assert m.is_inheritance
+
+    def test_interaction_kind(self):
+        cpu = Template.build("cpu", ["switch_on", "switch_off"])
+        sun = aspect("SUN", computer())
+        cyy = aspect("CYY", cpu)
+        m = AspectMorphism(
+            sun, cyy,
+            TemplateMorphism(
+                "g", sun.template, cpu,
+                {"switch_on_c": "switch_on", "switch_off_c": "switch_off"},
+            ),
+        )
+        assert m.kind == "interaction"
+
+    def test_template_mismatch_rejected(self):
+        sun = aspect("SUN", computer())
+        other = aspect("X", Template.build("other", ["x"]))
+        with pytest.raises(MorphismError):
+            AspectMorphism(sun, other, computer_morphism())
+
+
+class TestInheritanceSchema:
+    def example_schema(self):
+        """The Example 3.2 computer-equipment schema."""
+        schema = InheritanceSchema()
+        thing = schema.add_template(Template.build("thing", ["exist"]))
+        dev = Template.build("el_device", ["exist", "switch_on", "switch_off"])
+        calc = Template.build("calculator", ["exist", "compute"])
+        schema.specialize(dev, thing)
+        schema.specialize(calc, thing)
+        comp = Template.build(
+            "computer", ["exist", "switch_on", "switch_off", "compute"]
+        )
+        schema.specialize(comp, dev, calc)  # multiple inheritance (Ex. 3.5)
+        for name in ("personal_c", "workstation", "mainframe"):
+            schema.specialize(
+                Template.build(name, ["exist", "switch_on", "switch_off", "compute"]),
+                comp,
+            )
+        return schema
+
+    def test_ancestors(self):
+        schema = self.example_schema()
+        ws = schema.templates["workstation"]
+        names = {t.name for t in schema.ancestors(ws)}
+        assert names == {"computer", "el_device", "calculator", "thing"}
+
+    def test_descendants(self):
+        schema = self.example_schema()
+        thing = schema.templates["thing"]
+        assert len(schema.descendants(thing)) == 6
+
+    def test_derived_aspects_closure(self):
+        schema = self.example_schema()
+        sun = aspect("SUN", schema.templates["workstation"])
+        derived = schema.derived_aspects(sun)
+        assert {a.template.name for a in derived} == {
+            "computer", "el_device", "calculator", "thing",
+        }
+        assert all(a.same_object_as(sun) for a in derived)
+
+    def test_object_of(self):
+        schema = self.example_schema()
+        sun = aspect("SUN", schema.templates["workstation"])
+        assert len(schema.object_of(sun)) == 5
+
+    def test_path_morphism_composes(self):
+        schema = self.example_schema()
+        ws = schema.templates["workstation"]
+        thing = schema.templates["thing"]
+        path = schema.path_morphism(ws, thing)
+        assert path is not None
+        assert path.map_action("exist") == "exist"
+
+    def test_generalization_step(self):
+        # Example 3.6: contract_partner as generalization of person and
+        # company.
+        schema = InheritanceSchema()
+        person = schema.add_template(Template.build("person", ["sign"]))
+        company = schema.add_template(Template.build("company", ["sign"]))
+        partner = Template.build("contract_partner", ["sign"])
+        morphisms = schema.abstract(partner, person, company)
+        assert len(morphisms) == 2
+        assert schema.is_ancestor(partner, person)
+        assert schema.is_ancestor(partner, company)
+
+    def test_abstraction_step(self):
+        # "introducing a template sensitive as an abstraction of computer"
+        schema = self.example_schema()
+        comp = schema.templates["computer"]
+        sensitive = Template.build("sensitive", ["exist"])
+        schema.abstract(sensitive, comp)
+        assert sensitive in schema.ancestors(schema.templates["workstation"])
+
+    def test_cycle_rejected(self):
+        schema = InheritanceSchema()
+        a = schema.add_template(Template.build("a", ["x"]))
+        b = Template.build("b", ["x"])
+        schema.specialize(b, a)
+        with pytest.raises(MorphismError):
+            schema.add_morphism(TemplateMorphism.by_name("back", a, b))
+
+    def test_duplicate_template_name_rejected(self):
+        schema = InheritanceSchema()
+        schema.add_template(Template.build("a", ["x"]))
+        with pytest.raises(MorphismError):
+            schema.add_template(Template.build("a", ["y"]))
+
+    def test_morphism_requires_member_templates(self):
+        schema = InheritanceSchema()
+        a = Template.build("a", ["x"])
+        b = Template.build("b", ["x"])
+        with pytest.raises(MorphismError):
+            schema.add_morphism(TemplateMorphism.by_name("m", a, b))
+
+
+class TestObjectCommunity:
+    def parts(self):
+        pow_t = Template.build("powsply", ["switch_on", "switch_off"])
+        cpu_t = Template.build("cpu", ["switch_on", "switch_off"])
+        cable_t = Template.build("cable", ["switch_on", "switch_off"])
+        return pow_t, cpu_t, cable_t
+
+    def test_aggregation_example_3_9(self):
+        pow_t, cpu_t, _ = self.parts()
+        community = ObjectCommunity()
+        pxx = aspect("PXX", pow_t)
+        cyy = aspect("CYY", cpu_t)
+        community.add_aspect(pxx)
+        community.add_aspect(cyy)
+        sun = aspect("SUN", computer())
+        morphisms = community.aggregate(
+            sun, pxx, cyy,
+            morphisms=[
+                TemplateMorphism(
+                    "f", sun.template, pow_t,
+                    {"switch_on_c": "switch_on", "switch_off_c": "switch_off"},
+                ),
+                TemplateMorphism(
+                    "g", sun.template, cpu_t,
+                    {"switch_on_c": "switch_on", "switch_off_c": "switch_off"},
+                ),
+            ],
+        )
+        assert all(m.is_interaction for m in morphisms)
+        assert {a.identity.payload for a in community.parts_of(sun)} == {"PXX", "CYY"}
+
+    def test_sharing_example_3_7(self):
+        pow_t, cpu_t, cable_t = self.parts()
+        community = ObjectCommunity()
+        pxx, cyy, cbz = aspect("PXX", pow_t), aspect("CYY", cpu_t), aspect("CBZ", cable_t)
+        community.add_aspect(pxx)
+        community.add_aspect(cyy)
+        community.synchronize(cbz, cyy, pxx)
+        diagrams = community.sharing_diagrams()
+        assert len(diagrams) == 1
+        assert diagrams[0].shared == cbz
+        assert set(diagrams[0].sharers) == {cyy, pxx}
+
+    def test_incorporate_requires_existing_part(self):
+        community = ObjectCommunity()
+        sun = aspect("SUN", computer())
+        with pytest.raises(MorphismError):
+            community.incorporate(sun, aspect("PXX", self.parts()[0]))
+
+    def test_incorporation_must_be_interaction(self):
+        pow_t, _, _ = self.parts()
+        community = ObjectCommunity()
+        part = aspect("SUN", pow_t)
+        community.add_aspect(part)
+        same_identity_whole = aspect("SUN", computer())
+        with pytest.raises(MorphismError):
+            community.incorporate(
+                same_identity_whole, part,
+                morphisms=[
+                    TemplateMorphism(
+                        "f", same_identity_whole.template, pow_t,
+                        {"switch_on_c": "switch_on", "switch_off_c": "switch_off"},
+                    )
+                ],
+            )
+
+    def test_schema_closure_on_add(self):
+        schema = InheritanceSchema()
+        dev = schema.add_template(el_device())
+        comp = computer()
+        schema.specialize(comp, dev, morphisms=[computer_morphism(comp, dev)])
+        community = ObjectCommunity(schema=schema)
+        sun = aspect("SUN", comp)
+        community.add_aspect(sun)
+        # closure added SUN•el_device and the inheritance morphism
+        assert sun.with_template(dev) in community
+        assert len(community.inheritance_morphisms()) == 1
+
+    def test_objects_grouping(self):
+        community = ObjectCommunity()
+        community.add_aspect(aspect("SUN", computer()))
+        community.add_aspect(aspect("SUN", el_device()))
+        community.add_aspect(aspect("MAC", computer()))
+        grouped = community.objects()
+        assert len(grouped["SUN"]) == 2
+        assert len(grouped["MAC"]) == 1
+
+    def test_identity_uniqueness_check(self):
+        community = ObjectCommunity()
+        community.add_aspect(aspect("SUN", computer()))
+        community.aspects.append(aspect("SUN", computer()))
+        problems = community.check_identity_uniqueness()
+        assert problems and "SUN" in problems[0]
+
+
+class TestBridge:
+    def test_schema_from_company_spec(self):
+        checked = check_specification(parse_specification(FULL_COMPANY_SPEC))
+        schema, templates = schema_from_specification(checked)
+        manager = templates["MANAGER"]
+        person = templates["PERSON"]
+        assert person in schema.ancestors(manager)
+
+    def test_template_from_class_items(self):
+        checked = check_specification(parse_specification(FULL_COMPANY_SPEC))
+        dept = template_from_class(checked.class_info("DEPT"))
+        assert "hire" in dept.actions
+        assert dept.actions["establishment"].kind == "birth"
+        assert "employees" in dept.observations
+
+    def test_derived_aspects_of_manager_instance(self):
+        checked = check_specification(parse_specification(FULL_COMPANY_SPEC))
+        schema, templates = schema_from_specification(checked)
+        alice = aspect("alice", templates["MANAGER"])
+        derived = schema.derived_aspects(alice)
+        assert [a.template.name for a in derived] == ["PERSON"]

@@ -1,0 +1,209 @@
+"""Multi-level view chains: Example 3.2's hierarchy as executable TROLL.
+
+Exercises transitive signature inheritance, multi-hop base-chain
+observation/routing, and stacked role constraints -- the aspects story
+at depth > 1 (the company example only has one level).
+"""
+
+import pytest
+
+from repro.diagnostics import ConstraintViolation, PermissionDenied
+from repro.lang import check_specification, parse_specification
+from repro.runtime import ObjectBase
+
+EQUIPMENT = """
+object class EL_DEVICE
+  identification Serial: string;
+  template
+    attributes
+      IsOn: bool initially false;
+      Watts: integer initially 0;
+    events
+      birth assemble(integer);
+      death dismantle;
+      switch_on;
+      switch_off;
+      become_computer;
+      install_workstation;
+    valuation
+      variables w: integer;
+      assemble(w) Watts = w;
+      switch_on IsOn = true;
+      switch_off IsOn = false;
+    permissions
+      { not(IsOn) } switch_on;
+      { IsOn } switch_off;
+      { not(IsOn) } dismantle;
+end object class EL_DEVICE;
+
+object class COMPUTER
+  view of EL_DEVICE;
+  template
+    attributes
+      Cores: integer initially 1;
+    events
+      birth EL_DEVICE.become_computer;
+      upgrade(integer);
+    valuation
+      variables k: integer;
+      upgrade(k) Cores = k;
+    constraints
+      static Cores >= 1;
+end object class COMPUTER;
+
+object class WORKSTATION
+  view of COMPUTER;
+  template
+    attributes
+      User: string;
+    events
+      birth EL_DEVICE.install_workstation;
+      assign_user(string);
+    valuation
+      variables u: string;
+      assign_user(u) User = u;
+    constraints
+      static Cores >= 2;
+end object class WORKSTATION;
+"""
+
+
+@pytest.fixture
+def lab():
+    system = ObjectBase(EQUIPMENT)
+    device = system.create("EL_DEVICE", {"Serial": "sun-1"}, "assemble", [300])
+    return system, device
+
+
+class TestSignatureInheritance:
+    def test_transitive_signature(self):
+        checked = check_specification(parse_specification(EQUIPMENT))
+        workstation = checked.class_info("WORKSTATION")
+        assert "IsOn" in workstation.attributes      # from EL_DEVICE
+        assert "Cores" in workstation.attributes     # from COMPUTER
+        assert "User" in workstation.attributes      # own
+        assert "switch_on" in workstation.events
+        assert "upgrade" in workstation.events
+
+    def test_identification_from_root(self):
+        checked = check_specification(parse_specification(EQUIPMENT))
+        workstation = checked.class_info("WORKSTATION")
+        assert [a.name for a in workstation.id_attributes] == ["Serial"]
+
+
+class TestDeepRoleBirth:
+    def _prepare(self, system, device):
+        system.occur(device, "become_computer")
+        computer = system.find("COMPUTER", device.key)
+        system.occur(computer, "upgrade", [4])
+        return computer
+
+    def test_two_level_chain(self, lab):
+        system, device = lab
+        computer = self._prepare(system, device)
+        assert computer is not None and computer.base is device
+        system.occur(device, "install_workstation")
+        workstation = system.find("WORKSTATION", device.key)
+        # the workstation role's base chain reaches the device
+        assert workstation is not None
+
+    def test_workstation_base_chain_reads_device_state(self, lab):
+        system, device = lab
+        self._prepare(system, device)
+        system.occur(device, "install_workstation")
+        workstation = system.find("WORKSTATION", device.key)
+        system.occur(device, "switch_on")
+        assert system.get(workstation, "IsOn").payload is True
+        assert system.get(workstation, "Watts").payload == 300
+
+    def test_event_routing_through_chain(self, lab):
+        system, device = lab
+        self._prepare(system, device)
+        system.occur(device, "install_workstation")
+        workstation = system.find("WORKSTATION", device.key)
+        # switching on via the workstation aspect routes to the device
+        system.occur(workstation, "switch_on")
+        assert system.get(device, "IsOn").payload is True
+
+    def test_mid_level_attribute_through_top_role(self, lab):
+        system, device = lab
+        computer = self._prepare(system, device)
+        system.occur(device, "install_workstation")
+        workstation = system.find("WORKSTATION", device.key)
+        assert system.get(workstation, "Cores").payload == 4
+        # upgrading through the workstation writes the computer's slot
+        system.occur(workstation, "upgrade", [8])
+        assert system.get(computer, "Cores").payload == 8
+        assert "Cores" not in workstation.state
+
+
+class TestStackedConstraints:
+    def test_workstation_needs_multiple_cores(self, lab):
+        system, device = lab
+        system.occur(device, "become_computer")
+        # Cores defaults to 1; the WORKSTATION constraint needs >= 2
+        with pytest.raises(ConstraintViolation):
+            system.occur(device, "install_workstation")
+        computer = system.find("COMPUTER", device.key)
+        system.occur(computer, "upgrade", [4])
+        system.occur(device, "install_workstation")
+        assert system.find("WORKSTATION", device.key).alive
+
+    def test_downgrade_blocked_while_workstation_alive(self, lab):
+        system, device = lab
+        system.occur(device, "become_computer")
+        computer = system.find("COMPUTER", device.key)
+        system.occur(computer, "upgrade", [4])
+        system.occur(device, "install_workstation")
+        with pytest.raises(ConstraintViolation):
+            system.occur(computer, "upgrade", [1])
+        assert system.get(computer, "Cores").payload == 4
+
+    def test_device_permissions_apply_everywhere(self, lab):
+        system, device = lab
+        system.occur(device, "become_computer")
+        computer = system.find("COMPUTER", device.key)
+        with pytest.raises(PermissionDenied):
+            system.occur(computer, "switch_off")  # never switched on
+
+
+class TestPopulationsAtDepth:
+    def test_each_level_has_its_aspect(self, lab):
+        system, device = lab
+        system.occur(device, "become_computer")
+        computer = system.find("COMPUTER", device.key)
+        system.occur(computer, "upgrade", [2])
+        system.occur(device, "install_workstation")
+        assert len(system.population("EL_DEVICE")) == 1
+        assert len(system.population("COMPUTER")) == 1
+        assert len(system.population("WORKSTATION")) == 1
+
+    def test_schema_bridge_sees_the_chain(self):
+        from repro.core import schema_from_specification
+
+        checked = check_specification(parse_specification(EQUIPMENT))
+        schema, templates = schema_from_specification(checked)
+        ancestors = [t.name for t in schema.ancestors(templates["WORKSTATION"])]
+        assert ancestors == ["COMPUTER", "EL_DEVICE"]
+
+
+class TestDeepChainPersistence:
+    def test_chain_survives_snapshot(self, lab):
+        from repro.runtime import dump_json, restore_json
+
+        system, device = lab
+        system.occur(device, "become_computer")
+        computer = system.find("COMPUTER", device.key)
+        system.occur(computer, "upgrade", [4])
+        system.occur(device, "install_workstation")
+        restored = restore_json(ObjectBase(EQUIPMENT), dump_json(system))
+        workstation = restored.find("WORKSTATION", device.key)
+        computer2 = restored.find("COMPUTER", device.key)
+        device2 = restored.find("EL_DEVICE", device.key)
+        assert workstation.base is computer2
+        assert computer2.base is device2
+        # behaviour continues through the restored chain
+        restored.occur(workstation, "switch_on")
+        assert restored.get(device2, "IsOn").payload is True
+        with pytest.raises(ConstraintViolation):
+            restored.occur(computer2, "upgrade", [1])

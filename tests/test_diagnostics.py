@@ -1,0 +1,115 @@
+"""Diagnostics: positions, bags, exception hierarchy."""
+
+import pytest
+
+from repro.diagnostics import (
+    CheckError,
+    ConstraintViolation,
+    Diagnostic,
+    DiagnosticBag,
+    EvaluationError,
+    LexerError,
+    LifecycleError,
+    ParseError,
+    PermissionDenied,
+    RefinementError,
+    RuntimeSpecError,
+    SortError,
+    SourcePosition,
+    TrollError,
+)
+
+
+class TestSourcePosition:
+    def test_str(self):
+        assert str(SourcePosition(3, 7, "x.troll")) == "x.troll:3:7"
+
+    def test_advanced_within_line(self):
+        pos = SourcePosition(1, 1).advanced("abc")
+        assert (pos.line, pos.column) == (1, 4)
+
+    def test_advanced_across_lines(self):
+        pos = SourcePosition(1, 5).advanced("a\nbc")
+        assert (pos.line, pos.column) == (2, 3)
+
+    def test_ordering(self):
+        assert SourcePosition(1, 9) < SourcePosition(2, 1)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [LexerError, ParseError, CheckError, RuntimeSpecError, RefinementError],
+    )
+    def test_all_are_troll_errors(self, cls):
+        assert issubclass(cls, TrollError)
+
+    def test_sort_error_is_check_error(self):
+        assert issubclass(SortError, CheckError)
+
+    @pytest.mark.parametrize(
+        "cls",
+        [PermissionDenied, ConstraintViolation, LifecycleError, EvaluationError],
+    )
+    def test_runtime_subtypes(self, cls):
+        assert issubclass(cls, RuntimeSpecError)
+
+    def test_message_includes_position(self):
+        error = ParseError("boom", SourcePosition(2, 3, "f"))
+        assert str(error) == "f:2:3: boom"
+        assert error.message == "boom"
+
+    def test_message_without_position(self):
+        assert str(TrollError("boom")) == "boom"
+
+    def test_refinement_error_counterexample(self):
+        error = RefinementError("diverged", counterexample=["a", "b"])
+        assert error.counterexample == ["a", "b"]
+        assert RefinementError("x").counterexample == []
+
+
+class TestDiagnosticBag:
+    def test_collection_and_filters(self):
+        bag = DiagnosticBag()
+        bag.error("e1")
+        bag.warning("w1")
+        bag.note("n1")
+        assert len(bag) == 3
+        assert len(bag.errors) == 1
+        assert len(bag.warnings) == 1
+        assert bag.has_errors()
+
+    def test_raise_if_errors(self):
+        bag = DiagnosticBag()
+        bag.warning("just a warning")
+        bag.raise_if_errors()  # no raise
+        bag.error("boom", SourcePosition(1, 1, "f"))
+        with pytest.raises(CheckError) as err:
+            bag.raise_if_errors()
+        assert "boom" in str(err.value)
+
+    def test_raise_if_errors_caps_summary(self):
+        bag = DiagnosticBag()
+        for index in range(15):
+            bag.error(f"e{index}")
+        with pytest.raises(CheckError) as err:
+            bag.raise_if_errors()
+        assert "and 5 more" in str(err.value)
+
+    def test_extend(self):
+        a, b = DiagnosticBag(), DiagnosticBag()
+        a.error("x")
+        b.note("y")
+        a.extend(b)
+        assert len(a) == 2
+
+    def test_diagnostic_str(self):
+        d = Diagnostic("warning", "odd", SourcePosition(1, 2, "f"))
+        assert str(d) == "f:1:2: warning: odd"
+        assert str(Diagnostic("note", "hm")) == "note: hm"
+
+    def test_iteration_order(self):
+        bag = DiagnosticBag()
+        bag.error("first")
+        bag.note("second")
+        assert [d.message for d in bag] == ["first", "second"]

@@ -1,0 +1,44 @@
+"""Every example script runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_present():
+    names = {script.name for script in SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(SCRIPTS) >= 3
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda s: s.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_shows_denials():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert "denied" in result.stdout
+
+
+def test_refinement_example_reports_conformance():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "stepwise_refinement.py")],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert "ok = True" in result.stdout

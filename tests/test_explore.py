@@ -1,0 +1,189 @@
+"""State-space exploration: deriving LTSs from running specifications,
+and machine-checking Example 3.4's behaviour containment."""
+
+import pytest
+
+from repro.core.behavior import simulate_containment
+from repro.diagnostics import RuntimeSpecError
+from repro.runtime import ObjectBase
+from repro.runtime.explore import class_lts, explore_lts
+
+DEVICES = """
+object class EL_DEVICE
+  identification Serial: string;
+  template
+    attributes IsOn: bool initially false;
+    events
+      birth assemble;
+      switch_on;
+      switch_off;
+    valuation
+      switch_on IsOn = true;
+      switch_off IsOn = false;
+    permissions
+      { not(IsOn) } switch_on;
+      { IsOn } switch_off;
+end object class EL_DEVICE;
+
+object class COMPUTER
+  identification Serial: string;
+  template
+    attributes IsOn: bool initially false; Ready: bool initially false;
+    events
+      birth assemble;
+      switch_on;
+      boot;
+      switch_off;
+    valuation
+      switch_on IsOn = true;
+      boot Ready = true;
+      switch_off IsOn = false;
+      switch_off Ready = false;
+    permissions
+      { not(IsOn) } switch_on;
+      { IsOn and not(Ready) } boot;
+      { IsOn } switch_off;
+end object class COMPUTER;
+
+object class BROKEN_COMPUTER
+  identification Serial: string;
+  template
+    attributes IsOn: bool initially false;
+    events
+      birth assemble;
+      switch_on;
+      switch_off;
+    valuation
+      switch_on IsOn = true;
+      switch_off IsOn = false;
+    permissions
+      { not(IsOn) } switch_on;
+end object class BROKEN_COMPUTER;
+"""
+
+
+def device_lts():
+    return class_lts(
+        DEVICES, "EL_DEVICE", {"Serial": "d"}, [],
+        {"switch_on": [()], "switch_off": [()]},
+    )
+
+
+class TestExploration:
+    def test_device_lts_shape(self):
+        lts = device_lts()
+        # off <-> on: exactly two states
+        assert len(lts.states) == 2
+        assert lts.actions == {"switch_on", "switch_off"}
+
+    def test_device_lts_protocol(self):
+        lts = device_lts()
+        assert lts.accepts(("switch_on", "switch_off", "switch_on"))
+        assert not lts.accepts(("switch_off",))
+        assert not lts.accepts(("switch_on", "switch_on"))
+
+    def test_computer_lts(self):
+        lts = class_lts(
+            DEVICES, "COMPUTER", {"Serial": "c"}, [],
+            {"switch_on": [()], "boot": [()], "switch_off": [()]},
+        )
+        assert lts.accepts(("switch_on", "boot", "switch_off", "switch_on"))
+        assert not lts.accepts(("boot",))
+        assert not lts.accepts(("switch_on", "boot", "boot"))
+
+    def test_exploration_does_not_mutate_source(self):
+        system = ObjectBase(DEVICES)
+        device = system.create("EL_DEVICE", {"Serial": "d"})
+        explore_lts(system, device, {"switch_on": [()], "switch_off": [()]})
+        assert [s.event for s in device.trace] == ["assemble"]
+        assert system.get(device, "IsOn").payload is False
+
+    def test_state_bound_enforced(self):
+        counter = """
+object class COUNTER
+  identification id: string;
+  template
+    attributes N: integer initially 0;
+    events
+      birth boot;
+      bump;
+    valuation
+      bump N = N + 1;
+end object class COUNTER;
+"""
+        with pytest.raises(RuntimeSpecError):
+            class_lts(
+                counter, "COUNTER", {"id": "c"}, [], {"bump": [()]}, max_states=10
+            )
+
+    def test_labelled_arguments(self):
+        gate = """
+object class GATE
+  identification id: string;
+  template
+    attributes V: integer initially 0;
+    events
+      birth boot;
+      set_v(integer);
+    valuation
+      variables k: integer;
+      set_v(k) V = k;
+end object class GATE;
+"""
+        system = ObjectBase(gate)
+        instance = system.create("GATE", {"id": "g"}, "boot")
+        lts = explore_lts(
+            system, instance, {"set_v": [[0], [1]]}, label_args=True
+        )
+        assert "set_v(1)" in lts.actions
+
+
+class TestExample34Containment:
+    """Example 3.4, machine-checked from specifications: the computer's
+    behaviour must be contained in the electronic device's."""
+
+    def test_computer_contains_device_protocol(self):
+        computer = class_lts(
+            DEVICES, "COMPUTER", {"Serial": "c"}, [],
+            {"switch_on": [()], "boot": [()], "switch_off": [()]},
+        )
+        device = device_lts()
+        assert simulate_containment(
+            computer, device,
+            {"switch_on": "switch_on", "switch_off": "switch_off"},
+        )
+
+    def test_violating_template_is_caught(self):
+        # BROKEN_COMPUTER allows switch_off at any time (no permission):
+        # its behaviour is NOT contained in the device protocol.
+        broken = class_lts(
+            DEVICES, "BROKEN_COMPUTER", {"Serial": "b"}, [],
+            {"switch_on": [()], "switch_off": [()]},
+        )
+        device = device_lts()
+        assert not simulate_containment(
+            broken, device,
+            {"switch_on": "switch_on", "switch_off": "switch_off"},
+        )
+
+    def test_behavior_pattern_protocols_explorable(self):
+        account = """
+object class ACCOUNT
+  identification id: string;
+  template
+    attributes Balance: integer initially 0;
+    events
+      birth open;
+      freeze;
+      thaw;
+    behavior
+      patterns (open; (freeze; thaw)*);
+end object class ACCOUNT;
+"""
+        lts = class_lts(
+            account, "ACCOUNT", {"id": "a"}, [],
+            {"freeze": [()], "thaw": [()]},
+        )
+        assert lts.accepts(("freeze", "thaw", "freeze"))
+        assert not lts.accepts(("thaw",))
+        assert not lts.accepts(("freeze", "freeze"))

@@ -1,0 +1,100 @@
+"""Interface derivation edge cases: parametrized rules, chained
+derivations, guards in view calling rules."""
+
+import pytest
+
+from repro.datatypes.values import integer, money
+from repro.diagnostics import PermissionDenied
+from repro.interfaces import open_view
+from repro.runtime import ObjectBase
+
+SPEC = """
+object class METER
+  identification id: string;
+  template
+    attributes
+      Reading: integer initially 0;
+      Rate: integer initially 3;
+    events
+      birth install;
+      advance(integer);
+      set_rate(integer);
+      death remove_meter;
+    valuation
+      variables k: integer;
+      advance(k) Reading = Reading + k;
+      set_rate(k) Rate = k;
+end object class METER;
+
+interface class BILLING
+  encapsulating METER
+  attributes
+    Reading: integer;
+    derived Cost: integer;
+    derived CostAt(integer): integer;
+  events
+    derived bump;
+  derivation rules
+    Cost = Reading * Rate;
+    CostAt(r) = Reading * r;
+  calling
+    { Reading < 100 } => bump >> advance(10);
+end interface class BILLING;
+"""
+
+
+@pytest.fixture
+def metering():
+    system = ObjectBase(SPEC)
+    meter = system.create("METER", {"id": "m"}, "install")
+    system.occur(meter, "advance", [5])
+    return system, meter, open_view(system, "BILLING")
+
+
+class TestDerivedRules:
+    def test_plain_derived(self, metering):
+        system, meter, view = metering
+        assert view.get(meter.key, "Cost") == integer(15)
+
+    def test_parametrized_derived(self, metering):
+        system, meter, view = metering
+        assert view.get(meter.key, "CostAt", [7]) == integer(35)
+
+    def test_derived_tracks_base_state(self, metering):
+        system, meter, view = metering
+        system.occur(meter, "set_rate", [10])
+        assert view.get(meter.key, "Cost") == integer(50)
+
+    def test_derived_reads_hidden_attribute(self, metering):
+        system, meter, view = metering
+        # Rate is not visible through the view, but Cost derives from it
+        from repro.diagnostics import CheckError
+
+        with pytest.raises(CheckError):
+            view.get(meter.key, "Rate")
+        assert view.get(meter.key, "Cost") == integer(15)
+
+
+class TestGuardedViewCalling:
+    def test_guard_allows(self, metering):
+        system, meter, view = metering
+        view.call(meter.key, "bump")
+        assert system.get(meter, "Reading") == integer(15)
+
+    def test_guard_blocks(self, metering):
+        system, meter, view = metering
+        system.occur(meter, "advance", [200])
+        with pytest.raises(PermissionDenied):
+            view.call(meter.key, "bump")
+        assert system.get(meter, "Reading") == integer(205)
+
+    def test_can_call_respects_guard(self, metering):
+        system, meter, view = metering
+        assert view.can_call(meter.key, "bump")
+        system.occur(meter, "advance", [200])
+        assert not view.can_call(meter.key, "bump")
+
+    def test_dead_instance_not_callable(self, metering):
+        system, meter, view = metering
+        system.occur(meter, "remove_meter")
+        assert not view.can_call(meter.key, "bump")

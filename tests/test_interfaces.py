@@ -1,0 +1,175 @@
+"""Interface views: projection, derivation, selection, join (E4-E7)."""
+
+import datetime
+
+import pytest
+
+from repro.datatypes.values import money, string
+from repro.diagnostics import CheckError, PermissionDenied
+from repro.interfaces import open_view
+from tests.conftest import D1960, D1970, D1991
+
+
+@pytest.fixture
+def researchers(company_system):
+    system = company_system
+    research = system.create("DEPT", {"id": "Research"}, "establishment", [D1991])
+    sales = system.create("DEPT", {"id": "Sales"}, "establishment", [D1991])
+    alice = system.create(
+        "PERSON", {"Name": "alice", "BirthDate": D1960},
+        "hire_into", ["Research", 6000.0],
+    )
+    bob = system.create(
+        "PERSON", {"Name": "bob", "BirthDate": D1970},
+        "hire_into", ["Sales", 3000.0],
+    )
+    system.occur(research, "hire", [alice])
+    system.occur(sales, "hire", [bob])
+    return system, research, sales, alice, bob
+
+
+class TestProjectionView:
+    def test_visible_attributes(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "SAL_EMPLOYEE")
+        assert set(view.visible_attributes) == {"Name", "IncomeInYear", "Salary"}
+        assert view.visible_events == ["ChangeSalary"]
+
+    def test_read_through(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "SAL_EMPLOYEE")
+        assert view.get(alice.key, "Salary") == money(6000.0)
+        assert view.get(alice.key, "Name") == string("alice")
+
+    def test_parametrized_attribute_through_view(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "SAL_EMPLOYEE")
+        assert view.get(alice.key, "IncomeInYear", [1991]) == money(81000.0)
+
+    def test_hidden_attribute_rejected(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "SAL_EMPLOYEE")
+        with pytest.raises(CheckError):
+            view.get(alice.key, "Dept")
+
+    def test_hidden_event_rejected(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "SAL_EMPLOYEE")
+        with pytest.raises(CheckError):
+            view.call(alice.key, "become_manager")
+
+    def test_event_pass_through(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "SAL_EMPLOYEE")
+        view.call(alice.key, "ChangeSalary", [6100.0])
+        assert system.get(alice, "Salary") == money(6100.0)
+
+    def test_identity_preserved_not_copied(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "SAL_EMPLOYEE")
+        view.call(alice.key, "ChangeSalary", [1.0])
+        # the underlying object changed; no copy semantics
+        assert system.get(alice, "Salary") == money(1.0)
+
+    def test_unknown_interface(self, researchers):
+        system = researchers[0]
+        with pytest.raises(CheckError):
+            open_view(system, "NOPE")
+
+
+class TestDerivedView:
+    def test_derived_attribute(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "SAL_EMPLOYEE2")
+        assert view.get(alice.key, "CurrentIncomePerYear") == money(81000.0)
+
+    def test_derived_event_scales_salary(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "SAL_EMPLOYEE2")
+        view.call(alice.key, "IncreaseSalary")
+        assert system.get(alice, "Salary").payload == pytest.approx(6600.0)
+
+    def test_derived_event_is_atomic_unit(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "SAL_EMPLOYEE2")
+        before = [s.event for s in alice.trace]
+        view.call(alice.key, "IncreaseSalary")
+        after = [s.event for s in alice.trace]
+        assert after == before + ["ChangeSalary"]
+
+    def test_can_call(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "SAL_EMPLOYEE2")
+        assert view.can_call(alice.key, "IncreaseSalary")
+        assert not view.can_call(alice.key, "become_manager")
+
+
+class TestSelectionView:
+    def test_subpopulation(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "RESEARCH_EMPLOYEE")
+        assert [i.payload for i in view.instances()] == [alice.key]
+
+    def test_includes(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "RESEARCH_EMPLOYEE")
+        assert view.includes(alice.key)
+        assert not view.includes(bob.key)
+
+    def test_access_outside_selection_denied(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "RESEARCH_EMPLOYEE")
+        with pytest.raises(PermissionDenied):
+            view.get(bob.key, "Salary")
+        with pytest.raises(PermissionDenied):
+            view.call(bob.key, "ChangeSalary", [1.0])
+
+    def test_selection_is_dynamic(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "RESEARCH_EMPLOYEE")
+        system.occur(bob, "ChangeDept", ["Research"])
+        assert view.includes(bob.key)
+        system.occur(alice, "ChangeDept", ["Sales"])
+        assert not view.includes(alice.key)
+
+    def test_dead_instance_not_included(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "RESEARCH_EMPLOYEE")
+        system.occur(alice, "die")
+        assert not view.includes(alice.key)
+
+
+class TestJoinView:
+    def test_rows(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "WORKS_FOR")
+        rows = view.rows()
+        pairs = {(r["PersonName"].payload, r["DeptName"].payload) for r in rows}
+        assert pairs == {("alice", "Research"), ("bob", "Sales")}
+
+    def test_join_respects_selection(self, researchers):
+        system, research, sales, alice, bob = researchers
+        # alice works only in Research: 2 persons x 2 depts = 4 combos,
+        # only 2 pass the membership selection
+        view = open_view(system, "WORKS_FOR")
+        assert len(view.rows()) == 2
+
+    def test_join_reflects_updates(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "WORKS_FOR")
+        system.occur(sales, "hire", [alice])
+        assert len(view.rows()) == 3
+
+    def test_join_keyed_access_rejected(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "WORKS_FOR")
+        assert view.is_join
+        with pytest.raises(CheckError):
+            view.get(alice.key, "PersonName")
+
+    def test_single_view_rows_degenerate(self, researchers):
+        system, research, sales, alice, bob = researchers
+        view = open_view(system, "RESEARCH_EMPLOYEE")
+        rows = view.rows()
+        assert len(rows) == 1
+        assert rows[0]["Name"] == string("alice")

@@ -1,0 +1,124 @@
+"""Integration tests on the lending-library domain (the adoption
+scenario: a specification not taken from the paper)."""
+
+import pytest
+
+from repro.diagnostics import ConstraintViolation, PermissionDenied
+from repro.interfaces import open_view
+from repro.library import LENDING_LIBRARY_SPEC
+from repro.runtime import ObjectBase
+
+
+@pytest.fixture
+def library():
+    system = ObjectBase(LENDING_LIBRARY_SPEC)
+    books = [
+        system.create("BOOK", {"Isbn": f"isbn-{i}"}, "acquire", [f"Title {i}"])
+        for i in range(4)
+    ]
+    anna = system.create("MEMBER", {"MName": "anna"}, "join")
+    return system, books, anna
+
+
+class TestInitially:
+    def test_book_defaults(self, library):
+        system, books, anna = library
+        assert system.get(books[0], "OnLoan").payload is False
+
+    def test_member_defaults(self, library):
+        system, books, anna = library
+        assert system.get(anna, "Fines").payload == 0
+        assert len(system.get(anna, "Borrowed").payload) == 0
+
+
+class TestBorrowing:
+    def test_borrow_synchronizes_book(self, library):
+        system, books, anna = library
+        system.occur(anna, "borrow", [books[0]])
+        assert system.get(books[0], "OnLoan").payload is True
+        assert books[0].identity in system.get(anna, "Borrowed").payload
+
+    def test_double_lend_rolls_back_borrower(self, library):
+        system, books, anna = library
+        bert = system.create("MEMBER", {"MName": "bert"}, "join")
+        system.occur(anna, "borrow", [books[0]])
+        with pytest.raises(PermissionDenied):
+            system.occur(bert, "borrow", [books[0]])
+        assert len(system.get(bert, "Borrowed").payload) == 0
+
+    def test_loan_limit(self, library):
+        system, books, anna = library
+        for book in books[:3]:
+            system.occur(anna, "borrow", [book])
+        with pytest.raises(PermissionDenied):
+            system.occur(anna, "borrow", [books[3]])
+
+    def test_give_back_requires_possession(self, library):
+        system, books, anna = library
+        with pytest.raises(PermissionDenied):
+            system.occur(anna, "give_back", [books[0]])
+
+    def test_return_cycle(self, library):
+        system, books, anna = library
+        system.occur(anna, "borrow", [books[0]])
+        system.occur(anna, "give_back", [books[0]])
+        assert system.get(books[0], "OnLoan").payload is False
+        system.occur(anna, "borrow", [books[0]])  # can borrow again
+
+
+class TestFines:
+    def test_overpay_denied(self, library):
+        system, books, anna = library
+        system.occur(anna, "incur_fine", [3])
+        with pytest.raises(PermissionDenied):
+            system.occur(anna, "pay_fine", [5])
+
+    def test_leave_requires_clean_slate(self, library):
+        system, books, anna = library
+        system.occur(anna, "borrow", [books[0]])
+        with pytest.raises(PermissionDenied):
+            system.occur(anna, "leave")
+        system.occur(anna, "give_back", [books[0]])
+        system.occur(anna, "incur_fine", [1])
+        with pytest.raises(PermissionDenied):
+            system.occur(anna, "leave")
+        system.occur(anna, "pay_fine", [1])
+        system.occur(anna, "leave")
+        assert anna.dead
+
+
+class TestBookLifecycle:
+    def test_discard_requires_returned(self, library):
+        system, books, anna = library
+        system.occur(anna, "borrow", [books[0]])
+        with pytest.raises(PermissionDenied):
+            system.occur(books[0], "discard")
+        system.occur(anna, "give_back", [books[0]])
+        system.occur(books[0], "discard")
+        assert books[0].dead
+
+
+class TestCirculationView:
+    def test_derived_attributes(self, library):
+        system, books, anna = library
+        view = open_view(system, "CIRCULATION")
+        assert view.get(anna.key, "LoanCount").payload == 0
+        system.occur(anna, "borrow", [books[0]])
+        assert view.get(anna.key, "LoanCount").payload == 1
+        assert view.get(anna.key, "HasFines").payload is False
+        system.occur(anna, "incur_fine", [2])
+        assert view.get(anna.key, "HasFines").payload is True
+
+    def test_view_event_passthrough(self, library):
+        system, books, anna = library
+        view = open_view(system, "CIRCULATION")
+        view.call(anna.key, "borrow", [books[1]])
+        assert system.get(books[1], "OnLoan").payload is True
+
+    def test_fines_hidden_raw(self, library):
+        system, books, anna = library
+        view = open_view(system, "CIRCULATION")
+        from repro.diagnostics import CheckError
+
+        with pytest.raises(CheckError):
+            view.get(anna.key, "Fines")

@@ -1,0 +1,130 @@
+"""Unit tests for the TROLL tokenizer."""
+
+import pytest
+
+from repro.diagnostics import LexerError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text) if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_identifiers_and_keywords(self):
+        assert kinds("object class DEPT") == [
+            ("keyword", "object"),
+            ("keyword", "class"),
+            ("ident", "DEPT"),
+        ]
+
+    def test_underscore_identifiers(self):
+        assert kinds("est_date emp_rel")[0] == ("ident", "est_date")
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind == "number"
+        assert tokens[0].value == 42
+
+    def test_real_literal(self):
+        tokens = tokenize("13.5")
+        assert tokens[0].value == 13.5
+
+    def test_number_then_dot_access_not_real(self):
+        # `1..2` is a range punct, not two reals
+        tokens = tokenize("1..2")
+        assert [t.text for t in tokens[:3]] == ["1", "..", "2"]
+
+    def test_string_literal(self):
+        tokens = tokenize("'Research'")
+        assert tokens[0].kind == "string"
+        assert tokens[0].value == "Research"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestPunctuation:
+    def test_calling_arrow(self):
+        assert kinds("a >> b") == [("ident", "a"), ("punct", ">>"), ("ident", "b")]
+
+    def test_multi_char_operators(self):
+        assert [t.text for t in tokenize("=> >= <= <>")[:4]] == ["=>", ">=", "<=", "<>"]
+
+    def test_bars_for_identity_sort(self):
+        assert kinds("|CAR|") == [
+            ("punct", "|"),
+            ("ident", "CAR"),
+            ("punct", "|"),
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("a @ b")
+
+
+class TestUnicodeNormalisation:
+    def test_implication_arrow(self):
+        assert tokenize("⇒")[0].text == "=>"
+
+    def test_geq_leq(self):
+        assert tokenize("≥")[0].text == ">="
+        assert tokenize("≤")[0].text == "<="
+
+    def test_neq(self):
+        assert tokenize("≠")[0].text == "<>"
+
+    def test_aspect_bullet_is_dot(self):
+        assert tokenize("b•t")[1].text == "."
+
+
+class TestCaseSensitivity:
+    def test_list_keyword_caseless(self):
+        assert tokenize("LIST")[0].is_keyword("list")
+        assert tokenize("list")[0].is_keyword("list")
+
+    def test_self_caseless(self):
+        assert tokenize("SELF")[0].is_keyword("self")
+
+    def test_other_keywords_case_sensitive(self):
+        token = tokenize("OBJECT")[0]
+        assert token.kind == "ident"
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a -- comment here\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a (* comment *) b") == [("ident", "a"), ("ident", "b")]
+
+    def test_nested_block_comment(self):
+        assert kinds("a (* x (* y *) z *) b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("a (* oops")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].position.line == 1
+        assert tokens[1].position.line == 2
+        assert tokens[1].position.column == 3
+
+    def test_source_label(self):
+        tokens = tokenize("a", source="spec.troll")
+        assert tokens[0].position.source == "spec.troll"
+
+    def test_token_str(self):
+        assert str(tokenize("abc")[0]) == "'abc'"
+        assert str(tokenize("")[0]) == "<end of input>"

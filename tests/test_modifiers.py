@@ -1,0 +1,161 @@
+"""The `hidden` and `constant` modifiers, enforced."""
+
+import pytest
+
+from repro.datatypes.values import integer, string
+from repro.diagnostics import PermissionDenied
+from repro.lang import check_specification, parse_specification, print_specification
+from repro.runtime import ObjectBase
+
+VAULT = """
+object class VAULT
+  identification id: string;
+  template
+    attributes
+      Owner: string;
+      constant Currency: string;
+      hidden Pin: integer initially 1234;
+      Balance: integer initially 0;
+    events
+      birth open_vault(string, string);
+      deposit(integer);
+      rotate_pin(integer);
+      hidden unlock;
+      request_unlock(integer);
+    valuation
+      variables o: string; c: string; k: integer;
+      open_vault(o, c) Owner = o;
+      open_vault(o, c) Currency = c;
+      deposit(k) Balance = Balance + k;
+      rotate_pin(k) Pin = k;
+      unlock Balance = Balance;
+    interaction
+      variables k: integer;
+      { k = Pin } => request_unlock(k) >> unlock;
+end object class VAULT;
+"""
+
+
+@pytest.fixture
+def vault_system():
+    system = ObjectBase(VAULT)
+    vault = system.create("VAULT", {"id": "v"}, "open_vault", ["anna", "EUR"])
+    return system, vault
+
+
+class TestHiddenAttributes:
+    def test_public_read_denied(self, vault_system):
+        system, vault = vault_system
+        with pytest.raises(PermissionDenied):
+            system.get(vault, "Pin")
+
+    def test_internal_rules_still_read_it(self, vault_system):
+        system, vault = vault_system
+        # the guard `k = Pin` reads the hidden attribute internally
+        system.occur(vault, "request_unlock", [1234])
+        assert "unlock" in [s.event for s in vault.trace]
+
+    def test_visible_attributes_unaffected(self, vault_system):
+        system, vault = vault_system
+        assert system.get(vault, "Owner") == string("anna")
+
+    def test_interface_cannot_project_hidden(self):
+        text = VAULT + """
+interface class LEAK
+  encapsulating VAULT
+  attributes
+    Pin: integer;
+end interface class LEAK;
+"""
+        checked = check_specification(parse_specification(text))
+        assert any(
+            "hidden in the encapsulated class" in e.message
+            for e in checked.diagnostics.errors
+        )
+
+    def test_interface_may_derive_over_hidden(self):
+        text = VAULT + """
+interface class AUDIT
+  encapsulating VAULT
+  attributes
+    derived PinSet: bool;
+  derivation rules
+    PinSet = Pin > 0;
+end interface class AUDIT;
+"""
+        checked = check_specification(parse_specification(text))
+        assert not checked.diagnostics.has_errors()
+
+
+class TestHiddenEvents:
+    def test_direct_occurrence_denied(self, vault_system):
+        system, vault = vault_system
+        with pytest.raises(PermissionDenied):
+            system.occur(vault, "unlock")
+
+    def test_occurrence_via_calling_allowed(self, vault_system):
+        system, vault = vault_system
+        system.occur(vault, "request_unlock", [1234])
+        assert "unlock" in [s.event for s in vault.trace]
+
+    def test_wrong_pin_does_not_unlock(self, vault_system):
+        system, vault = vault_system
+        system.occur(vault, "request_unlock", [9999])
+        assert "unlock" not in [s.event for s in vault.trace]
+
+
+class TestConstantAttributes:
+    def test_set_at_birth_ok(self, vault_system):
+        system, vault = vault_system
+        assert system.get(vault, "Currency") == string("EUR")
+
+    def test_later_valuation_rejected_statically(self):
+        text = VAULT.replace(
+            "deposit(k) Balance = Balance + k;",
+            "deposit(k) Balance = Balance + k;\n      deposit(k) Currency = 'USD';",
+        )
+        checked = check_specification(parse_specification(text))
+        assert any(
+            "constant attribute" in e.message for e in checked.diagnostics.errors
+        )
+
+
+class TestRoundTrip:
+    def test_modifiers_round_trip(self):
+        spec = parse_specification(VAULT)
+        assert parse_specification(print_specification(spec)) == spec
+        vault = spec.object_classes[0]
+        events = {e.name: e for e in vault.template.events}
+        assert events["unlock"].hidden
+        attrs = {a.name: a for a in vault.template.attributes}
+        assert attrs["Pin"].hidden
+        assert attrs["Currency"].constant
+
+
+class TestHiddenEventProjection:
+    def test_interface_cannot_project_hidden_event(self):
+        text = VAULT + """
+interface class BACKDOOR
+  encapsulating VAULT
+  events
+    unlock;
+end interface class BACKDOOR;
+"""
+        checked = check_specification(parse_specification(text))
+        assert any(
+            "hidden in the encapsulated class" in e.message
+            for e in checked.diagnostics.errors
+        )
+
+    def test_interface_may_wrap_hidden_event_via_derived(self):
+        text = VAULT + """
+interface class TELLER
+  encapsulating VAULT
+  events
+    derived open_sesame(integer);
+  calling
+    open_sesame(k) >> request_unlock(k);
+end interface class TELLER;
+"""
+        checked = check_specification(parse_specification(text))
+        assert not checked.diagnostics.has_errors()

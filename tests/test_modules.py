@@ -1,0 +1,241 @@
+"""Modularization: the three-level schema architecture (F1)."""
+
+import datetime
+
+import pytest
+
+from repro.diagnostics import CheckError
+from repro.library import FULL_COMPANY_SPEC, REFINEMENT_SPEC
+from repro.modules import (
+    ExternalSchema,
+    Module,
+    ModuleSystem,
+    RefinementBinding,
+)
+from repro.refinement import EventProfile
+from repro.runtime.clock import CLOCK_SPEC, start_clock
+from tests.conftest import D1960, D1991
+
+
+def make_personnel():
+    return Module(
+        "personnel",
+        conceptual=FULL_COMPANY_SPEC,
+        externals=[
+            ExternalSchema("salary_dept", ("SAL_EMPLOYEE", "SAL_EMPLOYEE2")),
+            ExternalSchema("research_admin", ("RESEARCH_EMPLOYEE", "WORKS_FOR"), active=True),
+        ],
+    )
+
+
+def make_storage():
+    module = Module(
+        "storage",
+        conceptual=REFINEMENT_SPEC,
+        bindings=[RefinementBinding("EMPLOYEE", "EMPL")],
+        externals=[ExternalSchema("payroll", ("EMPL",))],
+    )
+    module.system.create("emp_rel")
+    return module
+
+
+class TestModuleConstruction:
+    def test_conceptual_schema_builds(self):
+        module = make_personnel()
+        assert "DEPT" in module.system.checked.classes
+
+    def test_unknown_export_rejected(self):
+        with pytest.raises(CheckError):
+            Module(
+                "m", conceptual=FULL_COMPANY_SPEC,
+                externals=[ExternalSchema("x", ("NOPE",))],
+            )
+
+    def test_unknown_binding_class_rejected(self):
+        with pytest.raises(CheckError):
+            Module(
+                "m", conceptual=FULL_COMPANY_SPEC,
+                bindings=[RefinementBinding("NOPE", "SAL_EMPLOYEE")],
+            )
+
+    def test_unknown_binding_interface_rejected(self):
+        with pytest.raises(CheckError):
+            Module(
+                "m", conceptual=FULL_COMPANY_SPEC,
+                bindings=[RefinementBinding("PERSON", "NOPE")],
+            )
+
+    def test_unknown_external_schema(self):
+        module = make_personnel()
+        with pytest.raises(CheckError):
+            module.export("nope")
+
+
+class TestHierarchicalComposition:
+    def test_import_gives_views(self):
+        system = ModuleSystem()
+        system.add(make_personnel())
+        system.add(make_storage())
+        interface = system.import_schema("storage", "personnel", "salary_dept")
+        assert set(interface.views) == {"SAL_EMPLOYEE", "SAL_EMPLOYEE2"}
+
+    def test_import_reads_through(self):
+        msys = ModuleSystem()
+        personnel = msys.add(make_personnel())
+        msys.add(make_storage())
+        interface = msys.import_schema("storage", "personnel", "salary_dept")
+        alice = personnel.system.create(
+            "PERSON", {"Name": "a", "BirthDate": D1960}, "hire_into", ["R", 500.0]
+        )
+        assert interface.view("SAL_EMPLOYEE").get(alice.key, "Salary").payload == 500.0
+
+    def test_view_outside_schema_rejected(self):
+        msys = ModuleSystem()
+        msys.add(make_personnel())
+        msys.add(make_storage())
+        interface = msys.import_schema("storage", "personnel", "salary_dept")
+        with pytest.raises(CheckError):
+            interface.view("RESEARCH_EMPLOYEE")
+
+    def test_duplicate_module_name(self):
+        msys = ModuleSystem()
+        msys.add(make_personnel())
+        with pytest.raises(CheckError):
+            msys.add(make_personnel())
+
+    def test_unknown_module(self):
+        msys = ModuleSystem()
+        with pytest.raises(CheckError):
+            msys.import_schema("a", "b", "c")
+
+
+class TestHorizontalComposition:
+    def test_relay_fires_handler(self):
+        msys = ModuleSystem()
+        personnel = msys.add(make_personnel())
+        received = []
+        msys.connect(
+            "personnel", "PERSON", "ChangeSalary",
+            lambda occ: received.append(occ.args[0].payload),
+            via_schema="research_admin",
+        )
+        alice = personnel.system.create(
+            "PERSON", {"Name": "a", "BirthDate": D1960}, "hire_into", ["R", 1.0]
+        )
+        personnel.system.occur(alice, "ChangeSalary", [2.0])
+        assert received == [2.0]
+
+    def test_relay_filters_events(self):
+        msys = ModuleSystem()
+        personnel = msys.add(make_personnel())
+        received = []
+        msys.connect(
+            "personnel", "PERSON", "ChangeSalary",
+            lambda occ: received.append(occ.event),
+            via_schema="research_admin",
+        )
+        personnel.system.create(
+            "PERSON", {"Name": "a", "BirthDate": D1960}, "hire_into", ["R", 1.0]
+        )
+        assert received == []  # hire_into is not relayed
+
+    def test_relay_requires_active_schema(self):
+        msys = ModuleSystem()
+        msys.add(make_personnel())
+        with pytest.raises(CheckError):
+            msys.connect(
+                "personnel", "PERSON", "ChangeSalary",
+                lambda occ: None, via_schema="salary_dept",
+            )
+
+    def test_subscription_on_passive_schema_rejected(self):
+        module = make_personnel()
+        passive = module.export("salary_dept")
+        with pytest.raises(CheckError):
+            passive.subscribe(lambda occs: None)
+
+    def test_shared_clock_drives_other_module(self):
+        """The Section 6.1 shared-clock scenario: a clock module's ticks
+        drive salary reviews in the personnel module."""
+        msys = ModuleSystem()
+        clock_module = msys.add(
+            Module(
+                "clock", conceptual=CLOCK_SPEC,
+                externals=[ExternalSchema("time", (), active=True)],
+            )
+        )
+        personnel = msys.add(make_personnel())
+        alice = personnel.system.create(
+            "PERSON", {"Name": "a", "BirthDate": D1960}, "hire_into", ["R", 100.0]
+        )
+
+        def raise_on_tick(occurrence):
+            current = personnel.system.get(alice, "Salary").payload
+            personnel.system.occur(alice, "ChangeSalary", [current + 10])
+
+        msys.connect("clock", "SystemClock", "tick", raise_on_tick, via_schema="time")
+        start_clock(clock_module.system, horizon=3)
+        clock_module.system.run_active()
+        assert personnel.system.get(alice, "Salary").payload == 130.0
+
+
+class TestBindingVerification:
+    def test_verify_bindings(self):
+        module = make_storage()
+        reports = module.verify_bindings(
+            {
+                "EMPLOYEE": [
+                    EventProfile("HireEmployee", kind="birth"),
+                    EventProfile(
+                        "IncreaseSalary", args=lambda rng: [rng.randint(0, 50)], weight=2
+                    ),
+                    EventProfile("FireEmployee", kind="death"),
+                ]
+            },
+            traces=4, trace_length=6,
+        )
+        assert reports["EMPLOYEE"].ok
+
+    def test_verify_requires_profiles(self):
+        module = make_storage()
+        from repro.diagnostics import RefinementError
+
+        with pytest.raises(RefinementError):
+            module.verify_bindings({})
+
+
+class TestInternalSchemaText:
+    def test_internal_text_merged_into_module(self):
+        """The internal schema may contribute its own implementation
+        objects (Figure 1's bottom level as separate text)."""
+        from repro.library import (
+            EMPLOYEE_ABSTRACT_SPEC,
+            EMP_REL_SPEC,
+            EMPL_IMPL_SPEC,
+            EMPL_INTERFACE_SPEC,
+        )
+
+        module = Module(
+            "split",
+            conceptual=EMPLOYEE_ABSTRACT_SPEC,
+            internal=EMP_REL_SPEC + EMPL_IMPL_SPEC + EMPL_INTERFACE_SPEC,
+            bindings=[RefinementBinding("EMPLOYEE", "EMPL")],
+        )
+        assert "emp_rel" in module.system.checked.classes
+        module.system.create("emp_rel")
+        reports = module.verify_bindings(
+            {
+                "EMPLOYEE": [
+                    EventProfile("HireEmployee", kind="birth"),
+                    EventProfile(
+                        "IncreaseSalary",
+                        args=lambda rng: [rng.randint(0, 9)],
+                        weight=2,
+                    ),
+                    EventProfile("FireEmployee", kind="death"),
+                ]
+            },
+            traces=2,
+            trace_length=4,
+        )
+        assert reports["EMPLOYEE"].ok

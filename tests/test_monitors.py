@@ -1,0 +1,235 @@
+"""Incremental monitors: unit behaviour plus agreement with the naive
+semantics on randomised traces (the correctness side of ablation A1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes import MapEnvironment
+from repro.datatypes.sorts import IdSort, INTEGER
+from repro.datatypes.values import identity, integer, set_value
+from repro.lang.parser import parse_formula
+from repro.temporal import Trace, compile_monitor
+from repro.temporal.evaluation import (
+    StateEnvironment,
+    evaluate_formula_now,
+    make_step,
+)
+
+PERSON = IdSort(name="|PERSON|", class_name="PERSON")
+PEOPLE = [identity("PERSON", name) for name in ("a", "b", "c")]
+
+
+def run_both(formula_text, steps, query_env=None, var_sorts=None):
+    """Drive both the monitor and the naive evaluator, returning the pair
+    of final verdicts (they must agree)."""
+    formula = parse_formula(formula_text)
+    monitor = compile_monitor(formula, var_sorts or {})
+    trace = Trace()
+    for step in steps:
+        trace.append(step)
+        monitor.update(step)
+    env = query_env or MapEnvironment()
+    state = steps[-1].state_dict() if steps else {}
+    live = StateEnvironment(state, env)
+    return monitor.check(live), evaluate_formula_now(formula, trace, live)
+
+
+class TestSometimeAfter:
+    def test_exact_args(self):
+        steps = [make_step("hire", [PEOPLE[0]])]
+        got, want = run_both(
+            "sometime(after(hire(P)))",
+            steps,
+            MapEnvironment({"P": PEOPLE[0]}),
+            {"P": PERSON},
+        )
+        assert got == want == True
+
+    def test_wrong_args(self):
+        steps = [make_step("hire", [PEOPLE[0]])]
+        got, want = run_both(
+            "sometime(after(hire(P)))",
+            steps,
+            MapEnvironment({"P": PEOPLE[1]}),
+            {"P": PERSON},
+        )
+        assert got == want == False
+
+    def test_no_occurrence(self):
+        got, want = run_both(
+            "sometime(after(hire(P)))",
+            [make_step("other")],
+            MapEnvironment({"P": PEOPLE[0]}),
+            {"P": PERSON},
+        )
+        assert got == want == False
+
+    def test_zero_arg_event(self):
+        got, want = run_both("sometime(after(go))", [make_step("go")])
+        assert got == want == True
+
+
+class TestFoldNodes:
+    def test_sometime_state_closed(self):
+        steps = [
+            make_step("a", state={"N": integer(0)}),
+            make_step("b", state={"N": integer(5)}),
+            make_step("c", state={"N": integer(0)}),
+        ]
+        got, want = run_both("sometime(N = 5)", steps)
+        assert got == want == True
+
+    def test_always_state_closed(self):
+        steps = [
+            make_step("a", state={"N": integer(1)}),
+            make_step("b", state={"N": integer(0)}),
+        ]
+        got, want = run_both("always(N > 0)", steps)
+        assert got == want == False
+
+    def test_sometime_with_free_var(self):
+        steps = [
+            make_step("x", state={"members": set_value([PEOPLE[0]], PERSON)}),
+            make_step("y", state={"members": set_value([], PERSON)}),
+        ]
+        got, want = run_both(
+            "sometime(P in members)",
+            steps,
+            MapEnvironment({"P": PEOPLE[0]}),
+            {"P": PERSON},
+        )
+        assert got == want == True
+        got, want = run_both(
+            "sometime(P in members)",
+            steps,
+            MapEnvironment({"P": PEOPLE[1]}),
+            {"P": PERSON},
+        )
+        assert got == want == False
+
+    def test_since_recurrence(self):
+        steps = [
+            make_step("anchor", state={"N": integer(1)}),
+            make_step("keep", state={"N": integer(2)}),
+        ]
+        got, want = run_both("since(N > 0, after(anchor))", steps)
+        assert got == want == True
+        steps.append(make_step("break", state={"N": integer(0)}))
+        got, want = run_both("since(N > 0, after(anchor))", steps)
+        assert got == want == False
+
+    def test_quantified_closure_formula(self):
+        steps = [
+            make_step("hire", [PEOPLE[0]], state={"members": set_value([PEOPLE[0]], PERSON)}),
+            make_step("hire", [PEOPLE[1]], state={"members": set_value(PEOPLE[:2], PERSON)}),
+            make_step("fire", [PEOPLE[0]], state={"members": set_value([PEOPLE[1]], PERSON)}),
+        ]
+        formula = "for all(P: PERSON : sometime(P in members) => sometime(after(fire(P))))"
+        got, want = run_both(formula, steps)
+        assert got == want == False
+        steps.append(
+            make_step("fire", [PEOPLE[1]], state={"members": set_value([], PERSON)})
+        )
+        got, want = run_both(formula, steps)
+        assert got == want == True
+
+
+class TestCurrentInstant:
+    def test_sometime_sees_live_state(self):
+        formula = parse_formula("sometime(N = 7)")
+        monitor = compile_monitor(formula)
+        step = make_step("a", state={"N": integer(0)})
+        monitor.update(step)
+        live = StateEnvironment({"N": integer(7)}, MapEnvironment())
+        assert monitor.check(live)
+
+    def test_always_sees_live_state(self):
+        formula = parse_formula("always(N >= 0)")
+        monitor = compile_monitor(formula)
+        monitor.update(make_step("a", state={"N": integer(1)}))
+        live = StateEnvironment({"N": integer(-1)}, MapEnvironment())
+        assert not monitor.check(live)
+
+
+# ----------------------------------------------------------------------
+# Randomised agreement with the naive semantics
+# ----------------------------------------------------------------------
+
+FORMULAS = [
+    "sometime(after(hire(P)))",
+    "sometime(P in members)",
+    "always(count(members) <= 3)",
+    "sometime(after(fire(P))) => sometime(after(hire(P)))",
+    "for all(Q: PERSON : sometime(Q in members) => sometime(after(fire(Q))))",
+    "not(sometime(after(fire(P)))) or sometime(after(hire(P)))",
+    "since(count(members) > 0, after(hire(P)))",
+]
+
+
+def random_trace(seed, length):
+    rng = random.Random(seed)
+    members = set()
+    steps = []
+    for _ in range(length):
+        person = rng.choice(PEOPLE)
+        if rng.random() < 0.5:
+            event = "hire"
+            members.add(person)
+        else:
+            event = "fire"
+            members.discard(person)
+        steps.append(
+            make_step(event, [person], state={"members": set_value(members, PERSON)})
+        )
+    return steps
+
+
+@pytest.mark.parametrize("formula_text", FORMULAS)
+@pytest.mark.parametrize("seed", range(6))
+def test_monitor_agrees_with_naive(formula_text, seed):
+    steps = random_trace(seed, 14)
+    for probe in PEOPLE:
+        got, want = run_both(
+            formula_text,
+            steps,
+            MapEnvironment({"P": probe}),
+            {"P": PERSON},
+        )
+        assert got == want, (
+            f"monitor/naive disagree on {formula_text} (seed={seed}, probe={probe})"
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(st.sampled_from(["hire", "fire"]), st.integers(0, 2)),
+        max_size=20,
+    ),
+    formula_index=st.integers(0, len(FORMULAS) - 1),
+    probe=st.integers(0, 2),
+)
+def test_monitor_agreement_property(events, formula_index, probe):
+    """Property: on every guarded formula and every generated trace the
+    incremental monitor and the naive evaluator agree."""
+    members = set()
+    steps = []
+    for event, index in events:
+        person = PEOPLE[index]
+        if event == "hire":
+            members.add(person)
+        else:
+            members.discard(person)
+        steps.append(
+            make_step(event, [person], state={"members": set_value(members, PERSON)})
+        )
+    got, want = run_both(
+        FORMULAS[formula_index],
+        steps,
+        MapEnvironment({"P": PEOPLE[probe]}),
+        {"P": PERSON},
+    )
+    assert got == want

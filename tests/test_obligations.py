@@ -1,0 +1,97 @@
+"""Obligations (liveness): events that must occur before death."""
+
+import pytest
+
+from repro.diagnostics import PermissionDenied
+from repro.lang import check_specification, parse_specification
+from repro.runtime import ObjectBase
+
+PROJECT = """
+object class PROJECT
+  identification id: string;
+  template
+    attributes Done: bool;
+    events
+      birth start;
+      file_report;
+      deliver(integer);
+      death finish;
+    valuation
+      start Done = false;
+    obligations
+      file_report;
+      deliver;
+end object class PROJECT;
+"""
+
+
+@pytest.fixture
+def system():
+    return ObjectBase(PROJECT)
+
+
+class TestEnforcement:
+    def test_death_denied_until_fulfilled(self, system):
+        project = system.create("PROJECT", {"id": "x"}, "start")
+        with pytest.raises(PermissionDenied):
+            system.occur(project, "finish")
+        system.occur(project, "file_report")
+        with pytest.raises(PermissionDenied):
+            system.occur(project, "finish")  # deliver still pending
+        system.occur(project, "deliver", [1])
+        system.occur(project, "finish")
+        assert project.dead
+
+    def test_obligation_matches_any_args(self, system):
+        project = system.create("PROJECT", {"id": "x"}, "start")
+        system.occur(project, "file_report")
+        system.occur(project, "deliver", [42])  # any argument fulfils it
+        system.occur(project, "finish")
+
+    def test_pending_obligations_api(self, system):
+        project = system.create("PROJECT", {"id": "x"}, "start")
+        assert system.pending_obligations(project) == ["file_report", "deliver"]
+        system.occur(project, "deliver", [1])
+        assert system.pending_obligations(project) == ["file_report"]
+        system.occur(project, "file_report")
+        assert system.pending_obligations(project) == []
+
+    def test_naive_mode_agrees(self):
+        system = ObjectBase(PROJECT, permission_mode="naive")
+        project = system.create("PROJECT", {"id": "x"}, "start")
+        with pytest.raises(PermissionDenied):
+            system.occur(project, "finish")
+        system.occur(project, "file_report")
+        system.occur(project, "deliver", [1])
+        system.occur(project, "finish")
+
+
+class TestChecking:
+    def test_unknown_obligation_event(self):
+        text = PROJECT.replace("file_report;\n      deliver;", "vanish;")
+        checked = check_specification(parse_specification(text))
+        assert any(
+            "obligation references unknown event" in e.message
+            for e in checked.diagnostics.errors
+        )
+
+    def test_obligation_without_death_warns(self):
+        text = """
+object class ETERNAL
+  identification id: string;
+  template
+    events
+      birth start;
+      work;
+    obligations
+      work;
+end object class ETERNAL;
+"""
+        checked = check_specification(parse_specification(text))
+        assert any(
+            "never enforced" in w.message for w in checked.diagnostics.warnings
+        )
+
+    def test_compiled_obligations_listed(self, system):
+        compiled = system.compiled_class("PROJECT")
+        assert compiled.obligations == ["file_report", "deliver"]

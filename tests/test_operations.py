@@ -1,0 +1,258 @@
+"""Unit tests for the built-in operation registry."""
+
+import pytest
+
+from repro.datatypes import apply_operation
+from repro.datatypes.operations import BUILTIN_OPERATIONS
+from repro.datatypes.values import (
+    boolean,
+    date,
+    integer,
+    list_value,
+    map_value,
+    money,
+    real,
+    set_value,
+    string,
+    tuple_value,
+)
+from repro.diagnostics import EvaluationError
+
+
+def ints(*xs):
+    return [integer(x) for x in xs]
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert apply_operation("+", ints(2, 3)) == integer(5)
+
+    def test_sub(self):
+        assert apply_operation("-", ints(2, 3)) == integer(-1)
+
+    def test_mul(self):
+        assert apply_operation("*", ints(4, 3)) == integer(12)
+
+    def test_div_exact_stays_integral(self):
+        assert apply_operation("/", ints(6, 3)).payload == 2
+
+    def test_div_inexact_promotes(self):
+        result = apply_operation("/", ints(7, 2))
+        assert result.payload == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError):
+            apply_operation("/", ints(1, 0))
+
+    def test_int_div_and_mod(self):
+        assert apply_operation("div", ints(7, 2)) == integer(3)
+        assert apply_operation("mod", ints(7, 2)) == integer(1)
+
+    def test_money_promotion(self):
+        result = apply_operation("+", [money(1.5), integer(2)])
+        assert result.sort.name == "money"
+        assert result.payload == 3.5
+
+    def test_neg(self):
+        assert apply_operation("neg", ints(5)) == integer(-5)
+
+    def test_arith_rejects_strings(self):
+        with pytest.raises(EvaluationError):
+            apply_operation("+", [string("a"), string("b")])
+
+
+class TestComparison:
+    def test_equality(self):
+        assert apply_operation("=", ints(1, 1)) == boolean(True)
+        assert apply_operation("<>", ints(1, 2)) == boolean(True)
+
+    def test_order(self):
+        assert apply_operation("<", ints(1, 2)) == boolean(True)
+        assert apply_operation(">=", ints(2, 2)) == boolean(True)
+
+    def test_date_order(self):
+        assert apply_operation("<", [date(1990, 1, 1), date(1991, 1, 1)]) == boolean(True)
+
+    def test_string_order(self):
+        assert apply_operation("<", [string("a"), string("b")]) == boolean(True)
+
+    def test_cross_sort_comparison_rejected(self):
+        with pytest.raises(EvaluationError):
+            apply_operation("<", [string("a"), integer(1)])
+
+    def test_cross_numeric_comparison_ok(self):
+        assert apply_operation("=", [integer(2), money(2.0)]) == boolean(True)
+
+
+class TestSetOperations:
+    def test_insert_either_argument_order(self):
+        s = set_value([integer(1)])
+        a = apply_operation("insert", [integer(2), s])
+        b = apply_operation("insert", [s, integer(2)])
+        assert a == b
+        assert len(a.payload) == 2
+
+    def test_insert_idempotent(self):
+        s = set_value([integer(1)])
+        assert apply_operation("insert", [s, integer(1)]) == s
+
+    def test_remove_and_delete_alias(self):
+        s = set_value([integer(1), integer(2)])
+        assert apply_operation("remove", [integer(1), s]) == apply_operation(
+            "delete", [s, integer(1)]
+        )
+
+    def test_remove_absent_is_noop(self):
+        s = set_value([integer(1)])
+        assert apply_operation("remove", [s, integer(9)]) == s
+
+    def test_in(self):
+        s = set_value([integer(1)])
+        assert apply_operation("in", [integer(1), s]) == boolean(True)
+        assert apply_operation("in", [s, integer(2)]) == boolean(False)
+
+    def test_union_intersection_difference(self):
+        a = set_value(ints(1, 2))
+        b = set_value(ints(2, 3))
+        assert apply_operation("union", [a, b]) == set_value(ints(1, 2, 3))
+        assert apply_operation("intersection", [a, b]) == set_value(ints(2))
+        assert apply_operation("difference", [a, b]) == set_value(ints(1))
+
+    def test_subset(self):
+        a = set_value(ints(1))
+        b = set_value(ints(1, 2))
+        assert apply_operation("subset", [a, b]) == boolean(True)
+        assert apply_operation("subset", [b, a]) == boolean(False)
+
+    def test_count_and_card(self):
+        s = set_value(ints(1, 2, 3))
+        assert apply_operation("count", [s]).payload == 3
+        assert apply_operation("card", [s]).payload == 3
+
+    def test_isempty(self):
+        assert apply_operation("isempty", [set_value([])]) == boolean(True)
+
+    def test_insert_requires_a_collection(self):
+        with pytest.raises(EvaluationError):
+            apply_operation("insert", ints(1, 2))
+
+
+class TestListOperations:
+    def test_head_tail_last(self):
+        l = list_value(ints(1, 2, 3))
+        assert apply_operation("head", [l]) == integer(1)
+        assert apply_operation("tail", [l]) == list_value(ints(2, 3))
+        assert apply_operation("last", [l]) == integer(3)
+
+    def test_head_of_empty_list(self):
+        with pytest.raises(EvaluationError):
+            apply_operation("head", [list_value([])])
+
+    def test_append(self):
+        l = list_value(ints(1))
+        assert apply_operation("append", [l, integer(2)]) == list_value(ints(1, 2))
+
+    def test_append_keeps_duplicates(self):
+        l = list_value(ints(1))
+        result = apply_operation("append", [l, integer(1)])
+        assert len(result.payload) == 2
+
+    def test_concat_lists(self):
+        a = list_value(ints(1))
+        b = list_value(ints(2))
+        assert apply_operation("concat", [a, b]) == list_value(ints(1, 2))
+
+    def test_concat_strings(self):
+        assert apply_operation("concat", [string("ab"), string("cd")]) == string("abcd")
+
+    def test_nth_one_based(self):
+        l = list_value(ints(5, 6))
+        assert apply_operation("nth", [l, integer(1)]) == integer(5)
+        with pytest.raises(EvaluationError):
+            apply_operation("nth", [l, integer(3)])
+
+    def test_length(self):
+        assert apply_operation("length", [list_value(ints(1, 2))]).payload == 2
+        assert apply_operation("length", [string("abc")]).payload == 3
+
+    def test_elems(self):
+        l = list_value(ints(1, 1, 2))
+        assert apply_operation("elems", [l]) == set_value(ints(1, 2))
+
+    def test_remove_from_list_removes_all(self):
+        l = list_value(ints(1, 2, 1))
+        assert apply_operation("remove", [l, integer(1)]) == list_value(ints(2))
+
+
+class TestMapOperations:
+    def make(self):
+        return map_value({string("a"): integer(1)})
+
+    def test_get_put(self):
+        m = self.make()
+        m2 = apply_operation("put", [m, string("b"), integer(2)])
+        assert apply_operation("get", [m2, string("b")]) == integer(2)
+
+    def test_get_missing(self):
+        with pytest.raises(EvaluationError):
+            apply_operation("get", [self.make(), string("zz")])
+
+    def test_remove_key(self):
+        m2 = apply_operation("remove_key", [self.make(), string("a")])
+        assert len(m2.payload) == 0
+
+    def test_dom_and_has_key(self):
+        m = self.make()
+        assert apply_operation("dom", [m]) == set_value([string("a")])
+        assert apply_operation("has_key", [m, string("a")]) == boolean(True)
+        assert apply_operation("has_key", [m, string("b")]) == boolean(False)
+
+
+class TestAggregates:
+    def test_sum_min_max_avg(self):
+        s = set_value(ints(1, 2, 3))
+        assert apply_operation("sum", [s]).payload == 6
+        assert apply_operation("min", [s]).payload == 1
+        assert apply_operation("max", [s]).payload == 3
+        assert apply_operation("avg", [s]).payload == 2
+
+    def test_sum_of_empty_is_zero(self):
+        assert apply_operation("sum", [set_value([])]).payload == 0
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            apply_operation("min", [set_value([])])
+
+    def test_the_singleton(self):
+        assert apply_operation("the", [set_value(ints(7))]) == integer(7)
+
+    def test_the_non_singleton(self):
+        with pytest.raises(EvaluationError):
+            apply_operation("the", [set_value(ints(1, 2))])
+
+
+class TestBooleansAndMisc:
+    def test_not(self):
+        assert apply_operation("not", [boolean(True)]) == boolean(False)
+
+    def test_and_or_implies_xor(self):
+        t, f = boolean(True), boolean(False)
+        assert apply_operation("and", [t, f]) == f
+        assert apply_operation("or", [t, f]) == t
+        assert apply_operation("implies", [f, f]) == t
+        assert apply_operation("xor", [t, f]) == t
+
+    def test_date_constructor(self):
+        assert apply_operation("date", ints(1991, 3, 1)) == date(1991, 3, 1)
+
+    def test_unknown_operation(self):
+        with pytest.raises(EvaluationError):
+            apply_operation("frobnicate", [])
+
+    def test_arity_mismatch(self):
+        with pytest.raises(EvaluationError):
+            apply_operation("+", ints(1))
+
+    def test_registry_has_docs(self):
+        for op in BUILTIN_OPERATIONS.values():
+            assert op.doc, f"operation {op.name} lacks documentation"

@@ -1,0 +1,346 @@
+"""Unit tests for the TROLL parser (every construct in the paper)."""
+
+import pytest
+
+from repro.datatypes.sorts import DATE, IdSort, ListSort, SetSort, STRING, TupleSort
+from repro.datatypes.terms import Apply, Lit, QueryOp, SelfExpr, Var
+from repro.diagnostics import ParseError
+from repro.lang import parse_specification
+from repro.lang.parser import parse_formula, parse_term
+from repro.library import (
+    COMPANY_SPEC,
+    DEPT_SPEC,
+    EMP_REL_SPEC,
+    EMPL_IMPL_SPEC,
+    EMPL_INTERFACE_SPEC,
+    GLOBAL_INTERACTIONS_SPEC,
+    PERSON_MANAGER_SPEC,
+    SAL_EMPLOYEE2_SPEC,
+    WORKS_FOR_SPEC,
+)
+from repro.temporal.formulas import (
+    After,
+    ForallF,
+    ImpliesF,
+    Sometime,
+    StateProp,
+)
+
+
+class TestObjectClassStructure:
+    def test_dept_parses(self):
+        spec = parse_specification(DEPT_SPEC)
+        assert [c.name for c in spec.object_classes] == ["DEPT"]
+
+    def test_dept_identification(self):
+        dept = parse_specification(DEPT_SPEC).object_classes[0]
+        assert [a.name for a in dept.identification.attributes] == ["id"]
+        assert dept.identification.attributes[0].sort == STRING
+
+    def test_dept_signature(self):
+        dept = parse_specification(DEPT_SPEC).object_classes[0]
+        attrs = {a.name for a in dept.template.attributes}
+        assert attrs == {"est_date", "manager", "employees"}
+        events = {e.name for e in dept.template.events}
+        assert "establishment" in events and "closure" in events
+
+    def test_dept_event_kinds(self):
+        dept = parse_specification(DEPT_SPEC).object_classes[0]
+        kinds = {e.name: e.kind for e in dept.template.events}
+        assert kinds["establishment"] == "birth"
+        assert kinds["closure"] == "death"
+        assert kinds["hire"] == "normal"
+
+    def test_dept_data_types_hoisted_into_template(self):
+        dept = parse_specification(DEPT_SPEC).object_classes[0]
+        assert any(isinstance(s, SetSort) for s in dept.template.data_types)
+
+    def test_set_attribute_sort(self):
+        dept = parse_specification(DEPT_SPEC).object_classes[0]
+        employees = next(
+            a for a in dept.template.attributes if a.name == "employees"
+        )
+        assert isinstance(employees.sort, SetSort)
+        assert isinstance(employees.sort.element, IdSort)
+
+    def test_mismatched_end_marker(self):
+        text = DEPT_SPEC.replace("end object class DEPT;", "end object class WRONG;")
+        with pytest.raises(ParseError):
+            parse_specification(text)
+
+    def test_two_events_on_one_line(self):
+        dept = parse_specification(DEPT_SPEC).object_classes[0]
+        names = [e.name for e in dept.template.events]
+        assert "new_manager" in names and "assign_official_car" in names
+
+
+class TestValuationRules:
+    def test_bare_event_form(self):
+        dept = parse_specification(DEPT_SPEC).object_classes[0]
+        rule = next(r for r in dept.template.valuation if r.attribute == "est_date")
+        assert rule.event.name == "establishment"
+        assert isinstance(rule.expr, Var)
+
+    def test_bracketed_event_form(self):
+        rel = parse_specification(EMP_REL_SPEC).objects[0]
+        rule = next(
+            r for r in rel.template.valuation if r.event.name == "CreateEmpRel"
+        )
+        assert rule.attribute == "Emps"
+
+    def test_rule_variables_attached(self):
+        dept = parse_specification(DEPT_SPEC).object_classes[0]
+        rule = dept.template.valuation[0]
+        assert {v.name for v in rule.variables} == {"P", "d"}
+
+    def test_comma_separated_variables(self):
+        rel = parse_specification(EMP_REL_SPEC).objects[0]
+        rule = rel.template.valuation[0]
+        names = {v.name for v in rule.variables}
+        assert names == {"n", "b", "s"}
+
+    def test_query_term_in_valuation(self):
+        rel = parse_specification(EMP_REL_SPEC).objects[0]
+        rule = next(r for r in rel.template.valuation if r.event.name == "DeleteEmp")
+        assert isinstance(rule.expr, QueryOp)
+        assert rule.expr.op == "select"
+
+
+class TestPermissionRules:
+    def test_temporal_permission(self):
+        dept = parse_specification(DEPT_SPEC).object_classes[0]
+        fire_rule = next(
+            r for r in dept.template.permissions if r.event.name == "fire"
+        )
+        assert isinstance(fire_rule.formula, Sometime)
+        assert isinstance(fire_rule.formula.body, After)
+        assert fire_rule.formula.body.pattern.event == "hire"
+
+    def test_quantified_permission(self):
+        dept = parse_specification(DEPT_SPEC).object_classes[0]
+        closure_rule = next(
+            r for r in dept.template.permissions if r.event.name == "closure"
+        )
+        assert isinstance(closure_rule.formula, ForallF)
+        assert isinstance(closure_rule.formula.body, ImpliesF)
+
+    def test_state_permission(self):
+        rel = parse_specification(EMP_REL_SPEC).objects[0]
+        close_rule = next(
+            r for r in rel.template.permissions if r.event.name == "CloseEmpRel"
+        )
+        assert isinstance(close_rule.formula, StateProp)
+
+    def test_detached_exists_permission(self):
+        rel = parse_specification(EMP_REL_SPEC).objects[0]
+        update_rule = next(
+            r for r in rel.template.permissions if r.event.name == "UpdateSalary"
+        )
+        from repro.temporal.formulas import ExistsF
+
+        assert isinstance(update_rule.formula, ExistsF)
+
+
+class TestViewsAndRoles:
+    def test_view_of(self):
+        spec = parse_specification(PERSON_MANAGER_SPEC)
+        manager = spec.class_by_name()["MANAGER"]
+        assert manager.view_of == "PERSON"
+
+    def test_birth_binding(self):
+        spec = parse_specification(PERSON_MANAGER_SPEC)
+        manager = spec.class_by_name()["MANAGER"]
+        birth = next(e for e in manager.template.events if e.kind == "birth")
+        assert birth.name == "become_manager"
+        assert birth.binding.object_name == "PERSON"
+
+    def test_identity_sort_attribute(self):
+        spec = parse_specification(PERSON_MANAGER_SPEC)
+        manager = spec.class_by_name()["MANAGER"]
+        car = next(a for a in manager.template.attributes if a.name == "OfficialCar")
+        assert isinstance(car.sort, IdSort)
+        assert car.sort.class_name == "CAR"
+
+    def test_static_constraint(self):
+        spec = parse_specification(PERSON_MANAGER_SPEC)
+        manager = spec.class_by_name()["MANAGER"]
+        assert len(manager.template.constraints) == 1
+        assert manager.template.constraints[0].kind == "static"
+
+    def test_derived_attribute_with_params(self):
+        spec = parse_specification(PERSON_MANAGER_SPEC)
+        person = spec.class_by_name()["PERSON"]
+        income = next(
+            a for a in person.template.attributes if a.name == "IncomeInYear"
+        )
+        assert income.derived
+        assert len(income.param_sorts) == 1
+
+    def test_derivation_rule_with_params(self):
+        spec = parse_specification(PERSON_MANAGER_SPEC)
+        person = spec.class_by_name()["PERSON"]
+        rule = person.template.derivation_rules[0]
+        assert rule.attribute == "IncomeInYear"
+        assert rule.params == ("y",)
+
+
+class TestComponentsAndSingleObjects:
+    def test_single_object(self):
+        spec = parse_specification(COMPANY_SPEC)
+        assert [o.name for o in spec.objects] == ["TheCompany"]
+
+    def test_list_component(self):
+        company = parse_specification(COMPANY_SPEC).objects[0]
+        comp = company.template.components[0]
+        assert comp.name == "depts"
+        assert comp.container == "list"
+        assert comp.target == "DEPT"
+
+
+class TestInterfaceClasses:
+    def test_projection_interface(self):
+        from repro.library import SAL_EMPLOYEE_SPEC
+
+        spec = parse_specification(SAL_EMPLOYEE_SPEC)
+        view = spec.interfaces[0]
+        assert view.name == "SAL_EMPLOYEE"
+        assert view.encapsulating[0].class_name == "PERSON"
+        assert {a.name for a in view.attributes} == {"Name", "IncomeInYear", "Salary"}
+
+    def test_derived_interface_members(self):
+        spec = parse_specification(SAL_EMPLOYEE2_SPEC)
+        view = spec.interfaces[0]
+        derived_attrs = [a.name for a in view.attributes if a.derived]
+        assert derived_attrs == ["CurrentIncomePerYear"]
+        assert view.events[0].derived
+        assert len(view.derivation_rules) == 1
+        assert len(view.callings) == 1
+
+    def test_selection_clause(self):
+        from repro.library import RESEARCH_EMPLOYEE_SPEC
+
+        spec = parse_specification(RESEARCH_EMPLOYEE_SPEC)
+        view = spec.interfaces[0]
+        assert view.selection is not None
+        from repro.datatypes.terms import AttributeAccess
+
+        assert isinstance(view.selection, Apply)
+        assert isinstance(view.selection.args[0], AttributeAccess)
+        assert isinstance(view.selection.args[0].obj, SelfExpr)
+
+    def test_join_view_aliases(self):
+        spec = parse_specification(WORKS_FOR_SPEC)
+        view = spec.interfaces[0]
+        aliases = [(e.class_name, e.alias) for e in view.encapsulating]
+        assert aliases == [("PERSON", "P"), ("DEPT", "D")]
+
+
+class TestCallingRules:
+    def test_transaction_call(self):
+        rel = parse_specification(EMP_REL_SPEC).objects[0]
+        rule = rel.template.interactions[0]
+        assert rule.atomic
+        assert [t.name for t in rule.targets] == ["DeleteEmp", "InsertEmp"]
+
+    def test_alias_qualified_call(self):
+        impl = parse_specification(EMPL_IMPL_SPEC).object_classes[0]
+        rule = next(
+            r for r in impl.template.interactions if r.trigger.name == "HireEmployee"
+        )
+        assert rule.targets[0].qualifier.name == "employees"
+        assert rule.targets[0].name == "InsertEmp"
+
+    def test_self_attribute_args(self):
+        impl = parse_specification(EMPL_IMPL_SPEC).object_classes[0]
+        rule = next(
+            r for r in impl.template.interactions if r.trigger.name == "HireEmployee"
+        )
+        from repro.datatypes.terms import AttributeAccess
+
+        first_arg = rule.targets[0].args[0]
+        assert isinstance(first_arg, AttributeAccess)
+        assert isinstance(first_arg.obj, SelfExpr)
+
+    def test_inheriting_clause(self):
+        impl = parse_specification(EMPL_IMPL_SPEC).object_classes[0]
+        inh = impl.template.inheriting[0]
+        assert inh.base_object == "emp_rel"
+        assert inh.alias == "employees"
+
+    def test_global_interactions(self):
+        spec = parse_specification(GLOBAL_INTERACTIONS_SPEC)
+        block = spec.global_interactions[0]
+        rule = block.rules[0]
+        assert rule.trigger.qualifier.name == "DEPT"
+        assert rule.trigger.name == "new_manager"
+        assert rule.targets[0].qualifier.name == "PERSON"
+        assert rule.targets[0].name == "become_manager"
+
+    def test_qualifier_key_is_term(self):
+        spec = parse_specification(GLOBAL_INTERACTIONS_SPEC)
+        rule = spec.global_interactions[0].rules[0]
+        assert isinstance(rule.trigger.qualifier.key, Var)
+
+
+class TestTermGrammar:
+    def test_qualified_vs_call_disambiguation(self):
+        term = parse_term("f(x)")
+        assert isinstance(term, Apply) and term.op == "f"
+
+    def test_attribute_access_chain(self):
+        term = parse_term("a.b.c")
+        from repro.datatypes.terms import AttributeAccess
+
+        assert isinstance(term, AttributeAccess)
+        assert term.attribute == "c"
+
+    def test_parameterized_attribute_access(self):
+        term = parse_term("p.IncomeInYear(1990)")
+        from repro.datatypes.terms import AttributeAccess
+
+        assert isinstance(term, AttributeAccess)
+        assert len(term.args) == 1
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("1 + 2 extra")
+
+    def test_formula_parsing(self):
+        formula = parse_formula("sometime(after(hire(P)))")
+        assert isinstance(formula, Sometime)
+
+    def test_after_requires_event_pattern(self):
+        with pytest.raises(ParseError):
+            parse_formula("after(1 + 2)")
+
+    def test_empty_spec(self):
+        spec = parse_specification("")
+        assert not spec.object_classes
+
+    def test_unknown_toplevel(self):
+        with pytest.raises(ParseError):
+            parse_specification("widget Foo end")
+
+
+class TestEndToEndDocuments:
+    @pytest.mark.parametrize(
+        "text,classes,objects,interfaces",
+        [
+            (DEPT_SPEC, 1, 0, 0),
+            (EMP_REL_SPEC, 0, 1, 0),
+            (EMPL_IMPL_SPEC, 1, 0, 0),
+            (EMPL_INTERFACE_SPEC, 0, 0, 1),
+            (PERSON_MANAGER_SPEC, 2, 0, 0),
+        ],
+    )
+    def test_document_shapes(self, text, classes, objects, interfaces):
+        spec = parse_specification(text)
+        assert len(spec.object_classes) == classes
+        assert len(spec.objects) == objects
+        assert len(spec.interfaces) == interfaces
+
+    def test_merged_documents(self):
+        a = parse_specification(DEPT_SPEC)
+        b = parse_specification(PERSON_MANAGER_SPEC)
+        merged = a.merged_with(b)
+        assert len(merged.object_classes) == 3

@@ -1,0 +1,170 @@
+"""Persistence: object-base snapshot and restore."""
+
+import json
+
+import pytest
+
+from repro.datatypes.values import (
+    boolean,
+    date,
+    identity,
+    integer,
+    list_value,
+    map_value,
+    money,
+    set_value,
+    string,
+    tuple_value,
+)
+from repro.diagnostics import PermissionDenied, RuntimeSpecError
+from repro.library import FULL_COMPANY_SPEC, REFINEMENT_SPEC
+from repro.runtime import ObjectBase
+from repro.runtime.persistence import (
+    dump_json,
+    dump_state,
+    restore_json,
+    restore_state,
+    value_from_json,
+    value_to_json,
+)
+from tests.conftest import D1960, D1991
+
+
+VALUES = [
+    integer(42),
+    money(13.5),
+    boolean(True),
+    string("it's"),
+    date(1991, 3, 1),
+    identity("PERSON", ("alice", (1960, 1, 1))),
+    set_value([integer(1), integer(2)]),
+    list_value([string("a"), string("b")]),
+    map_value({string("k"): integer(1)}),
+    tuple_value({"ename": string("a"), "esal": integer(9)}),
+    set_value([tuple_value({"x": identity("CAR", "r1")})]),
+]
+
+
+@pytest.mark.parametrize("value", VALUES, ids=lambda v: str(v.sort))
+def test_value_round_trip(value):
+    encoded = value_to_json(value)
+    json.dumps(encoded)  # must be JSON-compatible
+    assert value_from_json(encoded) == value
+
+
+class TestSnapshotRestore:
+    def populated(self):
+        system = ObjectBase(FULL_COMPANY_SPEC)
+        sales = system.create("DEPT", {"id": "Sales"}, "establishment", [D1991])
+        alice = system.create(
+            "PERSON", {"Name": "alice", "BirthDate": D1960},
+            "hire_into", ["Sales", 6000.0],
+        )
+        system.occur(sales, "hire", [alice])
+        system.occur(sales, "new_manager", [alice])
+        return system, sales, alice
+
+    def test_observations_survive(self):
+        system, sales, alice = self.populated()
+        restored = restore_json(ObjectBase(FULL_COMPANY_SPEC), dump_json(system))
+        sales2 = restored.instance("DEPT", "Sales")
+        assert restored.get(sales2, "employees") == system.get(sales, "employees")
+        assert restored.get(sales2, "est_date") == system.get(sales, "est_date")
+
+    def test_roles_relinked(self):
+        system, sales, alice = self.populated()
+        restored = restore_json(ObjectBase(FULL_COMPANY_SPEC), dump_json(system))
+        manager = restored.find("MANAGER", alice.key)
+        assert manager is not None and manager.alive
+        assert manager.base is restored.instance("PERSON", alice.key)
+        # semantic inheritance still works after restore
+        assert restored.get(manager, "Salary").payload == 6000.0
+
+    def test_monitors_replayed(self):
+        system, sales, alice = self.populated()
+        restored = restore_json(ObjectBase(FULL_COMPANY_SPEC), dump_json(system))
+        sales2 = restored.instance("DEPT", "Sales")
+        alice2 = restored.instance("PERSON", alice.key)
+        # fire permitted (hire is in the replayed history) ...
+        restored.occur(sales2, "fire", [alice2])
+        # ... and closure now permitted too
+        restored.occur(sales2, "closure")
+
+    def test_unfulfilled_permission_still_denied(self):
+        system, sales, alice = self.populated()
+        restored = restore_json(ObjectBase(FULL_COMPANY_SPEC), dump_json(system))
+        sales2 = restored.instance("DEPT", "Sales")
+        with pytest.raises(PermissionDenied):
+            restored.occur(sales2, "closure")  # alice never fired
+
+    def test_class_objects_survive(self):
+        system, sales, alice = self.populated()
+        restored = restore_json(ObjectBase(FULL_COMPANY_SPEC), dump_json(system))
+        assert restored.class_object("DEPT").count == 1
+        assert restored.class_object("MANAGER").count == 1
+
+    def test_dead_instances_survive_as_dead(self):
+        system, sales, alice = self.populated()
+        system.occur(sales, "fire", [alice])
+        system.occur(sales, "closure")
+        restored = restore_json(ObjectBase(FULL_COMPANY_SPEC), dump_json(system))
+        assert restored.instance("DEPT", "Sales").dead
+        with pytest.raises(Exception):
+            restored.occur(("DEPT", "Sales"), "hire", [alice])
+
+    def test_restore_requires_empty_base(self):
+        system, sales, alice = self.populated()
+        blob = dump_state(system)
+        with pytest.raises(RuntimeSpecError):
+            restore_state(system, blob)  # not empty
+
+    def test_format_version_checked(self):
+        system, _, _ = self.populated()
+        blob = dump_state(system)
+        blob["format"] = 99
+        with pytest.raises(RuntimeSpecError):
+            restore_state(ObjectBase(FULL_COMPANY_SPEC), blob)
+
+    def test_naive_mode_restore(self):
+        system = ObjectBase(FULL_COMPANY_SPEC, permission_mode="naive")
+        sales = system.create("DEPT", {"id": "S"}, "establishment", [D1991])
+        restored = restore_json(
+            ObjectBase(FULL_COMPANY_SPEC, permission_mode="naive"),
+            dump_json(system),
+        )
+        assert restored.instance("DEPT", "S").alive
+
+    def test_single_objects_and_param_state(self):
+        system = ObjectBase(REFINEMENT_SPEC)
+        system.create("emp_rel")
+        employee = system.create(
+            "EMPL_IMPL", {"EmpName": "a", "EmpBirth": D1960}, "HireEmployee"
+        )
+        system.occur(employee, "IncreaseSalary", [100])
+        restored = restore_json(ObjectBase(REFINEMENT_SPEC), dump_json(system))
+        relation = restored.single_object("emp_rel")
+        assert len(restored.get(relation, "Emps").payload) == 1
+        employee2 = restored.instance("EMPL_IMPL", ("a", (1960, 1, 1)))
+        assert restored.get(employee2, "Salary").payload == 100
+        # continue evolving through the shared base object
+        restored.occur(employee2, "IncreaseSalary", [50])
+        assert restored.get(employee2, "Salary").payload == 150
+
+    def test_continued_evolution_matches_unbroken_run(self):
+        """Snapshot/restore mid-history, then drive the same suffix on
+        both systems: observations must agree."""
+        system, sales, alice = self.populated()
+        restored = restore_json(ObjectBase(FULL_COMPANY_SPEC), dump_json(system))
+        for sys_ in (system, restored):
+            dept = sys_.instance("DEPT", "Sales")
+            person = sys_.instance("PERSON", alice.key)
+            sys_.occur(person, "ChangeSalary", [8000.0])
+            sys_.occur(dept, "fire", [person])
+        assert (
+            system.get(("DEPT", "Sales"), "employees")
+            == restored.get(("DEPT", "Sales"), "employees")
+        )
+        assert (
+            system.get(("PERSON", alice.key), "Salary")
+            == restored.get(("PERSON", alice.key), "Salary")
+        )

@@ -1,0 +1,132 @@
+"""Pretty-printer: round-trip through the parser."""
+
+import pytest
+
+from repro.lang.parser import parse_formula, parse_specification, parse_term
+from repro.lang.printer import (
+    print_formula,
+    print_sort,
+    print_specification,
+    print_term,
+)
+from repro.library import (
+    COMPANY_SPEC,
+    DEPT_SPEC,
+    EMP_REL_SPEC,
+    EMPL_IMPL_SPEC,
+    EMPL_INTERFACE_SPEC,
+    FULL_COMPANY_SPEC,
+    GLOBAL_INTERACTIONS_SPEC,
+    PERSON_MANAGER_SPEC,
+    REFINEMENT_SPEC,
+    SAL_EMPLOYEE2_SPEC,
+    WORKS_FOR_SPEC,
+)
+
+
+TERMS = [
+    "1 + 2 * 3",
+    "(1 + 2) * 3",
+    "x - y - z",
+    "-x + 1",
+    "not(a and b) or c",
+    "a => b => c",
+    "P in employees",
+    "insert(P, employees)",
+    "{1, 2, 3}",
+    "{}",
+    "[1, 2]",
+    "tuple(ename: n, esalary: s)",
+    "self.Dept = 'Research'",
+    "P.surrogate in D.employees",
+    "p.IncomeInYear(1990)",
+    "the(project[esalary](select[ename = n](Emps)))",
+    "for all(x: integer : x > 0)",
+    "exists(s1: integer : in(Emps, tuple(a: s1)))",
+    "count(employees) <= Max",
+    "Salary * 13.5",
+    "'it''s quoted'",
+]
+
+
+@pytest.mark.parametrize("text", TERMS)
+def test_term_round_trip(text):
+    term = parse_term(text)
+    assert parse_term(print_term(term)) == term
+
+
+FORMULAS = [
+    "sometime(after(hire(P)))",
+    "always(N > 0)",
+    "since(N > 0, after(boot))",
+    "for all(P: PERSON : sometime(P in employees) => sometime(after(fire(P))))",
+    "not(after(go)) and sometime(x = 1)",
+    "exists(s1: integer : in(Emps, tuple(a: s1)))",
+]
+
+
+@pytest.mark.parametrize("text", FORMULAS)
+def test_formula_round_trip(text):
+    formula = parse_formula(text)
+    assert parse_formula(print_formula(formula)) == formula
+
+
+SPECS = [
+    DEPT_SPEC,
+    PERSON_MANAGER_SPEC,
+    COMPANY_SPEC,
+    EMP_REL_SPEC,
+    EMPL_IMPL_SPEC,
+    EMPL_INTERFACE_SPEC,
+    SAL_EMPLOYEE2_SPEC,
+    WORKS_FOR_SPEC,
+    GLOBAL_INTERACTIONS_SPEC,
+    FULL_COMPANY_SPEC,
+    REFINEMENT_SPEC,
+]
+
+
+@pytest.mark.parametrize("index", range(len(SPECS)))
+def test_specification_round_trip(index):
+    spec = parse_specification(SPECS[index])
+    printed = print_specification(spec)
+    assert parse_specification(printed) == spec
+
+
+def test_double_round_trip_is_fixed_point():
+    spec = parse_specification(FULL_COMPANY_SPEC)
+    once = print_specification(spec)
+    twice = print_specification(parse_specification(once))
+    assert once == twice
+
+
+def test_print_sort_shapes():
+    from repro.datatypes.sorts import IdSort, INTEGER, SetSort, TupleSort, STRING
+
+    assert print_sort(SetSort(name="set", element=INTEGER)) == "set(integer)"
+    assert print_sort(IdSort(name="|CAR|", class_name="CAR")) == "|CAR|"
+    assert (
+        print_sort(TupleSort(name="tuple", fields=(("a", STRING),)))
+        == "tuple(a: string)"
+    )
+
+
+def test_obligations_round_trip():
+    text = """
+object class P1
+  identification id: string;
+  template
+    attributes Done: bool;
+    events
+      birth start;
+      deliver;
+      death finish;
+    valuation
+      start Done = false;
+    obligations
+      deliver;
+end object class P1;
+"""
+    spec = parse_specification(text)
+    assert parse_specification(print_specification(spec)) == spec
+    assert spec.object_classes[0].template.obligations[0].event == "deliver"

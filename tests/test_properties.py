@@ -1,0 +1,193 @@
+"""Property-based tests across the data-type and language layers."""
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes import apply_operation, evaluate, MapEnvironment
+from repro.datatypes.values import (
+    boolean,
+    date,
+    from_python,
+    integer,
+    list_value,
+    money,
+    set_value,
+    string,
+    to_python,
+    tuple_value,
+)
+from repro.lang.parser import parse_term
+from repro.lang.printer import print_term
+from repro.runtime.persistence import value_from_json, value_to_json
+
+# ----------------------------------------------------------------------
+# Value strategies
+# ----------------------------------------------------------------------
+
+scalars = st.one_of(
+    st.integers(-10**6, 10**6).map(integer),
+    st.booleans().map(boolean),
+    st.text(max_size=12).map(string),
+    st.floats(-1e6, 1e6, allow_nan=False).map(money),
+    st.dates(
+        min_value=datetime.date(1900, 1, 1), max_value=datetime.date(2100, 1, 1)
+    ).map(lambda d: date(d.year, d.month, d.day)),
+)
+
+
+def values(depth=2):
+    if depth == 0:
+        return scalars
+    inner = values(depth - 1)
+    return st.one_of(
+        scalars,
+        st.lists(inner, max_size=4).map(set_value),
+        st.lists(inner, max_size=4).map(list_value),
+        st.dictionaries(
+            st.text(min_size=1, max_size=6).filter(str.isidentifier),
+            inner,
+            min_size=1,
+            max_size=3,
+        ).map(tuple_value),
+    )
+
+
+# ----------------------------------------------------------------------
+# Value laws
+# ----------------------------------------------------------------------
+
+@settings(max_examples=150, deadline=None)
+@given(values())
+def test_values_hashable_and_self_equal(value):
+    assert value == value
+    hash(value)
+
+
+@settings(max_examples=150, deadline=None)
+@given(values())
+def test_persistence_value_round_trip(value):
+    assert value_from_json(value_to_json(value)) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(-50, 50), max_size=10))
+def test_python_round_trip_lists(items):
+    assert to_python(from_python(items)) == items
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.sets(st.integers(-50, 50), max_size=10))
+def test_python_round_trip_sets(items):
+    assert to_python(from_python(items)) == items
+
+
+# ----------------------------------------------------------------------
+# Operation laws against Python semantics
+# ----------------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(st.sets(st.integers(0, 30)), st.sets(st.integers(0, 30)))
+def test_set_operations_model(a, b):
+    va = set_value([integer(x) for x in a])
+    vb = set_value([integer(x) for x in b])
+    assert to_python(apply_operation("union", [va, vb])) == a | b
+    assert to_python(apply_operation("intersection", [va, vb])) == a & b
+    assert to_python(apply_operation("difference", [va, vb])) == a - b
+    assert apply_operation("subset", [va, vb]).payload == (a <= b)
+    assert apply_operation("count", [va]).payload == len(a)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.sets(st.integers(0, 30)), st.integers(0, 30))
+def test_insert_remove_model(items, x):
+    v = set_value([integer(i) for i in items])
+    inserted = apply_operation("insert", [v, integer(x)])
+    assert to_python(inserted) == items | {x}
+    removed = apply_operation("remove", [inserted, integer(x)])
+    assert to_python(removed) == items - {x}
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(-20, 20), min_size=1, max_size=8))
+def test_list_operations_model(items):
+    v = list_value([integer(i) for i in items])
+    assert apply_operation("head", [v]) == integer(items[0])
+    assert apply_operation("last", [v]) == integer(items[-1])
+    assert to_python(apply_operation("tail", [v])) == items[1:]
+    assert to_python(apply_operation("elems", [v])) == set(items)
+    assert apply_operation("length", [v]).payload == len(items)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_arithmetic_model(a, b):
+    va, vb = integer(a), integer(b)
+    assert apply_operation("+", [va, vb]).payload == a + b
+    assert apply_operation("-", [va, vb]).payload == a - b
+    assert apply_operation("*", [va, vb]).payload == a * b
+    assert apply_operation("<=", [va, vb]).payload == (a <= b)
+
+
+# ----------------------------------------------------------------------
+# Parser/printer round trip on generated terms
+# ----------------------------------------------------------------------
+
+_identifiers = st.sampled_from(["x", "y", "zz", "Salary", "employees"])
+
+
+def term_texts(depth=2):
+    """Generate concrete term syntax by recursive assembly."""
+    atoms = st.one_of(
+        st.integers(0, 99).map(str),
+        _identifiers,
+        st.just("true"),
+        st.just("'lit'"),
+    )
+    if depth == 0:
+        return atoms
+    inner = term_texts(depth - 1)
+    return st.one_of(
+        atoms,
+        st.tuples(inner, st.sampled_from(["+", "-", "*", "=", "<", "and", "or", "in"]), inner).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        ),
+        st.tuples(st.sampled_from(["count", "not", "head"]), inner).map(
+            lambda t: f"{t[0]}({t[1]})"
+        ),
+        st.lists(inner, max_size=3).map(lambda xs: "{" + ", ".join(xs) + "}"),
+        st.tuples(_identifiers, inner).map(lambda t: f"insert({t[0]}, {t[1]})"),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(term_texts())
+def test_parse_print_parse_fixed_point(text):
+    term = parse_term(text)
+    printed = print_term(term)
+    assert parse_term(printed) == term
+
+
+# ----------------------------------------------------------------------
+# Evaluator laws
+# ----------------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(st.sets(st.integers(0, 20), min_size=1))
+def test_quantifier_duality(items):
+    """not exists x. φ  ==  for all x. not φ (over the active domain)."""
+    env = MapEnvironment({"s": set_value([integer(i) for i in items])})
+    phi = "(x in s) and x > 10"
+    ex = evaluate(parse_term(f"exists(x: integer : {phi})"), env)
+    fa = evaluate(parse_term(f"for all(x: integer : not({phi}))"), env)
+    assert bool(ex) == (not bool(fa))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.sets(st.integers(0, 20)), st.integers(0, 20))
+def test_select_is_filter(items, pivot):
+    env = MapEnvironment({"s": set_value([integer(i) for i in items])})
+    result = evaluate(parse_term("select[it > p](s)"), env.child({"p": integer(pivot)}))
+    assert to_python(result) == {i for i in items if i > pivot}

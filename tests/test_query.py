@@ -1,0 +1,150 @@
+"""Unit tests for the functional query-algebra combinators."""
+
+import pytest
+
+from repro.datatypes.values import integer, list_value, set_value, string, tuple_value
+from repro.diagnostics import EvaluationError
+from repro.query import (
+    aggregate,
+    count,
+    exists,
+    group_by,
+    join,
+    product,
+    project,
+    rename,
+    select,
+    the,
+)
+
+
+def emp(name, dept, salary):
+    return tuple_value(
+        {"ename": string(name), "dept": string(dept), "esal": integer(salary)}
+    )
+
+
+@pytest.fixture
+def emps():
+    return set_value(
+        [emp("alice", "R", 100), emp("bob", "S", 200), emp("carol", "R", 300)]
+    )
+
+
+@pytest.fixture
+def depts():
+    return set_value(
+        [
+            tuple_value({"did": string("R"), "city": string("BS")}),
+            tuple_value({"did": string("S"), "city": string("HH")}),
+        ]
+    )
+
+
+class TestSelect:
+    def test_select_by_predicate(self, emps):
+        result = select(emps, lambda r: r["dept"] == string("R"))
+        assert len(result.payload) == 2
+
+    def test_select_none(self, emps):
+        assert len(select(emps, lambda r: False).payload) == 0
+
+    def test_select_preserves_list_kind(self):
+        lst = list_value([emp("a", "R", 1), emp("b", "S", 2)])
+        result = select(lst, lambda r: r["dept"] == string("R"))
+        assert result.sort.name == "list"
+
+    def test_select_non_collection(self):
+        with pytest.raises(EvaluationError):
+            select(integer(1), lambda r: True)
+
+
+class TestProject:
+    def test_single_field_unwraps(self, emps):
+        result = project(emps, ["esal"])
+        assert result == set_value([integer(100), integer(200), integer(300)])
+
+    def test_multi_field(self, emps):
+        result = project(emps, ["ename", "dept"])
+        assert all(v.sort.field_names == ("ename", "dept") for v in result.payload)
+
+    def test_projection_can_collapse_duplicates(self, emps):
+        result = project(emps, ["dept"])
+        assert len(result.payload) == 2  # sets collapse {R, S}
+
+    def test_unknown_field(self, emps):
+        with pytest.raises(EvaluationError):
+            project(emps, ["zz"])
+
+
+class TestRenameAndProduct:
+    def test_rename(self, emps):
+        result = rename(emps, {"ename": "name"})
+        row = sorted(result.payload)[0]
+        assert "name" in row.sort.field_names
+        assert "ename" not in row.sort.field_names
+
+    def test_product_sizes(self, emps, depts):
+        result = product(emps, depts)
+        assert len(result.payload) == 6
+
+    def test_product_field_collision(self, emps):
+        with pytest.raises(EvaluationError):
+            product(emps, emps)
+
+    def test_join(self, emps, depts):
+        result = join(emps, depts, on=lambda r: r["dept"] == r["did"])
+        assert len(result.payload) == 3
+        row = next(iter(result.payload))
+        assert set(row.sort.field_names) == {"ename", "dept", "esal", "did", "city"}
+
+
+class TestAggregation:
+    def test_count(self, emps):
+        assert count(emps) == integer(3)
+
+    def test_the(self):
+        assert the(set_value([integer(9)])) == integer(9)
+
+    def test_the_rejects_non_singleton(self, emps):
+        with pytest.raises(EvaluationError):
+            the(emps)
+
+    def test_exists(self, emps):
+        assert exists(emps)
+        assert exists(emps, lambda r: r["esal"] == integer(300))
+        assert not exists(emps, lambda r: r["esal"] == integer(999))
+
+    def test_group_by(self, emps):
+        groups = group_by(emps, ["dept"])
+        assert len(groups) == 2
+        assert len(groups[(string("R"),)].payload) == 2
+
+    def test_group_by_unknown_field(self, emps):
+        with pytest.raises(EvaluationError):
+            group_by(emps, ["zz"])
+
+    def test_aggregate(self, emps):
+        total = aggregate(
+            emps, "esal", lambda vs: integer(sum(v.payload for v in vs))
+        )
+        assert total == integer(600)
+
+    def test_aggregate_unknown_field(self, emps):
+        with pytest.raises(EvaluationError):
+            aggregate(emps, "zz", lambda vs: integer(0))
+
+
+class TestComposition:
+    def test_paper_derivation_shape(self, emps):
+        """the(project[esal](select[ename = 'bob'](emps))) -- the
+        EMPL_IMPL Salary derivation, functionally."""
+        result = the(
+            project(select(emps, lambda r: r["ename"] == string("bob")), ["esal"])
+        )
+        assert result == integer(200)
+
+    def test_non_tuple_collections_use_it(self):
+        numbers = set_value([integer(1), integer(5), integer(9)])
+        result = select(numbers, lambda r: r["it"].payload > 3)
+        assert result == set_value([integer(5), integer(9)])

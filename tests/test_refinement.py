@@ -1,0 +1,152 @@
+"""Refinement checking: the Section 5.2 stack conforms; broken
+implementations are caught with counterexamples (E8)."""
+
+import pytest
+
+from repro.diagnostics import RefinementError
+from repro.library import (
+    EMPL_INTERFACE_SPEC,
+    EMPLOYEE_ABSTRACT_SPEC,
+    EMP_REL_SPEC,
+    REFINEMENT_SPEC,
+)
+from repro.refinement import ConformanceReport, EventProfile, RefinementChecker
+from repro.runtime import ObjectBase
+
+
+def profiles():
+    return [
+        EventProfile("HireEmployee", kind="birth"),
+        EventProfile("IncreaseSalary", args=lambda rng: [rng.randint(0, 300)], weight=3),
+        EventProfile("FireEmployee", kind="death"),
+    ]
+
+
+@pytest.fixture
+def checker(refinement_system):
+    return RefinementChecker(refinement_system, "EMPLOYEE", "EMPL")
+
+
+class TestConformingStack:
+    def test_scripted_trace(self, checker):
+        report = checker.check_trace(
+            [
+                ("HireEmployee", []),
+                ("IncreaseSalary", [100]),
+                ("IncreaseSalary", [50]),
+                ("FireEmployee", []),
+            ]
+        )
+        assert report.ok
+        assert report.accepted_events == 4
+
+    def test_observed_attributes_default(self, checker):
+        assert checker.observed_attributes == ["EmpBirth", "EmpName", "Salary"]
+
+    def test_random_conformance(self, checker):
+        report = checker.random_conformance(profiles(), traces=8, trace_length=10, seed=7)
+        assert report.ok
+        assert report.traces_run == 8
+        assert report.accepted_events > 0
+        assert report.rejected_events > 0  # post-death events agree on denial
+
+    def test_trace_must_start_with_birth(self, checker):
+        report = checker.check_trace([("IncreaseSalary", [10])])
+        assert not report.ok
+        assert "birth" in report.reason
+
+    def test_raise_if_failed(self, checker):
+        good = ConformanceReport(ok=True)
+        assert good.raise_if_failed() is good
+        bad = ConformanceReport(ok=False, reason="nope", counterexample=["x"])
+        with pytest.raises(RefinementError) as err:
+            bad.raise_if_failed()
+        assert err.value.counterexample == ["x"]
+
+    def test_single_birth_profile_required(self, checker):
+        with pytest.raises(RefinementError):
+            checker.random_conformance(
+                [EventProfile("IncreaseSalary")], traces=1
+            )
+
+
+# A deliberately broken implementation: IncreaseSalary adds twice the
+# requested amount through the relation.
+BROKEN_IMPL = """
+object class EMPL_IMPL
+  identification
+    EmpName : string;
+    EmpBirth : date;
+  template
+    inheriting emp_rel as employees;
+    attributes
+      derived Salary: integer;
+    events
+      birth HireEmployee;
+      derived IncreaseSalary(integer);
+      death FireEmployee;
+    derivation rules
+      Salary = the(project[esalary](select[ename = EmpName and ebirth = EmpBirth](employees.Emps)));
+    interaction
+      variables n: integer;
+      HireEmployee >> employees.InsertEmp(self.EmpName, self.EmpBirth, 0);
+      FireEmployee >> employees.DeleteEmp(self.EmpName, self.EmpBirth);
+      IncreaseSalary(n) >> employees.UpdateSalary(self.EmpName, self.EmpBirth, self.Salary + n + n);
+end object class EMPL_IMPL;
+"""
+
+BROKEN_SPEC = "\n".join(
+    [EMPLOYEE_ABSTRACT_SPEC, EMP_REL_SPEC, BROKEN_IMPL, EMPL_INTERFACE_SPEC]
+)
+
+
+class TestBrokenImplementation:
+    def test_observation_disagreement_detected(self):
+        system = ObjectBase(BROKEN_SPEC)
+        system.create("emp_rel")
+        checker = RefinementChecker(system, "EMPLOYEE", "EMPL")
+        report = checker.check_trace(
+            [("HireEmployee", []), ("IncreaseSalary", [10])]
+        )
+        assert not report.ok
+        assert "Salary" in report.reason
+        assert report.counterexample[-1].startswith("IncreaseSalary")
+
+    def test_zero_increase_hides_the_bug(self):
+        system = ObjectBase(BROKEN_SPEC)
+        system.create("emp_rel")
+        checker = RefinementChecker(system, "EMPLOYEE", "EMPL")
+        report = checker.check_trace([("HireEmployee", []), ("IncreaseSalary", [0])])
+        assert report.ok  # n + n = n when n = 0
+
+    def test_random_conformance_finds_it(self):
+        system = ObjectBase(BROKEN_SPEC)
+        system.create("emp_rel")
+        checker = RefinementChecker(system, "EMPLOYEE", "EMPL")
+        report = checker.random_conformance(profiles(), traces=10, trace_length=6, seed=1)
+        assert not report.ok
+        assert report.counterexample
+
+
+# An implementation that over-restricts: firing is never permitted.
+STUBBORN_IMPL = BROKEN_IMPL.replace(
+    "      IncreaseSalary(n) >> employees.UpdateSalary(self.EmpName, self.EmpBirth, self.Salary + n + n);",
+    "      IncreaseSalary(n) >> employees.UpdateSalary(self.EmpName, self.EmpBirth, self.Salary + n);",
+).replace(
+    "    derivation rules",
+    "    permissions\n      { 1 = 2 } FireEmployee;\n    derivation rules",
+)
+
+STUBBORN_SPEC = "\n".join(
+    [EMPLOYEE_ABSTRACT_SPEC, EMP_REL_SPEC, STUBBORN_IMPL, EMPL_INTERFACE_SPEC]
+)
+
+
+class TestAcceptanceDisagreement:
+    def test_over_restriction_detected(self):
+        system = ObjectBase(STUBBORN_SPEC)
+        system.create("emp_rel")
+        checker = RefinementChecker(system, "EMPLOYEE", "EMPL")
+        report = checker.check_trace([("HireEmployee", []), ("FireEmployee", [])])
+        assert not report.ok
+        assert "acceptance disagreement" in report.reason

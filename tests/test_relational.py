@@ -1,0 +1,215 @@
+"""Relational substrate: schemas, storage engines, the spec generator."""
+
+import datetime
+
+import pytest
+
+from repro.datatypes.sorts import DATE, INTEGER, STRING
+from repro.datatypes.values import integer, string
+from repro.diagnostics import PermissionDenied, RuntimeSpecError
+from repro.relational import (
+    BTreeStorage,
+    HashStorage,
+    KeyViolation,
+    ListStorage,
+    Relation,
+    RelationSchema,
+    relation_object_spec,
+)
+from repro.runtime import ObjectBase
+
+EMP = RelationSchema(
+    "emp",
+    (("ename", STRING), ("ebirth", DATE), ("esalary", INTEGER)),
+    ("ename", "ebirth"),
+)
+B1960 = datetime.date(1960, 1, 1)
+B1970 = datetime.date(1970, 2, 2)
+
+
+class TestSchema:
+    def test_column_names(self):
+        assert EMP.column_names == ("ename", "ebirth", "esalary")
+
+    def test_tuple_sort(self):
+        assert EMP.tuple_sort.field_names == ("ename", "ebirth", "esalary")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema("bad", (("a", STRING), ("a", STRING)), ("a",))
+
+    def test_key_must_be_declared(self):
+        with pytest.raises(ValueError):
+            RelationSchema("bad", (("a", STRING),), ("zz",))
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            RelationSchema("bad", (("a", STRING),), ())
+
+
+@pytest.mark.parametrize("storage", ["list", "hash", "btree"])
+class TestRelationOverStorages:
+    def test_insert_and_lookup(self, storage):
+        rel = Relation(EMP, storage)
+        rel.insert("alice", B1960, 100)
+        row = rel.lookup("alice", B1960)
+        assert row["esalary"] == integer(100)
+
+    def test_duplicate_key_rejected(self, storage):
+        rel = Relation(EMP, storage)
+        rel.insert("alice", B1960, 100)
+        with pytest.raises(KeyViolation):
+            rel.insert("alice", B1960, 999)
+
+    def test_same_name_different_birthday_ok(self, storage):
+        rel = Relation(EMP, storage)
+        rel.insert("alice", B1960, 100)
+        rel.insert("alice", B1970, 200)
+        assert len(rel) == 2
+
+    def test_delete(self, storage):
+        rel = Relation(EMP, storage)
+        rel.insert("alice", B1960, 100)
+        rel.delete("alice", B1960)
+        assert rel.lookup("alice", B1960) is None
+
+    def test_delete_missing(self, storage):
+        rel = Relation(EMP, storage)
+        with pytest.raises(KeyViolation):
+            rel.delete("alice", B1960)
+
+    def test_update_as_delete_insert(self, storage):
+        rel = Relation(EMP, storage)
+        rel.insert("alice", B1960, 100)
+        rel.update(("alice", B1960), ("alice", B1960, 150))
+        assert rel.lookup("alice", B1960)["esalary"] == integer(150)
+
+    def test_update_to_existing_key_restores(self, storage):
+        rel = Relation(EMP, storage)
+        rel.insert("alice", B1960, 100)
+        rel.insert("bob", B1970, 200)
+        with pytest.raises(KeyViolation):
+            rel.update(("alice", B1960), ("bob", B1970, 999))
+        # atomic: alice's row restored, bob's untouched
+        assert rel.lookup("alice", B1960)["esalary"] == integer(100)
+        assert rel.lookup("bob", B1970)["esalary"] == integer(200)
+
+    def test_scan(self, storage):
+        rel = Relation(EMP, storage)
+        rel.insert("alice", B1960, 100)
+        rel.insert("bob", B1970, 200)
+        names = {row["ename"].payload for row in rel.scan()}
+        assert names == {"alice", "bob"}
+
+    def test_as_value_shape(self, storage):
+        rel = Relation(EMP, storage)
+        rel.insert("alice", B1960, 100)
+        value = rel.as_value()
+        assert value.sort.name == "set"
+        item = next(iter(value.payload))
+        assert item.sort.field_names == ("ename", "ebirth", "esalary")
+
+    def test_wrong_column_count(self, storage):
+        rel = Relation(EMP, storage)
+        with pytest.raises(RuntimeSpecError):
+            rel.insert("alice", B1960)
+
+
+class TestStorageSpecifics:
+    def test_unknown_storage(self):
+        with pytest.raises(ValueError):
+            Relation(EMP, "quantum")
+
+    def test_btree_range_scan_ordered(self):
+        rel = Relation(EMP, "btree")
+        for index in range(20):
+            rel.insert(f"p{index:02d}", B1960, index)
+        storage = rel.storage
+        assert isinstance(storage, BTreeStorage)
+        rows = list(storage.range(("p05", (1960, 1, 1)), ("p10", (1960, 1, 1))))
+        names = [r["ename"].payload for r in rows]
+        assert names == sorted(names)
+        assert names[0] == "p05" and names[-1] == "p10"
+
+    def test_btree_scan_is_key_ordered(self):
+        rel = Relation(EMP, "btree")
+        for name in ("zeta", "alpha", "mid"):
+            rel.insert(name, B1960, 1)
+        names = [r["ename"].payload for r in rel.scan()]
+        assert names == sorted(names)
+
+    def test_storages_agree_under_churn(self):
+        import random
+
+        rng = random.Random(5)
+        relations = [Relation(EMP, s) for s in ("list", "hash", "btree")]
+        for _ in range(300):
+            name = f"p{rng.randint(0, 30)}"
+            action = rng.random()
+            salary = rng.randint(0, 9)
+            for rel in relations:
+                try:
+                    if action < 0.5:
+                        rel.insert(name, B1960, salary)
+                    elif action < 0.8:
+                        rel.delete(name, B1960)
+                    else:
+                        rel.update((name, B1960), (name, B1960, 1))
+                except KeyViolation:
+                    pass
+        snapshots = [
+            sorted((r["ename"].payload, r["esalary"].payload) for r in rel.scan())
+            for rel in relations
+        ]
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+
+
+class TestSpecGenerator:
+    def test_generated_text_checks_clean(self):
+        from repro.lang import check_specification, parse_specification
+
+        text = relation_object_spec(EMP)
+        checked = check_specification(parse_specification(text))
+        assert not checked.diagnostics.has_errors()
+
+    def test_generated_object_name_default(self):
+        assert "object emp_rel" in relation_object_spec(EMP)
+
+    def test_generated_object_animates(self):
+        system = ObjectBase(relation_object_spec(EMP))
+        rel = system.create("emp_rel")
+        system.occur(rel, "InsertEmp", ["alice", B1960, 100])
+        assert len(system.get(rel, "Emps").payload) == 1
+        system.occur(rel, "UpdateEmp", ["alice", B1960, 150])
+        emps = system.get(rel, "Emps")
+        assert next(iter(emps.payload)).payload[2][1] == integer(150)
+
+    def test_generated_key_constraint(self):
+        system = ObjectBase(relation_object_spec(EMP))
+        rel = system.create("emp_rel")
+        system.occur(rel, "InsertEmp", ["alice", B1960, 100])
+        with pytest.raises(PermissionDenied):
+            system.occur(rel, "InsertEmp", ["alice", B1960, 999])
+
+    def test_generated_delete_requires_presence(self):
+        system = ObjectBase(relation_object_spec(EMP))
+        rel = system.create("emp_rel")
+        with pytest.raises(PermissionDenied):
+            system.occur(rel, "DeleteEmp", ["alice", B1960])
+
+    def test_generated_close_requires_empty(self):
+        system = ObjectBase(relation_object_spec(EMP))
+        rel = system.create("emp_rel")
+        system.occur(rel, "InsertEmp", ["alice", B1960, 100])
+        with pytest.raises(PermissionDenied):
+            system.occur(rel, "CloseEmp")
+        system.occur(rel, "DeleteEmp", ["alice", B1960])
+        system.occur(rel, "CloseEmp")
+
+    def test_all_key_schema(self):
+        schema = RelationSchema("pair", (("a", STRING), ("b", STRING)), ("a", "b"))
+        system = ObjectBase(relation_object_spec(schema))
+        rel = system.create("pair_rel")
+        system.occur(rel, "InsertPair", ["x", "y"])
+        with pytest.raises(PermissionDenied):
+            system.occur(rel, "InsertPair", ["x", "y"])

@@ -1,0 +1,87 @@
+"""Runtime tests: active objects and the scheduler (the system clock)."""
+
+import pytest
+
+from repro.datatypes.values import integer
+from repro.runtime import ObjectBase
+from repro.runtime.clock import CLOCK_SPEC, start_clock
+
+
+class TestClock:
+    def test_tick_is_active(self):
+        system = ObjectBase(CLOCK_SPEC)
+        clock = start_clock(system, horizon=3)
+        occurrence = system.step()
+        assert occurrence is not None
+        assert occurrence.event == "tick"
+        assert system.get(clock, "Now") == integer(1)
+
+    def test_run_to_quiescence(self):
+        system = ObjectBase(CLOCK_SPEC)
+        clock = start_clock(system, horizon=4)
+        fired = system.run_active(max_steps=50)
+        assert len(fired) == 4
+        assert system.get(clock, "Now") == integer(4)
+        assert system.step() is None
+
+    def test_horizon_extension_reenables(self):
+        system = ObjectBase(CLOCK_SPEC)
+        clock = start_clock(system, horizon=1)
+        system.run_active()
+        assert system.step() is None
+        system.occur(clock, "set_horizon", [2])
+        assert system.step() is not None
+
+    def test_max_steps_bound(self):
+        system = ObjectBase(CLOCK_SPEC)
+        start_clock(system, horizon=100)
+        fired = system.run_active(max_steps=5)
+        assert len(fired) == 5
+
+    def test_dead_clock_never_fires(self):
+        system = ObjectBase(CLOCK_SPEC)
+        clock = start_clock(system, horizon=5)
+        system.occur(clock, "halt")
+        assert system.step() is None
+
+    def test_explicit_order(self):
+        system = ObjectBase(CLOCK_SPEC)
+        start_clock(system, horizon=5)
+        occurrence = system.step(order=[("SystemClock", "SystemClock", "tick")])
+        assert occurrence is not None
+
+
+class TestMultipleActiveObjects:
+    TWO = CLOCK_SPEC + """
+object Heartbeat
+  template
+    attributes Beats: nat;
+    events
+      birth boot;
+      active beat;
+    valuation
+      boot Beats = 0;
+      beat Beats = Beats + 1;
+    permissions
+      { Beats < 2 } beat;
+end object Heartbeat;
+"""
+
+    def test_scheduler_interleaves_until_quiescence(self):
+        system = ObjectBase(self.TWO)
+        clock = start_clock(system, horizon=3)
+        heart = system.create("Heartbeat")
+        fired = system.run_active(max_steps=50)
+        assert system.get(clock, "Now") == integer(3)
+        assert system.get(heart, "Beats") == integer(2)
+        assert len(fired) == 5
+
+    def test_scheduler_deterministic(self):
+        logs = []
+        for _ in range(2):
+            system = ObjectBase(self.TWO)
+            start_clock(system, horizon=2)
+            system.create("Heartbeat")
+            fired = system.run_active(max_steps=50)
+            logs.append([(o.instance.class_name, o.event) for o in fired])
+        assert logs[0] == logs[1]

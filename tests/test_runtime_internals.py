@@ -1,0 +1,178 @@
+"""Unit tests for runtime internals: compilation indexes, instance
+storage routing, environments."""
+
+import pytest
+
+from repro.datatypes.evaluator import evaluate
+from repro.datatypes.values import integer, money, string
+from repro.diagnostics import CheckError, EvaluationError
+from repro.lang import check_specification, parse_specification
+from repro.lang.parser import parse_term
+from repro.library import FULL_COMPANY_SPEC, REFINEMENT_SPEC
+from repro.runtime import ObjectBase, SystemEnvironment, compile_specification
+from tests.conftest import D1960, D1991
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_specification(
+        check_specification(parse_specification(FULL_COMPANY_SPEC))
+    )
+
+
+class TestCompiledIndexes:
+    def test_valuation_index(self, compiled):
+        dept = compiled.compiled("DEPT")
+        assert {r.attribute for r in dept.valuation_by_event["establishment"]} == {
+            "est_date", "employees",
+        }
+
+    def test_permission_index(self, compiled):
+        dept = compiled.compiled("DEPT")
+        assert "fire" in dept.permissions_by_event
+        assert "closure" in dept.permissions_by_event
+
+    def test_role_birth_index(self, compiled):
+        person = compiled.compiled("PERSON")
+        assert person.role_births_by_event["become_manager"] == ["MANAGER"]
+        assert person.role_deaths_by_event["retire_manager"] == ["MANAGER"]
+
+    def test_global_index(self, compiled):
+        assert ("DEPT", "new_manager") in compiled.global_callings
+        assert ("DEPT", "assign_official_car") in compiled.global_callings
+
+    def test_var_sorts_for_permission(self, compiled):
+        dept = compiled.compiled("DEPT")
+        rule = dept.permissions_by_event["fire"][0]
+        sorts = dept.var_sorts_for(rule)
+        assert sorts["P"].name == "|PERSON|"
+        # cached on second call
+        assert dept.var_sorts_for(rule) is sorts
+
+    def test_active_events_listing(self):
+        from repro.runtime.clock import CLOCK_SPEC
+
+        compiled_clock = compile_specification(
+            check_specification(parse_specification(CLOCK_SPEC))
+        )
+        clock = compiled_clock.compiled("SystemClock")
+        assert [e.name for e in clock.active_events()] == ["tick"]
+
+
+class TestStorageRouting:
+    def test_role_writes_own_attributes_locally(self, company_system):
+        system = company_system
+        alice = system.create(
+            "PERSON", {"Name": "a", "BirthDate": D1960}, "hire_into", ["R", 9000.0]
+        )
+        system.occur(alice, "become_manager")
+        manager = system.find("MANAGER", alice.key)
+        car = system.create("CAR", {"Registration": "r"}, "register", ["m"])
+        system.occur(manager, "get_car", [car])
+        assert "OfficialCar" in manager.state
+        assert "OfficialCar" not in alice.state
+
+    def test_role_writes_inherited_attributes_to_base(self, company_system):
+        system = company_system
+        alice = system.create(
+            "PERSON", {"Name": "a", "BirthDate": D1960}, "hire_into", ["R", 9000.0]
+        )
+        system.occur(alice, "become_manager")
+        manager = system.find("MANAGER", alice.key)
+        system.occur(manager, "ChangeSalary", [9500.0])
+        assert alice.state["Salary"] == money(9500.0)
+        assert "Salary" not in manager.state
+
+    def test_merged_state_overrides(self, company_system):
+        system = company_system
+        alice = system.create(
+            "PERSON", {"Name": "a", "BirthDate": D1960}, "hire_into", ["R", 9000.0]
+        )
+        system.occur(alice, "become_manager")
+        manager = system.find("MANAGER", alice.key)
+        merged = manager.merged_state()
+        assert merged["Salary"] == money(9000.0)
+        assert merged["IsManager"].payload is True
+
+
+class TestEnvironments:
+    def test_instance_env_reads_attributes(self, staffed_company):
+        system, sales, alice, bob = staffed_company
+        env = sales.environment()
+        assert evaluate(parse_term("count(employees)"), env) == integer(2)
+
+    def test_instance_env_self(self, staffed_company):
+        system, sales, alice, bob = staffed_company
+        env = sales.environment()
+        assert evaluate(parse_term("self"), env) == sales.identity
+
+    def test_instance_env_resolves_other_objects(self, staffed_company):
+        system, sales, alice, bob = staffed_company
+        env = sales.environment({"P": alice.identity})
+        assert evaluate(parse_term("P.Salary"), env) == money(6000.0)
+
+    def test_instance_env_unbound(self, staffed_company):
+        system, sales, alice, bob = staffed_company
+        with pytest.raises(EvaluationError):
+            evaluate(parse_term("zz"), sales.environment())
+
+    def test_inheriting_alias_resolves_to_base_identity(self, refinement_system):
+        system = refinement_system
+        employee = system.create(
+            "EMPL_IMPL", {"EmpName": "a", "EmpBirth": D1960}, "HireEmployee"
+        )
+        env = employee.environment()
+        value = evaluate(parse_term("employees"), env)
+        assert value == system.single_object("emp_rel").identity
+
+    def test_alias_attribute_read_through(self, refinement_system):
+        system = refinement_system
+        employee = system.create(
+            "EMPL_IMPL", {"EmpName": "a", "EmpBirth": D1960}, "HireEmployee"
+        )
+        env = employee.environment()
+        emps = evaluate(parse_term("employees.Emps"), env)
+        assert len(emps.payload) == 1
+
+    def test_system_environment(self, staffed_company):
+        system, sales, alice, bob = staffed_company
+        env = SystemEnvironment(system, {"D": sales.identity})
+        assert evaluate(parse_term("count(D.employees)"), env) == integer(2)
+        with pytest.raises(EvaluationError):
+            evaluate(parse_term("unbound"), env)
+
+    def test_system_environment_population(self, staffed_company):
+        system, sales, alice, bob = staffed_company
+        env = SystemEnvironment(system)
+        result = evaluate(
+            parse_term("exists(P: PERSON : P.Salary > 5000)"), env
+        )
+        assert bool(result)
+
+    def test_surrogate_through_system_env(self, staffed_company):
+        system, sales, alice, bob = staffed_company
+        env = SystemEnvironment(system, {"P": alice.identity})
+        assert evaluate(parse_term("P.surrogate"), env) == alice.identity
+
+
+class TestLookups:
+    def test_find_accepts_value_keys(self, staffed_company):
+        system, sales, alice, bob = staffed_company
+        assert system.find("PERSON", alice.identity) is alice
+
+    def test_compiled_class_unknown(self, company_system):
+        with pytest.raises(CheckError):
+            company_system.compiled_class("NOPE")
+
+    def test_occurrence_repr(self, staffed_company):
+        system, sales, alice, bob = staffed_company
+        occurrence = system.journal[-1]
+        assert "DEPT('Sales').hire" in repr(occurrence)
+
+    def test_instance_repr(self, staffed_company):
+        system, sales, alice, bob = staffed_company
+        assert "alive" in repr(sales)
+        system.occur(sales, "fire", [alice])
+        system.occur(sales, "fire", [bob])
+        system.occur(sales, "closure")
+        assert "dead" in repr(sales)

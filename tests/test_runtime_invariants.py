@@ -1,0 +1,207 @@
+"""Failure injection: runtime invariants under random event storms.
+
+Properties checked over seeded and hypothesis-generated command
+sequences against the full company society:
+
+* **atomicity** -- a rejected occurrence leaves the whole system state
+  exactly as it was (deep comparison of every instance);
+* **mode agreement** -- the incremental and naive permission modes
+  accept/reject identically and converge to identical states;
+* **registry consistency** -- class-object membership equals the alive
+  population at all times; role links are mutual;
+* **trace/state consistency** -- an instance's last trace step's state
+  snapshot matches its current merged state.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diagnostics import RuntimeSpecError, TrollError
+from repro.library import FULL_COMPANY_SPEC
+from repro.runtime import ObjectBase
+from tests.conftest import D1960, D1970, D1991
+
+
+def build(mode="incremental"):
+    system = ObjectBase(FULL_COMPANY_SPEC, permission_mode=mode)
+    dept = system.create("DEPT", {"id": "D"}, "establishment", [D1991])
+    people = [
+        system.create(
+            "PERSON", {"Name": f"p{i}", "BirthDate": D1960},
+            "hire_into", ["D", 4000.0 + 2000.0 * (i % 2)],
+        )
+        for i in range(3)
+    ]
+    return system, dept, people
+
+
+#: (event, needs_person, person_salary_arg)
+COMMANDS = ["hire", "fire", "new_manager", "become_manager", "retire_manager",
+            "ChangeSalary", "closure"]
+
+
+def run_command(system, dept, person, command, amount):
+    if command in ("hire", "fire", "new_manager"):
+        system.occur(dept, command, [person])
+    elif command in ("become_manager", "retire_manager"):
+        system.occur(person, command)
+    elif command == "ChangeSalary":
+        system.occur(person, "ChangeSalary", [float(amount)])
+    elif command == "closure":
+        system.occur(dept, "closure")
+
+
+def full_state(system):
+    snapshot = {}
+    for class_name, bucket in system.instances.items():
+        for key, instance in bucket.items():
+            snapshot[(class_name, key)] = (
+                dict(instance.state),
+                {k: dict(v) for k, v in instance.param_state.items()},
+                instance.born,
+                instance.dead,
+                len(instance.trace),
+            )
+    snapshot["__classes__"] = {
+        name: frozenset(obj.members) for name, obj in system.class_objects.items()
+    }
+    return snapshot
+
+
+def check_registry(system):
+    for class_name, class_object in system.class_objects.items():
+        alive = {i.identity for i in system.alive_instances(class_name)}
+        assert class_object.members == alive, (
+            f"class object {class_name} out of sync"
+        )
+    for bucket in system.instances.values():
+        for instance in bucket.values():
+            for role in instance.roles.values():
+                assert role.base is instance
+            if instance.base is not None:
+                assert instance.base.roles.get(instance.class_name) is instance
+
+
+def check_trace_state(system):
+    # Only alive instances: a dead role's trace freezes at its death
+    # while the base object it reads through keeps evolving.
+    for bucket in system.instances.values():
+        for instance in bucket.values():
+            if instance.alive and instance.trace.steps:
+                last = instance.trace.steps[-1]
+                assert dict(last.state) == instance.merged_state()
+
+
+class TestSeededStorms:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_atomicity_and_consistency(self, seed):
+        rng = random.Random(seed)
+        system, dept, people = build()
+        for _ in range(60):
+            command = rng.choice(COMMANDS)
+            person = rng.choice(people)
+            amount = rng.choice([1000, 5500, 9000])
+            before = full_state(system)
+            try:
+                run_command(system, dept, person, command, amount)
+            except TrollError:
+                assert full_state(system) == before, (
+                    f"rejected {command} mutated state (seed={seed})"
+                )
+            check_registry(system)
+            check_trace_state(system)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_modes_converge(self, seed):
+        rng_a = random.Random(seed)
+        rng_b = random.Random(seed)
+        outcomes = []
+        finals = []
+        for mode, rng in (("incremental", rng_a), ("naive", rng_b)):
+            system, dept, people = build(mode)
+            log = []
+            for _ in range(50):
+                command = rng.choice(COMMANDS)
+                person = rng.choice(people)
+                amount = rng.choice([1000, 5500, 9000])
+                try:
+                    run_command(system, dept, person, command, amount)
+                    log.append((command, person.key, "ok"))
+                except TrollError as error:
+                    log.append((command, person.key, type(error).__name__))
+            outcomes.append(log)
+            finals.append(full_state(system))
+        assert outcomes[0] == outcomes[1]
+        assert finals[0] == finals[1]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    script=st.lists(
+        st.tuples(
+            st.sampled_from(COMMANDS),
+            st.integers(0, 2),
+            st.sampled_from([1000, 5500, 9000]),
+        ),
+        max_size=30,
+    )
+)
+def test_storm_property(script):
+    """Hypothesis storms: atomicity + registry + trace consistency."""
+    system, dept, people = build()
+    for command, person_index, amount in script:
+        person = people[person_index]
+        before = full_state(system)
+        try:
+            run_command(system, dept, person, command, amount)
+        except TrollError:
+            assert full_state(system) == before
+    check_registry(system)
+    check_trace_state(system)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    script=st.lists(
+        st.tuples(
+            st.sampled_from(COMMANDS),
+            st.integers(0, 2),
+            st.sampled_from([1000, 5500, 9000]),
+        ),
+        max_size=20,
+    )
+)
+def test_snapshot_restore_mid_storm_property(script):
+    """Persistence invariance: dump/restore at an arbitrary cut point,
+    then drive the remaining script on both systems -- outcomes and
+    final observations agree."""
+    from repro.runtime import dump_json, restore_json
+
+    cut = len(script) // 2
+    system, dept, people = build()
+    for command, person_index, amount in script[:cut]:
+        try:
+            run_command(system, dept, people[person_index], command, amount)
+        except TrollError:
+            pass
+
+    clone = restore_json(ObjectBase(FULL_COMPANY_SPEC), dump_json(system))
+    clone_dept = clone.instance("DEPT", "D")
+    clone_people = [clone.instance("PERSON", p.key) for p in people]
+
+    for command, person_index, amount in script[cut:]:
+        results = []
+        for sys_, dept_, person_ in (
+            (system, dept, people[person_index]),
+            (clone, clone_dept, clone_people[person_index]),
+        ):
+            try:
+                run_command(sys_, dept_, person_, command, amount)
+                results.append("ok")
+            except TrollError as error:
+                results.append(type(error).__name__)
+        assert results[0] == results[1]
+    assert full_state(system) == full_state(clone)

@@ -1,0 +1,164 @@
+"""Runtime tests: birth/death life cycles, identities, class objects."""
+
+import datetime
+
+import pytest
+
+from repro.diagnostics import CheckError, LifecycleError
+from repro.runtime import ObjectBase
+from tests.conftest import D1960, D1970, D1991
+
+
+class TestCreation:
+    def test_create_returns_alive_instance(self, company_system):
+        dept = company_system.create("DEPT", {"id": "Sales"}, "establishment", [D1991])
+        assert dept.alive
+        assert dept.class_name == "DEPT"
+
+    def test_identity_payload_single_attr(self, company_system):
+        dept = company_system.create("DEPT", {"id": "Sales"}, "establishment", [D1991])
+        assert dept.key == "Sales"
+
+    def test_identity_payload_composite(self, company_system):
+        alice = company_system.create(
+            "PERSON", {"Name": "alice", "BirthDate": D1960},
+            "hire_into", ["R", 100.0],
+        )
+        assert alice.key == ("alice", (1960, 1, 1))
+
+    def test_identification_attributes_observable(self, company_system):
+        alice = company_system.create(
+            "PERSON", {"Name": "alice", "BirthDate": D1960},
+            "hire_into", ["R", 100.0],
+        )
+        assert company_system.get(alice, "Name").payload == "alice"
+
+    def test_missing_identification(self, company_system):
+        with pytest.raises(CheckError):
+            company_system.create("DEPT", {}, "establishment", [D1991])
+
+    def test_duplicate_identity_rejected(self, company_system):
+        company_system.create("DEPT", {"id": "Sales"}, "establishment", [D1991])
+        with pytest.raises(LifecycleError):
+            company_system.create("DEPT", {"id": "Sales"}, "establishment", [D1991])
+
+    def test_default_birth_event_resolution(self, company_system):
+        dept = company_system.create("DEPT", {"id": "S"}, args=[D1991])
+        assert dept.alive
+
+    def test_wrong_birth_event_name(self, company_system):
+        with pytest.raises(CheckError):
+            company_system.create("DEPT", {"id": "S"}, "hire", [D1991])
+
+    def test_unknown_class(self, company_system):
+        with pytest.raises(CheckError):
+            company_system.create("WIDGET", {"id": "x"})
+
+    def test_failed_birth_unregisters(self, company_system):
+        # establishment with wrong arity fails; the identity must be free
+        # for a later attempt.
+        with pytest.raises(Exception):
+            company_system.create("DEPT", {"id": "S"}, "establishment", [D1991, D1991])
+        dept = company_system.create("DEPT", {"id": "S"}, "establishment", [D1991])
+        assert dept.alive
+
+
+class TestLifecycleViolations:
+    def test_event_after_death(self, company_system):
+        dept = company_system.create("DEPT", {"id": "S"}, "establishment", [D1991])
+        company_system.occur(dept, "closure")
+        assert dept.dead
+        with pytest.raises(LifecycleError):
+            company_system.occur(dept, "establishment", [D1991])
+
+    def test_second_birth(self, company_system):
+        dept = company_system.create("DEPT", {"id": "S"}, "establishment", [D1991])
+        with pytest.raises(LifecycleError):
+            company_system.occur(dept, "establishment", [D1991])
+
+    def test_identity_not_reused_after_death(self, company_system):
+        dept = company_system.create("DEPT", {"id": "S"}, "establishment", [D1991])
+        company_system.occur(dept, "closure")
+        with pytest.raises(LifecycleError):
+            company_system.create("DEPT", {"id": "S"}, "establishment", [D1991])
+
+    def test_unknown_event(self, company_system):
+        dept = company_system.create("DEPT", {"id": "S"}, "establishment", [D1991])
+        with pytest.raises(CheckError):
+            company_system.occur(dept, "explode")
+
+    def test_occur_on_missing_instance(self, company_system):
+        with pytest.raises(LifecycleError):
+            company_system.occur(("DEPT", "nope"), "closure")
+
+
+class TestSingleObjects:
+    def test_single_object_lookup(self, refinement_system):
+        rel = refinement_system.single_object("emp_rel")
+        assert rel.alive
+        assert rel.key == "emp_rel"
+
+    def test_single_object_before_creation(self):
+        from repro.library import REFINEMENT_SPEC
+
+        system = ObjectBase(REFINEMENT_SPEC)
+        with pytest.raises(LifecycleError):
+            system.single_object("emp_rel")
+
+    def test_single_object_on_class_rejected(self, company_system):
+        with pytest.raises(CheckError):
+            company_system.single_object("DEPT")
+
+    def test_single_object_needs_no_identification(self, refinement_system):
+        assert refinement_system.single_object("emp_rel").born
+
+
+class TestPopulationsAndClassObjects:
+    def test_population_lists_alive_only(self, company_system):
+        a = company_system.create("DEPT", {"id": "A"}, "establishment", [D1991])
+        company_system.create("DEPT", {"id": "B"}, "establishment", [D1991])
+        company_system.occur(a, "closure")
+        population = company_system.population("DEPT")
+        assert len(population) == 1
+        assert population[0].payload == "B"
+
+    def test_class_object_members(self, company_system):
+        company_system.create("DEPT", {"id": "A"}, "establishment", [D1991])
+        cls = company_system.class_object("DEPT")
+        assert cls.count == 1
+        company_system.create("DEPT", {"id": "B"}, "establishment", [D1991])
+        assert cls.count == 2
+
+    def test_class_object_trace_records_membership(self, company_system):
+        a = company_system.create("DEPT", {"id": "A"}, "establishment", [D1991])
+        company_system.occur(a, "closure")
+        events = [s.event for s in company_system.class_object("DEPT").trace]
+        assert events == ["insert_member", "delete_member"]
+
+    def test_class_object_unknown_class(self, company_system):
+        with pytest.raises(CheckError):
+            company_system.class_object("WIDGET")
+
+    def test_resolve_instance(self, company_system):
+        dept = company_system.create("DEPT", {"id": "A"}, "establishment", [D1991])
+        assert company_system.resolve_instance(dept.identity) is dept
+
+    def test_journal_records_occurrences(self, company_system):
+        company_system.create("DEPT", {"id": "A"}, "establishment", [D1991])
+        assert any(o.event == "establishment" for o in company_system.journal)
+
+
+class TestTraces:
+    def test_instance_trace_grows(self, staffed_company):
+        system, sales, alice, bob = staffed_company
+        events = [s.event for s in sales.trace]
+        assert events == ["establishment", "hire", "hire"]
+
+    def test_trace_state_snapshots(self, staffed_company):
+        system, sales, alice, bob = staffed_company
+        first_hire = sales.trace.steps[1]
+        assert len(first_hire.state_dict()["employees"].payload) == 1
+
+    def test_trace_args_recorded(self, staffed_company):
+        system, sales, alice, bob = staffed_company
+        assert sales.trace.steps[1].args == (alice.identity,)

@@ -1,0 +1,142 @@
+"""Runtime tests: permission checking in both modes (E1's DEPT story)."""
+
+import pytest
+
+from repro.diagnostics import PermissionDenied
+from repro.library import FULL_COMPANY_SPEC
+from repro.runtime import ObjectBase
+from tests.conftest import D1960, D1970, D1991
+
+
+def build_staffed(mode):
+    system = ObjectBase(FULL_COMPANY_SPEC, permission_mode=mode)
+    sales = system.create("DEPT", {"id": "Sales"}, "establishment", [D1991])
+    alice = system.create(
+        "PERSON", {"Name": "alice", "BirthDate": D1960}, "hire_into", ["R", 6000.0]
+    )
+    bob = system.create(
+        "PERSON", {"Name": "bob", "BirthDate": D1970}, "hire_into", ["S", 3000.0]
+    )
+    return system, sales, alice, bob
+
+
+@pytest.fixture(params=["incremental", "naive"])
+def mode_system(request):
+    return build_staffed(request.param)
+
+
+class TestDeptPermissions:
+    def test_fire_requires_prior_hire(self, mode_system):
+        system, sales, alice, bob = mode_system
+        with pytest.raises(PermissionDenied):
+            system.occur(sales, "fire", [alice])
+
+    def test_fire_after_hire_allowed(self, mode_system):
+        system, sales, alice, bob = mode_system
+        system.occur(sales, "hire", [alice])
+        system.occur(sales, "fire", [alice])
+
+    def test_fire_specific_to_person(self, mode_system):
+        system, sales, alice, bob = mode_system
+        system.occur(sales, "hire", [alice])
+        with pytest.raises(PermissionDenied):
+            system.occur(sales, "fire", [bob])
+
+    def test_closure_denied_with_members(self, mode_system):
+        system, sales, alice, bob = mode_system
+        system.occur(sales, "hire", [alice])
+        with pytest.raises(PermissionDenied):
+            system.occur(sales, "closure")
+
+    def test_closure_after_all_fired(self, mode_system):
+        system, sales, alice, bob = mode_system
+        system.occur(sales, "hire", [alice])
+        system.occur(sales, "hire", [bob])
+        system.occur(sales, "fire", [alice])
+        system.occur(sales, "fire", [bob])
+        system.occur(sales, "closure")
+        assert sales.dead
+
+    def test_closure_of_never_staffed_dept(self, mode_system):
+        system, sales, alice, bob = mode_system
+        system.occur(sales, "closure")  # vacuously permitted
+        assert sales.dead
+
+    def test_new_manager_requires_membership(self, mode_system):
+        system, sales, alice, bob = mode_system
+        with pytest.raises(PermissionDenied):
+            system.occur(sales, "new_manager", [alice])
+
+    def test_rehire_then_fire_again(self, mode_system):
+        system, sales, alice, bob = mode_system
+        system.occur(sales, "hire", [alice])
+        system.occur(sales, "fire", [alice])
+        system.occur(sales, "hire", [alice])
+        system.occur(sales, "fire", [alice])
+
+
+class TestPersonPermissions:
+    def test_become_manager_only_once(self, mode_system):
+        system, sales, alice, bob = mode_system
+        system.occur(alice, "become_manager")
+        with pytest.raises(PermissionDenied):
+            system.occur(alice, "become_manager")
+
+    def test_retire_requires_manager(self, mode_system):
+        system, sales, alice, bob = mode_system
+        with pytest.raises(PermissionDenied):
+            system.occur(alice, "retire_manager")
+
+    def test_role_cycle(self, mode_system):
+        system, sales, alice, bob = mode_system
+        system.occur(alice, "become_manager")
+        system.occur(alice, "retire_manager")
+        assert not bool(system.get(alice, "IsManager"))
+
+
+class TestModeAgreement:
+    def test_modes_agree_on_random_scripts(self):
+        import random
+
+        for seed in range(5):
+            rng = random.Random(seed)
+            outcomes = []
+            for mode in ("incremental", "naive"):
+                rng_local = random.Random(seed)
+                system, sales, alice, bob = build_staffed(mode)
+                log = []
+                people = [alice, bob]
+                for _ in range(25):
+                    person = rng_local.choice(people)
+                    event = rng_local.choice(["hire", "fire", "new_manager"])
+                    try:
+                        system.occur(sales, event, [person])
+                        log.append((event, person.key, "ok"))
+                    except PermissionDenied:
+                        log.append((event, person.key, "denied"))
+                    except Exception as exc:
+                        log.append((event, person.key, type(exc).__name__))
+                outcomes.append(log)
+            assert outcomes[0] == outcomes[1], f"modes diverge at seed {seed}"
+
+
+class TestIsPermitted:
+    def test_dry_run_does_not_mutate(self, mode_system):
+        system, sales, alice, bob = mode_system
+        assert not system.is_permitted(sales, "fire", [alice])
+        system.occur(sales, "hire", [alice])
+        before = system.get(sales, "employees")
+        assert system.is_permitted(sales, "fire", [alice])
+        assert system.get(sales, "employees") == before
+        assert [s.event for s in sales.trace] == ["establishment", "hire"]
+
+    def test_dry_run_matches_wet_run(self, mode_system):
+        system, sales, alice, bob = mode_system
+        assert system.is_permitted(sales, "hire", [alice])
+        system.occur(sales, "hire", [alice])
+
+    def test_permission_error_mentions_formula(self, mode_system):
+        system, sales, alice, bob = mode_system
+        with pytest.raises(PermissionDenied) as err:
+            system.occur(sales, "fire", [alice])
+        assert "sometime" in str(err.value)

@@ -1,0 +1,168 @@
+"""Runtime tests: valuation rules, guards, derived and parametrized
+attributes."""
+
+import datetime
+
+import pytest
+
+from repro.datatypes.values import integer, money, set_value, string
+from repro.diagnostics import EvaluationError
+from repro.runtime import ObjectBase
+from tests.conftest import D1960, D1991
+
+
+class TestBasicValuation:
+    def test_birth_initialisation(self, company_system):
+        dept = company_system.create("DEPT", {"id": "S"}, "establishment", [D1991])
+        assert company_system.get(dept, "est_date").payload == (1991, 3, 1)
+        assert company_system.get(dept, "employees").payload == frozenset()
+
+    def test_rhs_evaluated_on_pre_state(self, company_system):
+        alice = company_system.create(
+            "PERSON", {"Name": "a", "BirthDate": D1960}, "hire_into", ["R", 100.0]
+        )
+        company_system.occur(alice, "ChangeSalary", [200.0])
+        assert company_system.get(alice, "Salary") == money(200.0)
+
+    def test_multiple_rules_one_event(self, company_system):
+        alice = company_system.create(
+            "PERSON", {"Name": "a", "BirthDate": D1960}, "hire_into", ["R", 100.0]
+        )
+        # hire_into sets Dept, Salary and IsManager in one occurrence
+        assert company_system.get(alice, "Dept") == string("R")
+        assert company_system.get(alice, "Salary") == money(100.0)
+        assert not bool(company_system.get(alice, "IsManager"))
+
+    def test_set_insert_remove(self, staffed_company):
+        system, sales, alice, bob = staffed_company
+        assert len(system.get(sales, "employees").payload) == 2
+        system.occur(sales, "fire", [alice])
+        assert system.get(sales, "employees") == set_value([bob.identity])
+
+    def test_unset_attribute_read_fails(self, company_system):
+        dept = company_system.create("DEPT", {"id": "S"}, "establishment", [D1991])
+        with pytest.raises(EvaluationError):
+            company_system.get(dept, "manager")  # no new_manager yet
+
+
+GUARDED = """
+object class CELL
+  identification id: string;
+  template
+    attributes V: integer;
+    events
+      birth init(integer);
+      clamp_add(integer);
+    valuation
+      variables k: integer;
+      init(k) V = k;
+      { V + k <= 10 } => [clamp_add(k)] V = V + k;
+end object class CELL;
+"""
+
+
+class TestGuards:
+    def test_guard_enables_rule(self):
+        system = ObjectBase(GUARDED)
+        cell = system.create("CELL", {"id": "c"}, "init", [1])
+        system.occur(cell, "clamp_add", [3])
+        assert system.get(cell, "V") == integer(4)
+
+    def test_guard_disables_rule(self):
+        system = ObjectBase(GUARDED)
+        cell = system.create("CELL", {"id": "c"}, "init", [9])
+        system.occur(cell, "clamp_add", [5])  # event occurs, no effect
+        assert system.get(cell, "V") == integer(9)
+        assert [s.event for s in cell.trace] == ["init", "clamp_add"]
+
+
+PARAM_ATTRS = """
+object class LEDGER
+  identification id: string;
+  template
+    attributes
+      Balance(string): integer;
+      derived Double(string): integer;
+    events
+      birth open;
+      post(string, integer);
+    valuation
+      variables a: string; k: integer;
+      post(a, k) Balance(a) = k;
+    derivation rules
+      Double(a) = Balance(a) * 2;
+end object class LEDGER;
+"""
+
+
+class TestParametrizedAttributes:
+    def test_param_attribute_storage(self):
+        system = ObjectBase(PARAM_ATTRS)
+        ledger = system.create("LEDGER", {"id": "l"}, "open")
+        system.occur(ledger, "post", ["food", 10])
+        system.occur(ledger, "post", ["rent", 20])
+        assert system.get(ledger, "Balance", ["food"]) == integer(10)
+        assert system.get(ledger, "Balance", ["rent"]) == integer(20)
+
+    def test_param_attribute_missing_key(self):
+        system = ObjectBase(PARAM_ATTRS)
+        ledger = system.create("LEDGER", {"id": "l"}, "open")
+        with pytest.raises(EvaluationError):
+            system.get(ledger, "Balance", ["nope"])
+
+    def test_derived_param_attribute(self):
+        system = ObjectBase(PARAM_ATTRS)
+        ledger = system.create("LEDGER", {"id": "l"}, "open")
+        system.occur(ledger, "post", ["food", 10])
+        assert system.get(ledger, "Double", ["food"]) == integer(20)
+
+    def test_derived_param_arity(self):
+        system = ObjectBase(PARAM_ATTRS)
+        ledger = system.create("LEDGER", {"id": "l"}, "open")
+        with pytest.raises(EvaluationError):
+            system.get(ledger, "Double")
+
+
+class TestDerivedAttributes:
+    def test_derived_attribute_from_library(self, company_system):
+        alice = company_system.create(
+            "PERSON", {"Name": "a", "BirthDate": D1960}, "hire_into", ["R", 1000.0]
+        )
+        income = company_system.get(alice, "IncomeInYear", [1991])
+        assert income == money(13500.0)
+
+    def test_derived_reflects_current_state(self, company_system):
+        alice = company_system.create(
+            "PERSON", {"Name": "a", "BirthDate": D1960}, "hire_into", ["R", 1000.0]
+        )
+        company_system.occur(alice, "ChangeSalary", [2000.0])
+        assert company_system.get(alice, "IncomeInYear", [1991]) == money(27000.0)
+
+
+PATTERN_MATCH = """
+object class GATE
+  identification id: string;
+  template
+    attributes Hits: integer; Misses: integer;
+    events
+      birth init;
+      probe(integer);
+    valuation
+      variables k: integer;
+      init Hits = 0;
+      init Misses = 0;
+      probe(0) Hits = Hits + 1;
+      { k <> 0 } => [probe(k)] Misses = Misses + 1;
+end object class GATE;
+"""
+
+
+class TestEventArgumentPatterns:
+    def test_literal_pattern_dispatch(self):
+        system = ObjectBase(PATTERN_MATCH)
+        gate = system.create("GATE", {"id": "g"}, "init")
+        system.occur(gate, "probe", [0])
+        system.occur(gate, "probe", [7])
+        system.occur(gate, "probe", [0])
+        assert system.get(gate, "Hits") == integer(2)
+        assert system.get(gate, "Misses") == integer(1)

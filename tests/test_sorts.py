@@ -1,0 +1,126 @@
+"""Unit tests for the sort system."""
+
+import pytest
+
+from repro.datatypes.sorts import (
+    ANY,
+    BOOL,
+    DATE,
+    INTEGER,
+    MONEY,
+    NAT,
+    REAL,
+    STRING,
+    IdSort,
+    ListSort,
+    MapSort,
+    SetSort,
+    Sort,
+    TupleSort,
+    base_sort,
+    is_numeric,
+    parse_sort_name,
+)
+
+
+class TestBaseSorts:
+    def test_base_sort_lookup(self):
+        assert base_sort("integer") is INTEGER
+        assert base_sort("boolean") is BOOL
+        assert base_sort("int") is INTEGER
+
+    def test_unknown_base_sort(self):
+        assert base_sort("widget") is None
+
+    def test_numeric_tower(self):
+        for s in (NAT, INTEGER, MONEY, REAL):
+            assert is_numeric(s)
+        assert not is_numeric(STRING)
+        assert not is_numeric(SetSort(name="set", element=INTEGER))
+
+    def test_numeric_cross_compatibility(self):
+        assert NAT.is_compatible_with(INTEGER)
+        assert MONEY.is_compatible_with(REAL)
+        assert not STRING.is_compatible_with(INTEGER)
+
+    def test_any_compatible_with_everything(self):
+        assert ANY.is_compatible_with(STRING)
+        assert STRING.is_compatible_with(ANY)
+        assert SetSort(name="set", element=INTEGER).is_compatible_with(ANY)
+
+
+class TestConstructedSorts:
+    def test_set_compatibility_structural(self):
+        a = SetSort(name="set", element=INTEGER)
+        b = SetSort(name="set", element=NAT)
+        assert a.is_compatible_with(b)
+        assert not a.is_compatible_with(SetSort(name="set", element=STRING))
+
+    def test_set_not_compatible_with_list(self):
+        a = SetSort(name="set", element=INTEGER)
+        b = ListSort(name="list", element=INTEGER)
+        assert not a.is_compatible_with(b)
+        assert not b.is_compatible_with(a)
+
+    def test_map_compatibility(self):
+        a = MapSort(name="map", key=STRING, value=INTEGER)
+        b = MapSort(name="map", key=STRING, value=NAT)
+        assert a.is_compatible_with(b)
+        assert not a.is_compatible_with(MapSort(name="map", key=INTEGER, value=NAT))
+
+    def test_tuple_compatibility_field_names_matter(self):
+        a = TupleSort(name="tuple", fields=(("x", INTEGER),))
+        b = TupleSort(name="tuple", fields=(("x", NAT),))
+        c = TupleSort(name="tuple", fields=(("y", INTEGER),))
+        assert a.is_compatible_with(b)
+        assert not a.is_compatible_with(c)
+
+    def test_tuple_arity_matters(self):
+        a = TupleSort(name="tuple", fields=(("x", INTEGER),))
+        b = TupleSort(name="tuple", fields=(("x", INTEGER), ("y", STRING)))
+        assert not a.is_compatible_with(b)
+
+    def test_tuple_field_sort(self):
+        t = TupleSort(name="tuple", fields=(("x", INTEGER), ("y", STRING)))
+        assert t.field_sort("y") == STRING
+        assert t.field_sort("zz") is None
+
+    def test_sort_str(self):
+        assert str(SetSort(name="set", element=INTEGER)) == "set(integer)"
+        assert str(ListSort(name="list", element=DATE)) == "list(date)"
+        assert (
+            str(TupleSort(name="tuple", fields=(("a", STRING),))) == "tuple(a:string)"
+        )
+
+    def test_sorts_hashable(self):
+        a = SetSort(name="set", element=INTEGER)
+        b = SetSort(name="set", element=INTEGER)
+        assert hash(a) == hash(b)
+        assert a == b
+
+
+class TestIdentitySorts:
+    def test_parse_bare_class_name(self):
+        s = parse_sort_name("PERSON")
+        assert isinstance(s, IdSort)
+        assert s.class_name == "PERSON"
+
+    def test_parse_bar_delimited(self):
+        s = parse_sort_name("|CAR|")
+        assert isinstance(s, IdSort)
+        assert s.class_name == "CAR"
+
+    def test_parse_base_name_stays_base(self):
+        assert parse_sort_name("date") is DATE
+        assert not isinstance(parse_sort_name("string"), IdSort)
+
+    def test_id_sort_compatibility_is_nominal(self):
+        a = IdSort(name="|A|", class_name="A")
+        a2 = IdSort(name="|A|", class_name="A")
+        b = IdSort(name="|B|", class_name="B")
+        assert a.is_compatible_with(a2)
+        assert not a.is_compatible_with(b)
+        assert a.is_compatible_with(ANY)
+
+    def test_id_sort_str(self):
+        assert str(IdSort(name="|A|", class_name="A")) == "|A|"

@@ -1,0 +1,209 @@
+"""Unit tests for the naive temporal semantics over traces."""
+
+import pytest
+
+from repro.datatypes import MapEnvironment
+from repro.datatypes.sorts import IdSort, INTEGER
+from repro.datatypes.terms import Apply, Lit, Var
+from repro.datatypes.values import identity, integer, set_value
+from repro.lang.parser import parse_formula, parse_term
+from repro.temporal import Trace, evaluate_formula
+from repro.temporal.evaluation import (
+    StateEnvironment,
+    evaluate_formula_now,
+    make_step,
+    quantifier_domain,
+)
+from repro.temporal.formulas import EventPattern
+
+PERSON = IdSort(name="|PERSON|", class_name="PERSON")
+P1 = identity("PERSON", "alice")
+P2 = identity("PERSON", "bob")
+
+
+def trace_of(*steps):
+    trace = Trace()
+    for step in steps:
+        trace.append(step)
+    return trace
+
+
+class TestEmptyHistory:
+    def test_sometime_false(self):
+        assert not evaluate_formula(parse_formula("sometime(after(go))"), Trace())
+
+    def test_always_vacuously_true(self):
+        assert evaluate_formula(parse_formula("always(x > 0)"), Trace())
+
+    def test_after_false(self):
+        assert not evaluate_formula(parse_formula("after(go)"), Trace())
+
+    def test_state_prop_undefined_is_false(self):
+        assert not evaluate_formula(parse_formula("Missing = 1"), Trace())
+
+
+class TestAfter:
+    def test_after_matches_last_event(self):
+        trace = trace_of(make_step("go"), make_step("stop"))
+        assert evaluate_formula(parse_formula("after(stop)"), trace)
+        assert not evaluate_formula(parse_formula("after(go)"), trace)
+
+    def test_after_at_position(self):
+        trace = trace_of(make_step("go"), make_step("stop"))
+        assert evaluate_formula(parse_formula("after(go)"), trace, position=0)
+
+    def test_after_with_args(self):
+        trace = trace_of(make_step("hire", [P1]))
+        env = MapEnvironment({"P": P1})
+        assert evaluate_formula(parse_formula("after(hire(P))"), trace, env)
+        env2 = MapEnvironment({"P": P2})
+        assert not evaluate_formula(parse_formula("after(hire(P))"), trace, env2)
+
+    def test_after_arity_must_match(self):
+        trace = trace_of(make_step("hire", [P1, P2]))
+        env = MapEnvironment({"P": P1})
+        assert not evaluate_formula(parse_formula("after(hire(P))"), trace, env)
+
+    def test_unevaluable_pattern_arg_no_match(self):
+        trace = trace_of(make_step("hire", [P1]))
+        assert not evaluate_formula(parse_formula("after(hire(Q))"), trace)
+
+
+class TestSometimeAlways:
+    def test_sometime_event(self):
+        trace = trace_of(make_step("go"), make_step("stop"))
+        assert evaluate_formula(parse_formula("sometime(after(go))"), trace)
+
+    def test_sometime_state(self):
+        trace = trace_of(
+            make_step("a", state={"N": integer(0)}),
+            make_step("b", state={"N": integer(5)}),
+            make_step("c", state={"N": integer(1)}),
+        )
+        assert evaluate_formula(parse_formula("sometime(N = 5)"), trace)
+        assert not evaluate_formula(parse_formula("sometime(N = 9)"), trace)
+
+    def test_always_state(self):
+        trace = trace_of(
+            make_step("a", state={"N": integer(1)}),
+            make_step("b", state={"N": integer(2)}),
+        )
+        assert evaluate_formula(parse_formula("always(N > 0)"), trace)
+        assert not evaluate_formula(parse_formula("always(N > 1)"), trace)
+
+    def test_nesting(self):
+        trace = trace_of(
+            make_step("a", state={"N": integer(1)}),
+            make_step("b", state={"N": integer(0)}),
+        )
+        # "it has always been the case that N was sometime positive"
+        assert evaluate_formula(parse_formula("always(sometime(N > 0))"), trace)
+
+    def test_positions_bound_the_past(self):
+        trace = trace_of(
+            make_step("a", state={"N": integer(0)}),
+            make_step("b", state={"N": integer(5)}),
+        )
+        assert not evaluate_formula(
+            parse_formula("sometime(N = 5)"), trace, position=0
+        )
+
+
+class TestSince:
+    def make(self):
+        return trace_of(
+            make_step("a", state={"N": integer(0)}),
+            make_step("anchor", state={"N": integer(1)}),
+            make_step("b", state={"N": integer(2)}),
+        )
+
+    def test_since_holds(self):
+        # N > 0 has held since after(anchor)
+        assert evaluate_formula(
+            parse_formula("since(N > 0, after(anchor))"), self.make()
+        )
+
+    def test_since_violated_hold(self):
+        trace = trace_of(
+            make_step("anchor", state={"N": integer(1)}),
+            make_step("b", state={"N": integer(0)}),
+        )
+        assert not evaluate_formula(
+            parse_formula("since(N > 0, after(anchor))"), trace
+        )
+
+    def test_since_no_anchor(self):
+        trace = trace_of(make_step("x", state={"N": integer(1)}))
+        assert not evaluate_formula(
+            parse_formula("since(N > 0, after(anchor))"), trace
+        )
+
+
+class TestConnectivesAndQuantifiers:
+    def test_connectives(self):
+        trace = trace_of(make_step("go", state={"N": integer(1)}))
+        assert evaluate_formula(parse_formula("after(go) and N = 1"), trace)
+        assert evaluate_formula(parse_formula("after(stop) or N = 1"), trace)
+        assert evaluate_formula(parse_formula("not(after(stop))"), trace)
+        assert evaluate_formula(parse_formula("after(stop) => N = 9"), trace)
+
+    def test_quantifier_over_history_domain(self):
+        # P2 appears only at the first step; the domain at the end must
+        # still include it.
+        trace = trace_of(
+            make_step("hire", [P2], state={"members": set_value([P2], PERSON)}),
+            make_step("fire", [P2], state={"members": set_value([], PERSON)}),
+        )
+        formula = parse_formula(
+            "for all(P: PERSON : sometime(P in members) => sometime(after(fire(P))))"
+        )
+        assert evaluate_formula(formula, trace)
+
+    def test_quantifier_finds_violation(self):
+        trace = trace_of(
+            make_step("hire", [P2], state={"members": set_value([P2], PERSON)}),
+        )
+        formula = parse_formula(
+            "for all(P: PERSON : sometime(P in members) => sometime(after(fire(P))))"
+        )
+        assert not evaluate_formula(formula, trace)
+
+    def test_exists_formula(self):
+        trace = trace_of(make_step("hire", [P1]))
+        formula = parse_formula("exists(P: PERSON : after(hire(P)))")
+        assert evaluate_formula(formula, trace)
+
+    def test_quantifier_domain_merges_sources(self):
+        trace = trace_of(make_step("hire", [P1]))
+        env = MapEnvironment(populations={"PERSON": [P2]})
+        domain = quantifier_domain(PERSON, trace, 0, env)
+        assert P1 in domain and P2 in domain
+
+
+class TestEvaluateNow:
+    def test_state_prop_reads_live_env(self):
+        trace = trace_of(make_step("a", state={"N": integer(1)}))
+        live = StateEnvironment({"N": integer(99)}, MapEnvironment())
+        assert evaluate_formula_now(parse_formula("N = 99"), trace, live)
+        # the recorded semantics disagrees
+        assert not evaluate_formula(parse_formula("N = 99"), trace)
+
+    def test_after_uses_last_recorded(self):
+        trace = trace_of(make_step("a"))
+        live = StateEnvironment({}, MapEnvironment())
+        assert evaluate_formula_now(parse_formula("after(a)"), trace, live)
+
+    def test_sometime_includes_now(self):
+        trace = trace_of(make_step("a", state={"N": integer(0)}))
+        live = StateEnvironment({"N": integer(5)}, MapEnvironment())
+        assert evaluate_formula_now(parse_formula("sometime(N = 5)"), trace, live)
+
+    def test_always_includes_now(self):
+        trace = trace_of(make_step("a", state={"N": integer(1)}))
+        live = StateEnvironment({"N": integer(0)}, MapEnvironment())
+        assert not evaluate_formula_now(parse_formula("always(N > 0)"), trace, live)
+
+    def test_empty_history_now(self):
+        live = StateEnvironment({"N": integer(1)}, MapEnvironment())
+        assert evaluate_formula_now(parse_formula("N = 1"), Trace(), live)
+        assert not evaluate_formula_now(parse_formula("after(a)"), Trace(), live)

@@ -1,0 +1,261 @@
+"""Unit tests for term evaluation (variables, quantifiers, queries)."""
+
+import pytest
+
+from repro.datatypes import (
+    INTEGER,
+    STRING,
+    Apply,
+    AttributeAccess,
+    Exists,
+    Forall,
+    Lit,
+    MapEnvironment,
+    QueryOp,
+    SelfExpr,
+    TupleCons,
+    Var,
+    evaluate,
+)
+from repro.datatypes.evaluator import Environment, candidate_domain
+from repro.datatypes.sorts import IdSort
+from repro.datatypes.terms import ListCons, SetCons
+from repro.datatypes.values import (
+    boolean,
+    identity,
+    integer,
+    set_value,
+    string,
+    tuple_value,
+)
+from repro.diagnostics import EvaluationError
+from repro.lang.parser import parse_term
+
+
+def ev(text, **bindings):
+    env = MapEnvironment({k: v for k, v in bindings.items()})
+    return evaluate(parse_term(text), env)
+
+
+class TestBasicEvaluation:
+    def test_literal(self):
+        assert ev("42") == integer(42)
+
+    def test_arithmetic_precedence(self):
+        assert ev("2 + 3 * 4") == integer(14)
+
+    def test_parentheses(self):
+        assert ev("(2 + 3) * 4") == integer(20)
+
+    def test_unary_minus(self):
+        assert ev("-3 + 5") == integer(2)
+
+    def test_variable(self):
+        assert ev("x + 1", x=integer(2)) == integer(3)
+
+    def test_unbound_variable(self):
+        with pytest.raises(EvaluationError):
+            ev("nope")
+
+    def test_string_literal(self):
+        assert ev("'Research'") == string("Research")
+
+    def test_boolean_connectives(self):
+        assert ev("true and not(false)") == boolean(True)
+        assert ev("false or true") == boolean(True)
+        assert ev("false => false") == boolean(True)
+
+    def test_short_circuit_and(self):
+        # The right operand would divide by zero.
+        assert ev("false and (1 / 0 = 1)") == boolean(False)
+
+    def test_short_circuit_or(self):
+        assert ev("true or (1 / 0 = 1)") == boolean(True)
+
+    def test_implies_short_circuit(self):
+        assert ev("false => (1 / 0 = 1)") == boolean(True)
+
+    def test_set_display(self):
+        assert ev("{1, 2, 2}") == set_value([integer(1), integer(2)])
+
+    def test_empty_set_display(self):
+        assert len(ev("{}").payload) == 0
+
+    def test_list_display(self):
+        v = ev("[1, 2]")
+        assert [x.payload for x in v.payload] == [1, 2]
+
+    def test_membership_infix(self):
+        assert ev("1 in {1, 2}") == boolean(True)
+
+    def test_membership_function_form(self):
+        assert ev("in({1, 2}, 3)") == boolean(False)
+
+
+class TestSelf:
+    def test_self_resolution(self):
+        me = identity("PERSON", "alice")
+        env = MapEnvironment(self_value=me)
+        assert evaluate(parse_term("self"), env) == me
+
+    def test_self_unbound(self):
+        with pytest.raises(EvaluationError):
+            evaluate(parse_term("self"), MapEnvironment())
+
+
+class TestTuples:
+    def test_named_tuple_cons(self):
+        v = ev("tuple(a: 1, b: 'x')")
+        assert v.sort.field_names == ("a", "b")
+
+    def test_positional_tuple_cons_gets_placeholder_names(self):
+        v = ev("tuple(1, 2)")
+        assert v.sort.field_names == ("_1", "_2")
+
+    def test_tuple_field_access(self):
+        t = tuple_value({"a": integer(7)})
+        assert ev("t.a", t=t) == integer(7)
+
+    def test_tuple_field_access_missing(self):
+        t = tuple_value({"a": integer(7)})
+        with pytest.raises(EvaluationError):
+            ev("t.b", t=t)
+
+    def test_surrogate_pseudo_attribute(self):
+        p = identity("PERSON", "alice")
+        assert ev("p.surrogate", p=p) == p
+
+
+class TestQuantifiers:
+    def test_exists_witness_in_collection(self):
+        s = set_value([integer(3), integer(5)])
+        assert ev("exists(x: integer) in(s, x)", s=s) == boolean(True)
+
+    def test_exists_no_witness(self):
+        s = set_value([integer(3)])
+        assert ev("exists(x: integer) (x in s and x > 10)", s=s) == boolean(False)
+
+    def test_forall_over_set(self):
+        s = set_value([integer(3), integer(5)])
+        assert ev("for all(x: integer : (x in s) => x > 2)", s=s) == boolean(True)
+        assert ev("for all(x: integer : (x in s) => x > 4)", s=s) == boolean(False)
+
+    def test_exists_over_tuple_fields(self):
+        emps = set_value(
+            [tuple_value({"ename": string("a"), "esal": integer(10)})]
+        )
+        formula = "exists(s1: integer) in(emps, tuple(ename: 'a', esal: s1))"
+        assert ev(formula, emps=emps) == boolean(True)
+        formula = "exists(s1: integer) in(emps, tuple(ename: 'zz', esal: s1))"
+        assert ev(formula, emps=emps) == boolean(False)
+
+    def test_quantifier_over_bool_domain(self):
+        assert ev("exists(b: bool) b") == boolean(True)
+        assert ev("for all(b: bool : b)") == boolean(False)
+
+    def test_quantifier_over_class_population(self):
+        pop = [identity("PERSON", "a"), identity("PERSON", "b")]
+        env = MapEnvironment(populations={"PERSON": pop})
+        term = parse_term("exists(P: PERSON : P = P)")
+        assert evaluate(term, env) == boolean(True)
+
+    def test_nested_quantifiers(self):
+        s = set_value([integer(1), integer(2)])
+        formula = "exists(x: integer) (x in s and for all(y: integer : (y in s) => x <= y))"
+        assert ev(formula, s=s) == boolean(True)
+
+    def test_undefined_body_does_not_witness(self):
+        # The body errors for every candidate; exists stays false.
+        s = set_value([string("a")])
+        assert ev("exists(x: string) (x in s and x + 1 = 2)", s=s) == boolean(False)
+
+
+class TestCandidateDomain:
+    def test_domain_harvests_scope(self):
+        env = MapEnvironment({"s": set_value([integer(1), integer(2)])})
+        body = parse_term("x > 0")
+        domain = candidate_domain(INTEGER, body, env)
+        assert integer(1) in domain and integer(2) in domain
+
+    def test_domain_includes_body_literals(self):
+        env = MapEnvironment()
+        body = parse_term("x = 42")
+        assert integer(42) in candidate_domain(INTEGER, body, env)
+
+    def test_identity_domain_prefers_population(self):
+        sort = IdSort(name="|P|", class_name="P")
+        env = MapEnvironment(populations={"P": [identity("P", "a")]})
+        domain = candidate_domain(sort, parse_term("x = x"), env)
+        assert domain == [identity("P", "a")]
+
+
+class TestQueryOps:
+    def make_emps(self):
+        return set_value(
+            [
+                tuple_value({"ename": string("a"), "esal": integer(10)}),
+                tuple_value({"ename": string("b"), "esal": integer(20)}),
+            ]
+        )
+
+    def test_select(self):
+        result = ev("select[esal > 15](emps)", emps=self.make_emps())
+        assert len(result.payload) == 1
+
+    def test_select_keeps_collection_kind(self):
+        result = ev("select[true](emps)", emps=self.make_emps())
+        assert result.sort.name == "set"
+
+    def test_project_single_field_unwraps(self):
+        result = ev("project[esal](emps)", emps=self.make_emps())
+        assert result == set_value([integer(10), integer(20)])
+
+    def test_project_multi_field(self):
+        result = ev("project[ename, esal](emps)", emps=self.make_emps())
+        first = sorted(result.payload)[0]
+        assert first.sort.field_names == ("ename", "esal")
+
+    def test_project_unknown_field(self):
+        with pytest.raises(EvaluationError):
+            ev("project[zz](emps)", emps=self.make_emps())
+
+    def test_the_select_project_composition(self):
+        formula = "the(project[esal](select[ename = 'b'](emps)))"
+        assert ev(formula, emps=self.make_emps()) == integer(20)
+
+    def test_select_outer_scope_visible(self):
+        formula = "select[esal > limit](emps)"
+        result = ev(formula, emps=self.make_emps(), limit=integer(15))
+        assert len(result.payload) == 1
+
+    def test_select_over_non_tuples_binds_it(self):
+        s = set_value([integer(1), integer(5)])
+        result = ev("select[it > 2](s)", s=s)
+        assert result == set_value([integer(5)])
+
+    def test_query_on_non_collection(self):
+        with pytest.raises(EvaluationError):
+            ev("select[true](x)", x=integer(1))
+
+
+class TestEnvironmentLayering:
+    def test_child_shadows_parent(self):
+        env = MapEnvironment({"x": integer(1)})
+        child = env.child({"x": integer(2)})
+        assert evaluate(parse_term("x"), child) == integer(2)
+
+    def test_child_falls_through(self):
+        env = MapEnvironment({"x": integer(1)})
+        child = env.child({"y": integer(2)})
+        assert evaluate(parse_term("x + y"), child) == integer(3)
+
+    def test_free_variables(self):
+        term = parse_term("for all(x: integer : x > y)")
+        assert term.free_variables() == frozenset({"y"})
+
+    def test_free_variables_nested(self):
+        term = parse_term("a + the(project[f](select[g > b](c)))")
+        # Fields of the queried tuples (f, g) are scoped by the query,
+        # but the implementation treats select params conservatively:
+        free = term.free_variables()
+        assert {"a", "b", "c"} <= free

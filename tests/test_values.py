@@ -1,0 +1,230 @@
+"""Unit tests for the sort-tagged value layer."""
+
+import datetime
+
+import pytest
+
+from repro.datatypes import (
+    BOOL,
+    DATE,
+    INTEGER,
+    MONEY,
+    NAT,
+    REAL,
+    STRING,
+    IdSort,
+    ListSort,
+    SetSort,
+    TupleSort,
+    Value,
+    boolean,
+    date,
+    false,
+    identity,
+    integer,
+    list_value,
+    map_value,
+    money,
+    real,
+    set_value,
+    string,
+    true,
+    tuple_value,
+)
+from repro.datatypes.values import (
+    empty_list,
+    empty_set,
+    format_value,
+    from_python,
+    natural,
+    to_python,
+    tuple_field,
+)
+
+
+class TestScalars:
+    def test_integer_payload_and_sort(self):
+        v = integer(42)
+        assert v.payload == 42
+        assert v.sort == INTEGER
+
+    def test_boolean_singletons(self):
+        assert boolean(True) is true()
+        assert boolean(False) is false()
+
+    def test_boolean_truthiness(self):
+        assert bool(true())
+        assert not bool(false())
+
+    def test_non_boolean_truthiness_raises(self):
+        with pytest.raises(TypeError):
+            bool(integer(1))
+
+    def test_natural_rejects_negative(self):
+        with pytest.raises(ValueError):
+            natural(-1)
+
+    def test_money_is_float_backed(self):
+        assert money(12).payload == 12.0
+        assert money(12).sort == MONEY
+
+    def test_string_coerces(self):
+        assert string(123).payload == "123"
+
+    def test_date_validates(self):
+        with pytest.raises(ValueError):
+            date(1991, 2, 30)
+
+    def test_date_payload(self):
+        assert date(1991, 3, 1).payload == (1991, 3, 1)
+
+
+class TestNumericEquality:
+    def test_cross_sort_numeric_equality(self):
+        assert integer(5) == money(5.0)
+        assert integer(5) == real(5.0)
+
+    def test_cross_sort_numeric_hash(self):
+        assert hash(integer(5)) == hash(real(5.0))
+
+    def test_numeric_ordering(self):
+        assert integer(3) < money(4.0)
+        assert not (real(4.0) < integer(3))
+
+    def test_distinct_sorts_unequal(self):
+        assert string("5") != integer(5)
+
+
+class TestCollections:
+    def test_set_dedupe(self):
+        v = set_value([integer(1), integer(1), integer(2)])
+        assert len(v.payload) == 2
+
+    def test_set_element_sort_inferred(self):
+        v = set_value([string("a")])
+        assert isinstance(v.sort, SetSort)
+        assert v.sort.element == STRING
+
+    def test_empty_set_any_element(self):
+        assert empty_set().sort.element.name == "any"
+
+    def test_list_preserves_order(self):
+        v = list_value([integer(3), integer(1), integer(2)])
+        assert [x.payload for x in v.payload] == [3, 1, 2]
+
+    def test_empty_list(self):
+        assert empty_list().payload == ()
+
+    def test_map_canonical_order(self):
+        a = map_value({integer(2): string("b"), integer(1): string("a")})
+        b = map_value({integer(1): string("a"), integer(2): string("b")})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_sets_hashable_as_elements(self):
+        inner = set_value([integer(1)])
+        outer = set_value([inner])
+        assert inner in outer.payload
+
+
+class TestTuples:
+    def test_tuple_fields_ordered(self):
+        v = tuple_value({"a": integer(1), "b": string("x")})
+        assert isinstance(v.sort, TupleSort)
+        assert v.sort.field_names == ("a", "b")
+
+    def test_tuple_field_projection(self):
+        v = tuple_value({"a": integer(1), "b": string("x")})
+        assert tuple_field(v, "b") == string("x")
+
+    def test_tuple_field_missing(self):
+        v = tuple_value({"a": integer(1)})
+        with pytest.raises(KeyError):
+            tuple_field(v, "zz")
+
+    def test_tuple_field_on_non_tuple(self):
+        with pytest.raises(TypeError):
+            tuple_field(integer(1), "a")
+
+    def test_tuple_equality_structural(self):
+        a = tuple_value({"x": integer(1)})
+        b = tuple_value({"x": integer(1)})
+        assert a == b and hash(a) == hash(b)
+
+
+class TestIdentities:
+    def test_identity_sort(self):
+        v = identity("PERSON", "alice")
+        assert isinstance(v.sort, IdSort)
+        assert v.sort.class_name == "PERSON"
+
+    def test_identity_from_value_key(self):
+        v = identity("PERSON", string("alice"))
+        assert v.payload == "alice"
+
+    def test_identity_list_key_normalised(self):
+        v = identity("PERSON", ["a", 1])
+        assert v.payload == ("a", 1)
+
+    def test_identities_of_distinct_classes_differ(self):
+        assert identity("A", "x") != identity("B", "x")
+
+
+class TestConversion:
+    @pytest.mark.parametrize(
+        "obj,sort",
+        [
+            (True, BOOL),
+            (7, INTEGER),
+            (1.5, REAL),
+            ("hi", STRING),
+            (datetime.date(1991, 3, 1), DATE),
+        ],
+    )
+    def test_from_python_scalars(self, obj, sort):
+        assert from_python(obj).sort == sort
+
+    def test_from_python_collections(self):
+        v = from_python({1, 2})
+        assert isinstance(v.sort, SetSort)
+        v = from_python([1, 2])
+        assert isinstance(v.sort, ListSort)
+
+    def test_from_python_dict_becomes_tuple(self):
+        v = from_python({"a": 1})
+        assert isinstance(v.sort, TupleSort)
+
+    def test_from_python_value_passthrough(self):
+        v = integer(1)
+        assert from_python(v) is v
+
+    def test_from_python_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            from_python(object())
+
+    def test_roundtrip(self):
+        objects = [True, 7, "hi", datetime.date(1991, 3, 1), [1, 2], {3, 4}]
+        for obj in objects:
+            assert to_python(from_python(obj)) == obj
+
+
+class TestFormatting:
+    def test_set_format_sorted(self):
+        v = set_value([integer(2), integer(1)])
+        assert format_value(v) == "{1, 2}"
+
+    def test_bool_format(self):
+        assert str(true()) == "true"
+
+    def test_date_format(self):
+        assert str(date(1991, 3, 1)) == "1991-03-01"
+
+    def test_tuple_format(self):
+        v = tuple_value({"a": integer(1)})
+        assert str(v) == "tuple(a: 1)"
+
+    def test_string_format_quoted(self):
+        assert str(string("x")) == "'x'"
+
+    def test_identity_format(self):
+        assert str(identity("DEPT", "Sales")) == "DEPT('Sales')"

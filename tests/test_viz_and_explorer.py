@@ -1,0 +1,141 @@
+"""DOT export and the enabled-events explorer."""
+
+import pytest
+
+from repro.core import (
+    InheritanceSchema,
+    ObjectCommunity,
+    Template,
+    TemplateMorphism,
+    aspect,
+    community_to_dot,
+    schema_to_dot,
+    specification_to_dot,
+)
+from repro.lang import check_specification, parse_specification
+from repro.library import FULL_COMPANY_SPEC, REFINEMENT_SPEC
+from tests.conftest import D1960, D1991
+
+
+def small_schema():
+    schema = InheritanceSchema()
+    thing = schema.add_template(Template.build("thing", ["exist"]))
+    device = Template.build("device", ["exist", "switch"])
+    schema.specialize(device, thing)
+    return schema
+
+
+class TestSchemaDot:
+    def test_contains_nodes_and_edges(self):
+        dot = schema_to_dot(small_schema())
+        assert '"thing";' in dot
+        assert '"device" -> "thing"' in dot
+
+    def test_upward_rankdir(self):
+        assert "rankdir=BT" in schema_to_dot(small_schema())
+
+    def test_quoting(self):
+        schema = InheritanceSchema()
+        schema.add_template(Template.build('we"ird', ["a"]))
+        dot = schema_to_dot(schema)
+        assert '"we\\"ird"' in dot
+
+
+class TestCommunityDot:
+    def make_community(self):
+        cpu = Template.build("cpu", ["on"])
+        cable = Template.build("cable", ["on"])
+        powsply = Template.build("powsply", ["on"])
+        community = ObjectCommunity()
+        cyy, pxx, cbz = aspect("CYY", cpu), aspect("PXX", powsply), aspect("CBZ", cable)
+        community.add_aspect(cyy)
+        community.add_aspect(pxx)
+        community.synchronize(
+            cbz, cyy, pxx,
+            morphisms=[
+                TemplateMorphism("sc", cpu, cable, {"on": "on"}),
+                TemplateMorphism("sp", powsply, cable, {"on": "on"}),
+            ],
+        )
+        return community
+
+    def test_clusters_by_identity(self):
+        dot = community_to_dot(self.make_community())
+        assert "subgraph cluster_0" in dot
+        assert 'label="CBZ"' in dot
+
+    def test_shared_part_highlighted(self):
+        dot = community_to_dot(self.make_community())
+        assert '"CBZ•cable" [peripheries=2];' in dot
+
+    def test_interaction_edges_solid(self):
+        dot = community_to_dot(self.make_community())
+        assert "style=solid" in dot
+
+
+class TestSpecificationDot:
+    def test_company_diagram(self):
+        checked = check_specification(parse_specification(FULL_COMPANY_SPEC))
+        dot = specification_to_dot(checked)
+        assert '"MANAGER" -> "PERSON" [style=dashed, label="view of"];' in dot
+        assert 'arrowhead=diamond' in dot  # TheCompany's depts component
+        assert '"SAL_EMPLOYEE" -> "PERSON"' in dot
+
+    def test_refinement_diagram(self):
+        checked = check_specification(parse_specification(REFINEMENT_SPEC))
+        dot = specification_to_dot(checked)
+        assert '"EMPL_IMPL" -> "emp_rel"' in dot
+        assert "inheriting as employees" in dot
+
+    def test_dot_is_balanced(self):
+        checked = check_specification(parse_specification(FULL_COMPANY_SPEC))
+        dot = specification_to_dot(checked)
+        assert dot.count("{") == dot.count("}")
+
+
+class TestEnabledEvents:
+    def test_parameterless_probe(self, company_system):
+        system = company_system
+        alice = system.create(
+            "PERSON", {"Name": "a", "BirthDate": D1960}, "hire_into", ["R", 9000.0]
+        )
+        enabled = dict(system.enabled_events(alice))
+        assert "become_manager" in enabled
+        assert "die" in enabled
+        assert "retire_manager" not in enabled  # not a manager yet
+
+    def test_after_promotion(self, company_system):
+        system = company_system
+        alice = system.create(
+            "PERSON", {"Name": "a", "BirthDate": D1960}, "hire_into", ["R", 9000.0]
+        )
+        system.occur(alice, "become_manager")
+        enabled = dict(system.enabled_events(alice))
+        assert "retire_manager" in enabled
+        assert "become_manager" not in enabled
+
+    def test_parameterised_candidates(self, staffed_company):
+        system, sales, alice, bob = staffed_company
+        candidates = {
+            "fire": [[alice], [bob]],
+            "new_manager": [[alice]],
+        }
+        enabled = system.enabled_events(sales, candidates)
+        names = [(event, args[0].payload) for event, args in enabled if args]
+        assert ("fire", alice.key) in names
+        assert ("new_manager", alice.key) in names
+
+    def test_rejected_candidates_excluded(self, staffed_company):
+        system, sales, alice, bob = staffed_company
+        carol_key = ("carol", (1980, 1, 1))
+        from repro.datatypes.values import identity
+
+        candidates = {"fire": [[identity("PERSON", carol_key)]]}
+        enabled = system.enabled_events(sales, candidates)
+        assert all(event != "fire" for event, _ in enabled)
+
+    def test_probe_has_no_side_effects(self, staffed_company):
+        system, sales, alice, bob = staffed_company
+        before = [s.event for s in sales.trace]
+        system.enabled_events(sales, {"fire": [[alice]]})
+        assert [s.event for s in sales.trace] == before
