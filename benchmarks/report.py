@@ -228,6 +228,42 @@ def f1_architecture() -> str:
     return "3-level modules verified; hierarchical import + clock relay work"
 
 
+def obs_telemetry() -> str:
+    """PR 1: the occur pipeline under full instrumentation."""
+    from repro.observability import Observability, install, uninstall
+
+    obs = Observability()
+    install(obs)
+    try:
+        system, dept, alice, bob = staffed()
+        system.occur(dept, "new_manager", [alice])
+        outsider = system.create(
+            "PERSON", {"Name": "out", "BirthDate": D1960}, "hire_into", ["X", 1.0]
+        )
+        expect_denied(lambda: system.occur(dept, "fire", [outsider]))
+    finally:
+        uninstall()
+    snap = obs.metrics.snapshot()
+    counters = snap["counters"]
+    committed = counters["occurrences.committed"]["total"]
+    denied = counters["permission.denials"]["total"]
+    spans = len(obs.ring.spans)
+    assert committed and denied and spans
+    assert all(
+        snap["histograms"][f"phase.{phase}"]["count"]
+        for phase in ("permission_check", "valuation", "constraint_check")
+    )
+    _PHASE_TABLES.append(obs.metrics.render_table())
+    return (
+        f"{committed:g} occurrences committed, {denied:g} denial(s), "
+        f"{spans} span tree(s); per-phase timings below"
+    )
+
+
+#: populated by obs_telemetry, printed after the artifact table
+_PHASE_TABLES: List[str] = []
+
+
 ARTIFACTS: List[Tuple[str, str, Callable[[], str]]] = [
     ("E1", "DEPT listing (§4)", e1_dept),
     ("E2", "PERSON/MANAGER phases (§4)", e2_roles),
@@ -237,6 +273,7 @@ ARTIFACTS: List[Tuple[str, str, Callable[[], str]]] = [
     ("E9", "aspects and morphisms (Ex. 3.1/3.7/3.9)", e9_morphisms),
     ("E10", "inheritance schema (Ex. 3.2-3.6)", e10_schema),
     ("F1", "three-level schema architecture (Fig. 1)", f1_architecture),
+    ("OBS", "runtime telemetry layer (PR 1)", obs_telemetry),
 ]
 
 
@@ -256,6 +293,10 @@ def main() -> int:
             traceback.print_exc()
     print("-" * 100)
     print(f"{len(ARTIFACTS) - failures}/{len(ARTIFACTS)} artifacts reproduced")
+    for table in _PHASE_TABLES:
+        print()
+        print("occur-pipeline telemetry (instrumented E1 scenario):")
+        print(table)
     return 1 if failures else 0
 
 

@@ -12,6 +12,11 @@ Commands:
   interfaces, global interaction blocks) of the checked specification.
 * ``library NAME``   -- print a specification from the bundled paper
   library (``library list`` enumerates the names).
+* ``stats [SCRIPT]`` -- animate an example script (default: the built-in
+  company demo) under metrics instrumentation and print the counter /
+  phase-timing table.
+* ``trace [SCRIPT]`` -- same, but record span trees and print the last
+  synchronization sets as nested traces (``--jsonl`` dumps all of them).
 """
 
 from __future__ import annotations
@@ -112,6 +117,63 @@ def _cmd_library(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.observability.runner import run_instrumented
+
+    obs = run_instrumented(
+        args.script, tracing=False, capture_output=not args.verbose
+    )
+    if args.json:
+        print(json.dumps(obs.metrics.snapshot(), indent=2))
+    else:
+        source = args.script or "built-in company demo"
+        print(f"telemetry for: {source}")
+        print()
+        print(obs.metrics.render_table())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.observability.runner import run_instrumented
+    from repro.observability.tracer import (
+        JSONLSink,
+        RingBufferSink,
+        render_span,
+    )
+
+    ring = RingBufferSink(capacity=max(args.limit, 256))
+    sinks = [ring]
+    jsonl = None
+    if args.jsonl:
+        jsonl = JSONLSink(args.jsonl)
+        sinks.append(jsonl)
+    try:
+        run_instrumented(
+            args.script, tracing=True, sinks=sinks,
+            capture_output=not args.verbose,
+        )
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+    # Permission probes also produce root spans ("occurrence" roots);
+    # the trace view shows the atomic units driven to commit/rollback.
+    roots = [span for span in ring.spans if span.name == "sync_set"]
+    shown = roots[-args.limit:] if args.limit else roots
+    source = args.script or "built-in company demo"
+    print(
+        f"trace for: {source} -- showing {len(shown)} of "
+        f"{len(roots)} synchronization set(s)"
+    )
+    for span in shown:
+        print()
+        print(render_span(span))
+    if args.jsonl:
+        print(f"\n(all {len(ring.spans)} root spans written to {args.jsonl})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -139,6 +201,47 @@ def build_parser() -> argparse.ArgumentParser:
     library = sub.add_parser("library", help="print a bundled paper listing")
     library.add_argument("name", help="spec constant name, or 'list'")
     library.set_defaults(func=_cmd_library)
+
+    stats = sub.add_parser(
+        "stats",
+        help="animate a script under metrics instrumentation and print "
+        "the counter/timing table",
+    )
+    stats.add_argument(
+        "script", nargs="?", default=None,
+        help="Python example script to animate (default: built-in demo)",
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="print the raw metrics snapshot"
+    )
+    stats.add_argument(
+        "--verbose", action="store_true",
+        help="interleave the script's own output",
+    )
+    stats.set_defaults(func=_cmd_stats)
+
+    trace = sub.add_parser(
+        "trace",
+        help="animate a script under span tracing and print the last "
+        "synchronization sets as nested trees",
+    )
+    trace.add_argument(
+        "script", nargs="?", default=None,
+        help="Python example script to animate (default: built-in demo)",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=5,
+        help="number of synchronization sets to print (0 = all)",
+    )
+    trace.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="also write every root span to PATH as JSON lines",
+    )
+    trace.add_argument(
+        "--verbose", action="store_true",
+        help="interleave the script's own output",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     return parser
 

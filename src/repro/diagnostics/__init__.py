@@ -24,6 +24,7 @@ from repro.diagnostics.errors import (
     EvaluationError,
     LexerError,
     LifecycleError,
+    OccurrenceRef,
     ParseError,
     PermissionDenied,
     RefinementError,
@@ -40,6 +41,7 @@ __all__ = [
     "EvaluationError",
     "LexerError",
     "LifecycleError",
+    "OccurrenceRef",
     "ParseError",
     "PermissionDenied",
     "RefinementError",

@@ -43,8 +43,42 @@ class SortError(CheckError):
     """A term whose sort does not match its context."""
 
 
+@dataclass(frozen=True)
+class OccurrenceRef:
+    """Which event occurrence a runtime error belongs to.
+
+    Synchronization sets are atomic: one failing occurrence rolls the
+    whole set back.  The animator attaches the *failing* occurrence
+    (class, event, identity payload) to the raised error so that error
+    messages, traces and telemetry spans all agree on the culprit.
+    ``event`` is None for static-constraint violations detected at the
+    end of the set (they belong to an instance, not a single event).
+    """
+
+    class_name: str
+    event: Optional[str]
+    key: object
+
+    def __str__(self) -> str:
+        suffix = f".{self.event}" if self.event else ""
+        return f"{self.class_name}({self.key!r}){suffix}"
+
+
 class RuntimeSpecError(TrollError):
-    """Base class for problems detected while animating a specification."""
+    """Base class for problems detected while animating a specification.
+
+    Carries the failing :class:`OccurrenceRef` when the animator knows
+    which occurrence of a synchronization set caused the rollback.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: Optional[SourcePosition] = None,
+        occurrence: Optional[OccurrenceRef] = None,
+    ):
+        super().__init__(message, position)
+        self.occurrence = occurrence
 
 
 class PermissionDenied(RuntimeSpecError):

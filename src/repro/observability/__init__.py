@@ -1,0 +1,71 @@
+"""Runtime telemetry for the animator: tracing, metrics, hooks.
+
+The paper treats the observable event trace as *the* semantic artifact
+of an object society; this package makes the reproduction's own
+execution observable the same way:
+
+* :mod:`repro.observability.tracer` -- span trees over synchronization
+  sets (one root span per atomic unit, child spans per occurrence and
+  pipeline phase) with ring-buffer / JSONL / console sinks;
+* :mod:`repro.observability.metrics` -- counters and duration
+  histograms with a ``snapshot()`` dict API;
+* :mod:`repro.observability.hooks` -- the :class:`Observability` bundle
+  the runtime is instrumented against, with a process-global
+  :func:`install`; **zero overhead when not installed**;
+* :mod:`repro.observability.runner` -- run example scripts or the
+  built-in demo scenario under instrumentation (the ``repro stats`` /
+  ``repro trace`` CLI engine).
+
+Quickstart::
+
+    from repro.observability import Observability
+    from repro.runtime import ObjectBase
+
+    obs = Observability()
+    system = ObjectBase(SPEC, observability=obs)
+    ...  # animate
+    print(obs.metrics.render_table())
+    for root in obs.ring.spans:
+        print(render_span(root))
+"""
+
+from repro.observability.hooks import (
+    Observability,
+    get_observability,
+    install,
+    uninstall,
+)
+from repro.observability.metrics import Counter, Histogram, MetricsRegistry
+from repro.observability.runner import demo_scenario, run_instrumented
+from repro.observability.tracer import (
+    ConsoleSink,
+    JSONLSink,
+    RingBufferSink,
+    Sink,
+    Span,
+    Tracer,
+    render_span,
+    span_from_dict,
+    span_to_dict,
+)
+
+__all__ = [
+    "ConsoleSink",
+    "Counter",
+    "Histogram",
+    "JSONLSink",
+    "MetricsRegistry",
+    "Observability",
+    "RingBufferSink",
+    "Sink",
+    "Span",
+    "Tracer",
+    "demo_scenario",
+    "get_observability",
+    "install",
+    "render_span",
+    "run_instrumented",
+    "span_from_dict",
+    "span_to_dict",
+    "uninstall",
+]

@@ -1,0 +1,203 @@
+"""The hook protocol between the animator and the telemetry layer.
+
+An :class:`Observability` object bundles one :class:`~repro.observability.tracer.Tracer`
+and one :class:`~repro.observability.metrics.MetricsRegistry` behind the
+narrow set of callbacks the instrumented modules use:
+
+* :mod:`repro.runtime.objectbase` -- sync-set/occurrence spans, phase
+  timings, commit/rollback/denial/violation counters;
+* :mod:`repro.runtime.instance` -- attribute read/write counters;
+* :mod:`repro.temporal.monitors` -- monitor step/check counters;
+* :mod:`repro.relational.engine` -- relation query/scan counters.
+
+The contract is **zero overhead when disabled**: instrumented code holds
+a single reference (``self.obs`` / ``self.hooks``) that is ``None`` in
+the default configuration, so the only cost on the hot path is one
+attribute load and a ``None`` test.  Nothing is allocated, no clock is
+read, no dictionary is touched.
+
+An Observability instance can be passed to ``ObjectBase(...,
+observability=...)`` explicitly, or installed process-wide with
+:func:`install` -- newly constructed object bases (and relations) then
+pick it up automatically, which is how the ``repro stats`` / ``repro
+trace`` CLI instruments unmodified example scripts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, List, Optional
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import RingBufferSink, Sink, Tracer
+
+
+class Observability:
+    """One tracer + one metrics registry behind the runtime hook API."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        tracing: bool = True,
+        sinks: Optional[List[Sink]] = None,
+        ring_capacity: int = 256,
+    ):
+        self.enabled = enabled
+        #: span recording can be switched off independently, keeping
+        #: the (cheaper) counters/histograms only
+        self.tracing = tracing
+        if sinks is None:
+            self.ring = RingBufferSink(ring_capacity)
+            sinks = [self.ring]
+        else:
+            self.ring = next(
+                (s for s in sinks if isinstance(s, RingBufferSink)), None
+            )
+        self.tracer = Tracer(sinks=sinks)
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # Spans and phases
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        """A traced span (no-op span context when tracing is off)."""
+        if self.tracing:
+            return self.tracer.span(name, **attributes)
+        return _NULL_SPAN_CONTEXT
+
+    def phase(self, name: str, **attributes: Any) -> "_PhaseContext":
+        """A pipeline phase: a child span *and* a duration histogram
+        sample (``phase.<name>``)."""
+        return _PhaseContext(self, name, attributes)
+
+    # ------------------------------------------------------------------
+    # Occurrence pipeline counters
+    # ------------------------------------------------------------------
+
+    def on_commit(self, occurrences: int) -> None:
+        self.metrics.counter("occurrences.committed").inc(occurrences)
+        self.metrics.counter("sync_sets.committed").inc()
+        self.metrics.histogram("sync_set.fan_out", unit="count").observe(occurrences)
+
+    def on_rollback(self, occurrences: int, reason: str, label: str = "") -> None:
+        self.metrics.counter("occurrences.rolled_back").inc(max(occurrences, 1))
+        self.metrics.counter("sync_sets.rolled_back").inc(labels=(reason,))
+        if label:
+            self.metrics.counter(f"rollback.{reason}").inc(labels=(label,))
+
+    def on_permission_denied(self, class_name: str, event: str, rule: str) -> None:
+        self.metrics.counter("permission.denials").inc(labels=(rule,))
+        self.metrics.counter("permission.denials.by_event").inc(
+            labels=(f"{class_name}.{event}",)
+        )
+
+    def on_constraint_violation(self, class_name: str) -> None:
+        self.metrics.counter("constraint.violations").inc(labels=(class_name,))
+
+    # ------------------------------------------------------------------
+    # Instance / monitor / relational counters
+    # ------------------------------------------------------------------
+
+    def on_attribute_read(self, class_name: str, attribute: str) -> None:
+        self.metrics.counter("attribute.reads").inc(labels=(class_name,))
+
+    def on_attribute_write(self, class_name: str, attribute: str) -> None:
+        self.metrics.counter("attribute.writes").inc(labels=(class_name,))
+
+    def on_monitor_update(self) -> None:
+        self.metrics.counter("monitor.steps").inc()
+
+    def on_monitor_check(self) -> None:
+        self.metrics.counter("monitor.checks").inc()
+
+    def on_relation_query(self, relation: str, operation: str) -> None:
+        self.metrics.counter("relational.queries").inc(labels=(relation, operation))
+
+    def on_relation_scan(self, relation: str) -> None:
+        self.metrics.counter("relational.scans").inc(labels=(relation,))
+
+
+class _NullSpanContext:
+    """`with` target used when tracing is off: yields a shared dummy
+    object accepting ``set`` silently."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class _PhaseContext:
+    """Times a pipeline phase into ``phase.<name>`` and (when tracing)
+    records it as a child span."""
+
+    __slots__ = ("_obs", "_name", "_attributes", "_span_ctx", "_start", "span")
+
+    def __init__(self, obs: Observability, name: str, attributes):
+        self._obs = obs
+        self._name = name
+        self._attributes = attributes
+        self._span_ctx = None
+        self.span = None
+
+    def __enter__(self):
+        if self._obs.tracing:
+            self._span_ctx = self._obs.tracer.span(self._name, **self._attributes)
+            self.span = self._span_ctx.__enter__()
+        else:
+            self.span = _NULL_SPAN
+        self._start = time.perf_counter()
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self._start
+        self._obs.metrics.histogram(f"phase.{self._name}").observe(elapsed)
+        if self._span_ctx is not None:
+            self._span_ctx.__exit__(exc_type, exc, tb)
+        return False
+
+
+# ----------------------------------------------------------------------
+# Process-global default
+# ----------------------------------------------------------------------
+
+_GLOBAL: Optional[Observability] = None
+
+
+def install(obs: Optional[Observability] = None) -> Observability:
+    """Install ``obs`` (or a fresh instance) as the process default.
+
+    Object bases and relations constructed *after* this call pick it up
+    automatically; existing ones are unaffected.
+    """
+    global _GLOBAL
+    if obs is None:
+        obs = Observability()
+    _GLOBAL = obs
+    return obs
+
+
+def uninstall() -> None:
+    """Remove the process-global default (back to zero overhead)."""
+    global _GLOBAL
+    _GLOBAL = None
+
+
+def get_observability() -> Optional[Observability]:
+    """The installed process-global Observability, or None."""
+    return _GLOBAL

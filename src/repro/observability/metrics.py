@@ -1,0 +1,210 @@
+"""Lightweight metrics: labelled counters and duration histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments.
+Instruments are created lazily on first use, so instrumented code never
+has to pre-declare anything::
+
+    registry = MetricsRegistry()
+    registry.counter("occurrences.committed").inc()
+    registry.counter("permission.denials").inc(labels=("DEPT", "fire"))
+    registry.histogram("phase.valuation").observe(0.00042)
+
+``snapshot()`` renders the whole registry as a plain nested dict (JSON
+compatible), the API the ``repro stats`` CLI and the benchmark report
+consume.  There is no background thread, no exporter protocol and no
+dependency -- the registry is a dictionary of dictionaries with a
+``render_table()`` pretty-printer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+Labels = Tuple[str, ...]
+
+#: bucket upper bounds (seconds) for duration histograms
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, float("inf")
+)
+
+
+class Counter:
+    """A monotonically increasing counter, optionally split by labels."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        #: label tuple -> count (the unlabelled series is the () key)
+        self.values: Dict[Labels, float] = {}
+
+    def inc(self, amount: float = 1, labels: Labels = ()) -> None:
+        labels = tuple(labels)
+        self.values[labels] = self.values.get(labels, 0) + amount
+
+    @property
+    def total(self) -> float:
+        return sum(self.values.values())
+
+    def get(self, labels: Labels = ()) -> float:
+        return self.values.get(tuple(labels), 0)
+
+    def snapshot(self) -> dict:
+        out: dict = {"total": self.total}
+        labelled = {
+            "/".join(str(p) for p in labels): count
+            for labels, count in self.values.items()
+            if labels
+        }
+        if labelled:
+            out["by_label"] = dict(sorted(labelled.items()))
+        return out
+
+
+#: bucket upper bounds for dimensionless count histograms (fan-out)
+COUNT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, float("inf"))
+
+
+class Histogram:
+    """A fixed-bucket histogram tracking count/sum/min/max.
+
+    ``unit`` is ``"s"`` for wall-time phases (``observe`` takes seconds,
+    snapshots report milliseconds for readability) or ``"count"`` for
+    dimensionless samples such as sync-set fan-out.
+    """
+
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "sum", "min", "max", "unit")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+        unit: str = "s",
+    ):
+        self.name = name
+        self.unit = unit
+        if buckets is None:
+            buckets = DEFAULT_BUCKETS if unit == "s" else COUNT_BUCKETS
+        self.buckets = buckets
+        self.bucket_counts = [0] * len(buckets)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                break
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        if self.unit != "s":
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "mean": self.mean,
+                "min": self.min or 0,
+                "max": self.max or 0,
+                "buckets": {
+                    ("inf" if bound == float("inf") else f"<={bound:g}"): count
+                    for bound, count in zip(self.buckets, self.bucket_counts)
+                },
+            }
+        return {
+            "count": self.count,
+            "sum_ms": self.sum * 1e3,
+            "mean_ms": self.mean * 1e3,
+            "min_ms": (self.min or 0.0) * 1e3,
+            "max_ms": (self.max or 0.0) * 1e3,
+            "buckets": {
+                ("inf" if bound == float("inf") else f"<={bound * 1e3:g}ms"): count
+                for bound, count in zip(self.buckets, self.bucket_counts)
+            },
+        }
+
+
+class MetricsRegistry:
+    """A named collection of counters and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        found = self.counters.get(name)
+        if found is None:
+            found = self.counters[name] = Counter(name)
+        return found
+
+    def histogram(self, name: str, unit: str = "s") -> Histogram:
+        found = self.histograms.get(name)
+        if found is None:
+            found = self.histograms[name] = Histogram(name, unit=unit)
+        return found
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.histograms.clear()
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.histograms)
+
+    def snapshot(self) -> dict:
+        """The whole registry as a plain nested dict."""
+        return {
+            "counters": {
+                name: counter.snapshot()
+                for name, counter in sorted(self.counters.items())
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }
+
+    def render_table(self) -> str:
+        """A human-readable two-section table (the ``repro stats`` face)."""
+        lines: List[str] = []
+        if self.counters:
+            lines.append(f"{'counter':44} {'value':>10}")
+            lines.append("-" * 56)
+            for name, counter in sorted(self.counters.items()):
+                lines.append(f"{name:44} {counter.total:>10g}")
+                for labels, count in sorted(
+                    counter.values.items(), key=lambda kv: -kv[1]
+                ):
+                    if labels:
+                        label = "/".join(str(p) for p in labels)
+                        lines.append(f"  {label:42} {count:>10g}")
+        if self.histograms:
+            if lines:
+                lines.append("")
+            lines.append(
+                f"{'histogram':28} {'count':>7} {'mean':>9} "
+                f"{'min':>9} {'max':>9} {'total':>9}"
+            )
+            lines.append("-" * 76)
+            for name, hist in sorted(self.histograms.items()):
+                if hist.unit == "s":
+                    lines.append(
+                        f"{name:28} {hist.count:>7} {hist.mean * 1e3:>7.3f}ms "
+                        f"{(hist.min or 0) * 1e3:>7.3f}ms {(hist.max or 0) * 1e3:>7.3f}ms "
+                        f"{hist.sum * 1e3:>7.1f}ms"
+                    )
+                else:
+                    lines.append(
+                        f"{name:28} {hist.count:>7} {hist.mean:>9.2f} "
+                        f"{hist.min or 0:>9g} {hist.max or 0:>9g} {hist.sum:>9g}"
+                    )
+        return "\n".join(lines) if lines else "(no metrics recorded)"

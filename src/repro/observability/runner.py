@@ -1,0 +1,92 @@
+"""Drive an animation under instrumentation (the ``repro stats`` /
+``repro trace`` engine).
+
+:func:`run_instrumented` installs a process-global
+:class:`~repro.observability.hooks.Observability`, runs either a Python
+example script (any script that constructs :class:`ObjectBase`\\ s, e.g.
+``examples/company_information_system.py``) or the built-in demo
+scenario, and returns the populated Observability for rendering.
+
+The built-in :func:`demo_scenario` animates the paper's company
+information system far enough to exercise every counter: multi-object
+synchronization sets (the ``new_manager`` global interaction), a
+constraint rollback (promoting an under-paid employee) and a permission
+denial (firing an outsider).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import runpy
+from typing import List, Optional
+
+from repro.observability.hooks import Observability, install, uninstall
+from repro.observability.tracer import Sink
+
+
+def demo_scenario() -> None:
+    """Animate the Section 4 company far enough to light every metric."""
+    import datetime
+
+    from repro.diagnostics import ConstraintViolation, PermissionDenied
+    from repro.library import FULL_COMPANY_SPEC
+    from repro.runtime import ObjectBase
+
+    system = ObjectBase(FULL_COMPANY_SPEC)
+    research = system.create(
+        "DEPT", {"id": "Research"}, "establishment", [datetime.date(1990, 1, 1)]
+    )
+    alice = system.create(
+        "PERSON",
+        {"Name": "alice", "BirthDate": datetime.date(1958, 5, 5)},
+        "hire_into", ["Research", 6200.0],
+    )
+    bob = system.create(
+        "PERSON",
+        {"Name": "bob", "BirthDate": datetime.date(1971, 9, 9)},
+        "hire_into", ["Research", 3100.0],
+    )
+    system.occur(research, "hire", [alice])
+    system.occur(research, "hire", [bob])
+    # Multi-object synchronization set: DEPT.new_manager calls
+    # PERSON.become_manager, which births the MANAGER role.
+    system.occur(research, "new_manager", [alice])
+    # Constraint rollback: bob earns below the MANAGER salary floor.
+    with contextlib.suppress(ConstraintViolation):
+        system.occur(research, "new_manager", [bob])
+    # Permission denial: firing someone who was never hired.
+    outsider = system.create(
+        "PERSON",
+        {"Name": "eve", "BirthDate": datetime.date(1960, 1, 1)},
+        "hire_into", ["X", 1.0],
+    )
+    with contextlib.suppress(PermissionDenied):
+        system.occur(research, "fire", [outsider])
+    system.occur(research, "fire", [bob])
+
+
+def run_instrumented(
+    script: Optional[str] = None,
+    tracing: bool = True,
+    sinks: Optional[List[Sink]] = None,
+    capture_output: bool = True,
+) -> Observability:
+    """Run ``script`` (or the demo scenario) under a fresh, globally
+    installed Observability; returns it after uninstalling.
+
+    ``capture_output`` swallows the script's own stdout so the telemetry
+    report stays readable; pass False to interleave.
+    """
+    obs = Observability(tracing=tracing, sinks=sinks)
+    install(obs)
+    try:
+        sink: io.StringIO = io.StringIO()
+        with contextlib.redirect_stdout(sink) if capture_output else contextlib.nullcontext():
+            if script is None:
+                demo_scenario()
+            else:
+                runpy.run_path(script, run_name="__main__")
+    finally:
+        uninstall()
+    return obs

@@ -1,0 +1,241 @@
+"""A span-based tracer for the occurrence pipeline.
+
+Every ``occur``/``create`` call animates one *synchronization set*; the
+tracer records it as a tree of :class:`Span`\\ s::
+
+    sync_set {trigger: DEPT('Research').new_manager}
+      occurrence {class: DEPT, event: new_manager}
+        permissions
+        valuation
+        calling
+          occurrence {class: PERSON, event: become_manager}   # called event
+            ...
+      constraint_check
+      commit {occurrences: 2}
+
+Spans carry structured attributes (class, event, identity, sync-set
+size, rollback reason), nest through a per-tracer stack, and are emitted
+to pluggable sinks when their *root* completes -- so sinks always see
+whole trees:
+
+* :class:`RingBufferSink` -- the last N root spans, in memory;
+* :class:`JSONLSink` -- one JSON object per root span (round-trippable
+  via :func:`span_from_dict`);
+* :class:`ConsoleSink` -- human-readable tree, as printed by
+  ``repro trace``.
+
+The tracer is synchronous and single-threaded by design: the animator
+itself is, and the paper's synchronization sets are atomic units -- a
+span tree *is* the observable structure of one unit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, IO, List, Optional
+
+
+class Span:
+    """One timed, attributed node in a trace tree."""
+
+    __slots__ = ("name", "attributes", "children", "start", "end", "status")
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.children: List["Span"] = []
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.status = "ok"
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def __repr__(self) -> str:
+        return f"<Span {self.name} {self.attributes} {self.status}>"
+
+    def walk(self):
+        """This span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def span_to_dict(span: Span) -> dict:
+    """A JSON-compatible encoding of a span tree."""
+    return {
+        "name": span.name,
+        "status": span.status,
+        "duration_ms": span.duration * 1e3,
+        "attributes": {k: _jsonable(v) for k, v in span.attributes.items()},
+        "children": [span_to_dict(child) for child in span.children],
+    }
+
+
+def span_from_dict(data: dict) -> Span:
+    """Rebuild a span tree from :func:`span_to_dict` output.
+
+    Timing is restored as a duration (start 0-based); structure,
+    names, status and attributes round-trip exactly.
+    """
+    span = Span(data["name"], data.get("attributes", {}))
+    span.status = data.get("status", "ok")
+    span.start = 0.0
+    span.end = data.get("duration_ms", 0.0) / 1e3
+    span.children = [span_from_dict(child) for child in data.get("children", [])]
+    return span
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def render_span(span: Span, indent: int = 0) -> str:
+    """One span tree as an indented human-readable block."""
+    pad = "  " * indent
+    attrs = " ".join(f"{k}={v}" for k, v in span.attributes.items())
+    status = "" if span.status == "ok" else f" !{span.status}"
+    line = f"{pad}{span.name} [{span.duration * 1e3:.3f}ms]{status}"
+    if attrs:
+        line += f"  {attrs}"
+    lines = [line]
+    for child in span.children:
+        lines.append(render_span(child, indent + 1))
+    return "\n".join(lines)
+
+
+class Sink:
+    """The sink interface: receives each completed *root* span."""
+
+    def emit(self, span: Span) -> None:
+        raise NotImplementedError
+
+
+class RingBufferSink(Sink):
+    """Keeps the most recent ``capacity`` root spans in memory."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self.spans: List[Span] = []
+
+    def emit(self, span: Span) -> None:
+        self.spans.append(span)
+        if len(self.spans) > self.capacity:
+            del self.spans[: len(self.spans) - self.capacity]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+
+class JSONLSink(Sink):
+    """Writes one JSON object per root span to a file or stream."""
+
+    def __init__(self, target):
+        if hasattr(target, "write"):
+            self._stream: IO[str] = target
+            self._owns = False
+        else:
+            self._stream = open(target, "a", encoding="utf-8")
+            self._owns = True
+
+    def emit(self, span: Span) -> None:
+        self._stream.write(json.dumps(span_to_dict(span)) + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns:
+            self._stream.close()
+
+
+class ConsoleSink(Sink):
+    """Renders each root span tree to a text stream as it completes."""
+
+    def __init__(self, stream):
+        self._stream = stream
+
+    def emit(self, span: Span) -> None:
+        self._stream.write(render_span(span) + "\n")
+
+
+class Tracer:
+    """Creates and nests spans, emitting completed roots to sinks.
+
+    Usage::
+
+        tracer = Tracer(sinks=[RingBufferSink()])
+        with tracer.span("sync_set", trigger="DEPT.hire") as root:
+            with tracer.span("occurrence", event="hire"):
+                ...
+            root.set("outcome", "committed")
+    """
+
+    def __init__(self, sinks: Optional[List[Sink]] = None):
+        self.sinks: List[Sink] = list(sinks or [])
+        self._stack: List[Span] = []
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, **attributes: Any) -> "_SpanContext":
+        return _SpanContext(self, name, attributes)
+
+    def _enter(self, name: str, attributes: Dict[str, Any]) -> Span:
+        span = Span(name, attributes)
+        parent = self.current
+        if parent is not None:
+            parent.children.append(span)
+        self._stack.append(span)
+        return span
+
+    def _exit(self, span: Span, error: Optional[BaseException]) -> None:
+        span.end = time.perf_counter()
+        if error is not None:
+            span.status = "error"
+            span.attributes.setdefault("error", f"{type(error).__name__}")
+        # Unwind to (and past) the span even if inner spans leaked open.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            top.end = top.end or span.end
+        if not self._stack:
+            for sink in self.sinks:
+                sink.emit(span)
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "span")
+
+    def __init__(self, tracer: Tracer, name: str, attributes: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer._enter(self._name, self._attributes)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._exit(self.span, exc)
+        return False

@@ -23,6 +23,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.datatypes.sorts import Sort, TupleSort
 from repro.datatypes.values import Value, from_python, tuple_value
 from repro.diagnostics import RuntimeSpecError
+from repro.observability.hooks import get_observability
 
 
 class KeyViolation(RuntimeSpecError):
@@ -176,7 +177,7 @@ _STORAGES = {
 class Relation:
     """A relation instance over a schema and an access path."""
 
-    def __init__(self, schema: RelationSchema, storage: str = "hash"):
+    def __init__(self, schema: RelationSchema, storage: str = "hash", hooks=None):
         self.schema = schema
         if isinstance(storage, str):
             factory = _STORAGES.get(storage)
@@ -187,6 +188,14 @@ class Relation:
             self.storage: Storage = factory()
         else:
             self.storage = storage
+        #: telemetry hooks for the refinement layer's query/scan counts
+        #: (None -> the process-global default, usually None)
+        self.hooks = hooks if hooks is not None else get_observability()
+
+    def _count(self, operation: str) -> None:
+        hooks = self.hooks
+        if hooks is not None and hooks.enabled:
+            hooks.on_relation_query(self.schema.name, operation)
 
     def __len__(self) -> int:
         return len(self.storage)
@@ -205,6 +214,7 @@ class Relation:
     def insert(self, *values: object) -> Row:
         """Insert a row; raises :class:`KeyViolation` on a duplicate
         key."""
+        self._count("insert")
         row = self._coerce_row(values)
         key = self.schema.key_of(row)
         if self.storage.lookup(key) is not None:
@@ -217,6 +227,7 @@ class Relation:
     def delete(self, *key_values: object) -> Row:
         """Delete by primary key; raises :class:`KeyViolation` when the
         key is absent."""
+        self._count("delete")
         key = tuple(from_python(v).payload for v in key_values)
         row = self.storage.delete(key)
         if row is None:
@@ -235,10 +246,14 @@ class Relation:
             raise
 
     def lookup(self, *key_values: object) -> Optional[Row]:
+        self._count("lookup")
         key = tuple(from_python(v).payload for v in key_values)
         return self.storage.lookup(key)
 
     def scan(self) -> List[Row]:
+        hooks = self.hooks
+        if hooks is not None and hooks.enabled:
+            hooks.on_relation_scan(self.schema.name)
         return list(self.storage.scan())
 
     def as_value(self) -> Value:
@@ -246,6 +261,9 @@ class Relation:
         shape of ``emp_rel``'s ``Emps`` attribute)."""
         from repro.datatypes.values import set_value
 
+        hooks = self.hooks
+        if hooks is not None and hooks.enabled:
+            hooks.on_relation_scan(self.schema.name)
         return set_value(
             (tuple_value(row) for row in self.storage.scan()),
             self.schema.tuple_sort,

@@ -83,6 +83,9 @@ class Instance:
     def observe(self, name: str, args: Tuple[Value, ...] = ()) -> Value:
         """Observe attribute ``name`` (following derivation rules and the
         base-aspect chain)."""
+        obs = self.system.obs
+        if obs is not None and obs.enabled:
+            obs.on_attribute_read(self.class_name, name)
         rule = self.compiled.derivation_by_attribute.get(name)
         if rule is not None:
             env = self.environment()
@@ -117,6 +120,9 @@ class Instance:
     def set_attribute(self, name: str, value: Value, args: Tuple[Value, ...] = ()) -> None:
         """Assign an attribute (valuation application).  Writes route to
         the aspect that *stores* the attribute (the base chain)."""
+        obs = self.system.obs
+        if obs is not None and obs.enabled:
+            obs.on_attribute_write(self.class_name, name)
         owner = self._storage_owner(name)
         if args:
             owner.param_state.setdefault(name, {})[args] = value

@@ -41,9 +41,11 @@ from repro.diagnostics import (
     ConstraintViolation,
     EvaluationError,
     LifecycleError,
+    OccurrenceRef,
     PermissionDenied,
     RuntimeSpecError,
 )
+from repro.observability.hooks import Observability, get_observability
 from repro.lang import ast
 from repro.lang.checker import CheckedSpecification, check_specification
 from repro.lang.parser import parse_specification
@@ -153,11 +155,18 @@ class ObjectBase:
         source: Union[str, ast.Specification, CheckedSpecification, CompiledSpecification],
         permission_mode: str = "incremental",
         check_constraints: bool = True,
+        observability: Optional[Observability] = None,
     ):
         if permission_mode not in ("incremental", "naive"):
             raise ValueError("permission_mode must be 'incremental' or 'naive'")
         self.permission_mode = permission_mode
         self.check_constraints = check_constraints
+        #: telemetry hooks (None -> the process-global default, which is
+        #: itself None unless repro.observability.install() was called;
+        #: the hot paths then pay a single attribute load + None test)
+        self.obs: Optional[Observability] = (
+            observability if observability is not None else get_observability()
+        )
         if isinstance(source, str):
             source = parse_specification(source)
         if isinstance(source, ast.Specification):
@@ -286,12 +295,17 @@ class ObjectBase:
         Implemented as a dry transaction that always rolls back.
         """
         coerced = self._coerce_args(args)
+        obs = self.obs
         txn = _Transaction(self)
         try:
             self._process(txn, instance, event, coerced)
             self._check_static_constraints(txn)
+            if obs is not None and obs.enabled:
+                obs.metrics.counter("probes.admitted").inc()
             return True
         except RuntimeSpecError:
+            if obs is not None and obs.enabled:
+                obs.metrics.counter("probes.rejected").inc()
             return False
         finally:
             txn.rollback()
@@ -466,9 +480,22 @@ class ObjectBase:
     # ------------------------------------------------------------------
 
     def _occur_root(self, instance: Instance, event: str, args: Tuple[Value, ...]) -> None:
+        self._run_unit(((instance, event, args),))
+
+    def _run_unit(
+        self, items: Sequence[Tuple[Instance, str, Tuple[Value, ...]]]
+    ) -> None:
+        """Drive one atomic unit (a synchronization set) to commit or
+        rollback.  ``items`` are the triggering occurrences (one for a
+        plain ``occur``; several for a transaction-call sequence)."""
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            self._run_unit_observed(obs, items)
+            return
         txn = _Transaction(self)
         try:
-            self._process(txn, instance, event, args)
+            for instance, event, args in items:
+                self._process(txn, instance, event, args)
             self._check_static_constraints(txn)
         except Exception:
             txn.rollback()
@@ -477,6 +504,47 @@ class ObjectBase:
         committed = [Occurrence(inst, step.event, step.args) for inst, step, _ in txn.steps]
         self.journal.extend(committed)
         self._notify_commit(committed)
+
+    def _run_unit_observed(
+        self,
+        obs: Observability,
+        items: Sequence[Tuple[Instance, str, Tuple[Value, ...]]],
+    ) -> None:
+        """The instrumented twin of :meth:`_run_unit`: a ``sync_set``
+        root span, a ``constraint_check`` phase, and commit/rollback
+        metrics (rolled-back occurrences count as aborted)."""
+        first = items[0]
+        with obs.span(
+            "sync_set",
+            trigger=f"{first[0].class_name}({first[0].key!r}).{first[1]}",
+        ) as root:
+            txn = _Transaction(self)
+            try:
+                for instance, event, args in items:
+                    self._process(txn, instance, event, args)
+                with obs.phase("constraint_check"):
+                    self._check_static_constraints(txn)
+            except Exception as exc:
+                txn.rollback()
+                reason = type(exc).__name__
+                failed = getattr(exc, "occurrence", None)
+                root.set("outcome", "rolled_back")
+                root.set("rollback_reason", reason)
+                if failed is not None:
+                    root.set("failed_occurrence", str(failed))
+                obs.on_rollback(
+                    len(txn.steps), reason, str(failed) if failed else ""
+                )
+                raise
+            txn.commit()
+            committed = [
+                Occurrence(inst, step.event, step.args) for inst, step, _ in txn.steps
+            ]
+            root.set("outcome", "committed")
+            root.set("sync_set_size", len(committed))
+            obs.on_commit(len(committed))
+            self.journal.extend(committed)
+            self._notify_commit(committed)
 
     def _notify_commit(self, committed: List[Occurrence]) -> None:
         for hook in list(self.on_commit):
@@ -492,96 +560,180 @@ class ObjectBase:
                 f"(at {instance.class_name}.{event}) -- calling cycle?"
             )
         try:
-            decl = instance.compiled.event(event)
-            if decl is None:
-                raise CheckError(
-                    f"{instance.class_name} has no event {event!r}"
+            obs = self.obs
+            if obs is not None and obs.enabled:
+                with obs.span(
+                    "occurrence",
+                    **{
+                        "class": instance.class_name,
+                        "event": event,
+                        "identity": repr(instance.key),
+                    },
+                ) as span:
+                    self._process_body(txn, instance, event, args, obs, span)
+            else:
+                self._process_body(txn, instance, event, args, None, None)
+        except RuntimeSpecError as exc:
+            # Attach the failing occurrence of the synchronization set,
+            # so rollback diagnostics and trace spans agree on the
+            # culprit.  The innermost occurrence wins (tag only once).
+            if exc.occurrence is None:
+                exc.occurrence = OccurrenceRef(
+                    instance.class_name, event, instance.key
                 )
-            if len(args) != len(decl.param_sorts):
-                raise CheckError(
-                    f"{instance.class_name}.{event} expects "
-                    f"{len(decl.param_sorts)} argument(s), got {len(args)}"
-                )
-            # Route inherited (bound) normal events to the declaring
-            # aspect: PERSON owns ChangeSalary even when called on the
-            # MANAGER role.
-            if (
-                decl.binding is not None
-                and decl.binding.object_name != instance.class_name
-                and instance.base is not None
-            ):
-                target = instance
-                while target.base is not None and target.class_name != decl.binding.object_name:
-                    target = target.base
-                if target is not instance:
-                    self._process(txn, target, decl.binding.event_name, args)
-                    return
+            raise
+        finally:
+            txn.depth -= 1
 
-            key = (instance.class_name, instance.key, event, args)
-            if key in txn.processed:
-                return
-            txn.processed.add(key)
-
-            self._check_lifecycle(instance, decl)
-            self._check_permissions(instance, event, args)
-            for role in self._all_roles(instance):
-                self._check_permissions(role, event, args)
-
-            new_protocol_states = self._check_protocol(instance, decl, event)
-
-            assignments = self._plan_valuation(instance, event, args)
-
-            txn.touch(instance)
-            if new_protocol_states is not None:
-                instance.protocol_states = new_protocol_states
-            kind = decl.kind
-            if kind == "birth":
-                instance.born = True
-                txn.created.append(instance)
-                self._apply_initial_values(instance)
-                self._check_initial_constraints(instance)
-            elif kind == "death":
-                instance.dead = True
-            for attribute, attr_args, value in assignments:
-                instance.set_attribute(attribute, value, attr_args)
-
-            step = TraceStep(
-                event=event,
-                args=args,
-                state=tuple(instance.merged_state().items()),
+    def _process_body(
+        self,
+        txn: _Transaction,
+        instance: Instance,
+        event: str,
+        args: Tuple[Value, ...],
+        obs: Optional[Observability],
+        span,
+    ) -> None:
+        decl = instance.compiled.event(event)
+        if decl is None:
+            raise CheckError(
+                f"{instance.class_name} has no event {event!r}"
             )
-            txn.record(instance, step, kind)
-            for role in self._all_roles(instance):
+        if len(args) != len(decl.param_sorts):
+            raise CheckError(
+                f"{instance.class_name}.{event} expects "
+                f"{len(decl.param_sorts)} argument(s), got {len(args)}"
+            )
+        # Route inherited (bound) normal events to the declaring
+        # aspect: PERSON owns ChangeSalary even when called on the
+        # MANAGER role.
+        if (
+            decl.binding is not None
+            and decl.binding.object_name != instance.class_name
+            and instance.base is not None
+        ):
+            target = instance
+            while target.base is not None and target.class_name != decl.binding.object_name:
+                target = target.base
+            if target is not instance:
+                if obs is not None:
+                    span.set(
+                        "routed_to",
+                        f"{target.class_name}.{decl.binding.event_name}",
+                    )
+                self._process(txn, target, decl.binding.event_name, args)
+                return
+
+        key = (instance.class_name, instance.key, event, args)
+        if key in txn.processed:
+            if obs is not None:
+                span.set("deduplicated", True)
+            return
+        txn.processed.add(key)
+
+        if obs is None:
+            new_protocol_states = self._phase_checks(instance, decl, event, args)
+            assignments = self._plan_valuation(instance, event, args)
+            self._phase_apply(
+                txn, instance, decl, event, args, new_protocol_states, assignments
+            )
+            self._phase_roles(txn, instance, event, args)
+            self._phase_calling(txn, instance, event, args)
+        else:
+            with obs.phase("permission_check"):
+                new_protocol_states = self._phase_checks(instance, decl, event, args)
+            with obs.phase("valuation"):
+                assignments = self._plan_valuation(instance, event, args)
+                self._phase_apply(
+                    txn, instance, decl, event, args, new_protocol_states, assignments
+                )
+            with obs.phase("role_updates"):
+                self._phase_roles(txn, instance, event, args)
+            with obs.phase("called_events"):
+                self._phase_calling(txn, instance, event, args)
+
+    def _phase_checks(
+        self,
+        instance: Instance,
+        decl: ast.EventDecl,
+        event: str,
+        args: Tuple[Value, ...],
+    ):
+        """Life-cycle, permission (own + role aspects) and protocol
+        checks; returns the successor protocol states (or None)."""
+        self._check_lifecycle(instance, decl)
+        self._check_permissions(instance, event, args)
+        for role in self._all_roles(instance):
+            self._check_permissions(role, event, args)
+        return self._check_protocol(instance, decl, event)
+
+    def _phase_apply(
+        self,
+        txn: _Transaction,
+        instance: Instance,
+        decl: ast.EventDecl,
+        event: str,
+        args: Tuple[Value, ...],
+        new_protocol_states,
+        assignments,
+    ) -> None:
+        """Apply the occurrence: life-cycle flags, valuation results,
+        and the trace steps for the instance and its role aspects."""
+        txn.touch(instance)
+        if new_protocol_states is not None:
+            instance.protocol_states = new_protocol_states
+        kind = decl.kind
+        if kind == "birth":
+            instance.born = True
+            txn.created.append(instance)
+            self._apply_initial_values(instance)
+            self._check_initial_constraints(instance)
+        elif kind == "death":
+            instance.dead = True
+        for attribute, attr_args, value in assignments:
+            instance.set_attribute(attribute, value, attr_args)
+
+        step = TraceStep(
+            event=event,
+            args=args,
+            state=tuple(instance.merged_state().items()),
+        )
+        txn.record(instance, step, kind)
+        for role in self._all_roles(instance):
+            txn.touch(role)
+            txn.record(
+                role,
+                TraceStep(event=event, args=args, state=tuple(role.merged_state().items())),
+                "normal",
+            )
+
+    def _phase_roles(
+        self, txn: _Transaction, instance: Instance, event: str, args: Tuple[Value, ...]
+    ) -> None:
+        """Role births and deaths bound to this event."""
+        for view_name in instance.compiled.role_births_by_event.get(event, []):
+            self._birth_role(txn, instance, view_name, event, args)
+        for view_name in instance.compiled.role_deaths_by_event.get(event, []):
+            role = self._find_role(instance, view_name)
+            if role is not None and role.alive:
                 txn.touch(role)
+                role.dead = True
                 txn.record(
                     role,
                     TraceStep(event=event, args=args, state=tuple(role.merged_state().items())),
-                    "normal",
+                    "death",
                 )
 
-            # Role births and deaths bound to this event.
-            for view_name in instance.compiled.role_births_by_event.get(event, []):
-                self._birth_role(txn, instance, view_name, event, args)
-            for view_name in instance.compiled.role_deaths_by_event.get(event, []):
-                role = self._find_role(instance, view_name)
-                if role is not None and role.alive:
-                    txn.touch(role)
-                    role.dead = True
-                    txn.record(
-                        role,
-                        TraceStep(event=event, args=args, state=tuple(role.merged_state().items())),
-                        "death",
-                    )
-
-            # Event calling: local interaction rules, then globals.
-            for rule in instance.compiled.callings_by_event.get(event, []):
-                self._fire_calling_rule(txn, instance, rule, args)
-            for rule in self.compiled.global_callings.get(
-                (instance.class_name, event), []
-            ):
-                self._fire_global_rule(txn, instance, rule, args)
-        finally:
-            txn.depth -= 1
+    def _phase_calling(
+        self, txn: _Transaction, instance: Instance, event: str, args: Tuple[Value, ...]
+    ) -> None:
+        """Event calling: local interaction rules, then globals."""
+        for rule in instance.compiled.callings_by_event.get(event, []):
+            self._fire_calling_rule(txn, instance, rule, args)
+        for rule in self.compiled.global_callings.get(
+            (instance.class_name, event), []
+        ):
+            self._fire_global_rule(txn, instance, rule, args)
 
     def _all_roles(self, instance: Instance):
         """All alive role aspects of ``instance``, transitively (a
@@ -679,11 +831,19 @@ class ObjectBase:
         if constrained:
             states = automaton.advance(states, event)
             if not states:
+                if self.obs is not None and self.obs.enabled:
+                    self.obs.on_permission_denied(
+                        instance.class_name, event, "behaviour_pattern"
+                    )
                 raise PermissionDenied(
                     f"{instance.class_name}({instance.key!r}).{event}: "
                     "occurrence violates the declared behaviour pattern"
                 )
         if decl.kind == "death" and not automaton.is_accepting(states):
+            if self.obs is not None and self.obs.enabled:
+                self.obs.on_permission_denied(
+                    instance.class_name, event, "behaviour_pattern"
+                )
             raise PermissionDenied(
                 f"{instance.class_name}({instance.key!r}).{event}: "
                 "behaviour pattern incomplete at death"
@@ -705,6 +865,10 @@ class ObjectBase:
             else:
                 admitted = evaluate_formula_now(rule.formula, instance.trace, env)
             if not admitted:
+                if self.obs is not None and self.obs.enabled:
+                    self.obs.on_permission_denied(
+                        instance.class_name, event, str(rule.formula)
+                    )
                 raise PermissionDenied(
                     f"{instance.class_name}({instance.key!r}).{event}: "
                     f"permission {{ {rule.formula} }} does not hold",
@@ -715,7 +879,7 @@ class ObjectBase:
         monitor = instance.monitors.get(id(rule))
         if monitor is None:
             monitor = FormulaMonitor(
-                rule.formula, instance.compiled.var_sorts_for(rule)
+                rule.formula, instance.compiled.var_sorts_for(rule), hooks=self.obs
             )
             instance.monitors[id(rule)] = monitor
         return monitor
@@ -734,7 +898,11 @@ class ObjectBase:
                 if id(target) in seen or not target.alive:
                     continue
                 seen.add(id(target))
-                self._check_instance_constraints(target, target.compiled.static_constraints)
+                self._check_instance_constraints(
+                    target,
+                    target.compiled.static_constraints,
+                    occurrence=OccurrenceRef(target.class_name, None, target.key),
+                )
 
     def _apply_initial_values(self, instance: Instance) -> None:
         """Apply ``initially`` attribute defaults at birth (valuation
@@ -754,23 +922,32 @@ class ObjectBase:
             self._check_instance_constraints(instance, instance.compiled.initial_constraints)
 
     def _check_instance_constraints(
-        self, instance: Instance, constraints: Sequence[ast.ConstraintDecl]
+        self,
+        instance: Instance,
+        constraints: Sequence[ast.ConstraintDecl],
+        occurrence: Optional[OccurrenceRef] = None,
     ) -> None:
         for constraint in constraints:
             env = instance.environment()
             try:
                 holds = bool(evaluate(constraint.formula, env))
             except EvaluationError as exc:
+                if self.obs is not None and self.obs.enabled:
+                    self.obs.on_constraint_violation(instance.class_name)
                 raise ConstraintViolation(
                     f"{instance.class_name}({instance.key!r}): constraint "
                     f"{constraint.formula} cannot be evaluated: {exc.message}",
                     constraint.position,
+                    occurrence=occurrence,
                 )
             if not holds:
+                if self.obs is not None and self.obs.enabled:
+                    self.obs.on_constraint_violation(instance.class_name)
                 raise ConstraintViolation(
                     f"{instance.class_name}({instance.key!r}): constraint "
                     f"{constraint.formula} violated",
                     constraint.position,
+                    occurrence=occurrence,
                 )
 
     # ------------------------------------------------------------------
@@ -971,18 +1148,12 @@ class ObjectBase:
         """Drive several occurrences as *one* atomic unit (the runtime
         face of transaction calling, used by derived interface events
         whose calling rule lists a target sequence)."""
-        txn = _Transaction(self)
-        try:
-            for instance, event, args in pairs:
-                self._process(txn, instance, event, self._coerce_args(args))
-            self._check_static_constraints(txn)
-        except Exception:
-            txn.rollback()
-            raise
-        txn.commit()
-        committed = [Occurrence(inst, step.event, step.args) for inst, step, _ in txn.steps]
-        self.journal.extend(committed)
-        self._notify_commit(committed)
+        self._run_unit(
+            [
+                (instance, event, self._coerce_args(args))
+                for instance, event, args in pairs
+            ]
+        )
 
     def sequence_permitted(
         self, pairs: Sequence[Tuple[Instance, str, Sequence[object]]]

@@ -58,6 +58,31 @@ class TraceStep:
     def state_dict(self) -> Dict[str, Value]:
         return dict(self.state)
 
+    def to_dict(self) -> dict:
+        """A JSON-compatible encoding of this step (sort-tagged values,
+        the same encoding the persistence layer uses)."""
+        from repro.runtime.persistence import value_to_json
+
+        return {
+            "event": self.event,
+            "args": [value_to_json(a) for a in self.args],
+            "state": {name: value_to_json(v) for name, v in self.state},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceStep":
+        """Decode :meth:`to_dict` output."""
+        from repro.runtime.persistence import value_from_json
+
+        return cls(
+            event=data["event"],
+            args=tuple(value_from_json(a) for a in data.get("args", ())),
+            state=tuple(
+                (name, value_from_json(v))
+                for name, v in data.get("state", {}).items()
+            ),
+        )
+
 
 def make_step(event: str, args: Iterable[Value] = (), state: Optional[Dict[str, Value]] = None) -> TraceStep:
     """Convenience constructor normalising ``state`` to the frozen form."""
@@ -78,6 +103,30 @@ class Trace:
 
     def __iter__(self) -> Iterator[TraceStep]:
         return iter(self.steps)
+
+    def __getitem__(self, index):
+        return self.steps[index]
+
+    @property
+    def last(self) -> Optional[TraceStep]:
+        return self.steps[-1] if self.steps else None
+
+    def events(self) -> List[str]:
+        """The event names in occurrence order (the paper's observable
+        life-cycle word)."""
+        return [step.event for step in self.steps]
+
+    def to_list(self) -> List[dict]:
+        """The whole trace as JSON-compatible dicts (serialization face
+        for the tracer and external tools)."""
+        return [step.to_dict() for step in self.steps]
+
+    @classmethod
+    def from_list(cls, data: Iterable[dict]) -> "Trace":
+        trace = cls()
+        for item in data:
+            trace.append(TraceStep.from_dict(item))
+        return trace
 
     def history_values(self, position: int) -> Iterator[Value]:
         """Every value observable in the trace up to ``position``

@@ -400,14 +400,28 @@ class FormulaMonitor:
     candidate's parameter bindings).
     """
 
-    def __init__(self, formula: Formula, var_sorts: Optional[Dict[str, Sort]] = None):
+    def __init__(
+        self,
+        formula: Formula,
+        var_sorts: Optional[Dict[str, Sort]] = None,
+        hooks=None,
+    ):
         self.formula = formula
         self._root = _compile(formula, dict(var_sorts or {}))
+        #: optional telemetry hooks (an Observability-shaped object with
+        #: on_monitor_update/on_monitor_check); None means no overhead
+        self.hooks = hooks
 
     def update(self, step: TraceStep, env: Optional[Environment] = None) -> None:
+        hooks = self.hooks
+        if hooks is not None and hooks.enabled:
+            hooks.on_monitor_update()
         self._root.update(step, env or Environment())
 
     def check(self, env: Optional[Environment] = None) -> bool:
+        hooks = self.hooks
+        if hooks is not None and hooks.enabled:
+            hooks.on_monitor_check()
         return self._root.check(env or Environment())
 
 

@@ -1,0 +1,341 @@
+"""The runtime telemetry layer: spans, metrics, hooks, CLI surfaces.
+
+Covers the PR 1 acceptance points: spans nest correctly across event
+calling, metrics survive rollback (rolled-back occurrences are counted
+as aborted, never as committed), disabled hooks add no entries, the
+JSONL sink round-trips, and runtime errors carry the failing occurrence
+of their synchronization set.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.diagnostics import (
+    ConstraintViolation,
+    LifecycleError,
+    OccurrenceRef,
+    PermissionDenied,
+)
+from repro.library import FULL_COMPANY_SPEC
+from repro.observability import (
+    JSONLSink,
+    Observability,
+    RingBufferSink,
+    get_observability,
+    install,
+    render_span,
+    span_from_dict,
+    span_to_dict,
+    uninstall,
+)
+from repro.runtime import ObjectBase
+from repro.temporal.evaluation import Trace, make_step
+from repro.datatypes.values import integer
+
+from tests.conftest import D1960, D1970, D1991
+
+
+def observed_company():
+    obs = Observability()
+    system = ObjectBase(FULL_COMPANY_SPEC, observability=obs)
+    return obs, system
+
+
+def staff(system):
+    dept = system.create("DEPT", {"id": "Sales"}, "establishment", [D1991])
+    alice = system.create(
+        "PERSON", {"Name": "alice", "BirthDate": D1960},
+        "hire_into", ["Sales", 6000.0],
+    )
+    bob = system.create(
+        "PERSON", {"Name": "bob", "BirthDate": D1970},
+        "hire_into", ["Sales", 3000.0],
+    )
+    system.occur(dept, "hire", [alice])
+    system.occur(dept, "hire", [bob])
+    return dept, alice, bob
+
+
+class TestSpans:
+    def test_sync_set_root_span_per_occur(self):
+        obs, system = observed_company()
+        staff(system)
+        roots = [s for s in obs.ring.spans if s.name == "sync_set"]
+        assert len(roots) == 5  # 3 creates + 2 hires
+        assert all(s.attributes["outcome"] == "committed" for s in roots)
+
+    def test_spans_nest_across_event_calling(self):
+        obs, system = observed_company()
+        dept, alice, _ = staff(system)
+        obs.ring.clear()
+        # DEPT.new_manager >> PERSON.become_manager >> MANAGER role birth
+        system.occur(dept, "new_manager", [alice])
+        (root,) = [s for s in obs.ring.spans if s.name == "sync_set"]
+        assert root.attributes["sync_set_size"] == 3
+        (trigger,) = [c for c in root.children if c.name == "occurrence"]
+        assert trigger.attributes["class"] == "DEPT"
+        assert trigger.attributes["event"] == "new_manager"
+        (calling,) = [c for c in trigger.children if c.name == "called_events"]
+        (called,) = [c for c in calling.children if c.name == "occurrence"]
+        assert called.attributes["class"] == "PERSON"
+        assert called.attributes["event"] == "become_manager"
+        # phase spans present under each occurrence
+        phases = {c.name for c in trigger.children}
+        assert {"permission_check", "valuation", "role_updates", "called_events"} <= phases
+        # and the set-level constraint check is a child of the root
+        assert any(c.name == "constraint_check" for c in root.children)
+
+    def test_rollback_span_carries_reason_and_culprit(self):
+        obs, system = observed_company()
+        dept, _, bob = staff(system)
+        obs.ring.clear()
+        with pytest.raises(ConstraintViolation):
+            system.occur(dept, "new_manager", [bob])  # 3000 < 5000
+        (root,) = [s for s in obs.ring.spans if s.name == "sync_set"]
+        assert root.status == "error"
+        assert root.attributes["outcome"] == "rolled_back"
+        assert root.attributes["rollback_reason"] == "ConstraintViolation"
+        assert "MANAGER" in root.attributes["failed_occurrence"]
+
+    def test_render_span_tree_is_indented(self):
+        obs, system = observed_company()
+        staff(system)
+        text = render_span(obs.ring.spans[-1])
+        assert "sync_set" in text and "\n  occurrence" in text
+
+
+class TestMetrics:
+    def test_commits_and_fanout(self):
+        obs, system = observed_company()
+        staff(system)
+        snap = obs.metrics.snapshot()
+        assert snap["counters"]["sync_sets.committed"]["total"] == 5
+        assert snap["counters"]["occurrences.committed"]["total"] == 5
+        assert snap["histograms"]["sync_set.fan_out"]["count"] == 5
+
+    def test_metrics_survive_rollback_as_aborted(self):
+        obs, system = observed_company()
+        dept, _, bob = staff(system)
+        committed_before = obs.metrics.counter("occurrences.committed").total
+        with pytest.raises(ConstraintViolation):
+            system.occur(dept, "new_manager", [bob])
+        snap = obs.metrics.snapshot()
+        # nothing from the aborted set was counted as committed
+        assert snap["counters"]["occurrences.committed"]["total"] == committed_before
+        assert snap["counters"]["occurrences.rolled_back"]["total"] >= 1
+        assert (
+            snap["counters"]["sync_sets.rolled_back"]["by_label"]["ConstraintViolation"]
+            == 1
+        )
+        assert snap["counters"]["constraint.violations"]["by_label"]["MANAGER"] == 1
+
+    def test_permission_denials_by_rule(self):
+        obs, system = observed_company()
+        dept, _, _ = staff(system)
+        outsider = system.create(
+            "PERSON", {"Name": "eve", "BirthDate": D1960}, "hire_into", ["X", 1.0]
+        )
+        with pytest.raises(PermissionDenied):
+            system.occur(dept, "fire", [outsider])
+        denials = obs.metrics.counter("permission.denials")
+        assert denials.total == 1
+        assert any("hire" in "/".join(labels) for labels in denials.values)
+
+    def test_phase_histograms_populated(self):
+        obs, system = observed_company()
+        staff(system)
+        snap = obs.metrics.snapshot()["histograms"]
+        for phase in ("permission_check", "valuation", "role_updates",
+                      "called_events", "constraint_check"):
+            assert snap[f"phase.{phase}"]["count"] > 0
+            assert snap[f"phase.{phase}"]["sum_ms"] >= 0
+
+    def test_attribute_and_monitor_counters(self):
+        obs, system = observed_company()
+        dept, alice, _ = staff(system)
+        system.get(dept, "est_date")
+        snap = obs.metrics.snapshot()["counters"]
+        assert snap["attribute.reads"]["total"] > 0
+        assert snap["attribute.writes"]["total"] > 0
+        assert snap["monitor.steps"]["total"] > 0
+
+    def test_tracing_off_keeps_metrics_only(self):
+        obs = Observability(tracing=False)
+        system = ObjectBase(FULL_COMPANY_SPEC, observability=obs)
+        staff(system)
+        assert len(obs.ring.spans) == 0
+        assert obs.metrics.counter("occurrences.committed").total == 5
+        # phases are still timed without spans
+        assert obs.metrics.histogram("phase.valuation").count > 0
+
+
+class TestDisabled:
+    def test_no_observability_object(self, staffed_company):
+        system, *_ = staffed_company
+        assert system.obs is None  # nothing installed, nothing recorded
+
+    def test_disabled_hooks_add_no_entries(self):
+        obs = Observability(enabled=False)
+        system = ObjectBase(FULL_COMPANY_SPEC, observability=obs)
+        staff(system)
+        assert len(obs.ring.spans) == 0
+        assert len(obs.metrics) == 0
+        assert obs.metrics.snapshot() == {"counters": {}, "histograms": {}}
+
+    def test_global_install_uninstall(self):
+        assert get_observability() is None
+        obs = install()
+        try:
+            assert get_observability() is obs
+            system = ObjectBase(FULL_COMPANY_SPEC)
+            assert system.obs is obs
+        finally:
+            uninstall()
+        assert get_observability() is None
+        assert ObjectBase(FULL_COMPANY_SPEC).obs is None
+
+
+class TestSinks:
+    def test_jsonl_sink_round_trips(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        obs = Observability(sinks=[JSONLSink(str(path))])
+        system = ObjectBase(FULL_COMPANY_SPEC, observability=obs)
+        dept, alice, _ = staff(system)
+        system.occur(dept, "new_manager", [alice])
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 6
+        rebuilt = [span_from_dict(json.loads(line)) for line in lines]
+        last = rebuilt[-1]
+        assert last.name == "sync_set"
+        assert last.attributes["sync_set_size"] == 3
+        # structure and attributes survive a full round trip
+        assert span_to_dict(last) == json.loads(lines[-1])
+
+    def test_ring_buffer_caps_capacity(self):
+        ring = RingBufferSink(capacity=2)
+        obs = Observability(sinks=[ring])
+        system = ObjectBase(FULL_COMPANY_SPEC, observability=obs)
+        staff(system)  # 5 sync sets
+        assert len(ring) == 2
+
+
+class TestErrorOccurrences:
+    def test_permission_denied_carries_occurrence(self):
+        obs, system = observed_company()
+        dept, _, _ = staff(system)
+        outsider = system.create(
+            "PERSON", {"Name": "eve", "BirthDate": D1960}, "hire_into", ["X", 1.0]
+        )
+        with pytest.raises(PermissionDenied) as excinfo:
+            system.occur(dept, "fire", [outsider])
+        ref = excinfo.value.occurrence
+        assert ref == OccurrenceRef("DEPT", "fire", "Sales")
+        assert str(ref) == "DEPT('Sales').fire"
+
+    def test_constraint_violation_names_failing_instance(self):
+        _, system = observed_company()
+        dept, _, bob = staff(system)
+        with pytest.raises(ConstraintViolation) as excinfo:
+            system.occur(dept, "new_manager", [bob])
+        ref = excinfo.value.occurrence
+        assert ref.class_name == "MANAGER"
+        assert ref.event is None  # static check at end of the set
+        assert ref.key == bob.key
+
+    def test_called_event_is_the_culprit_not_the_trigger(self):
+        """The inner occurrence of the synchronization set is attached,
+        not the triggering one."""
+        _, system = observed_company()
+        dept, _, bob = staff(system)
+        # become_manager's permission (Salary >= 5000 holds) is fine for
+        # a constraint-level failure; use the outsider-fire case for a
+        # permission failure on the *triggering* occurrence instead.
+        with pytest.raises(ConstraintViolation) as excinfo:
+            system.occur(dept, "new_manager", [bob])
+        assert excinfo.value.occurrence.class_name != "DEPT"
+
+    def test_lifecycle_error_carries_occurrence(self):
+        system = ObjectBase(FULL_COMPANY_SPEC)
+        dept = system.create("DEPT", {"id": "D"}, "establishment", [D1991])
+        alice = system.create(
+            "PERSON", {"Name": "a", "BirthDate": D1960}, "hire_into", ["D", 9000.0]
+        )
+        system.occur(dept, "hire", [alice])
+        system.occur(dept, "fire", [alice])
+        system.occur(dept, "closure")
+        with pytest.raises(LifecycleError) as excinfo:
+            system.occur(dept, "hire", [alice])
+        assert excinfo.value.occurrence == OccurrenceRef("DEPT", "hire", "D")
+
+    def test_untagged_without_animator(self):
+        assert PermissionDenied("nope").occurrence is None
+
+
+class TestTraceSerialization:
+    def test_tracestep_to_dict_round_trip(self):
+        from repro.temporal.evaluation import TraceStep
+
+        step = make_step("tick", [integer(3)], {"N": integer(4)})
+        data = step.to_dict()
+        assert data["event"] == "tick"
+        assert TraceStep.from_dict(data) == step
+        json.dumps(data)  # JSON compatible
+
+    def test_trace_helpers(self):
+        trace = Trace()
+        trace.append(make_step("boot", [], {"N": integer(0)}))
+        trace.append(make_step("tick", [], {"N": integer(1)}))
+        assert len(trace) == 2
+        assert trace[0].event == "boot"
+        assert trace.last.event == "tick"
+        assert trace.events() == ["boot", "tick"]
+        rebuilt = Trace.from_list(trace.to_list())
+        assert rebuilt.steps == trace.steps
+
+    def test_live_instance_trace_serializes(self):
+        _, system = observed_company()
+        dept, alice, _ = staff(system)
+        data = alice.trace.to_list()
+        assert [d["event"] for d in data] == alice.trace.events()
+        rebuilt = Trace.from_list(data)
+        assert rebuilt.steps == alice.trace.steps
+
+
+class TestCLI:
+    def test_stats_demo(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "occurrences.committed" in out
+        assert "phase.valuation" in out
+        assert "permission.denials" in out
+
+    def test_stats_json(self, capsys):
+        assert main(["stats", "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["counters"]["occurrences.committed"]["total"] > 0
+
+    def test_stats_on_example_script(self, capsys):
+        assert main(["stats", "examples/company_information_system.py"]) == 0
+        out = capsys.readouterr().out
+        assert "occurrences.committed" in out
+
+    def test_trace_demo(self, capsys):
+        assert main(["trace", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "sync_set" in out
+        assert "occurrence" in out
+        assert "synchronization set(s)" in out
+
+    def test_trace_jsonl_round_trips(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["trace", "--jsonl", str(path)]) == 0
+        lines = path.read_text().strip().splitlines()
+        assert lines
+        spans = [span_from_dict(json.loads(line)) for line in lines]
+        assert any(s.name == "sync_set" for s in spans)
+
+    def test_cli_leaves_no_global_installed(self):
+        main(["stats"])
+        assert get_observability() is None
