@@ -1,0 +1,69 @@
+"""Throughput of the event journal: recording, replay, serialization.
+
+Complements ``bench_observability.py`` (which bounds the *overhead* of
+journaling on the occur pipeline) with absolute timings of the journal
+operations themselves:
+
+* ``record``    -- churn with a journal attached (the write path);
+* ``replay``    -- re-animating a recorded journal against the same
+  compiled spec (the recovery path);
+* ``roundtrip`` -- JSONL encode + decode of a journal (the archival
+  path).
+
+Each benchmark asserts the shape of its result first, so the JSON
+artifact doubles as a correctness probe.
+"""
+
+import io
+
+from repro.observability.journal import Journal, replay_journal, verify_replay
+from repro.runtime import ObjectBase
+from repro.runtime.persistence import dump_state
+
+from benchmarks.bench_observability import churn
+
+ROUNDS = 10
+
+
+def recorded_journal(compiled_company):
+    journal = Journal()
+    system = ObjectBase(compiled_company, journal=journal)
+    churn(system, rounds=ROUNDS)
+    return journal, system
+
+
+def test_journal_record_benchmark(benchmark, compiled_company):
+    def record():
+        journal = Journal()
+        churn(ObjectBase(compiled_company, journal=journal), rounds=ROUNDS)
+        return journal
+
+    journal = benchmark(record)
+    assert len(journal.commits()) == 1 + 3 * ROUNDS
+
+
+def test_journal_replay_benchmark(benchmark, compiled_company):
+    journal, system = recorded_journal(compiled_company)
+    live = dump_state(system)
+
+    replayed = benchmark(lambda: replay_journal(journal, compiled_company))
+    assert dump_state(replayed) == live
+
+
+def test_journal_verify_benchmark(benchmark, compiled_company):
+    journal, system = recorded_journal(compiled_company)
+    diffs = benchmark(lambda: verify_replay(journal, system))
+    assert diffs == []
+
+
+def test_journal_jsonl_roundtrip_benchmark(benchmark, compiled_company):
+    journal, _ = recorded_journal(compiled_company)
+
+    def roundtrip():
+        buffer = io.StringIO()
+        journal.write_jsonl(buffer)
+        buffer.seek(0)
+        return Journal.read_jsonl(buffer)
+
+    reloaded = benchmark(roundtrip)
+    assert reloaded.records == journal.records

@@ -17,6 +17,7 @@ directly (min-of-several, generous bound to stay robust on noisy CI).
 import time
 
 from repro.observability import Observability
+from repro.observability.journal import Journal
 from repro.runtime import ObjectBase
 
 from benchmarks.conftest import D1960, D1991
@@ -35,8 +36,8 @@ def churn(system, rounds: int = 1) -> None:
         system.occur(dept, "fire", [person])
 
 
-def make_system(compiled_company, obs):
-    return ObjectBase(compiled_company, observability=obs)
+def make_system(compiled_company, obs, journal=None):
+    return ObjectBase(compiled_company, observability=obs, journal=journal)
 
 
 def test_obs_baseline_benchmark(benchmark, compiled_company):
@@ -58,10 +59,13 @@ def test_obs_tracing_benchmark(benchmark, compiled_company):
     benchmark(lambda: churn(make_system(compiled_company, obs)))
 
 
-def _best_of(compiled_company, obs, repeats: int = 7, rounds: int = 5) -> float:
+def _best_of(
+    compiled_company, obs, repeats: int = 7, rounds: int = 5, journaled: bool = False
+) -> float:
     best = float("inf")
     for _ in range(repeats):
-        system = make_system(compiled_company, obs)
+        journal = Journal() if journaled else None
+        system = make_system(compiled_company, obs, journal=journal)
         start = time.perf_counter()
         churn(system, rounds=rounds)
         best = min(best, time.perf_counter() - start)
@@ -88,3 +92,33 @@ def test_tracing_records_while_benchmarked(compiled_company):
     churn(make_system(compiled_company, obs))
     assert obs.metrics.counter("sync_sets.committed").total == 4
     assert len(obs.ring.spans) == 4
+
+
+def test_obs_journal_benchmark(benchmark, compiled_company):
+    benchmark(lambda: churn(make_system(compiled_company, None, journal=Journal())))
+
+
+def test_journal_overhead_within_bound(compiled_company):
+    """PR 2 acceptance: journal-enabled churn stays within 1.15x of the
+    journal-disabled baseline.  Baseline and journaled runs are
+    *interleaved* (min-of-pairs) so clock-frequency drift hits both
+    sides equally; the journal only snapshots triggers and diffs
+    per-step states at commit, so the bound is real headroom."""
+    _best_of(compiled_company, None, repeats=3)  # warm caches
+    _best_of(compiled_company, None, repeats=3, journaled=True)
+    baseline = journaled = float("inf")
+    for _ in range(12):
+        baseline = min(baseline, _best_of(compiled_company, None, repeats=1))
+        journaled = min(
+            journaled, _best_of(compiled_company, None, repeats=1, journaled=True)
+        )
+    assert journaled <= baseline * 1.15, (
+        f"journal-enabled churn cost {journaled / baseline:.3f}x baseline"
+    )
+
+
+def test_journal_records_while_benchmarked(compiled_company):
+    journal = Journal()
+    churn(make_system(compiled_company, None, journal=journal))
+    assert len(journal.commits()) == 4
+    assert journal.rollbacks() == []

@@ -17,6 +17,14 @@ Commands:
   phase-timing table.
 * ``trace [SCRIPT]`` -- same, but record span trees and print the last
   synchronization sets as nested traces (``--jsonl`` dumps all of them).
+* ``replay [SCRIPT]`` -- animate under the event journal, then replay
+  each journal against the same compiled spec and verify the replayed
+  state is identical to the live base (``--save`` dumps the journals).
+* ``why TARGET [SCRIPT]`` -- provenance query: walk the journal back to
+  the occurrence (and event-calling chain) that wrote an attribute,
+  e.g. ``repro why "DEPT('Research').manager"``.
+* ``export [SCRIPT]`` -- metrics + journal gauges in Prometheus text
+  exposition format (or ``--format json``).
 """
 
 from __future__ import annotations
@@ -136,6 +144,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    import contextlib
+
     from repro.observability.runner import run_instrumented
     from repro.observability.tracer import (
         JSONLSink,
@@ -145,18 +155,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     ring = RingBufferSink(capacity=max(args.limit, 256))
     sinks = [ring]
-    jsonl = None
-    if args.jsonl:
-        jsonl = JSONLSink(args.jsonl)
-        sinks.append(jsonl)
-    try:
+    with contextlib.ExitStack() as stack:
+        if args.jsonl:
+            sinks.append(stack.enter_context(JSONLSink(args.jsonl)))
         run_instrumented(
             args.script, tracing=True, sinks=sinks,
             capture_output=not args.verbose,
         )
-    finally:
-        if jsonl is not None:
-            jsonl.close()
     # Permission probes also produce root spans ("occurrence" roots);
     # the trace view shows the atomic units driven to commit/rollback.
     roots = [span for span in ring.spans if span.name == "sync_set"]
@@ -171,6 +176,109 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(render_span(span))
     if args.jsonl:
         print(f"\n(all {len(ring.spans)} root spans written to {args.jsonl})")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.observability.journal import verify_replay
+    from repro.observability.runner import run_with_journal
+
+    _, sessions = run_with_journal(args.script, capture_output=not args.verbose)
+    genesis = [
+        (system, journal)
+        for system, journal in sessions
+        if journal.records and journal.origin == "genesis"
+    ]
+    source = args.script or "built-in company demo"
+    print(
+        f"replay for: {source} -- {len(genesis)} journaled object base(s) "
+        f"({len(sessions)} captured)"
+    )
+    failures = 0
+    for index, (system, journal) in enumerate(genesis):
+        diffs = verify_replay(journal, system)
+        commits = len(journal.commits())
+        rollbacks = len(journal.rollbacks())
+        status = "identical" if not diffs else f"{len(diffs)} difference(s)"
+        print(
+            f"  base {index}: {commits} committed set(s), "
+            f"{rollbacks} tombstone(s) -> replayed state {status}"
+        )
+        for diff in diffs[:10]:
+            print(f"    {diff}")
+        if diffs:
+            failures += 1
+    if args.save:
+        for index, (_, journal) in enumerate(genesis):
+            path = args.save if len(genesis) == 1 else f"{args.save}.{index}"
+            journal.write_jsonl(path)
+            print(f"  journal of base {index} written to {path}")
+    return 1 if failures else 0
+
+
+def _parse_why_target(target: str):
+    """``CLASS(KEY).attribute`` -> (class, key, attribute); KEY is a
+    Python literal (quoted strings, tuples for composite identities)."""
+    import ast as python_ast
+    import re
+
+    match = re.match(r"^\s*(\w+)\((.*)\)\.(\w+)\s*$", target)
+    if match is None:
+        raise ValueError(
+            f"cannot parse {target!r}; expected CLASS(KEY).attribute, "
+            "e.g. \"DEPT('Research').manager\""
+        )
+    class_name, key_text, attribute = match.groups()
+    key_text = key_text.strip()
+    if not key_text:
+        key = class_name  # single objects use their name as key
+    else:
+        try:
+            key = python_ast.literal_eval(key_text)
+        except (ValueError, SyntaxError):
+            key = key_text  # bare identifier, treat as string key
+    return class_name, key, attribute
+
+
+def _cmd_why(args: argparse.Namespace) -> int:
+    from repro.observability.provenance import explain, render_provenance
+    from repro.observability.runner import run_with_journal
+
+    try:
+        class_name, key, attribute = _parse_why_target(args.target)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    _, sessions = run_with_journal(args.script, capture_output=not args.verbose)
+    source = args.script or "built-in company demo"
+    answers = 0
+    for system, journal in sessions:
+        provenance = explain(journal, class_name, key, attribute)
+        if provenance is not None:
+            print(f"provenance in: {source}")
+            print(render_provenance(provenance))
+            answers += 1
+    if not answers:
+        print(
+            f"no journaled write of {class_name}({key!r}).{attribute} "
+            f"found in {source}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.observability.export import render_json, render_prometheus
+    from repro.observability.runner import run_with_journal
+
+    obs, sessions = run_with_journal(args.script, capture_output=not args.verbose)
+    if args.format == "json":
+        print(json.dumps(render_json(obs.metrics, sessions), indent=2))
+    else:
+        sys.stdout.write(render_prometheus(obs.metrics, sessions))
     return 0
 
 
@@ -242,6 +350,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="interleave the script's own output",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    replay = sub.add_parser(
+        "replay",
+        help="animate a script under the event journal, replay each "
+        "journal and verify the replayed state matches the live base",
+    )
+    replay.add_argument(
+        "script", nargs="?", default=None,
+        help="Python example script to animate (default: built-in demo)",
+    )
+    replay.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="write the recorded journal(s) to PATH as JSON lines",
+    )
+    replay.add_argument(
+        "--verbose", action="store_true",
+        help="interleave the script's own output",
+    )
+    replay.set_defaults(func=_cmd_replay)
+
+    why = sub.add_parser(
+        "why",
+        help="provenance query: which occurrence (and calling chain) "
+        "wrote an attribute's value",
+    )
+    why.add_argument(
+        "target",
+        help="CLASS(KEY).attribute, e.g. \"DEPT('Research').manager\"",
+    )
+    why.add_argument(
+        "script", nargs="?", default=None,
+        help="Python example script to animate (default: built-in demo)",
+    )
+    why.add_argument(
+        "--verbose", action="store_true",
+        help="interleave the script's own output",
+    )
+    why.set_defaults(func=_cmd_why)
+
+    export = sub.add_parser(
+        "export",
+        help="export metrics and journal gauges (Prometheus text "
+        "format or JSON)",
+    )
+    export.add_argument(
+        "script", nargs="?", default=None,
+        help="Python example script to animate (default: built-in demo)",
+    )
+    export.add_argument(
+        "--format", choices=["prometheus", "json"], default="prometheus",
+        help="output format (default: prometheus)",
+    )
+    export.add_argument(
+        "--verbose", action="store_true",
+        help="interleave the script's own output",
+    )
+    export.set_defaults(func=_cmd_export)
 
     return parser
 

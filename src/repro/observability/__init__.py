@@ -14,7 +14,15 @@ execution observable the same way:
   :func:`install`; **zero overhead when not installed**;
 * :mod:`repro.observability.runner` -- run example scripts or the
   built-in demo scenario under instrumentation (the ``repro stats`` /
-  ``repro trace`` CLI engine).
+  ``repro trace`` CLI engine);
+* :mod:`repro.observability.journal` -- the event journal flight
+  recorder: one causally-linked record per committed synchronization
+  set (tombstones for rolled-back ones), deterministic replay and
+  replay verification;
+* :mod:`repro.observability.provenance` -- "why does this attribute
+  have this value?" answered from the journal's causal edges;
+* :mod:`repro.observability.export` -- Prometheus text-format / JSON
+  exporters over the metrics snapshot plus journal-derived gauges.
 
 Quickstart::
 
@@ -35,8 +43,29 @@ from repro.observability.hooks import (
     install,
     uninstall,
 )
+from repro.observability.export import journal_stats, render_json, render_prometheus
+from repro.observability.journal import (
+    Journal,
+    JournalCapture,
+    JournalRecord,
+    OccurrenceRecord,
+    TriggerRecord,
+    get_capture,
+    install_capture,
+    replay_journal,
+    replay_records,
+    uninstall_capture,
+    verify_replay,
+)
 from repro.observability.metrics import Counter, Histogram, MetricsRegistry
-from repro.observability.runner import demo_scenario, run_instrumented
+from repro.observability.provenance import (
+    CauseLink,
+    Provenance,
+    explain,
+    explain_from_trace,
+    render_provenance,
+)
+from repro.observability.runner import demo_scenario, run_instrumented, run_with_journal
 from repro.observability.tracer import (
     ConsoleSink,
     JSONLSink,
@@ -50,22 +79,42 @@ from repro.observability.tracer import (
 )
 
 __all__ = [
+    "CauseLink",
     "ConsoleSink",
     "Counter",
     "Histogram",
     "JSONLSink",
+    "Journal",
+    "JournalCapture",
+    "JournalRecord",
     "MetricsRegistry",
     "Observability",
+    "OccurrenceRecord",
+    "Provenance",
     "RingBufferSink",
     "Sink",
     "Span",
     "Tracer",
+    "TriggerRecord",
     "demo_scenario",
+    "explain",
+    "explain_from_trace",
+    "get_capture",
     "get_observability",
     "install",
+    "install_capture",
+    "journal_stats",
+    "render_json",
+    "render_prometheus",
+    "render_provenance",
     "render_span",
+    "replay_journal",
+    "replay_records",
     "run_instrumented",
+    "run_with_journal",
     "span_from_dict",
     "span_to_dict",
     "uninstall",
+    "uninstall_capture",
+    "verify_replay",
 ]

@@ -1,0 +1,144 @@
+"""Metric exporters: Prometheus text format and JSON.
+
+Turns a :class:`~repro.observability.metrics.MetricsRegistry` plus the
+journal sessions of a run into scrape-ready output:
+
+* :func:`render_prometheus` -- the Prometheus text exposition format
+  (``# TYPE`` lines, ``_total`` counters, cumulative ``_bucket{le=...}``
+  histograms with ``_sum``/``_count``, journal-derived gauges);
+* :func:`render_json` -- the same data as one JSON document.
+
+Journal-derived gauges (when sessions are given): journal depth,
+committed/rolled-back unit totals, rollback ratio, and live instances
+per class across all captured object bases.
+
+No dependency on any Prometheus client library -- the text format is a
+stable, line-oriented contract (validated by the test suite's own
+parser).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.observability.metrics import MetricsRegistry
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(namespace: str, name: str, suffix: str = "") -> str:
+    return f"{namespace}_{_NAME_RE.sub('_', name)}{suffix}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def journal_stats(sessions: Sequence[Tuple[Any, Any]]) -> Dict[str, Any]:
+    """Journal-derived gauges over captured (system, journal) sessions."""
+    depth = sum(len(journal) for _, journal in sessions)
+    commits = sum(len(journal.commits()) for _, journal in sessions)
+    rollbacks = sum(len(journal.rollbacks()) for _, journal in sessions)
+    live: Dict[str, int] = {}
+    for system, _ in sessions:
+        for class_name in system.instances:
+            count = len(system.alive_instances(class_name))
+            if count:
+                live[class_name] = live.get(class_name, 0) + count
+    total = commits + rollbacks
+    return {
+        "depth": depth,
+        "commits": commits,
+        "rollbacks": rollbacks,
+        "rollback_ratio": rollbacks / total if total else 0.0,
+        "live_instances": dict(sorted(live.items())),
+        "sessions": len(sessions),
+    }
+
+
+def render_prometheus(
+    metrics: MetricsRegistry,
+    sessions: Optional[Sequence[Tuple[Any, Any]]] = None,
+    namespace: str = "repro",
+) -> str:
+    """The registry (and optional journal sessions) in Prometheus text
+    exposition format."""
+    lines: List[str] = []
+
+    for name, counter in sorted(metrics.counters.items()):
+        metric = _metric_name(namespace, name, "_total")
+        lines.append(f"# HELP {metric} Counter {name!r} of the animator run.")
+        lines.append(f"# TYPE {metric} counter")
+        if not counter.values:
+            lines.append(f"{metric} 0")
+        for labels, count in sorted(counter.values.items()):
+            if labels:
+                label = _escape_label("/".join(str(p) for p in labels))
+                lines.append(f'{metric}{{label="{label}"}} {_format_value(count)}')
+            else:
+                lines.append(f"{metric} {_format_value(count)}")
+
+    for name, hist in sorted(metrics.histograms.items()):
+        suffix = "_seconds" if hist.unit == "s" else ""
+        metric = _metric_name(namespace, name, suffix)
+        lines.append(f"# HELP {metric} Histogram {name!r} of the animator run.")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist.buckets, hist.bucket_counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f"{metric}_sum {_format_value(float(hist.sum))}")
+        lines.append(f"{metric}_count {hist.count}")
+
+    if sessions is not None:
+        stats = journal_stats(sessions)
+        gauges = [
+            ("journal_depth", "Records across all captured journals.",
+             stats["depth"]),
+            ("journal_commits", "Committed synchronization sets journaled.",
+             stats["commits"]),
+            ("journal_rollbacks", "Tombstones (rolled-back sets) journaled.",
+             stats["rollbacks"]),
+            ("journal_rollback_ratio", "Tombstones as a fraction of all records.",
+             stats["rollback_ratio"]),
+            ("journal_sessions", "Captured object bases.", stats["sessions"]),
+        ]
+        for name, help_text, value in gauges:
+            metric = _metric_name(namespace, name)
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(float(value))}")
+        metric = _metric_name(namespace, "live_instances")
+        lines.append(f"# HELP {metric} Alive instances per class.")
+        lines.append(f"# TYPE {metric} gauge")
+        if not stats["live_instances"]:
+            lines.append(f'{metric}{{class=""}} 0')
+        for class_name, count in stats["live_instances"].items():
+            lines.append(
+                f'{metric}{{class="{_escape_label(class_name)}"}} {count}'
+            )
+
+    return "\n".join(lines) + "\n"
+
+
+def render_json(
+    metrics: MetricsRegistry,
+    sessions: Optional[Sequence[Tuple[Any, Any]]] = None,
+) -> Dict[str, Any]:
+    """The registry snapshot (and optional journal gauges) as one JSON
+    document."""
+    document: Dict[str, Any] = {"metrics": metrics.snapshot()}
+    if sessions is not None:
+        document["journal"] = journal_stats(sessions)
+    return document

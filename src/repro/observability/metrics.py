@@ -108,6 +108,32 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 < q <= 1) from the bucket counts,
+        linearly interpolated within the containing bucket and clamped
+        to the observed [min, max] range."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0.0
+        lower = 0.0
+        for bound, count in zip(self.buckets, self.bucket_counts):
+            upper = bound if bound != float("inf") else (
+                self.max if self.max is not None else lower
+            )
+            if count and cumulative + count >= target:
+                fraction = (target - cumulative) / count
+                value = lower + max(upper - lower, 0.0) * fraction
+                if self.min is not None:
+                    value = max(value, self.min)
+                if self.max is not None:
+                    value = min(value, self.max)
+                return value
+            cumulative += count
+            if bound != float("inf"):
+                lower = bound
+        return self.max if self.max is not None else 0.0
+
     def snapshot(self) -> dict:
         if self.unit != "s":
             return {
@@ -116,6 +142,9 @@ class Histogram:
                 "mean": self.mean,
                 "min": self.min or 0,
                 "max": self.max or 0,
+                "p50": self.percentile(0.5),
+                "p95": self.percentile(0.95),
+                "p99": self.percentile(0.99),
                 "buckets": {
                     ("inf" if bound == float("inf") else f"<={bound:g}"): count
                     for bound, count in zip(self.buckets, self.bucket_counts)
@@ -127,6 +156,9 @@ class Histogram:
             "mean_ms": self.mean * 1e3,
             "min_ms": (self.min or 0.0) * 1e3,
             "max_ms": (self.max or 0.0) * 1e3,
+            "p50_ms": self.percentile(0.5) * 1e3,
+            "p95_ms": self.percentile(0.95) * 1e3,
+            "p99_ms": self.percentile(0.99) * 1e3,
             "buckets": {
                 ("inf" if bound == float("inf") else f"<={bound * 1e3:g}ms"): count
                 for bound, count in zip(self.buckets, self.bucket_counts)
@@ -192,19 +224,25 @@ class MetricsRegistry:
                 lines.append("")
             lines.append(
                 f"{'histogram':28} {'count':>7} {'mean':>9} "
+                f"{'p50':>9} {'p95':>9} {'p99':>9} "
                 f"{'min':>9} {'max':>9} {'total':>9}"
             )
-            lines.append("-" * 76)
+            lines.append("-" * 106)
             for name, hist in sorted(self.histograms.items()):
                 if hist.unit == "s":
                     lines.append(
                         f"{name:28} {hist.count:>7} {hist.mean * 1e3:>7.3f}ms "
+                        f"{hist.percentile(0.5) * 1e3:>7.3f}ms "
+                        f"{hist.percentile(0.95) * 1e3:>7.3f}ms "
+                        f"{hist.percentile(0.99) * 1e3:>7.3f}ms "
                         f"{(hist.min or 0) * 1e3:>7.3f}ms {(hist.max or 0) * 1e3:>7.3f}ms "
                         f"{hist.sum * 1e3:>7.1f}ms"
                     )
                 else:
                     lines.append(
                         f"{name:28} {hist.count:>7} {hist.mean:>9.2f} "
+                        f"{hist.percentile(0.5):>9.2f} {hist.percentile(0.95):>9.2f} "
+                        f"{hist.percentile(0.99):>9.2f} "
                         f"{hist.min or 0:>9g} {hist.max or 0:>9g} {hist.sum:>9g}"
                     )
         return "\n".join(lines) if lines else "(no metrics recorded)"

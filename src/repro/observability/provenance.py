@@ -1,0 +1,161 @@
+"""Provenance queries over the event journal.
+
+The paper's observations are attribute valuations over life-cycle
+traces, so "why does ``DEPT('Research').manager`` have this value?" has
+a precise answer: the valuation occurrence that last wrote it, plus the
+event-calling chain that forced that occurrence to happen.  With the
+:class:`~repro.observability.journal.Journal` recording causal edges
+per committed synchronization set, :func:`explain` walks the records
+back to that occurrence and follows its ``caused_by`` links up to the
+triggering occurrence.
+
+:func:`explain_from_trace` is the journal-less fallback: the instance's
+own trace still shows *which event* wrote the value (via
+``Trace.attribute_history``), just without cross-object causality or
+sequence numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.datatypes.values import Value
+from repro.observability.journal import Journal
+
+
+@dataclass(frozen=True)
+class CauseLink:
+    """One occurrence in the causal chain behind a value."""
+
+    class_name: str
+    key: Any
+    event: str
+    args: Tuple[Value, ...]
+    kind: str = "normal"
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.class_name}({self.key!r}).{self.event}({inner})"
+
+
+@dataclass
+class Provenance:
+    """The answer to "why does this attribute have this value?".
+
+    ``chain`` runs trigger-first: ``chain[0]`` is the occurrence the
+    environment fired, ``chain[-1]`` the valuation occurrence that wrote
+    the value.  ``seq`` is the journal sequence number of the writing
+    synchronization set (None for the trace fallback).  ``history``
+    lists every recorded write of the attribute as ``(seq, event,
+    value)`` triples, oldest first."""
+
+    class_name: str
+    key: Any
+    attribute: str
+    value: Value
+    seq: Optional[int]
+    chain: List[CauseLink] = field(default_factory=list)
+    history: List[Tuple[Optional[int], str, Value]] = field(default_factory=list)
+
+    @property
+    def event(self) -> str:
+        return self.chain[-1].event if self.chain else ""
+
+
+def explain(
+    journal: Journal, class_name: str, key: Any, attribute: str
+) -> Optional[Provenance]:
+    """Why does ``class_name(key).attribute`` have its current value?
+
+    Walks the journal's commit records for deltas on the attribute;
+    returns the provenance of the *latest* write (with the full value
+    history), or None when the journal never recorded one."""
+    if isinstance(key, Value):
+        key = key.payload
+    history: List[Tuple[Optional[int], str, Value]] = []
+    latest: Optional[Tuple[int, Any, int]] = None  # (seq, record, occ index)
+    for record in journal.records:
+        if record.kind != "commit":
+            continue
+        for index, occurrence in enumerate(record.occurrences):
+            if occurrence.class_name != class_name or occurrence.key != key:
+                continue
+            for name, value in occurrence.delta:
+                if name == attribute:
+                    history.append((record.seq, occurrence.event, value))
+                    latest = (record.seq, record, index)
+                    break
+    if latest is None:
+        return None
+    seq, record, index = latest
+    chain: List[CauseLink] = []
+    cursor: Optional[int] = index
+    while cursor is not None:
+        occurrence = record.occurrences[cursor]
+        chain.append(
+            CauseLink(
+                class_name=occurrence.class_name,
+                key=occurrence.key,
+                event=occurrence.event,
+                args=occurrence.args,
+                kind=occurrence.kind,
+            )
+        )
+        cursor = occurrence.caused_by
+    chain.reverse()  # trigger-first
+    return Provenance(
+        class_name=class_name,
+        key=key,
+        attribute=attribute,
+        value=history[-1][2],
+        seq=seq,
+        chain=chain,
+        history=history,
+    )
+
+
+def explain_from_trace(instance, attribute: str) -> Optional[Provenance]:
+    """Journal-less provenance from the instance's own trace: which
+    event last changed the attribute (no cross-object causality)."""
+    history = instance.trace.attribute_history(attribute)
+    if not history:
+        return None
+    index, event, value = history[-1]
+    step = instance.trace.steps[index]
+    link = CauseLink(
+        class_name=instance.class_name,
+        key=instance.key,
+        event=event,
+        args=step.args,
+    )
+    return Provenance(
+        class_name=instance.class_name,
+        key=instance.key,
+        attribute=attribute,
+        value=value,
+        seq=None,
+        chain=[link],
+        history=[(None, ev, val) for _, ev, val in history],
+    )
+
+
+def render_provenance(provenance: Provenance) -> str:
+    """Human-readable provenance report (the ``repro why`` output)."""
+    p = provenance
+    lines = [f"{p.class_name}({p.key!r}).{p.attribute} = {p.value}"]
+    if p.seq is not None:
+        lines.append(f"  written by synchronization set #{p.seq}")
+    else:
+        lines.append("  written by (trace fallback; no journal recorded)")
+    if p.chain:
+        lines.append("  event-calling chain (trigger first):")
+        for depth, link in enumerate(p.chain):
+            prefix = "    " + "  " * depth + ("-> " if depth else "")
+            lines.append(prefix + str(link))
+    if len(p.history) > 1:
+        lines.append("  value history:")
+        for seq, event, value in p.history:
+            tag = f"#{seq}" if seq is not None else "-"
+            lines.append(f"    {tag:>6}  {event} -> {value}")
+    return "\n".join(lines)

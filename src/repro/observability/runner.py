@@ -90,3 +90,32 @@ def run_instrumented(
     finally:
         uninstall()
     return obs
+
+
+def run_with_journal(
+    script: Optional[str] = None,
+    tracing: bool = False,
+    capture_output: bool = True,
+):
+    """Run ``script`` (or the demo scenario) under metrics *and* the
+    process-global journal capture: every ObjectBase the run constructs
+    gets its own event journal.  Returns ``(obs, sessions)`` where
+    ``sessions`` is the list of captured ``(system, journal)`` pairs --
+    the engine behind ``repro replay`` / ``repro why`` /
+    ``repro export``."""
+    from repro.observability.journal import install_capture, uninstall_capture
+
+    obs = Observability(tracing=tracing)
+    install(obs)
+    capture = install_capture()
+    try:
+        sink: io.StringIO = io.StringIO()
+        with contextlib.redirect_stdout(sink) if capture_output else contextlib.nullcontext():
+            if script is None:
+                demo_scenario()
+            else:
+                runpy.run_path(script, run_name="__main__")
+    finally:
+        uninstall_capture()
+        uninstall()
+    return obs, capture.sessions

@@ -145,23 +145,61 @@ class RingBufferSink(Sink):
 
 
 class JSONLSink(Sink):
-    """Writes one JSON object per root span to a file or stream."""
+    """Writes one JSON object per root span to a file or stream.
 
-    def __init__(self, target):
+    Usable as a context manager (closes an owned file on exit).  When
+    given a *path* and ``max_bytes``, the file rotates once it grows
+    past the bound: ``trace.jsonl`` -> ``trace.jsonl.1`` -> ... up to
+    ``keep`` rotated files, oldest dropped.  Rotation never splits a
+    span (the size check runs between emits).
+    """
+
+    def __init__(self, target, max_bytes: Optional[int] = None, keep: int = 5):
+        self.max_bytes = max_bytes
+        self.keep = keep
         if hasattr(target, "write"):
             self._stream: IO[str] = target
             self._owns = False
+            self._path: Optional[str] = None
         else:
-            self._stream = open(target, "a", encoding="utf-8")
+            self._path = str(target)
+            self._stream = open(self._path, "a", encoding="utf-8")
             self._owns = True
 
     def emit(self, span: Span) -> None:
         self._stream.write(json.dumps(span_to_dict(span)) + "\n")
         self._stream.flush()
+        if (
+            self.max_bytes is not None
+            and self._path is not None
+            and self._stream.tell() >= self.max_bytes
+        ):
+            self._rotate()
+
+    def _rotate(self) -> None:
+        import os
+
+        self._stream.close()
+        oldest = f"{self._path}.{self.keep}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for index in range(self.keep - 1, 0, -1):
+            rotated = f"{self._path}.{index}"
+            if os.path.exists(rotated):
+                os.replace(rotated, f"{self._path}.{index + 1}")
+        os.replace(self._path, f"{self._path}.1")
+        self._stream = open(self._path, "a", encoding="utf-8")
 
     def close(self) -> None:
         if self._owns:
             self._stream.close()
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
 
 class ConsoleSink(Sink):

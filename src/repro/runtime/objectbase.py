@@ -46,6 +46,11 @@ from repro.diagnostics import (
     RuntimeSpecError,
 )
 from repro.observability.hooks import Observability, get_observability
+from repro.observability.journal import (
+    Journal,
+    _NoJournal,
+    get_capture as get_journal_capture,
+)
 from repro.lang import ast
 from repro.lang.checker import CheckedSpecification, check_specification
 from repro.lang.parser import parse_specification
@@ -112,6 +117,14 @@ class _Transaction:
         self.created: List[Instance] = []
         self.steps: List[Tuple[Instance, TraceStep, str]] = []
         self.depth = 0
+        #: causal provenance for the journal, maintained only while a
+        #: recorder is attached: ``parents[i]`` is the index of the step
+        #: whose event calling / role coupling produced step ``i`` (None
+        #: for triggers), ``call_stack`` the indices of the occurrences
+        #: currently being processed.
+        self.journaling = system.recorder is not None
+        self.parents: List[Optional[int]] = []
+        self.call_stack: List[int] = []
 
     def touch(self, instance: Instance) -> None:
         if id(instance) not in self.snapshots:
@@ -120,8 +133,11 @@ class _Transaction:
     def touched_instances(self) -> List[Instance]:
         return [inst for inst, _ in self.snapshots.values()]
 
-    def record(self, instance: Instance, step: TraceStep, kind: str) -> None:
+    def record(self, instance: Instance, step: TraceStep, kind: str) -> int:
         self.steps.append((instance, step, kind))
+        if self.journaling:
+            self.parents.append(self.call_stack[-1] if self.call_stack else None)
+        return len(self.steps) - 1
 
     def rollback(self) -> None:
         for instance, snapshot in self.snapshots.values():
@@ -156,6 +172,7 @@ class ObjectBase:
         permission_mode: str = "incremental",
         check_constraints: bool = True,
         observability: Optional[Observability] = None,
+        journal: Optional[Journal] = None,
     ):
         if permission_mode not in ("incremental", "naive"):
             raise ValueError("permission_mode must be 'incremental' or 'naive'")
@@ -167,6 +184,17 @@ class ObjectBase:
         self.obs: Optional[Observability] = (
             observability if observability is not None else get_observability()
         )
+        #: event-journal flight recorder, same disabled-by-default
+        #: contract as ``obs`` (None -> the process-global journal
+        #: capture if installed, else no recording); distinct from
+        #: ``self.journal`` below, the plain in-memory occurrence list
+        if isinstance(journal, _NoJournal):
+            self.recorder: Optional[Journal] = None
+        elif journal is not None:
+            self.recorder = journal
+        else:
+            capture = get_journal_capture()
+            self.recorder = capture.attach(self) if capture is not None else None
         if isinstance(source, str):
             source = parse_specification(source)
         if isinstance(source, ast.Specification):
@@ -492,14 +520,20 @@ class ObjectBase:
         if obs is not None and obs.enabled:
             self._run_unit_observed(obs, items)
             return
+        recorder = self.recorder
+        triggers = recorder.snapshot_triggers(items) if recorder is not None else None
         txn = _Transaction(self)
         try:
             for instance, event, args in items:
                 self._process(txn, instance, event, args)
             self._check_static_constraints(txn)
-        except Exception:
+        except Exception as exc:
             txn.rollback()
+            if recorder is not None:
+                recorder.record_rollback(triggers, exc)
             raise
+        if recorder is not None:
+            recorder.record_commit(txn, triggers)
         txn.commit()
         committed = [Occurrence(inst, step.event, step.args) for inst, step, _ in txn.steps]
         self.journal.extend(committed)
@@ -514,6 +548,8 @@ class ObjectBase:
         root span, a ``constraint_check`` phase, and commit/rollback
         metrics (rolled-back occurrences count as aborted)."""
         first = items[0]
+        recorder = self.recorder
+        triggers = recorder.snapshot_triggers(items) if recorder is not None else None
         with obs.span(
             "sync_set",
             trigger=f"{first[0].class_name}({first[0].key!r}).{first[1]}",
@@ -535,7 +571,11 @@ class ObjectBase:
                 obs.on_rollback(
                     len(txn.steps), reason, str(failed) if failed else ""
                 )
+                if recorder is not None:
+                    recorder.record_rollback(triggers, exc)
                 raise
+            if recorder is not None:
+                recorder.record_commit(txn, triggers)
             txn.commit()
             committed = [
                 Occurrence(inst, step.event, step.args) for inst, step, _ in txn.steps
@@ -639,6 +679,8 @@ class ObjectBase:
             )
             self._phase_roles(txn, instance, event, args)
             self._phase_calling(txn, instance, event, args)
+            if txn.journaling:
+                txn.call_stack.pop()
         else:
             with obs.phase("permission_check"):
                 new_protocol_states = self._phase_checks(instance, decl, event, args)
@@ -651,6 +693,8 @@ class ObjectBase:
                 self._phase_roles(txn, instance, event, args)
             with obs.phase("called_events"):
                 self._phase_calling(txn, instance, event, args)
+            if txn.journaling:
+                txn.call_stack.pop()
 
     def _phase_checks(
         self,
@@ -698,7 +742,11 @@ class ObjectBase:
             args=args,
             state=tuple(instance.merged_state().items()),
         )
-        txn.record(instance, step, kind)
+        index = txn.record(instance, step, kind)
+        if txn.journaling:
+            # Everything recorded until _process_body pops (role echoes,
+            # role births/deaths, called events) was caused by this step.
+            txn.call_stack.append(index)
         for role in self._all_roles(instance):
             txn.touch(role)
             txn.record(

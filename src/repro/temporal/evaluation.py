@@ -40,6 +40,9 @@ from repro.temporal.formulas import (
     StateProp,
 )
 
+#: sentinel distinguishing "attribute never seen" from any real value
+_NO_VALUE = object()
+
 
 @dataclass(frozen=True)
 class TraceStep:
@@ -127,6 +130,23 @@ class Trace:
         for item in data:
             trace.append(TraceStep.from_dict(item))
         return trace
+
+    def attribute_history(self, name: str) -> List[Tuple[int, str, Value]]:
+        """Every change of attribute ``name`` over this life cycle, as
+        ``(step index, event, new value)`` triples -- the trace-level
+        view the journal's provenance queries cross-check against (and
+        the fallback when no journal was recorded, see
+        :func:`repro.observability.provenance.explain_from_trace`)."""
+        history: List[Tuple[int, str, Value]] = []
+        previous: object = _NO_VALUE
+        for index, step in enumerate(self.steps):
+            for attr, value in step.state:
+                if attr == name:
+                    if value != previous:
+                        history.append((index, step.event, value))
+                        previous = value
+                    break
+        return history
 
     def history_values(self, position: int) -> Iterator[Value]:
         """Every value observable in the trace up to ``position``

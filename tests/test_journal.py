@@ -1,0 +1,549 @@
+"""The event journal: records, causality, replay, provenance, export.
+
+Covers the PR 2 flight-recorder layer end to end:
+
+* one causally-linked :class:`JournalRecord` per committed
+  synchronization set, tombstones for rolled-back ones;
+* deterministic replay -- for every script in ``examples/``, animating
+  under the journal then replaying the journal against the same
+  compiled spec yields an identical ``dump_state`` snapshot;
+* journal-aware snapshots (snapshot + journal suffix = incremental
+  backup);
+* provenance queries ("why does this attribute have this value?");
+* Prometheus / JSON metric export (validated against a line-level
+  parser of the text exposition format).
+"""
+
+import contextlib
+import glob
+import io
+import json
+import os
+import re
+import runpy
+
+import pytest
+
+from repro.datatypes.values import date
+from repro.diagnostics import (
+    ConstraintViolation,
+    PermissionDenied,
+    RuntimeSpecError,
+)
+from repro.library import FULL_COMPANY_SPEC
+from repro.observability import Observability
+from repro.observability.export import journal_stats, render_json, render_prometheus
+from repro.observability.journal import (
+    Journal,
+    get_capture,
+    install_capture,
+    replay_journal,
+    uninstall_capture,
+    verify_replay,
+)
+from repro.observability.provenance import (
+    explain,
+    explain_from_trace,
+    render_provenance,
+)
+from repro.runtime import ObjectBase
+from repro.runtime.persistence import (
+    dump_incremental,
+    dump_state,
+    restore_incremental,
+    restore_state,
+)
+
+from tests.conftest import D1960, D1970, D1991
+
+EXAMPLES = sorted(glob.glob(os.path.join(os.path.dirname(__file__), "..", "examples", "*.py")))
+
+
+def journaled_company():
+    journal = Journal()
+    system = ObjectBase(FULL_COMPANY_SPEC, journal=journal)
+    return journal, system
+
+
+def staff(system):
+    dept = system.create("DEPT", {"id": "Sales"}, "establishment", [D1991])
+    alice = system.create(
+        "PERSON", {"Name": "alice", "BirthDate": D1960},
+        "hire_into", ["Sales", 6000.0],
+    )
+    bob = system.create(
+        "PERSON", {"Name": "bob", "BirthDate": D1970},
+        "hire_into", ["Sales", 3000.0],
+    )
+    system.occur(dept, "hire", [alice])
+    system.occur(dept, "hire", [bob])
+    return dept, alice, bob
+
+
+class TestJournalRecords:
+    def test_one_commit_record_per_sync_set(self):
+        journal, system = journaled_company()
+        staff(system)
+        assert len(journal) == 5
+        assert [r.kind for r in journal] == ["commit"] * 5
+        assert [r.seq for r in journal] == [1, 2, 3, 4, 5]
+
+    def test_disabled_by_default(self):
+        system = ObjectBase(FULL_COMPANY_SPEC)
+        assert system.recorder is None
+        staff(system)  # no journal side effects
+
+    def test_creation_trigger_carries_identification(self):
+        journal, system = journaled_company()
+        staff(system)
+        trigger = journal.records[0].triggers[0]
+        assert trigger.created
+        assert trigger.class_name == "DEPT"
+        assert trigger.event == "establishment"
+        assert dict(trigger.identification)["id"].payload == "Sales"
+
+    def test_causal_edges_through_event_calling(self):
+        journal, system = journaled_company()
+        dept, alice, _ = staff(system)
+        system.occur(dept, "new_manager", [alice])
+        record = journal.records[-1]
+        occurrences = record.occurrences
+        by_event = {
+            (o.class_name, o.event): index for index, o in enumerate(occurrences)
+        }
+        trigger = by_event[("DEPT", "new_manager")]
+        called = by_event[("PERSON", "become_manager")]
+        role_birth = by_event[("MANAGER", "become_manager")]
+        assert occurrences[trigger].caused_by is None
+        # The global rule DEPT.new_manager >> PERSON.become_manager is
+        # the calling edge; the MANAGER role birth hangs off its target.
+        assert occurrences[called].caused_by == trigger
+        assert occurrences[role_birth].caused_by == called
+        assert occurrences[role_birth].kind == "birth"
+
+    def test_deltas_hold_changed_attributes_only(self):
+        journal, system = journaled_company()
+        dept, alice, _ = staff(system)
+        hire_record = journal.records[3]
+        (occurrence,) = [
+            o for o in hire_record.occurrences if o.class_name == "DEPT"
+        ]
+        assert [name for name, _ in occurrence.delta] == ["employees"]
+        assert alice.identity in occurrence.delta[0][1].payload
+
+    def test_tombstone_for_permission_denial(self):
+        journal, system = journaled_company()
+        dept, _, _ = staff(system)
+        outsider = system.create(
+            "PERSON", {"Name": "eve", "BirthDate": D1960},
+            "hire_into", ["X", 1.0],
+        )
+        with pytest.raises(PermissionDenied):
+            system.occur(dept, "fire", [outsider])
+        tombstone = journal.records[-1]
+        assert tombstone.kind == "rollback"
+        assert not tombstone.committed
+        assert tombstone.reason == "PermissionDenied"
+        assert "fire" in tombstone.failed
+        assert tombstone.occurrences == ()
+
+    def test_tombstone_for_constraint_violation(self):
+        journal, system = journaled_company()
+        dept, _, bob = staff(system)
+        with pytest.raises(ConstraintViolation):
+            system.occur(dept, "new_manager", [bob])  # salary below floor
+        tombstone = journal.records[-1]
+        assert tombstone.reason == "ConstraintViolation"
+        assert "MANAGER" in tombstone.failed
+        assert journal.rollback_ratio == pytest.approx(1 / 6)
+
+    def test_probes_are_not_journaled(self):
+        journal, system = journaled_company()
+        dept, alice, _ = staff(system)
+        depth = len(journal)
+        assert system.is_permitted(dept, "fire", [alice])
+        assert not system.is_permitted(dept, "establishment", [D1991])
+        assert len(journal) == depth
+
+
+class TestReplay:
+    def test_replay_reconstructs_identical_state(self):
+        journal, system = journaled_company()
+        dept, alice, bob = staff(system)
+        system.occur(dept, "new_manager", [alice])
+        system.occur(dept, "fire", [bob])
+        replayed = replay_journal(journal, system.compiled)
+        assert dump_state(replayed) == dump_state(system)
+        assert verify_replay(journal, system) == []
+
+    def test_replayed_base_does_not_journal_itself(self):
+        journal, system = journaled_company()
+        staff(system)
+        replayed = replay_journal(journal, system.compiled)
+        assert replayed.recorder is None
+        assert len(journal) == 5
+
+    def test_tombstones_are_skipped(self):
+        journal, system = journaled_company()
+        dept, _, bob = staff(system)
+        with pytest.raises(ConstraintViolation):
+            system.occur(dept, "new_manager", [bob])
+        assert verify_replay(journal, system) == []
+
+    def test_diff_reported_on_divergence(self):
+        journal, system = journaled_company()
+        dept, alice, _ = staff(system)
+        # Corrupt the live base relative to the journal.
+        system.occur(dept, "new_manager", [alice])
+        del journal.records[-1]
+        diffs = verify_replay(journal, system)
+        assert diffs
+        # The missing record means the MANAGER role never births in the
+        # replayed base.
+        assert any("MANAGER" in d or "length" in d for d in diffs)
+
+    def test_jsonl_round_trip_replays(self):
+        journal, system = journaled_company()
+        dept, alice, _ = staff(system)
+        system.occur(dept, "new_manager", [alice])
+        buffer = io.StringIO()
+        journal.write_jsonl(buffer)
+        buffer.seek(0)
+        reloaded = Journal.read_jsonl(buffer)
+        assert reloaded.records == journal.records
+        assert reloaded.last_seq == journal.last_seq
+        assert verify_replay(reloaded, system) == []
+
+    def test_jsonl_file_round_trip(self, tmp_path):
+        journal, system = journaled_company()
+        staff(system)
+        path = tmp_path / "journal.jsonl"
+        journal.write_jsonl(str(path))
+        assert len(path.read_text().splitlines()) == 5
+        reloaded = Journal.read_jsonl(str(path))
+        assert reloaded.records == journal.records
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[os.path.basename(p) for p in EXAMPLES]
+)
+def test_replay_determinism_over_examples(script):
+    """Acceptance: every example script, animated under the journal
+    capture, replays to a dump_state snapshot identical to the live
+    base's (restored-origin probe bases are exempt by design)."""
+    capture = install_capture()
+    try:
+        with contextlib.redirect_stdout(io.StringIO()):
+            runpy.run_path(script, run_name="__main__")
+    finally:
+        uninstall_capture()
+    genesis = capture.genesis_sessions()
+    if not genesis:
+        # A purely static example (e.g. diagram generation) animates no
+        # object base; replay is vacuous.
+        pytest.skip(f"{os.path.basename(script)} animates no object base")
+    for system, journal in genesis:
+        assert verify_replay(journal, system) == [], (
+            f"replay of {script} diverged"
+        )
+
+
+class TestCaptureRegistry:
+    def test_install_attaches_and_uninstall_stops(self):
+        capture = install_capture()
+        try:
+            journal, _system = None, ObjectBase(FULL_COMPANY_SPEC)
+            assert _system.recorder is not None
+            assert get_capture() is capture
+        finally:
+            uninstall_capture()
+        assert get_capture() is None
+        assert ObjectBase(FULL_COMPANY_SPEC).recorder is None
+        assert len(capture.sessions) == 1
+
+    def test_explicit_journal_wins_over_capture(self):
+        install_capture()
+        try:
+            mine = Journal()
+            system = ObjectBase(FULL_COMPANY_SPEC, journal=mine)
+            assert system.recorder is mine
+            assert get_capture().sessions == []
+        finally:
+            uninstall_capture()
+
+
+class TestIncrementalBackup:
+    def test_snapshot_plus_suffix_reconstructs(self):
+        journal, system = journaled_company()
+        dept, alice, bob = staff(system)
+        backup = dump_incremental(system)
+        assert backup["journal_seq"] == 5
+        system.occur(dept, "new_manager", [alice])
+        system.occur(dept, "fire", [bob])
+        restored = restore_incremental(
+            ObjectBase(system.compiled), backup, journal
+        )
+        assert dump_state(restored) == dump_state(system)
+
+    def test_snapshot_alone_without_recorder(self):
+        system = ObjectBase(FULL_COMPANY_SPEC)
+        staff(system)
+        backup = dump_incremental(system)
+        assert backup["journal_seq"] is None
+        restored = restore_incremental(ObjectBase(system.compiled), backup)
+        assert dump_state(restored) == dump_state(system)
+
+    def test_restore_marks_journal_origin(self):
+        journal, system = journaled_company()
+        staff(system)
+        target_journal = Journal()
+        target = ObjectBase(system.compiled, journal=target_journal)
+        restore_state(target, dump_state(system))
+        assert target_journal.origin == "restored"
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(RuntimeSpecError):
+            restore_incremental(
+                ObjectBase(FULL_COMPANY_SPEC), {"format": 99, "snapshot": {}}
+            )
+
+
+class TestProvenance:
+    def test_direct_valuation(self):
+        journal, system = journaled_company()
+        dept, alice, _ = staff(system)
+        system.occur(dept, "new_manager", [alice])
+        provenance = explain(journal, "DEPT", "Sales", "manager")
+        assert provenance is not None
+        assert provenance.value == alice.identity
+        assert provenance.seq == 6
+        assert provenance.event == "new_manager"
+        assert [link.event for link in provenance.chain] == ["new_manager"]
+
+    def test_called_event_chain(self):
+        journal, system = journaled_company()
+        dept, alice, _ = staff(system)
+        system.occur(dept, "new_manager", [alice])
+        provenance = explain(journal, "PERSON", alice.key, "IsManager")
+        assert provenance is not None
+        assert provenance.value.payload is True
+        # Trigger-first: the DEPT trigger, then the called occurrence.
+        assert [(l.class_name, l.event) for l in provenance.chain] == [
+            ("DEPT", "new_manager"),
+            ("PERSON", "become_manager"),
+        ]
+
+    def test_value_history_lists_every_write(self):
+        journal, system = journaled_company()
+        _, alice, _ = staff(system)
+        system.occur(alice, "ChangeSalary", [7000.0])
+        system.occur(alice, "ChangeSalary", [8000.0])
+        provenance = explain(journal, "PERSON", alice.key, "Salary")
+        assert [v.payload for _, _, v in provenance.history] == [
+            6000.0, 7000.0, 8000.0,
+        ]
+        assert provenance.value.payload == 8000.0
+
+    def test_unwritten_attribute_returns_none(self):
+        journal, system = journaled_company()
+        staff(system)
+        assert explain(journal, "DEPT", "Sales", "manager") is None
+        assert explain(journal, "DEPT", "Nowhere", "employees") is None
+
+    def test_value_key_accepted(self):
+        journal, system = journaled_company()
+        dept, _, _ = staff(system)
+        provenance = explain(journal, "DEPT", dept.identity, "employees")
+        assert provenance is not None
+
+    def test_trace_fallback_agrees_with_journal(self):
+        journal, system = journaled_company()
+        dept, alice, _ = staff(system)
+        system.occur(dept, "new_manager", [alice])
+        from_journal = explain(journal, "PERSON", alice.key, "IsManager")
+        from_trace = explain_from_trace(alice, "IsManager")
+        assert from_trace is not None
+        assert from_trace.seq is None
+        assert from_trace.value == from_journal.value
+        assert from_trace.chain[-1].event == from_journal.chain[-1].event
+
+    def test_attribute_history_on_trace(self):
+        _, system = journaled_company()
+        _, alice, _ = staff(system)
+        system.occur(alice, "ChangeSalary", [9000.0])
+        history = alice.trace.attribute_history("Salary")
+        assert [value.payload for _, _, value in history] == [6000.0, 9000.0]
+        assert history[0][1] == "hire_into"
+        assert alice.trace.attribute_history("NoSuch") == []
+
+    def test_render_provenance_text(self):
+        journal, system = journaled_company()
+        dept, alice, _ = staff(system)
+        system.occur(dept, "new_manager", [alice])
+        text = render_provenance(explain(journal, "PERSON", alice.key, "IsManager"))
+        assert "IsManager" in text
+        assert "synchronization set #6" in text
+        assert "become_manager" in text
+        assert "new_manager" in text
+
+
+# A deliberately small but strict parser for the Prometheus text
+# exposition format: comment/TYPE/HELP lines, sample lines with an
+# optional label set, float values (incl. +Inf).
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"
+    r" (?:[+-]?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|Inf|NaN))$"
+)
+_PROM_COMMENT = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+
+
+def assert_valid_prometheus(text):
+    assert text.endswith("\n")
+    types = {}
+    for line in text.splitlines():
+        if line.startswith("#"):
+            assert _PROM_COMMENT.match(line), f"bad comment line: {line!r}"
+            parts = line.split()
+            if parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+        else:
+            assert _PROM_SAMPLE.match(line), f"bad sample line: {line!r}"
+    assert types, "no TYPE lines"
+    assert set(types.values()) <= {"counter", "gauge", "histogram"}
+    return types
+
+
+class TestExport:
+    def run_demo(self):
+        from repro.observability.runner import run_with_journal
+
+        return run_with_journal()
+
+    def test_prometheus_output_parses(self):
+        obs, sessions = self.run_demo()
+        text = render_prometheus(obs.metrics, sessions)
+        types = assert_valid_prometheus(text)
+        assert types["repro_sync_sets_committed_total"] == "counter"
+        assert types["repro_journal_depth"] == "gauge"
+        assert types["repro_live_instances"] == "gauge"
+        assert any(value == "histogram" for value in types.values())
+
+    def test_histogram_buckets_are_cumulative(self):
+        obs, sessions = self.run_demo()
+        text = render_prometheus(obs.metrics, sessions)
+        for metric in {
+            line.split("{")[0].rsplit("_bucket", 1)[0]
+            for line in text.splitlines()
+            if "_bucket{" in line
+        }:
+            counts = [
+                float(line.rsplit(" ", 1)[1])
+                for line in text.splitlines()
+                if line.startswith(f"{metric}_bucket{{")
+            ]
+            assert counts == sorted(counts)
+            count_line = [
+                line for line in text.splitlines()
+                if line.startswith(f"{metric}_count ")
+            ]
+            assert float(count_line[0].rsplit(" ", 1)[1]) == counts[-1]
+
+    def test_journal_gauges(self):
+        obs, sessions = self.run_demo()
+        stats = journal_stats(sessions)
+        assert stats["commits"] == 8
+        assert stats["rollbacks"] == 2
+        assert stats["depth"] == 10
+        assert stats["rollback_ratio"] == pytest.approx(0.2)
+        assert stats["live_instances"]["DEPT"] == 1
+        assert stats["live_instances"]["MANAGER"] == 1
+        text = render_prometheus(obs.metrics, sessions)
+        assert "repro_journal_rollback_ratio 0.2" in text
+        assert 'repro_live_instances{class="DEPT"} 1' in text
+
+    def test_json_export(self):
+        obs, sessions = self.run_demo()
+        document = render_json(obs.metrics, sessions)
+        encoded = json.loads(json.dumps(document))
+        assert encoded["journal"]["commits"] == 8
+        histograms = encoded["metrics"]["histograms"]
+        assert any("p95_ms" in h for h in histograms.values())
+
+    def test_label_escaping(self):
+        from repro.observability.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        metrics.counter("weird").inc(labels=('say "hi"\\now',))
+        text = render_prometheus(metrics)
+        assert_valid_prometheus(text)
+        assert '\\"hi\\"' in text
+
+
+class TestCLI:
+    def run_cli(self, argv):
+        from repro.cli import main
+
+        stdout = io.StringIO()
+        with contextlib.redirect_stdout(stdout):
+            code = main(argv)
+        return code, stdout.getvalue()
+
+    def test_replay_command(self):
+        code, out = self.run_cli(["replay"])
+        assert code == 0
+        assert "replayed state identical" in out
+        assert "8 committed set(s), 2 tombstone(s)" in out
+
+    def test_replay_save(self, tmp_path):
+        path = tmp_path / "demo.jsonl"
+        code, out = self.run_cli(["replay", "--save", str(path)])
+        assert code == 0
+        reloaded = Journal.read_jsonl(str(path))
+        assert len(reloaded.commits()) == 8
+
+    def test_why_command(self):
+        code, out = self.run_cli(["why", "DEPT('Research').manager"])
+        assert code == 0
+        assert "new_manager" in out
+        assert "synchronization set" in out
+
+    def test_why_composite_key(self):
+        code, out = self.run_cli(
+            ["why", "PERSON(('alice', (1958, 5, 5))).IsManager"]
+        )
+        assert code == 0
+        assert "become_manager" in out
+
+    def test_why_unknown_target(self):
+        stderr = io.StringIO()
+        with contextlib.redirect_stderr(stderr):
+            code, _ = self.run_cli(["why", "DEPT('Nope').manager"])
+        assert code == 1
+        assert "no journaled write" in stderr.getvalue()
+
+    def test_why_bad_syntax(self):
+        stderr = io.StringIO()
+        with contextlib.redirect_stderr(stderr):
+            code, _ = self.run_cli(["why", "not-a-target"])
+        assert code == 1
+
+    def test_export_prometheus(self):
+        code, out = self.run_cli(["export"])
+        assert code == 0
+        assert_valid_prometheus(out)
+
+    def test_export_json(self):
+        code, out = self.run_cli(["export", "--format", "json"])
+        assert code == 0
+        document = json.loads(out)
+        assert document["journal"]["sessions"] == 1
+
+    def test_export_on_example_script(self):
+        script = os.path.join(
+            os.path.dirname(__file__), "..", "examples", "quickstart.py"
+        )
+        code, out = self.run_cli(["export", script])
+        assert code == 0
+        assert_valid_prometheus(out)

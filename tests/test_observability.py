@@ -23,6 +23,7 @@ from repro.observability import (
     JSONLSink,
     Observability,
     RingBufferSink,
+    Tracer,
     get_observability,
     install,
     render_span,
@@ -152,6 +153,37 @@ class TestMetrics:
             assert snap[f"phase.{phase}"]["count"] > 0
             assert snap[f"phase.{phase}"]["sum_ms"] >= 0
 
+    def test_snapshot_reports_percentiles(self):
+        obs, system = observed_company()
+        staff(system)
+        snap = obs.metrics.snapshot()["histograms"]["phase.valuation"]
+        hist = obs.metrics.histogram("phase.valuation")
+        assert snap["p50_ms"] <= snap["p95_ms"] <= snap["p99_ms"]
+        assert (hist.min or 0) * 1e3 <= snap["p50_ms"]
+        assert snap["p99_ms"] <= (hist.max or 0) * 1e3
+        fanout = obs.metrics.snapshot()["histograms"]["sync_set.fan_out"]
+        assert fanout["p50"] <= fanout["p99"] <= fanout["max"]
+
+    def test_percentile_estimation_from_buckets(self):
+        from repro.observability.metrics import Histogram
+
+        hist = Histogram("t", unit="count")
+        assert hist.percentile(0.5) == 0.0  # empty
+        for value in [1, 1, 1, 1, 1, 1, 1, 1, 1, 100]:
+            hist.observe(value)
+        assert hist.percentile(0.5) == pytest.approx(1.0)  # clamped to min
+        # p99 lands in the open top bucket: interpolated between its
+        # lower bound and the observed max, never beyond either.
+        assert 32.0 <= hist.percentile(0.99) <= 100.0
+        assert hist.percentile(0.5) <= hist.percentile(0.95) <= hist.percentile(0.99)
+        assert hist.percentile(1.0) == pytest.approx(100.0)
+
+    def test_render_table_shows_percentiles(self):
+        obs, system = observed_company()
+        staff(system)
+        table = obs.metrics.render_table()
+        assert "p50" in table and "p95" in table and "p99" in table
+
     def test_attribute_and_monitor_counters(self):
         obs, system = observed_company()
         dept, alice, _ = staff(system)
@@ -219,6 +251,95 @@ class TestSinks:
         system = ObjectBase(FULL_COMPANY_SPEC, observability=obs)
         staff(system)  # 5 sync sets
         assert len(ring) == 2
+
+    def test_jsonl_sink_context_manager_closes_owned_file(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with JSONLSink(str(path)) as sink:
+            tracer = Tracer(sinks=[sink])
+            with tracer.span("sync_set"):
+                pass
+            stream = sink._stream
+        assert stream.closed
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_jsonl_sink_context_manager_leaves_stream_open(self):
+        import io
+
+        stream = io.StringIO()
+        with JSONLSink(stream) as sink:
+            sink.emit(span_from_dict({"name": "x"}))
+        assert not stream.closed  # caller-owned streams are not closed
+
+    def test_jsonl_sink_rotation(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer(sinks=[])
+        with JSONLSink(str(path), max_bytes=1, keep=2) as sink:
+            tracer.sinks.append(sink)
+            for index in range(4):  # every emit exceeds 1 byte -> rotates
+                with tracer.span("sync_set", index=index):
+                    pass
+        assert json.loads((tmp_path / "spans.jsonl.1").read_text())[
+            "attributes"]["index"] == 3
+        assert json.loads((tmp_path / "spans.jsonl.2").read_text())[
+            "attributes"]["index"] == 2
+        # keep=2: older rotations are dropped
+        assert not (tmp_path / "spans.jsonl.3").exists()
+        assert path.read_text() == ""  # fresh active file after rotation
+
+    def test_jsonl_sink_no_rotation_under_limit(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer(sinks=[])
+        with JSONLSink(str(path), max_bytes=10_000_000) as sink:
+            tracer.sinks.append(sink)
+            for _ in range(3):
+                with tracer.span("sync_set"):
+                    pass
+        assert len(path.read_text().splitlines()) == 3
+        assert not (tmp_path / "spans.jsonl.1").exists()
+
+
+class TestTracerUnwinding:
+    def test_leaked_inner_spans_are_unwound_by_outer_exit(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring])
+        root = tracer._enter("sync_set", {})
+        inner = tracer._enter("occurrence", {})
+        leaked = tracer._enter("phase", {})
+        # Only the root exits; the two inner spans were left open.
+        tracer._exit(root, None)
+        assert tracer.current is None
+        # The root is emitted exactly once, with the leaked spans closed
+        # (their end borrowed from the root's).
+        assert ring.spans == [root]
+        assert inner.end == root.end
+        assert leaked.end == root.end
+
+    def test_unwind_preserves_explicit_ends(self):
+        tracer = Tracer(sinks=[])
+        root = tracer._enter("sync_set", {})
+        inner = tracer._enter("occurrence", {})
+        inner.end = 123.0  # closed but never popped
+        tracer._exit(root, None)
+        assert inner.end == 123.0
+        assert not tracer._stack
+
+    def test_exit_with_error_marks_status(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring])
+        root = tracer._enter("sync_set", {})
+        tracer._exit(root, ValueError("boom"))
+        assert root.status == "error"
+        assert root.attributes["error"] == "ValueError"
+
+    def test_non_root_exit_does_not_emit(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring])
+        root = tracer._enter("sync_set", {})
+        inner = tracer._enter("occurrence", {})
+        tracer._exit(inner, None)
+        assert ring.spans == []  # only completed roots reach sinks
+        tracer._exit(root, None)
+        assert ring.spans == [root]
 
 
 class TestErrorOccurrences:
@@ -301,6 +422,38 @@ class TestTraceSerialization:
         assert [d["event"] for d in data] == alice.trace.events()
         rebuilt = Trace.from_list(data)
         assert rebuilt.steps == alice.trace.steps
+
+    def test_error_span_round_trips(self):
+        """A rolled-back synchronization set's span tree -- root status
+        ``error`` plus the rollback attributes -- survives the dict
+        round trip."""
+        obs, system = observed_company()
+        dept, _, bob = staff(system)
+        with pytest.raises(ConstraintViolation):
+            system.occur(dept, "new_manager", [bob])
+        root = obs.ring.spans[-1]
+        assert root.status == "error"
+        rebuilt = span_from_dict(span_to_dict(root))
+        assert rebuilt.status == "error"
+        assert rebuilt.attributes["outcome"] == "rolled_back"
+        assert rebuilt.attributes["rollback_reason"] == "ConstraintViolation"
+        assert rebuilt.attributes["error"] == "ConstraintViolation"
+        assert span_to_dict(rebuilt) == span_to_dict(root)
+
+    def test_synthetic_error_status_round_trips(self):
+        span = span_from_dict(
+            {
+                "name": "sync_set",
+                "status": "error",
+                "duration_ms": 2.5,
+                "attributes": {"error": "PermissionDenied"},
+                "children": [{"name": "occurrence", "status": "error"}],
+            }
+        )
+        assert span.status == "error"
+        assert span.duration == pytest.approx(0.0025)
+        assert span.children[0].status == "error"
+        assert span_to_dict(span)["status"] == "error"
 
 
 class TestCLI:
