@@ -1,0 +1,135 @@
+"""Scheduler throughput: epoch-memoized probes vs the exhaustive rescan.
+
+The active-object scheduler (``ObjectBase.step`` / ``run_active``)
+probes every parameterless active event of every alive instance until
+one is enabled.  Before the enabledness engine, each probe was a full
+dry transaction, making ``run_active`` over a fleet of N workers (each
+permitted to ``work`` exactly once) O(N^2) dry transactions: step t
+re-probes the t already-exhausted workers before reaching the first
+enabled one.  With epoch-memoized probes the exhausted workers' denied
+verdicts stay cached (nothing they depend on changes when another
+worker fires), so each step costs one or two real probes plus cheap
+epoch validations.
+
+``test_scheduler_speedup_guard`` is the CI regression guard: it runs
+both configurations on the same 500-worker fleet and asserts the
+memoized scheduler is at least 5x faster while firing the bit-identical
+occurrence sequence.
+"""
+
+import time
+
+import pytest
+
+from repro.lang import check_specification, parse_specification
+from repro.runtime import ObjectBase
+from repro.runtime.compilespec import compile_specification
+
+WORKER_SPEC = """
+object class WORKER
+  identification
+    Id: nat;
+  template
+    attributes
+      Jobs: nat;
+    events
+      birth boot;
+      active work;
+    valuation
+      boot Jobs = 0;
+      work Jobs = Jobs + 1;
+    permissions
+      { Jobs < 1 } work;
+end object class WORKER;
+"""
+
+FLEET_SIZE = 500
+
+
+@pytest.fixture(scope="module")
+def compiled_worker():
+    return compile_specification(
+        check_specification(parse_specification(WORKER_SPEC)).raise_if_errors()
+    )
+
+
+def fleet(compiled, size: int, probe_cache: bool = True) -> ObjectBase:
+    system = ObjectBase(compiled, probe_cache=probe_cache)
+    for index in range(size):
+        system.create("WORKER", {"Id": index})
+    return system
+
+
+def drain(system: ObjectBase):
+    """Run the scheduler to quiescence; every worker fires exactly once."""
+    fired = system.run_active(max_steps=FLEET_SIZE + 1)
+    assert len(fired) == FLEET_SIZE
+    return [(o.instance.class_name, o.instance.key, o.event) for o in fired]
+
+
+def test_bench_scheduler_rescan_baseline(benchmark, compiled_worker):
+    """The pre-memoization behaviour (probe_cache=False): O(N^2) dry
+    transactions to drain the fleet."""
+    benchmark.pedantic(
+        lambda system: drain(system),
+        setup=lambda: ((fleet(compiled_worker, FLEET_SIZE, probe_cache=False),), {}),
+        rounds=3,
+    )
+
+
+def test_bench_scheduler_memoized(benchmark, compiled_worker):
+    """The enabled-set scheduler: cached denied verdicts are skipped via
+    epoch validation; only invalidated candidates are re-probed."""
+    benchmark.pedantic(
+        lambda system: drain(system),
+        setup=lambda: ((fleet(compiled_worker, FLEET_SIZE),), {}),
+        rounds=3,
+    )
+
+
+def test_scheduler_speedup_guard(benchmark, compiled_worker):
+    """Regression guard: memoized >= 5x faster than the rescan baseline
+    on the 500-instance workload, with identical fired sequences."""
+    baseline_system = fleet(compiled_worker, FLEET_SIZE, probe_cache=False)
+    start = time.perf_counter()
+    baseline_sequence = drain(baseline_system)
+    baseline_seconds = time.perf_counter() - start
+    assert baseline_system.probe_stats.hits == 0  # cache really off
+
+    memoized_seconds = []
+    memoized_sequences = []
+
+    def run(system):
+        start = time.perf_counter()
+        memoized_sequences.append(drain(system))
+        memoized_seconds.append(time.perf_counter() - start)
+
+    benchmark.pedantic(
+        run, setup=lambda: ((fleet(compiled_worker, FLEET_SIZE),), {}), rounds=3
+    )
+
+    for sequence in memoized_sequences:
+        assert sequence == baseline_sequence, (
+            "memoized scheduler fired a different occurrence sequence"
+        )
+    best = min(memoized_seconds)
+    speedup = baseline_seconds / best
+    benchmark.extra_info["baseline_seconds"] = baseline_seconds
+    benchmark.extra_info["memoized_seconds"] = best
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= 5.0, (
+        f"memoized scheduler only {speedup:.1f}x faster than the rescan "
+        f"baseline (target >= 5x): {baseline_seconds:.3f}s vs {best:.3f}s"
+    )
+
+
+def test_probe_cache_accounting(compiled_worker):
+    """The drain does N(N-1)/2 cache hits and 2 real probes per worker
+    (one admitted, one denied after firing)."""
+    system = fleet(compiled_worker, FLEET_SIZE)
+    drain(system)
+    stats = system.probe_stats
+    assert stats.hits == FLEET_SIZE * (FLEET_SIZE - 1) // 2
+    assert stats.misses == 2 * FLEET_SIZE
+    assert stats.invalidations == FLEET_SIZE
+    assert stats.punts == 0

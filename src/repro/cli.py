@@ -14,7 +14,8 @@ Commands:
   library (``library list`` enumerates the names).
 * ``stats [SCRIPT]`` -- animate an example script (default: the built-in
   company demo) under metrics instrumentation and print the counter /
-  phase-timing table.
+  phase-timing table (including the ``probe_cache.*`` counters of the
+  epoch-memoized enabledness engine, docs/PERFORMANCE.md).
 * ``trace [SCRIPT]`` -- same, but record span trees and print the last
   synchronization sets as nested traces (``--jsonl`` dumps all of them).
 * ``replay [SCRIPT]`` -- animate under the event journal, then replay

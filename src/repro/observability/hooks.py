@@ -32,6 +32,15 @@ from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import RingBufferSink, Sink, Tracer
 
 
+#: probe-cache outcome -> counter name (plurals are irregular)
+_PROBE_CACHE_COUNTERS = {
+    "hit": "probe_cache.hits",
+    "miss": "probe_cache.misses",
+    "invalidation": "probe_cache.invalidations",
+    "punt": "probe_cache.punts",
+}
+
+
 class Observability:
     """One tracer + one metrics registry behind the runtime hook API."""
 
@@ -94,6 +103,12 @@ class Observability:
 
     def on_constraint_violation(self, class_name: str) -> None:
         self.metrics.counter("constraint.violations").inc(labels=(class_name,))
+
+    def on_probe_cache(self, outcome: str) -> None:
+        """Epoch-memoized probe accounting: ``outcome`` is one of
+        ``hit`` / ``miss`` / ``invalidation`` / ``punt`` (see
+        docs/PERFORMANCE.md)."""
+        self.metrics.counter(_PROBE_CACHE_COUNTERS[outcome]).inc()
 
     # ------------------------------------------------------------------
     # Instance / monitor / relational counters

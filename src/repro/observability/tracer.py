@@ -155,6 +155,10 @@ class JSONLSink(Sink):
     """
 
     def __init__(self, target, max_bytes: Optional[int] = None, keep: int = 5):
+        if keep < 1:
+            raise ValueError(
+                "JSONLSink keep must be >= 1 (the bound on rotated files)"
+            )
         self.max_bytes = max_bytes
         self.keep = keep
         if hasattr(target, "write"):

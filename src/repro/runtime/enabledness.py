@@ -1,0 +1,130 @@
+"""Incremental enabledness: epoch-memoized permission probes.
+
+``ObjectBase.is_permitted`` answers "would this occurrence (with
+everything it calls) be admitted?" with a *dry transaction* -- full
+occurrence semantics, always rolled back.  That is faithful but
+expensive, and the active-object scheduler asks the question for every
+parameterless active event of every alive instance on every step.  This
+module makes the answer incremental instead of recomputed:
+
+* every :class:`~repro.runtime.instance.Instance` carries a
+  monotonically increasing **epoch**, bumped whenever its committed
+  state changes (attribute write, trace append, life-cycle or role-set
+  transition).  Dry probes mutate-and-restore, so the epoch is part of
+  the transaction snapshot and rolls back with the state;
+* the system keeps one **population epoch** per class, bumped whenever
+  the class's registry or alive-set changes (instance registration,
+  committed birth or death);
+* while a probe runs, the system records its **read set** -- every
+  instance observed or processed and every class population consulted
+  (:class:`ProbeDependencies`).  All state reads route through
+  ``Instance.observe`` / ``ObjectBase.population`` / ``ObjectBase.find``,
+  so the read set is exact for the runtime's own evaluation paths;
+* the verdict is cached on the probed instance keyed by ``(event,
+  args)`` together with the dependency epochs
+  (:class:`CachedVerdict`).  A later probe re-uses the verdict only
+  when *every* recorded epoch still matches -- i.e. no object the probe
+  actually read has changed since.
+
+Memoization is sound because probe evaluation is a deterministic
+function of the values it reads: if no read value changed (guaranteed
+by unchanged epochs), every branch decision repeats and the verdict is
+identical.  When a probe cannot account for its reads (it marked the
+dependency set as *punted*), the verdict is simply not cached and the
+next ask falls back to a fresh dry transaction -- the exhaustive-rescan
+behaviour, per probe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+
+class ProbeStats:
+    """Always-on (plain-int) cache accounting, independent of the
+    observability layer; mirrored into metrics counters when telemetry
+    is enabled."""
+
+    __slots__ = ("hits", "misses", "invalidations", "punts")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.punts = 0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.invalidations = self.punts = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "punts": self.punts,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProbeStats(hits={self.hits}, misses={self.misses}, "
+            f"invalidations={self.invalidations}, punts={self.punts})"
+        )
+
+
+class ProbeDependencies:
+    """The read/touch set of one dry-transaction probe.
+
+    ``instances`` maps ``id(instance) -> instance`` (identity-keyed so
+    aspects of the same individual stay distinct); ``populations`` is
+    the set of class names whose population/registry was consulted.
+    ``punt()`` marks the probe as untrackable: its verdict must not be
+    memoized.
+    """
+
+    __slots__ = ("instances", "populations", "punted")
+
+    def __init__(self) -> None:
+        self.instances: Dict[int, object] = {}
+        self.populations: Set[str] = set()
+        self.punted = False
+
+    def note_instance(self, instance) -> None:
+        self.instances[id(instance)] = instance
+
+    def note_population(self, class_name: str) -> None:
+        self.populations.add(class_name)
+
+    def punt(self) -> None:
+        self.punted = True
+
+
+class CachedVerdict:
+    """One memoized probe verdict with its dependency epochs.
+
+    ``instance_epochs`` holds ``(instance, epoch_at_cache_time)`` pairs
+    (recorded *after* the dry transaction rolled back, so they are
+    committed epochs); ``population_epochs`` holds ``(class_name,
+    epoch)`` pairs against the system's population-epoch table.
+    """
+
+    __slots__ = ("verdict", "instance_epochs", "population_epochs")
+
+    def __init__(
+        self,
+        verdict: bool,
+        instance_epochs: Tuple[Tuple[object, int], ...],
+        population_epochs: Tuple[Tuple[str, int], ...],
+    ):
+        self.verdict = verdict
+        self.instance_epochs = instance_epochs
+        self.population_epochs = population_epochs
+
+    def valid(self, population_epochs: Dict[str, int]) -> bool:
+        """Do all recorded dependency epochs still match?"""
+        for instance, epoch in self.instance_epochs:
+            if instance.epoch != epoch:
+                return False
+        for class_name, epoch in self.population_epochs:
+            if population_epochs.get(class_name, 0) != epoch:
+                return False
+        return True

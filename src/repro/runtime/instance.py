@@ -10,13 +10,13 @@ inheritance ("the same individual object").
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple, TYPE_CHECKING
+from typing import Dict, Iterable, Optional, Set, Tuple, TYPE_CHECKING
 
 from repro.datatypes.evaluator import Environment, evaluate
 from repro.datatypes.sorts import IdSort
 from repro.datatypes.values import Value
 from repro.diagnostics import EvaluationError
-from repro.temporal.evaluation import Trace
+from repro.temporal.evaluation import Trace, TraceStep
 from repro.runtime.compilespec import CompiledClass
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -43,6 +43,17 @@ class Instance:
         self.born = False
         self.dead = False
         self.trace = Trace()
+        #: modification epoch: bumped on every committed state change
+        #: (attribute write, trace append, life-cycle or role-set
+        #: transition).  Dry transactions snapshot and restore it, so a
+        #: rolled-back probe leaves the epoch untouched.  Memoized
+        #: permission probes key their verdicts on dependency epochs.
+        self.epoch = 0
+        #: events this instance has performed (maintained incrementally
+        #: alongside the trace; drives pending_obligations in O(1))
+        self.performed_events: Set[str] = set()
+        #: memoized probe verdicts: (event, args) -> CachedVerdict
+        self.probe_cache: Dict[Tuple[str, Tuple[Value, ...]], object] = {}
         #: per-permission-rule incremental monitors (id(rule) -> monitor)
         self.monitors: Dict[int, object] = {}
         #: the base aspect this role specializes, if any
@@ -86,6 +97,9 @@ class Instance:
         obs = self.system.obs
         if obs is not None and obs.enabled:
             obs.on_attribute_read(self.class_name, name)
+        deps = self.system._probe_deps
+        if deps is not None:
+            deps.note_instance(self)
         rule = self.compiled.derivation_by_attribute.get(name)
         if rule is not None:
             env = self.environment()
@@ -124,10 +138,20 @@ class Instance:
         if obs is not None and obs.enabled:
             obs.on_attribute_write(self.class_name, name)
         owner = self._storage_owner(name)
+        owner.epoch += 1
         if args:
             owner.param_state.setdefault(name, {})[args] = value
         else:
             owner.state[name] = value
+
+    def record_step(self, step: TraceStep) -> None:
+        """Append a committed trace step, keeping the performed-event
+        set and the modification epoch in sync.  All committed trace
+        appends (transaction commit, persistence restore) go through
+        here."""
+        self.trace.append(step)
+        self.performed_events.add(step.event)
+        self.epoch += 1
 
     def _storage_owner(self, name: str) -> "Instance":
         info = self.compiled.info
@@ -164,15 +188,17 @@ class Instance:
             self.born,
             self.dead,
             self.protocol_states,
+            self.epoch,
         )
 
     def restore(self, snapshot) -> None:
-        state, param_state, born, dead, protocol_states = snapshot
+        state, param_state, born, dead, protocol_states, epoch = snapshot
         self.state = state
         self.param_state = param_state
         self.born = born
         self.dead = dead
         self.protocol_states = protocol_states
+        self.epoch = epoch
 
     # ------------------------------------------------------------------
     # Environments

@@ -61,6 +61,7 @@ from repro.runtime.compilespec import (
     CompiledSpecification,
     compile_specification,
 )
+from repro.runtime.enabledness import CachedVerdict, ProbeDependencies, ProbeStats
 from repro.runtime.instance import Instance
 
 
@@ -146,10 +147,20 @@ class _Transaction:
             self.system._unregister(instance)
 
     def commit(self) -> None:
+        incremental = self.system.permission_mode == "incremental"
         for instance, step, kind in self.steps:
-            instance.trace.append(step)
-            if self.system.permission_mode == "incremental":
+            instance.record_step(step)
+            if incremental:
                 self.system._update_monitors(instance, step)
+            if kind in ("birth", "death"):
+                # The class's alive-set changed; cached verdicts that
+                # consulted the population (or the role set of a base
+                # aspect) must notice.
+                self.system._bump_population(instance.class_name)
+                base = instance.base
+                while base is not None:
+                    base.epoch += 1
+                    base = base.base
             if instance.compiled.info.kind == "class":
                 class_object = self.system.class_object(instance.class_name)
                 if kind == "birth":
@@ -173,11 +184,26 @@ class ObjectBase:
         check_constraints: bool = True,
         observability: Optional[Observability] = None,
         journal: Optional[Journal] = None,
+        probe_cache: bool = True,
     ):
         if permission_mode not in ("incremental", "naive"):
             raise ValueError("permission_mode must be 'incremental' or 'naive'")
         self.permission_mode = permission_mode
         self.check_constraints = check_constraints
+        #: epoch-memoized permission probes (False -> every probe is a
+        #: fresh dry transaction, the exhaustive-rescan baseline)
+        self.probe_caching = probe_cache
+        #: read-set recorder of the probe currently running (None when
+        #: no memoizing probe is in flight)
+        self._probe_deps: Optional[ProbeDependencies] = None
+        #: per-class population epochs (registry/alive-set changes)
+        self._population_epochs: Dict[str, int] = {}
+        #: bumped on instance (un)registration; keys the cached
+        #: active-event candidate list
+        self._registry_version = 0
+        self._active_candidates: Optional[Tuple[int, List[Tuple[Instance, str]]]] = None
+        #: probe-cache accounting (always on; cheap ints)
+        self.probe_stats = ProbeStats()
         #: telemetry hooks (None -> the process-global default, which is
         #: itself None unless repro.observability.install() was called;
         #: the hot paths then pay a single attribute load + None test)
@@ -227,6 +253,11 @@ class ObjectBase:
             raise CheckError(f"unknown class {class_name!r}")
 
     def find(self, class_name: str, key) -> Optional[Instance]:
+        deps = self._probe_deps
+        if deps is not None:
+            # Registry lookups depend on which identities exist -- a
+            # population-epoch dependency (covers the not-found case).
+            deps.note_population(class_name)
         if isinstance(key, Value):
             key = key.payload
         return self.instances.get(class_name, {}).get(key)
@@ -254,6 +285,9 @@ class ObjectBase:
 
     def population(self, class_name: str) -> List[Value]:
         """Identities of the currently alive instances of a class."""
+        deps = self._probe_deps
+        if deps is not None:
+            deps.note_population(class_name)
         return [
             inst.identity
             for inst in self.instances.get(class_name, {}).values()
@@ -261,6 +295,9 @@ class ObjectBase:
         ]
 
     def alive_instances(self, class_name: str) -> List[Instance]:
+        deps = self._probe_deps
+        if deps is not None:
+            deps.note_population(class_name)
         return [i for i in self.instances.get(class_name, {}).values() if i.alive]
 
     def class_object(self, class_name: str) -> ClassObject:
@@ -317,12 +354,69 @@ class ObjectBase:
         instance: Instance,
         event: str,
         args: Sequence[object] = (),
+        use_cache: Optional[bool] = None,
     ) -> bool:
         """Would this occurrence (with everything it calls) be admitted?
 
-        Implemented as a dry transaction that always rolls back.
+        Implemented as a dry transaction that always rolls back.  With
+        probe caching on (the default), the verdict is memoized keyed on
+        the epochs of every object the dry transaction actually read,
+        so repeated probes against unchanged state cost a handful of
+        integer comparisons.  ``use_cache=False`` forces a fresh dry
+        transaction (the differential-testing oracle).
         """
         coerced = self._coerce_args(args)
+        if use_cache is None:
+            use_cache = self.probe_caching
+        if not use_cache or self._probe_deps is not None or instance.system is not self:
+            # Cache off, re-entrant probe, or a foreign instance: run the
+            # plain dry transaction without touching the memo tables.
+            return self._probe_fresh(instance, event, coerced)
+        stats = self.probe_stats
+        obs = self.obs
+        key = (event, coerced)
+        entry = instance.probe_cache.get(key)
+        if entry is not None:
+            if entry.valid(self._population_epochs):
+                stats.hits += 1
+                if obs is not None and obs.enabled:
+                    obs.on_probe_cache("hit")
+                return entry.verdict
+            del instance.probe_cache[key]
+            stats.invalidations += 1
+            if obs is not None and obs.enabled:
+                obs.on_probe_cache("invalidation")
+        stats.misses += 1
+        if obs is not None and obs.enabled:
+            obs.on_probe_cache("miss")
+        deps = ProbeDependencies()
+        deps.note_instance(instance)
+        self._probe_deps = deps
+        try:
+            verdict = self._probe_fresh(instance, event, coerced)
+        finally:
+            self._probe_deps = None
+        if deps.punted:
+            stats.punts += 1
+            if obs is not None and obs.enabled:
+                obs.on_probe_cache("punt")
+        else:
+            # Epochs are recorded *after* the dry transaction rolled
+            # back, so they are the committed (pre-probe) epochs.
+            pop_epochs = self._population_epochs
+            instance.probe_cache[key] = CachedVerdict(
+                verdict,
+                tuple((dep, dep.epoch) for dep in deps.instances.values()),
+                tuple(
+                    (name, pop_epochs.get(name, 0)) for name in deps.populations
+                ),
+            )
+        return verdict
+
+    def _probe_fresh(
+        self, instance: Instance, event: str, coerced: Tuple[Value, ...]
+    ) -> bool:
+        """One uncached dry transaction (always rolled back)."""
         obs = self.obs
         txn = _Transaction(self)
         try:
@@ -338,27 +432,55 @@ class ObjectBase:
         finally:
             txn.rollback()
 
+    def invalidate_probes(self) -> None:
+        """Drop every memoized probe verdict (escape hatch for callers
+        that mutate instance state behind the runtime's back)."""
+        for bucket in self.instances.values():
+            for instance in bucket.values():
+                instance.probe_cache.clear()
+        self._active_candidates = None
+
+    def _active_schedule(self) -> List[Tuple[Instance, str]]:
+        """The scheduler's candidate list -- every parameterless active
+        event of every registered instance, in deterministic registry
+        order -- cached until the registry changes.  Liveness is checked
+        at iteration time (death does not change the registry)."""
+        cached = self._active_candidates
+        if cached is not None and cached[0] == self._registry_version:
+            return cached[1]
+        candidates = [
+            (instance, event.name)
+            for class_name in sorted(self.instances)
+            for instance in self.instances[class_name].values()
+            for event in self.compiled_class(class_name).active_events()
+            if not event.param_sorts
+        ]
+        self._active_candidates = (self._registry_version, candidates)
+        return candidates
+
     def step(self, order: Optional[Sequence[Tuple[str, object, str]]] = None) -> Optional[Occurrence]:
         """Fire one enabled *active* event (the scheduler step for active
         objects).  Candidates are parameterless active events of alive
         instances, probed in deterministic registry order (or the given
-        ``order`` of (class, key, event) triples).  Returns the fired
-        occurrence or None when no active event is enabled."""
+        ``order`` of (class, key, event) triples; entries naming an
+        unknown or not-alive identity are skipped, matching the default
+        path's filter).  Probes go through the epoch-memoized cache, so
+        only candidates whose last verdict was invalidated by an actual
+        dependency change are re-probed.  Returns the fired occurrence
+        or None when no active event is enabled."""
         candidates: Iterable[Tuple[Instance, str]]
         if order is not None:
-            candidates = (
-                (self.instance(c, k), e) for c, k, e in order
-            )
+            candidates = [
+                (found, event_name)
+                for class_name, key, event_name in order
+                for found in (self.find(class_name, key),)
+                if found is not None
+            ]
         else:
-            candidates = (
-                (instance, event.name)
-                for class_name in sorted(self.instances)
-                for instance in self.instances[class_name].values()
-                if instance.alive
-                for event in self.compiled_class(class_name).active_events()
-                if not event.param_sorts
-            )
+            candidates = self._active_schedule()
         for instance, event_name in candidates:
+            if not instance.alive:
+                continue
             if self.is_permitted(instance, event_name):
                 self._occur_root(instance, event_name, ())
                 return Occurrence(instance, event_name, ())
@@ -405,7 +527,21 @@ class ObjectBase:
 
     def pending_obligations(self, instance: Instance) -> List[str]:
         """Obligation events the instance has not yet performed (its
-        death events stay denied while this list is non-empty)."""
+        death events stay denied while this list is non-empty).  Uses
+        the performed-event set maintained incrementally alongside the
+        trace, so the check is O(obligations), not O(trace)."""
+        performed = instance.performed_events
+        return [
+            event
+            for event in instance.compiled.obligations
+            if event not in performed
+        ]
+
+    def pending_obligations_scan(self, instance: Instance) -> List[str]:
+        """The O(trace) reference implementation of
+        :meth:`pending_obligations`, rebuilding the performed-event set
+        from the whole trace.  Kept as the differential-test oracle for
+        the incremental set."""
         performed = {step.event for step in instance.trace}
         return [
             event
@@ -469,14 +605,26 @@ class ObjectBase:
         instance = Instance(compiled, identity, self)
         instance.state.update(id_values)
         self.instances.setdefault(compiled.name, {})[payload] = instance
+        self._bump_population(compiled.name)
         return instance
 
     def _unregister(self, instance: Instance) -> None:
         bucket = self.instances.get(instance.class_name, {})
         if bucket.get(instance.key) is instance:
             del bucket[instance.key]
+        self._bump_population(instance.class_name)
         if instance.base is not None:
             instance.base.roles.pop(instance.class_name, None)
+            # The base aspect's role set changed; verdicts that iterated
+            # its roles must notice.
+            instance.base.epoch += 1
+
+    def _bump_population(self, class_name: str) -> None:
+        """Advance the class's population epoch (registry or alive-set
+        change) and invalidate the cached scheduler candidate list."""
+        epochs = self._population_epochs
+        epochs[class_name] = epochs.get(class_name, 0) + 1
+        self._registry_version += 1
 
     def _birth_event(self, compiled: CompiledClass, name: Optional[str]) -> ast.EventDecl:
         births = compiled.info.birth_events()
@@ -634,6 +782,12 @@ class ObjectBase:
         obs: Optional[Observability],
         span,
     ) -> None:
+        deps = self._probe_deps
+        if deps is not None:
+            # The verdict depends on every processed instance's
+            # life-cycle flags, protocol configuration and monitor
+            # state -- all covered by the instance epoch.
+            deps.note_instance(instance)
         decl = instance.compiled.event(event)
         if decl is None:
             raise CheckError(
@@ -833,7 +987,11 @@ class ObjectBase:
         identity = make_identity(view_name, base_instance.key)
         role = Instance(compiled, identity, self, base=parent)
         self.instances.setdefault(view_name, {})[role.key] = role
+        self._bump_population(view_name)
         parent.roles[view_name] = role
+        # A new role aspect joined the parent's role set (rolled back via
+        # _unregister's bump if the unit aborts).
+        parent.epoch += 1
         txn.created.append(role)
         txn.touch(role)
         self._check_permissions(role, event, args)
@@ -901,6 +1059,11 @@ class ObjectBase:
     def _check_permissions(
         self, instance: Instance, event: str, args: Tuple[Value, ...]
     ) -> None:
+        deps = self._probe_deps
+        if deps is not None:
+            # Monitor summaries advance with the checked aspect's trace;
+            # role aspects checked here are not otherwise processed.
+            deps.note_instance(instance)
         rules = instance.compiled.permissions_by_event.get(event, ())
         for rule in rules:
             bindings = self._match_event_args(rule.event.args, args, instance, rule.variables)
@@ -975,6 +1138,9 @@ class ObjectBase:
         constraints: Sequence[ast.ConstraintDecl],
         occurrence: Optional[OccurrenceRef] = None,
     ) -> None:
+        deps = self._probe_deps
+        if deps is not None:
+            deps.note_instance(instance)
         for constraint in constraints:
             env = instance.environment()
             try:

@@ -215,7 +215,9 @@ def restore_state(system: ObjectBase, data: Dict[str, Any]) -> ObjectBase:
             for name, table in record["param_state"]
         }
         for step in record["trace"]:
-            instance.trace.append(_step_from_json(step))
+            # record_step keeps the performed-event set and the
+            # modification epoch consistent with the restored trace.
+            instance.record_step(_step_from_json(step))
         system.instances.setdefault(class_name, {})[key] = instance
 
     # Pass 2: relink roles to their base aspects.

@@ -13,6 +13,19 @@ Conventions for the empty history (permission checks for *birth* events):
 state proposition that cannot be evaluated (no state yet) is false --
 i.e. a permission that requires anything of a non-existent history denies
 the event.
+
+**Dependency visibility contract** (docs/PERFORMANCE.md): the runtime
+memoizes permission-probe verdicts on the epochs of the objects the
+probe read.  That is sound only because every *mutable* read performed
+here routes through an :class:`~repro.datatypes.evaluator.Environment`
+seam the object base instruments -- current-object attributes via
+``Instance.observe`` (through :class:`StateEnvironment`'s parent
+chain), cross-object attributes via ``attribute_of`` -> ``observe``,
+and class populations via ``class_population`` ->
+``ObjectBase.population``.  Historical step states read directly from
+the (immutable) trace are covered by the trace owner's epoch.  New
+evaluation paths must keep reads on those seams, or mark the probe
+unmemoizable via ``ObjectBase._probe_deps.punt()``.
 """
 
 from __future__ import annotations

@@ -25,6 +25,20 @@ quantified and free variables are bounded by the state or event at the
 satisfying position -- which covers every permission in the paper.  The
 test suite cross-checks monitors against the naive semantics on
 randomised traces.
+
+**Dependency visibility contract** (docs/PERFORMANCE.md): probe
+memoization tracks a check's read set through the environment seams.
+A monitor's ``check`` reads (a) its own summary, which advances only
+when the owning instance's trace does -- covered by that instance's
+epoch, which the object base records for every aspect it checks -- and
+(b) current state and populations through the passed environment
+(``Instance.observe`` / ``ObjectBase.population``), which record
+themselves.  In particular the active-domain enumeration of quantified
+permissions reads class populations via ``env.class_population`` on
+every ``check``, so such verdicts carry population-epoch dependencies
+and are invalidated by any birth or death in the quantified class.
+New summary state must stay a pure fold of the owner's trace steps (or
+the check must punt).
 """
 
 from __future__ import annotations

@@ -1,0 +1,329 @@
+"""The epoch-memoized enabledness engine (see docs/PERFORMANCE.md).
+
+Covers the memoization contract of ``ObjectBase.is_permitted``:
+hits against unchanged state, invalidation when a dependency's epoch
+moves (own state, cross-object state read via event calling, class
+populations), precision (unrelated changes do *not* invalidate), the
+``invalidate_probes`` escape hatch, scheduler equivalence with the
+cache off, the ``step(order=...)`` skip-unknown regression, and the
+incremental pending-obligations set against its trace-scan oracle.
+"""
+
+import datetime
+
+import pytest
+
+from repro.datatypes.values import integer
+from repro.library import FULL_COMPANY_SPEC
+from repro.observability.hooks import Observability
+from repro.runtime import ObjectBase
+from repro.runtime.clock import CLOCK_SPEC, start_clock
+from repro.runtime.enabledness import ProbeStats
+from repro.runtime.persistence import dump_state, restore_state
+
+D1960 = datetime.date(1960, 1, 1)
+D1970 = datetime.date(1970, 1, 1)
+D1991 = datetime.date(1991, 3, 1)
+
+TWO_ACTIVE = CLOCK_SPEC + """
+object Heartbeat
+  template
+    attributes Beats: nat;
+    events
+      birth boot;
+      active beat;
+    valuation
+      boot Beats = 0;
+      beat Beats = Beats + 1;
+    permissions
+      { Beats < 2 } beat;
+end object Heartbeat;
+"""
+
+
+def staffed_company():
+    system = ObjectBase(FULL_COMPANY_SPEC)
+    sales = system.create("DEPT", {"id": "Sales"}, "establishment", [D1991])
+    alice = system.create(
+        "PERSON", {"Name": "alice", "BirthDate": D1960}, "hire_into", ["R", 6000.0]
+    )
+    system.occur(sales, "hire", [alice])
+    return system, sales, alice
+
+
+class TestMemoization:
+    def test_repeated_probe_hits_cache(self):
+        system = ObjectBase(TWO_ACTIVE)
+        heart = system.create("Heartbeat")
+        stats = system.probe_stats
+        stats.reset()
+        assert system.is_permitted(heart, "beat")
+        assert system.is_permitted(heart, "beat")
+        assert system.is_permitted(heart, "beat")
+        assert stats.misses == 1
+        assert stats.hits == 2
+        assert stats.invalidations == 0
+
+    def test_dry_probe_does_not_self_invalidate(self):
+        # The dry transaction writes Beats before rolling back; epochs
+        # are snapshot-restored, so the probe must not poison its own
+        # cache entry.
+        system = ObjectBase(TWO_ACTIVE)
+        heart = system.create("Heartbeat")
+        epoch = heart.epoch
+        system.is_permitted(heart, "beat")
+        assert heart.epoch == epoch
+
+    def test_commit_invalidates_and_verdict_flips(self):
+        system = ObjectBase(TWO_ACTIVE)
+        heart = system.create("Heartbeat")
+        stats = system.probe_stats
+        stats.reset()
+        assert system.is_permitted(heart, "beat")
+        system.occur(heart, "beat")
+        assert system.is_permitted(heart, "beat")  # Beats == 1 < 2
+        system.occur(heart, "beat")
+        assert not system.is_permitted(heart, "beat")  # exhausted
+        assert stats.invalidations == 2
+        assert stats.misses == 3
+        assert stats.hits == 0
+
+    def test_uncached_probe_leaves_stats_untouched(self):
+        system = ObjectBase(TWO_ACTIVE)
+        heart = system.create("Heartbeat")
+        stats = system.probe_stats
+        stats.reset()
+        assert system.is_permitted(heart, "beat", use_cache=False)
+        assert stats.snapshot() == ProbeStats().snapshot()
+        assert heart.probe_cache == {}
+
+    def test_probe_cache_off_system_records_nothing(self):
+        system = ObjectBase(TWO_ACTIVE, probe_cache=False)
+        heart = system.create("Heartbeat")
+        assert system.is_permitted(heart, "beat")
+        assert system.is_permitted(heart, "beat")
+        assert system.probe_stats.snapshot() == ProbeStats().snapshot()
+        assert heart.probe_cache == {}
+
+    def test_observability_counters(self):
+        obs = Observability()
+        system = ObjectBase(TWO_ACTIVE, observability=obs)
+        heart = system.create("Heartbeat")
+        system.is_permitted(heart, "beat")
+        system.is_permitted(heart, "beat")
+        system.occur(heart, "beat")
+        system.is_permitted(heart, "beat")
+        assert obs.metrics.counter("probe_cache.misses").total == 2
+        assert obs.metrics.counter("probe_cache.hits").total == 1
+        assert obs.metrics.counter("probe_cache.invalidations").total == 1
+
+
+class TestCrossObjectInvalidation:
+    def test_called_event_state_is_a_dependency(self):
+        # DEPT.new_manager(p) calls PERSON.become_manager, whose
+        # permission forbids a second occurrence -- the verdict depends
+        # on alice's state, not just the department's.
+        system, sales, alice = staffed_company()
+        stats = system.probe_stats
+        stats.reset()
+        assert system.is_permitted(sales, "new_manager", [alice])
+        system.occur(alice, "become_manager")  # behind the dept's back
+        assert not system.is_permitted(sales, "new_manager", [alice])
+        assert stats.invalidations == 1
+        assert stats.misses == 2
+
+    def test_dependency_set_names_the_called_instance(self):
+        system, sales, alice = staffed_company()
+        system.is_permitted(sales, "new_manager", [alice])
+        (entry,) = sales.probe_cache.values()
+        classes = {dep.class_name for dep, _ in entry.instance_epochs}
+        assert {"DEPT", "PERSON"} <= classes
+
+    def test_population_change_invalidates_registry_readers(self):
+        # new_manager's dry run resolves identities via find(), so the
+        # verdict carries population-epoch dependencies; creating an
+        # unrelated PERSON conservatively invalidates it (same verdict,
+        # re-derived fresh).
+        system, sales, alice = staffed_company()
+        stats = system.probe_stats
+        stats.reset()
+        assert system.is_permitted(sales, "new_manager", [alice])
+        (entry,) = sales.probe_cache.values()
+        assert any(name == "PERSON" for name, _ in entry.population_epochs)
+        system.create(
+            "PERSON", {"Name": "carol", "BirthDate": D1970}, "hire_into", ["S", 100.0]
+        )
+        assert system.is_permitted(sales, "new_manager", [alice])
+        assert stats.invalidations == 1
+        assert stats.misses == 2
+
+    def test_unrelated_class_death_does_not_invalidate(self):
+        # Precision: the heartbeat's verdict depends only on the
+        # heartbeat; killing the clock (a different class) must not
+        # evict it.
+        system = ObjectBase(TWO_ACTIVE)
+        clock = start_clock(system, horizon=3)
+        heart = system.create("Heartbeat")
+        stats = system.probe_stats
+        stats.reset()
+        assert system.is_permitted(heart, "beat")
+        system.occur(clock, "halt")
+        assert system.is_permitted(heart, "beat")
+        assert stats.hits == 1
+        assert stats.invalidations == 0
+
+
+class TestInvalidateProbes:
+    def test_escape_hatch_for_out_of_band_mutation(self):
+        # Writing instance.state directly bypasses set_attribute and
+        # thus the epoch bump; the cached verdict goes stale until the
+        # documented escape hatch drops it.
+        system = ObjectBase(TWO_ACTIVE)
+        heart = system.create("Heartbeat")
+        assert system.is_permitted(heart, "beat")
+        heart.state["Beats"] = integer(5)
+        assert system.is_permitted(heart, "beat")  # stale hit
+        system.invalidate_probes()
+        assert heart.probe_cache == {}
+        assert not system.is_permitted(heart, "beat")
+
+
+class TestSchedulerEquivalence:
+    def test_run_active_matches_uncached_twin(self):
+        def run(probe_cache):
+            system = ObjectBase(TWO_ACTIVE, probe_cache=probe_cache)
+            clock = start_clock(system, horizon=3)
+            heart = system.create("Heartbeat")
+            fired = system.run_active(max_steps=50)
+            return (
+                [(o.instance.class_name, o.instance.key, o.event) for o in fired],
+                system.get(clock, "Now"),
+                system.get(heart, "Beats"),
+            )
+
+        assert run(True) == run(False)
+
+    def test_enabled_events_matches_fresh_probes(self):
+        system, sales, alice = staffed_company()
+        cached = system.enabled_events(sales)
+        fresh = [
+            (name, args)
+            for name, args in (
+                (n, ())
+                for n, decl in sorted(sales.compiled.info.all_events().items())
+                if not decl.param_sorts
+            )
+            if system.is_permitted(sales, name, args, use_cache=False)
+        ]
+        assert cached == fresh
+
+    def test_quiescence_then_reenable(self):
+        system = ObjectBase(CLOCK_SPEC)
+        clock = start_clock(system, horizon=1)
+        system.run_active()
+        assert system.step() is None
+        assert system.step() is None  # denied verdict stays cached
+        system.occur(clock, "set_horizon", [2])
+        occurrence = system.step()
+        assert occurrence is not None and occurrence.event == "tick"
+
+
+class TestStepOrderSkips:
+    """Regression: scheduling hints naming unknown or dead identities
+    used to raise mid-step; they are now skipped like the default
+    path's liveness filter skips dead instances."""
+
+    def test_unknown_key_is_skipped(self):
+        system = ObjectBase(CLOCK_SPEC)
+        start_clock(system, horizon=5)
+        occurrence = system.step(
+            order=[
+                ("SystemClock", "no-such-clock", "tick"),
+                ("SystemClock", "SystemClock", "tick"),
+            ]
+        )
+        assert occurrence is not None and occurrence.event == "tick"
+
+    def test_unknown_class_is_skipped(self):
+        system = ObjectBase(CLOCK_SPEC)
+        start_clock(system, horizon=5)
+        occurrence = system.step(
+            order=[
+                ("NOBODY", "x", "tick"),
+                ("SystemClock", "SystemClock", "tick"),
+            ]
+        )
+        assert occurrence is not None
+
+    def test_dead_instance_is_skipped(self):
+        system = ObjectBase(TWO_ACTIVE)
+        clock = start_clock(system, horizon=5)
+        heart = system.create("Heartbeat")
+        system.occur(clock, "halt")
+        occurrence = system.step(
+            order=[
+                ("SystemClock", "SystemClock", "tick"),
+                ("Heartbeat", "Heartbeat", "beat"),
+            ]
+        )
+        assert occurrence is not None
+        assert occurrence.instance is heart
+
+    def test_all_entries_unknown_returns_none(self):
+        system = ObjectBase(CLOCK_SPEC)
+        start_clock(system, horizon=5)
+        assert system.step(order=[("SystemClock", "ghost", "tick")]) is None
+
+
+PROJECT = """
+object class PROJECT
+  identification id: string;
+  template
+    attributes Done: bool;
+    events
+      birth start;
+      file_report;
+      deliver(integer);
+      death finish;
+    valuation
+      start Done = false;
+    obligations
+      file_report;
+      deliver;
+end object class PROJECT;
+"""
+
+
+class TestPendingObligationsIncremental:
+    def test_matches_trace_scan_oracle_throughout(self):
+        system = ObjectBase(PROJECT)
+        project = system.create("PROJECT", {"id": "x"}, "start")
+
+        def check():
+            assert system.pending_obligations(project) == (
+                system.pending_obligations_scan(project)
+            )
+
+        check()
+        system.occur(project, "deliver", [1])
+        check()
+        system.occur(project, "deliver", [2])  # repeat: set, not multiset
+        check()
+        system.occur(project, "file_report")
+        check()
+        assert system.pending_obligations(project) == []
+        system.occur(project, "finish")
+        check()
+
+    def test_survives_snapshot_restore(self):
+        system = ObjectBase(PROJECT)
+        project = system.create("PROJECT", {"id": "x"}, "start")
+        system.occur(project, "file_report")
+        data = dump_state(system)
+        twin = restore_state(ObjectBase(PROJECT), data)
+        restored = twin.instance("PROJECT", "x")
+        assert restored.performed_events == project.performed_events
+        assert twin.pending_obligations(restored) == ["deliver"]
+        assert twin.pending_obligations(restored) == (
+            twin.pending_obligations_scan(restored)
+        )

@@ -286,6 +286,50 @@ class TestSinks:
         assert not (tmp_path / "spans.jsonl.3").exists()
         assert path.read_text() == ""  # fresh active file after rotation
 
+    def test_jsonl_sink_rotation_keep_one(self, tmp_path):
+        # keep=1 is the tightest legal bound: exactly the active file
+        # plus one rotation; every further rotation drops the previous
+        # ``.1`` rather than growing an unbounded ``.2``, ``.3``, ...
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer(sinks=[])
+        with JSONLSink(str(path), max_bytes=1, keep=1) as sink:
+            tracer.sinks.append(sink)
+            for index in range(5):
+                with tracer.span("sync_set", index=index):
+                    pass
+        assert json.loads((tmp_path / "spans.jsonl.1").read_text())[
+            "attributes"]["index"] == 4
+        assert path.read_text() == ""
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "spans.jsonl", "spans.jsonl.1"]
+
+    def test_jsonl_sink_reopen_after_rotate_resumes(self, tmp_path):
+        # A sink reopened on a path that already rotated must keep the
+        # size accounting correct (append-mode tell() is the file size)
+        # and shift the existing rotations instead of clobbering them.
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer(sinks=[])
+        with JSONLSink(str(path), max_bytes=1, keep=3) as sink:
+            tracer.sinks.append(sink)
+            with tracer.span("sync_set", index=0):
+                pass
+        tracer.sinks.clear()
+        with JSONLSink(str(path), max_bytes=1, keep=3) as sink:
+            tracer.sinks.append(sink)
+            with tracer.span("sync_set", index=1):
+                pass
+        assert json.loads((tmp_path / "spans.jsonl.1").read_text())[
+            "attributes"]["index"] == 1
+        assert json.loads((tmp_path / "spans.jsonl.2").read_text())[
+            "attributes"]["index"] == 0
+        assert path.read_text() == ""
+
+    def test_jsonl_sink_rejects_nonpositive_keep(self, tmp_path):
+        with pytest.raises(ValueError):
+            JSONLSink(str(tmp_path / "spans.jsonl"), max_bytes=1, keep=0)
+        with pytest.raises(ValueError):
+            JSONLSink(str(tmp_path / "spans.jsonl"), keep=-3)
+
     def test_jsonl_sink_no_rotation_under_limit(self, tmp_path):
         path = tmp_path / "spans.jsonl"
         tracer = Tracer(sinks=[])
