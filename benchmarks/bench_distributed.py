@@ -1,0 +1,84 @@
+"""Sharded-community throughput: 4 shard workers vs 1, same workload.
+
+``COUNTER.bump`` guards itself with a universally quantified permission
+over the whole class population, so each occurrence costs O(population)
+formula evaluations -- the workload is population-bound, not
+dispatch-bound.  Partitioning the counters over 4 shards divides the
+per-occurrence population by 4 on every shard, which is why the sharded
+server beats the 1-shard baseline even on a single-core host: the win
+is architectural (less work per occurrence), not parallelism.
+
+Both sides of the comparison run the full wire protocol (fork, frames,
+value coding), so the measured ratio isolates the effect of
+partitioning rather than charging IPC overhead to only one side.
+
+``test_sharding_speedup_guard`` is the CI regression guard: 4 shards
+must be at least 2x the 1-shard throughput, and the merged final state
+of every sharded run must be identical to the single-process oracle's.
+"""
+
+import pytest
+
+from repro.distributed.workload import (
+    DEFAULT_COUNTERS,
+    DEFAULT_OPS,
+    run_oracle,
+    run_sharded,
+)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return run_oracle(DEFAULT_COUNTERS, DEFAULT_OPS)
+
+
+def test_bench_single_shard_baseline(benchmark, oracle):
+    """The whole population behind one worker process: every bump pays
+    the full O(population) permission sweep."""
+    results = []
+    benchmark.pedantic(
+        lambda: results.append(run_sharded(1, DEFAULT_COUNTERS, DEFAULT_OPS)),
+        rounds=3,
+    )
+    for result in results:
+        assert result["state"] == oracle["state"]
+
+
+def test_bench_four_shards(benchmark, oracle):
+    """The population split over 4 workers: a quarter of the permission
+    sweep per bump on the owning shard."""
+    results = []
+    benchmark.pedantic(
+        lambda: results.append(run_sharded(4, DEFAULT_COUNTERS, DEFAULT_OPS)),
+        rounds=3,
+    )
+    for result in results:
+        assert result["state"] == oracle["state"]
+
+
+def test_sharding_speedup_guard(benchmark, oracle):
+    """Regression guard: >= 2x throughput at 4 shards vs 1 shard, with
+    the merged final state identical to the single-process oracle."""
+    baseline = run_sharded(1, DEFAULT_COUNTERS, DEFAULT_OPS)
+    assert baseline["state"] == oracle["state"]
+
+    sharded_seconds = []
+
+    def run():
+        result = run_sharded(4, DEFAULT_COUNTERS, DEFAULT_OPS)
+        assert result["state"] == oracle["state"], (
+            "sharded community diverged from the single-process oracle"
+        )
+        sharded_seconds.append(result["seconds"])
+
+    benchmark.pedantic(run, rounds=3)
+
+    best = min(sharded_seconds)
+    speedup = baseline["seconds"] / best
+    benchmark.extra_info["baseline_seconds"] = baseline["seconds"]
+    benchmark.extra_info["sharded_seconds"] = best
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= 2.0, (
+        f"4 shards only {speedup:.2f}x the 1-shard throughput "
+        f"(target >= 2x): {baseline['seconds']:.3f}s vs {best:.3f}s"
+    )

@@ -277,9 +277,188 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
     obs, sessions = run_with_journal(args.script, capture_output=not args.verbose)
     if args.format == "json":
-        print(json.dumps(render_json(obs.metrics, sessions), indent=2))
+        text = json.dumps(render_json(obs.metrics, sessions), indent=2) + "\n"
     else:
-        sys.stdout.write(render_prometheus(obs.metrics, sessions))
+        text = render_prometheus(obs.metrics, sessions)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.format} export to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _parse_placement(pins: Optional[List[str]]) -> Optional[dict]:
+    placement = {}
+    for pin in pins or []:
+        name, sep, shard = pin.partition("=")
+        if not sep or not shard.lstrip("-").isdigit():
+            raise ValueError(
+                f"bad --pin {pin!r}; expected CLASS=SHARD (e.g. BOOK=1)"
+            )
+        placement[name] = int(shard)
+    return placement or None
+
+
+def _serve_decode_key(key):
+    """JSON-lines identity payloads: lists encode composite keys."""
+    return tuple(key) if isinstance(key, list) else key
+
+
+def _serve_decode_arg(arg):
+    """Event arguments: sort-tagged objects pass through the value
+    coding (so identities are expressible as {"k": "id", ...}); plain
+    scalars coerce like the in-process API."""
+    from repro.runtime.persistence import value_from_json
+
+    if isinstance(arg, dict) and "k" in arg:
+        return value_from_json(arg)
+    if isinstance(arg, list):
+        return tuple(arg)
+    return arg
+
+
+def _serve_dispatch(community, request: dict) -> dict:
+    from repro.runtime.persistence import value_to_json
+
+    op = request.get("op")
+    class_name = request.get("class")
+    args = [_serve_decode_arg(a) for a in request.get("args") or []]
+    if op == "create":
+        identification = {
+            name: _serve_decode_arg(v)
+            for name, v in (request.get("identification") or {}).items()
+        }
+        key = community.create(
+            class_name, identification or None, request.get("event"), args
+        )
+        return {"ok": True, "key": key if not isinstance(key, tuple) else list(key)}
+    if op == "occur":
+        community.occur(
+            class_name, _serve_decode_key(request.get("key")),
+            request.get("event"), args,
+        )
+        return {"ok": True}
+    if op == "get":
+        value = community.get(
+            class_name, _serve_decode_key(request.get("key")),
+            request.get("attribute"), args,
+        )
+        return {"ok": True, "value": value_to_json(value)}
+    if op == "is_permitted":
+        permitted = community.is_permitted(
+            class_name, _serve_decode_key(request.get("key")),
+            request.get("event"), args,
+        )
+        return {"ok": True, "permitted": permitted}
+    if op == "step":
+        fired = community.step()
+        if fired is None:
+            return {"ok": True, "fired": None}
+        fired_class, key, event = fired
+        return {
+            "ok": True,
+            "fired": {
+                "class": fired_class,
+                "key": key if not isinstance(key, tuple) else list(key),
+                "event": event,
+            },
+        }
+    if op == "export":
+        return {"ok": True, "export": community.merged_export()}
+    if op == "dump":
+        return {"ok": True, "state": community.merged_state()}
+    return {"ok": False, "error": "WireError", "message": f"unknown op {op!r}"}
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.distributed import ShardedCommunity
+
+    text = _read_sources(args.files)
+    try:
+        placement = _parse_placement(args.pin)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    with ShardedCommunity(
+        text,
+        shards=args.shards,
+        placement=placement,
+        spool_dir=args.spool_dir,
+    ) as community:
+        print(
+            json.dumps({"ok": True, "serving": True, "shards": args.shards}),
+            flush=True,
+        )
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as error:
+                reply = {"ok": False, "error": "WireError", "message": str(error)}
+                print(json.dumps(reply), flush=True)
+                continue
+            if request.get("op") in ("quit", "shutdown"):
+                print(json.dumps({"ok": True, "status": "bye"}), flush=True)
+                break
+            try:
+                reply = _serve_dispatch(community, request)
+            except TrollError as error:
+                reply = {
+                    "ok": False,
+                    "error": type(error).__name__,
+                    "message": str(error),
+                }
+            print(json.dumps(reply), flush=True)
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.distributed.workload import run_oracle, run_sharded
+    from repro.observability.export import render_shard_prometheus
+
+    result = run_sharded(
+        args.shards,
+        counters=args.counters,
+        ops=args.ops,
+        spool_dir=args.spool_dir,
+        export=True,
+    )
+    print(
+        f"sharded run: {args.shards} shard(s), {result['counters']} "
+        f"counters, {result['ops']} ops"
+    )
+    print(
+        f"  {result['seconds']:.3f}s -> {result['throughput']:.0f} ops/s"
+    )
+    totals = result["export"]["totals"]
+    print(
+        f"  commits={totals['commits']} rollbacks={totals['rollbacks']} "
+        f"requests={totals['requests']} restarts={totals['restarts']}"
+    )
+    if args.oracle:
+        oracle = run_oracle(counters=args.counters, ops=args.ops)
+        match = oracle["state"] == result["state"]
+        print(
+            f"oracle run: {oracle['seconds']:.3f}s -> "
+            f"{oracle['throughput']:.0f} ops/s; merged state "
+            f"{'identical' if match else 'DIVERGED'}"
+        )
+        if not match:
+            return 1
+    if args.metrics:
+        text = render_shard_prometheus(result["export"])
+        if args.metrics == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote shard metrics to {args.metrics}")
     return 0
 
 
@@ -404,10 +583,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: prometheus)",
     )
     export.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the export to FILE instead of stdout",
+    )
+    export.add_argument(
         "--verbose", action="store_true",
         help="interleave the script's own output",
     )
     export.set_defaults(func=_cmd_export)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a sharded object-community server over a "
+        "specification, speaking JSON lines on stdin/stdout",
+    )
+    serve.add_argument(
+        "files", nargs="+", help="specification files ('-' for stdin)"
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4,
+        help="number of shard worker processes (default: 4)",
+    )
+    serve.add_argument(
+        "--pin", action="append", metavar="CLASS=SHARD", default=None,
+        help="pin a class (and its role views) to one shard; repeatable",
+    )
+    serve.add_argument(
+        "--spool-dir", metavar="DIR", default=None,
+        help="per-shard durability spool (journal + snapshots); "
+        "enables crash recovery",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    workload = sub.add_parser(
+        "workload",
+        help="drive the built-in counter workload against a sharded "
+        "community and report throughput",
+    )
+    workload.add_argument(
+        "--shards", type=int, default=4,
+        help="number of shard worker processes (default: 4)",
+    )
+    workload.add_argument(
+        "--counters", type=int, default=120,
+        help="population size (default: 120)",
+    )
+    workload.add_argument(
+        "--ops", type=int, default=480,
+        help="bump occurrences to drive (default: 480)",
+    )
+    workload.add_argument(
+        "--spool-dir", metavar="DIR", default=None,
+        help="per-shard durability spool (journal + snapshots)",
+    )
+    workload.add_argument(
+        "--oracle", action="store_true",
+        help="also run the single-process oracle and verify the merged "
+        "final state is identical",
+    )
+    workload.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write per-shard Prometheus gauges to FILE ('-' for stdout)",
+    )
+    workload.set_defaults(func=_cmd_workload)
 
     return parser
 

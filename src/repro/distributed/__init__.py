@@ -1,0 +1,54 @@
+"""The sharded object-community server (Section 6 as a process
+boundary): coordinator, shard workers, wire protocol, partitioning."""
+
+from repro.distributed.coordinator import (
+    MAX_2PC_ROUNDS,
+    ShardUnavailable,
+    ShardedCommunity,
+    merge_states,
+    normalize_state,
+)
+from repro.distributed.shardbase import (
+    Partitioner,
+    RemoteCall,
+    RemoteSyncError,
+    ShardObjectBase,
+    canonical_key,
+    remote_capable_events,
+    root_class,
+    shard_of_key,
+)
+from repro.distributed.wire import (
+    MAX_FRAME,
+    WireClosed,
+    WireError,
+    WireTimeout,
+    recv_frame,
+    send_frame,
+)
+from repro.distributed.worker import ShardWorker, Spool, worker_main
+
+__all__ = [
+    "MAX_2PC_ROUNDS",
+    "MAX_FRAME",
+    "Partitioner",
+    "RemoteCall",
+    "RemoteSyncError",
+    "ShardObjectBase",
+    "ShardUnavailable",
+    "ShardWorker",
+    "ShardedCommunity",
+    "Spool",
+    "WireClosed",
+    "WireError",
+    "WireTimeout",
+    "canonical_key",
+    "merge_states",
+    "normalize_state",
+    "recv_frame",
+    "remote_capable_events",
+    "root_class",
+    "send_frame",
+    "shard_of_key",
+    "worker_main",
+]

@@ -1,0 +1,585 @@
+"""The coordinator: routing, two-phase commit, crash recovery.
+
+:class:`ShardedCommunity` is the client face of the sharded
+object-community server.  It forks N shard worker processes (each
+hosting a :class:`~repro.distributed.shardbase.ShardObjectBase` over the
+full specification), routes every request to the owning shard by
+identity hash (or placement pin), and exposes the society interface of
+a single object base: ``create`` / ``occur`` / ``get`` /
+``is_permitted`` / ``step`` / ``run_active`` plus merged state and
+telemetry.
+
+**Cross-shard synchronization sets** (Section 6's communicating
+modules): when a worker reports ``needs_2pc`` -- its dry run captured
+event calls into identities owned by other shards -- the coordinator
+drives a two-phase protocol:
+
+1. *Prepare fixpoint*: route the captured calls to their owners, ask
+   every participating shard to dry-run its sub-unit
+   (``prepare_group``), and fold newly discovered remote calls back in
+   until the participant set is closed (bounded by
+   ``MAX_2PC_ROUNDS``).
+2. *Commit*: all shards voted yes -> each commits its sub-unit as one
+   atomic local unit (``commit_group``).  *Abort*: any no-vote ->
+   every participant journals a rollback tombstone (``abort_group``)
+   and the original denial is re-raised with its original type.
+
+The coordinator is single-threaded, so distributed units are serialized
+-- there are no concurrent conflicting prepares and a yes-vote cannot
+be invalidated before its commit arrives.
+
+**Robustness**: every request has a timeout; on timeout, a broken pipe
+or a dead worker the coordinator kills and respawns the shard (which
+recovers from its spool -- snapshot + journal suffix replay) and
+retries with exponential backoff.  Mutating requests carry a request id
+the worker spools with the journal, so a retry after a crashed-but-
+applied request is acknowledged instead of applied twice.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.datatypes.values import Value, from_python
+from repro.diagnostics import CheckError, RuntimeSpecError, TrollError
+from repro.distributed.shardbase import Partitioner
+from repro.distributed.wire import WireError, recv_frame, send_frame
+from repro.distributed.worker import error_class, worker_main
+from repro.lang.checker import check_specification
+from repro.lang.parser import parse_specification
+from repro.runtime.compilespec import compile_specification
+from repro.runtime.persistence import (
+    _payload_from_json,
+    _payload_to_json,
+    value_to_json,
+    value_from_json,
+)
+
+#: bound on the prepare fixpoint (each round can only add shards or
+#: items; real calling chains close in one or two rounds)
+MAX_2PC_ROUNDS = 8
+
+
+class ShardUnavailable(TrollError):
+    """A worker stayed unreachable through every retry and restart."""
+
+
+class _WorkerHandle:
+    __slots__ = ("index", "process", "sock")
+
+    def __init__(self, index: int, process, sock: socket.socket):
+        self.index = index
+        self.process = process
+        self.sock = sock
+
+
+def _item_key(item: Dict[str, Any]) -> Tuple[str, str, str, str]:
+    """Canonical dedup key of a wire item (or captured remote call)."""
+    if item.get("type") == "create":
+        return (
+            item["class"],
+            "create:" + json.dumps(item.get("identification"), sort_keys=True),
+            item.get("event") or "",
+            json.dumps(item.get("args") or [], sort_keys=True),
+        )
+    return (
+        item["class"],
+        json.dumps(item["key"], sort_keys=True),
+        item["event"],
+        json.dumps(item.get("args") or [], sort_keys=True),
+    )
+
+
+def merge_states(states: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-shard ``dump_state`` snapshots into one canonical
+    snapshot (instances sorted by class and identity; class-object
+    member sets unioned and sorted)."""
+    instances: List[Dict[str, Any]] = []
+    class_objects: Dict[str, List[Any]] = {}
+    for state in states:
+        instances.extend(state.get("instances", []))
+        for name, members in state.get("class_objects", {}).items():
+            class_objects.setdefault(name, []).extend(members)
+    instances.sort(key=lambda r: (r["class"], json.dumps(r["key"], sort_keys=True)))
+    first = states[0] if states else {}
+    return {
+        "format": first.get("format"),
+        "permission_mode": first.get("permission_mode"),
+        "instances": instances,
+        "class_objects": {
+            name: sorted(members, key=lambda m: json.dumps(m, sort_keys=True))
+            for name, members in class_objects.items()
+        },
+    }
+
+
+def normalize_state(state: Dict[str, Any]) -> Dict[str, Any]:
+    """A single-process ``dump_state`` in the same canonical order as
+    :func:`merge_states` output (the oracle side of equivalence tests)."""
+    return merge_states([state])
+
+
+class ShardedCommunity:
+    """A society interface over N shard worker processes."""
+
+    def __init__(
+        self,
+        spec: str,
+        shards: int = 4,
+        placement: Optional[Dict[str, int]] = None,
+        spool_dir: Optional[str] = None,
+        permission_mode: str = "incremental",
+        check_constraints: bool = True,
+        probe_cache: bool = True,
+        snapshot_interval: int = 64,
+        request_timeout: float = 30.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        observe: bool = False,
+        start: bool = True,
+    ):
+        if not isinstance(spec, str):
+            raise CheckError(
+                "ShardedCommunity needs specification text (workers "
+                "re-parse it in their own processes)"
+            )
+        checked = check_specification(parse_specification(spec))
+        checked.raise_if_errors()
+        self.compiled = compile_specification(checked)
+        self.spec_text = spec
+        self.shards = shards
+        self.partitioner = Partitioner(self.compiled, shards, placement)
+        self.placement = dict(placement or {})
+        self.spool_dir = spool_dir
+        self.permission_mode = permission_mode
+        self.check_constraints = check_constraints
+        self.probe_cache = probe_cache
+        self.snapshot_interval = snapshot_interval
+        self.request_timeout = request_timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.observe = observe
+        #: worker restarts observed (crash detection + recovery)
+        self.restarts = 0
+        self._workers: List[Optional[_WorkerHandle]] = [None] * shards
+        self._rids = itertools.count(1)
+        self._closed = False
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        for index in range(self.shards):
+            if self._workers[index] is None:
+                self._spawn(index)
+
+    def _worker_config(self, index: int) -> Dict[str, Any]:
+        return {
+            "spec": self.spec_text,
+            "shard_index": index,
+            "shards": self.shards,
+            "placement": self.placement,
+            "spool_dir": self.spool_dir,
+            "permission_mode": self.permission_mode,
+            "check_constraints": self.check_constraints,
+            "probe_cache": self.probe_cache,
+            "snapshot_interval": self.snapshot_interval,
+            "observe": self.observe,
+        }
+
+    def _spawn(self, index: int) -> _WorkerHandle:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        parent_sock, child_sock = socket.socketpair()
+        process = ctx.Process(
+            target=worker_main,
+            args=(child_sock, self._worker_config(index)),
+            daemon=True,
+            name=f"repro-shard-{index}",
+        )
+        process.start()
+        child_sock.close()
+        handle = _WorkerHandle(index, process, parent_sock)
+        self._workers[index] = handle
+        return handle
+
+    def _restart(self, index: int) -> _WorkerHandle:
+        """Kill whatever is left of a shard and respawn it; the fresh
+        worker recovers from its spool (snapshot + journal replay)."""
+        handle = self._workers[index]
+        if handle is not None:
+            try:
+                handle.sock.close()
+            except OSError:
+                pass
+            if handle.process.is_alive():
+                handle.process.terminate()
+            handle.process.join(timeout=5)
+            self._workers[index] = None
+        self.restarts += 1
+        return self._spawn(index)
+
+    def kill_worker(self, index: int) -> None:
+        """Hard-kill one shard process (fault injection for tests); the
+        next request to the shard triggers crash detection + restart."""
+        handle = self._workers[index]
+        if handle is not None and handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(timeout=5)
+
+    # ------------------------------------------------------------------
+    # The request machinery: timeout, retry/backoff, restart
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, index: int, message: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        if self._closed:
+            raise ShardUnavailable("the community has been closed")
+        timeout = self.request_timeout if timeout is None else timeout
+        attempts = self.retries + 1
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            handle = self._workers[index]
+            if handle is None or not handle.process.is_alive():
+                handle = self._restart(index)
+            try:
+                send_frame(handle.sock, message)
+                return recv_frame(handle.sock, timeout=timeout)
+            except (WireError, OSError) as exc:
+                # Crash or hang.  A timed-out socket cannot be reused (a
+                # late reply would desynchronize the framing), so the
+                # shard is restarted either way; the worker's applied-id
+                # spool makes retried mutations exactly-once.
+                last_error = exc
+                self._restart(index)
+                if attempt + 1 < attempts:
+                    time.sleep(self.backoff * (2 ** attempt))
+        raise ShardUnavailable(
+            f"shard {index} unreachable after {attempts} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+
+    def _call(
+        self, index: int, message: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        response = self._request(index, message, timeout)
+        if not response.get("ok"):
+            raise error_class(response.get("error", "RuntimeSpecError"))(
+                response.get("message", f"shard {index} error")
+            )
+        return response
+
+    def _rid(self) -> str:
+        return f"r{next(self._rids)}"
+
+    # ------------------------------------------------------------------
+    # Routing helpers
+    # ------------------------------------------------------------------
+
+    def _route(self, class_name: str, key) -> Tuple[Any, int]:
+        if class_name not in self.compiled.classes:
+            raise CheckError(f"unknown class {class_name!r}")
+        payload = key.payload if isinstance(key, Value) else key
+        return payload, self.partitioner.shard_of(class_name, payload)
+
+    @staticmethod
+    def _encode_args(args: Sequence[object]) -> List[Any]:
+        return [value_to_json(from_python(a)) for a in args]
+
+    # ------------------------------------------------------------------
+    # The society interface
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        class_name: str,
+        identification: Optional[dict] = None,
+        event: Optional[str] = None,
+        args: Sequence[object] = (),
+    ):
+        """Create an instance on its owning shard; returns the identity
+        payload (the routing key for later calls)."""
+        if class_name not in self.compiled.classes:
+            raise CheckError(f"unknown class {class_name!r}")
+        compiled = self.compiled.classes[class_name]
+        payload = self.partitioner.identity_payload(compiled, identification)
+        shard = self.partitioner.shard_of(class_name, payload)
+        item = {
+            "type": "create",
+            "class": class_name,
+            "identification": {
+                name: value_to_json(from_python(v))
+                for name, v in (identification or {}).items()
+            },
+            "event": event,
+            "args": self._encode_args(args),
+        }
+        message = dict(item, op="create", rid=self._rid())
+        message.pop("type")
+        response = self._call(shard, message)
+        if response.get("status") == "needs_2pc":
+            self._run_2pc({shard: [item]}, response.get("remote", []))
+        return payload
+
+    def occur(
+        self, class_name: str, key, event: str, args: Sequence[object] = ()
+    ) -> None:
+        """Drive one event occurrence (plus its synchronization set,
+        across shards when event calling requires it)."""
+        payload, shard = self._route(class_name, key)
+        item = {
+            "type": "occur",
+            "class": class_name,
+            "key": _payload_to_json(payload),
+            "event": event,
+            "args": self._encode_args(args),
+        }
+        message = dict(item, op="occur", rid=self._rid())
+        message.pop("type")
+        response = self._call(shard, message)
+        if response.get("status") == "needs_2pc":
+            self._run_2pc({shard: [item]}, response.get("remote", []))
+
+    def get(
+        self, class_name: str, key, attribute: str, args: Sequence[object] = ()
+    ) -> Value:
+        payload, shard = self._route(class_name, key)
+        response = self._call(
+            shard,
+            {
+                "op": "get",
+                "class": class_name,
+                "key": _payload_to_json(payload),
+                "attribute": attribute,
+                "args": self._encode_args(args),
+            },
+        )
+        return value_from_json(response["value"])
+
+    def is_permitted(
+        self, class_name: str, key, event: str, args: Sequence[object] = ()
+    ) -> bool:
+        payload, shard = self._route(class_name, key)
+        item = {
+            "type": "occur",
+            "class": class_name,
+            "key": _payload_to_json(payload),
+            "event": event,
+            "args": self._encode_args(args),
+        }
+        message = dict(item, op="is_permitted")
+        message.pop("type")
+        response = self._call(shard, message)
+        if response.get("status") == "needs_2pc":
+            ok, _failure, _groups = self._prepare_fixpoint(
+                {shard: [item]}, response.get("remote", [])
+            )
+            return ok
+        return bool(response.get("permitted"))
+
+    def step(self) -> Optional[Tuple[str, Any, str]]:
+        """Fire one enabled active event somewhere in the community;
+        returns (class, key, event) or None at quiescence.  Shards are
+        polled in index order; a cross-shard candidate whose distributed
+        unit aborts is skipped this round."""
+        for shard in range(self.shards):
+            response = self._call(shard, {"op": "step", "rid": self._rid()})
+            status = response.get("status")
+            if status == "fired":
+                return (
+                    response["class"],
+                    _payload_from_json(response["key"]),
+                    response["event"],
+                )
+            if status == "needs_2pc_candidate":
+                item = {
+                    "type": "occur",
+                    "class": response["class"],
+                    "key": response["key"],
+                    "event": response["event"],
+                    "args": [],
+                }
+                try:
+                    self._run_2pc({shard: [item]}, [])
+                except RuntimeSpecError:
+                    continue
+                return (
+                    response["class"],
+                    _payload_from_json(response["key"]),
+                    response["event"],
+                )
+        return None
+
+    def run_active(self, max_steps: int = 100) -> List[Tuple[str, Any, str]]:
+        fired: List[Tuple[str, Any, str]] = []
+        for _ in range(max_steps):
+            occurrence = self.step()
+            if occurrence is None:
+                break
+            fired.append(occurrence)
+        return fired
+
+    # ------------------------------------------------------------------
+    # Two-phase commit
+    # ------------------------------------------------------------------
+
+    def _prepare_fixpoint(
+        self,
+        groups: Dict[int, List[Dict[str, Any]]],
+        remote: List[Dict[str, Any]],
+    ) -> Tuple[bool, Optional[Dict[str, Any]], Dict[int, List[Dict[str, Any]]]]:
+        """Close the participant set: route captured remote calls to
+        their owners and re-prepare until no new items appear.  Returns
+        (all_voted_yes, failing_response_or_None, groups)."""
+        seen = {
+            _item_key(item) for items in groups.values() for item in items
+        }
+        queue = list(remote)
+        for _round in range(MAX_2PC_ROUNDS):
+            for call in queue:
+                key = _item_key(call)
+                if key in seen:
+                    continue
+                seen.add(key)
+                payload = _payload_from_json(call["key"])
+                owner = self.partitioner.shard_of(call["class"], payload)
+                groups.setdefault(owner, []).append(
+                    {
+                        "type": "occur",
+                        "class": call["class"],
+                        "key": call["key"],
+                        "event": call["event"],
+                        "args": call.get("args") or [],
+                    }
+                )
+            queue = []
+            for shard in sorted(groups):
+                response = self._call(
+                    shard, {"op": "prepare_group", "items": groups[shard]}
+                )
+                if not response.get("vote"):
+                    return False, response, groups
+                for call in response.get("remote", []):
+                    if _item_key(call) not in seen:
+                        queue.append(call)
+            if not queue:
+                return True, None, groups
+        raise RuntimeSpecError(
+            f"distributed synchronization set did not close within "
+            f"{MAX_2PC_ROUNDS} prepare rounds (calling cycle across shards?)"
+        )
+
+    def _run_2pc(
+        self,
+        groups: Dict[int, List[Dict[str, Any]]],
+        remote: List[Dict[str, Any]],
+    ) -> None:
+        ok, failure, groups = self._prepare_fixpoint(groups, remote)
+        if not ok:
+            reason = failure.get("error", "RuntimeSpecError")
+            message = failure.get("message", "distributed unit aborted")
+            for shard in sorted(groups):
+                # Tombstones on every participant, best-effort: a shard
+                # that cannot journal the abort has nothing committed.
+                try:
+                    self._call(
+                        shard,
+                        {
+                            "op": "abort_group",
+                            "items": groups[shard],
+                            "reason": reason,
+                            "message": message,
+                        },
+                    )
+                except TrollError:
+                    pass
+            raise error_class(reason)(message)
+        for shard in sorted(groups):
+            # All voted yes, and the single-threaded coordinator admits
+            # no conflicting unit in between -- commits cannot be denied.
+            # A crash mid-round is covered by restart + the rid spool.
+            self._call(
+                shard,
+                {"op": "commit_group", "rid": self._rid(), "items": groups[shard]},
+            )
+
+    # ------------------------------------------------------------------
+    # Merged state and telemetry
+    # ------------------------------------------------------------------
+
+    def merged_state(self) -> Dict[str, Any]:
+        """The community's full state as one canonical ``dump_state``
+        snapshot (compare against :func:`normalize_state` of an oracle)."""
+        states = [
+            self._call(shard, {"op": "dump"})["state"]
+            for shard in range(self.shards)
+        ]
+        return merge_states(states)
+
+    def merged_export(self) -> Dict[str, Any]:
+        """Per-shard counters plus community totals."""
+        shards = [
+            self._call(shard, {"op": "export"}) for shard in range(self.shards)
+        ]
+        totals = {
+            "requests": sum(s.get("requests", 0) for s in shards),
+            "commits": sum(s.get("commits", 0) for s in shards),
+            "rollbacks": sum(s.get("rollbacks", 0) for s in shards),
+            "journal_depth": sum(s.get("journal_depth", 0) for s in shards),
+            "restarts": self.restarts,
+        }
+        return {"shards": shards, "totals": totals}
+
+    def snapshot_all(self) -> List[int]:
+        """Force every shard to spool a fresh snapshot; returns the
+        per-shard journal high-water marks."""
+        return [
+            self._call(shard, {"op": "snapshot"})["journal_seq"]
+            for shard in range(self.shards)
+        ]
+
+    def ping_all(self) -> List[Dict[str, Any]]:
+        return [
+            self._call(shard, {"op": "ping"}) for shard in range(self.shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for index, handle in enumerate(self._workers):
+            if handle is None:
+                continue
+            try:
+                send_frame(handle.sock, {"op": "shutdown"})
+                recv_frame(handle.sock, timeout=2.0)
+            except (WireError, OSError):
+                pass
+            try:
+                handle.sock.close()
+            except OSError:
+                pass
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5)
+            self._workers[index] = None
+
+    def __enter__(self) -> "ShardedCommunity":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

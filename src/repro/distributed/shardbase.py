@@ -1,0 +1,338 @@
+"""Shard-local object bases: partitioning and remote-call capture.
+
+A shard worker hosts an ordinary :class:`ObjectBase` over the *full*
+specification, but only the instances whose identity hashes (or whose
+class is pinned) to its shard.  Three pieces make that work:
+
+* **partitioning** -- :func:`shard_of_key` hashes identity payloads
+  stably (CRC32 over the canonical JSON payload encoding, never
+  Python's randomized ``hash``), and placement pins route whole classes.
+  Role aspects always follow their base: routing uses the *root* class
+  of the view-of chain, so ``PERSON('alice')`` and ``MANAGER('alice')``
+  land on the same shard by construction.
+
+* **remote-call capture** -- :class:`ShardObjectBase` overrides the
+  ``_dispatch_call`` seam of the occurrence engine.  When event calling
+  resolves to an identity owned by another shard, the call is recorded
+  as a :class:`RemoteCall` (capture mode, used by the two-phase
+  protocol) or raised as :class:`RemoteSyncError` (normal mode, which
+  tells the worker to hand the unit to the coordinator for 2PC).
+
+* **static reachability** -- :func:`remote_capable_events` computes the
+  (class, event) pairs whose calling closure can reach a target on
+  another shard.  Everything else -- the throughput-critical shard-local
+  workload -- runs the unmodified single-process fast path with zero
+  added cost.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.datatypes.evaluator import Environment, evaluate
+from repro.datatypes.sorts import IdSort
+from repro.datatypes.values import Value, from_python
+from repro.diagnostics import CheckError, RuntimeSpecError, TrollError
+from repro.lang import ast
+from repro.runtime.compilespec import CompiledClass, CompiledSpecification
+from repro.runtime.instance import Instance
+from repro.runtime.objectbase import ObjectBase
+from repro.runtime.persistence import _payload_to_json
+
+
+class RemoteSyncError(TrollError):
+    """A synchronization set needs occurrences on another shard.
+
+    Deliberately *not* a :class:`RuntimeSpecError`: permission probes
+    swallow those as "denied", but a cross-shard unit is not denied --
+    it must be escalated to the coordinator's two-phase protocol.
+    """
+
+    def __init__(self, message: str, calls: Tuple["RemoteCall", ...] = ()):
+        super().__init__(message)
+        self.calls = calls
+
+
+@dataclass(frozen=True)
+class RemoteCall:
+    """One captured cross-shard called event."""
+
+    class_name: str
+    key: Any
+    event: str
+    args: Tuple[Value, ...]
+
+    def dedup_key(self) -> Tuple[str, Any, str, Tuple[Value, ...]]:
+        return (self.class_name, self.key, self.event, self.args)
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+
+def canonical_key(payload: Any) -> str:
+    """A stable string encoding of an identity payload."""
+    return json.dumps(_payload_to_json(payload), sort_keys=True)
+
+
+def shard_of_key(payload: Any, shards: int) -> int:
+    """The hash partition of an identity payload (stable across runs
+    and processes -- CRC32, not Python's randomized ``hash``)."""
+    return zlib.crc32(canonical_key(payload).encode("utf-8")) % shards
+
+
+def root_class(compiled: CompiledSpecification, class_name: str) -> str:
+    """The root of a view-of chain: roles are placed with their base."""
+    seen = set()
+    current = class_name
+    while True:
+        cls = compiled.classes.get(current)
+        if cls is None or cls.base is None or current in seen:
+            return current
+        seen.add(current)
+        current = cls.base
+
+
+class Partitioner:
+    """Identity -> shard routing shared by coordinator and workers."""
+
+    def __init__(
+        self,
+        compiled: CompiledSpecification,
+        shards: int,
+        placement: Optional[Dict[str, int]] = None,
+    ):
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.compiled = compiled
+        self.shards = shards
+        #: class name -> pinned shard; applied to the root of view chains
+        self.placement: Dict[str, int] = {}
+        for name, shard in (placement or {}).items():
+            if name not in compiled.classes:
+                raise CheckError(f"placement pins unknown class {name!r}")
+            if not 0 <= shard < shards:
+                raise CheckError(
+                    f"placement pins {name!r} to shard {shard} "
+                    f"outside 0..{shards - 1}"
+                )
+            self.placement[root_class(compiled, name)] = shard
+
+    def shard_of(self, class_name: str, payload: Any) -> int:
+        root = root_class(self.compiled, class_name)
+        pinned = self.placement.get(root)
+        if pinned is not None:
+            return pinned
+        return shard_of_key(payload, self.shards)
+
+    def identity_payload(
+        self, compiled_class: CompiledClass, identification: Optional[dict]
+    ) -> Any:
+        """The identity payload ``create`` would register (the routing
+        key is known before the worker is ever contacted)."""
+        if compiled_class.is_single_object:
+            return compiled_class.name
+        id_attrs = compiled_class.info.id_attributes
+        if not id_attrs:
+            raise CheckError(
+                f"class {compiled_class.name} has no identification "
+                "attributes; supply identification={'id': ...}"
+            )
+        identification = identification or {}
+        parts = []
+        for attr in id_attrs:
+            if attr.name not in identification:
+                raise CheckError(
+                    f"missing identification attribute {attr.name!r} for "
+                    f"{compiled_class.name}"
+                )
+            parts.append(from_python(identification[attr.name]).payload)
+        return parts[0] if len(parts) == 1 else tuple(parts)
+
+
+# ----------------------------------------------------------------------
+# Static reachability: which events can call across the boundary?
+# ----------------------------------------------------------------------
+
+def _qualified_targets(rule: ast.CallingRule) -> Tuple[ast.EventRef, ...]:
+    return rule.targets
+
+
+def remote_capable_events(compiled: CompiledSpecification) -> Set[Tuple[str, str]]:
+    """(class, event) pairs whose synchronization set *may* include a
+    target resolved by identity (class-qualified calls, components,
+    incorporated-base aliases) -- conservatively, everything that could
+    land on another shard.  Self-calls and role routing propagate the
+    mark along the calling graph; unmarked events are guaranteed
+    shard-local and skip the two-phase machinery entirely."""
+    marked: Set[Tuple[str, str]] = set()
+    edges: Dict[Tuple[str, str], Set[Tuple[str, str]]] = {}
+
+    def add_edge(source: Tuple[str, str], dest: Tuple[str, str]) -> None:
+        edges.setdefault(source, set()).add(dest)
+
+    for class_name, cls in compiled.classes.items():
+        for event_name, rules in cls.callings_by_event.items():
+            source = (class_name, event_name)
+            for rule in rules:
+                for target in _qualified_targets(rule):
+                    qualifier = target.qualifier
+                    if qualifier is None or qualifier.name == "self":
+                        add_edge(source, (class_name, target.name))
+                    else:
+                        # Component, alias or class-qualified: the
+                        # resolved identity may live anywhere.
+                        marked.add(source)
+        # Inherited events route to the declaring aspect -- same
+        # identity, same shard, but the routed event's own calling
+        # rules fire there; propagate along the binding.
+        for event_name, decl in cls.info.all_events().items():
+            if decl.binding is not None and decl.binding.object_name != class_name:
+                add_edge(
+                    (class_name, event_name),
+                    (decl.binding.object_name, decl.binding.event_name),
+                )
+    for (class_name, event_name) in compiled.global_callings:
+        marked.add((class_name, event_name))
+
+    changed = True
+    while changed:
+        changed = False
+        for source, dests in edges.items():
+            if source in marked:
+                continue
+            if any(dest in marked for dest in dests):
+                marked.add(source)
+                changed = True
+    return marked
+
+
+# ----------------------------------------------------------------------
+# The shard-local object base
+# ----------------------------------------------------------------------
+
+class ShardObjectBase(ObjectBase):
+    """An :class:`ObjectBase` hosting one shard of the population.
+
+    ``capture_remote=False`` (the default, normal operation): a call
+    target owned by another shard raises :class:`RemoteSyncError` and
+    rolls the unit back -- the worker escalates to the coordinator.
+
+    ``capture_remote=True`` (two-phase prepare/commit and recovery
+    replay): remote targets are appended to ``remote_calls`` and skipped
+    locally; the peers that own them process them as their part of the
+    same distributed synchronization set.
+    """
+
+    def __init__(
+        self,
+        source,
+        shard_index: int,
+        shards: int,
+        placement: Optional[Dict[str, int]] = None,
+        **kwargs,
+    ):
+        super().__init__(source, **kwargs)
+        self.shard_index = shard_index
+        self.partitioner = Partitioner(self.compiled, shards, placement)
+        self.capture_remote = False
+        self.remote_calls: List[RemoteCall] = []
+        self.remote_capable = remote_capable_events(self.compiled)
+
+    # -- ownership -----------------------------------------------------
+
+    def owns(self, class_name: str, payload: Any) -> bool:
+        return self.partitioner.shard_of(class_name, payload) == self.shard_index
+
+    # -- the dispatch seam ---------------------------------------------
+
+    def _dispatch_call(self, txn, instance: Instance, target: ast.EventRef, env: Environment) -> None:
+        locals_, remotes = self._split_targets(instance, target, env)
+        if remotes:
+            args = tuple(evaluate(a, env) for a in target.args)
+            calls = tuple(
+                RemoteCall(class_name, key, target.name, args)
+                for class_name, key in remotes
+            )
+            if not self.capture_remote:
+                raise RemoteSyncError(
+                    f"{instance.class_name}({instance.key!r}).? calls "
+                    f"{calls[0]!s} owned by shard "
+                    f"{self.partitioner.shard_of(calls[0].class_name, calls[0].key)}; "
+                    "the unit needs distributed commit",
+                    calls,
+                )
+            seen = {call.dedup_key() for call in self.remote_calls}
+            for call in calls:
+                if call.dedup_key() not in seen:
+                    self.remote_calls.append(call)
+        for target_instance in locals_:
+            target_args = tuple(evaluate(a, env) for a in target.args)
+            self._process(txn, target_instance, target.name, target_args)
+
+    def _split_targets(
+        self, instance: Instance, target: ast.EventRef, env: Environment
+    ) -> Tuple[List[Instance], List[Tuple[str, Any]]]:
+        """Shard-aware twin of ``_resolve_targets``: locally hosted
+        target instances, plus (class, key) refs owned by other shards.
+        A missing identity that *this* shard owns is still an error."""
+        qualifier = target.qualifier
+        if qualifier is None or qualifier.name == "self":
+            return [instance], []
+        info = instance.compiled.info
+        if qualifier.name in info.components:
+            value = instance.observe(qualifier.name)
+            if isinstance(value.sort, IdSort):
+                members = [value]
+            else:
+                members = list(value.payload)
+            locals_: List[Instance] = []
+            remotes: List[Tuple[str, Any]] = []
+            for member in members:
+                found = self.resolve_instance(member)
+                if found is not None:
+                    locals_.append(found)
+                    continue
+                if not isinstance(member.sort, IdSort) or self.owns(
+                    member.sort.class_name, member.payload
+                ):
+                    raise RuntimeSpecError(
+                        f"component {qualifier.name!r} of "
+                        f"{instance.class_name}({instance.key!r}) references "
+                        f"missing instance {member}"
+                    )
+                remotes.append((member.sort.class_name, member.payload))
+            return locals_, remotes
+        alias_base = self._alias_base(instance, qualifier.name)
+        if alias_base is not None:
+            # Single objects key on their own name.
+            found = self.find(alias_base, alias_base)
+            if found is not None:
+                return [found], []
+            if self.owns(alias_base, alias_base):
+                return [self.single_object(alias_base)], []  # raises precisely
+            return [], [(alias_base, alias_base)]
+        if qualifier.name in self.compiled.classes:
+            if qualifier.key is None:
+                raise RuntimeSpecError(
+                    f"class-qualified call {qualifier.name}.{target.name} "
+                    "needs an identity"
+                )
+            key_value = evaluate(qualifier.key, env)
+            found = self.find(qualifier.name, key_value)
+            if found is not None:
+                return [found], []
+            payload = key_value.payload if isinstance(key_value, Value) else key_value
+            if self.owns(qualifier.name, payload):
+                raise RuntimeSpecError(
+                    f"no {qualifier.name} instance with identity "
+                    f"{payload!r} for call to {target.name!r}"
+                )
+            return [], [(qualifier.name, payload)]
+        raise RuntimeSpecError(
+            f"cannot resolve call qualifier {qualifier.name!r} in "
+            f"{instance.class_name}"
+        )

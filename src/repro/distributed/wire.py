@@ -1,0 +1,88 @@
+"""The shard wire protocol: length-prefixed JSON frames over sockets.
+
+Section 6 gives modules a *society interface* -- "structured like usual
+object societies but hiding module realization details".  The sharded
+server turns that boundary into a process boundary, so the interface
+becomes a wire protocol: each frame is a 4-byte big-endian length
+followed by that many bytes of UTF-8 JSON.  Requests and responses are
+flat JSON objects; event arguments, attribute values and identity
+payloads travel in the persistence layer's sort-tagged value coding
+(:func:`repro.runtime.persistence.value_to_json`), so nothing is lost
+across the boundary.
+
+The framing functions raise :class:`WireClosed` on a cleanly closed
+peer, :class:`WireTimeout` when the socket timeout expires mid-frame,
+and :class:`WireError` for malformed frames.  Frames are capped at
+``MAX_FRAME`` bytes as a corrupted-length guard.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+#: corrupted-length guard: no legitimate frame approaches this
+MAX_FRAME = 256 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class WireError(Exception):
+    """A malformed frame (bad length, undecodable body)."""
+
+
+class WireClosed(WireError):
+    """The peer closed the connection (EOF mid- or between frames)."""
+
+
+class WireTimeout(WireError):
+    """The socket timeout expired while waiting for a frame."""
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise WireClosed/WireTimeout."""
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout as exc:  # noqa: PERF203 - must map per recv
+            raise WireTimeout(f"timed out waiting for {remaining} byte(s)") from exc
+        if not chunk:
+            raise WireClosed("connection closed by peer")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Serialize ``message`` as one length-prefixed JSON frame."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def recv_frame(
+    sock: socket.socket, timeout: Optional[float] = None
+) -> Dict[str, Any]:
+    """Receive one frame; ``timeout`` (seconds) bounds the whole read.
+
+    ``timeout=None`` leaves the socket's current timeout in place (the
+    worker's blocking serve loop); a value installs it for this frame.
+    """
+    if timeout is not None:
+        sock.settimeout(timeout)
+    length = _HEADER.unpack(_recv_exact(sock, _HEADER.size))[0]
+    if length > MAX_FRAME:
+        raise WireError(f"frame length {length} exceeds MAX_FRAME")
+    body = _recv_exact(sock, length)
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise WireError("frame body must be a JSON object")
+    return message

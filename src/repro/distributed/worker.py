@@ -1,0 +1,691 @@
+"""The shard worker: one process hosting one shard of the community.
+
+A worker owns a :class:`ShardObjectBase` (with its own event journal
+and probe cache) and serves the society-interface-shaped wire protocol
+over a single socket: ``occur``, ``create``, ``get``, ``is_permitted``,
+``step``, ``export``, ``dump``, the two-phase ops ``prepare_group`` /
+``commit_group`` / ``abort_group``, and management ops (``ping``,
+``snapshot``, ``shutdown``, fault-injection hooks for tests).
+
+**Durability & recovery.**  With a spool directory configured, every
+committed (or tombstoned) unit is appended to ``journal.jsonl`` before
+the reply leaves the worker, and every ``snapshot_interval`` committed
+records a full :func:`dump_incremental` snapshot is written atomically.
+A restarted worker rebuilds its state as *snapshot + journal suffix
+replay* (:func:`restore_state` + :func:`replay_records`), exactly the
+paper's "state is the event sequence" semantics.  Mutating requests
+carry a request id; applied ids are spooled alongside the journal, so a
+request retried across a crash is detected and acknowledged instead of
+applied twice.
+
+**Cross-shard units.**  Shard-local events (statically known never to
+call across the boundary) run the unmodified fast path.  Remote-capable
+events are first dry-run in capture mode: if the captured remote-call
+set is empty they commit locally, otherwise the worker answers
+``needs_2pc`` and the coordinator drives prepare/commit over every
+participating shard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.diagnostics import (
+    CheckError,
+    ConstraintViolation,
+    EvaluationError,
+    LifecycleError,
+    PermissionDenied,
+    RuntimeSpecError,
+    TrollError,
+)
+from repro.distributed.shardbase import RemoteCall, ShardObjectBase
+from repro.distributed.wire import WireClosed, WireError, recv_frame, send_frame
+from repro.observability.hooks import Observability
+from repro.observability.journal import (
+    Journal,
+    TriggerRecord,
+    record_to_json,
+    replay_records,
+)
+from repro.runtime.objectbase import _Transaction
+from repro.runtime.persistence import (
+    _payload_from_json,
+    _payload_to_json,
+    dump_incremental,
+    dump_state,
+    restore_state,
+    value_from_json,
+    value_to_json,
+)
+
+#: reason name -> exception class, for re-raising peer denials with the
+#: right type on abort tombstones and at the coordinator
+ERROR_CLASSES = {
+    "PermissionDenied": PermissionDenied,
+    "ConstraintViolation": ConstraintViolation,
+    "LifecycleError": LifecycleError,
+    "EvaluationError": EvaluationError,
+    "CheckError": CheckError,
+    "RuntimeSpecError": RuntimeSpecError,
+}
+
+
+def error_class(reason: str):
+    return ERROR_CLASSES.get(reason, RuntimeSpecError)
+
+
+def calls_to_wire(calls) -> List[Dict[str, Any]]:
+    return [
+        {
+            "class": call.class_name,
+            "key": _payload_to_json(call.key),
+            "event": call.event,
+            "args": [value_to_json(a) for a in call.args],
+        }
+        for call in calls
+    ]
+
+
+def calls_from_wire(data) -> List[RemoteCall]:
+    return [
+        RemoteCall(
+            class_name=item["class"],
+            key=_payload_from_json(item["key"]),
+            event=item["event"],
+            args=tuple(value_from_json(a) for a in item["args"]),
+        )
+        for item in data
+    ]
+
+
+class Spool:
+    """Crash-durable per-shard storage: journal, snapshot, applied ids."""
+
+    def __init__(self, directory: str, shard_index: int):
+        self.directory = os.path.join(directory, f"shard-{shard_index}")
+        os.makedirs(self.directory, exist_ok=True)
+        self.journal_path = os.path.join(self.directory, "journal.jsonl")
+        self.snapshot_path = os.path.join(self.directory, "snapshot.json")
+        self.applied_path = os.path.join(self.directory, "applied.jsonl")
+
+    def append_records(self, records) -> None:
+        with open(self.journal_path, "a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record_to_json(record)) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def read_journal(self) -> Optional[Journal]:
+        if not os.path.exists(self.journal_path):
+            return None
+        return Journal.read_jsonl(self.journal_path)
+
+    def write_snapshot(self, data: Dict[str, Any]) -> None:
+        tmp = self.snapshot_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.snapshot_path)
+
+    def read_snapshot(self) -> Optional[Dict[str, Any]]:
+        if not os.path.exists(self.snapshot_path):
+            return None
+        with open(self.snapshot_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def append_applied(self, rid: str) -> None:
+        with open(self.applied_path, "a", encoding="utf-8") as handle:
+            handle.write(rid + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def read_applied(self) -> set:
+        if not os.path.exists(self.applied_path):
+            return set()
+        with open(self.applied_path, "r", encoding="utf-8") as handle:
+            return {line.strip() for line in handle if line.strip()}
+
+
+class ShardWorker:
+    """The request handler living inside one shard process."""
+
+    MUTATING_OPS = frozenset({"occur", "create", "commit_group", "step"})
+
+    def __init__(self, config: Dict[str, Any]):
+        self.config = config
+        self.shard_index: int = config["shard_index"]
+        self.recorder = Journal()
+        self.obs: Optional[Observability] = (
+            Observability(tracing=False) if config.get("observe") else None
+        )
+        self.system = ShardObjectBase(
+            config["spec"],
+            shard_index=self.shard_index,
+            shards=config["shards"],
+            placement=config.get("placement"),
+            permission_mode=config.get("permission_mode", "incremental"),
+            check_constraints=config.get("check_constraints", True),
+            probe_cache=config.get("probe_cache", True),
+            journal=self.recorder,
+            observability=self.obs,
+        )
+        spool_dir = config.get("spool_dir")
+        self.spool = Spool(spool_dir, self.shard_index) if spool_dir else None
+        self.snapshot_interval: int = config.get("snapshot_interval", 64)
+        self.flushed_seq = 0
+        self._last_snapshot_seq = 0
+        self.applied: set = set()
+        self.requests = 0
+        self.recovered = False
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild state from the spool: snapshot + journal suffix."""
+        if self.spool is None:
+            return
+        disk = self.spool.read_journal()
+        snapshot = self.spool.read_snapshot()
+        if disk is None and snapshot is None:
+            return
+        recorder, self.system.recorder = self.system.recorder, None
+        self.system.capture_remote = True
+        try:
+            if snapshot is not None:
+                restore_state(self.system, snapshot["snapshot"])
+                since = snapshot.get("journal_seq") or 0
+                if disk is not None:
+                    replay_records(self.system, disk.records_since(since))
+                self._last_snapshot_seq = since
+            elif disk is not None:
+                replay_records(self.system, disk.records)
+        finally:
+            self.system.capture_remote = False
+            self.system.remote_calls = []
+            self.system.recorder = recorder
+        if disk is not None:
+            self.recorder._seq = disk.last_seq
+            self.flushed_seq = disk.last_seq
+        self.applied = self.spool.read_applied()
+        self.recovered = True
+
+    def _flush(self, rid: Optional[str] = None) -> None:
+        """Spool the journal suffix (and the applied request id) before
+        the reply leaves the worker."""
+        if self.spool is not None:
+            records = self.recorder.records_since(self.flushed_seq)
+            if records:
+                self.spool.append_records(records)
+            self.flushed_seq = self.recorder.last_seq
+            if rid:
+                self.spool.append_applied(rid)
+            if self.flushed_seq - self._last_snapshot_seq >= self.snapshot_interval:
+                self._write_snapshot()
+        if rid:
+            self.applied.add(rid)
+
+    def _write_snapshot(self) -> None:
+        if self.spool is None:
+            return
+        data = dump_incremental(self.system)
+        # The in-memory recorder restarts empty after a recovery, so its
+        # own high-water mark can lag the on-disk journal; the snapshot
+        # covers everything flushed so far.
+        data["journal_seq"] = self.flushed_seq
+        self.spool.write_snapshot(data)
+        self._last_snapshot_seq = self.flushed_seq
+
+    # ------------------------------------------------------------------
+    # Item resolution (the shared 2PC item shape)
+    # ------------------------------------------------------------------
+
+    def _decode_args(self, data) -> Tuple[Any, ...]:
+        return tuple(value_from_json(a) for a in (data or []))
+
+    def _dry_items(self, items: List[Dict[str, Any]]):
+        """Run the items as one capture-mode dry transaction (always
+        rolled back).  Returns (ok, error, remote_calls)."""
+        system = self.system
+        system.remote_calls = []
+        system.capture_remote = True
+        registered = []
+        txn = _Transaction(system)
+        error: Optional[TrollError] = None
+        try:
+            for item in items:
+                if item["type"] == "create":
+                    compiled = system.compiled_class(item["class"])
+                    identification = {
+                        name: value_from_json(v)
+                        for name, v in (item.get("identification") or {}).items()
+                    }
+                    instance = system._register(compiled, identification)
+                    registered.append(instance)
+                    birth = system._birth_event(compiled, item.get("event"))
+                    system._process(
+                        txn, instance, birth.name, self._decode_args(item.get("args"))
+                    )
+                else:
+                    instance = system.instance(
+                        item["class"], _payload_from_json(item["key"])
+                    )
+                    system._process(
+                        txn, instance, item["event"], self._decode_args(item.get("args"))
+                    )
+            system._check_static_constraints(txn)
+        except RuntimeSpecError as exc:
+            error = exc
+        finally:
+            txn.rollback()
+            for instance in registered:
+                bucket = system.instances.get(instance.class_name, {})
+                if bucket.get(instance.key) is instance:
+                    system._unregister(instance)
+            system.capture_remote = False
+        remote = list(system.remote_calls)
+        system.remote_calls = []
+        return error is None, error, remote
+
+    def _apply_items(self, items: List[Dict[str, Any]]) -> int:
+        """Apply the items as one atomic local unit with remote capture
+        on (the commit phase of a distributed synchronization set, or a
+        shard-local unit already known to capture nothing)."""
+        system = self.system
+        system.remote_calls = []
+        system.capture_remote = True
+        registered = []
+        run_items = []
+        try:
+            for item in items:
+                if item["type"] == "create":
+                    compiled = system.compiled_class(item["class"])
+                    identification = {
+                        name: value_from_json(v)
+                        for name, v in (item.get("identification") or {}).items()
+                    }
+                    instance = system._register(compiled, identification)
+                    registered.append(instance)
+                    birth = system._birth_event(compiled, item.get("event"))
+                    run_items.append(
+                        (instance, birth.name, self._decode_args(item.get("args")))
+                    )
+                else:
+                    run_items.append(
+                        (
+                            system.instance(
+                                item["class"], _payload_from_json(item["key"])
+                            ),
+                            item["event"],
+                            self._decode_args(item.get("args")),
+                        )
+                    )
+            system._run_unit(run_items)
+        except Exception:
+            for instance in registered:
+                if not instance.born:
+                    system._unregister(instance)
+            raise
+        finally:
+            system.capture_remote = False
+            system.remote_calls = []
+        return len(run_items)
+
+    def _triggers_for(self, items: List[Dict[str, Any]]) -> Tuple[TriggerRecord, ...]:
+        """Trigger records for an abort tombstone (no registration
+        needed: creation items synthesize their record directly)."""
+        triggers = []
+        for item in items:
+            if item["type"] == "create":
+                compiled = self.system.compiled_class(item["class"])
+                identification = {
+                    name: value_from_json(v)
+                    for name, v in (item.get("identification") or {}).items()
+                }
+                try:
+                    payload = self.system.partitioner.identity_payload(
+                        compiled, {k: v for k, v in identification.items()}
+                    )
+                except TrollError:
+                    payload = None
+                event = item.get("event")
+                if event is None:
+                    births = compiled.info.birth_events()
+                    event = births[0].name if len(births) == 1 else "?"
+                triggers.append(
+                    TriggerRecord(
+                        class_name=item["class"],
+                        key=payload,
+                        event=event,
+                        args=self._decode_args(item.get("args")),
+                        created=True,
+                        identification=tuple(identification.items()) or None,
+                    )
+                )
+            else:
+                triggers.append(
+                    TriggerRecord(
+                        class_name=item["class"],
+                        key=_payload_from_json(item["key"]),
+                        event=item["event"],
+                        args=self._decode_args(item.get("args")),
+                    )
+                )
+        return tuple(triggers)
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self.requests += 1
+        op = request.get("op")
+        rid = request.get("rid")
+        if rid and op in self.MUTATING_OPS and rid in self.applied:
+            # At-most-once: the op was applied but the reply was lost
+            # (worker crash or timeout); acknowledge, do not re-apply.
+            return {"ok": True, "status": "replayed"}
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            return {"ok": False, "error": "WireError", "message": f"unknown op {op!r}"}
+        try:
+            return handler(request)
+        except TrollError as exc:
+            self._flush()  # a denied unit may have journaled a tombstone
+            failed = getattr(exc, "occurrence", None)
+            return {
+                "ok": False,
+                "error": type(exc).__name__,
+                "message": str(exc),
+                "failed": str(failed) if failed is not None else "",
+            }
+
+    # -- lookup / probe ops --------------------------------------------
+
+    def _op_ping(self, request):
+        return {"ok": True, "shard": self.shard_index, "recovered": self.recovered}
+
+    def _op_get(self, request):
+        value = self.system.get(
+            (request["class"], _payload_from_json(request["key"])),
+            request["attribute"],
+            self._decode_args(request.get("args")),
+        )
+        return {"ok": True, "value": value_to_json(value)}
+
+    def _op_is_permitted(self, request):
+        class_name = request["class"]
+        event = request["event"]
+        instance = self.system.instance(class_name, _payload_from_json(request["key"]))
+        args = self._decode_args(request.get("args"))
+        if (class_name, event) in self.system.remote_capable:
+            ok, error, remote = self._dry_items(
+                [
+                    {
+                        "type": "occur",
+                        "class": class_name,
+                        "key": request["key"],
+                        "event": event,
+                        "args": request.get("args") or [],
+                    }
+                ]
+            )
+            if ok and remote:
+                return {
+                    "ok": True,
+                    "status": "needs_2pc",
+                    "remote": calls_to_wire(remote),
+                }
+            return {"ok": True, "permitted": ok}
+        return {
+            "ok": True,
+            "permitted": self.system.is_permitted(instance, event, args),
+        }
+
+    # -- mutating ops ---------------------------------------------------
+
+    def _op_occur(self, request):
+        class_name = request["class"]
+        event = request["event"]
+        item = {
+            "type": "occur",
+            "class": class_name,
+            "key": request["key"],
+            "event": event,
+            "args": request.get("args") or [],
+        }
+        instance = self.system.instance(class_name, _payload_from_json(request["key"]))
+        decl = instance.compiled.event(event)
+        if decl is not None and decl.hidden:
+            raise PermissionDenied(
+                f"{class_name}.{event} is hidden; it occurs only through "
+                "event calling"
+            )
+        if (class_name, event) in self.system.remote_capable:
+            ok, error, remote = self._dry_items([item])
+            if not ok:
+                # Journal the denial tombstone for parity with the
+                # single-process engine, then report it.
+                triggers = self._triggers_for([item])
+                self.recorder.record_rollback(triggers, error)
+                self._flush()
+                raise error
+            if remote:
+                return {
+                    "ok": True,
+                    "status": "needs_2pc",
+                    "remote": calls_to_wire(remote),
+                }
+        self._apply_items([item])
+        self._flush(request.get("rid"))
+        return {"ok": True, "status": "done"}
+
+    def _op_create(self, request):
+        class_name = request["class"]
+        compiled = self.system.compiled_class(class_name)
+        birth = self.system._birth_event(compiled, request.get("event"))
+        item = {
+            "type": "create",
+            "class": class_name,
+            "identification": request.get("identification"),
+            "event": request.get("event"),
+            "args": request.get("args") or [],
+        }
+        if (class_name, birth.name) in self.system.remote_capable:
+            ok, error, remote = self._dry_items([item])
+            if not ok:
+                triggers = self._triggers_for([item])
+                self.recorder.record_rollback(triggers, error)
+                self._flush()
+                raise error
+            if remote:
+                return {
+                    "ok": True,
+                    "status": "needs_2pc",
+                    "remote": calls_to_wire(remote),
+                }
+        self._apply_items([item])
+        self._flush(request.get("rid"))
+        identification = {
+            name: value_from_json(v)
+            for name, v in (request.get("identification") or {}).items()
+        }
+        payload = self.system.partitioner.identity_payload(compiled, identification)
+        return {"ok": True, "status": "done", "key": _payload_to_json(payload)}
+
+    def _op_step(self, request):
+        system = self.system
+        for instance, event in list(system._active_schedule()):
+            if not instance.alive:
+                continue
+            class_name = instance.class_name
+            if (class_name, event) in system.remote_capable:
+                item = {
+                    "type": "occur",
+                    "class": class_name,
+                    "key": _payload_to_json(instance.key),
+                    "event": event,
+                    "args": [],
+                }
+                ok, _error, remote = self._dry_items([item])
+                if not ok:
+                    continue
+                if remote:
+                    return {
+                        "ok": True,
+                        "status": "needs_2pc_candidate",
+                        "class": class_name,
+                        "key": _payload_to_json(instance.key),
+                        "event": event,
+                    }
+                self._apply_items([item])
+                self._flush(request.get("rid"))
+                return {
+                    "ok": True,
+                    "status": "fired",
+                    "class": class_name,
+                    "key": _payload_to_json(instance.key),
+                    "event": event,
+                }
+            if system.is_permitted(instance, event):
+                system._occur_root(instance, event, ())
+                self._flush(request.get("rid"))
+                return {
+                    "ok": True,
+                    "status": "fired",
+                    "class": class_name,
+                    "key": _payload_to_json(instance.key),
+                    "event": event,
+                }
+        return {"ok": True, "status": "none"}
+
+    # -- two-phase protocol --------------------------------------------
+
+    def _op_prepare_group(self, request):
+        ok, error, remote = self._dry_items(request["items"])
+        if not ok:
+            failed = getattr(error, "occurrence", None)
+            return {
+                "ok": True,
+                "vote": False,
+                "error": type(error).__name__,
+                "message": str(error),
+                "failed": str(failed) if failed is not None else "",
+            }
+        return {"ok": True, "vote": True, "remote": calls_to_wire(remote)}
+
+    def _op_commit_group(self, request):
+        applied = self._apply_items(request["items"])
+        self._flush(request.get("rid"))
+        return {"ok": True, "status": "done", "occurrences": applied}
+
+    def _op_abort_group(self, request):
+        triggers = self._triggers_for(request["items"])
+        error = error_class(request.get("reason", "RuntimeSpecError"))(
+            request.get("message", "distributed unit aborted")
+        )
+        self.recorder.record_rollback(triggers, error)
+        self._flush()
+        return {"ok": True, "status": "aborted"}
+
+    # -- state / telemetry ---------------------------------------------
+
+    def _op_dump(self, request):
+        return {"ok": True, "state": dump_state(self.system)}
+
+    def _op_export(self, request):
+        stats = self.system.probe_stats
+        live = {
+            class_name: len(self.system.alive_instances(class_name))
+            for class_name in sorted(self.system.instances)
+            if self.system.alive_instances(class_name)
+        }
+        return {
+            "ok": True,
+            "shard": self.shard_index,
+            "requests": self.requests,
+            "journal_depth": len(self.recorder),
+            "commits": len(self.recorder.commits()),
+            "rollbacks": len(self.recorder.rollbacks()),
+            "probe_cache": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "invalidations": stats.invalidations,
+                "punts": stats.punts,
+            },
+            "live_instances": live,
+            "recovered": self.recovered,
+            "metrics": self.obs.metrics.snapshot() if self.obs is not None else None,
+        }
+
+    def _op_snapshot(self, request):
+        self._flush()
+        self._write_snapshot()
+        return {"ok": True, "journal_seq": self._last_snapshot_seq}
+
+    # -- management / fault injection ----------------------------------
+
+    def _op_shutdown(self, request):
+        return {"ok": True, "status": "bye"}
+
+    def _op_crash(self, request):
+        os._exit(1)
+
+    def _op_crash_after_commit(self, request):
+        """Apply (and durably spool) the inner mutating request, then
+        die *before* replying -- the deterministic lost-reply scenario
+        for the at-most-once retry tests."""
+        inner = request["inner"]
+        inner.setdefault("rid", request.get("rid"))
+        self.handle(inner)
+        os._exit(2)
+
+    def _op_hang(self, request):
+        time.sleep(float(request.get("seconds", 1.0)))
+        return {"ok": True, "status": "awake"}
+
+
+def serve(worker: ShardWorker, sock: socket.socket) -> None:
+    """The worker's request loop: one frame in, one frame out."""
+    while True:
+        try:
+            request = recv_frame(sock)
+        except (WireClosed, WireError, OSError):
+            break
+        response = None
+        try:
+            response = worker.handle(request)
+        except SystemExit:
+            raise
+        except Exception as exc:  # pragma: no cover - defensive
+            response = {
+                "ok": False,
+                "error": "InternalError",
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+        try:
+            send_frame(sock, response)
+        except OSError:
+            break
+        if request.get("op") == "shutdown":
+            break
+
+
+def worker_main(sock: socket.socket, config: Dict[str, Any]) -> None:
+    """Entry point of the shard child process."""
+    worker = ShardWorker(config)
+    try:
+        serve(worker, sock)
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass

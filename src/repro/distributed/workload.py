@@ -1,0 +1,101 @@
+"""The shard-local reference workload: a community of counters.
+
+``COUNTER.bump`` guards itself with a universally quantified permission
+over the whole class population, so every occurrence costs O(population)
+formula evaluations.  That makes the workload *population-bound* rather
+than dispatch-bound: partitioning the counters over N shards divides the
+per-occurrence work by N on every shard, which is how the sharded server
+beats the single-process baseline even on a single-core host (the
+benchmark's throughput target is architectural, not parallelism).
+
+``bump`` has no calling rules, so it is statically shard-local
+(``remote_capable_events`` does not mark it) and runs the unmodified
+fast path inside each worker -- no two-phase machinery on the hot path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.distributed.coordinator import (
+    ShardedCommunity,
+    normalize_state,
+)
+from repro.runtime.objectbase import ObjectBase
+from repro.runtime.persistence import dump_state
+
+COUNTER_SPEC = """
+object class COUNTER
+  identification
+    IdNo: nat;
+  template
+    attributes
+      Value: nat;
+    events
+      birth new_counter;
+      bump;
+    valuation
+      new_counter Value = 0;
+      bump Value = Value + 1;
+    permissions
+      { for all(C: COUNTER : C.Value >= 0) } bump;
+end object class COUNTER;
+"""
+
+DEFAULT_COUNTERS = 120
+DEFAULT_OPS = 480
+
+
+def run_sharded(
+    shards: int,
+    counters: int = DEFAULT_COUNTERS,
+    ops: int = DEFAULT_OPS,
+    spool_dir: Optional[str] = None,
+    observe: bool = False,
+    export: bool = False,
+) -> Dict[str, Any]:
+    """Run the counter workload against a sharded community.  Returns
+    elapsed seconds, throughput, the merged final state, and (with
+    ``export=True``) the merged per-shard telemetry."""
+    with ShardedCommunity(
+        COUNTER_SPEC, shards=shards, spool_dir=spool_dir, observe=observe
+    ) as community:
+        for index in range(counters):
+            community.create("COUNTER", {"IdNo": index})
+        start = time.perf_counter()
+        for op in range(ops):
+            community.occur("COUNTER", op % counters, "bump")
+        elapsed = time.perf_counter() - start
+        state = community.merged_state()
+        exported = community.merged_export() if export else None
+    return {
+        "shards": shards,
+        "counters": counters,
+        "ops": ops,
+        "seconds": elapsed,
+        "throughput": ops / elapsed if elapsed > 0 else float("inf"),
+        "state": state,
+        "export": exported,
+    }
+
+
+def run_oracle(
+    counters: int = DEFAULT_COUNTERS, ops: int = DEFAULT_OPS
+) -> Dict[str, Any]:
+    """The single-process oracle: the same occurrence sequence on one
+    in-process ObjectBase; final state in the merged canonical order."""
+    system = ObjectBase(COUNTER_SPEC)
+    for index in range(counters):
+        system.create("COUNTER", {"IdNo": index})
+    start = time.perf_counter()
+    for op in range(ops):
+        system.occur(("COUNTER", op % counters), "bump")
+    elapsed = time.perf_counter() - start
+    return {
+        "counters": counters,
+        "ops": ops,
+        "seconds": elapsed,
+        "throughput": ops / elapsed if elapsed > 0 else float("inf"),
+        "state": normalize_state(dump_state(system)),
+    }

@@ -142,3 +142,41 @@ def render_json(
     if sessions is not None:
         document["journal"] = journal_stats(sessions)
     return document
+
+
+_SHARD_GAUGES = (
+    ("requests", "Requests handled by the shard worker."),
+    ("commits", "Committed synchronization sets journaled on the shard."),
+    ("rollbacks", "Tombstones (rolled-back sets) journaled on the shard."),
+    ("journal_depth", "Journal records held by the shard worker."),
+)
+
+
+def render_shard_prometheus(
+    export: Dict[str, Any], namespace: str = "repro"
+) -> str:
+    """Per-shard counters of a sharded community
+    (:meth:`~repro.distributed.ShardedCommunity.merged_export` output)
+    as ``<namespace>_shard_*`` gauges labelled by shard index, plus the
+    coordinator's restart count."""
+    lines: List[str] = []
+    shards = export.get("shards", [])
+    for name, help_text in _SHARD_GAUGES:
+        metric = _metric_name(namespace, f"shard_{name}")
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} gauge")
+        if not shards:
+            lines.append(f'{metric}{{shard=""}} 0')
+        for shard in shards:
+            lines.append(
+                f'{metric}{{shard="{shard.get("shard")}"}} '
+                f'{_format_value(float(shard.get(name, 0)))}'
+            )
+    totals = export.get("totals", {})
+    metric = _metric_name(namespace, "shard_restarts")
+    lines.append(
+        f"# HELP {metric} Worker restarts performed by the coordinator."
+    )
+    lines.append(f"# TYPE {metric} gauge")
+    lines.append(f"{metric} {_format_value(float(totals.get('restarts', 0)))}")
+    return "\n".join(lines) + "\n"

@@ -1249,9 +1249,7 @@ class ObjectBase:
             except EvaluationError:
                 return
         for target in rule.targets:
-            for target_instance in self._resolve_targets(instance, target, env):
-                target_args = tuple(evaluate(a, env) for a in target.args)
-                self._process(txn, target_instance, target.name, target_args)
+            self._dispatch_call(txn, instance, target, env)
 
     def _fire_global_rule(
         self,
@@ -1288,9 +1286,18 @@ class ObjectBase:
             except EvaluationError:
                 return
         for target in rule.targets:
-            for target_instance in self._resolve_targets(instance, target, env):
-                target_args = tuple(evaluate(a, env) for a in target.args)
-                self._process(txn, target_instance, target.name, target_args)
+            self._dispatch_call(txn, instance, target, env)
+
+    def _dispatch_call(
+        self, txn: _Transaction, instance: Instance, target: ast.EventRef, env: Environment
+    ) -> None:
+        """Resolve one call target and process the called event on every
+        resolved instance.  The distributed runtime overrides this seam:
+        targets owned by another shard are captured as remote calls
+        instead of being processed locally."""
+        for target_instance in self._resolve_targets(instance, target, env):
+            target_args = tuple(evaluate(a, env) for a in target.args)
+            self._process(txn, target_instance, target.name, target_args)
 
     def _resolve_targets(
         self, instance: Instance, target: ast.EventRef, env: Environment

@@ -248,6 +248,16 @@ def restore_state(system: ObjectBase, data: Dict[str, Any]) -> ObjectBase:
                     if step.event in automaton.alphabet:
                         states = automaton.advance(states, step.event)
                 instance.protocol_states = states
+
+    # Pass 5: the instances above were inserted directly, bypassing
+    # _register's population bump -- permission verdicts memoized
+    # against the pre-restore (empty) populations would otherwise stay
+    # "valid", and the scheduler's cached candidate list would miss the
+    # restored instances.
+    for class_name, bucket in system.instances.items():
+        if bucket:
+            system._bump_population(class_name)
+    system.invalidate_probes()
     return system
 
 

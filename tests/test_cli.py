@@ -119,3 +119,141 @@ class TestDot:
             DEPT_SPEC.replace("establishment(d) est_date = d;", "vanish est_date = d;")
         )
         assert main(["dot", str(path)]) == 1
+
+
+class TestExportOutput:
+    def test_output_writes_prometheus_file(self, tmp_path, capsys):
+        target = tmp_path / "metrics.prom"
+        assert main(["export", "--output", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote prometheus export to {target}" in out
+        text = target.read_text()
+        assert "# TYPE" in text and "repro_journal_depth" in text
+
+    def test_output_writes_json_file(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "metrics.json"
+        assert main(["export", "--format", "json", "--output", str(target)]) == 0
+        document = json.loads(target.read_text())
+        assert document["journal"]["sessions"] == 1
+        # Nothing but the confirmation line on stdout.
+        assert "journal" not in capsys.readouterr().out
+
+    def test_default_remains_stdout(self, capsys):
+        assert main(["export"]) == 0
+        assert "# TYPE" in capsys.readouterr().out
+
+
+COUNTER_SPEC_TEXT = """
+object class COUNTER
+  identification
+    IdNo: nat;
+  template
+    attributes
+      Value: nat;
+    events
+      birth new_counter;
+      bump;
+    valuation
+      new_counter Value = 0;
+      bump Value = Value + 1;
+end object class COUNTER;
+"""
+
+
+class TestServe:
+    def serve(self, tmp_path, monkeypatch, capsys, lines, argv=()):
+        import io
+        import json
+        import sys as _sys
+
+        path = tmp_path / "counter.troll"
+        path.write_text(COUNTER_SPEC_TEXT)
+        monkeypatch.setattr(
+            _sys, "stdin", io.StringIO("".join(line + "\n" for line in lines))
+        )
+        code = main(["serve", str(path), "--shards", "2", *argv])
+        out = capsys.readouterr().out
+        return code, [json.loads(line) for line in out.splitlines() if line]
+
+    def test_json_lines_session(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        code, replies = self.serve(
+            tmp_path,
+            monkeypatch,
+            capsys,
+            [
+                json.dumps({"op": "create", "class": "COUNTER",
+                            "identification": {"IdNo": 1}}),
+                json.dumps({"op": "occur", "class": "COUNTER", "key": 1,
+                            "event": "bump"}),
+                json.dumps({"op": "get", "class": "COUNTER", "key": 1,
+                            "attribute": "Value"}),
+                json.dumps({"op": "is_permitted", "class": "COUNTER",
+                            "key": 1, "event": "bump"}),
+                json.dumps({"op": "step"}),
+                "not json",
+                json.dumps({"op": "wat"}),
+                json.dumps({"op": "occur", "class": "COUNTER", "key": 99,
+                            "event": "bump"}),
+                json.dumps({"op": "export"}),
+                json.dumps({"op": "quit"}),
+            ],
+        )
+        assert code == 0
+        banner, *rest = replies
+        assert banner == {"ok": True, "serving": True, "shards": 2}
+        assert rest[0] == {"ok": True, "key": 1}
+        assert rest[1] == {"ok": True}
+        assert rest[2]["value"] == {"k": "scalar", "sort": "integer", "v": 1}
+        assert rest[3] == {"ok": True, "permitted": True}
+        assert rest[4] == {"ok": True, "fired": None}
+        assert rest[5]["ok"] is False  # undecodable line
+        assert rest[6]["error"] == "WireError"  # unknown op
+        assert rest[7]["error"] == "LifecycleError"  # missing instance
+        assert rest[8]["export"]["totals"]["commits"] == 2
+        assert rest[9] == {"ok": True, "status": "bye"}
+
+    def test_bad_pin_rejected(self, tmp_path, monkeypatch, capsys):
+        import io
+        import sys as _sys
+
+        path = tmp_path / "counter.troll"
+        path.write_text(COUNTER_SPEC_TEXT)
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(""))
+        assert main(["serve", str(path), "--pin", "COUNTER"]) == 1
+        assert "bad --pin" in capsys.readouterr().err
+
+    def test_pin_must_name_a_class(self, tmp_path, monkeypatch, capsys):
+        import io
+        import sys as _sys
+
+        path = tmp_path / "counter.troll"
+        path.write_text(COUNTER_SPEC_TEXT)
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(""))
+        assert main(["serve", str(path), "--pin", "NOPE=0"]) == 1
+        assert "unknown class" in capsys.readouterr().err
+
+
+class TestWorkload:
+    def test_oracle_verified_run_with_metrics(self, tmp_path, capsys):
+        metrics = tmp_path / "shards.prom"
+        assert main([
+            "workload", "--shards", "2", "--counters", "8", "--ops", "16",
+            "--oracle", "--metrics", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sharded run: 2 shard(s), 8 counters, 16 ops" in out
+        assert "merged state identical" in out
+        text = metrics.read_text()
+        assert 'repro_shard_commits{shard="0"}' in text
+        assert 'repro_shard_commits{shard="1"}' in text
+
+    def test_metrics_to_stdout(self, capsys):
+        assert main([
+            "workload", "--shards", "1", "--counters", "4", "--ops", "4",
+            "--metrics", "-",
+        ]) == 0
+        assert "# TYPE repro_shard_requests gauge" in capsys.readouterr().out

@@ -1,6 +1,11 @@
 """Persistence: object-base snapshot and restore."""
 
+import contextlib
+import glob
+import io
 import json
+import os
+import runpy
 
 import pytest
 
@@ -19,6 +24,7 @@ from repro.datatypes.values import (
 from repro.diagnostics import PermissionDenied, RuntimeSpecError
 from repro.library import FULL_COMPANY_SPEC, REFINEMENT_SPEC
 from repro.runtime import ObjectBase
+from repro.observability.journal import install_capture, uninstall_capture
 from repro.runtime.persistence import (
     dump_json,
     dump_state,
@@ -28,6 +34,10 @@ from repro.runtime.persistence import (
     value_to_json,
 )
 from tests.conftest import D1960, D1991
+
+EXAMPLES = sorted(
+    glob.glob(os.path.join(os.path.dirname(__file__), "..", "examples", "*.py"))
+)
 
 
 VALUES = [
@@ -167,4 +177,91 @@ class TestSnapshotRestore:
         assert (
             system.get(("PERSON", alice.key), "Salary")
             == restored.get(("PERSON", alice.key), "Salary")
+        )
+
+
+ACTIVE_WORKER_SPEC = """
+object class WORKER
+  identification
+    Id: nat;
+  template
+    attributes
+      Jobs: nat;
+    events
+      birth boot;
+      active work;
+    valuation
+      boot Jobs = 0;
+      work Jobs = Jobs + 1;
+    permissions
+      { Jobs < 1 } work;
+end object class WORKER;
+"""
+
+
+class TestRestoreProbeInvalidation:
+    """Regression: restore_state inserts instances directly, bypassing
+    _register's population bump.  Without the final invalidation pass,
+    permission verdicts and the scheduler's candidate list memoized
+    against the pre-restore (empty) populations stayed "valid" -- the
+    restored instances were invisible to a previously exercised
+    scheduler."""
+
+    def test_restore_bumps_population_epochs(self):
+        source = ObjectBase(ACTIVE_WORKER_SPEC)
+        source.create("WORKER", {"Id": 1})
+        target = ObjectBase(ACTIVE_WORKER_SPEC)
+        restore_state(target, dump_state(source))
+        assert target._population_epochs.get("WORKER", 0) > 0
+
+    def test_restored_instances_reach_a_cached_scheduler(self):
+        source = ObjectBase(ACTIVE_WORKER_SPEC)
+        source.create("WORKER", {"Id": 1})
+        blob = dump_state(source)
+        target = ObjectBase(ACTIVE_WORKER_SPEC)
+        # Cache the (empty) candidate schedule before restoring.
+        assert target.step() is None
+        restore_state(target, blob)
+        occurrence = target.step()
+        assert occurrence is not None
+        assert occurrence.event == "work"
+
+    def test_probe_verdicts_agree_with_uncached_after_restore(self):
+        source = ObjectBase(ACTIVE_WORKER_SPEC)
+        worker = source.create("WORKER", {"Id": 1})
+        source.occur(worker, "work")  # exhausts the permission
+        target = ObjectBase(ACTIVE_WORKER_SPEC)
+        assert target.step() is None
+        restore_state(target, dump_state(source))
+        restored = target.instance("WORKER", 1)
+        assert (
+            target.is_permitted(restored, "work")
+            == target.is_permitted(restored, "work", use_cache=False)
+            is False
+        )
+        assert target.step() is None  # correctly quiescent, not stale
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[os.path.basename(p) for p in EXAMPLES]
+)
+def test_dump_restore_dump_round_trip_over_examples(script):
+    """Acceptance sweep: for every object base animated by every example
+    script, dump -> restore into a fresh base -> dump is byte-identical."""
+    capture = install_capture()
+    try:
+        with contextlib.redirect_stdout(io.StringIO()):
+            runpy.run_path(script, run_name="__main__")
+    finally:
+        uninstall_capture()
+    if not capture.sessions:
+        pytest.skip(f"{os.path.basename(script)} animates no object base")
+    for system, _journal in capture.sessions:
+        first = dump_json(system)
+        fresh = ObjectBase(
+            system.compiled, permission_mode=system.permission_mode
+        )
+        restore_state(fresh, json.loads(first))
+        assert dump_json(fresh) == first, (
+            f"round-trip of {os.path.basename(script)} diverged"
         )
