@@ -1,0 +1,122 @@
+"""Closure-compiled rule bodies vs the tree-walking interpreter.
+
+The P2 series measures valuation-only event-occurrence throughput.
+This bench drives the quantifier-heavy variant of that workload: one
+METER object whose ``sample`` valuation rules rebuild a reading set and
+re-evaluate nested-quantifier summaries over it on every occurrence --
+exactly the rule shapes the closure compiler targets (pre-resolved
+dispatch, slot frames, compile-time domain plans, per-entry closed
+sub-term evaluation).
+
+``test_termcomp_speedup_guard`` is the CI regression guard: it animates
+the same occurrence stream through twin object bases (``term_compile``
+on vs off), asserts the committed traces are bit-identical, and
+requires the compiled animation to be at least 3x faster.
+"""
+
+import time
+
+import pytest
+
+from repro.lang import check_specification, parse_specification
+from repro.runtime import ObjectBase
+from repro.runtime.compilespec import compile_specification
+
+METER_SPEC = """
+object class METER
+  identification Id: nat;
+  template
+    attributes
+      Readings: set(integer);
+      Alarm: bool;
+      Balanced: bool;
+      High: nat;
+    events
+      birth install;
+      sample(integer);
+    valuation
+      variables x: integer;
+      [install] Readings = {};
+      [install] Alarm = false;
+      [install] Balanced = true;
+      [install] High = 0;
+      [sample(x)] Readings = insert(Readings, x);
+      [sample(x)] Alarm = exists(r: integer) (in(Readings, r) and exists(s: integer) (in(Readings, s) and r + s = x + 100));
+      [sample(x)] Balanced = for all(r: integer) (in(Readings, r) => exists(s: integer) (in(Readings, s) and s <= r + x));
+      [sample(x)] High = card(select[it > 50](Readings));
+end object class METER;
+"""
+
+SAMPLES = 48
+
+
+@pytest.fixture(scope="module")
+def compiled_meter():
+    return compile_specification(
+        check_specification(parse_specification(METER_SPEC)).raise_if_errors()
+    )
+
+
+def animate(spec, term_compile: bool):
+    """Install one meter and feed it the deterministic sample stream;
+    returns the committed trace (the workload's observable outcome)."""
+    system = ObjectBase(spec, term_compile=term_compile)
+    meter = system.create("METER", {"Id": 1})
+    for index in range(SAMPLES):
+        system.occur(meter, "sample", [index * 37 % 97])
+    return [
+        (
+            step.event,
+            tuple(repr(a) for a in step.args),
+            tuple((name, repr(value)) for name, value in step.state),
+        )
+        for step in meter.trace
+    ]
+
+
+def test_bench_termcomp_interpreted_baseline(benchmark, compiled_meter):
+    """The pre-compiler behaviour: every rule body re-walked per
+    occurrence."""
+    trace = benchmark(animate, compiled_meter, False)
+    assert len(trace) == SAMPLES + 1
+
+
+def test_bench_termcomp_compiled(benchmark, compiled_meter):
+    """Rule bodies lowered once, evaluated as closures."""
+    trace = benchmark(animate, compiled_meter, True)
+    assert len(trace) == SAMPLES + 1
+
+
+def test_termcomp_speedup_guard(benchmark, compiled_meter):
+    """Regression guard: compiled valuation >= 3x the interpreted
+    baseline on the P2 quantifier workload, with bit-identical traces."""
+    start = time.perf_counter()
+    baseline_trace = animate(compiled_meter, False)
+    baseline_seconds = time.perf_counter() - start
+
+    compiled_seconds = []
+    compiled_traces = []
+
+    def run():
+        start = time.perf_counter()
+        compiled_traces.append(animate(compiled_meter, True))
+        compiled_seconds.append(time.perf_counter() - start)
+
+    benchmark.pedantic(run, rounds=3)
+
+    for trace in compiled_traces:
+        assert trace == baseline_trace, (
+            "compiled animation committed a different trace"
+        )
+    best = min(compiled_seconds)
+    speedup = baseline_seconds / best
+    benchmark.extra_info["workload"] = "P2-termcomp"
+    benchmark.extra_info["samples"] = SAMPLES
+    benchmark.extra_info["interpreted_seconds"] = baseline_seconds
+    benchmark.extra_info["compiled_seconds"] = best
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= 3.0, (
+        f"term compilation regressed: {speedup:.2f}x < 3x "
+        f"(interpreted {baseline_seconds * 1000:.1f} ms, "
+        f"compiled {best * 1000:.1f} ms)"
+    )

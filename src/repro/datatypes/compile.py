@@ -1,0 +1,771 @@
+"""Closure compilation of checked terms.
+
+The tree-walking interpreter (:mod:`repro.datatypes.evaluator`) pays,
+on every evaluation, for dispatch (an isinstance chain per node),
+name resolution (dict-copying child environments per binding), and
+quantifier-domain derivation (re-walking the body and re-evaluating its
+closed sub-terms at every binding level).  This module lowers a checked
+:class:`~repro.datatypes.terms.Term` *once* into a tree of Python
+closures, so a rule that fires on every event occurrence evaluates with
+
+* **pre-resolved dispatch** -- each node's behaviour is chosen at
+  compile time; operation implementations (``Operation.apply``) are
+  looked up once, not per application;
+* **constant folding** -- closed sub-terms built from literals and
+  built-in operations are evaluated at compile time (folds that raise
+  are declined, preserving the interpreter's runtime errors);
+* **slot-based frames** -- quantifier binders live in a flat list
+  indexed at compile time instead of layered dict environments;
+* **quantifier-domain plans** -- the body's harvestable nodes are
+  classified at compile time, literal harvests are precomputed per
+  variable sort, and closed sub-terms are evaluated once per quantifier
+  *entry* instead of once per binding level.
+
+The interpreter stays the behaviour oracle: :func:`compile_term`
+*declines* (returns ``None``) on anything it cannot reproduce
+bit-for-bit, and :func:`evaluate_term` then falls back to
+:func:`~repro.datatypes.evaluator.evaluate`.  Compiled closures resolve
+every mutable read through the same :class:`Environment` seams the
+interpreter uses (``lookup`` / ``lookup_self`` / ``attribute_of`` /
+``attribute_call`` / ``class_population`` / ``scope_values``), so the
+probe-memoization dependency contract of docs/PERFORMANCE.md is
+preserved unchanged.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.diagnostics import EvaluationError
+from repro.datatypes.evaluator import (
+    Environment,
+    _harvest,
+    _tuple_scope,
+    body_domain_nodes,
+    evaluate,
+)
+from repro.datatypes.operations import BUILTIN_OPERATIONS, apply_operation
+from repro.datatypes.sorts import (
+    BOOL,
+    INTEGER,
+    MONEY,
+    NAT,
+    REAL,
+    _NUMERIC,
+    IdSort,
+    ListSort,
+    MapSort,
+    SetSort,
+    Sort,
+    TupleSort,
+)
+from repro.datatypes.terms import (
+    Apply,
+    AttributeAccess,
+    Exists,
+    Forall,
+    ListCons,
+    Lit,
+    QueryOp,
+    SelfExpr,
+    SetCons,
+    Term,
+    TupleCons,
+    Var,
+)
+from repro.datatypes.values import (
+    FALSE,
+    TRUE,
+    Value,
+    boolean,
+    list_value,
+    set_value,
+    tuple_value,
+)
+
+#: a compiled node: (environment, binder frame) -> Value
+_Fn = Callable[[Environment, list], Value]
+
+#: shared frame for compiled terms that bind no variables (never written)
+_EMPTY_FRAME: list = []
+
+#: marker for a closed sub-term whose evaluation raised EvaluationError
+#: (it contributes nothing to the domain, matching the interpreter)
+_SKIP = object()
+
+_BOOL_DOMAIN = (TRUE, FALSE)
+
+
+class TermCompileStats:
+    """Always-on plain-int accounting of the compiler seam (the
+    observability mirror is ``term_compile.{compiled,fallbacks,
+    cache_hits}``, see :meth:`Observability.on_term_compile`)."""
+
+    __slots__ = ("compiled", "fallbacks", "cache_hits")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        #: terms successfully lowered to closures
+        self.compiled = 0
+        #: evaluations answered by the tree-walking interpreter because
+        #: the compiler declined the term
+        self.fallbacks = 0
+        #: evaluations answered by a previously compiled closure
+        self.cache_hits = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "compiled": self.compiled,
+            "fallbacks": self.fallbacks,
+            "cache_hits": self.cache_hits,
+        }
+
+
+STATS = TermCompileStats()
+
+
+class _Decline(Exception):
+    """Raised during compilation for term shapes the compiler does not
+    reproduce; the caller falls back to the interpreter."""
+
+
+class _Region:
+    """Slot accounting for one binder frame.
+
+    A region covers one top-level term; quantifiers extend the frame,
+    and sub-terms evaluated under materialized environments (select
+    parameters, closed quantifier sub-terms) open fresh regions with
+    their own frames.
+    """
+
+    __slots__ = ("slots",)
+
+    def __init__(self, slots: int = 0):
+        self.slots = slots
+
+
+class CompiledTerm:
+    """A term lowered to a closure; call with an environment."""
+
+    __slots__ = ("term", "_fn", "_slots")
+
+    def __init__(self, term: Term, fn: _Fn, slots: int):
+        self.term = term
+        self._fn = fn
+        self._slots = slots
+
+    def __call__(self, env: Optional[Environment] = None) -> Value:
+        if env is None:
+            env = Environment()
+        frame = [None] * self._slots if self._slots else _EMPTY_FRAME
+        return self._fn(env, frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CompiledTerm {self.term!r} slots={self._slots}>"
+
+
+# ----------------------------------------------------------------------
+# Constant folding
+# ----------------------------------------------------------------------
+
+_FOLD_ENV = Environment()
+
+
+def _is_pure(term: Term) -> bool:
+    """Can ``term`` be evaluated at compile time?  True only for terms
+    whose value cannot depend on the environment: literals, collection
+    and tuple constructors of pure parts, and built-in operations over
+    pure arguments (including the short-circuit connectives, which
+    :func:`evaluate` handles).  Everything touching a name, SELF, an
+    attribute, a query or a quantifier is impure."""
+    if isinstance(term, Lit):
+        return True
+    if isinstance(term, Apply):
+        if term.op not in BUILTIN_OPERATIONS:
+            return False  # resolves through env.attribute_call at runtime
+        return all(_is_pure(a) for a in term.args)
+    if isinstance(term, (SetCons, ListCons)):
+        return all(_is_pure(t) for t in term.items)
+    if isinstance(term, TupleCons):
+        return all(_is_pure(t) for _, t in term.items)
+    return False
+
+
+def _try_fold(term: Term) -> Optional[Value]:
+    """The compile-time value of ``term``, or None.  A fold that raises
+    *anything* is declined so the compiled closure reproduces the
+    interpreter's runtime error instead of a compile-time crash."""
+    if not _is_pure(term):
+        return None
+    try:
+        return evaluate(term, _FOLD_ENV)
+    except Exception:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Node compilation
+# ----------------------------------------------------------------------
+
+
+def _compile(term: Term, scope: Tuple[str, ...], region: _Region) -> _Fn:
+    if isinstance(term, Lit):
+        value = term.value
+        return lambda env, frame: value
+    folded = _try_fold(term)
+    if folded is not None:
+        return lambda env, frame: folded
+    if isinstance(term, Var):
+        return _compile_var(term, scope)
+    if isinstance(term, SelfExpr):
+        return lambda env, frame: env.lookup_self()
+    if isinstance(term, Apply):
+        return _compile_apply(term, scope, region)
+    if isinstance(term, TupleCons):
+        return _compile_tuple_cons(term, scope, region)
+    if isinstance(term, SetCons):
+        item_fns = tuple(_compile(t, scope, region) for t in term.items)
+        return lambda env, frame: set_value(fn(env, frame) for fn in item_fns)
+    if isinstance(term, ListCons):
+        item_fns = tuple(_compile(t, scope, region) for t in term.items)
+        return lambda env, frame: list_value(fn(env, frame) for fn in item_fns)
+    if isinstance(term, AttributeAccess):
+        return _compile_attribute_access(term, scope, region)
+    if isinstance(term, QueryOp):
+        if term.op == "select":
+            return _compile_select(term, scope, region)
+        if term.op == "project":
+            return _compile_project(term, scope, region)
+        raise _Decline(f"query op {term.op!r}")
+    if isinstance(term, (Forall, Exists)):
+        return _compile_quantifier(term, scope, region)
+    raise _Decline(type(term).__name__)
+
+
+def _compile_var(term: Var, scope: Tuple[str, ...]) -> _Fn:
+    name = term.name
+    # Innermost enclosing binder wins (shadowing), else the environment.
+    for slot in range(len(scope) - 1, -1, -1):
+        if scope[slot] == name:
+            return lambda env, frame: frame[slot]
+    return lambda env, frame: env.lookup(name)
+
+
+def _as_bool(value: Value) -> bool:
+    """Truthiness with an identity fast path for the shared boolean
+    singletons (the overwhelmingly common case inside connectives and
+    quantifier bodies); everything else takes ``Value.__bool__``,
+    including its TypeError on non-booleans."""
+    if value is TRUE:
+        return True
+    if value is FALSE:
+        return False
+    return bool(value)
+
+
+def _fast_arith(py_fn):
+    """A specialized integer fast path for ``+``/``-``/``*``.
+
+    Exactly replicates ``_arith``'s result on nat/integer operands with
+    int payloads (closed under these operations, promotion ``nat*nat ->
+    nat`` else ``integer``); anything else -- floats, money, real,
+    non-numeric sorts, their errors -- routes through the pre-resolved
+    ``Operation.apply``."""
+
+    def make(fn0, fn1, apply):
+        def run(env, frame):
+            a = fn0(env, frame)
+            b = fn1(env, frame)
+            sa = a.sort
+            sb = b.sort
+            if (
+                (sa is NAT or sa is INTEGER)
+                and (sb is NAT or sb is INTEGER)
+                and type(a.payload) is int
+                and type(b.payload) is int
+            ):
+                return Value(
+                    NAT if (sa is NAT and sb is NAT) else INTEGER,
+                    py_fn(a.payload, b.payload),
+                )
+            return apply((a, b))
+
+        return run
+
+    return make
+
+
+def _fast_compare(py_fn):
+    """Numeric comparisons return the shared boolean singletons without
+    the generic sort negotiation (which ``_compare`` only performs for
+    non-numeric operands anyway)."""
+
+    def make(fn0, fn1, apply):
+        def run(env, frame):
+            a = fn0(env, frame)
+            b = fn1(env, frame)
+            sa = a.sort
+            sb = b.sort
+            if (sa is NAT or sa is INTEGER or sa is MONEY or sa is REAL) and (
+                sb is NAT or sb is INTEGER or sb is MONEY or sb is REAL
+            ):
+                return TRUE if py_fn(a.payload, b.payload) else FALSE
+            return apply((a, b))
+
+        return run
+
+    return make
+
+
+def _fast_in(fn0, fn1, apply):
+    """``in(coll, elem)`` with the collection in the conventional first
+    position skips ``_collection_first``'s order normalisation."""
+
+    def run(env, frame):
+        a = fn0(env, frame)
+        b = fn1(env, frame)
+        if isinstance(a.sort, (SetSort, ListSort)):
+            return TRUE if b in a.payload else FALSE
+        return apply((a, b))
+
+    return run
+
+
+#: binary builtins with a compile-time-specialized fast path; each maker
+#: takes (fn0, fn1, generic_apply) and must fall back to generic_apply
+#: for every operand shape it does not reproduce exactly
+_FAST_BINARY = {
+    "+": _fast_arith(operator.add),
+    "-": _fast_arith(operator.sub),
+    "*": _fast_arith(operator.mul),
+    "=": _fast_compare(operator.eq),
+    "<>": _fast_compare(operator.ne),
+    "<": _fast_compare(operator.lt),
+    "<=": _fast_compare(operator.le),
+    ">": _fast_compare(operator.gt),
+    ">=": _fast_compare(operator.ge),
+    "in": _fast_in,
+}
+
+
+def _compile_apply(term: Apply, scope: Tuple[str, ...], region: _Region) -> _Fn:
+    op_name = term.op
+    if op_name in ("and", "or", "implies"):
+        # The interpreter short-circuits these (so `x <> 0 and 1/x > 2`
+        # stays safe) and reads exactly args[0] / args[1].
+        if len(term.args) < 2:
+            raise _Decline(f"{op_name} with {len(term.args)} arguments")
+        left = _compile(term.args[0], scope, region)
+        right = _compile(term.args[1], scope, region)
+        if op_name == "and":
+
+            def run(env, frame):
+                if not _as_bool(left(env, frame)):
+                    return FALSE
+                return TRUE if _as_bool(right(env, frame)) else FALSE
+
+        elif op_name == "or":
+
+            def run(env, frame):
+                if _as_bool(left(env, frame)):
+                    return TRUE
+                return TRUE if _as_bool(right(env, frame)) else FALSE
+
+        else:
+
+            def run(env, frame):
+                if not _as_bool(left(env, frame)):
+                    return TRUE
+                return TRUE if _as_bool(right(env, frame)) else FALSE
+
+        return run
+    arg_fns = tuple(_compile(a, scope, region) for a in term.args)
+    operation = BUILTIN_OPERATIONS.get(op_name)
+    if operation is None:
+        # Parametrized-attribute read in application form (`Balance(a)`),
+        # resolved by the environment at runtime.
+        return lambda env, frame: env.attribute_call(
+            op_name, tuple(fn(env, frame) for fn in arg_fns)
+        )
+    if operation.arity != len(arg_fns):
+        # Keep the interpreter's behaviour: arguments evaluate first,
+        # then the arity error raises.
+        return lambda env, frame: apply_operation(
+            op_name, [fn(env, frame) for fn in arg_fns]
+        )
+    apply = operation.apply
+    if len(arg_fns) == 1:
+        (fn0,) = arg_fns
+        return lambda env, frame: apply((fn0(env, frame),))
+    if len(arg_fns) == 2:
+        fn0, fn1 = arg_fns
+        fast = _FAST_BINARY.get(op_name)
+        if fast is not None:
+            return fast(fn0, fn1, apply)
+        return lambda env, frame: apply((fn0(env, frame), fn1(env, frame)))
+    return lambda env, frame: apply(tuple(fn(env, frame) for fn in arg_fns))
+
+
+def _compile_tuple_cons(
+    term: TupleCons, scope: Tuple[str, ...], region: _Region
+) -> _Fn:
+    pairs = []
+    for index, (name, sub) in enumerate(term.items):
+        if name is None:
+            if index < len(term.field_names):
+                name = term.field_names[index]
+            else:
+                name = f"_{index + 1}"
+        pairs.append((name, _compile(sub, scope, region)))
+    pairs = tuple(pairs)
+    return lambda env, frame: tuple_value(
+        {name: fn(env, frame) for name, fn in pairs}
+    )
+
+
+def _compile_attribute_access(
+    term: AttributeAccess, scope: Tuple[str, ...], region: _Region
+) -> _Fn:
+    obj_fn = _compile(term.obj, scope, region)
+    attribute = term.attribute
+    arg_fns = tuple(_compile(a, scope, region) for a in term.args)
+    if not arg_fns:
+        return lambda env, frame: env.attribute_of(obj_fn(env, frame), attribute, ())
+
+    def run(env, frame):
+        obj = obj_fn(env, frame)
+        return env.attribute_of(
+            obj, attribute, tuple(fn(env, frame) for fn in arg_fns)
+        )
+
+    return run
+
+
+def _materialize(env: Environment, scope_names: Tuple[str, ...], frame: list):
+    """Rebuild the enclosing binders as environment layers (outermost
+    first, so the innermost binder shadows and its value leads
+    ``scope_values``) -- for sub-terms that must evaluate under a plain
+    environment: select parameters (whose tuple fields may shadow any
+    binder) and closed quantifier sub-terms (whose own nested
+    quantifiers harvest the scope)."""
+    for slot, name in enumerate(scope_names):
+        env = env.child({name: frame[slot]})
+    return env
+
+
+def _compile_select(term: QueryOp, scope: Tuple[str, ...], region: _Region) -> _Fn:
+    src_fn = _compile(term.source, scope, region)
+    param_fn, param_slots = _compile_region(term.param)
+    scope_names = tuple(scope)
+
+    def run(env, frame):
+        source = src_fn(env, frame)
+        if not isinstance(source.sort, (SetSort, ListSort)):
+            raise EvaluationError(
+                f"query select expects a collection source, got sort {source.sort}"
+            )
+        base = _materialize(env, scope_names, frame)
+        kept = []
+        for item in source.payload:
+            pframe = [None] * param_slots if param_slots else _EMPTY_FRAME
+            if _as_bool(param_fn(base.child(_tuple_scope(item)), pframe)):
+                kept.append(item)
+        if isinstance(source.sort, SetSort):
+            return set_value(kept, source.sort.element)
+        return list_value(kept, source.sort.element)
+
+    return run
+
+
+def _compile_project(term: QueryOp, scope: Tuple[str, ...], region: _Region) -> _Fn:
+    src_fn = _compile(term.source, scope, region)
+    names = tuple(term.param)
+
+    def run(env, frame):
+        source = src_fn(env, frame)
+        if not isinstance(source.sort, (SetSort, ListSort)):
+            raise EvaluationError(
+                f"query project expects a collection source, got sort {source.sort}"
+            )
+        projected = []
+        for item in source.payload:
+            if not isinstance(item.sort, TupleSort):
+                raise EvaluationError("project expects a collection of tuples")
+            fields = {n: v for n, v in item.payload}
+            missing = [n for n in names if n not in fields]
+            if missing:
+                raise EvaluationError(f"project: unknown fields {missing}")
+            if len(names) == 1:
+                projected.append(fields[names[0]])
+            else:
+                projected.append(tuple_value({n: fields[n] for n in names}))
+        if isinstance(source.sort, SetSort):
+            return set_value(projected)
+        return list_value(projected)
+
+    return run
+
+
+#: plain-sort names a numeric target sort harvests (the numeric tower
+#: plus ``any``, exactly the sorts ``Sort.is_compatible_with`` admits)
+_NUM_OR_ANY = frozenset(_NUMERIC | {"any"})
+
+
+def _harvest_numeric(value: Value, out: List[Value], depth: int = 0) -> None:
+    """:func:`_harvest` specialized for numeric target sorts: identical
+    yield, without the per-value ``is_compatible_with`` dispatch.  A
+    value lands in the domain iff its sort is a plain numeric (or
+    ``any``) sort; containers recurse to the same depth bound."""
+    if depth > 6:
+        return
+    sort = value.sort
+    kind = type(sort)
+    if kind is Sort:
+        if sort.name in _NUM_OR_ANY:
+            out.append(value)
+        return
+    if kind is SetSort or kind is ListSort:
+        for item in value.payload:
+            _harvest_numeric(item, out, depth + 1)
+    elif kind is MapSort:
+        for k, v in value.payload:
+            _harvest_numeric(k, out, depth + 1)
+            _harvest_numeric(v, out, depth + 1)
+    elif kind is TupleSort:
+        for _, v in value.payload:
+            _harvest_numeric(v, out, depth + 1)
+
+
+def _dedup_numeric(out: List[Value]) -> List[Value]:
+    """Order-preserving dedup keyed on payloads for numeric values
+    (cross-tower payload equality is exactly ``Value.__eq__``'s numeric
+    rule, without re-hashing Value wrappers); rare ``any``-sorted
+    strays keep Value-identity keys so they never merge with numerics."""
+    seen = set()
+    unique: List[Value] = []
+    for v in out:
+        key = v.payload if v.sort.name in _NUMERIC else v
+        if key not in seen:
+            seen.add(key)
+            unique.append(v)
+    return unique
+
+
+def _compile_quantifier(term, scope: Tuple[str, ...], region: _Region) -> _Fn:
+    """Forall/Exists with a compile-time domain plan.
+
+    Per variable the plan fixes: the bool fast path, the population
+    class to scan (identity sorts), the precomputed harvest of the
+    body's literals for this sort, and which closed sub-terms to
+    harvest.  At runtime, closed sub-terms evaluate lazily *once per
+    quantifier entry* (under the entry environment, binders
+    materialized), never per binding level -- mirroring the
+    interpreter's per-entry memo (`_ClosedValues`)."""
+    want = isinstance(term, Forall)
+    names = tuple(name for name, _ in term.variables)
+    body = term.body
+    base = len(scope)
+    inner_scope = scope + names
+    if len(inner_scope) > region.slots:
+        region.slots = len(inner_scope)
+    body_fn = _compile(body, inner_scope, region)
+    scope_names = tuple(scope)
+
+    # Classify the body's harvestable nodes once (shared cache with the
+    # interpreter); closed sub-terms compile into their own regions.
+    closed_fns: List[Tuple[_Fn, int]] = []
+    steps_template: List[Tuple[str, object]] = []
+    for kind, node in body_domain_nodes(body):
+        if kind == "lit":
+            steps_template.append(("lit", node.value))
+        else:
+            steps_template.append(("closed", len(closed_fns)))
+            closed_fns.append(_compile_region(node))
+
+    # (is_bool, sort, population class, harvest steps, enclosing binder
+    # slots innermost-first) per quantified variable.
+    plans = []
+    for index, (name, sort) in enumerate(term.variables):
+        if sort.is_compatible_with(BOOL) and sort.name in ("bool", "boolean"):
+            plans.append((True, None, None, (), (), False))
+            continue
+        id_class = sort.class_name if isinstance(sort, IdSort) else None
+        steps: List[Tuple[Optional[int], Optional[tuple]]] = []
+        for kind, payload in steps_template:
+            if kind == "lit":
+                harvested: List[Value] = []
+                _harvest(payload, sort, harvested)
+                if harvested:
+                    steps.append((None, tuple(harvested)))
+            else:
+                steps.append((payload, None))
+        binder_slots = tuple(range(base + index - 1, -1, -1))
+        numeric = type(sort) is Sort and sort.name in _NUMERIC
+        plans.append((False, sort, id_class, tuple(steps), binder_slots, numeric))
+    plans = tuple(plans)
+    nvars = len(names)
+
+    def run(env, frame):
+        closed_cell: List[list] = []
+
+        def closed_values() -> list:
+            if not closed_cell:
+                menv = _materialize(env, scope_names, frame)
+                values = []
+                for fn, slots in closed_fns:
+                    try:
+                        values.append(
+                            fn(menv, [None] * slots if slots else _EMPTY_FRAME)
+                        )
+                    except EvaluationError:
+                        values.append(_SKIP)
+                closed_cell.append(values)
+            return closed_cell[0]
+
+        def level(index: int) -> bool:
+            if index == nvars:
+                try:
+                    return _as_bool(body_fn(env, frame))
+                except EvaluationError:
+                    # A binding for which the body is undefined neither
+                    # witnesses an Exists nor refutes a Forall.
+                    return want
+            is_bool, sort, id_class, steps, binder_slots, numeric = plans[index]
+            if is_bool:
+                domain = _BOOL_DOMAIN
+            else:
+                domain = None
+                if id_class is not None:
+                    population = list(env.class_population(id_class))
+                    if population:
+                        domain = population
+                if domain is None:
+                    out: List[Value] = []
+                    if numeric:
+                        for slot in binder_slots:
+                            _harvest_numeric(frame[slot], out)
+                        for value in env.scope_values():
+                            _harvest_numeric(value, out)
+                    else:
+                        for slot in binder_slots:
+                            _harvest(frame[slot], sort, out)
+                        for value in env.scope_values():
+                            _harvest(value, sort, out)
+                    for closed_index, harvested in steps:
+                        if harvested is not None:
+                            out.extend(harvested)
+                        else:
+                            value = closed_values()[closed_index]
+                            if value is not _SKIP:
+                                if numeric:
+                                    _harvest_numeric(value, out)
+                                else:
+                                    _harvest(value, sort, out)
+                    if numeric:
+                        domain = _dedup_numeric(out)
+                    else:
+                        seen = set()
+                        domain = []
+                        for v in out:
+                            if v not in seen:
+                                seen.add(v)
+                                domain.append(v)
+            slot = base + index
+            for value in domain:
+                frame[slot] = value
+                outcome = level(index + 1)
+                if want and not outcome:
+                    return False
+                if not want and outcome:
+                    return True
+            return want
+
+        return boolean(level(0))
+
+    return run
+
+
+def _compile_region(term: Term) -> Tuple[_Fn, int]:
+    """Compile ``term`` with a fresh binder frame; returns the node
+    function and the frame size it needs."""
+    region = _Region()
+    fn = _compile(term, (), region)
+    return fn, region.slots
+
+
+# ----------------------------------------------------------------------
+# Public seam
+# ----------------------------------------------------------------------
+
+
+def compile_term(term: Term) -> Optional[CompiledTerm]:
+    """Lower ``term`` to a closure, or ``None`` when the compiler
+    declines it (unknown term kinds, malformed connectives) -- callers
+    then use the interpreter.  Never raises: a compiler defect must not
+    take the animator down, so unexpected compile-time errors also
+    decline."""
+    try:
+        fn, slots = _compile_region(term)
+    except _Decline:
+        return None
+    except Exception:  # pragma: no cover - defensive fallback
+        return None
+    return CompiledTerm(term, fn, slots)
+
+
+#: module-global compiled-term cache: id(term) -> (term, CompiledTerm or
+#: None-for-declined).  The stored term reference guards against id()
+#: reuse; bounded and cleared wholesale on overflow so fuzzing or ad-hoc
+#: query churn cannot leak.  Long-lived rule bodies should prefer an
+#: owner cache (``CompiledClass.term_cache``), which survives overflow.
+_GLOBAL_CACHE: Dict[int, Tuple[Term, Optional[CompiledTerm]]] = {}
+_GLOBAL_CACHE_LIMIT = 4096
+
+
+def evaluate_term(
+    term: Term,
+    env: Optional[Environment] = None,
+    cache: Optional[Dict[int, Tuple[Term, Optional[CompiledTerm]]]] = None,
+    obs=None,
+) -> Value:
+    """Drop-in replacement for :func:`repro.datatypes.evaluator.evaluate`
+    through the closure compiler.
+
+    ``cache`` is the owner's compiled-body store (e.g. a
+    ``CompiledClass``'s); ``None`` uses the bounded module-global cache.
+    Declined terms fall back to the interpreter.  ``obs`` mirrors the
+    outcome to the ``term_compile.*`` observability counters.
+    """
+    store = _GLOBAL_CACHE if cache is None else cache
+    entry = store.get(id(term))
+    if entry is not None and entry[0] is term:
+        compiled = entry[1]
+        fresh = False
+    else:
+        compiled = compile_term(term)
+        if store is _GLOBAL_CACHE and len(store) >= _GLOBAL_CACHE_LIMIT:
+            store.clear()
+        store[id(term)] = (term, compiled)
+        fresh = True
+        if compiled is not None:
+            STATS.compiled += 1
+            if obs is not None and obs.enabled:
+                obs.on_term_compile("compiled")
+    if compiled is None:
+        STATS.fallbacks += 1
+        if obs is not None and obs.enabled:
+            obs.on_term_compile("fallback")
+        return evaluate(term, env)
+    if not fresh:
+        STATS.cache_hits += 1
+        if obs is not None and obs.enabled:
+            obs.on_term_compile("cache_hit")
+    return compiled(env)
+
+
+def clear_caches() -> None:
+    """Drop the module-global compiled-term cache (tests)."""
+    _GLOBAL_CACHE.clear()

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from repro.diagnostics import EvaluationError
-from repro.datatypes.operations import apply_operation
+from repro.datatypes.operations import BUILTIN_OPERATIONS, apply_operation
 from repro.datatypes.sorts import (
     BOOL,
     IdSort,
@@ -186,7 +186,82 @@ def _harvest(value: Value, sort: Sort, out: List[Value], depth: int = 0) -> None
             _harvest(v, sort, out, depth + 1)
 
 
-def candidate_domain(sort: Sort, body: Term, env: Environment) -> List[Value]:
+#: per-body classification of harvestable domain nodes, keyed by body
+#: identity (terms are immutable; the stored body reference guards
+#: against id() reuse).  Bounded: cleared wholesale on overflow so
+#: unbounded term churn (fuzzing, ad-hoc queries) cannot leak.
+_BODY_NODES_CACHE: Dict[int, Tuple[Term, tuple]] = {}
+_BODY_NODES_LIMIT = 4096
+
+
+def body_domain_nodes(body: Term) -> tuple:
+    """The harvestable nodes of a quantifier body, classified once.
+
+    Returns ``(("lit", node) | ("closed", node), ...)`` in walk order:
+    literals contribute their value, closed (variable-free) sub-terms
+    contribute their evaluation.  Memoized per body object so repeated
+    quantifier entries stop re-walking the tree and re-deriving
+    free-variable sets on every invocation.
+    """
+    entry = _BODY_NODES_CACHE.get(id(body))
+    if entry is not None and entry[0] is body:
+        return entry[1]
+    nodes = []
+    for node in body.walk():
+        if isinstance(node, Lit):
+            nodes.append(("lit", node))
+        elif not node.free_variables():
+            nodes.append(("closed", node))
+    result = tuple(nodes)
+    if len(_BODY_NODES_CACHE) >= _BODY_NODES_LIMIT:
+        _BODY_NODES_CACHE.clear()
+    _BODY_NODES_CACHE[id(body)] = (body, result)
+    return result
+
+
+class _ClosedValues:
+    """Per-quantifier-entry memo of a body's closed-sub-term values.
+
+    Closed sub-terms cannot mention the quantified variables, so one
+    evaluation per quantifier *entry* (under the entry environment)
+    replaces the old re-evaluation at every binding level -- the
+    quadratic re-work this module used to pay for nested quantifiers.
+    Sub-terms whose evaluation raises :class:`EvaluationError`
+    contribute nothing, matching the old per-level ``continue``.
+    """
+
+    __slots__ = ("_body", "_env", "_items")
+
+    def __init__(self, body: Term, env: Environment):
+        self._body = body
+        self._env = env
+        self._items = None
+
+    def items(self) -> list:
+        """``(defined, value)`` pairs in walk order, evaluated lazily on
+        the first harvest that needs them (bool/population domains never
+        do, so they must not force evaluation -- or its errors)."""
+        items = self._items
+        if items is None:
+            items = []
+            for kind, node in body_domain_nodes(self._body):
+                if kind == "lit":
+                    items.append((True, node.value))
+                else:
+                    try:
+                        items.append((True, evaluate(node, self._env)))
+                    except EvaluationError:
+                        items.append((False, None))
+            self._items = items
+        return items
+
+
+def candidate_domain(
+    sort: Sort,
+    body: Term,
+    env: Environment,
+    closed: Optional[_ClosedValues] = None,
+) -> List[Value]:
     """The active domain a quantified variable of ``sort`` ranges over.
 
     * ``bool`` -- the two truth values;
@@ -195,6 +270,10 @@ def candidate_domain(sort: Sort, body: Term, env: Environment) -> List[Value]:
       bound in the current scope and (b) the closed sub-terms of the
       quantifier body (e.g. the set a membership test inspects), plus the
       literals occurring in the body.
+
+    ``closed`` carries the per-quantifier-entry memo of the closed
+    sub-term values (:class:`_ClosedValues`); standalone calls may omit
+    it and pay one fresh evaluation.
     """
     if sort.is_compatible_with(BOOL) and sort.name in ("bool", "boolean"):
         return [boolean(True), boolean(False)]
@@ -202,18 +281,15 @@ def candidate_domain(sort: Sort, body: Term, env: Environment) -> List[Value]:
         pop = list(env.class_population(sort.class_name))
         if pop:
             return pop
+    if closed is None:
+        closed = _ClosedValues(body, env)
     out: List[Value] = []
     seen = set()
     for value in env.scope_values():
         _harvest(value, sort, out)
-    for node in body.walk():
-        if isinstance(node, Lit):
-            _harvest(node.value, sort, out)
-        elif not node.free_variables():
-            try:
-                _harvest(evaluate(node, env), sort, out)
-            except EvaluationError:
-                continue
+    for defined, value in closed.items():
+        if defined:
+            _harvest(value, sort, out)
     unique: List[Value] = []
     for v in out:
         if v not in seen:
@@ -254,8 +330,6 @@ def _eval(term: Term, env: Environment) -> Value:
                 return boolean(True)
             return boolean(bool(_eval(term.args[1], env)))
         args = [_eval(a, env) for a in term.args]
-        from repro.datatypes.operations import BUILTIN_OPERATIONS
-
         if term.op not in BUILTIN_OPERATIONS:
             # Parametrized-attribute read in application form
             # (``Balance(a)``), resolved by the environment.
@@ -346,7 +420,13 @@ def _eval_quantifier(term, env: Environment, want: bool) -> Value:
     return boolean(_quantify(term.variables, term.body, env, want))
 
 
-def _quantify(variables, body: Term, env: Environment, want: bool) -> bool:
+def _quantify(
+    variables,
+    body: Term,
+    env: Environment,
+    want: bool,
+    closed: Optional[_ClosedValues] = None,
+) -> bool:
     if not variables:
         try:
             result = bool(_eval(body, env))
@@ -355,10 +435,14 @@ def _quantify(variables, body: Term, env: Environment, want: bool) -> bool:
             # an Exists nor refutes a Forall.
             return want
         return result
+    if closed is None:
+        # One closed-sub-term evaluation per quantifier entry, shared by
+        # every binding level below (see _ClosedValues).
+        closed = _ClosedValues(body, env)
     (name, sort), rest = variables[0], variables[1:]
-    domain = candidate_domain(sort, body, env)
+    domain = candidate_domain(sort, body, env, closed)
     for value in domain:
-        outcome = _quantify(rest, body, env.child({name: value}), want)
+        outcome = _quantify(rest, body, env.child({name: value}), want, closed)
         if want and not outcome:
             return False
         if not want and outcome:

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from repro.datatypes.evaluator import evaluate
 from repro.datatypes.values import Value
 from repro.diagnostics import CheckError, EvaluationError, PermissionDenied
 from repro.lang import ast
@@ -77,7 +76,7 @@ class InterfaceView:
         else:
             env = SystemEnvironment(self.system, bindings)
         try:
-            return bool(evaluate(self.decl.selection, env))
+            return bool(self.system.eval_term(self.decl.selection, env))
         except EvaluationError:
             return False
 
@@ -119,7 +118,7 @@ class InterfaceView:
         env = instance.environment()
         if rule.params:
             env = env.child(dict(zip(rule.params, coerced)))
-        return evaluate(rule.expr, env)
+        return self.system.eval_term(rule.expr, env)
 
     def _visible_instance(self, key) -> Instance:
         class_name = self._single_class()
@@ -205,7 +204,7 @@ class InterfaceView:
             for attr_name in self.info.attributes:
                 rule = self._derivation.get(attr_name)
                 if rule is not None:
-                    row[attr_name] = evaluate(rule.expr, env)
+                    row[attr_name] = self.system.eval_term(rule.expr, env)
                 else:
                     only = next(iter(combo.values()))
                     row[attr_name] = only.observe(attr_name)
@@ -240,9 +239,11 @@ def _expand_derived(view: InterfaceView, instance: Instance, event: str, coerced
         if bindings is None:
             continue
         env = instance.environment(bindings)
-        if rule.guard is not None and not bool(evaluate(rule.guard, env)):
+        if rule.guard is not None and not bool(
+            view.system.eval_term(rule.guard, env)
+        ):
             continue
         for target in rule.targets:
-            target_args = tuple(evaluate(a, env) for a in target.args)
+            target_args = tuple(view.system.eval_term(a, env) for a in target.args)
             pairs.append((instance, target.name, target_args))
     return pairs

@@ -40,6 +40,13 @@ _PROBE_CACHE_COUNTERS = {
     "punt": "probe_cache.punts",
 }
 
+#: term-compiler outcome -> counter name
+_TERM_COMPILE_COUNTERS = {
+    "compiled": "term_compile.compiled",
+    "fallback": "term_compile.fallbacks",
+    "cache_hit": "term_compile.cache_hits",
+}
+
 
 class Observability:
     """One tracer + one metrics registry behind the runtime hook API."""
@@ -109,6 +116,14 @@ class Observability:
         ``hit`` / ``miss`` / ``invalidation`` / ``punt`` (see
         docs/PERFORMANCE.md)."""
         self.metrics.counter(_PROBE_CACHE_COUNTERS[outcome]).inc()
+
+    def on_term_compile(self, outcome: str) -> None:
+        """Closure-compiler accounting: ``outcome`` is ``compiled`` (a
+        term was lowered), ``fallback`` (an evaluation used the
+        interpreter because the compiler declined) or ``cache_hit`` (an
+        evaluation reused a compiled closure) -- see docs/PERFORMANCE.md,
+        "Rule compilation"."""
+        self.metrics.counter(_TERM_COMPILE_COUNTERS[outcome]).inc()
 
     # ------------------------------------------------------------------
     # Instance / monitor / relational counters

@@ -45,6 +45,12 @@ class CompiledClass:
     protocol: Optional[object] = None
     #: per-rule variable sorts (permission monitors need them)
     _var_sorts_cache: Dict[int, Dict[str, Sort]] = field(default_factory=dict)
+    #: compiled rule bodies (valuation/permission/derivation/constraint
+    #: terms lowered to closures), keyed by id(term) with the term kept
+    #: for identity checking -- see repro.datatypes.compile.evaluate_term.
+    #: Owned here so a class's rules survive global-cache overflow and
+    #: die with the specification.
+    term_cache: Dict[int, tuple] = field(default_factory=dict)
     #: merged event index (declared + implicit), cached at compile time
     _events_index: Optional[Dict[str, ast.EventDecl]] = None
     _active_events: Optional[List[ast.EventDecl]] = None

@@ -110,7 +110,9 @@ class Instance:
                         f"parameter(s), got {len(args)}"
                     )
                 env = env.child(dict(zip(rule.params, args)))
-            return evaluate(rule.expr, env)
+            # Derivation rules are the hottest observe path: route them
+            # through the closure compiler (cached on this class).
+            return self.system.eval_term(rule.expr, env, self.compiled)
         if args:
             table = self.param_state.get(name)
             if table is not None and args in table:

@@ -30,8 +30,10 @@ aspects, then commit (traces, monitors, class objects).
 from __future__ import annotations
 
 import itertools
+import os
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.datatypes.compile import evaluate_term
 from repro.datatypes.evaluator import Environment, MapEnvironment, evaluate
 from repro.datatypes.sorts import IdSort
 from repro.datatypes.terms import Term, Var
@@ -185,11 +187,20 @@ class ObjectBase:
         observability: Optional[Observability] = None,
         journal: Optional[Journal] = None,
         probe_cache: bool = True,
+        term_compile: Optional[bool] = None,
     ):
         if permission_mode not in ("incremental", "naive"):
             raise ValueError("permission_mode must be 'incremental' or 'naive'")
         self.permission_mode = permission_mode
         self.check_constraints = check_constraints
+        #: rule bodies evaluated through the closure compiler
+        #: (repro.datatypes.compile) instead of the tree-walking
+        #: interpreter.  None defers to REPRO_TERM_COMPILE (any value
+        #: but "0" enables), so twin runs of unmodified scripts can
+        #: compare both modes.  Flip at runtime via set_term_compile.
+        if term_compile is None:
+            term_compile = os.environ.get("REPRO_TERM_COMPILE", "1") != "0"
+        self.term_compile = bool(term_compile)
         #: epoch-memoized permission probes (False -> every probe is a
         #: fresh dry transaction, the exhaustive-rescan baseline)
         self.probe_caching = probe_cache
@@ -439,6 +450,57 @@ class ObjectBase:
             for instance in bucket.values():
                 instance.probe_cache.clear()
         self._active_candidates = None
+
+    # ------------------------------------------------------------------
+    # Rule-body evaluation (closure compiler seam)
+    # ------------------------------------------------------------------
+
+    def eval_term(
+        self,
+        term: Term,
+        env: Optional[Environment] = None,
+        owner: Optional[CompiledClass] = None,
+    ) -> Value:
+        """Evaluate a rule body: through the closure compiler when
+        ``term_compile`` is on (compiled bodies cached on ``owner``, the
+        rule's :class:`CompiledClass`, when given), through the
+        tree-walking interpreter otherwise.  The flag is consulted per
+        call, so monitors and views holding this bound method follow
+        :meth:`set_term_compile` flips immediately."""
+        if not self.term_compile:
+            return evaluate(term, env)
+        return evaluate_term(
+            term,
+            env,
+            cache=None if owner is None else owner.term_cache,
+            obs=self.obs,
+        )
+
+    def _class_term_eval(self, owner: CompiledClass):
+        """A ``(term, env) -> Value`` evaluator whose compiled bodies are
+        cached on ``owner`` (for monitors and the naive permission path,
+        whose rule terms belong to one class)."""
+
+        def term_eval(term: Term, env: Optional[Environment] = None) -> Value:
+            return self.eval_term(term, env, owner)
+
+        return term_eval
+
+    def set_term_compile(self, enabled: bool) -> None:
+        """Flip between compiled and interpreted rule evaluation.
+
+        Also drops every memoized probe verdict: cached enabledness
+        entries were produced by the *other* evaluation path, and the
+        soundness argument for reusing them ("unchanged epochs imply an
+        identical re-evaluation") holds only while the evaluator that
+        would re-run is the one that ran.  Swapping a compiled
+        permission body for its interpreted fallback (or back) must
+        therefore invalidate, not inherit, the cache."""
+        enabled = bool(enabled)
+        if enabled == self.term_compile:
+            return
+        self.term_compile = enabled
+        self.invalidate_probes()
 
     def _active_schedule(self) -> List[Tuple[Instance, str]]:
         """The scheduler's candidate list -- every parameterless active
@@ -1074,7 +1136,12 @@ class ObjectBase:
                 monitor = self._monitor_for(instance, rule)
                 admitted = monitor.check(env)
             else:
-                admitted = evaluate_formula_now(rule.formula, instance.trace, env)
+                admitted = evaluate_formula_now(
+                    rule.formula,
+                    instance.trace,
+                    env,
+                    term_eval=self._class_term_eval(instance.compiled),
+                )
             if not admitted:
                 if self.obs is not None and self.obs.enabled:
                     self.obs.on_permission_denied(
@@ -1090,7 +1157,10 @@ class ObjectBase:
         monitor = instance.monitors.get(id(rule))
         if monitor is None:
             monitor = FormulaMonitor(
-                rule.formula, instance.compiled.var_sorts_for(rule), hooks=self.obs
+                rule.formula,
+                instance.compiled.var_sorts_for(rule),
+                hooks=self.obs,
+                term_eval=self._class_term_eval(instance.compiled),
             )
             instance.monitors[id(rule)] = monitor
         return monitor
@@ -1126,7 +1196,9 @@ class ObjectBase:
             # must not reset them.
             if instance._storage_owner(attr.name) is not instance:
                 continue
-            instance.set_attribute(attr.name, evaluate(attr.initial, env))
+            instance.set_attribute(
+                attr.name, self.eval_term(attr.initial, env, instance.compiled)
+            )
 
     def _check_initial_constraints(self, instance: Instance) -> None:
         if self.check_constraints:
@@ -1144,7 +1216,9 @@ class ObjectBase:
         for constraint in constraints:
             env = instance.environment()
             try:
-                holds = bool(evaluate(constraint.formula, env))
+                holds = bool(
+                    self.eval_term(constraint.formula, env, instance.compiled)
+                )
             except EvaluationError as exc:
                 if self.obs is not None and self.obs.enabled:
                     self.obs.on_constraint_violation(instance.class_name)
@@ -1179,14 +1253,17 @@ class ObjectBase:
             if bindings is None:
                 continue
             env = instance.environment(bindings)
+            owner = instance.compiled
             if rule.guard is not None:
                 try:
-                    if not bool(evaluate(rule.guard, env)):
+                    if not bool(self.eval_term(rule.guard, env, owner)):
                         continue
                 except EvaluationError:
                     continue
-            attr_args = tuple(evaluate(a, env) for a in rule.attribute_args)
-            value = evaluate(rule.expr, env)
+            attr_args = tuple(
+                self.eval_term(a, env, owner) for a in rule.attribute_args
+            )
+            value = self.eval_term(rule.expr, env, owner)
             assignments.append((rule.attribute, attr_args, value))
         return assignments
 
@@ -1218,7 +1295,9 @@ class ObjectBase:
                     return None
                 continue
             try:
-                expected = evaluate(pattern, instance.environment(bindings))
+                expected = self.eval_term(
+                    pattern, instance.environment(bindings), instance.compiled
+                )
             except EvaluationError:
                 return None
             if expected != actual:
@@ -1244,7 +1323,7 @@ class ObjectBase:
         env = instance.environment(bindings)
         if rule.guard is not None:
             try:
-                if not bool(evaluate(rule.guard, env)):
+                if not bool(self.eval_term(rule.guard, env, instance.compiled)):
                     return
             except EvaluationError:
                 return
@@ -1273,7 +1352,7 @@ class ObjectBase:
                     return
             else:
                 try:
-                    expected = evaluate(pattern, MapEnvironment(bindings))
+                    expected = self.eval_term(pattern, MapEnvironment(bindings))
                 except EvaluationError:
                     return
                 if expected != actual:
@@ -1281,7 +1360,9 @@ class ObjectBase:
         env = instance.environment(bindings)
         if rule.guard is not None:
             try:
-                if not bool(evaluate(rule.guard, env)):
+                # Global interaction rules belong to no class; their
+                # compiled bodies live in the module-global cache.
+                if not bool(self.eval_term(rule.guard, env)):
                     return
             except EvaluationError:
                 return
@@ -1296,7 +1377,7 @@ class ObjectBase:
         targets owned by another shard are captured as remote calls
         instead of being processed locally."""
         for target_instance in self._resolve_targets(instance, target, env):
-            target_args = tuple(evaluate(a, env) for a in target.args)
+            target_args = tuple(self.eval_term(a, env) for a in target.args)
             self._process(txn, target_instance, target.name, target_args)
 
     def _resolve_targets(
@@ -1336,7 +1417,7 @@ class ObjectBase:
                     f"class-qualified call {qualifier.name}.{target.name} "
                     "needs an identity"
                 )
-            key_value = evaluate(qualifier.key, env)
+            key_value = self.eval_term(qualifier.key, env)
             found = self.find(qualifier.name, key_value)
             if found is None:
                 raise RuntimeSpecError(

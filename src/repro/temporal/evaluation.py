@@ -202,18 +202,29 @@ class StateEnvironment(Environment):
 
 
 def match_pattern(
-    pattern: EventPattern, event: str, args: Tuple[Value, ...], env: Environment
+    pattern: EventPattern,
+    event: str,
+    args: Tuple[Value, ...],
+    env: Environment,
+    term_eval=None,
 ) -> bool:
-    """Does occurrence ``event(args)`` match ``pattern`` under ``env``?"""
+    """Does occurrence ``event(args)`` match ``pattern`` under ``env``?
+
+    ``term_eval`` is the term evaluator for the pattern's argument
+    terms (default: the tree-walking interpreter; the runtime passes
+    ``ObjectBase.eval_term`` to route through the closure compiler).
+    """
     if pattern.event != event:
         return False
     if pattern.match_any_args:
         return True
     if len(pattern.args) != len(args):
         return False
+    if term_eval is None:
+        term_eval = evaluate
     for term, value in zip(pattern.args, args):
         try:
-            if evaluate(term, env) != value:
+            if term_eval(term, env) != value:
                 return False
         except EvaluationError:
             return False
@@ -252,14 +263,17 @@ def evaluate_formula(
     trace: Trace,
     env: Optional[Environment] = None,
     position: Optional[int] = None,
+    term_eval=None,
 ) -> bool:
     """Evaluate ``formula`` at ``position`` of ``trace`` (default: the
-    final position; -1 for the empty trace) under binding ``env``."""
+    final position; -1 for the empty trace) under binding ``env``.
+    ``term_eval`` selects the evaluator for state-proposition terms
+    (default: the interpreter)."""
     if env is None:
         env = Environment()
     if position is None:
         position = len(trace.steps) - 1
-    return _eval(formula, trace, position, env)
+    return _eval(formula, trace, position, env, term_eval or evaluate)
 
 
 def _state_env(trace: Trace, position: int, env: Environment) -> Environment:
@@ -268,10 +282,12 @@ def _state_env(trace: Trace, position: int, env: Environment) -> Environment:
     return StateEnvironment({}, env)
 
 
-def _eval(formula: Formula, trace: Trace, position: int, env: Environment) -> bool:
+def _eval(
+    formula: Formula, trace: Trace, position: int, env: Environment, term_eval=evaluate
+) -> bool:
     if isinstance(formula, StateProp):
         try:
-            return bool(evaluate(formula.term, _state_env(trace, position, env)))
+            return bool(term_eval(formula.term, _state_env(trace, position, env)))
         except EvaluationError:
             return False
     if isinstance(formula, After):
@@ -279,50 +295,61 @@ def _eval(formula: Formula, trace: Trace, position: int, env: Environment) -> bo
             return False
         step = trace.steps[position]
         return match_pattern(
-            formula.pattern, step.event, step.args, _state_env(trace, position, env)
+            formula.pattern,
+            step.event,
+            step.args,
+            _state_env(trace, position, env),
+            term_eval,
         )
     if isinstance(formula, Sometime):
         return any(
-            _eval(formula.body, trace, j, env) for j in range(position + 1)
+            _eval(formula.body, trace, j, env, term_eval)
+            for j in range(position + 1)
         )
     if isinstance(formula, Always):
         return all(
-            _eval(formula.body, trace, j, env) for j in range(position + 1)
+            _eval(formula.body, trace, j, env, term_eval)
+            for j in range(position + 1)
         )
     if isinstance(formula, Since):
         for j in range(position, -1, -1):
-            if _eval(formula.anchor, trace, j, env):
+            if _eval(formula.anchor, trace, j, env, term_eval):
                 return all(
-                    _eval(formula.hold, trace, k, env)
+                    _eval(formula.hold, trace, k, env, term_eval)
                     for k in range(j + 1, position + 1)
                 )
         return False
     if isinstance(formula, NotF):
-        return not _eval(formula.body, trace, position, env)
+        return not _eval(formula.body, trace, position, env, term_eval)
     if isinstance(formula, AndF):
-        return _eval(formula.left, trace, position, env) and _eval(
-            formula.right, trace, position, env
+        return _eval(formula.left, trace, position, env, term_eval) and _eval(
+            formula.right, trace, position, env, term_eval
         )
     if isinstance(formula, OrF):
-        return _eval(formula.left, trace, position, env) or _eval(
-            formula.right, trace, position, env
+        return _eval(formula.left, trace, position, env, term_eval) or _eval(
+            formula.right, trace, position, env, term_eval
         )
     if isinstance(formula, ImpliesF):
-        return (not _eval(formula.left, trace, position, env)) or _eval(
-            formula.right, trace, position, env
+        return (not _eval(formula.left, trace, position, env, term_eval)) or _eval(
+            formula.right, trace, position, env, term_eval
         )
     if isinstance(formula, (ForallF, ExistsF)):
         want = isinstance(formula, ForallF)
-        return _eval_quantified(formula, trace, position, env, want)
+        return _eval_quantified(formula, trace, position, env, want, term_eval)
     raise EvaluationError(f"cannot evaluate formula of kind {type(formula).__name__}")
 
 
 def _eval_quantified(
-    formula, trace: Trace, position: int, env: Environment, want: bool
+    formula,
+    trace: Trace,
+    position: int,
+    env: Environment,
+    want: bool,
+    term_eval=evaluate,
 ) -> bool:
     def recurse(variables, env: Environment) -> bool:
         if not variables:
-            return _eval(formula.body, trace, position, env)
+            return _eval(formula.body, trace, position, env, term_eval)
         (name, sort), rest = variables[0], variables[1:]
         domain = quantifier_domain(sort, trace, position, _state_env(trace, position, env))
         for value in domain:
@@ -337,7 +364,10 @@ def _eval_quantified(
 
 
 def evaluate_formula_now(
-    formula: Formula, trace: Trace, env: Optional[Environment] = None
+    formula: Formula,
+    trace: Trace,
+    env: Optional[Environment] = None,
+    term_eval=None,
 ) -> bool:
     """Evaluate ``formula`` *at the current instant* of an object.
 
@@ -355,55 +385,61 @@ def evaluate_formula_now(
     """
     if env is None:
         env = Environment()
-    return _eval_now(formula, trace, env)
+    return _eval_now(formula, trace, env, term_eval or evaluate)
 
 
-def _eval_now(formula: Formula, trace: Trace, env: Environment) -> bool:
+def _eval_now(
+    formula: Formula, trace: Trace, env: Environment, term_eval=evaluate
+) -> bool:
     last = len(trace.steps) - 1
     if isinstance(formula, StateProp):
         try:
-            return bool(evaluate(formula.term, env))
+            return bool(term_eval(formula.term, env))
         except EvaluationError:
             return False
     if isinstance(formula, After):
         if last < 0:
             return False
         step = trace.steps[last]
-        return match_pattern(formula.pattern, step.event, step.args, env)
+        return match_pattern(formula.pattern, step.event, step.args, env, term_eval)
     if isinstance(formula, Sometime):
-        if _eval_now(formula.body, trace, env):
+        if _eval_now(formula.body, trace, env, term_eval):
             return True
-        return any(_eval(formula.body, trace, j, env) for j in range(last + 1))
+        return any(
+            _eval(formula.body, trace, j, env, term_eval) for j in range(last + 1)
+        )
     if isinstance(formula, Always):
-        if not _eval_now(formula.body, trace, env):
+        if not _eval_now(formula.body, trace, env, term_eval):
             return False
-        return all(_eval(formula.body, trace, j, env) for j in range(last + 1))
+        return all(
+            _eval(formula.body, trace, j, env, term_eval) for j in range(last + 1)
+        )
     if isinstance(formula, Since):
-        if _eval_now(formula.anchor, trace, env):
+        if _eval_now(formula.anchor, trace, env, term_eval):
             return True
-        if not _eval_now(formula.hold, trace, env):
+        if not _eval_now(formula.hold, trace, env, term_eval):
             return False
-        return evaluate_formula(formula, trace, env, position=last)
+        return evaluate_formula(formula, trace, env, position=last, term_eval=term_eval)
     if isinstance(formula, NotF):
-        return not _eval_now(formula.body, trace, env)
+        return not _eval_now(formula.body, trace, env, term_eval)
     if isinstance(formula, AndF):
-        return _eval_now(formula.left, trace, env) and _eval_now(
-            formula.right, trace, env
+        return _eval_now(formula.left, trace, env, term_eval) and _eval_now(
+            formula.right, trace, env, term_eval
         )
     if isinstance(formula, OrF):
-        return _eval_now(formula.left, trace, env) or _eval_now(
-            formula.right, trace, env
+        return _eval_now(formula.left, trace, env, term_eval) or _eval_now(
+            formula.right, trace, env, term_eval
         )
     if isinstance(formula, ImpliesF):
-        return (not _eval_now(formula.left, trace, env)) or _eval_now(
-            formula.right, trace, env
+        return (not _eval_now(formula.left, trace, env, term_eval)) or _eval_now(
+            formula.right, trace, env, term_eval
         )
     if isinstance(formula, (ForallF, ExistsF)):
         want = isinstance(formula, ForallF)
 
         def recurse(variables, env: Environment) -> bool:
             if not variables:
-                return _eval_now(formula.body, trace, env)
+                return _eval_now(formula.body, trace, env, term_eval)
             (name, sort), rest = variables[0], variables[1:]
             domain = quantifier_domain(sort, trace, last, env)
             for value in domain:

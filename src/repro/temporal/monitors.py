@@ -149,19 +149,21 @@ class _Node:
 
 
 class _StateNode(_Node):
-    def __init__(self, formula: StateProp):
+    def __init__(self, formula: StateProp, term_eval=evaluate):
         self._term = formula.term
+        self._term_eval = term_eval
 
     def check(self, env: Environment) -> bool:
         try:
-            return bool(evaluate(self._term, env))
+            return bool(self._term_eval(self._term, env))
         except EvaluationError:
             return False
 
 
 class _AfterNode(_Node):
-    def __init__(self, formula: After):
+    def __init__(self, formula: After, term_eval=evaluate):
         self._pattern = formula.pattern
+        self._term_eval = term_eval
         self._last: Optional[TraceStep] = None
 
     def update(self, step: TraceStep, env: Environment) -> None:
@@ -170,14 +172,17 @@ class _AfterNode(_Node):
     def check(self, env: Environment) -> bool:
         if self._last is None:
             return False
-        return match_pattern(self._pattern, self._last.event, self._last.args, env)
+        return match_pattern(
+            self._pattern, self._last.event, self._last.args, env, self._term_eval
+        )
 
 
 class _SometimeAfterNode(_Node):
     """Exact summary for the ``sometime(after(e(t...)))`` idiom."""
 
-    def __init__(self, formula: After):
+    def __init__(self, formula: After, term_eval=evaluate):
         self._pattern = formula.pattern
+        self._term_eval = term_eval
         self._seen_args: Set[Binding] = set()
         self._seen_any = False
 
@@ -194,7 +199,8 @@ class _SometimeAfterNode(_Node):
                 return True
             return () in self._seen_args
         try:
-            wanted = tuple(evaluate(t, env) for t in self._pattern.args)
+            term_eval = self._term_eval
+            wanted = tuple(term_eval(t, env) for t in self._pattern.args)
         except EvaluationError:
             return False
         return wanted in self._seen_args
@@ -369,38 +375,38 @@ class _QuantNode(_Node):
         return self._want_all
 
 
-def _compile(formula: Formula, var_sorts: Dict[str, Sort]) -> _Node:
+def _compile(formula: Formula, var_sorts: Dict[str, Sort], term_eval=evaluate) -> _Node:
     if isinstance(formula, StateProp):
-        return _StateNode(formula)
+        return _StateNode(formula, term_eval)
     if isinstance(formula, After):
-        return _AfterNode(formula)
+        return _AfterNode(formula, term_eval)
     if isinstance(formula, Sometime):
         if isinstance(formula.body, After):
-            return _SometimeAfterNode(formula.body)
-        child = _compile(formula.body, var_sorts)
+            return _SometimeAfterNode(formula.body, term_eval)
+        child = _compile(formula.body, var_sorts, term_eval)
         return _SometimeNode(child, _decls_for(formula.body.free_variables(), var_sorts))
     if isinstance(formula, Always):
-        child = _compile(formula.body, var_sorts)
+        child = _compile(formula.body, var_sorts, term_eval)
         return _AlwaysNode(child, _decls_for(formula.body.free_variables(), var_sorts))
     if isinstance(formula, Since):
         free = formula.hold.free_variables() | formula.anchor.free_variables()
         return _SinceNode(
-            _compile(formula.hold, var_sorts),
-            _compile(formula.anchor, var_sorts),
+            _compile(formula.hold, var_sorts, term_eval),
+            _compile(formula.anchor, var_sorts, term_eval),
             _decls_for(free, var_sorts),
         )
     if isinstance(formula, NotF):
-        return _NotNode(_compile(formula.body, var_sorts))
+        return _NotNode(_compile(formula.body, var_sorts, term_eval))
     if isinstance(formula, AndF):
-        return _BinNode("and", _compile(formula.left, var_sorts), _compile(formula.right, var_sorts))
+        return _BinNode("and", _compile(formula.left, var_sorts, term_eval), _compile(formula.right, var_sorts, term_eval))
     if isinstance(formula, OrF):
-        return _BinNode("or", _compile(formula.left, var_sorts), _compile(formula.right, var_sorts))
+        return _BinNode("or", _compile(formula.left, var_sorts, term_eval), _compile(formula.right, var_sorts, term_eval))
     if isinstance(formula, ImpliesF):
-        return _BinNode("implies", _compile(formula.left, var_sorts), _compile(formula.right, var_sorts))
+        return _BinNode("implies", _compile(formula.left, var_sorts, term_eval), _compile(formula.right, var_sorts, term_eval))
     if isinstance(formula, (ForallF, ExistsF)):
         inner_sorts = dict(var_sorts)
         inner_sorts.update({n: s for n, s in formula.variables})
-        child = _compile(formula.body, inner_sorts)
+        child = _compile(formula.body, inner_sorts, term_eval)
         return _QuantNode(isinstance(formula, ForallF), tuple(formula.variables), child)
     raise EvaluationError(f"cannot compile formula of kind {type(formula).__name__}")
 
@@ -419,9 +425,14 @@ class FormulaMonitor:
         formula: Formula,
         var_sorts: Optional[Dict[str, Sort]] = None,
         hooks=None,
+        term_eval=None,
     ):
         self.formula = formula
-        self._root = _compile(formula, dict(var_sorts or {}))
+        #: propositional atoms (state propositions, pattern arguments)
+        #: evaluate through ``term_eval`` -- the runtime passes
+        #: ``ObjectBase.eval_term`` to route them through the closure
+        #: compiler; default is the tree-walking interpreter
+        self._root = _compile(formula, dict(var_sorts or {}), term_eval or evaluate)
         #: optional telemetry hooks (an Observability-shaped object with
         #: on_monitor_update/on_monitor_check); None means no overhead
         self.hooks = hooks

@@ -1,0 +1,323 @@
+"""Unit tests for the closure compiler (repro.datatypes.compile).
+
+The compiler's contract is behavioural equivalence with the
+tree-walking interpreter plus three operational guarantees: constant
+folding of closed sub-terms, graceful decline (interpreter fallback)
+for shapes it does not reproduce, and probe-cache invalidation when an
+object base flips evaluation modes mid-run.
+"""
+
+import pytest
+
+from repro.datatypes import compile as termcomp
+from repro.datatypes.compile import STATS, compile_term, evaluate_term
+from repro.datatypes.evaluator import MapEnvironment, evaluate
+from repro.datatypes.sorts import INTEGER
+from repro.datatypes.terms import (
+    Apply,
+    Exists,
+    Forall,
+    Lit,
+    QueryOp,
+    SetCons,
+    Term,
+    TupleCons,
+    Var,
+)
+from repro.datatypes.values import FALSE, TRUE, integer, set_value
+from repro.diagnostics import EvaluationError
+from repro.observability.hooks import Observability
+from repro.runtime import ObjectBase
+
+
+def lit(n):
+    return Lit(value=integer(n))
+
+
+def env_with(**bindings):
+    return MapEnvironment({k: integer(v) for k, v in bindings.items()})
+
+
+# ----------------------------------------------------------------------
+# Equivalence with the interpreter
+# ----------------------------------------------------------------------
+
+
+PANEL = [
+    # (term, environment builder)
+    (Apply(op="+", args=(lit(2), Apply(op="*", args=(lit(3), lit(4))))), MapEnvironment),
+    (Apply(op="-", args=(Var(name="x"), lit(7))), lambda: env_with(x=10)),
+    (
+        Apply(
+            op="and",
+            args=(
+                Apply(op="<", args=(Var(name="x"), lit(5))),
+                Apply(op=">", args=(Var(name="x"), lit(0))),
+            ),
+        ),
+        lambda: env_with(x=3),
+    ),
+    (
+        Exists(
+            variables=(("r", INTEGER),),
+            body=Apply(
+                op="and",
+                args=(
+                    Apply(op="in", args=(Var(name="r"), Var(name="S"))),
+                    Apply(op=">", args=(Var(name="r"), Var(name="x"))),
+                ),
+            ),
+        ),
+        lambda: MapEnvironment(
+            {
+                "S": set_value([integer(n) for n in (1, 5, 9)]),
+                "x": integer(4),
+            }
+        ),
+    ),
+    (
+        Forall(
+            variables=(("a", INTEGER), ("b", INTEGER)),
+            body=Apply(
+                op="implies",
+                args=(
+                    Apply(
+                        op="and",
+                        args=(
+                            Apply(op="in", args=(Var(name="a"), Var(name="S"))),
+                            Apply(op="in", args=(Var(name="b"), Var(name="S"))),
+                        ),
+                    ),
+                    Apply(op="<=", args=(Apply(op="+", args=(Var(name="a"), Var(name="b"))), lit(20))),
+                ),
+            ),
+        ),
+        lambda: MapEnvironment({"S": set_value([integer(n) for n in (2, 4, 8)])}),
+    ),
+    (
+        TupleCons(
+            items=((None, lit(1)), ("snd", Var(name="x"))),
+            field_names=("fst",),
+        ),
+        lambda: env_with(x=2),
+    ),
+    (SetCons(items=(lit(1), lit(1), Var(name="x"))), lambda: env_with(x=9)),
+]
+
+
+@pytest.mark.parametrize("index", range(len(PANEL)))
+def test_compiled_matches_interpreter(index):
+    term, make_env = PANEL[index]
+    compiled = compile_term(term)
+    assert compiled is not None, f"compiler declined panel term {index}"
+    expected = evaluate(term, make_env())
+    got = compiled(make_env())
+    assert got == expected
+    assert got.sort == expected.sort
+
+
+def test_constant_folding_closed_term():
+    term = Apply(op="*", args=(Apply(op="+", args=(lit(2), lit(3))), lit(4)))
+    compiled = compile_term(term)
+    assert compiled is not None
+    # A folded term needs no environment at all.
+    assert compiled() == integer(20)
+
+
+def test_short_circuit_guards_division():
+    # x != 0 and 10 div x > 1 must not divide when x = 0, exactly like
+    # the interpreter's short-circuit.
+    term = Apply(
+        op="and",
+        args=(
+            Apply(op="<>", args=(Var(name="x"), lit(0))),
+            Apply(op=">", args=(Apply(op="div", args=(lit(10), Var(name="x"))), lit(1))),
+        ),
+    )
+    compiled = compile_term(term)
+    assert compiled is not None
+    assert compiled(env_with(x=0)) == FALSE
+    assert evaluate(term, env_with(x=0)) == FALSE
+    assert compiled(env_with(x=2)) == TRUE
+
+
+def test_quantifier_binder_shadows_outer_binding():
+    # The binder slot must win over an identically named env binding.
+    term = Exists(
+        variables=(("x", INTEGER),),
+        body=Apply(
+            op="and",
+            args=(
+                Apply(op="in", args=(Var(name="x"), Var(name="S"))),
+                Apply(op="=", args=(Var(name="x"), lit(5))),
+            ),
+        ),
+    )
+    env = MapEnvironment(
+        {"S": set_value([integer(5)]), "x": integer(99)}
+    )
+    compiled = compile_term(term)
+    assert compiled is not None
+    assert compiled(env) == evaluate(term, env) == TRUE
+
+
+def test_select_under_quantifier():
+    # select's item scope (`it` for non-tuple elements) layers over the
+    # binder frame.
+    term = Exists(
+        variables=(("n", INTEGER),),
+        body=Apply(
+            op="and",
+            args=(
+                Apply(op="in", args=(Var(name="n"), Var(name="S"))),
+                Apply(
+                    op="=",
+                    args=(
+                        QueryOp(
+                            op="select",
+                            source=Var(name="S"),
+                            param=Apply(op="<", args=(Var(name="it"), Var(name="n"))),
+                        ),
+                        SetCons(items=(lit(1),)),
+                    ),
+                ),
+            ),
+        ),
+    )
+    env = MapEnvironment({"S": set_value([integer(1), integer(2)])})
+    compiled = compile_term(term)
+    assert compiled is not None
+    assert compiled(env) == evaluate(term, env) == TRUE
+
+
+def test_evaluation_errors_match_interpreter():
+    term = Apply(op="+", args=(Var(name="missing"), lit(1)))
+    compiled = compile_term(term)
+    assert compiled is not None
+    with pytest.raises(EvaluationError):
+        evaluate(term, MapEnvironment())
+    with pytest.raises(EvaluationError):
+        compiled(MapEnvironment())
+
+
+# ----------------------------------------------------------------------
+# Decline, caching, counters
+# ----------------------------------------------------------------------
+
+
+class _UnknownTerm(Term):
+    """A term kind the compiler has never heard of."""
+
+
+def test_compiler_declines_unknown_term_kinds():
+    assert compile_term(_UnknownTerm()) is None
+    # Malformed connective arity also declines rather than guessing.
+    assert compile_term(Apply(op="and", args=(lit(1),))) is None
+
+
+def test_evaluate_term_stats_and_fallback():
+    termcomp.clear_caches()
+    STATS.reset()
+    term = Apply(op="+", args=(Var(name="x"), lit(1)))
+    env = env_with(x=1)
+    assert evaluate_term(term, env) == integer(2)
+    assert STATS.snapshot() == {"compiled": 1, "fallbacks": 0, "cache_hits": 0}
+    assert evaluate_term(term, env) == integer(2)
+    assert STATS.snapshot() == {"compiled": 1, "fallbacks": 0, "cache_hits": 1}
+
+    # A declined term falls back to the interpreter -- reproducing even
+    # its crash behaviour -- and stays declined in the cache (no
+    # recompile churn).
+    bogus = Apply(op="and", args=(Lit(value=TRUE),))
+    with pytest.raises(IndexError):
+        evaluate_term(bogus, MapEnvironment())
+    assert STATS.fallbacks == 1
+    with pytest.raises(IndexError):
+        evaluate_term(bogus, MapEnvironment())
+    assert STATS.fallbacks == 2
+    assert STATS.compiled == 1  # the decline never counts as compiled
+    STATS.reset()
+
+
+def test_owner_cache_is_used_when_given():
+    termcomp.clear_caches()
+    term = Apply(op="+", args=(lit(1), lit(2)))
+    owner_cache = {}
+    assert evaluate_term(term, None, cache=owner_cache) == integer(3)
+    assert id(term) in owner_cache
+    assert id(term) not in termcomp._GLOBAL_CACHE
+
+
+def test_observability_counters_mirror_outcomes():
+    termcomp.clear_caches()
+    obs = Observability(tracing=False)
+    term = Apply(op="+", args=(lit(1), Var(name="x")))
+    evaluate_term(term, env_with(x=1), obs=obs)
+    evaluate_term(term, env_with(x=2), obs=obs)
+    with pytest.raises(TypeError):  # interpreter fallback crashes too
+        evaluate_term(Apply(op="and", args=(lit(1),)), env_with(), obs=obs)
+    counters = {
+        name: sum(counter.values.values())
+        for name, counter in obs.metrics.counters.items()
+    }
+    assert counters.get("term_compile.compiled") == 1
+    assert counters.get("term_compile.cache_hits") == 1
+    assert counters.get("term_compile.fallbacks") == 1
+
+
+# ----------------------------------------------------------------------
+# Mode-flip probe invalidation (ObjectBase seam)
+# ----------------------------------------------------------------------
+
+
+COUNTER_SPEC = """
+object class COUNTER
+  identification Id: nat;
+  template
+    attributes Count: nat;
+    events
+      birth boot;
+      bump;
+      death stop;
+    valuation
+      boot Count = 0;
+      bump Count = Count + 1;
+    permissions
+      { Count < 3 } bump;
+end object class COUNTER;
+"""
+
+
+def test_mode_flip_invalidates_probe_cache():
+    system = ObjectBase(COUNTER_SPEC, term_compile=True)
+    counter = system.create("COUNTER", {"Id": 1})
+
+    assert system.is_permitted(counter, "bump", []) is True  # miss: fills cache
+    hits_before = system.probe_stats.hits
+    assert system.is_permitted(counter, "bump", []) is True  # served from cache
+    assert system.probe_stats.hits == hits_before + 1
+
+    system.set_term_compile(False)
+    assert counter.probe_cache == {}  # the flip dropped every verdict
+
+    hits_flip = system.probe_stats.hits
+    misses_flip = system.probe_stats.misses
+    assert system.is_permitted(counter, "bump", []) is True  # fresh re-probe
+    assert system.probe_stats.hits == hits_flip  # no stale hit survived
+    assert system.probe_stats.misses == misses_flip + 1
+
+    # Flipping to the mode already in force is a no-op.
+    assert system.is_permitted(counter, "bump", []) is True
+    filled = dict(counter.probe_cache)
+    system.set_term_compile(False)
+    assert counter.probe_cache == filled
+
+    # And the verdict itself never depends on the mode.
+    system.set_term_compile(True)
+    assert system.is_permitted(counter, "bump", []) is True
+    system.occur(counter, "bump")
+    system.occur(counter, "bump")
+    system.occur(counter, "bump")
+    assert system.is_permitted(counter, "bump", []) is False
+    system.set_term_compile(False)
+    assert system.is_permitted(counter, "bump", []) is False

@@ -1,0 +1,320 @@
+"""Differential fuzzing of the closure compiler.
+
+The compiler's soundness claim (:mod:`repro.datatypes.compile`) is that
+a compiled closure is observationally identical to the tree-walking
+interpreter -- same values, same errors, same committed traces.  Three
+properties drive it:
+
+1. Randomized (seeded, reproducible) term/environment pairs must
+   produce identical values *and* identical error outcomes (by
+   exception type) through both paths.
+2. Twin object bases animating the company world -- one compiling rule
+   bodies, one interpreting -- must commit bit-identical journals and
+   per-instance traces under the same random action sequence.
+3. Every example script must print the same transcript with
+   ``REPRO_TERM_COMPILE=1`` and ``=0``.
+"""
+
+import datetime
+import os
+import pathlib
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.datatypes.compile import compile_term
+from repro.datatypes.evaluator import MapEnvironment, evaluate
+from repro.datatypes.sorts import INTEGER
+from repro.datatypes.terms import (
+    Apply,
+    Exists,
+    Forall,
+    Lit,
+    QueryOp,
+    SetCons,
+    Var,
+)
+from repro.datatypes.values import boolean, integer, set_value
+from repro.diagnostics import TrollError
+from repro.library import FULL_COMPANY_SPEC
+from repro.runtime import ObjectBase
+
+# ----------------------------------------------------------------------
+# Property 1: random terms, identical values and errors
+# ----------------------------------------------------------------------
+
+_ARITH = ("+", "-", "*", "div", "mod")
+_COMPARE = ("<", "<=", "=", "<>", ">", ">=")
+_CONNECT = ("and", "or", "implies")
+_SET_OPS = ("union", "intersection", "difference", "insert")
+_NAMES = ("x", "y", "z", "unbound")
+
+
+def _random_int_term(rng, depth):
+    if depth <= 0 or rng.random() < 0.3:
+        if rng.random() < 0.5:
+            return Lit(value=integer(rng.randrange(-3, 7)))
+        return Var(name=rng.choice(_NAMES))
+    op = rng.choice(_ARITH)
+    return Apply(
+        op=op,
+        args=(_random_int_term(rng, depth - 1), _random_int_term(rng, depth - 1)),
+    )
+
+
+def _random_set_term(rng, depth):
+    if depth <= 0 or rng.random() < 0.4:
+        if rng.random() < 0.6:
+            return Var(name="S")
+        return SetCons(
+            items=tuple(
+                _random_int_term(rng, 0) for _ in range(rng.randrange(0, 3))
+            )
+        )
+    if rng.random() < 0.4:
+        return QueryOp(
+            op="select",
+            source=_random_set_term(rng, depth - 1),
+            param=_random_bool_term(rng, depth - 1, binder=None, item_var="it"),
+        )
+    op = rng.choice(_SET_OPS)
+    if op == "insert":
+        return Apply(
+            op=op,
+            args=(_random_set_term(rng, depth - 1), _random_int_term(rng, 0)),
+        )
+    return Apply(
+        op=op,
+        args=(_random_set_term(rng, depth - 1), _random_set_term(rng, depth - 1)),
+    )
+
+
+def _random_bool_term(rng, depth, binder=None, item_var=None):
+    atoms = []
+    names = _NAMES + ((binder,) if binder else ()) + ((item_var,) if item_var else ())
+
+    def int_leaf():
+        if rng.random() < 0.4:
+            return Var(name=rng.choice(names))
+        return _random_int_term(rng, max(depth - 1, 0))
+
+    if depth <= 0 or rng.random() < 0.35:
+        return Apply(op=rng.choice(_COMPARE), args=(int_leaf(), int_leaf()))
+    roll = rng.random()
+    if roll < 0.15:
+        return Apply(
+            op="in", args=(int_leaf(), _random_set_term(rng, depth - 1))
+        )
+    if roll < 0.3:
+        return Apply(op="not", args=(_random_bool_term(rng, depth - 1, binder, item_var),))
+    if roll < 0.45 and binder is None:
+        quant = Exists if rng.random() < 0.5 else Forall
+        name = f"q{depth}"
+        body = Apply(
+            op="and",
+            args=(
+                Apply(op="in", args=(Var(name=name), _random_set_term(rng, depth - 1))),
+                _random_bool_term(rng, depth - 1, binder=name, item_var=item_var),
+            ),
+        )
+        return quant(variables=((name, INTEGER),), body=body)
+    return Apply(
+        op=rng.choice(_CONNECT),
+        args=(
+            _random_bool_term(rng, depth - 1, binder, item_var),
+            _random_bool_term(rng, depth - 1, binder, item_var),
+        ),
+    )
+
+
+def _random_env(rng):
+    bindings = {
+        "x": integer(rng.randrange(-2, 6)),
+        "y": integer(rng.randrange(-2, 6)),
+        "z": boolean(rng.random() < 0.5),
+        "S": set_value(
+            [integer(rng.randrange(0, 6)) for _ in range(rng.randrange(0, 5))],
+            INTEGER,
+        ),
+    }
+    if rng.random() < 0.5:
+        del bindings[rng.choice(("x", "y"))]  # exercise unbound-name errors
+    return MapEnvironment(bindings)
+
+
+def _outcome(fn):
+    try:
+        value = fn()
+    except Exception as error:  # noqa: BLE001 - the outcome IS the data
+        return ("error", type(error).__name__)
+    return ("value", value, value.sort)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_terms_interpreter_vs_compiled(seed):
+    rng = random.Random(seed)
+    compiled_count = checked = 0
+    for round_no in range(120):
+        kind = rng.random()
+        if kind < 0.5:
+            term = _random_bool_term(rng, depth=3)
+        elif kind < 0.8:
+            term = _random_int_term(rng, depth=3)
+        else:
+            term = _random_set_term(rng, depth=3)
+        compiled = compile_term(term)
+        if compiled is None:
+            continue  # declined terms answer through the interpreter
+        compiled_count += 1
+        for _ in range(3):
+            env_seed = rng.randrange(1 << 30)
+            want = _outcome(lambda: evaluate(term, _random_env(random.Random(env_seed))))
+            got = _outcome(lambda: compiled(_random_env(random.Random(env_seed))))
+            assert got == want, (
+                f"seed {seed} round {round_no}: divergence on {term}\n"
+                f"  interpreter: {want}\n  compiled:    {got}"
+            )
+            checked += 1
+    assert compiled_count > 80  # the generator mostly emits compilable terms
+    assert checked > 240
+
+
+# ----------------------------------------------------------------------
+# Property 2: twin object bases commit identical traces
+# ----------------------------------------------------------------------
+
+DATES = [datetime.date(1950 + n, 1 + n % 12, 1 + n % 28) for n in range(8)]
+DEPT_IDS = ["Sales", "Research", "Admin"]
+PERSON_NAMES = ["alice", "bob", "carol", "dave"]
+
+
+def _journal_key(occurrence):
+    return (
+        occurrence.instance.class_name,
+        occurrence.instance.key,
+        occurrence.event,
+        tuple(repr(a) for a in occurrence.args),
+    )
+
+
+def _trace_key(system):
+    out = {}
+    for class_name, bucket in sorted(system.instances.items()):
+        for key, instance in sorted(bucket.items(), key=lambda kv: repr(kv[0])):
+            out[(class_name, repr(key))] = [
+                (step.event, tuple(repr(a) for a in step.args), tuple(
+                    (name, repr(value)) for name, value in step.state
+                ))
+                for step in instance.trace
+            ]
+    return out
+
+
+def _company_move(rng):
+    """Draw one whole move up front so both twins replay the exact same
+    perturbation."""
+    return {
+        "choice": rng.random(),
+        "date": rng.choice(DATES),
+        "salary": float(rng.randrange(1000, 9000)),
+        "dept_pick": rng.random(),
+        "person_pick": rng.random(),
+        "action": rng.choice(
+            [
+                ("hire",),
+                ("fire",),
+                ("new_manager",),
+                ("closure",),
+            ]
+        ),
+        "person_action": rng.choice(["become_manager", "retire_manager", "die"]),
+        "use_person": rng.random() < 0.3,
+        "dept_name": rng.choice(DEPT_IDS),
+    }
+
+
+def _apply_company_move(system, move, depts, people):
+    choice = move["choice"]
+    if choice < 0.2 and len(depts) < len(DEPT_IDS):
+        name = DEPT_IDS[len(depts)]
+        depts.append(
+            system.create("DEPT", {"id": name}, "establishment", [move["date"]])
+        )
+        return
+    if choice < 0.4 and len(people) < len(PERSON_NAMES):
+        name = PERSON_NAMES[len(people)]
+        people.append(
+            system.create(
+                "PERSON",
+                {"Name": name, "BirthDate": move["date"]},
+                "hire_into",
+                [move["dept_name"], move["salary"]],
+            )
+        )
+        return
+    if not depts or not people:
+        return
+    dept = depts[int(move["dept_pick"] * len(depts))]
+    person = people[int(move["person_pick"] * len(people))]
+    if move["use_person"]:
+        target, event, args = person, move["person_action"], []
+    else:
+        event = move["action"][0]
+        target = dept
+        args = [] if event == "closure" else [person]
+    try:
+        system.occur(target, event, args)
+    except TrollError:
+        pass  # rejected sync sets roll back; both twins must agree on that
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_twin_object_bases_commit_identical_traces(seed):
+    rng = random.Random(seed)
+    compiled_sys = ObjectBase(FULL_COMPANY_SPEC, term_compile=True)
+    interp_sys = ObjectBase(FULL_COMPANY_SPEC, term_compile=False)
+    worlds = [(compiled_sys, [], []), (interp_sys, [], [])]
+    for _ in range(60):
+        move = _company_move(rng)
+        for system, depts, people in worlds:
+            _apply_company_move(system, move, depts, people)
+    compiled_journal = [_journal_key(o) for o in compiled_sys.journal]
+    interp_journal = [_journal_key(o) for o in interp_sys.journal]
+    assert compiled_journal == interp_journal, f"seed {seed}: journals diverged"
+    assert len(compiled_journal) > 10  # the run did commit work
+    assert _trace_key(compiled_sys) == _trace_key(interp_sys), (
+        f"seed {seed}: instance traces diverged"
+    )
+
+
+# ----------------------------------------------------------------------
+# Property 3: example scripts are mode-independent
+# ----------------------------------------------------------------------
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_EXAMPLES = sorted((_REPO_ROOT / "examples").glob("*.py"))
+
+
+def _run_example(script, compile_flag):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO_ROOT / "src")
+    env["REPRO_TERM_COMPILE"] = compile_flag
+    return subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+        cwd=str(_REPO_ROOT),
+    )
+
+
+@pytest.mark.parametrize("script", _EXAMPLES, ids=lambda p: p.stem)
+def test_examples_identical_under_both_modes(script):
+    compiled = _run_example(script, "1")
+    interpreted = _run_example(script, "0")
+    assert compiled.returncode == 0, compiled.stderr
+    assert interpreted.returncode == 0, interpreted.stderr
+    assert compiled.stdout == interpreted.stdout
