@@ -18,6 +18,10 @@ Commands:
   epoch-memoized enabledness engine, docs/PERFORMANCE.md).
 * ``trace [SCRIPT]`` -- same, but record span trees and print the last
   synchronization sets as nested traces (``--jsonl`` dumps all of them).
+  ``trace --distributed [REQ]`` instead runs the built-in workload on a
+  sharded server with end-to-end tracing and renders the *merged*
+  cross-process request tree(s) -- all of them verified for complete
+  coordinator-dispatch/shard coverage.
 * ``replay [SCRIPT]`` -- animate under the event journal, then replay
   each journal against the same compiled spec and verify the replayed
   state is identical to the live base (``--save`` dumps the journals).
@@ -25,7 +29,14 @@ Commands:
   the occurrence (and event-calling chain) that wrote an attribute,
   e.g. ``repro why "DEPT('Research').manager"``.
 * ``export [SCRIPT]`` -- metrics + journal gauges in Prometheus text
-  exposition format (or ``--format json``).
+  exposition format (or ``--format json``).  ``export --fleet`` runs the
+  sharded workload and exports the merged fleet view instead: per-shard
+  gauges, cache hit rates, latency quantiles, and the aggregate
+  histograms merged bucket-by-bucket across every process.
+* ``top`` -- a refreshing per-shard utilization/latency table over a
+  live sharded community driving the built-in workload.
+* ``workload --trace`` -- the sharded throughput workload with every
+  request traced end to end and every merged trace verified.
 """
 
 from __future__ import annotations
@@ -144,10 +155,58 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_distributed(args: argparse.Namespace) -> int:
+    from repro.distributed.workload import run_sharded
+    from repro.observability.tracer import render_span
+
+    result = run_sharded(
+        args.shards,
+        counters=args.counters,
+        ops=args.ops,
+        trace=True,
+        verify_traces=True,
+    )
+    traces = result["traces"]
+    if not traces:
+        print("no merged request traces captured", file=sys.stderr)
+        return 1
+    wanted = args.distributed
+    if wanted and wanted != "last":
+        selected = [t for t in traces if t.attributes.get("tid") == wanted]
+        if not selected:
+            print(
+                f"no merged trace with id {wanted!r} "
+                f"(captured t1..t{len(traces)})",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        selected = traces[-args.limit:] if args.limit else traces
+    print(
+        f"distributed trace: showing {len(selected)} of {len(traces)} "
+        f"merged request tree(s) over {args.shards} shard(s)"
+    )
+    for root in selected:
+        print()
+        print(render_span(root))
+    problems = result["trace_problems"]
+    if problems:
+        print(f"\n{len(problems)} trace(s) FAILED merge verification:")
+        for tid, issues in sorted(problems.items()):
+            for issue in issues:
+                print(f"  {tid}: {issue}")
+        return 1
+    print(f"\nall {len(traces)} merged trace(s) verified complete")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import contextlib
 
     from repro.observability.runner import run_instrumented
+
+    if args.distributed is not None:
+        return _cmd_trace_distributed(args)
     from repro.observability.tracer import (
         JSONLSink,
         RingBufferSink,
@@ -275,11 +334,32 @@ def _cmd_export(args: argparse.Namespace) -> int:
     from repro.observability.export import render_json, render_prometheus
     from repro.observability.runner import run_with_journal
 
-    obs, sessions = run_with_journal(args.script, capture_output=not args.verbose)
-    if args.format == "json":
-        text = json.dumps(render_json(obs.metrics, sessions), indent=2) + "\n"
+    if args.fleet:
+        from repro.distributed.workload import run_sharded
+        from repro.observability.export import (
+            render_fleet_json,
+            render_fleet_prometheus,
+        )
+
+        result = run_sharded(
+            args.shards,
+            counters=args.counters,
+            ops=args.ops,
+            observe=True,
+            export=True,
+        )
+        if args.format == "json":
+            text = json.dumps(render_fleet_json(result["export"]), indent=2) + "\n"
+        else:
+            text = render_fleet_prometheus(result["export"])
     else:
-        text = render_prometheus(obs.metrics, sessions)
+        obs, sessions = run_with_journal(
+            args.script, capture_output=not args.verbose
+        )
+        if args.format == "json":
+            text = json.dumps(render_json(obs.metrics, sessions), indent=2) + "\n"
+        else:
+            text = render_prometheus(obs.metrics, sessions)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -418,16 +498,92 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as time_mod
+
+    from repro.distributed.coordinator import ShardedCommunity
+    from repro.distributed.workload import COUNTER_SPEC
+    from repro.observability.metrics import MetricsRegistry
+
+    with ShardedCommunity(
+        COUNTER_SPEC, shards=args.shards, observe=True
+    ) as community:
+        for index in range(args.counters):
+            community.create("COUNTER", {"IdNo": index})
+        previous = {}
+        ops_driven = 0
+        for frame in range(args.frames):
+            start = time_mod.perf_counter()
+            for _ in range(args.ops_per_frame):
+                community.occur("COUNTER", ops_driven % args.counters, "bump")
+                ops_driven += 1
+            elapsed = time_mod.perf_counter() - start
+            export = community.merged_export()
+            if frame and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            print(
+                f"repro top -- frame {frame + 1}/{args.frames}: "
+                f"{args.shards} shard(s), {args.ops_per_frame} op(s)/frame, "
+                f"{elapsed:.3f}s"
+            )
+            print(
+                f"{'shard':>5} {'reqs':>7} {'req/s':>8} {'util%':>6} "
+                f"{'commits':>8} {'rollbk':>7} {'journal':>8} "
+                f"{'p50ms':>8} {'p95ms':>8} {'fsync95':>8}"
+            )
+            for shard in export["shards"]:
+                index = shard.get("shard")
+                dump = shard.get("metrics_dump")
+                registry = MetricsRegistry.from_dumps([dump] if dump else [])
+                hist = registry.histograms.get("request")
+                fsync = registry.histograms.get("phase.fsync")
+                requests = shard.get("requests", 0)
+                busy = hist.sum if hist is not None else 0.0
+                prev_requests, prev_busy = previous.get(index, (0, 0.0))
+                previous[index] = (requests, busy)
+                rate = (requests - prev_requests) / elapsed if elapsed else 0.0
+                util = (
+                    min((busy - prev_busy) / elapsed, 1.0) if elapsed else 0.0
+                )
+                p50 = hist.percentile(0.5) * 1e3 if hist and hist.count else 0.0
+                p95 = hist.percentile(0.95) * 1e3 if hist and hist.count else 0.0
+                f95 = (
+                    fsync.percentile(0.95) * 1e3 if fsync and fsync.count else 0.0
+                )
+                print(
+                    f"{index:>5} {requests:>7} {rate:>8.0f} {util * 100:>6.1f} "
+                    f"{shard.get('commits', 0):>8} "
+                    f"{shard.get('rollbacks', 0):>7} "
+                    f"{shard.get('journal_depth', 0):>8} "
+                    f"{p50:>8.3f} {p95:>8.3f} {f95:>8.3f}"
+                )
+            coordinator = export.get("coordinator") or {}
+            totals = export["totals"]
+            print(
+                f"coordinator: restarts={totals['restarts']} "
+                f"in_flight={coordinator.get('in_flight', 0)} "
+                f"spans_dropped={totals.get('spans_dropped', 0)} "
+                f"ops_driven={ops_driven}"
+            )
+            if frame + 1 < args.frames and args.interval:
+                time_mod.sleep(args.interval)
+    return 0
+
+
 def _cmd_workload(args: argparse.Namespace) -> int:
     from repro.distributed.workload import run_oracle, run_sharded
     from repro.observability.export import render_shard_prometheus
 
+    slow_threshold = args.slow_ms / 1e3 if args.slow_ms is not None else None
     result = run_sharded(
         args.shards,
         counters=args.counters,
         ops=args.ops,
         spool_dir=args.spool_dir,
         export=True,
+        trace=args.trace,
+        verify_traces=args.trace,
+        slow_threshold=slow_threshold,
     )
     print(
         f"sharded run: {args.shards} shard(s), {result['counters']} "
@@ -441,6 +597,27 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         f"  commits={totals['commits']} rollbacks={totals['rollbacks']} "
         f"requests={totals['requests']} restarts={totals['restarts']}"
     )
+    if args.trace:
+        problems = result["trace_problems"]
+        verdict = (
+            "all merged traces complete"
+            if not problems
+            else f"{len(problems)} incomplete trace(s)"
+        )
+        print(
+            f"  traced {len(result['traces'])} request(s), "
+            f"spans_dropped={totals.get('spans_dropped', 0)}: {verdict}"
+        )
+        if slow_threshold is not None:
+            print(
+                f"  slow requests (>= {args.slow_ms:.1f}ms): "
+                f"{len(result['slow_requests'])}"
+            )
+        if problems:
+            for tid, issues in sorted(problems.items()):
+                for issue in issues:
+                    print(f"    {tid}: {issue}")
+            return 1
     if args.oracle:
         oracle = run_oracle(counters=args.counters, ops=args.ops)
         match = oracle["state"] == result["state"]
@@ -529,6 +706,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="interleave the script's own output",
     )
+    trace.add_argument(
+        "--distributed", nargs="?", const="last", metavar="REQ", default=None,
+        help="render merged cross-process request trees from a traced "
+        "sharded workload instead; optionally select one trace id "
+        "(e.g. t7)",
+    )
+    trace.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count for --distributed (default: 4)",
+    )
+    trace.add_argument(
+        "--counters", type=int, default=12,
+        help="workload population for --distributed (default: 12)",
+    )
+    trace.add_argument(
+        "--ops", type=int, default=24,
+        help="workload occurrences for --distributed (default: 24)",
+    )
     trace.set_defaults(func=_cmd_trace)
 
     replay = sub.add_parser(
@@ -590,6 +785,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="interleave the script's own output",
     )
+    export.add_argument(
+        "--fleet", action="store_true",
+        help="export the merged fleet view of a sharded workload run "
+        "(per-shard + aggregate) instead of animating a script",
+    )
+    export.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count for --fleet (default: 4)",
+    )
+    export.add_argument(
+        "--counters", type=int, default=24,
+        help="workload population for --fleet (default: 24)",
+    )
+    export.add_argument(
+        "--ops", type=int, default=96,
+        help="workload occurrences for --fleet (default: 96)",
+    )
     export.set_defaults(func=_cmd_export)
 
     serve = sub.add_parser(
@@ -645,7 +857,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="FILE", default=None,
         help="write per-shard Prometheus gauges to FILE ('-' for stdout)",
     )
+    workload.add_argument(
+        "--trace", action="store_true",
+        help="trace every request end to end and verify each merged "
+        "cross-process tree is complete",
+    )
+    workload.add_argument(
+        "--slow-ms", type=float, default=None, dest="slow_ms",
+        help="with --trace: capture merged traces of requests slower "
+        "than this many milliseconds",
+    )
     workload.set_defaults(func=_cmd_workload)
+
+    top = sub.add_parser(
+        "top",
+        help="refreshing per-shard utilization/latency table over a "
+        "live sharded community driving the built-in workload",
+    )
+    top.add_argument(
+        "--shards", type=int, default=4,
+        help="number of shard worker processes (default: 4)",
+    )
+    top.add_argument(
+        "--counters", type=int, default=24,
+        help="population size (default: 24)",
+    )
+    top.add_argument(
+        "--ops-per-frame", type=int, default=48, dest="ops_per_frame",
+        help="bump occurrences driven between refreshes (default: 48)",
+    )
+    top.add_argument(
+        "--frames", type=int, default=3,
+        help="number of refreshes before exiting (default: 3)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=0.0,
+        help="seconds to sleep between frames (default: 0)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     return parser
 

@@ -98,9 +98,10 @@ _BOOL_DOMAIN = (TRUE, FALSE)
 
 
 class TermCompileStats:
-    """Always-on plain-int accounting of the compiler seam (the
-    observability mirror is ``term_compile.{compiled,fallbacks,
-    cache_hits}``, see :meth:`Observability.on_term_compile`)."""
+    """Always-on plain-int accounting of the compiler seam.  The
+    observability counters ``term_compile.{compiled,fallbacks,
+    cache_hits}`` are live views over this object -- no per-evaluation
+    callback."""
 
     __slots__ = ("compiled", "fallbacks", "cache_hits")
 
@@ -736,8 +737,10 @@ def evaluate_term(
 
     ``cache`` is the owner's compiled-body store (e.g. a
     ``CompiledClass``'s); ``None`` uses the bounded module-global cache.
-    Declined terms fall back to the interpreter.  ``obs`` mirrors the
-    outcome to the ``term_compile.*`` observability counters.
+    Declined terms fall back to the interpreter.  Outcomes are counted
+    in the always-on :data:`STATS`; observability's ``term_compile.*``
+    counters are live views over it, so ``obs`` is accepted for
+    compatibility but no longer consulted per evaluation.
     """
     store = _GLOBAL_CACHE if cache is None else cache
     entry = store.get(id(term))
@@ -752,17 +755,11 @@ def evaluate_term(
         fresh = True
         if compiled is not None:
             STATS.compiled += 1
-            if obs is not None and obs.enabled:
-                obs.on_term_compile("compiled")
     if compiled is None:
         STATS.fallbacks += 1
-        if obs is not None and obs.enabled:
-            obs.on_term_compile("fallback")
         return evaluate(term, env)
     if not fresh:
         STATS.cache_hits += 1
-        if obs is not None and obs.enabled:
-            obs.on_term_compile("cache_hit")
     return compiled(env)
 
 

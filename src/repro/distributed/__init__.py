@@ -20,17 +20,26 @@ from repro.distributed.shardbase import (
 )
 from repro.distributed.wire import (
     MAX_FRAME,
+    MAX_SPAN_BATCH,
     WireClosed,
     WireError,
     WireTimeout,
+    bounded_span_batch,
     recv_frame,
     send_frame,
 )
-from repro.distributed.worker import ShardWorker, Spool, worker_main
+from repro.distributed.worker import (
+    ShardWorker,
+    Spool,
+    occurrence_from_wire,
+    occurrence_to_wire,
+    worker_main,
+)
 
 __all__ = [
     "MAX_2PC_ROUNDS",
     "MAX_FRAME",
+    "MAX_SPAN_BATCH",
     "Partitioner",
     "RemoteCall",
     "RemoteSyncError",
@@ -42,9 +51,12 @@ __all__ = [
     "WireClosed",
     "WireError",
     "WireTimeout",
+    "bounded_span_batch",
     "canonical_key",
     "merge_states",
     "normalize_state",
+    "occurrence_from_wire",
+    "occurrence_to_wire",
     "recv_frame",
     "remote_capable_events",
     "root_class",

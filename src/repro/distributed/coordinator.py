@@ -34,6 +34,17 @@ recovers from its spool -- snapshot + journal suffix replay) and
 retries with exponential backoff.  Mutating requests carry a request id
 the worker spools with the journal, so a retry after a crashed-but-
 applied request is acknowledged instead of applied twice.
+
+**Telemetry** (``observe=True`` for metrics, ``trace=True`` for both):
+the coordinator opens one ``request`` root span per society-interface
+call and a ``dispatch`` child span per wire round-trip, stamps request
+frames with the trace context, grafts the span batches workers ship
+back under the carrying dispatch span, and emits the *fully merged*
+request tree to its ring (and the optional slow-request log) -- see
+:mod:`repro.observability.distributed`.  Retries, timeouts and crash
+respawns surface as counters and annotated ``respawn`` spans; 2PC
+phases appear as ``2pc.prepare`` / ``2pc.commit`` / ``2pc.abort``
+spans with the root marked ``2pc=True``.
 """
 
 from __future__ import annotations
@@ -42,13 +53,32 @@ import itertools
 import json
 import socket
 import time
+from contextlib import nullcontext
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.datatypes.values import Value, from_python
 from repro.diagnostics import CheckError, RuntimeSpecError, TrollError
 from repro.distributed.shardbase import Partitioner
-from repro.distributed.wire import WireError, recv_frame, send_frame
-from repro.distributed.worker import error_class, worker_main
+from repro.distributed.wire import (
+    WireError,
+    WireTimeout,
+    recv_frame,
+    send_frame,
+)
+from repro.distributed.worker import (
+    error_class,
+    occurrence_from_wire,
+    worker_main,
+)
+from repro.observability.distributed import (
+    SlowRequestLog,
+    attach_remote_spans,
+    request_traces,
+    trace_by_id,
+)
+from repro.observability.export import merge_fleet_registry
+from repro.observability.hooks import Observability
+from repro.observability.tracer import RingBufferSink, Span
 from repro.lang.checker import check_specification
 from repro.lang.parser import parse_specification
 from repro.runtime.compilespec import compile_specification
@@ -62,6 +92,9 @@ from repro.runtime.persistence import (
 #: bound on the prepare fixpoint (each round can only add shards or
 #: items; real calling chains close in one or two rounds)
 MAX_2PC_ROUNDS = 8
+
+#: shared no-op `with` target for untraced phase spans
+_NULL_CONTEXT = nullcontext()
 
 
 class ShardUnavailable(TrollError):
@@ -140,6 +173,11 @@ class ShardedCommunity:
         retries: int = 2,
         backoff: float = 0.05,
         observe: bool = False,
+        trace: bool = False,
+        trace_capacity: int = 256,
+        slow_threshold: Optional[float] = None,
+        slow_log_path: Optional[str] = None,
+        span_batch_limit: Optional[int] = None,
         start: bool = True,
     ):
         if not isinstance(spec, str):
@@ -163,8 +201,31 @@ class ShardedCommunity:
         self.retries = retries
         self.backoff = backoff
         self.observe = observe
+        self.trace = trace
+        self.span_batch_limit = span_batch_limit
         #: worker restarts observed (crash detection + recovery)
         self.restarts = 0
+        #: telemetry spans truncated off response frames (fleet-wide
+        #: counterpart lives in each worker's ``spans_dropped``)
+        self.spans_dropped = 0
+        self.in_flight = 0
+        self.slow_log: Optional[SlowRequestLog] = None
+        if trace:
+            sinks = [RingBufferSink(trace_capacity)]
+            if slow_threshold is not None:
+                self.slow_log = SlowRequestLog(slow_threshold, path=slow_log_path)
+                sinks.append(self.slow_log)
+            self.obs: Optional[Observability] = Observability(
+                tracing=True, sinks=sinks
+            )
+        elif observe:
+            self.obs = Observability(tracing=False)
+        else:
+            self.obs = None
+        self._tids = itertools.count(1)
+        self._sids = itertools.count(1)
+        self._current_tid: Optional[str] = None
+        self._root: Optional[Span] = None
         self._workers: List[Optional[_WorkerHandle]] = [None] * shards
         self._rids = itertools.count(1)
         self._closed = False
@@ -192,6 +253,8 @@ class ShardedCommunity:
             "probe_cache": self.probe_cache,
             "snapshot_interval": self.snapshot_interval,
             "observe": self.observe,
+            "trace": self.trace,
+            "span_batch_limit": self.span_batch_limit,
         }
 
     def _spawn(self, index: int) -> _WorkerHandle:
@@ -244,13 +307,51 @@ class ShardedCommunity:
     ) -> Dict[str, Any]:
         if self._closed:
             raise ShardUnavailable("the community has been closed")
+        obs = self.obs
+        if obs is None:
+            return self._request_attempts(index, message, timeout, None)
+        op = message.get("op")
+        start = time.perf_counter()
+        try:
+            if obs.tracing:
+                # One dispatch span per wire round-trip; the context on
+                # the frame tells the worker which span to parent under.
+                sid = f"s{next(self._sids)}"
+                message = dict(
+                    message, trace={"tid": self._current_tid or "", "sid": sid}
+                )
+                with obs.tracer.span(
+                    "dispatch", op=op, shard=index, sid=sid
+                ) as span:
+                    response = self._request_attempts(index, message, timeout, span)
+                    batch = response.pop("spans", None)
+                    if batch:
+                        attach_remote_spans(span, batch)
+                    dropped = response.pop("spans_dropped", 0)
+                    if dropped:
+                        self.spans_dropped += dropped
+                        obs.metrics.counter("rpc.spans_dropped").inc(dropped)
+                        span.set("spans_dropped", dropped)
+                return response
+            return self._request_attempts(index, message, timeout, None)
+        finally:
+            obs.metrics.histogram("rpc").observe(time.perf_counter() - start)
+            obs.metrics.counter("rpc.requests").inc(labels=(str(op),))
+
+    def _request_attempts(
+        self,
+        index: int,
+        message: Dict[str, Any],
+        timeout: Optional[float],
+        span: Optional[Span],
+    ) -> Dict[str, Any]:
         timeout = self.request_timeout if timeout is None else timeout
         attempts = self.retries + 1
         last_error: Optional[Exception] = None
         for attempt in range(attempts):
             handle = self._workers[index]
             if handle is None or not handle.process.is_alive():
-                handle = self._restart(index)
+                handle = self._restart_observed(index, span, "dead_worker")
             try:
                 send_frame(handle.sock, message)
                 return recv_frame(handle.sock, timeout=timeout)
@@ -260,22 +361,59 @@ class ShardedCommunity:
                 # shard is restarted either way; the worker's applied-id
                 # spool makes retried mutations exactly-once.
                 last_error = exc
-                self._restart(index)
+                if self.obs is not None:
+                    kind = "timeout" if isinstance(exc, WireTimeout) else "crash"
+                    self.obs.metrics.counter("rpc.failures").inc(labels=(kind,))
+                self._restart_observed(index, span, type(exc).__name__)
                 if attempt + 1 < attempts:
+                    if self.obs is not None:
+                        self.obs.metrics.counter("rpc.retries").inc()
+                    if span is not None:
+                        span.set("retries", attempt + 1)
                     time.sleep(self.backoff * (2 ** attempt))
         raise ShardUnavailable(
             f"shard {index} unreachable after {attempts} attempt(s): "
             f"{type(last_error).__name__}: {last_error}"
         )
 
+    def _restart_observed(
+        self, index: int, span: Optional[Span], reason: str
+    ) -> _WorkerHandle:
+        """Restart a shard, surfacing the respawn in telemetry (a
+        counter, plus an annotated span inside the carrying dispatch)."""
+        obs = self.obs
+        if obs is None:
+            return self._restart(index)
+        obs.metrics.counter("rpc.respawns").inc(labels=(str(index),))
+        if obs.tracing and span is not None:
+            with obs.tracer.span("respawn", shard=index, reason=reason):
+                return self._restart(index)
+        return self._restart(index)
+
+    def _remote_error(
+        self, response: Dict[str, Any], index: Optional[int] = None
+    ) -> TrollError:
+        """Rebuild a shard-side error with its original type *and* its
+        original error-carrying contract: the failing
+        :class:`~repro.diagnostics.OccurrenceRef` and the shard identity
+        travel on the error frame and are restored here."""
+        exc = error_class(response.get("error", "RuntimeSpecError"))(
+            response.get("message", f"shard {index} error")
+        )
+        failed = response.get("failed_ref")
+        if failed:
+            exc.occurrence = occurrence_from_wire(failed)
+        shard = response.get("shard", index)
+        if shard is not None:
+            exc.shard = shard
+        return exc
+
     def _call(
         self, index: int, message: Dict[str, Any], timeout: Optional[float] = None
     ) -> Dict[str, Any]:
         response = self._request(index, message, timeout)
         if not response.get("ok"):
-            raise error_class(response.get("error", "RuntimeSpecError"))(
-                response.get("message", f"shard {index} error")
-            )
+            raise self._remote_error(response, index)
         return response
 
     def _rid(self) -> str:
@@ -299,6 +437,34 @@ class ShardedCommunity:
     # The society interface
     # ------------------------------------------------------------------
 
+    def _observed(self, op: str, attributes: Dict[str, Any], thunk):
+        """Run one society-interface call under telemetry: a fresh
+        trace id, a ``request`` root span (when tracing) every dispatch
+        nests under, and per-op latency histograms.  Never entered when
+        ``self.obs`` is None -- the disabled path stays zero-overhead."""
+        obs = self.obs
+        self.in_flight += 1
+        start = time.perf_counter()
+        try:
+            if obs.tracing:
+                tid = f"t{next(self._tids)}"
+                previous = (self._current_tid, self._root)
+                self._current_tid = tid
+                try:
+                    with obs.tracer.span(
+                        "request", op=op, tid=tid, **attributes
+                    ) as span:
+                        self._root = span
+                        return thunk()
+                finally:
+                    self._current_tid, self._root = previous
+            return thunk()
+        finally:
+            self.in_flight -= 1
+            elapsed = time.perf_counter() - start
+            obs.metrics.histogram("request").observe(elapsed)
+            obs.metrics.histogram(f"request.{op}").observe(elapsed)
+
     def create(
         self,
         class_name: str,
@@ -308,6 +474,21 @@ class ShardedCommunity:
     ):
         """Create an instance on its owning shard; returns the identity
         payload (the routing key for later calls)."""
+        if self.obs is not None:
+            return self._observed(
+                "create",
+                {"class": class_name},
+                lambda: self._create_core(class_name, identification, event, args),
+            )
+        return self._create_core(class_name, identification, event, args)
+
+    def _create_core(
+        self,
+        class_name: str,
+        identification: Optional[dict],
+        event: Optional[str],
+        args: Sequence[object],
+    ):
         if class_name not in self.compiled.classes:
             raise CheckError(f"unknown class {class_name!r}")
         compiled = self.compiled.classes[class_name]
@@ -335,6 +516,17 @@ class ShardedCommunity:
     ) -> None:
         """Drive one event occurrence (plus its synchronization set,
         across shards when event calling requires it)."""
+        if self.obs is not None:
+            return self._observed(
+                "occur",
+                {"class": class_name, "event": event},
+                lambda: self._occur_core(class_name, key, event, args),
+            )
+        return self._occur_core(class_name, key, event, args)
+
+    def _occur_core(
+        self, class_name: str, key, event: str, args: Sequence[object]
+    ) -> None:
         payload, shard = self._route(class_name, key)
         item = {
             "type": "occur",
@@ -352,6 +544,17 @@ class ShardedCommunity:
     def get(
         self, class_name: str, key, attribute: str, args: Sequence[object] = ()
     ) -> Value:
+        if self.obs is not None:
+            return self._observed(
+                "get",
+                {"class": class_name, "attribute": attribute},
+                lambda: self._get_core(class_name, key, attribute, args),
+            )
+        return self._get_core(class_name, key, attribute, args)
+
+    def _get_core(
+        self, class_name: str, key, attribute: str, args: Sequence[object]
+    ) -> Value:
         payload, shard = self._route(class_name, key)
         response = self._call(
             shard,
@@ -367,6 +570,17 @@ class ShardedCommunity:
 
     def is_permitted(
         self, class_name: str, key, event: str, args: Sequence[object] = ()
+    ) -> bool:
+        if self.obs is not None:
+            return self._observed(
+                "is_permitted",
+                {"class": class_name, "event": event},
+                lambda: self._is_permitted_core(class_name, key, event, args),
+            )
+        return self._is_permitted_core(class_name, key, event, args)
+
+    def _is_permitted_core(
+        self, class_name: str, key, event: str, args: Sequence[object]
     ) -> bool:
         payload, shard = self._route(class_name, key)
         item = {
@@ -391,6 +605,11 @@ class ShardedCommunity:
         returns (class, key, event) or None at quiescence.  Shards are
         polled in index order; a cross-shard candidate whose distributed
         unit aborts is skipped this round."""
+        if self.obs is not None:
+            return self._observed("step", {}, self._step_core)
+        return self._step_core()
+
+    def _step_core(self) -> Optional[Tuple[str, Any, str]]:
         for shard in range(self.shards):
             response = self._call(shard, {"op": "step", "rid": self._rid()})
             status = response.get("status")
@@ -432,6 +651,14 @@ class ShardedCommunity:
     # Two-phase commit
     # ------------------------------------------------------------------
 
+    def _span(self, name: str, **attributes: Any):
+        """A coordinator-side span context (shared no-op when tracing is
+        off; the yielded value is then None)."""
+        obs = self.obs
+        if obs is not None and obs.tracing:
+            return obs.tracer.span(name, **attributes)
+        return _NULL_CONTEXT
+
     def _prepare_fixpoint(
         self,
         groups: Dict[int, List[Dict[str, Any]]],
@@ -444,35 +671,42 @@ class ShardedCommunity:
             _item_key(item) for items in groups.values() for item in items
         }
         queue = list(remote)
-        for _round in range(MAX_2PC_ROUNDS):
-            for call in queue:
-                key = _item_key(call)
-                if key in seen:
-                    continue
-                seen.add(key)
-                payload = _payload_from_json(call["key"])
-                owner = self.partitioner.shard_of(call["class"], payload)
-                groups.setdefault(owner, []).append(
-                    {
-                        "type": "occur",
-                        "class": call["class"],
-                        "key": call["key"],
-                        "event": call["event"],
-                        "args": call.get("args") or [],
-                    }
-                )
-            queue = []
-            for shard in sorted(groups):
-                response = self._call(
-                    shard, {"op": "prepare_group", "items": groups[shard]}
-                )
-                if not response.get("vote"):
-                    return False, response, groups
-                for call in response.get("remote", []):
-                    if _item_key(call) not in seen:
-                        queue.append(call)
-            if not queue:
-                return True, None, groups
+        with self._span("2pc.prepare") as span:
+            for round_index in range(MAX_2PC_ROUNDS):
+                for call in queue:
+                    key = _item_key(call)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    payload = _payload_from_json(call["key"])
+                    owner = self.partitioner.shard_of(call["class"], payload)
+                    groups.setdefault(owner, []).append(
+                        {
+                            "type": "occur",
+                            "class": call["class"],
+                            "key": call["key"],
+                            "event": call["event"],
+                            "args": call.get("args") or [],
+                        }
+                    )
+                queue = []
+                for shard in sorted(groups):
+                    response = self._call(
+                        shard, {"op": "prepare_group", "items": groups[shard]}
+                    )
+                    if not response.get("vote"):
+                        if span is not None:
+                            span.set("vote", False)
+                            span.set("no_vote_shard", response.get("shard", shard))
+                        return False, response, groups
+                    for call in response.get("remote", []):
+                        if _item_key(call) not in seen:
+                            queue.append(call)
+                if not queue:
+                    if span is not None:
+                        span.set("rounds", round_index + 1)
+                        span.set("shards", sorted(groups))
+                    return True, None, groups
         raise RuntimeSpecError(
             f"distributed synchronization set did not close within "
             f"{MAX_2PC_ROUNDS} prepare rounds (calling cycle across shards?)"
@@ -483,34 +717,53 @@ class ShardedCommunity:
         groups: Dict[int, List[Dict[str, Any]]],
         remote: List[Dict[str, Any]],
     ) -> None:
+        obs = self.obs
+        if self._root is not None:
+            self._root.set("2pc", True)
+        if obs is not None:
+            obs.metrics.counter("2pc.units").inc()
         ok, failure, groups = self._prepare_fixpoint(groups, remote)
         if not ok:
             reason = failure.get("error", "RuntimeSpecError")
             message = failure.get("message", "distributed unit aborted")
+            if obs is not None:
+                obs.metrics.counter("2pc.aborts").inc(labels=(reason,))
+            with self._span("2pc.abort", reason=reason):
+                for shard in sorted(groups):
+                    # Tombstones on every participant, best-effort: a
+                    # shard that cannot journal the abort has nothing
+                    # committed.
+                    try:
+                        self._call(
+                            shard,
+                            {
+                                "op": "abort_group",
+                                "items": groups[shard],
+                                "reason": reason,
+                                "message": message,
+                            },
+                        )
+                    except TrollError:
+                        pass
+            # Re-raise with the original type, failing occurrence and
+            # shard identity (they travelled on the no-vote response).
+            raise self._remote_error(failure)
+        with self._span("2pc.commit", shards=sorted(groups)):
             for shard in sorted(groups):
-                # Tombstones on every participant, best-effort: a shard
-                # that cannot journal the abort has nothing committed.
-                try:
-                    self._call(
-                        shard,
-                        {
-                            "op": "abort_group",
-                            "items": groups[shard],
-                            "reason": reason,
-                            "message": message,
-                        },
-                    )
-                except TrollError:
-                    pass
-            raise error_class(reason)(message)
-        for shard in sorted(groups):
-            # All voted yes, and the single-threaded coordinator admits
-            # no conflicting unit in between -- commits cannot be denied.
-            # A crash mid-round is covered by restart + the rid spool.
-            self._call(
-                shard,
-                {"op": "commit_group", "rid": self._rid(), "items": groups[shard]},
-            )
+                # All voted yes, and the single-threaded coordinator
+                # admits no conflicting unit in between -- commits
+                # cannot be denied.  A crash mid-round is covered by
+                # restart + the rid spool.
+                self._call(
+                    shard,
+                    {
+                        "op": "commit_group",
+                        "rid": self._rid(),
+                        "items": groups[shard],
+                    },
+                )
+        if obs is not None:
+            obs.metrics.counter("2pc.commits").inc()
 
     # ------------------------------------------------------------------
     # Merged state and telemetry
@@ -526,7 +779,10 @@ class ShardedCommunity:
         return merge_states(states)
 
     def merged_export(self) -> Dict[str, Any]:
-        """Per-shard counters plus community totals."""
+        """Per-shard counters, the coordinator's own counters and
+        metrics dump, plus community totals -- the document the fleet
+        renderers (:func:`~repro.observability.export.render_fleet_prometheus`)
+        consume."""
         shards = [
             self._call(shard, {"op": "export"}) for shard in range(self.shards)
         ]
@@ -536,8 +792,41 @@ class ShardedCommunity:
             "rollbacks": sum(s.get("rollbacks", 0) for s in shards),
             "journal_depth": sum(s.get("journal_depth", 0) for s in shards),
             "restarts": self.restarts,
+            "spans_dropped": self.spans_dropped
+            + sum(s.get("spans_dropped", 0) for s in shards),
         }
-        return {"shards": shards, "totals": totals}
+        coordinator = {
+            "restarts": self.restarts,
+            "in_flight": self.in_flight,
+            "spans_dropped": self.spans_dropped,
+            "slow_requests": self.slow_log.total if self.slow_log else 0,
+            "metrics_dump": self.obs.metrics.dump() if self.obs else None,
+        }
+        return {"shards": shards, "coordinator": coordinator, "totals": totals}
+
+    def fleet_metrics(self):
+        """One merged :class:`~repro.observability.metrics.MetricsRegistry`
+        over the coordinator and every shard (histograms merged
+        bucket-by-bucket)."""
+        return merge_fleet_registry(self.merged_export())
+
+    def traces(self) -> List[Span]:
+        """The merged request trace trees currently in the ring sink
+        (oldest first); empty when tracing is off."""
+        if self.obs is None or self.obs.ring is None:
+            return []
+        return request_traces(self.obs.ring.spans)
+
+    def find_trace(self, trace_id: str) -> Optional[Span]:
+        """The merged request tree with the given trace id, or None."""
+        if self.obs is None or self.obs.ring is None:
+            return None
+        return trace_by_id(self.obs.ring.spans, trace_id)
+
+    def slow_requests(self) -> List[Span]:
+        """Merged traces captured by the slow-request log (empty when no
+        threshold was configured)."""
+        return list(self.slow_log.entries) if self.slow_log else []
 
     def snapshot_all(self) -> List[int]:
         """Force every shard to spool a fresh snapshot; returns the

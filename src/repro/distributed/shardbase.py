@@ -257,7 +257,14 @@ class ShardObjectBase(ObjectBase):
                 RemoteCall(class_name, key, target.name, args)
                 for class_name, key in remotes
             )
+            obs = self.obs
+            if obs is not None:
+                obs.metrics.counter("remote_calls.captured").inc(
+                    len(calls), labels=(f"{instance.class_name}.{target.name}",)
+                )
             if not self.capture_remote:
+                if obs is not None:
+                    obs.metrics.counter("remote_calls.escalations").inc()
                 raise RemoteSyncError(
                     f"{instance.class_name}({instance.key!r}).? calls "
                     f"{calls[0]!s} owned by shard "

@@ -14,6 +14,22 @@ The framing functions raise :class:`WireClosed` on a cleanly closed
 peer, :class:`WireTimeout` when the socket timeout expires mid-frame,
 and :class:`WireError` for malformed frames.  Frames are capped at
 ``MAX_FRAME`` bytes as a corrupted-length guard.
+
+**Telemetry fields** (all optional; absent when observability is off,
+so a disabled server exchanges byte-identical frames with the pre-
+tracing protocol):
+
+* requests may carry ``"trace": {"tid": ..., "sid": ...}`` -- the
+  distributed trace context (trace id + parent span id) the worker
+  parents its request span under;
+* responses may carry ``"spans": [...]`` -- completed span trees
+  (:func:`repro.observability.tracer.span_to_dict` encoding) shipped
+  back for cross-process trace assembly, bounded by
+  :func:`bounded_span_batch` -- plus ``"spans_dropped": N`` when the
+  budget truncated the batch (truncation is never a frame error);
+* error responses carry ``"shard"`` and, when known, ``"failed_ref"``
+  (class/event/key of the failing occurrence) so the coordinator can
+  re-raise with the original error-carrying contract intact.
 """
 
 from __future__ import annotations
@@ -21,10 +37,68 @@ from __future__ import annotations
 import json
 import socket
 import struct
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 #: corrupted-length guard: no legitimate frame approaches this
 MAX_FRAME = 256 * 1024 * 1024
+
+#: default byte budget for span batches riding on response frames; a
+#: batch that would exceed it is truncated (never a frame error)
+MAX_SPAN_BATCH = 1024 * 1024
+
+
+def bounded_span_batch(
+    spans: List[Dict[str, Any]], limit: int = MAX_SPAN_BATCH
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Bound a span batch to ``limit`` encoded bytes.
+
+    Returns ``(batch, dropped)``: the prefix of ``spans`` whose JSON
+    encodings fit the budget, and the count of spans dropped.  The
+    telemetry channel must never be able to break the data channel, so
+    an oversized batch is truncated instead of raising -- the caller
+    reports ``dropped`` as a ``spans_dropped`` counter.
+
+    The common case -- a handful of request spans against the megabyte
+    default budget -- is sized with a cheap overestimate instead of a
+    trial JSON encoding; the exact (and slower) per-span measurement
+    runs only when the estimate approaches the budget."""
+    if sum(_span_size_bound(span) for span in spans) <= limit:
+        return list(spans), 0
+    batch: List[Dict[str, Any]] = []
+    used = 0
+    dropped = 0
+    for span in spans:
+        size = len(json.dumps(span, separators=(",", ":")))
+        if size > limit or used + size > limit:
+            dropped += 1
+            continue
+        batch.append(span)
+        used += size
+    return batch, dropped
+
+
+def _span_size_bound(span: Dict[str, Any]) -> int:
+    """An overestimate of one span dict's encoded size in bytes.  JSON
+    string escaping at worst doubles a string, hence the 2x factors;
+    the fixed term covers keys, punctuation and the timing floats."""
+    size = 112
+    for key in ("name", "status"):
+        value = span.get(key)
+        if value:
+            size += 2 * len(value)
+    attributes = span.get("attributes")
+    if attributes:
+        for key, value in attributes.items():
+            size += 2 * len(key) + 8
+            if isinstance(value, (int, float)):
+                size += len(str(value)) + 2
+            else:
+                size += 2 * len(str(value)) + 8
+    children = span.get("children")
+    if children:
+        for child in children:
+            size += _span_size_bound(child)
+    return size
 
 _HEADER = struct.Struct(">I")
 

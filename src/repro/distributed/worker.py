@@ -24,28 +24,51 @@ events are first dry-run in capture mode: if the captured remote-call
 set is empty they commit locally, otherwise the worker answers
 ``needs_2pc`` and the coordinator drives prepare/commit over every
 participating shard.
+
+**Telemetry.**  With ``observe`` configured the worker keeps a local
+metrics registry (request latency per op, fsync latency, the animator's
+own counters); with ``trace`` it additionally opens one ``shard.<op>``
+span per request frame -- the animator's ``sync_set``/``occurrence``
+spans nest inside it -- and ships every completed root span back on the
+response frame (bounded by :func:`~repro.distributed.wire.bounded_span_batch`;
+truncation bumps ``spans_dropped``, never breaks the frame).  Spans
+completed outside a request (recovery replay after a respawn) ride the
+next response.  With neither flag the worker exchanges byte-identical
+happy-path frames with the pre-tracing protocol.
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import socket
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.datatypes.compile import STATS as TERM_STATS
 from repro.diagnostics import (
     CheckError,
     ConstraintViolation,
     EvaluationError,
     LifecycleError,
+    OccurrenceRef,
     PermissionDenied,
     RuntimeSpecError,
     TrollError,
 )
 from repro.distributed.shardbase import RemoteCall, ShardObjectBase
-from repro.distributed.wire import WireClosed, WireError, recv_frame, send_frame
+from repro.distributed.wire import (
+    MAX_SPAN_BATCH,
+    WireClosed,
+    WireError,
+    bounded_span_batch,
+    recv_frame,
+    send_frame,
+)
+from repro.observability.distributed import SpanCollectorSink, TraceContext
 from repro.observability.hooks import Observability
+from repro.observability.tracer import span_to_dict
 from repro.observability.journal import (
     Journal,
     TriggerRecord,
@@ -77,6 +100,27 @@ ERROR_CLASSES = {
 
 def error_class(reason: str):
     return ERROR_CLASSES.get(reason, RuntimeSpecError)
+
+
+def occurrence_to_wire(ref: OccurrenceRef) -> Dict[str, Any]:
+    """The failing occurrence of an error, wire-encoded for the
+    coordinator to restore on re-raise (the ``failed_ref`` field)."""
+    try:
+        key = _payload_to_json(ref.key)
+    except Exception:
+        key = str(ref.key)
+    return {"class": ref.class_name, "event": ref.event, "key": key}
+
+
+def occurrence_from_wire(data: Dict[str, Any]) -> OccurrenceRef:
+    key = data.get("key")
+    try:
+        key = _payload_from_json(key)
+    except Exception:
+        pass
+    return OccurrenceRef(
+        class_name=data.get("class", "?"), event=data.get("event"), key=key
+    )
 
 
 def calls_to_wire(calls) -> List[Dict[str, Any]]:
@@ -161,9 +205,24 @@ class ShardWorker:
         self.config = config
         self.shard_index: int = config["shard_index"]
         self.recorder = Journal()
-        self.obs: Optional[Observability] = (
-            Observability(tracing=False) if config.get("observe") else None
+        self.collector: Optional[SpanCollectorSink] = None
+        if config.get("trace"):
+            self.collector = SpanCollectorSink()
+            # attr_metrics off: fleet telemetry has no per-attribute-read
+            # gauge, and the hook scales with population (docs/
+            # OBSERVABILITY.md, "What the servers count")
+            self.obs: Optional[Observability] = Observability(
+                tracing=True, sinks=[self.collector], attr_metrics=False
+            )
+        elif config.get("observe"):
+            self.obs = Observability(tracing=False, attr_metrics=False)
+        else:
+            self.obs = None
+        self.span_batch_limit: int = (
+            config.get("span_batch_limit") or MAX_SPAN_BATCH
         )
+        self.in_flight = 0
+        self.spans_dropped = 0
         self.system = ShardObjectBase(
             config["spec"],
             shard_index=self.shard_index,
@@ -190,7 +249,25 @@ class ShardWorker:
     # ------------------------------------------------------------------
 
     def _recover(self) -> None:
-        """Rebuild state from the spool: snapshot + journal suffix."""
+        """Rebuild state from the spool: snapshot + journal suffix.
+
+        When tracing, the replay runs inside a ``shard.recovery_replay``
+        root span; having no live request to ride on, it waits in the
+        collector and ships with the next response frame."""
+        if self.obs is not None and self.obs.tracing:
+            with self.obs.tracer.span(
+                "shard.recovery_replay", shard=self.shard_index
+            ) as span:
+                self._recover_core()
+                span.set("recovered", self.recovered)
+            if not self.recovered and self.collector is not None:
+                # Nothing was replayed: drop the trivial span instead of
+                # shipping noise with the first response.
+                self.collector.drain()
+        else:
+            self._recover_core()
+
+    def _recover_core(self) -> None:
         if self.spool is None:
             return
         disk = self.spool.read_journal()
@@ -223,15 +300,23 @@ class ShardWorker:
         the reply leaves the worker."""
         if self.spool is not None:
             records = self.recorder.records_since(self.flushed_seq)
-            if records:
-                self.spool.append_records(records)
-            self.flushed_seq = self.recorder.last_seq
-            if rid:
-                self.spool.append_applied(rid)
+            if records or rid:
+                if self.obs is not None:
+                    with self.obs.phase("fsync", records=len(records)):
+                        self._spool_suffix(records, rid)
+                else:
+                    self._spool_suffix(records, rid)
             if self.flushed_seq - self._last_snapshot_seq >= self.snapshot_interval:
                 self._write_snapshot()
         if rid:
             self.applied.add(rid)
+
+    def _spool_suffix(self, records, rid: Optional[str]) -> None:
+        if records:
+            self.spool.append_records(records)
+        self.flushed_seq = self.recorder.last_seq
+        if rid:
+            self.spool.append_applied(rid)
 
     def _write_snapshot(self) -> None:
         if self.spool is None:
@@ -386,6 +471,48 @@ class ShardWorker:
     # ------------------------------------------------------------------
 
     def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        obs = self.obs
+        if obs is None:
+            return self._handle_core(request)
+        op = request.get("op")
+        self.in_flight += 1
+        start = time.perf_counter()
+        try:
+            if obs.tracing:
+                attributes = {"shard": self.shard_index, "op": op}
+                context = TraceContext.from_wire(request.get("trace"))
+                if context is not None:
+                    attributes["tid"] = context.trace_id
+                    attributes["parent_sid"] = context.parent_sid
+                if request.get("rid"):
+                    attributes["rid"] = request["rid"]
+                with obs.tracer.span(f"shard.{op}", **attributes) as span:
+                    response = self._handle_core(request)
+                    if not response.get("ok"):
+                        span.status = "error"
+                        span.set("error", response.get("error"))
+                    elif response.get("status"):
+                        span.set("status", response["status"])
+            else:
+                response = self._handle_core(request)
+        finally:
+            self.in_flight -= 1
+            elapsed = time.perf_counter() - start
+            obs.metrics.histogram("request").observe(elapsed)
+            obs.metrics.histogram(f"request.{op}").observe(elapsed)
+        if obs.tracing and self.collector is not None and len(self.collector):
+            batch, dropped = bounded_span_batch(
+                [span_to_dict(span) for span in self.collector.drain()],
+                self.span_batch_limit,
+            )
+            if batch:
+                response["spans"] = batch
+            if dropped:
+                self.spans_dropped += dropped
+                response["spans_dropped"] = dropped
+        return response
+
+    def _handle_core(self, request: Dict[str, Any]) -> Dict[str, Any]:
         self.requests += 1
         op = request.get("op")
         rid = request.get("rid")
@@ -401,12 +528,16 @@ class ShardWorker:
         except TrollError as exc:
             self._flush()  # a denied unit may have journaled a tombstone
             failed = getattr(exc, "occurrence", None)
-            return {
+            response = {
                 "ok": False,
                 "error": type(exc).__name__,
                 "message": str(exc),
                 "failed": str(failed) if failed is not None else "",
+                "shard": self.shard_index,
             }
+            if failed is not None:
+                response["failed_ref"] = occurrence_to_wire(failed)
+            return response
 
     # -- lookup / probe ops --------------------------------------------
 
@@ -573,13 +704,17 @@ class ShardWorker:
         ok, error, remote = self._dry_items(request["items"])
         if not ok:
             failed = getattr(error, "occurrence", None)
-            return {
+            response = {
                 "ok": True,
                 "vote": False,
                 "error": type(error).__name__,
                 "message": str(error),
                 "failed": str(failed) if failed is not None else "",
+                "shard": self.shard_index,
             }
+            if failed is not None:
+                response["failed_ref"] = occurrence_to_wire(failed)
+            return response
         return {"ok": True, "vote": True, "remote": calls_to_wire(remote)}
 
     def _op_commit_group(self, request):
@@ -612,6 +747,7 @@ class ShardWorker:
             "ok": True,
             "shard": self.shard_index,
             "requests": self.requests,
+            "in_flight": self.in_flight,
             "journal_depth": len(self.recorder),
             "commits": len(self.recorder.commits()),
             "rollbacks": len(self.recorder.rollbacks()),
@@ -621,9 +757,16 @@ class ShardWorker:
                 "invalidations": stats.invalidations,
                 "punts": stats.punts,
             },
+            "term_compile": {
+                "compiled": TERM_STATS.compiled,
+                "fallbacks": TERM_STATS.fallbacks,
+                "cache_hits": TERM_STATS.cache_hits,
+            },
+            "spans_dropped": self.spans_dropped,
             "live_instances": live,
             "recovered": self.recovered,
             "metrics": self.obs.metrics.snapshot() if self.obs is not None else None,
+            "metrics_dump": self.obs.metrics.dump() if self.obs is not None else None,
         }
 
     def _op_snapshot(self, request):
@@ -645,7 +788,7 @@ class ShardWorker:
         for the at-most-once retry tests."""
         inner = request["inner"]
         inner.setdefault("rid", request.get("rid"))
-        self.handle(inner)
+        self._handle_core(inner)
         os._exit(2)
 
     def _op_hang(self, request):
@@ -682,6 +825,14 @@ def serve(worker: ShardWorker, sock: socket.socket) -> None:
 def worker_main(sock: socket.socket, config: Dict[str, Any]) -> None:
     """Entry point of the shard child process."""
     worker = ShardWorker(config)
+    # The fork inherits the coordinator process's whole heap.  Freeze it
+    # out of the cyclic collector's generations: none of it is this
+    # worker's garbage, but every full collection would rescan it --
+    # and traced workers allocate enough (span trees, wire batches) to
+    # trigger full collections regularly.  Freezing also keeps the
+    # collector from dirtying copy-on-write pages of the shared heap.
+    gc.collect()
+    gc.freeze()
     try:
         serve(worker, sock)
     finally:

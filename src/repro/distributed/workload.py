@@ -22,6 +22,7 @@ from repro.distributed.coordinator import (
     ShardedCommunity,
     normalize_state,
 )
+from repro.observability.distributed import verify_merged_trace
 from repro.runtime.objectbase import ObjectBase
 from repro.runtime.persistence import dump_state
 
@@ -54,12 +55,26 @@ def run_sharded(
     spool_dir: Optional[str] = None,
     observe: bool = False,
     export: bool = False,
+    trace: bool = False,
+    slow_threshold: Optional[float] = None,
+    verify_traces: bool = False,
 ) -> Dict[str, Any]:
     """Run the counter workload against a sharded community.  Returns
     elapsed seconds, throughput, the merged final state, and (with
-    ``export=True``) the merged per-shard telemetry."""
+    ``export=True``) the merged per-shard telemetry.  With ``trace=True``
+    every request is traced end to end; ``verify_traces=True`` addition-
+    ally runs :func:`~repro.observability.distributed.verify_merged_trace`
+    over every captured tree and reports the problem list."""
     with ShardedCommunity(
-        COUNTER_SPEC, shards=shards, spool_dir=spool_dir, observe=observe
+        COUNTER_SPEC,
+        shards=shards,
+        spool_dir=spool_dir,
+        observe=observe,
+        trace=trace,
+        # headroom past one root per request: management round-trips
+        # (merged state / export collection) land in the ring too
+        trace_capacity=max(256, counters + ops + 8 * shards),
+        slow_threshold=slow_threshold,
     ) as community:
         for index in range(counters):
             community.create("COUNTER", {"IdNo": index})
@@ -68,7 +83,15 @@ def run_sharded(
             community.occur("COUNTER", op % counters, "bump")
         elapsed = time.perf_counter() - start
         state = community.merged_state()
-        exported = community.merged_export() if export else None
+        exported = community.merged_export() if export or trace else None
+        traces = community.traces() if trace else []
+        slow = community.slow_requests() if slow_threshold is not None else []
+        problems: Dict[str, Any] = {}
+        if verify_traces and trace:
+            for root in traces:
+                found = verify_merged_trace(root)
+                if found:
+                    problems[root.attributes.get("tid", "?")] = found
     return {
         "shards": shards,
         "counters": counters,
@@ -77,6 +100,9 @@ def run_sharded(
         "throughput": ops / elapsed if elapsed > 0 else float("inf"),
         "state": state,
         "export": exported,
+        "traces": traces,
+        "trace_problems": problems,
+        "slow_requests": slow,
     }
 
 

@@ -43,7 +43,26 @@ from repro.observability.hooks import (
     install,
     uninstall,
 )
-from repro.observability.export import journal_stats, render_json, render_prometheus
+from repro.observability.distributed import (
+    SlowRequestLog,
+    SpanCollectorSink,
+    TraceContext,
+    attach_remote_spans,
+    find_spans,
+    fleet_registry,
+    request_traces,
+    trace_by_id,
+    verify_merged_trace,
+)
+from repro.observability.export import (
+    journal_stats,
+    merge_fleet_registry,
+    render_fleet_json,
+    render_fleet_prometheus,
+    render_json,
+    render_prometheus,
+    render_shard_prometheus,
+)
 from repro.observability.journal import (
     Journal,
     JournalCapture,
@@ -93,20 +112,33 @@ __all__ = [
     "Provenance",
     "RingBufferSink",
     "Sink",
+    "SlowRequestLog",
     "Span",
+    "SpanCollectorSink",
+    "TraceContext",
     "Tracer",
     "TriggerRecord",
+    "attach_remote_spans",
     "demo_scenario",
     "explain",
     "explain_from_trace",
+    "find_spans",
+    "fleet_registry",
     "get_capture",
     "get_observability",
     "install",
     "install_capture",
     "journal_stats",
+    "merge_fleet_registry",
+    "render_fleet_json",
+    "render_fleet_prometheus",
     "render_json",
     "render_prometheus",
     "render_provenance",
+    "render_shard_prometheus",
+    "request_traces",
+    "trace_by_id",
+    "verify_merged_trace",
     "render_span",
     "replay_journal",
     "replay_records",

@@ -1,0 +1,273 @@
+"""Cross-process trace assembly and fleet telemetry for the sharded server.
+
+The sharded server (PR 4) split the object community across worker
+processes, which split its observability the same way: a distributed
+synchronization set showed up as a coordinator-side blur plus N
+disconnected per-shard journals.  This module stitches the pieces back
+into *one consistent system view* per request -- the Paech/Rumpe
+"views" move applied to telemetry:
+
+* **Context propagation** -- the coordinator opens one ``request`` root
+  span per society-interface call and stamps every wire frame with a
+  :class:`TraceContext` (trace id + the ``dispatch`` span id the worker
+  should parent under).  Workers open a ``shard.<op>`` span per frame;
+  everything the animator already traces (``sync_set``, ``occurrence``,
+  phase spans) nests inside it for free.
+
+* **Trace shipping** -- a worker-side :class:`SpanCollectorSink`
+  collects completed root spans; the worker serializes them onto the
+  response frame (bounded by
+  :func:`repro.distributed.wire.bounded_span_batch`).  Spans completed
+  outside any request -- recovery replay at respawn -- wait in the
+  collector and ride the next response.
+
+* **Assembly** -- :func:`attach_remote_spans` grafts shipped span trees
+  under the coordinator-side ``dispatch`` span that carried the request,
+  checking the causal edge (the shipped root's ``parent_sid`` must name
+  the dispatch span's ``sid``).  Because the coordinator is
+  single-threaded and attaches batches as responses arrive, the ring
+  sink receives fully merged trees with no post-processing.
+
+* **Verification** -- :func:`verify_merged_trace` checks a merged tree
+  for completeness (dispatch spans present, every dispatch answered by a
+  shard span with a matching causal edge, 2PC phases covering every
+  participant); the benchmark and the ``repro workload --trace`` CLI
+  gate on it.
+
+* **Slow-request log** -- :class:`SlowRequestLog` is a sink that keeps
+  (and optionally appends to a JSONL file) every merged request trace
+  whose duration exceeds a threshold.
+
+* **Fleet metrics** -- :func:`fleet_registry` merges the coordinator's
+  metrics with every shard's shipped
+  :meth:`~repro.observability.metrics.MetricsRegistry.dump`, so fleet
+  percentiles are computed over the union of all samples rather than
+  averaged per-shard summaries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import (
+    Sink,
+    Span,
+    render_span,
+    span_from_dict,
+    span_to_dict,
+)
+
+
+# ----------------------------------------------------------------------
+# Context propagation
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The distributed trace context carried on a wire frame."""
+
+    trace_id: str
+    parent_sid: str
+
+    def to_wire(self) -> Dict[str, str]:
+        return {"tid": self.trace_id, "sid": self.parent_sid}
+
+    @classmethod
+    def from_wire(cls, data: Optional[Dict[str, Any]]) -> Optional["TraceContext"]:
+        if not data:
+            return None
+        return cls(
+            trace_id=str(data.get("tid", "")),
+            parent_sid=str(data.get("sid", "")),
+        )
+
+
+class SpanCollectorSink(Sink):
+    """Collects completed root spans for shipping on response frames."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+
+    def emit(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def drain(self) -> List[Span]:
+        spans, self.spans = self.spans, []
+        return spans
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+# ----------------------------------------------------------------------
+# Assembly
+# ----------------------------------------------------------------------
+
+def attach_remote_spans(dispatch: Span, batch: Iterable[dict]) -> List[Span]:
+    """Graft shipped span trees (wire encoding) under the coordinator's
+    ``dispatch`` span; returns the attached spans.  Arrival order is
+    causal order -- the coordinator is single-threaded and synchronous,
+    so a batch belongs to exactly the dispatch that received it."""
+    attached = []
+    for data in batch:
+        span = span_from_dict(data)
+        dispatch.children.append(span)
+        attached.append(span)
+    return attached
+
+
+def find_spans(root: Span, name: str) -> List[Span]:
+    """Every span named ``name`` in the tree, depth first."""
+    return [span for span in root.walk() if span.name == name]
+
+
+def request_traces(spans: Iterable[Span]) -> List[Span]:
+    """The merged request trees in a sink's span list."""
+    return [span for span in spans if span.name == "request"]
+
+
+def trace_by_id(spans: Iterable[Span], trace_id: str) -> Optional[Span]:
+    """The merged request tree with the given trace id, or None."""
+    for span in request_traces(spans):
+        if span.attributes.get("tid") == trace_id:
+            return span
+    return None
+
+
+def verify_merged_trace(root: Span) -> List[str]:
+    """Completeness check of one merged request tree; returns the list
+    of problems (empty = the trace covers coordinator dispatch and every
+    participating shard with correct parent-child edges)."""
+    problems: List[str] = []
+    if root.name != "request":
+        return [f"root span is {root.name!r}, not 'request'"]
+    dispatches = find_spans(root, "dispatch")
+    if not dispatches:
+        problems.append("no dispatch span under the request root")
+    for dispatch in dispatches:
+        sid = dispatch.attributes.get("sid")
+        shard_spans = [
+            child for child in dispatch.children
+            if child.name.startswith("shard.")
+        ]
+        if not shard_spans:
+            problems.append(
+                f"dispatch sid={sid} shard={dispatch.attributes.get('shard')} "
+                "has no shard span (worker batch missing)"
+            )
+        for span in shard_spans:
+            parent_sid = span.attributes.get("parent_sid")
+            if parent_sid and parent_sid != sid:
+                problems.append(
+                    f"shard span {span.name} parent_sid={parent_sid} "
+                    f"attached under dispatch sid={sid}"
+                )
+            shard = span.attributes.get("shard")
+            if shard != dispatch.attributes.get("shard"):
+                problems.append(
+                    f"shard span {span.name} from shard {shard} attached "
+                    f"under dispatch to shard {dispatch.attributes.get('shard')}"
+                )
+    # 2PC requests must show a prepare on every participant, then either
+    # a commit everywhere or an abort everywhere.
+    if root.attributes.get("2pc"):
+        prepared = {
+            span.attributes.get("shard")
+            for span in find_spans(root, "shard.prepare_group")
+        }
+        committed = {
+            span.attributes.get("shard")
+            for span in find_spans(root, "shard.commit_group")
+        }
+        aborted = {
+            span.attributes.get("shard")
+            for span in find_spans(root, "shard.abort_group")
+        }
+        if not prepared:
+            problems.append("2PC request without prepare spans")
+        if committed and aborted:
+            problems.append(
+                f"2PC request both committed (shards {sorted(committed)}) "
+                f"and aborted (shards {sorted(aborted)})"
+            )
+        finished = committed or aborted
+        if prepared - finished:
+            problems.append(
+                f"2PC participants {sorted(prepared - finished)} prepared "
+                "but neither committed nor aborted"
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Slow-request log
+# ----------------------------------------------------------------------
+
+class SlowRequestLog(Sink):
+    """Keeps every merged request trace slower than ``threshold``
+    seconds (optionally appending each as JSON to ``path``).
+
+    Installed as a tracer sink on the coordinator, it sees each request
+    root *after* all shard batches were attached, so the captured trace
+    is the full merged tree -- exactly what an operator needs to see for
+    an outlier request."""
+
+    def __init__(
+        self,
+        threshold: float,
+        capacity: int = 64,
+        path: Optional[str] = None,
+    ) -> None:
+        self.threshold = threshold
+        self.capacity = capacity
+        self.path = path
+        self.entries: List[Span] = []
+        self.total = 0
+
+    def emit(self, span: Span) -> None:
+        if span.name != "request" or span.duration < self.threshold:
+            return
+        self.total += 1
+        self.entries.append(span)
+        if len(self.entries) > self.capacity:
+            del self.entries[: len(self.entries) - self.capacity]
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(span_to_dict(span)) + "\n")
+
+    def render(self) -> str:
+        if not self.entries:
+            return "(no slow requests)"
+        blocks = [
+            f"slow request {span.attributes.get('tid')} "
+            f"[{span.duration * 1e3:.3f}ms >= {self.threshold * 1e3:.3f}ms]\n"
+            + render_span(span)
+            for span in self.entries
+        ]
+        return "\n\n".join(blocks)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+# ----------------------------------------------------------------------
+# Fleet metrics
+# ----------------------------------------------------------------------
+
+def fleet_registry(
+    coordinator_dump: Optional[dict],
+    shard_dumps: Iterable[Optional[dict]],
+) -> MetricsRegistry:
+    """One merged registry over the coordinator's metrics and every
+    shard's shipped dump.  Histograms merge bucket-by-bucket, so fleet
+    p50/p95/p99 are quantiles of the union of all samples."""
+    registry = MetricsRegistry()
+    if coordinator_dump:
+        registry.merge(coordinator_dump)
+    for dump in shard_dumps:
+        if dump:
+            registry.merge(dump)
+    return registry

@@ -149,6 +149,21 @@ _SHARD_GAUGES = (
     ("commits", "Committed synchronization sets journaled on the shard."),
     ("rollbacks", "Tombstones (rolled-back sets) journaled on the shard."),
     ("journal_depth", "Journal records held by the shard worker."),
+    ("in_flight", "Requests currently being handled by the shard worker."),
+)
+
+#: nested per-shard counter groups -> exported gauge name fragments
+_SHARD_GROUP_GAUGES = (
+    ("probe_cache", ("hits", "misses", "invalidations", "punts"),
+     "Epoch-memoized permission probe cache"),
+    ("term_compile", ("compiled", "fallbacks", "cache_hits"),
+     "Closure-compiled rule body"),
+)
+
+#: per-shard latency histograms exported as quantile gauges
+_SHARD_LATENCY = (
+    ("request", "request_latency_ms", "Wire request handling latency"),
+    ("phase.fsync", "fsync_latency_ms", "Durability spool fsync latency"),
 )
 
 
@@ -180,3 +195,94 @@ def render_shard_prometheus(
     lines.append(f"# TYPE {metric} gauge")
     lines.append(f"{metric} {_format_value(float(totals.get('restarts', 0)))}")
     return "\n".join(lines) + "\n"
+
+
+_QUANTILES = ((0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99"))
+
+
+def _fleet_shard_lines(
+    shards: Sequence[Dict[str, Any]], namespace: str
+) -> List[str]:
+    """Per-shard gauge lines of the fleet export: nested counter groups
+    (probe cache, term compiler) and latency quantiles reconstructed
+    from each shard's shipped metrics dump."""
+    lines: List[str] = []
+    for group, keys, help_prefix in _SHARD_GROUP_GAUGES:
+        for key in keys:
+            metric = _metric_name(namespace, f"shard_{group}_{key}")
+            lines.append(f"# HELP {metric} {help_prefix} {key} on the shard.")
+            lines.append(f"# TYPE {metric} gauge")
+            for shard in shards:
+                value = (shard.get(group) or {}).get(key, 0)
+                lines.append(
+                    f'{metric}{{shard="{shard.get("shard")}"}} '
+                    f"{_format_value(float(value))}"
+                )
+    registries = [
+        (shard.get("shard"), MetricsRegistry.from_dumps(
+            [shard["metrics_dump"]] if shard.get("metrics_dump") else []
+        ))
+        for shard in shards
+    ]
+    for hist_name, gauge, help_text in _SHARD_LATENCY:
+        metric = _metric_name(namespace, f"shard_{gauge}")
+        lines.append(f"# HELP {metric} {help_text} quantiles per shard.")
+        lines.append(f"# TYPE {metric} gauge")
+        for shard_index, registry in registries:
+            hist = registry.histograms.get(hist_name)
+            if hist is None or not hist.count:
+                continue
+            for q, label in _QUANTILES:
+                lines.append(
+                    f'{metric}{{shard="{shard_index}",quantile="{label}"}} '
+                    f"{_format_value(hist.percentile(q) * 1e3)}"
+                )
+    return lines
+
+
+def merge_fleet_registry(export: Dict[str, Any]) -> MetricsRegistry:
+    """The fleet-wide merged registry of a
+    :meth:`~repro.distributed.ShardedCommunity.merged_export` document:
+    coordinator metrics plus every shard's shipped dump, histograms
+    merged bucket-by-bucket (fleet percentiles are quantiles of the
+    union of all samples, not averages of per-shard summaries)."""
+    dumps = [(export.get("coordinator") or {}).get("metrics_dump")]
+    dumps.extend(shard.get("metrics_dump") for shard in export.get("shards", []))
+    return MetricsRegistry.from_dumps([dump for dump in dumps if dump])
+
+
+def render_fleet_prometheus(
+    export: Dict[str, Any], namespace: str = "repro"
+) -> str:
+    """The full fleet view in Prometheus text format: the per-shard
+    gauges of :func:`render_shard_prometheus`, per-shard cache/latency
+    gauges, coordinator counters, and the merged ``<namespace>_fleet_*``
+    aggregate over every process's metrics."""
+    lines = [render_shard_prometheus(export, namespace).rstrip("\n")]
+    lines.extend(_fleet_shard_lines(export.get("shards", []), namespace))
+    coordinator = export.get("coordinator") or {}
+    for name, help_text in (
+        ("in_flight", "Coordinator requests currently in flight."),
+        ("spans_dropped", "Telemetry spans truncated from response frames."),
+        ("slow_requests", "Requests that exceeded the slow-request threshold."),
+    ):
+        metric = _metric_name(namespace, f"coordinator_{name}")
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(
+            f"{metric} {_format_value(float(coordinator.get(name, 0)))}"
+        )
+    fleet = merge_fleet_registry(export)
+    lines.append(render_prometheus(fleet, namespace=f"{namespace}_fleet").rstrip("\n"))
+    return "\n".join(lines) + "\n"
+
+
+def render_fleet_json(export: Dict[str, Any]) -> Dict[str, Any]:
+    """The fleet view as one JSON document: the raw per-shard exports,
+    coordinator counters and totals, plus the merged fleet snapshot."""
+    return {
+        "shards": export.get("shards", []),
+        "coordinator": export.get("coordinator"),
+        "totals": export.get("totals", {}),
+        "fleet": merge_fleet_registry(export).snapshot(),
+    }

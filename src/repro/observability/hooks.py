@@ -28,7 +28,8 @@ from __future__ import annotations
 import time
 from typing import Any, List, Optional
 
-from repro.observability.metrics import MetricsRegistry
+from repro.datatypes.compile import STATS as _TERM_STATS
+from repro.observability.metrics import Counter, MetricsRegistry
 from repro.observability.tracer import RingBufferSink, Sink, Tracer
 
 
@@ -47,6 +48,49 @@ _TERM_COMPILE_COUNTERS = {
     "cache_hit": "term_compile.cache_hits",
 }
 
+#: counter name -> ProbeStats / TermStats field it views
+_PROBE_STATS_FIELDS = {
+    "probe_cache.hits": "hits",
+    "probe_cache.misses": "misses",
+    "probe_cache.invalidations": "invalidations",
+    "probe_cache.punts": "punts",
+}
+
+_TERM_STATS_FIELDS = {
+    "term_compile.compiled": "compiled",
+    "term_compile.fallbacks": "fallbacks",
+    "term_compile.cache_hits": "cache_hits",
+}
+
+
+class _ExternalCounter(Counter):
+    """A counter whose unlabelled series is computed on demand from an
+    always-on plain-int stats source (:class:`ProbeStats`, the term
+    compiler's ``STATS``).  The runtime keeps those ints regardless of
+    telemetry, so mirroring them through a live view instead of a
+    per-event callback makes the mirror free on the hot path -- reads
+    happen only when someone dumps or snapshots the registry.  Explicit
+    :meth:`inc` calls overlay on top of the external series."""
+
+    __slots__ = ("_read", "_extra")
+
+    def __init__(self, name: str, read):
+        self.name = name
+        self._read = read
+        self._extra: dict = {}
+
+    @property
+    def values(self) -> dict:
+        data = dict(self._extra)
+        live = self._read()
+        if live:
+            data[()] = data.get((), 0) + live
+        return data
+
+    def inc(self, amount: float = 1, labels=()) -> None:
+        labels = tuple(labels)
+        self._extra[labels] = self._extra.get(labels, 0) + amount
+
 
 class Observability:
     """One tracer + one metrics registry behind the runtime hook API."""
@@ -57,11 +101,19 @@ class Observability:
         tracing: bool = True,
         sinks: Optional[List[Sink]] = None,
         ring_capacity: int = 256,
+        attr_metrics: bool = True,
     ):
         self.enabled = enabled
         #: span recording can be switched off independently, keeping
         #: the (cheaper) counters/histograms only
         self.tracing = tracing
+        #: per-attribute-access counting fires once per attribute read
+        #: inside every permission formula, so it scales with population
+        #: where every other hook is per-occurrence.  It is a profiling-
+        #: grade metric: servers that only need fleet telemetry (request
+        #: latencies, 2PC counters, probe/term rates) switch it off and
+        #: keep the read path hook-free.
+        self.count_attr_accesses = bool(enabled and attr_metrics)
         if sinks is None:
             self.ring = RingBufferSink(ring_capacity)
             sinks = [self.ring]
@@ -71,6 +123,77 @@ class Observability:
             )
         self.tracer = Tracer(sinks=sinks)
         self.metrics = MetricsRegistry()
+        #: (ProbeStats, baseline snapshot) pairs attached by object
+        #: bases at construction; the probe_cache.* counters are live
+        #: views over their deltas
+        self._probe_sources: list = []
+        if enabled:
+            # The hottest accounting (per probe, per term evaluation) is
+            # already kept as always-on plain ints by the runtime
+            # (ObjectBase.probe_stats, repro.datatypes.compile.STATS).
+            # Register live views over those sources instead of paying a
+            # callback per event; empty counters stay out of snapshots
+            # and dumps until they have a value.
+            counters = self.metrics.counters
+            for name, field in _PROBE_STATS_FIELDS.items():
+                counters[name] = _ExternalCounter(
+                    name, self._probe_reader(field)
+                )
+            base = _TERM_STATS.snapshot()
+            for name, field in _TERM_STATS_FIELDS.items():
+                counters[name] = _ExternalCounter(
+                    name,
+                    lambda f=field, b=base[field]: getattr(_TERM_STATS, f) - b,
+                )
+        # Pre-resolved counters for the remaining per-event hooks
+        # (attribute access, manual probe/term callbacks): skip the
+        # registry lookup on every call.  When disabled these absorb
+        # stray calls without registering anything.
+        if enabled:
+            self._probe_counters = {
+                outcome: self.metrics.counter(name)
+                for outcome, name in _PROBE_CACHE_COUNTERS.items()
+            }
+            self._term_counters = {
+                outcome: self.metrics.counter(name)
+                for outcome, name in _TERM_COMPILE_COUNTERS.items()
+            }
+            self._attr_reads = self.metrics.counter("attribute.reads")
+            self._attr_writes = self.metrics.counter("attribute.writes")
+        else:
+            self._probe_counters = {
+                outcome: Counter(name)
+                for outcome, name in _PROBE_CACHE_COUNTERS.items()
+            }
+            self._term_counters = {
+                outcome: Counter(name)
+                for outcome, name in _TERM_COMPILE_COUNTERS.items()
+            }
+            self._attr_reads = Counter("attribute.reads")
+            self._attr_writes = Counter("attribute.writes")
+        #: phase name -> duration histogram (skips the per-exit
+        #: ``phase.<name>`` f-string + registry lookup)
+        self._phase_histograms: dict = {}
+
+    def _probe_reader(self, field: str):
+        sources = self._probe_sources
+        def read() -> int:
+            return sum(
+                getattr(stats, field) - base[field] for stats, base in sources
+            )
+        return read
+
+    def attach_probe_source(self, stats) -> None:
+        """Register an always-on :class:`ProbeStats` as a live source for
+        the ``probe_cache.*`` counters.  Object bases call this at
+        construction; the counters then track the stats deltas since
+        attachment with zero per-probe hook cost."""
+        if not self.enabled:
+            return
+        for existing, _ in self._probe_sources:
+            if existing is stats:
+                return
+        self._probe_sources.append((stats, stats.snapshot()))
 
     # ------------------------------------------------------------------
     # Spans and phases
@@ -112,28 +235,36 @@ class Observability:
         self.metrics.counter("constraint.violations").inc(labels=(class_name,))
 
     def on_probe_cache(self, outcome: str) -> None:
-        """Epoch-memoized probe accounting: ``outcome`` is one of
+        """Manual epoch-memoized probe accounting: ``outcome`` is one of
         ``hit`` / ``miss`` / ``invalidation`` / ``punt`` (see
-        docs/PERFORMANCE.md)."""
-        self.metrics.counter(_PROBE_CACHE_COUNTERS[outcome]).inc()
+        docs/PERFORMANCE.md).  The runtime itself no longer calls this
+        per probe -- the ``probe_cache.*`` counters are live views over
+        :class:`ProbeStats` sources (:meth:`attach_probe_source`); this
+        hook overlays on top for out-of-band accounting."""
+        self._probe_counters[outcome].inc()
 
     def on_term_compile(self, outcome: str) -> None:
-        """Closure-compiler accounting: ``outcome`` is ``compiled`` (a
-        term was lowered), ``fallback`` (an evaluation used the
-        interpreter because the compiler declined) or ``cache_hit`` (an
-        evaluation reused a compiled closure) -- see docs/PERFORMANCE.md,
-        "Rule compilation"."""
-        self.metrics.counter(_TERM_COMPILE_COUNTERS[outcome]).inc()
+        """Manual closure-compiler accounting: ``outcome`` is
+        ``compiled`` (a term was lowered), ``fallback`` (an evaluation
+        used the interpreter because the compiler declined) or
+        ``cache_hit`` (an evaluation reused a compiled closure) -- see
+        docs/PERFORMANCE.md, "Rule compilation".  The evaluator no
+        longer calls this per evaluation -- the ``term_compile.*``
+        counters are live views over the compiler's always-on ``STATS``;
+        this hook overlays on top."""
+        self._term_counters[outcome].inc()
 
     # ------------------------------------------------------------------
     # Instance / monitor / relational counters
     # ------------------------------------------------------------------
 
     def on_attribute_read(self, class_name: str, attribute: str) -> None:
-        self.metrics.counter("attribute.reads").inc(labels=(class_name,))
+        values = self._attr_reads.values
+        values[(class_name,)] = values.get((class_name,), 0) + 1
 
     def on_attribute_write(self, class_name: str, attribute: str) -> None:
-        self.metrics.counter("attribute.writes").inc(labels=(class_name,))
+        values = self._attr_writes.values
+        values[(class_name,)] = values.get((class_name,), 0) + 1
 
     def on_monitor_update(self) -> None:
         self.metrics.counter("monitor.steps").inc()
@@ -186,9 +317,14 @@ class _PhaseContext:
         self.span = None
 
     def __enter__(self):
-        if self._obs.tracing:
-            self._span_ctx = self._obs.tracer.span(self._name, **self._attributes)
-            self.span = self._span_ctx.__enter__()
+        obs = self._obs
+        if obs.tracing:
+            # open-coded tracer.span(...).__enter__(): one allocation
+            # fewer on a path taken four times per occurrence
+            self._span_ctx = obs.tracer
+            # ``_attributes`` is the fresh kwargs dict from phase();
+            # _enter takes ownership
+            self.span = obs.tracer._enter(self._name, self._attributes)
         else:
             self.span = _NULL_SPAN
         self._start = time.perf_counter()
@@ -196,9 +332,14 @@ class _PhaseContext:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         elapsed = time.perf_counter() - self._start
-        self._obs.metrics.histogram(f"phase.{self._name}").observe(elapsed)
+        obs = self._obs
+        histogram = obs._phase_histograms.get(self._name)
+        if histogram is None:
+            histogram = obs.metrics.histogram(f"phase.{self._name}")
+            obs._phase_histograms[self._name] = histogram
+        histogram.observe(elapsed)
         if self._span_ctx is not None:
-            self._span_ctx.__exit__(exc_type, exc, tb)
+            self._span_ctx._exit(self.span, exc)
         return False
 
 

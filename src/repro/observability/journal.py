@@ -39,6 +39,7 @@ occurrence pipeline pays one attribute load and a ``None`` test.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -104,7 +105,7 @@ class JournalRecord:
 
     __slots__ = (
         "seq", "kind", "triggers", "reason", "message", "failed",
-        "_occurrences", "_pending",
+        "ts", "mono", "_occurrences", "_pending",
     )
 
     def __init__(
@@ -116,6 +117,8 @@ class JournalRecord:
         reason: str = "",
         message: str = "",
         failed: str = "",
+        ts: float = 0.0,
+        mono: float = 0.0,
     ) -> None:
         self.seq = seq
         self.kind = kind
@@ -123,6 +126,13 @@ class JournalRecord:
         self.reason = reason
         self.message = message
         self.failed = failed
+        #: wall-clock pair: ``ts`` is the epoch time the unit was
+        #: recorded (correlate with external logs), ``mono`` the
+        #: process-local monotonic clock (order/duration arithmetic).
+        #: Deliberately excluded from ``__eq__`` -- replay comparison
+        #: must stay deterministic across re-animations.
+        self.ts = ts
+        self.mono = mono
         self._occurrences = occurrences
         self._pending: Optional[tuple] = None
 
@@ -265,6 +275,8 @@ class Journal:
             seq=self._next_seq(),
             kind="commit",
             triggers=triggers,
+            ts=time.time(),
+            mono=time.perf_counter(),
         )
         record._pending = (txn.steps, tuple(txn.parents), baselines)
         self.records.append(record)
@@ -282,6 +294,8 @@ class Journal:
             reason=type(error).__name__,
             message=str(error),
             failed=str(failed) if failed is not None else "",
+            ts=time.time(),
+            mono=time.perf_counter(),
         )
         self.records.append(record)
         return record
@@ -359,6 +373,8 @@ def record_to_json(record: JournalRecord) -> dict:
     return {
         "seq": record.seq,
         "kind": record.kind,
+        "ts": record.ts,
+        "mono": record.mono,
         "triggers": [
             {
                 "class": t.class_name,
@@ -429,6 +445,8 @@ def record_from_json(data: dict) -> JournalRecord:
         reason=data.get("reason", ""),
         message=data.get("message", ""),
         failed=data.get("failed", ""),
+        ts=data.get("ts", 0.0),
+        mono=data.get("mono", 0.0),
     )
 
 

@@ -49,6 +49,10 @@ class Counter:
     def get(self, labels: Labels = ()) -> float:
         return self.values.get(tuple(labels), 0)
 
+    def dump(self) -> dict:
+        """A lossless wire encoding (labels as lists, mergeable)."""
+        return {"values": [[list(labels), count] for labels, count in self.values.items()]}
+
     def snapshot(self) -> dict:
         out: dict = {"total": self.total}
         labelled = {
@@ -107,6 +111,45 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def dump(self) -> dict:
+        """A lossless wire encoding of the histogram state.  The +Inf
+        bound is encoded as the string ``"inf"`` so strict JSON codecs
+        round-trip it."""
+        return {
+            "unit": self.unit,
+            "buckets": [
+                "inf" if bound == float("inf") else bound for bound in self.buckets
+            ],
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge_dump(self, data: dict) -> None:
+        """Fold a :meth:`dump` (possibly from another process) into this
+        histogram.  Bucket layouts must agree -- both sides use the
+        shared defaults for their unit."""
+        bounds = tuple(
+            float("inf") if bound == "inf" else bound for bound in data["buckets"]
+        )
+        if bounds != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge bucket layout "
+                f"{bounds} into {self.buckets}"
+            )
+        for index, count in enumerate(data["bucket_counts"]):
+            self.bucket_counts[index] += count
+        self.count += data["count"]
+        self.sum += data["sum"]
+        other_min = data.get("min")
+        if other_min is not None and (self.min is None or other_min < self.min):
+            self.min = other_min
+        other_max = data.get("max")
+        if other_max is not None and (self.max is None or other_max > self.max):
+            self.max = other_max
 
     def percentile(self, q: float) -> float:
         """Estimated ``q``-quantile (0 < q <= 1) from the bucket counts,
@@ -189,6 +232,42 @@ class MetricsRegistry:
         self.counters.clear()
         self.histograms.clear()
 
+    def dump(self) -> dict:
+        """The whole registry in the lossless wire encoding -- the shape
+        shard workers ship to the coordinator for fleet aggregation.
+        Counters that never fired are omitted (pre-registered instruments
+        stay invisible until they have something to say)."""
+        return {
+            "counters": {
+                name: counter.dump()
+                for name, counter in self.counters.items()
+                if counter.values
+            },
+            "histograms": {
+                name: hist.dump() for name, hist in self.histograms.items()
+            },
+        }
+
+    def merge(self, dump: dict) -> None:
+        """Fold a :meth:`dump` into this registry: counters add, and
+        histograms combine bucket-by-bucket, so merged percentiles come
+        from the union of all samples."""
+        for name, data in (dump.get("counters") or {}).items():
+            counter = self.counter(name)
+            for labels, count in data.get("values", []):
+                counter.inc(count, tuple(labels))
+        for name, data in (dump.get("histograms") or {}).items():
+            hist = self.histogram(name, unit=data.get("unit", "s"))
+            hist.merge_dump(data)
+
+    @classmethod
+    def from_dumps(cls, dumps: Iterable[dict]) -> "MetricsRegistry":
+        """A fresh registry holding the merge of ``dumps``."""
+        registry = cls()
+        for dump in dumps:
+            registry.merge(dump)
+        return registry
+
     def __len__(self) -> int:
         return len(self.counters) + len(self.histograms)
 
@@ -198,6 +277,7 @@ class MetricsRegistry:
             "counters": {
                 name: counter.snapshot()
                 for name, counter in sorted(self.counters.items())
+                if counter.values
             },
             "histograms": {
                 name: histogram.snapshot()
@@ -208,10 +288,15 @@ class MetricsRegistry:
     def render_table(self) -> str:
         """A human-readable two-section table (the ``repro stats`` face)."""
         lines: List[str] = []
-        if self.counters:
+        counters = {
+            name: counter
+            for name, counter in self.counters.items()
+            if counter.values
+        }
+        if counters:
             lines.append(f"{'counter':44} {'value':>10}")
             lines.append("-" * 56)
-            for name, counter in sorted(self.counters.items()):
+            for name, counter in sorted(counters.items()):
                 lines.append(f"{name:44} {counter.total:>10g}")
                 for labels, count in sorted(
                     counter.values.items(), key=lambda kv: -kv[1]

