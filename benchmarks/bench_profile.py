@@ -1,0 +1,127 @@
+"""Spec-level profiler overhead: profiled vs metrics-only occur pipeline.
+
+Two contracts, measured on the same churn workload (a DEPT plus a
+hired/fired PERSON per round -- four synchronization sets per round,
+exercising every pipeline phase the profiler attributes):
+
+* **disabled is free** -- with no profiler attached the hot path is the
+  same one-attribute-load-and-``None``-test the observability layer
+  already pays, so a disabled-observability system must stay within
+  1.02x of a bare ``obs is None`` system (min-of-interleaved-blocks,
+  the most drift-robust estimator for a bound this tight);
+* **exact profiling is cheap enough to leave on** -- full exact-mode
+  attribution (unit/occurrence/phase/rule begin-end pairs plus term
+  counter snapshots) must stay within 1.25x of the metrics-only
+  pipeline.
+
+Both ratios land in ``extra_info`` of BENCH_profile.json;
+``test_profile_overhead_guard`` is the row ``benchmarks/regress.py``
+gates against the committed trajectory.
+"""
+
+import gc
+import time
+
+from repro.observability import Observability
+from repro.runtime import ObjectBase
+
+from benchmarks.conftest import D1960, D1991
+
+BLOCKS = 16
+ROUNDS = 6  # hire/fire cycles per timed block
+
+
+def churn(compiled_company, obs, rounds: int = ROUNDS) -> None:
+    system = ObjectBase(compiled_company, observability=obs)
+    dept = system.create("DEPT", {"id": "Sales"}, "establishment", [D1991])
+    for index in range(rounds):
+        person = system.create(
+            "PERSON",
+            {"Name": f"p{index}", "BirthDate": D1960},
+            "hire_into", ["Sales", 6000.0],
+        )
+        system.occur(dept, "hire", [person])
+        system.occur(dept, "fire", [person])
+
+
+def _interleaved(compiled_company, obs_a, obs_b, blocks: int = BLOCKS):
+    """Alternating timed blocks of the same churn under ``obs_a`` and
+    ``obs_b``; returns (seconds_a, seconds_b, min_block_a, min_block_b)."""
+    for _ in range(2):  # warm caches on both configurations
+        churn(compiled_company, obs_a)
+        churn(compiled_company, obs_b)
+    total_a = total_b = 0.0
+    best_a = best_b = float("inf")
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(blocks):
+            start = time.perf_counter()
+            churn(compiled_company, obs_a)
+            block = time.perf_counter() - start
+            total_a += block
+            best_a = min(best_a, block)
+            start = time.perf_counter()
+            churn(compiled_company, obs_b)
+            block = time.perf_counter() - start
+            total_b += block
+            best_b = min(best_b, block)
+    finally:
+        gc.enable()
+    return total_a, total_b, best_a, best_b
+
+
+def test_bench_profile_exact(benchmark, compiled_company):
+    """Raw timing row: churn under exact-mode profiling."""
+    obs = Observability(tracing=False, profile="exact")
+    benchmark(lambda: churn(compiled_company, obs))
+    assert obs.profiler is not None and obs.profiler.total_roots > 0
+
+
+def test_bench_profile_sampling(benchmark, compiled_company):
+    """Raw timing row: churn under sampling-mode profiling (1/16)."""
+    obs = Observability(tracing=False, profile="sampling")
+    benchmark(lambda: churn(compiled_company, obs))
+    assert obs.profiler is not None and obs.profiler.total_roots > 0
+
+
+def test_profile_overhead_guard(benchmark, compiled_company):
+    """Regression guard: exact profiling <= 1.25x metrics-only, and a
+    profiler-free system <= 1.02x a bare unobserved one."""
+    # --- disabled is free: bare system vs disabled observability ---
+    _, _, best_bare, best_disabled = _interleaved(
+        compiled_company, None, Observability(enabled=False)
+    )
+    disabled_ratio = best_disabled / best_bare
+
+    # --- profiling on: metrics-only vs exact attribution ---
+    profiled_obs = Observability(tracing=False, profile="exact")
+    plain_seconds, profiled_seconds, _, _ = _interleaved(
+        compiled_company, Observability(tracing=False), profiled_obs
+    )
+    overhead = profiled_seconds / plain_seconds
+
+    # the profiled run must actually have attributed the work
+    dump = profiled_obs.profiler.dump()
+    names = {child["name"] for child in dump["tree"]["children"]}
+    assert any(name.startswith("unit:") for name in names), names
+
+    benchmark.extra_info["workload"] = "P7-profile"
+    benchmark.extra_info["blocks"] = BLOCKS
+    benchmark.extra_info["plain_seconds"] = plain_seconds
+    benchmark.extra_info["profiled_seconds"] = profiled_seconds
+    benchmark.extra_info["overhead"] = overhead
+    benchmark.extra_info["disabled_ratio"] = disabled_ratio
+
+    # give pytest-benchmark a timed body so the JSON artifact carries a
+    # stats row for this guard (the ratios themselves are in extra_info)
+    benchmark.pedantic(lambda: None, rounds=1)
+
+    assert disabled_ratio <= 1.02, (
+        f"profiler-free observability cost {disabled_ratio:.3f}x the bare "
+        f"pipeline (budget <= 1.02x)"
+    )
+    assert overhead <= 1.25, (
+        f"exact profiling costs {overhead:.2f}x the metrics-only run "
+        f"(budget <= 1.25x): {profiled_seconds:.3f}s vs {plain_seconds:.3f}s"
+    )

@@ -1,0 +1,185 @@
+"""The perf-regression gate: fresh BENCH artifacts vs the trajectory.
+
+CI (and anyone locally) runs the guard benchmarks with
+``--benchmark-json=BENCH_<workload>.json``, then::
+
+    python benchmarks/regress.py --artifacts-dir . --tolerance 0.20
+
+For every workload with a committed entry in
+``benchmarks/BENCH_trajectory.json`` the gate
+
+1. finds the fresh pytest-benchmark artifact named by the entry's
+   ``artifact`` field and the benchmark row matching its ``benchmark``
+   node id;
+2. re-checks the entry's ``guard`` string (``">= 3.0x"`` means higher is
+   better, ``"<= 1.15x"`` lower is better) against the fresh headline
+   metric (``speedup`` or ``overhead`` in ``extra_info``);
+3. compares the fresh metric against the *latest* committed value for
+   that workload and fails when it regressed past ``--tolerance``
+   (fractional: 0.20 means a 20% slide).
+
+Exit status is non-zero on any guard failure or regression, which is
+what fails the CI job.  Missing artifacts are skipped with a note
+(local runs rarely regenerate every workload); ``--strict`` turns them
+into failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_TRAJECTORY = os.path.join(HERE, "BENCH_trajectory.json")
+
+#: headline-metric keys, in the order they are looked for in an entry
+METRIC_KEYS = ("speedup", "overhead")
+
+
+def parse_guard(guard: str) -> Tuple[str, float]:
+    """``">= 3.0x"`` -> ``(">=", 3.0)``; ``"<= 1.15x"`` -> ``("<=", 1.15)``."""
+    text = guard.strip()
+    for op in (">=", "<="):
+        if text.startswith(op):
+            return op, float(text[len(op):].strip().rstrip("x"))
+    raise ValueError(f"unparseable guard {guard!r} (want '>= N.Nx' or '<= N.Nx')")
+
+
+def latest_entries(trajectory: dict) -> Dict[str, dict]:
+    """The last committed entry per workload (entries are append-only)."""
+    latest: Dict[str, dict] = {}
+    for entry in trajectory.get("entries", []):
+        latest[entry["workload"]] = entry
+    return latest
+
+
+def headline_metric(entry: dict) -> str:
+    for key in METRIC_KEYS:
+        if key in entry:
+            return key
+    raise ValueError(
+        f"trajectory entry for {entry.get('workload')!r} has no headline "
+        f"metric (expected one of {METRIC_KEYS})"
+    )
+
+
+def find_benchmark_row(artifact: dict, node_id: str) -> Optional[dict]:
+    """The pytest-benchmark row whose fullname/name matches ``node_id``
+    (a ``path/to/bench.py::test_name`` reference from the trajectory)."""
+    test_name = node_id.rsplit("::", 1)[-1]
+    for row in artifact.get("benchmarks", []):
+        if row.get("fullname") == node_id or row.get("name") == test_name:
+            return row
+    return None
+
+
+def check_entry(
+    entry: dict,
+    artifacts_dir: str,
+    tolerance: float,
+) -> Tuple[str, List[str]]:
+    """Returns ``(status, problems)`` where status is PASS/SKIP/FAIL."""
+    path = os.path.join(artifacts_dir, entry["artifact"])
+    if not os.path.exists(path):
+        return "SKIP", [f"artifact {entry['artifact']} not found in {artifacts_dir}"]
+    with open(path) as handle:
+        artifact = json.load(handle)
+    row = find_benchmark_row(artifact, entry["benchmark"])
+    if row is None:
+        return "FAIL", [
+            f"{entry['artifact']}: no benchmark row matching {entry['benchmark']!r}"
+        ]
+    metric = headline_metric(entry)
+    fresh = (row.get("extra_info") or {}).get(metric)
+    if fresh is None:
+        return "FAIL", [
+            f"{entry['artifact']}: row {row.get('name')!r} has no "
+            f"extra_info[{metric!r}]"
+        ]
+    problems: List[str] = []
+    op, threshold = parse_guard(entry["guard"])
+    if op == ">=" and fresh < threshold:
+        problems.append(
+            f"guard broken: {metric}={fresh:.3f} < {threshold:g} ({entry['guard']})"
+        )
+    if op == "<=" and fresh > threshold:
+        problems.append(
+            f"guard broken: {metric}={fresh:.3f} > {threshold:g} ({entry['guard']})"
+        )
+    committed = entry[metric]
+    if op == ">=":  # higher is better
+        floor = committed * (1 - tolerance)
+        if fresh < floor:
+            problems.append(
+                f"regression: {metric} {fresh:.3f} fell below committed "
+                f"{committed:g} by more than {tolerance:.0%} (floor {floor:.3f})"
+            )
+    else:  # lower is better
+        ceiling = committed * (1 + tolerance)
+        if fresh > ceiling:
+            problems.append(
+                f"regression: {metric} {fresh:.3f} rose above committed "
+                f"{committed:g} by more than {tolerance:.0%} (ceiling {ceiling:.3f})"
+            )
+    return ("FAIL" if problems else "PASS"), problems or [
+        f"{metric}={fresh:.3f} vs committed {committed:g} "
+        f"(tolerance {tolerance:.0%}, guard {entry['guard']})"
+    ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when fresh BENCH_*.json regressed past the trajectory"
+    )
+    parser.add_argument(
+        "--trajectory", default=DEFAULT_TRAJECTORY,
+        help="committed trajectory file (default benchmarks/BENCH_trajectory.json)",
+    )
+    parser.add_argument(
+        "--artifacts-dir", default=".",
+        help="directory holding the fresh BENCH_*.json artifacts",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional slide from the committed value (default 0.20)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat missing artifacts as failures instead of skips",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.trajectory) as handle:
+        trajectory = json.load(handle)
+    entries = latest_entries(trajectory)
+    if not entries:
+        print("regress: trajectory has no entries; nothing to gate")
+        return 0
+
+    failures = 0
+    skips = 0
+    for workload in sorted(entries):
+        status, notes = check_entry(entries[workload], args.artifacts_dir, args.tolerance)
+        if status == "FAIL":
+            failures += 1
+        elif status == "SKIP":
+            skips += 1
+            if args.strict:
+                failures += 1
+                status = "FAIL"
+        print(f"{status:4} {workload:16} {notes[0]}")
+        for note in notes[1:]:
+            print(f"     {'':16} {note}")
+    checked = len(entries) - skips
+    print(
+        f"regress: {checked}/{len(entries)} workloads checked, "
+        f"{failures} failure(s), {skips} skipped"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -519,18 +520,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
                 ops_driven += 1
             elapsed = time_mod.perf_counter() - start
             export = community.merged_export()
-            if frame and sys.stdout.isatty():
-                print("\x1b[2J\x1b[H", end="")
-            print(
-                f"repro top -- frame {frame + 1}/{args.frames}: "
-                f"{args.shards} shard(s), {args.ops_per_frame} op(s)/frame, "
-                f"{elapsed:.3f}s"
-            )
-            print(
-                f"{'shard':>5} {'reqs':>7} {'req/s':>8} {'util%':>6} "
-                f"{'commits':>8} {'rollbk':>7} {'journal':>8} "
-                f"{'p50ms':>8} {'p95ms':>8} {'fsync95':>8}"
-            )
+            rows = []
             for shard in export["shards"]:
                 index = shard.get("shard")
                 dump = shard.get("metrics_dump")
@@ -545,28 +535,149 @@ def _cmd_top(args: argparse.Namespace) -> int:
                 util = (
                     min((busy - prev_busy) / elapsed, 1.0) if elapsed else 0.0
                 )
-                p50 = hist.percentile(0.5) * 1e3 if hist and hist.count else 0.0
-                p95 = hist.percentile(0.95) * 1e3 if hist and hist.count else 0.0
-                f95 = (
-                    fsync.percentile(0.95) * 1e3 if fsync and fsync.count else 0.0
+                rows.append(
+                    {
+                        "shard": index,
+                        "reqs": requests,
+                        "rate": rate,
+                        "util": util,
+                        "commits": shard.get("commits", 0),
+                        "rollbacks": shard.get("rollbacks", 0),
+                        "journal": shard.get("journal_depth", 0),
+                        "p50_ms": hist.percentile(0.5) * 1e3
+                        if hist and hist.count
+                        else 0.0,
+                        "p95_ms": hist.percentile(0.95) * 1e3
+                        if hist and hist.count
+                        else 0.0,
+                        "fsync95_ms": fsync.percentile(0.95) * 1e3
+                        if fsync and fsync.count
+                        else 0.0,
+                    }
                 )
-                print(
-                    f"{index:>5} {requests:>7} {rate:>8.0f} {util * 100:>6.1f} "
-                    f"{shard.get('commits', 0):>8} "
-                    f"{shard.get('rollbacks', 0):>7} "
-                    f"{shard.get('journal_depth', 0):>8} "
-                    f"{p50:>8.3f} {p95:>8.3f} {f95:>8.3f}"
+            # --sort column, descending for load columns; shard index
+            # ascending keeps the stable dashboard layout
+            if args.sort == "shard":
+                rows.sort(key=lambda row: row["shard"])
+            else:
+                rows.sort(
+                    key=lambda row: (-row[args.sort], row["shard"])
                 )
+            if args.limit:
+                rows = rows[: args.limit]
             coordinator = export.get("coordinator") or {}
             totals = export["totals"]
-            print(
-                f"coordinator: restarts={totals['restarts']} "
-                f"in_flight={coordinator.get('in_flight', 0)} "
-                f"spans_dropped={totals.get('spans_dropped', 0)} "
-                f"ops_driven={ops_driven}"
-            )
+            if args.json:
+                print(
+                    json.dumps(
+                        {
+                            "frame": frame + 1,
+                            "frames": args.frames,
+                            "elapsed_seconds": elapsed,
+                            "ops_driven": ops_driven,
+                            "shards": rows,
+                            "totals": totals,
+                            "in_flight": coordinator.get("in_flight", 0),
+                        },
+                        sort_keys=True,
+                    ),
+                    flush=True,
+                )
+            else:
+                if frame and sys.stdout.isatty():
+                    print("\x1b[2J\x1b[H", end="")
+                print(
+                    f"repro top -- frame {frame + 1}/{args.frames}: "
+                    f"{args.shards} shard(s), {args.ops_per_frame} "
+                    f"op(s)/frame, {elapsed:.3f}s"
+                )
+                print(
+                    f"{'shard':>5} {'reqs':>7} {'req/s':>8} {'util%':>6} "
+                    f"{'commits':>8} {'rollbk':>7} {'journal':>8} "
+                    f"{'p50ms':>8} {'p95ms':>8} {'fsync95':>8}"
+                )
+                for row in rows:
+                    print(
+                        f"{row['shard']:>5} {row['reqs']:>7} "
+                        f"{row['rate']:>8.0f} {row['util'] * 100:>6.1f} "
+                        f"{row['commits']:>8} "
+                        f"{row['rollbacks']:>7} "
+                        f"{row['journal']:>8} "
+                        f"{row['p50_ms']:>8.3f} {row['p95_ms']:>8.3f} "
+                        f"{row['fsync95_ms']:>8.3f}"
+                    )
+                print(
+                    f"coordinator: restarts={totals['restarts']} "
+                    f"in_flight={coordinator.get('in_flight', 0)} "
+                    f"spans_dropped={totals.get('spans_dropped', 0)} "
+                    f"ops_driven={ops_driven}"
+                )
             if frame + 1 < args.frames and args.interval:
                 time_mod.sleep(args.interval)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.observability.profile import (
+        render_collapsed,
+        render_profile_prometheus,
+        render_profile_table,
+        render_speedscope,
+        verify_fleet_profile,
+    )
+
+    problems: Optional[List[str]] = None
+    if args.fleet:
+        from repro.distributed.workload import run_sharded
+
+        result = run_sharded(
+            args.shards,
+            counters=args.counters,
+            ops=args.ops,
+            profile=args.mode,
+            cross_shard=True,
+        )
+        dump = result["profile"]
+        print(
+            f"fleet profile: {args.shards} shard(s), {args.counters} "
+            f"counters, {args.ops} ops (cross-shard audited workload), "
+            f"{result['seconds']:.3f}s"
+        )
+        problems = verify_fleet_profile(dump)
+    else:
+        from repro.observability.runner import run_instrumented
+
+        obs = run_instrumented(
+            args.script,
+            tracing=False,
+            capture_output=not args.verbose,
+            profile=args.mode,
+            profile_interval=args.interval,
+        )
+        dump = obs.profiler.dump()
+    print(render_profile_table(dump, by=args.by, top=args.top))
+    if args.speedscope:
+        with open(args.speedscope, "w", encoding="utf-8") as handle:
+            json.dump(render_speedscope(dump), handle)
+        print(f"wrote speedscope profile to {args.speedscope}")
+    if args.collapsed:
+        with open(args.collapsed, "w", encoding="utf-8") as handle:
+            handle.write(render_collapsed(dump))
+        print(f"wrote collapsed flamegraph stacks to {args.collapsed}")
+    if args.prometheus:
+        text = render_profile_prometheus(dump)
+        if args.prometheus == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.prometheus, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote profile metrics to {args.prometheus}")
+    if problems is not None:
+        if problems:
+            for problem in problems:
+                print(f"  incomplete: {problem}")
+            return 1
+        print("  every shard profiled both 2PC phases")
     return 0
 
 
@@ -894,7 +1005,86 @@ def build_parser() -> argparse.ArgumentParser:
         "--interval", type=float, default=0.0,
         help="seconds to sleep between frames (default: 0)",
     )
+    top.add_argument(
+        "--limit", type=int, default=0,
+        help="show only the first N shard rows after sorting (0 = all)",
+    )
+    top.add_argument(
+        "--sort",
+        choices=[
+            "shard", "reqs", "rate", "util", "commits", "rollbacks",
+            "journal", "p50_ms", "p95_ms", "fsync95_ms",
+        ],
+        default="shard",
+        help="sort column (default: shard index; others sort descending)",
+    )
+    top.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON document per frame instead of the table",
+    )
     top.set_defaults(func=_cmd_top)
+
+    profile = sub.add_parser(
+        "profile",
+        help="spec-level profiler: attribute wall clock to classes, "
+        "events, rules and pipeline phases; export speedscope / "
+        "collapsed flamegraphs / Prometheus",
+    )
+    profile.add_argument(
+        "script", nargs="?", default=None,
+        help="Python example script to animate (default: built-in demo)",
+    )
+    profile.add_argument(
+        "--mode", choices=["exact", "sampling"], default="exact",
+        help="exact instruments every unit; sampling measures every "
+        "N-th (default: exact)",
+    )
+    profile.add_argument(
+        "--interval", type=int, default=16,
+        help="sampling interval for --mode sampling (default: 16)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=20,
+        help="rows (or tree-line budget) to print (default: 20)",
+    )
+    profile.add_argument(
+        "--by", choices=["class", "event", "rule", "phase"], default=None,
+        help="aggregate into a flat table instead of the construct tree",
+    )
+    profile.add_argument(
+        "--speedscope", metavar="FILE", default=None,
+        help="write the profile as a speedscope JSON file",
+    )
+    profile.add_argument(
+        "--collapsed", metavar="FILE", default=None,
+        help="write collapsed flamegraph stacks (flamegraph.pl input)",
+    )
+    profile.add_argument(
+        "--prometheus", metavar="FILE", default=None,
+        help="write per-construct Prometheus gauges ('-' for stdout)",
+    )
+    profile.add_argument(
+        "--fleet", action="store_true",
+        help="profile a sharded cross-shard workload run and merge the "
+        "per-shard profiles (verifies 2PC phase coverage per shard)",
+    )
+    profile.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count for --fleet (default: 4)",
+    )
+    profile.add_argument(
+        "--counters", type=int, default=24,
+        help="workload population for --fleet (default: 24)",
+    )
+    profile.add_argument(
+        "--ops", type=int, default=96,
+        help="workload occurrences for --fleet (default: 96)",
+    )
+    profile.add_argument(
+        "--verbose", action="store_true",
+        help="interleave the script's own output",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     return parser
 

@@ -78,6 +78,7 @@ from repro.observability.distributed import (
 )
 from repro.observability.export import merge_fleet_registry
 from repro.observability.hooks import Observability
+from repro.observability.profile import ProfileNode
 from repro.observability.tracer import RingBufferSink, Span
 from repro.lang.checker import check_specification
 from repro.lang.parser import parse_specification
@@ -178,6 +179,9 @@ class ShardedCommunity:
         slow_threshold: Optional[float] = None,
         slow_log_path: Optional[str] = None,
         span_batch_limit: Optional[int] = None,
+        profile: Optional[str] = None,
+        profile_interval: int = 16,
+        profile_limit: Optional[int] = None,
         start: bool = True,
     ):
         if not isinstance(spec, str):
@@ -203,6 +207,14 @@ class ShardedCommunity:
         self.observe = observe
         self.trace = trace
         self.span_batch_limit = span_batch_limit
+        #: spec-level profiling mode shipped to every worker ("exact" /
+        #: "sampling" / None); workers drain bounded profile dumps onto
+        #: response frames, merged per shard for :meth:`fleet_profile`
+        self.profile = profile
+        self.profile_interval = profile_interval
+        self.profile_limit = profile_limit
+        self.profile_pruned = 0
+        self._profiles: Dict[int, Dict[str, Any]] = {}
         #: worker restarts observed (crash detection + recovery)
         self.restarts = 0
         #: telemetry spans truncated off response frames (fleet-wide
@@ -255,6 +267,9 @@ class ShardedCommunity:
             "observe": self.observe,
             "trace": self.trace,
             "span_batch_limit": self.span_batch_limit,
+            "profile": self.profile,
+            "profile_interval": self.profile_interval,
+            "profile_limit": self.profile_limit,
         }
 
     def _spawn(self, index: int) -> _WorkerHandle:
@@ -354,7 +369,15 @@ class ShardedCommunity:
                 handle = self._restart_observed(index, span, "dead_worker")
             try:
                 send_frame(handle.sock, message)
-                return recv_frame(handle.sock, timeout=timeout)
+                response = recv_frame(handle.sock, timeout=timeout)
+                # Profile batches ride every response frame (tracing or
+                # not); absorb them here so no caller ever sees them.
+                dump = response.pop("profile", None)
+                if dump is not None:
+                    self._absorb_profile(
+                        index, dump, response.pop("profile_pruned", 0)
+                    )
+                return response
             except (WireError, OSError) as exc:
                 # Crash or hang.  A timed-out socket cannot be reused (a
                 # late reply would desynchronize the framing), so the
@@ -809,6 +832,61 @@ class ShardedCommunity:
         over the coordinator and every shard (histograms merged
         bucket-by-bucket)."""
         return merge_fleet_registry(self.merged_export())
+
+    def _absorb_profile(
+        self, index: int, dump: Dict[str, Any], pruned: int
+    ) -> None:
+        """Merge a worker's drained profile batch under its shard node."""
+        state = self._profiles.get(index)
+        if state is None:
+            state = self._profiles[index] = {
+                "node": ProfileNode(f"shard:{index}"),
+                "mode": dump.get("mode", "exact"),
+                "interval": dump.get("interval", 1),
+                "total_roots": 0,
+                "sampled_roots": 0,
+                "pruned": 0,
+            }
+        state["node"].merge_dict(dump["tree"])
+        state["total_roots"] += dump.get("total_roots", 0)
+        state["sampled_roots"] += dump.get("sampled_roots", 0)
+        if pruned:
+            state["pruned"] += pruned
+            self.profile_pruned += pruned
+
+    def fleet_profile(self) -> Dict[str, Any]:
+        """One merged spec-level profile over the whole fleet: a dump
+        whose tree has one ``shard:N`` subtree per shard that reported
+        work (same shape as a :class:`Profiler` dump, so every exporter
+        and the ``repro profile`` renderer apply unchanged)."""
+        children = []
+        total = sampled = pruned = 0
+        mode = self.profile or "exact"
+        interval = self.profile_interval
+        for index in sorted(self._profiles):
+            state = self._profiles[index]
+            children.append(state["node"].to_dict())
+            total += state["total_roots"]
+            sampled += state["sampled_roots"]
+            pruned += state["pruned"]
+        tree: Dict[str, Any] = {
+            "name": "fleet",
+            "calls": sampled,
+            "seconds": sum(child["seconds"] for child in children),
+        }
+        if children:
+            tree["children"] = children
+        dump = {
+            "mode": mode,
+            "interval": interval,
+            "total_roots": total,
+            "sampled_roots": sampled,
+            "scale": (total / sampled) if sampled else 1.0,
+            "tree": tree,
+        }
+        if pruned:
+            dump["pruned"] = pruned
+        return dump
 
     def traces(self) -> List[Span]:
         """The merged request trace trees currently in the ring sink

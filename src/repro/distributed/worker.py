@@ -68,6 +68,11 @@ from repro.distributed.wire import (
 )
 from repro.observability.distributed import SpanCollectorSink, TraceContext
 from repro.observability.hooks import Observability
+from repro.observability.profile import (
+    MAX_PROFILE_DUMP,
+    Profiler,
+    bounded_profile_dump,
+)
 from repro.observability.tracer import span_to_dict
 from repro.observability.journal import (
     Journal,
@@ -214,15 +219,31 @@ class ShardWorker:
             self.obs: Optional[Observability] = Observability(
                 tracing=True, sinks=[self.collector], attr_metrics=False
             )
-        elif config.get("observe"):
+        elif config.get("observe") or config.get("profile"):
             self.obs = Observability(tracing=False, attr_metrics=False)
         else:
             self.obs = None
+        #: the spec-level profiler: profiled shards drain bounded
+        #: profile dumps onto response frames (like span batches)
+        self.prof = None
+        if config.get("profile") and self.obs is not None:
+            self.prof = self.obs.attach_profiler(
+                Profiler(
+                    mode=config["profile"],
+                    interval=config.get("profile_interval", 16),
+                )
+            )
         self.span_batch_limit: int = (
             config.get("span_batch_limit") or MAX_SPAN_BATCH
         )
         self.in_flight = 0
         self.spans_dropped = 0
+        self.profile_pruned = 0
+        self.profile_limit: int = (
+            config.get("profile_limit") or MAX_PROFILE_DUMP
+        )
+        #: interned "op:<name>" profile-root names
+        self._op_names: Dict[str, str] = {}
         self.system = ShardObjectBase(
             config["spec"],
             shard_index=self.shard_index,
@@ -476,6 +497,14 @@ class ShardWorker:
             return self._handle_core(request)
         op = request.get("op")
         self.in_flight += 1
+        prof = self.prof
+        if prof is not None:
+            name = self._op_names.get(op)
+            if name is None:
+                name = self._op_names[op] = f"op:{op}"
+            # one profile root per request: a fleet profile then shows
+            # each shard's 2PC phases (op:prepare_group/op:commit_group)
+            prof.begin_root(name)
         start = time.perf_counter()
         try:
             if obs.tracing:
@@ -497,6 +526,8 @@ class ShardWorker:
                 response = self._handle_core(request)
         finally:
             self.in_flight -= 1
+            if prof is not None:
+                prof.end_root()
             elapsed = time.perf_counter() - start
             obs.metrics.histogram("request").observe(elapsed)
             obs.metrics.histogram(f"request.{op}").observe(elapsed)
@@ -510,6 +541,14 @@ class ShardWorker:
             if dropped:
                 self.spans_dropped += dropped
                 response["spans_dropped"] = dropped
+        if prof is not None:
+            dump = prof.drain()
+            if dump is not None:
+                dump, pruned = bounded_profile_dump(dump, self.profile_limit)
+                response["profile"] = dump
+                if pruned:
+                    self.profile_pruned += pruned
+                    response["profile_pruned"] = pruned
         return response
 
     def _handle_core(self, request: Dict[str, Any]) -> Dict[str, Any]:

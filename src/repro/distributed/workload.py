@@ -44,6 +44,32 @@ object class COUNTER
 end object class COUNTER;
 """
 
+#: The cross-shard twin: every ``bump`` also notes a global interaction
+#: into the single AUDIT(0) ledger.  Counters spread over the shards by
+#: identity hash while AUDIT(0) lives on exactly one of them, so every
+#: bump triggered on another shard escalates to the coordinator's
+#: two-phase protocol -- the workload ``repro profile --fleet`` uses to
+#: show 2PC phase costs on *every* participating shard.
+AUDITED_COUNTER_SPEC = COUNTER_SPEC + """
+object class AUDIT
+  identification
+    Tag: nat;
+  template
+    attributes
+      Count: nat;
+    events
+      birth open;
+      note;
+    valuation
+      open Count = 0;
+      note Count = Count + 1;
+end object class AUDIT;
+
+global interactions
+  variables C: COUNTER;
+  COUNTER(C).bump >> AUDIT(0).note;
+"""
+
 DEFAULT_COUNTERS = 120
 DEFAULT_OPS = 480
 
@@ -58,15 +84,22 @@ def run_sharded(
     trace: bool = False,
     slow_threshold: Optional[float] = None,
     verify_traces: bool = False,
+    profile: Optional[str] = None,
+    cross_shard: bool = False,
 ) -> Dict[str, Any]:
     """Run the counter workload against a sharded community.  Returns
     elapsed seconds, throughput, the merged final state, and (with
     ``export=True``) the merged per-shard telemetry.  With ``trace=True``
     every request is traced end to end; ``verify_traces=True`` addition-
     ally runs :func:`~repro.observability.distributed.verify_merged_trace`
-    over every captured tree and reports the problem list."""
+    over every captured tree and reports the problem list.  ``profile``
+    enables spec-level profiling on every worker ("exact" or "sampling");
+    the merged fleet profile lands under ``"profile"``.  ``cross_shard``
+    switches to :data:`AUDITED_COUNTER_SPEC`, whose bumps fan out to the
+    AUDIT ledger through the two-phase protocol."""
+    spec = AUDITED_COUNTER_SPEC if cross_shard else COUNTER_SPEC
     with ShardedCommunity(
-        COUNTER_SPEC,
+        spec,
         shards=shards,
         spool_dir=spool_dir,
         observe=observe,
@@ -75,7 +108,10 @@ def run_sharded(
         # (merged state / export collection) land in the ring too
         trace_capacity=max(256, counters + ops + 8 * shards),
         slow_threshold=slow_threshold,
+        profile=profile,
     ) as community:
+        if cross_shard:
+            community.create("AUDIT", {"Tag": 0})
         for index in range(counters):
             community.create("COUNTER", {"IdNo": index})
         start = time.perf_counter()
@@ -86,6 +122,7 @@ def run_sharded(
         exported = community.merged_export() if export or trace else None
         traces = community.traces() if trace else []
         slow = community.slow_requests() if slow_threshold is not None else []
+        profile_dump = community.fleet_profile() if profile else None
         problems: Dict[str, Any] = {}
         if verify_traces and trace:
             for root in traces:
@@ -103,15 +140,20 @@ def run_sharded(
         "traces": traces,
         "trace_problems": problems,
         "slow_requests": slow,
+        "profile": profile_dump,
     }
 
 
 def run_oracle(
-    counters: int = DEFAULT_COUNTERS, ops: int = DEFAULT_OPS
+    counters: int = DEFAULT_COUNTERS,
+    ops: int = DEFAULT_OPS,
+    cross_shard: bool = False,
 ) -> Dict[str, Any]:
     """The single-process oracle: the same occurrence sequence on one
     in-process ObjectBase; final state in the merged canonical order."""
-    system = ObjectBase(COUNTER_SPEC)
+    system = ObjectBase(AUDITED_COUNTER_SPEC if cross_shard else COUNTER_SPEC)
+    if cross_shard:
+        system.create("AUDIT", {"Tag": 0})
     for index in range(counters):
         system.create("COUNTER", {"IdNo": index})
     start = time.perf_counter()

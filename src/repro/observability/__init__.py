@@ -22,7 +22,11 @@ execution observable the same way:
 * :mod:`repro.observability.provenance` -- "why does this attribute
   have this value?" answered from the journal's causal edges;
 * :mod:`repro.observability.export` -- Prometheus text-format / JSON
-  exporters over the metrics snapshot plus journal-derived gauges.
+  exporters over the metrics snapshot plus journal-derived gauges;
+* :mod:`repro.observability.profile` -- the spec-level profiler:
+  time/call attribution per class, event, rule and pipeline phase
+  (exact or sampling), with speedscope / collapsed-flamegraph /
+  Prometheus exporters and a shard-aware fleet merge.
 
 Quickstart::
 
@@ -77,6 +81,18 @@ from repro.observability.journal import (
     verify_replay,
 )
 from repro.observability.metrics import Counter, Histogram, MetricsRegistry
+from repro.observability.profile import (
+    ProfileNode,
+    Profiler,
+    aggregate_profile,
+    bounded_profile_dump,
+    merge_profile_dump,
+    render_collapsed,
+    render_profile_prometheus,
+    render_profile_table,
+    render_speedscope,
+    verify_fleet_profile,
+)
 from repro.observability.provenance import (
     CauseLink,
     Provenance,
@@ -109,6 +125,8 @@ __all__ = [
     "MetricsRegistry",
     "Observability",
     "OccurrenceRecord",
+    "ProfileNode",
+    "Profiler",
     "Provenance",
     "RingBufferSink",
     "Sink",
@@ -118,7 +136,9 @@ __all__ = [
     "TraceContext",
     "Tracer",
     "TriggerRecord",
+    "aggregate_profile",
     "attach_remote_spans",
+    "bounded_profile_dump",
     "demo_scenario",
     "explain",
     "explain_from_trace",
@@ -130,14 +150,20 @@ __all__ = [
     "install_capture",
     "journal_stats",
     "merge_fleet_registry",
+    "merge_profile_dump",
+    "render_collapsed",
     "render_fleet_json",
     "render_fleet_prometheus",
     "render_json",
+    "render_profile_prometheus",
+    "render_profile_table",
     "render_prometheus",
     "render_provenance",
     "render_shard_prometheus",
+    "render_speedscope",
     "request_traces",
     "trace_by_id",
+    "verify_fleet_profile",
     "verify_merged_trace",
     "render_span",
     "replay_journal",

@@ -102,8 +102,19 @@ class Observability:
         sinks: Optional[List[Sink]] = None,
         ring_capacity: int = 256,
         attr_metrics: bool = True,
+        profile: Optional[str] = None,
+        profile_interval: int = 16,
     ):
         self.enabled = enabled
+        #: the spec-level profiler (``repro.observability.profile``);
+        #: ``None`` keeps every runtime profiling hook a single dormant
+        #: ``is not None`` test.  ``profile`` names a mode ("exact" or
+        #: "sampling").
+        self.profiler = None
+        if profile is not None and enabled:
+            from repro.observability.profile import Profiler
+
+            self.profiler = Profiler(mode=profile, interval=profile_interval)
         #: span recording can be switched off independently, keeping
         #: the (cheaper) counters/histograms only
         self.tracing = tracing
@@ -182,6 +193,13 @@ class Observability:
                 getattr(stats, field) - base[field] for stats, base in sources
             )
         return read
+
+    def attach_profiler(self, profiler) -> Any:
+        """Attach (or replace) the spec-level profiler.  Object bases
+        mirror ``obs.profiler`` as ``self.prof`` at construction, so
+        attach before building the system."""
+        self.profiler = profiler
+        return profiler
 
     def attach_probe_source(self, stats) -> None:
         """Register an always-on :class:`ProbeStats` as a live source for

@@ -50,8 +50,18 @@ class Counter:
         return self.values.get(tuple(labels), 0)
 
     def dump(self) -> dict:
-        """A lossless wire encoding (labels as lists, mergeable)."""
-        return {"values": [[list(labels), count] for labels, count in self.values.items()]}
+        """A lossless wire encoding (labels as lists, mergeable).  Label
+        series are sorted so the encoding is deterministic -- a merged
+        registry dumps byte-identically to a never-split one regardless
+        of the order series first fired."""
+        return {
+            "values": [
+                [list(labels), count]
+                for labels, count in sorted(
+                    self.values.items(), key=lambda kv: [str(p) for p in kv[0]]
+                )
+            ]
+        }
 
     def snapshot(self) -> dict:
         out: dict = {"total": self.total}
@@ -132,6 +142,12 @@ class Histogram:
         """Fold a :meth:`dump` (possibly from another process) into this
         histogram.  Bucket layouts must agree -- both sides use the
         shared defaults for their unit."""
+        unit = data.get("unit", self.unit)
+        if unit != self.unit:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge unit {unit!r} "
+                f"into {self.unit!r}"
+            )
         bounds = tuple(
             float("inf") if bound == "inf" else bound for bound in data["buckets"]
         )
@@ -236,15 +252,17 @@ class MetricsRegistry:
         """The whole registry in the lossless wire encoding -- the shape
         shard workers ship to the coordinator for fleet aggregation.
         Counters that never fired are omitted (pre-registered instruments
-        stay invisible until they have something to say)."""
+        stay invisible until they have something to say).  Instruments
+        are sorted by name so a merged registry's dump is byte-identical
+        to a never-split registry's, whatever order merges arrived in."""
         return {
             "counters": {
                 name: counter.dump()
-                for name, counter in self.counters.items()
+                for name, counter in sorted(self.counters.items())
                 if counter.values
             },
             "histograms": {
-                name: hist.dump() for name, hist in self.histograms.items()
+                name: hist.dump() for name, hist in sorted(self.histograms.items())
             },
         }
 
@@ -299,7 +317,8 @@ class MetricsRegistry:
             for name, counter in sorted(counters.items()):
                 lines.append(f"{name:44} {counter.total:>10g}")
                 for labels, count in sorted(
-                    counter.values.items(), key=lambda kv: -kv[1]
+                    counter.values.items(),
+                    key=lambda kv: (-kv[1], [str(p) for p in kv[0]]),
                 ):
                     if labels:
                         label = "/".join(str(p) for p in labels)

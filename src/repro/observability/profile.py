@@ -1,0 +1,697 @@
+"""Spec-level profiler: cost attribution keyed by specification construct.
+
+The stepwise-refinement story means every millisecond the animator
+spends is attributable to an *abstract* construct -- a class, an event,
+a permission rule, a constraint, a derivation, a quantified term.  The
+:class:`Profiler` aggregates wall-clock time and call counts into a
+trie keyed by those constructs:
+
+* ``unit:CLS.event`` -- one root per atomic synchronization set, keyed
+  by its trigger;
+* ``probe:CLS.event`` -- permission probes (``is_permitted`` dry runs);
+* ``op:name`` -- one root per shard-worker request (so a fleet profile
+  shows each shard's ``op:prepare_group`` / ``op:commit_group`` share);
+* ``occurrence:CLS.event`` -- each occurrence processed in a unit;
+* ``phase:*`` -- the occurrence pipeline phases (permission_check,
+  valuation, role_updates, called_events) plus the per-unit
+  constraint_sweep and journal_commit phases;
+* ``permission:CLS.event[i]`` / ``constraint:CLS[i]`` /
+  ``valuation:CLS.attr`` / ``derivation:CLS.attr`` -- individual rules.
+
+Every node also accumulates the :data:`repro.datatypes.compile.STATS`
+deltas observed while it was on the stack, so compiled-vs-interpreted
+term execution lands in the same tree ("this permission rule fell back
+to the interpreter 4k times").
+
+All per-node quantities are **inclusive**; exclusive (self) time is
+derived at render time as ``seconds - sum(child.seconds)``.  That makes
+merging trivially additive and lets :func:`bounded_profile_dump` prune
+leaves without losing total time (a pruned leaf's cost folds into its
+parent's self time).
+
+Two modes:
+
+* ``exact`` -- every root is measured; for analysis runs.
+* ``sampling`` -- only every ``interval``-th *top-level* root is
+  measured (nested roots inherit the decision); steady-state production
+  profiling at a fraction of the cost.  Dumps carry the
+  ``total_roots / sampled_roots`` scale factor and the speedscope /
+  collapsed exporters apply it, so flame widths estimate wall clock.
+
+The runtime follows the observability contract: instrumented code holds
+``self.prof`` (``None`` by default) and the hot path pays one attribute
+load and one ``is not None`` test when profiling is off.
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.datatypes.compile import STATS
+
+__all__ = [
+    "MAX_PROFILE_DUMP",
+    "PHASE_CALLED_EVENTS",
+    "PHASE_CONSTRAINT_SWEEP",
+    "PHASE_JOURNAL_COMMIT",
+    "PHASE_PERMISSION",
+    "PHASE_ROLE_UPDATES",
+    "PHASE_VALUATION",
+    "ProfileNode",
+    "Profiler",
+    "aggregate_profile",
+    "bounded_profile_dump",
+    "merge_profile_dump",
+    "render_collapsed",
+    "render_profile_prometheus",
+    "render_profile_table",
+    "render_speedscope",
+    "verify_fleet_profile",
+]
+
+#: Pipeline phase node names (module-level constants so the hot path
+#: never formats a string).
+PHASE_PERMISSION = "phase:permission_check"
+PHASE_VALUATION = "phase:valuation"
+PHASE_ROLE_UPDATES = "phase:role_updates"
+PHASE_CALLED_EVENTS = "phase:called_events"
+PHASE_CONSTRAINT_SWEEP = "phase:constraint_sweep"
+PHASE_JOURNAL_COMMIT = "phase:journal_commit"
+
+#: Default byte budget for a profile dump shipped on a response frame
+#: (like span batches, a worker never sends unbounded telemetry).
+MAX_PROFILE_DUMP = 256 * 1024
+
+
+class ProfileNode:
+    """One construct in the profile trie.  All quantities inclusive."""
+
+    __slots__ = (
+        "name",
+        "calls",
+        "seconds",
+        "compiled",
+        "fallbacks",
+        "cache_hits",
+        "children",
+    )
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.seconds = 0.0
+        self.compiled = 0
+        self.fallbacks = 0
+        self.cache_hits = 0
+        self.children: Dict[str, "ProfileNode"] = {}
+
+    def child(self, name: str) -> "ProfileNode":
+        node = self.children.get(name)
+        if node is None:
+            node = ProfileNode(name)
+            self.children[name] = node
+        return node
+
+    def child_seconds(self) -> float:
+        return sum(c.seconds for c in self.children.values())
+
+    def self_seconds(self) -> float:
+        return max(0.0, self.seconds - self.child_seconds())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Sparse, deterministic encoding (children sorted by name,
+        zero term counters omitted)."""
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "calls": self.calls,
+            "seconds": self.seconds,
+        }
+        if self.compiled:
+            data["compiled"] = self.compiled
+        if self.fallbacks:
+            data["fallbacks"] = self.fallbacks
+        if self.cache_hits:
+            data["cache_hits"] = self.cache_hits
+        if self.children:
+            data["children"] = [
+                self.children[name].to_dict() for name in sorted(self.children)
+            ]
+        return data
+
+    def merge_dict(self, data: Dict[str, Any]) -> None:
+        """Additively merge a ``to_dict`` encoding into this node."""
+        self.calls += data.get("calls", 0)
+        self.seconds += data.get("seconds", 0.0)
+        self.compiled += data.get("compiled", 0)
+        self.fallbacks += data.get("fallbacks", 0)
+        self.cache_hits += data.get("cache_hits", 0)
+        for child in data.get("children", ()):
+            self.child(child["name"]).merge_dict(child)
+
+
+class Profiler:
+    """The construct-attributing profiler (attach via
+    ``Observability(profile=...)`` or ``attach_profiler``).
+
+    ``begin_root`` / ``end_root`` bracket top-level measured regions
+    (synchronization units, permission probes, worker ops); the
+    sampling decision is taken only at the *outermost* root and nested
+    roots inherit it.  ``begin`` / ``end`` bracket interior nodes and
+    are no-ops while a skipped root is open.  ``end_root`` unwinds any
+    frames a propagating exception leaked (same robustness idiom as the
+    tracer), so call sites don't need per-node ``try/finally``.
+    """
+
+    def __init__(self, mode: str = "exact", interval: int = 16):
+        if mode not in ("exact", "sampling"):
+            raise ValueError(f"unknown profiler mode {mode!r}")
+        if interval < 1:
+            raise ValueError("sampling interval must be >= 1")
+        self.mode = mode
+        self.interval = interval
+        self.root = ProfileNode("profile")
+        self.total_roots = 0
+        self.sampled_roots = 0
+        self._stack: List[ProfileNode] = [self.root]
+        #: parallel to ``_stack[1:]``: (compiled, fallbacks, cache_hits,
+        #: start) snapshots taken at push time
+        self._frames: List[Tuple[int, int, int, float]] = []
+        #: stack depth at each open root; -1 marks a skipped root
+        self._marks: List[int] = []
+        #: >0 while inside a skipped (unsampled) root
+        self._skip = 0
+        #: interned node names so the hot path never formats strings
+        self._names: Dict[tuple, str] = {}
+
+    # -- node naming ---------------------------------------------------
+
+    def node_name(self, kind: str, class_name: str, item: str) -> str:
+        key = (kind, class_name, item)
+        name = self._names.get(key)
+        if name is None:
+            name = "%s:%s.%s" % (kind, class_name, item)
+            self._names[key] = name
+        return name
+
+    def indexed_name(self, kind: str, class_name: str, index: Any) -> str:
+        """``constraint:CLS[i]``-style names."""
+        key = (kind, class_name, index)
+        name = self._names.get(key)
+        if name is None:
+            name = "%s:%s[%s]" % (kind, class_name, index)
+            self._names[key] = name
+        return name
+
+    def rule_name(self, kind: str, class_name: str, item: str, index: Any) -> str:
+        """``permission:CLS.event[i]``-style names."""
+        key = (kind, class_name, item, index)
+        name = self._names.get(key)
+        if name is None:
+            name = "%s:%s.%s[%s]" % (kind, class_name, item, index)
+            self._names[key] = name
+        return name
+
+    # -- the measuring stack -------------------------------------------
+
+    def _push(self, name: str) -> None:
+        self._stack.append(self._stack[-1].child(name))
+        stats = STATS
+        self._frames.append(
+            (stats.compiled, stats.fallbacks, stats.cache_hits, perf_counter())
+        )
+
+    def _pop(self) -> None:
+        now = perf_counter()
+        node = self._stack.pop()
+        compiled0, fallbacks0, hits0, start = self._frames.pop()
+        stats = STATS
+        node.calls += 1
+        node.seconds += now - start
+        node.compiled += stats.compiled - compiled0
+        node.fallbacks += stats.fallbacks - fallbacks0
+        node.cache_hits += stats.cache_hits - hits0
+
+    def begin_root(self, name: str) -> None:
+        if self._marks:
+            # Nested root: inherit the outer sampling decision.
+            if self._skip:
+                self._skip += 1
+                self._marks.append(-1)
+                return
+            self._marks.append(len(self._stack))
+            self._push(name)
+            return
+        self.total_roots += 1
+        if self.mode == "sampling" and (self.total_roots - 1) % self.interval:
+            self._skip = 1
+            self._marks.append(-1)
+            return
+        self.sampled_roots += 1
+        self._marks.append(len(self._stack))
+        self._push(name)
+
+    def end_root(self) -> None:
+        if not self._marks:
+            return
+        mark = self._marks.pop()
+        if mark < 0:
+            if self._skip:
+                self._skip -= 1
+            return
+        # Unwind frames a propagating exception left open, then the
+        # root's own frame.
+        while len(self._stack) > mark:
+            self._pop()
+
+    def begin(self, name: str) -> None:
+        if self._skip:
+            return
+        self._push(name)
+
+    def end(self) -> None:
+        if self._skip:
+            return
+        if len(self._stack) > 1:
+            self._pop()
+
+    # -- dumps ---------------------------------------------------------
+
+    @property
+    def scale(self) -> float:
+        if self.sampled_roots:
+            return self.total_roots / self.sampled_roots
+        return 1.0
+
+    def dump(self) -> Dict[str, Any]:
+        tree = self.root.to_dict()
+        # The container root carries the sum of its children so merged
+        # shard subtrees render sane inclusive times.
+        tree["seconds"] = sum(
+            child["seconds"] for child in tree.get("children", ())
+        )
+        tree["calls"] = self.sampled_roots
+        return {
+            "mode": self.mode,
+            "interval": self.interval,
+            "total_roots": self.total_roots,
+            "sampled_roots": self.sampled_roots,
+            "scale": self.scale,
+            "tree": tree,
+        }
+
+    def drain(self) -> Optional[Dict[str, Any]]:
+        """Dump-and-reset: the delta since the previous drain, or
+        ``None`` when nothing happened.  Workers call this between
+        requests (the stack is guaranteed to be at the root there) to
+        ship bounded profile batches on response frames."""
+        if not self.root.children and not self.total_roots:
+            return None
+        data = self.dump()
+        self.root = ProfileNode("profile")
+        self._stack = [self.root]
+        self._frames = []
+        self._marks = []
+        self._skip = 0
+        self.total_roots = 0
+        self.sampled_roots = 0
+        return data
+
+
+# ----------------------------------------------------------------------
+# Dump-level operations (merge, bound, aggregate)
+# ----------------------------------------------------------------------
+
+def merge_profile_dump(node: ProfileNode, dump: Dict[str, Any]) -> None:
+    """Merge a profiler ``dump``'s tree into ``node`` (additive)."""
+    node.merge_dict(dump["tree"])
+
+
+def _collect_leaves(
+    node: Dict[str, Any], depth: int, out: List[Tuple[int, float, Dict[str, Any], Dict[str, Any]]]
+) -> None:
+    for child in node.get("children", ()):
+        if child.get("children"):
+            _collect_leaves(child, depth + 1, out)
+        else:
+            out.append((depth + 1, child.get("seconds", 0.0), node, child))
+
+
+def bounded_profile_dump(
+    dump: Dict[str, Any], limit: int = MAX_PROFILE_DUMP
+) -> Tuple[Dict[str, Any], int]:
+    """Prune ``dump`` (in place) until its compact JSON encoding fits in
+    ``limit`` bytes; returns ``(dump, pruned_node_count)``.
+
+    Pruning removes the deepest, cheapest leaves first.  Because node
+    quantities are inclusive, a pruned leaf's time folds into its
+    parent's self time -- totals survive, only attribution granularity
+    degrades."""
+    pruned = 0
+    while len(json.dumps(dump, separators=(",", ":"))) > limit:
+        leaves: List[Tuple[int, float, Dict[str, Any], Dict[str, Any]]] = []
+        _collect_leaves(dump["tree"], 0, leaves)
+        if not leaves:
+            break
+        leaves.sort(key=lambda item: (-item[0], item[1], item[3]["name"]))
+        drop = leaves[: max(1, len(leaves) // 2)]
+        doomed = {id(child) for (_, _, _, child) in drop}
+        parents = {id(parent): parent for (_, _, parent, _) in drop}
+        for parent in parents.values():
+            kept = [c for c in parent["children"] if id(c) not in doomed]
+            if kept:
+                parent["children"] = kept
+            else:
+                del parent["children"]
+        pruned += len(drop)
+    if pruned:
+        dump["pruned"] = dump.get("pruned", 0) + pruned
+    return dump, pruned
+
+
+def _node_kind(name: str) -> str:
+    return name.split(":", 1)[0] if ":" in name else ""
+
+
+def _walk_dump(
+    tree: Dict[str, Any],
+    visit: Callable[[Dict[str, Any], float, List[str]], None],
+    path: Optional[List[str]] = None,
+) -> None:
+    """Depth-first over a dump tree; ``visit(node, self_seconds, path)``
+    where ``path`` includes the node itself."""
+    if path is None:
+        path = []
+    path = path + [tree["name"]]
+    child_sum = sum(c.get("seconds", 0.0) for c in tree.get("children", ()))
+    visit(tree, max(0.0, tree.get("seconds", 0.0) - child_sum), path)
+    for child in tree.get("children", ()):
+        _walk_dump(child, visit, path)
+
+
+_AGGREGATE_KINDS = {
+    "class": ("occurrence",),
+    "event": ("occurrence",),
+    "rule": ("permission", "constraint", "valuation", "derivation"),
+    "phase": ("phase",),
+}
+
+
+def aggregate_profile(dump: Dict[str, Any], by: str) -> List[Dict[str, Any]]:
+    """Flatten a dump into per-construct rows for ``--by class|event|
+    rule|phase``.  ``self_seconds`` sums are additive-safe; inclusive
+    sums can double-count when the same construct nests inside itself
+    (an event whose called events re-enter it)."""
+    kinds = _AGGREGATE_KINDS.get(by)
+    if kinds is None:
+        raise ValueError(
+            f"unknown aggregation {by!r} (expected one of "
+            f"{sorted(_AGGREGATE_KINDS)})"
+        )
+    rows: Dict[str, Dict[str, Any]] = {}
+
+    def visit(node: Dict[str, Any], self_seconds: float, path: List[str]) -> None:
+        name = node["name"]
+        kind = _node_kind(name)
+        if kind not in kinds:
+            return
+        if by == "class":
+            remainder = name.split(":", 1)[1]
+            key = remainder.rsplit(".", 1)[0]
+        elif by in ("event", "phase"):
+            key = name.split(":", 1)[1]
+        else:
+            key = name
+        row = rows.get(key)
+        if row is None:
+            row = rows[key] = {
+                "key": key,
+                "calls": 0,
+                "seconds": 0.0,
+                "self_seconds": 0.0,
+                "compiled": 0,
+                "fallbacks": 0,
+                "cache_hits": 0,
+            }
+        row["calls"] += node.get("calls", 0)
+        row["seconds"] += node.get("seconds", 0.0)
+        row["self_seconds"] += self_seconds
+        row["compiled"] += node.get("compiled", 0)
+        row["fallbacks"] += node.get("fallbacks", 0)
+        row["cache_hits"] += node.get("cache_hits", 0)
+
+    _walk_dump(dump["tree"], visit)
+    return sorted(
+        rows.values(), key=lambda row: (-row["seconds"], row["key"])
+    )
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+
+def render_speedscope(
+    dump: Dict[str, Any], name: str = "repro profile"
+) -> Dict[str, Any]:
+    """A speedscope file (https://www.speedscope.app/file-format-schema.json):
+    one ``sampled`` profile whose samples are the trie paths and whose
+    weights are the nodes' exclusive seconds (scaled up in sampling
+    mode)."""
+    scale = dump.get("scale", 1.0) or 1.0
+    frames: List[Dict[str, str]] = []
+    frame_index: Dict[str, int] = {}
+    samples: List[List[int]] = []
+    weights: List[float] = []
+
+    def index_of(frame_name: str) -> int:
+        idx = frame_index.get(frame_name)
+        if idx is None:
+            idx = len(frames)
+            frames.append({"name": frame_name})
+            frame_index[frame_name] = idx
+        return idx
+
+    def walk(node: Dict[str, Any], path: List[int]) -> None:
+        path = path + [index_of(node["name"])]
+        children = node.get("children", ())
+        child_sum = sum(c.get("seconds", 0.0) for c in children)
+        self_seconds = max(0.0, node.get("seconds", 0.0) - child_sum)
+        if self_seconds > 0 or not children:
+            samples.append(path)
+            weights.append(self_seconds * scale)
+        for child in children:
+            walk(child, path)
+
+    for top in dump["tree"].get("children", ()):
+        walk(top, [])
+    total = sum(weights)
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "seconds",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }
+        ],
+        "name": name,
+        "exporter": "repro-profile",
+        "activeProfileIndex": 0,
+    }
+
+
+def render_collapsed(dump: Dict[str, Any]) -> str:
+    """Brendan-Gregg collapsed stacks (``a;b;c <microseconds>``), ready
+    for ``flamegraph.pl`` or speedscope's importer."""
+    scale = dump.get("scale", 1.0) or 1.0
+    lines: List[str] = []
+
+    def visit(node: Dict[str, Any], self_seconds: float, path: List[str]) -> None:
+        if len(path) < 2:  # skip the container root
+            return
+        micros = int(round(self_seconds * scale * 1e6))
+        if micros > 0 or not node.get("children"):
+            lines.append("%s %d" % (";".join(path[1:]), micros))
+
+    _walk_dump(dump["tree"], visit)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_profile_prometheus(dump: Dict[str, Any]) -> str:
+    """Prometheus text format: per-construct self seconds / calls /
+    term-compiler counters, flattened over the tree."""
+    from repro.observability.export import _escape_label, _format_value
+
+    totals: Dict[str, List[float]] = {}
+
+    def visit(node: Dict[str, Any], self_seconds: float, path: List[str]) -> None:
+        if len(path) < 2:
+            return
+        row = totals.setdefault(node["name"], [0.0, 0, 0, 0, 0])
+        row[0] += self_seconds
+        row[1] += node.get("calls", 0)
+        row[2] += node.get("compiled", 0)
+        row[3] += node.get("fallbacks", 0)
+        row[4] += node.get("cache_hits", 0)
+
+    _walk_dump(dump["tree"], visit)
+    metrics = [
+        ("repro_profile_self_seconds_total", "Exclusive seconds per construct", 0, _format_value),
+        ("repro_profile_calls_total", "Calls per construct", 1, lambda v: str(int(v))),
+        ("repro_profile_terms_compiled_total", "Terms compiled under construct", 2, lambda v: str(int(v))),
+        ("repro_profile_terms_fallback_total", "Interpreter fallbacks under construct", 3, lambda v: str(int(v))),
+        ("repro_profile_terms_cache_hits_total", "Compiled-closure cache hits under construct", 4, lambda v: str(int(v))),
+    ]
+    lines: List[str] = []
+    for metric, help_text, column, fmt in metrics:
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} counter")
+        for name in sorted(totals):
+            value = totals[name][column]
+            if column > 0 and not value:
+                continue
+            kind = _node_kind(name) or "node"
+            lines.append(
+                '%s{construct="%s",kind="%s"} %s'
+                % (metric, _escape_label(name), _escape_label(kind), fmt(value))
+            )
+    lines.append(
+        "# HELP repro_profile_roots_total Top-level measured regions"
+    )
+    lines.append("# TYPE repro_profile_roots_total counter")
+    lines.append(
+        'repro_profile_roots_total{sampled="false"} %d' % dump.get("total_roots", 0)
+    )
+    lines.append(
+        'repro_profile_roots_total{sampled="true"} %d' % dump.get("sampled_roots", 0)
+    )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Text rendering (the CLI's tables)
+# ----------------------------------------------------------------------
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return "%.3fs" % seconds
+    if seconds >= 1e-3:
+        return "%.2fms" % (seconds * 1e3)
+    return "%.0fus" % (seconds * 1e6)
+
+
+def render_profile_table(
+    dump: Dict[str, Any], by: Optional[str] = None, top: int = 20
+) -> str:
+    """The ``repro profile`` report: a header line, then either the
+    construct trie (``by=None``) or a flat per-construct table."""
+    scale = dump.get("scale", 1.0) or 1.0
+    header = (
+        "profile: mode=%s roots=%d sampled=%d scale=%.2f"
+        % (
+            dump.get("mode", "exact"),
+            dump.get("total_roots", 0),
+            dump.get("sampled_roots", 0),
+            scale,
+        )
+    )
+    if dump.get("pruned"):
+        header += " pruned=%d" % dump["pruned"]
+    lines = [header]
+    if by is None:
+        budget = [max(1, top) * 8]  # tree view gets a deeper budget
+
+        def walk(node: Dict[str, Any], indent: int) -> None:
+            if budget[0] <= 0:
+                return
+            budget[0] -= 1
+            child_sum = sum(
+                c.get("seconds", 0.0) for c in node.get("children", ())
+            )
+            self_seconds = max(0.0, node.get("seconds", 0.0) - child_sum)
+            terms = ""
+            term_total = (
+                node.get("compiled", 0)
+                + node.get("fallbacks", 0)
+                + node.get("cache_hits", 0)
+            )
+            if term_total:
+                terms = "  terms=%d (fallback %d)" % (
+                    term_total, node.get("fallbacks", 0)
+                )
+            lines.append(
+                "%s%-40s %8d  incl %9s  self %9s%s"
+                % (
+                    "  " * indent,
+                    node["name"],
+                    node.get("calls", 0),
+                    _format_seconds(node.get("seconds", 0.0) * scale),
+                    _format_seconds(self_seconds * scale),
+                    terms,
+                )
+            )
+            for child in sorted(
+                node.get("children", ()),
+                key=lambda c: (-c.get("seconds", 0.0), c["name"]),
+            ):
+                walk(child, indent + 1)
+
+        for child in sorted(
+            dump["tree"].get("children", ()),
+            key=lambda c: (-c.get("seconds", 0.0), c["name"]),
+        ):
+            walk(child, 0)
+    else:
+        rows = aggregate_profile(dump, by)[: max(1, top)]
+        lines.append(
+            "%-40s %8s %10s %10s %9s %9s"
+            % (by, "calls", "incl", "self", "terms", "fallback")
+        )
+        for row in rows:
+            lines.append(
+                "%-40s %8d %10s %10s %9d %9d"
+                % (
+                    row["key"][:40],
+                    row["calls"],
+                    _format_seconds(row["seconds"] * scale),
+                    _format_seconds(row["self_seconds"] * scale),
+                    row["compiled"] + row["cache_hits"] + row["fallbacks"],
+                    row["fallbacks"],
+                )
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Fleet verification
+# ----------------------------------------------------------------------
+
+def verify_fleet_profile(dump: Dict[str, Any]) -> List[str]:
+    """Structural checks over a merged fleet profile: at least one
+    shard subtree, and every shard that did any work saw both two-phase
+    ops (``op:prepare_group`` and ``op:commit_group``) -- the acceptance
+    contract for ``repro profile --fleet``."""
+    problems: List[str] = []
+    shards = [
+        child
+        for child in dump["tree"].get("children", ())
+        if child["name"].startswith("shard:")
+    ]
+    if not shards:
+        problems.append("fleet profile has no shard subtrees")
+        return problems
+    for shard in shards:
+        ops = {child["name"] for child in shard.get("children", ())}
+        for required in ("op:prepare_group", "op:commit_group"):
+            if required not in ops:
+                problems.append(
+                    f"{shard['name']} profile has no {required} node "
+                    f"(saw {sorted(ops)})"
+                )
+    return problems

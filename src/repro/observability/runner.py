@@ -71,14 +71,23 @@ def run_instrumented(
     tracing: bool = True,
     sinks: Optional[List[Sink]] = None,
     capture_output: bool = True,
+    profile: Optional[str] = None,
+    profile_interval: int = 16,
 ) -> Observability:
     """Run ``script`` (or the demo scenario) under a fresh, globally
     installed Observability; returns it after uninstalling.
 
     ``capture_output`` swallows the script's own stdout so the telemetry
-    report stays readable; pass False to interleave.
+    report stays readable; pass False to interleave.  ``profile`` turns
+    on the spec-level profiler ("exact" or "sampling"); read the result
+    from the returned Observability's ``profiler``.
     """
-    obs = Observability(tracing=tracing, sinks=sinks)
+    obs = Observability(
+        tracing=tracing,
+        sinks=sinks,
+        profile=profile,
+        profile_interval=profile_interval,
+    )
     install(obs)
     try:
         sink: io.StringIO = io.StringIO()

@@ -117,7 +117,14 @@ class Instance:
                 env = env.child(dict(zip(rule.params, args)))
             # Derivation rules are the hottest observe path: route them
             # through the closure compiler (cached on this class).
-            return self.system.eval_term(rule.expr, env, self.compiled)
+            prof = self.system.prof
+            if prof is None:
+                return self.system.eval_term(rule.expr, env, self.compiled)
+            prof.begin(prof.node_name("derivation", self.class_name, name))
+            try:
+                return self.system.eval_term(rule.expr, env, self.compiled)
+            finally:
+                prof.end()
         if args:
             table = self.param_state.get(name)
             if table is not None and args in table:

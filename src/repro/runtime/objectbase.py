@@ -53,6 +53,14 @@ from repro.observability.hooks import (
     Observability,
     get_observability,
 )
+from repro.observability.profile import (
+    PHASE_CALLED_EVENTS,
+    PHASE_CONSTRAINT_SWEEP,
+    PHASE_JOURNAL_COMMIT,
+    PHASE_PERMISSION,
+    PHASE_ROLE_UPDATES,
+    PHASE_VALUATION,
+)
 from repro.observability.journal import (
     Journal,
     _NoJournal,
@@ -230,6 +238,10 @@ class ObjectBase:
             # probe_cache.* counters are live views over probe_stats --
             # no per-probe mirror callback on the hot path
             self.obs.attach_probe_source(self.probe_stats)
+        #: the spec-level profiler, mirrored out of ``obs`` so profiled
+        #: paths pay one attribute load + None test (the same dormant-
+        #: hook contract as ``obs`` itself)
+        self.prof = self.obs.profiler if self.obs is not None else None
         #: event-journal flight recorder, same disabled-by-default
         #: contract as ``obs`` (None -> the process-global journal
         #: capture if installed, else no recording); distinct from
@@ -429,6 +441,9 @@ class ObjectBase:
     ) -> bool:
         """One uncached dry transaction (always rolled back)."""
         obs = self.obs
+        prof = self.prof
+        if prof is not None:
+            prof.begin_root(prof.node_name("probe", instance.class_name, event))
         txn = _Transaction(self)
         try:
             self._process(txn, instance, event, coerced)
@@ -442,6 +457,8 @@ class ObjectBase:
             return False
         finally:
             txn.rollback()
+            if prof is not None:
+                prof.end_root()
 
     def invalidate_probes(self) -> None:
         """Drop every memoized probe verdict (escape hatch for callers
@@ -759,6 +776,13 @@ class ObjectBase:
         first = items[0]
         recorder = self.recorder
         triggers = recorder.snapshot_triggers(items) if recorder is not None else None
+        prof = self.prof
+        if prof is not None:
+            # one profile root per atomic unit, keyed by its trigger;
+            # end_root unwinds whatever a rollback exception leaked
+            prof.begin_root(
+                prof.node_name("unit", first[0].class_name, first[1])
+            )
         if obs.tracing:
             # span attributes (f-string + repr) are only worth building
             # when a span will actually record them
@@ -768,38 +792,50 @@ class ObjectBase:
             )
         else:
             span_context = _NULL_SPAN_CONTEXT
-        with span_context as root:
-            txn = _Transaction(self)
-            try:
-                for instance, event, args in items:
-                    self._process(txn, instance, event, args)
-                with obs.phase("constraint_check"):
-                    self._check_static_constraints(txn)
-            except Exception as exc:
-                txn.rollback()
-                reason = type(exc).__name__
-                failed = getattr(exc, "occurrence", None)
-                root.set("outcome", "rolled_back")
-                root.set("rollback_reason", reason)
-                if failed is not None:
-                    root.set("failed_occurrence", str(failed))
-                obs.on_rollback(
-                    len(txn.steps), reason, str(failed) if failed else ""
-                )
+        try:
+            with span_context as root:
+                txn = _Transaction(self)
+                try:
+                    for instance, event, args in items:
+                        self._process(txn, instance, event, args)
+                    if prof is not None:
+                        prof.begin(PHASE_CONSTRAINT_SWEEP)
+                    with obs.phase("constraint_check"):
+                        self._check_static_constraints(txn)
+                    if prof is not None:
+                        prof.end()
+                except Exception as exc:
+                    txn.rollback()
+                    reason = type(exc).__name__
+                    failed = getattr(exc, "occurrence", None)
+                    root.set("outcome", "rolled_back")
+                    root.set("rollback_reason", reason)
+                    if failed is not None:
+                        root.set("failed_occurrence", str(failed))
+                    obs.on_rollback(
+                        len(txn.steps), reason, str(failed) if failed else ""
+                    )
+                    if recorder is not None:
+                        recorder.record_rollback(triggers, exc)
+                    raise
+                if prof is not None:
+                    prof.begin(PHASE_JOURNAL_COMMIT)
                 if recorder is not None:
-                    recorder.record_rollback(triggers, exc)
-                raise
-            if recorder is not None:
-                recorder.record_commit(txn, triggers)
-            txn.commit()
-            committed = [
-                Occurrence(inst, step.event, step.args) for inst, step, _ in txn.steps
-            ]
-            root.set("outcome", "committed")
-            root.set("sync_set_size", len(committed))
-            obs.on_commit(len(committed))
-            self.journal.extend(committed)
-            self._notify_commit(committed)
+                    recorder.record_commit(txn, triggers)
+                txn.commit()
+                if prof is not None:
+                    prof.end()
+                committed = [
+                    Occurrence(inst, step.event, step.args) for inst, step, _ in txn.steps
+                ]
+                root.set("outcome", "committed")
+                root.set("sync_set_size", len(committed))
+                obs.on_commit(len(committed))
+                self.journal.extend(committed)
+                self._notify_commit(committed)
+        finally:
+            if prof is not None:
+                prof.end_root()
 
     def _notify_commit(self, committed: List[Occurrence]) -> None:
         for hook in list(self.on_commit):
@@ -908,17 +944,35 @@ class ObjectBase:
             if txn.journaling:
                 txn.call_stack.pop()
         else:
+            prof = self.prof
+            if prof is not None:
+                prof.begin(
+                    prof.node_name("occurrence", instance.class_name, event)
+                )
+                prof.begin(PHASE_PERMISSION)
             with obs.phase("permission_check"):
                 new_protocol_states = self._phase_checks(instance, decl, event, args)
+            if prof is not None:
+                prof.end()
+                prof.begin(PHASE_VALUATION)
             with obs.phase("valuation"):
                 assignments = self._plan_valuation(instance, event, args)
                 self._phase_apply(
                     txn, instance, decl, event, args, new_protocol_states, assignments
                 )
+            if prof is not None:
+                prof.end()
+                prof.begin(PHASE_ROLE_UPDATES)
             with obs.phase("role_updates"):
                 self._phase_roles(txn, instance, event, args)
+            if prof is not None:
+                prof.end()
+                prof.begin(PHASE_CALLED_EVENTS)
             with obs.phase("called_events"):
                 self._phase_calling(txn, instance, event, args)
+            if prof is not None:
+                prof.end()
+                prof.end()  # the occurrence node
             if txn.journaling:
                 txn.call_stack.pop()
 
@@ -1137,11 +1191,18 @@ class ObjectBase:
             # role aspects checked here are not otherwise processed.
             deps.note_instance(instance)
         rules = instance.compiled.permissions_by_event.get(event, ())
-        for rule in rules:
+        prof = self.prof
+        for index, rule in enumerate(rules):
             bindings = self._match_event_args(rule.event.args, args, instance, rule.variables)
             if bindings is None:
                 continue
             env = instance.environment(bindings)
+            if prof is not None:
+                prof.begin(
+                    prof.rule_name(
+                        "permission", instance.class_name, event, index
+                    )
+                )
             if self.permission_mode == "incremental":
                 monitor = self._monitor_for(instance, rule)
                 admitted = monitor.check(env)
@@ -1152,6 +1213,8 @@ class ObjectBase:
                     env,
                     term_eval=self._class_term_eval(instance.compiled),
                 )
+            if prof is not None:
+                prof.end()
             if not admitted:
                 if self.obs is not None and self.obs.enabled:
                     self.obs.on_permission_denied(
@@ -1223,8 +1286,13 @@ class ObjectBase:
         deps = self._probe_deps
         if deps is not None:
             deps.note_instance(instance)
-        for constraint in constraints:
+        prof = self.prof
+        for index, constraint in enumerate(constraints):
             env = instance.environment()
+            if prof is not None:
+                prof.begin(
+                    prof.indexed_name("constraint", instance.class_name, index)
+                )
             try:
                 holds = bool(
                     self.eval_term(constraint.formula, env, instance.compiled)
@@ -1238,6 +1306,8 @@ class ObjectBase:
                     constraint.position,
                     occurrence=occurrence,
                 )
+            if prof is not None:
+                prof.end()
             if not holds:
                 if self.obs is not None and self.obs.enabled:
                     self.obs.on_constraint_violation(instance.class_name)
@@ -1256,6 +1326,7 @@ class ObjectBase:
         self, instance: Instance, event: str, args: Tuple[Value, ...]
     ) -> List[Tuple[str, Tuple[Value, ...], Value]]:
         assignments: List[Tuple[str, Tuple[Value, ...], Value]] = []
+        prof = self.prof
         for rule in instance.compiled.valuation_by_event.get(event, ()):
             bindings = self._match_event_args(
                 rule.event.args, args, instance, rule.variables
@@ -1264,16 +1335,28 @@ class ObjectBase:
                 continue
             env = instance.environment(bindings)
             owner = instance.compiled
+            if prof is not None:
+                prof.begin(
+                    prof.node_name(
+                        "valuation", instance.class_name, rule.attribute
+                    )
+                )
             if rule.guard is not None:
                 try:
                     if not bool(self.eval_term(rule.guard, env, owner)):
+                        if prof is not None:
+                            prof.end()
                         continue
                 except EvaluationError:
+                    if prof is not None:
+                        prof.end()
                     continue
             attr_args = tuple(
                 self.eval_term(a, env, owner) for a in rule.attribute_args
             )
             value = self.eval_term(rule.expr, env, owner)
+            if prof is not None:
+                prof.end()
             assignments.append((rule.attribute, attr_args, value))
         return assignments
 

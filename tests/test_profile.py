@@ -1,0 +1,670 @@
+"""The spec-level profiler: attribution tree, sampling, bounded dumps,
+exporters, the fleet merge, the twin-run no-interference contract, the
+perf-regression gate and the metrics round-trip determinism fix."""
+
+import contextlib
+import datetime
+import json
+
+import pytest
+
+from repro.diagnostics import ConstraintViolation, PermissionDenied
+from repro.library import FULL_COMPANY_SPEC
+from repro.observability import Observability
+from repro.observability.journal import Journal, record_to_json
+from repro.observability.metrics import Histogram, MetricsRegistry
+from repro.observability.profile import (
+    PHASE_PERMISSION,
+    PHASE_VALUATION,
+    ProfileNode,
+    Profiler,
+    aggregate_profile,
+    bounded_profile_dump,
+    render_collapsed,
+    render_profile_prometheus,
+    render_profile_table,
+    render_speedscope,
+    verify_fleet_profile,
+)
+from repro.observability.runner import run_instrumented
+from repro.runtime import ObjectBase
+
+D1960 = datetime.date(1960, 1, 1)
+D1991 = datetime.date(1991, 3, 1)
+
+
+# ----------------------------------------------------------------------
+# The trie
+# ----------------------------------------------------------------------
+
+class TestProfileNode:
+    def test_child_is_memoized(self):
+        node = ProfileNode("root")
+        assert node.child("a") is node.child("a")
+        assert set(node.children) == {"a"}
+
+    def test_self_seconds_clamps_at_zero(self):
+        node = ProfileNode("root")
+        node.seconds = 1.0
+        child = node.child("a")
+        child.seconds = 1.5  # clock skew between frames must not go negative
+        assert node.self_seconds() == 0.0
+
+    def test_to_dict_sorted_and_sparse(self):
+        node = ProfileNode("root")
+        node.calls = 2
+        node.seconds = 0.5
+        node.child("zeta").seconds = 0.1
+        node.child("alpha").seconds = 0.2
+        data = node.to_dict()
+        assert [c["name"] for c in data["children"]] == ["alpha", "zeta"]
+        assert "compiled" not in data  # zero term counters omitted
+
+    def test_merge_dict_is_additive(self):
+        a = ProfileNode("root")
+        a.calls, a.seconds, a.compiled = 1, 0.25, 3
+        a.child("x").seconds = 0.125
+        b = ProfileNode("root")
+        b.merge_dict(a.to_dict())
+        b.merge_dict(a.to_dict())
+        assert b.calls == 2
+        assert b.seconds == 0.5
+        assert b.compiled == 6
+        assert b.children["x"].seconds == 0.25
+
+
+# ----------------------------------------------------------------------
+# The measuring stack
+# ----------------------------------------------------------------------
+
+class TestProfiler:
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            Profiler(mode="forever")
+        with pytest.raises(ValueError):
+            Profiler(interval=0)
+
+    def test_exact_mode_measures_every_root(self):
+        prof = Profiler(mode="exact")
+        for _ in range(5):
+            prof.begin_root("unit:C.e")
+            prof.begin(PHASE_VALUATION)
+            prof.end()
+            prof.end_root()
+        assert prof.total_roots == prof.sampled_roots == 5
+        assert prof.scale == 1.0
+        dump = prof.dump()
+        (unit,) = dump["tree"]["children"]
+        assert unit["name"] == "unit:C.e"
+        assert unit["calls"] == 5
+        (phase,) = unit["children"]
+        assert phase["name"] == PHASE_VALUATION and phase["calls"] == 5
+
+    def test_sampling_measures_every_interval_th_root(self):
+        prof = Profiler(mode="sampling", interval=4)
+        for _ in range(8):
+            prof.begin_root("unit:C.e")
+            prof.begin(PHASE_PERMISSION)
+            prof.end()
+            prof.end_root()
+        assert prof.total_roots == 8
+        assert prof.sampled_roots == 2  # roots 0 and 4
+        assert prof.scale == 4.0
+        (unit,) = prof.dump()["tree"]["children"]
+        assert unit["calls"] == 2
+
+    def test_nested_roots_inherit_the_sampling_decision(self):
+        prof = Profiler(mode="sampling", interval=2)
+        # root 0: sampled; its nested root is measured too
+        prof.begin_root("op:a")
+        prof.begin_root("unit:C.e")
+        prof.end_root()
+        prof.end_root()
+        # root 1: skipped; the nested root and interior nodes are no-ops
+        prof.begin_root("op:a")
+        prof.begin_root("unit:C.e")
+        prof.begin(PHASE_VALUATION)
+        prof.end()
+        prof.end_root()
+        prof.end_root()
+        assert prof.total_roots == 2 and prof.sampled_roots == 1
+        (op,) = prof.dump()["tree"]["children"]
+        assert op["calls"] == 1
+        assert op["children"][0]["calls"] == 1
+
+    def test_end_root_unwinds_leaked_frames(self):
+        prof = Profiler()
+        prof.begin_root("unit:C.e")
+        prof.begin(PHASE_PERMISSION)
+        prof.begin("permission:C.e[0]")
+        # an exception propagated: no end() calls before the root closes
+        prof.end_root()
+        assert prof._stack == [prof.root]
+        (unit,) = prof.dump()["tree"]["children"]
+        (phase,) = unit["children"]
+        assert phase["children"][0]["name"] == "permission:C.e[0]"
+        assert phase["calls"] == 1
+
+    def test_stray_end_calls_are_harmless(self):
+        prof = Profiler()
+        prof.end()
+        prof.end_root()
+        assert prof.total_roots == 0
+
+    def test_drain_resets_and_returns_none_when_idle(self):
+        prof = Profiler()
+        assert prof.drain() is None
+        prof.begin_root("unit:C.e")
+        prof.end_root()
+        first = prof.drain()
+        assert first is not None and first["total_roots"] == 1
+        assert prof.drain() is None
+        prof.begin_root("unit:C.e")
+        prof.end_root()
+        second = prof.drain()
+        assert second["total_roots"] == 1  # a delta, not a running total
+
+
+# ----------------------------------------------------------------------
+# Dump-level operations
+# ----------------------------------------------------------------------
+
+def _deep_dump(width=6, depth=4):
+    prof = Profiler()
+    for i in range(width):
+        prof.begin_root("unit:C.e%d" % i)
+        for j in range(depth):
+            prof.begin("phase:p%d" % j)
+        for _ in range(depth):
+            prof.end()
+        prof.end_root()
+    return prof.dump()
+
+
+class TestBoundedDump:
+    def test_small_dump_is_untouched(self):
+        dump = _deep_dump()
+        bounded, pruned = bounded_profile_dump(dump, limit=1 << 20)
+        assert pruned == 0 and "pruned" not in bounded
+
+    def test_pruning_fits_the_budget_and_keeps_totals(self):
+        dump = _deep_dump()
+        total = dump["tree"]["seconds"]
+        bounded, pruned = bounded_profile_dump(dump, limit=512)
+        assert len(json.dumps(bounded, separators=(",", ":"))) <= 512
+        assert pruned > 0 and bounded["pruned"] == pruned
+        # inclusive quantities: pruned leaves fold into parent self time
+        assert bounded["tree"]["seconds"] == total
+
+
+class TestFleetMergeShape:
+    def test_merged_shards_verify(self):
+        fleet = ProfileNode("fleet")
+        for index in range(2):
+            prof = Profiler()
+            prof.begin_root("op:prepare_group")
+            prof.end_root()
+            prof.begin_root("op:commit_group")
+            prof.end_root()
+            fleet.child("shard:%d" % index).merge_dict(prof.dump()["tree"])
+        dump = {"mode": "exact", "tree": fleet.to_dict()}
+        assert verify_fleet_profile(dump) == []
+
+    def test_verify_reports_missing_phase_and_empty_fleet(self):
+        assert verify_fleet_profile({"tree": {"name": "fleet"}}) == [
+            "fleet profile has no shard subtrees"
+        ]
+        shard = ProfileNode("shard:0")
+        shard.child("op:prepare_group")
+        dump = {"tree": {"name": "fleet", "children": [shard.to_dict()]}}
+        problems = verify_fleet_profile(dump)
+        assert len(problems) == 1 and "op:commit_group" in problems[0]
+
+
+# ----------------------------------------------------------------------
+# A real instrumented run (shared by aggregation/exporter tests)
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def demo_dump():
+    obs = run_instrumented(tracing=False, profile="exact")
+    assert obs.profiler is not None
+    return obs.profiler.dump()
+
+
+class TestDemoAttribution:
+    def test_tree_covers_the_pipeline(self, demo_dump):
+        names = set()
+
+        def collect(node):
+            names.add(node["name"].split(":", 1)[0])
+            for child in node.get("children", ()):
+                collect(child)
+
+        collect(demo_dump["tree"])
+        assert {"unit", "occurrence", "phase", "permission",
+                "valuation", "constraint"} <= names
+
+    @pytest.mark.parametrize("by", ["class", "event", "rule", "phase"])
+    def test_aggregations_are_nonempty_and_sorted(self, demo_dump, by):
+        rows = aggregate_profile(demo_dump, by)
+        assert rows
+        seconds = [row["seconds"] for row in rows]
+        assert seconds == sorted(seconds, reverse=True)
+        if by == "phase":
+            assert any(row["key"] == "valuation" for row in rows)
+
+    def test_aggregate_rejects_unknown_axis(self, demo_dump):
+        with pytest.raises(ValueError):
+            aggregate_profile(demo_dump, "species")
+
+    def test_term_counters_land_in_the_tree(self, demo_dump):
+        def total(node):
+            own = node.get("compiled", 0) + node.get("cache_hits", 0)
+            return own + sum(total(c) for c in node.get("children", ()))
+
+        assert total(demo_dump["tree"]) > 0
+
+    def test_table_renders_both_views(self, demo_dump):
+        tree = render_profile_table(demo_dump, top=10)
+        assert tree.startswith("profile: mode=exact")
+        assert "unit:" in tree
+        flat = render_profile_table(demo_dump, by="phase", top=5)
+        assert "valuation" in flat
+
+    def test_collapsed_lines_are_parseable(self, demo_dump):
+        lines = render_collapsed(demo_dump).strip().splitlines()
+        assert lines
+        for line in lines:
+            path, micros = line.rsplit(" ", 1)
+            assert path and int(micros) >= 0
+            assert not path.startswith("profile;")  # container root skipped
+
+    def test_prometheus_export(self, demo_dump):
+        text = render_profile_prometheus(demo_dump)
+        assert "# TYPE repro_profile_self_seconds_total counter" in text
+        assert 'kind="phase"' in text
+        assert "repro_profile_roots_total" in text
+
+
+def _check_speedscope(doc):
+    """Manual structural validation against the speedscope file format
+    (jsonschema is not a dependency of this repo)."""
+    assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+    frames = doc["shared"]["frames"]
+    assert frames and all(isinstance(f["name"], str) for f in frames)
+    assert doc["activeProfileIndex"] == 0
+    (profile,) = doc["profiles"]
+    assert profile["type"] == "sampled"
+    assert profile["unit"] == "seconds"
+    assert profile["startValue"] == 0
+    assert len(profile["samples"]) == len(profile["weights"])
+    assert profile["samples"]
+    for stack, weight in zip(profile["samples"], profile["weights"]):
+        assert stack and all(0 <= idx < len(frames) for idx in stack)
+        assert weight >= 0
+    assert abs(sum(profile["weights"]) - profile["endValue"]) < 1e-9
+
+
+class TestSpeedscope:
+    def test_demo_profile_is_valid_speedscope(self, demo_dump):
+        doc = render_speedscope(demo_dump, name="demo")
+        _check_speedscope(doc)
+        assert doc["name"] == "demo"
+        json.dumps(doc)  # must be serializable as-is
+
+    def test_sampling_scale_inflates_weights(self):
+        prof = Profiler(mode="sampling", interval=4)
+        for _ in range(8):
+            prof.begin_root("unit:C.e")
+            prof.end_root()
+        dump = prof.dump()
+        doc = render_speedscope(dump)
+        _check_speedscope(doc)
+        measured = dump["tree"]["children"][0]["seconds"]
+        assert abs(doc["profiles"][0]["endValue"] - measured * 4.0) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# Twin-run differential: profiling must not change semantics
+# ----------------------------------------------------------------------
+
+def _scenario(obs):
+    """Churn with a constraint rollback and a permission denial (the
+    exception paths exercise the profiler's frame unwinding)."""
+    journal = Journal()
+    system = ObjectBase(FULL_COMPANY_SPEC, observability=obs, journal=journal)
+    dept = system.create("DEPT", {"id": "R"}, "establishment", [D1991])
+    alice = system.create(
+        "PERSON", {"Name": "alice", "BirthDate": D1960},
+        "hire_into", ["R", 6200.0],
+    )
+    bob = system.create(
+        "PERSON", {"Name": "bob", "BirthDate": D1960},
+        "hire_into", ["R", 3100.0],
+    )
+    system.occur(dept, "hire", [alice])
+    system.occur(dept, "hire", [bob])
+    system.occur(dept, "new_manager", [alice])
+    with contextlib.suppress(ConstraintViolation):
+        system.occur(dept, "new_manager", [bob])
+    outsider = system.create(
+        "PERSON", {"Name": "eve", "BirthDate": D1960},
+        "hire_into", ["X", 1.0],
+    )
+    with contextlib.suppress(PermissionDenied):
+        system.occur(dept, "fire", [outsider])
+    system.occur(dept, "fire", [bob])
+    return system, journal
+
+
+def _journal_fingerprint(journal):
+    """Every record, wall-clock fields excluded."""
+    out = []
+    for record in journal:
+        data = record_to_json(record)
+        data.pop("ts", None)
+        data.pop("mono", None)
+        out.append(data)
+    return json.dumps(out, sort_keys=True)
+
+
+class TestTwinRunDifferential:
+    def test_profiled_run_is_bit_identical_to_unprofiled(self):
+        from repro.runtime.persistence import dump_state
+
+        plain_system, plain_journal = _scenario(None)
+        prof_obs = Observability(tracing=False, profile="exact")
+        prof_system, prof_journal = _scenario(prof_obs)
+        # identical fired sequences (triggers + cascaded occurrences)...
+        assert _journal_fingerprint(prof_journal) == _journal_fingerprint(
+            plain_journal
+        )
+        # ...identical final states...
+        assert json.dumps(dump_state(prof_system), sort_keys=True, default=str) \
+            == json.dumps(dump_state(plain_system), sort_keys=True, default=str)
+        # ...and the profiler really was watching.
+        assert prof_obs.profiler.total_roots > 0
+
+    def test_sampling_run_is_bit_identical_too(self):
+        plain_system, plain_journal = _scenario(None)
+        obs = Observability(tracing=False, profile="sampling", profile_interval=3)
+        _, sampled_journal = _scenario(obs)
+        assert _journal_fingerprint(sampled_journal) == _journal_fingerprint(
+            plain_journal
+        )
+        assert obs.profiler.sampled_roots < obs.profiler.total_roots
+
+
+# ----------------------------------------------------------------------
+# The fleet: per-shard profiles on response frames
+# ----------------------------------------------------------------------
+
+class TestFleetProfile:
+    def _capture_frames(self, monkeypatch):
+        import repro.distributed.coordinator as coordinator_module
+
+        sent, received = [], []
+        real_send = coordinator_module.send_frame
+        real_recv = coordinator_module.recv_frame
+
+        def recording_send(sock, message):
+            sent.append(json.dumps(message, separators=(",", ":")))
+            return real_send(sock, message)
+
+        def recording_recv(sock, timeout=None):
+            response = real_recv(sock, timeout)
+            # snapshot before the coordinator pops telemetry fields
+            received.append(dict(response))
+            return response
+
+        monkeypatch.setattr(coordinator_module, "send_frame", recording_send)
+        monkeypatch.setattr(coordinator_module, "recv_frame", recording_recv)
+        return sent, received
+
+    def test_profiling_off_frames_are_byte_identical(self, monkeypatch):
+        from repro.distributed.workload import run_sharded
+
+        sent, received = self._capture_frames(monkeypatch)
+        run_sharded(2, counters=4, ops=4)
+        assert sent and received
+        for frame in received:
+            assert "profile" not in frame
+            assert "profile_pruned" not in frame
+        for encoded in sent:
+            frame = json.loads(encoded)
+            assert "profile" not in frame
+            stripped = {
+                k: v for k, v in frame.items()
+                if k not in ("profile", "profile_pruned")
+            }
+            assert json.dumps(frame, separators=(",", ":")) == json.dumps(
+                stripped, separators=(",", ":")
+            )
+
+    def test_profiled_responses_carry_bounded_dumps(self, monkeypatch):
+        from repro.distributed.workload import run_sharded
+
+        _, received = self._capture_frames(monkeypatch)
+        result = run_sharded(2, counters=4, ops=4, profile="exact")
+        dumps = [f["profile"] for f in received if "profile" in f]
+        assert dumps
+        for dump in dumps:
+            assert dump["mode"] == "exact"
+            assert dump["tree"]["children"]
+
+    def test_four_shard_cross_shard_fleet_profile(self):
+        from repro.distributed.coordinator import normalize_state
+        from repro.distributed.workload import run_oracle, run_sharded
+
+        result = run_sharded(
+            4, counters=16, ops=32, profile="exact", cross_shard=True
+        )
+        oracle = run_oracle(counters=16, ops=32, cross_shard=True)
+        assert normalize_state(result["state"]) == oracle["state"]
+        dump = result["profile"]
+        assert dump is not None
+        assert verify_fleet_profile(dump) == []
+        shards = [
+            c for c in dump["tree"]["children"]
+            if c["name"].startswith("shard:")
+        ]
+        assert len(shards) == 4
+        # every shard saw both two-phase ops, and the merged profile
+        # exports as a valid speedscope file
+        _check_speedscope(render_speedscope(dump, name="fleet"))
+
+
+# ----------------------------------------------------------------------
+# The perf-regression gate
+# ----------------------------------------------------------------------
+
+class TestRegressGate:
+    def _trajectory(self, tmp_path, **overrides):
+        entry = {
+            "date": "2026-08-09",
+            "workload": "P7-profile",
+            "benchmark": "benchmarks/bench_profile.py::test_profile_overhead_guard",
+            "artifact": "BENCH_profile.json",
+            "overhead": 1.10,
+            "guard": "<= 1.25x",
+        }
+        entry.update(overrides)
+        path = tmp_path / "trajectory.json"
+        path.write_text(json.dumps({"entries": [entry]}))
+        return str(path)
+
+    def _artifact(self, tmp_path, overhead):
+        artifact = {
+            "benchmarks": [
+                {
+                    "name": "test_profile_overhead_guard",
+                    "fullname": "benchmarks/bench_profile.py::test_profile_overhead_guard",
+                    "extra_info": {"overhead": overhead},
+                }
+            ]
+        }
+        (tmp_path / "BENCH_profile.json").write_text(json.dumps(artifact))
+
+    def _run(self, tmp_path, trajectory, *extra):
+        from benchmarks.regress import main
+
+        return main(
+            ["--trajectory", trajectory, "--artifacts-dir", str(tmp_path)]
+            + list(extra)
+        )
+
+    def test_fresh_artifact_within_tolerance_passes(self, tmp_path):
+        trajectory = self._trajectory(tmp_path)
+        self._artifact(tmp_path, overhead=1.12)
+        assert self._run(tmp_path, trajectory) == 0
+
+    def test_regressed_artifact_fails(self, tmp_path):
+        trajectory = self._trajectory(tmp_path)
+        self._artifact(tmp_path, overhead=1.40)  # > 1.10 * 1.20
+        assert self._run(tmp_path, trajectory) == 1
+
+    def test_guard_breach_fails_even_within_tolerance(self, tmp_path):
+        trajectory = self._trajectory(tmp_path, overhead=1.24)
+        self._artifact(tmp_path, overhead=1.26)  # inside 20% slide, over guard
+        assert self._run(tmp_path, trajectory) == 1
+
+    def test_higher_is_better_direction(self, tmp_path):
+        trajectory = self._trajectory(
+            tmp_path,
+            workload="P2-termcomp",
+            benchmark="benchmarks/bench_termcomp.py::test_termcomp_speedup_guard",
+            artifact="BENCH_profile.json",
+            guard=">= 3.0x",
+        )
+        entry = json.loads(open(trajectory).read())["entries"][0]
+        del entry["overhead"]
+        entry["speedup"] = 4.3
+        open(trajectory, "w").write(json.dumps({"entries": [entry]}))
+        artifact = {
+            "benchmarks": [
+                {
+                    "name": "test_termcomp_speedup_guard",
+                    "extra_info": {"speedup": 3.2},  # > 4.3 * 0.8 would be 3.44
+                }
+            ]
+        }
+        (tmp_path / "BENCH_profile.json").write_text(json.dumps(artifact))
+        assert self._run(tmp_path, trajectory) == 1
+        assert self._run(tmp_path, trajectory, "--tolerance", "0.3") == 0
+
+    def test_missing_artifact_skips_unless_strict(self, tmp_path):
+        trajectory = self._trajectory(tmp_path)
+        assert self._run(tmp_path, trajectory) == 0
+        assert self._run(tmp_path, trajectory, "--strict") == 1
+
+    def test_parse_guard(self):
+        from benchmarks.regress import parse_guard
+
+        assert parse_guard(">= 3.0x") == (">=", 3.0)
+        assert parse_guard("<= 1.15x") == ("<=", 1.15)
+        with pytest.raises(ValueError):
+            parse_guard("about 2x")
+
+    def test_committed_trajectory_is_well_formed(self):
+        from benchmarks.regress import (
+            DEFAULT_TRAJECTORY,
+            headline_metric,
+            latest_entries,
+            parse_guard,
+        )
+
+        with open(DEFAULT_TRAJECTORY) as handle:
+            entries = latest_entries(json.load(handle))
+        assert "P7-profile" in entries
+        for entry in entries.values():
+            parse_guard(entry["guard"])
+            assert entry[headline_metric(entry)] > 0
+
+
+# ----------------------------------------------------------------------
+# Metrics merge round-trip determinism (the satellite bugfix)
+# ----------------------------------------------------------------------
+
+def _populate(registry, rows):
+    """rows: (counter_name, labels, amount) -- amounts are multiples of
+    2**-10 so partial sums add without float error."""
+    for name, labels, amount in rows:
+        registry.counter(name).inc(amount, labels)
+
+
+class TestMetricsRoundTrip:
+    ROWS = [
+        ("occ.committed", (), 512 / 1024),
+        ("occ.committed", ("DEPT", "hire"), 3 / 1024),
+        ("occ.committed", ("PERSON", "fire"), 7 / 1024),
+        ("denials", ("b",), 1.0),
+        ("denials", ("a",), 2.0),
+    ]
+    SAMPLES = [3 / 1024, 9 / 1024, 1 / 1024, 40 / 1024, 7 / 1024, 2.0]
+
+    def _whole(self):
+        registry = MetricsRegistry()
+        _populate(registry, self.ROWS)
+        for value in self.SAMPLES:
+            registry.histogram("phase.valuation").observe(value)
+            registry.histogram("fanout", unit="count").observe(value * 8)
+        return registry
+
+    def _split(self, parts):
+        """The same series split across ``parts`` registries, label
+        insertion order scrambled per part."""
+        registries = [MetricsRegistry() for _ in range(parts)]
+        for index, (name, labels, amount) in enumerate(reversed(self.ROWS)):
+            _populate(registries[index % parts], [(name, labels, amount)])
+        for index, value in enumerate(self.SAMPLES):
+            shard = registries[index % parts]
+            shard.histogram("fanout", unit="count").observe(value * 8)
+            shard.histogram("phase.valuation").observe(value)
+        return registries
+
+    def test_export_merge_export_identity(self):
+        whole = self._whole()
+        for parts in (2, 3):
+            merged = MetricsRegistry.from_dumps(
+                r.dump() for r in self._split(parts)
+            )
+            assert json.dumps(merged.dump(), sort_keys=False) == json.dumps(
+                whole.dump(), sort_keys=False
+            )
+
+    def test_merged_percentiles_match_never_split(self):
+        whole = self._whole()
+        merged = MetricsRegistry.from_dumps(r.dump() for r in self._split(2))
+        for q in (0.5, 0.95, 0.99):
+            assert merged.histogram("phase.valuation").percentile(q) == \
+                whole.histogram("phase.valuation").percentile(q)
+
+    def test_merge_is_idempotent_under_re_export(self):
+        merged = MetricsRegistry.from_dumps(r.dump() for r in self._split(2))
+        again = MetricsRegistry.from_dumps([merged.dump()])
+        assert json.dumps(again.dump()) == json.dumps(merged.dump())
+
+    def test_unit_mismatch_is_rejected(self):
+        seconds = MetricsRegistry()
+        seconds.histogram("fanout").observe(0.5)
+        counts = MetricsRegistry()
+        counts.histogram("fanout", unit="count").observe(2)
+        with pytest.raises(ValueError, match="unit"):
+            seconds.merge(counts.dump())
+
+    def test_histogram_merge_rejects_foreign_buckets(self):
+        hist = Histogram("h")
+        with pytest.raises(ValueError, match="bucket layout"):
+            hist.merge_dump(
+                {"unit": "s", "buckets": [1, "inf"], "bucket_counts": [0, 0],
+                 "count": 0, "sum": 0.0, "min": None, "max": None}
+            )
+
+    def test_render_table_ties_are_deterministic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ties")
+        counter.inc(1.0, ("zed",))
+        counter.inc(1.0, ("ann",))
+        table = registry.render_table()
+        assert table.index("ann") < table.index("zed")
