@@ -453,6 +453,152 @@ def _serve_dispatch(community, request: dict) -> dict:
     return {"ok": False, "error": "WireError", "message": f"unknown op {op!r}"}
 
 
+async def _serve_dispatch_async(community, request: dict) -> dict:
+    """The async twin of :func:`_serve_dispatch` (same JSON-lines ops
+    against an :class:`~repro.distributed.aio.AsyncShardedCommunity`)."""
+    from repro.runtime.persistence import value_to_json
+
+    op = request.get("op")
+    class_name = request.get("class")
+    args = [_serve_decode_arg(a) for a in request.get("args") or []]
+    if op == "create":
+        identification = {
+            name: _serve_decode_arg(v)
+            for name, v in (request.get("identification") or {}).items()
+        }
+        key = await community.create(
+            class_name, identification or None, request.get("event"), args
+        )
+        return {"ok": True, "key": key if not isinstance(key, tuple) else list(key)}
+    if op == "occur":
+        await community.occur(
+            class_name, _serve_decode_key(request.get("key")),
+            request.get("event"), args,
+        )
+        return {"ok": True}
+    if op == "get":
+        value = await community.get(
+            class_name, _serve_decode_key(request.get("key")),
+            request.get("attribute"), args,
+        )
+        return {"ok": True, "value": value_to_json(value)}
+    if op == "is_permitted":
+        permitted = await community.is_permitted(
+            class_name, _serve_decode_key(request.get("key")),
+            request.get("event"), args,
+        )
+        return {"ok": True, "permitted": permitted}
+    if op == "step":
+        fired = await community.step()
+        if fired is None:
+            return {"ok": True, "fired": None}
+        fired_class, key, event = fired
+        return {
+            "ok": True,
+            "fired": {
+                "class": fired_class,
+                "key": key if not isinstance(key, tuple) else list(key),
+                "event": event,
+            },
+        }
+    if op == "export":
+        return {"ok": True, "export": await community.merged_export()}
+    if op == "dump":
+        return {"ok": True, "state": await community.merged_state()}
+    return {"ok": False, "error": "WireError", "message": f"unknown op {op!r}"}
+
+
+def _serve_tcp(args: argparse.Namespace, text: str, placement) -> int:
+    """``repro serve --port``: a JSON-lines TCP server over the async
+    pipelined community -- many clients at once, each line one request,
+    requests from all clients interleaved in flight."""
+    import asyncio
+    import json
+
+    from repro.distributed.aio import AsyncShardedCommunity
+
+    async def main() -> int:
+        async with AsyncShardedCommunity(
+            text,
+            shards=args.shards,
+            placement=placement,
+            spool_dir=args.spool_dir,
+        ) as community:
+            stop = asyncio.Event()
+
+            async def handle_client(reader, writer):
+                try:
+                    while True:
+                        try:
+                            line = await reader.readline()
+                        except asyncio.CancelledError:
+                            # server shutdown with this client still
+                            # connected -- close quietly
+                            break
+                        if not line:
+                            break
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            request = json.loads(line)
+                        except json.JSONDecodeError as error:
+                            reply = {
+                                "ok": False,
+                                "error": "WireError",
+                                "message": str(error),
+                            }
+                        else:
+                            if request.get("op") in ("quit", "shutdown"):
+                                reply = {"ok": True, "status": "bye"}
+                                writer.write(
+                                    (json.dumps(reply) + "\n").encode("utf-8")
+                                )
+                                await writer.drain()
+                                if request.get("op") == "shutdown":
+                                    stop.set()
+                                break
+                            try:
+                                reply = await _serve_dispatch_async(
+                                    community, request
+                                )
+                            except TrollError as error:
+                                reply = {
+                                    "ok": False,
+                                    "error": type(error).__name__,
+                                    "message": str(error),
+                                }
+                        writer.write((json.dumps(reply) + "\n").encode("utf-8"))
+                        await writer.drain()
+                finally:
+                    try:
+                        writer.close()
+                    except Exception:
+                        pass
+
+            server = await asyncio.start_server(
+                handle_client, host="127.0.0.1", port=args.port
+            )
+            port = server.sockets[0].getsockname()[1]
+            print(
+                json.dumps(
+                    {
+                        "ok": True,
+                        "serving": True,
+                        "shards": args.shards,
+                        "port": port,
+                        "pipelined": True,
+                    }
+                ),
+                flush=True,
+            )
+            async with server:
+                await stop.wait()
+        return 0
+
+    return asyncio.run(main())
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -464,6 +610,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if args.port is not None:
+        return _serve_tcp(args, text, placement)
     with ShardedCommunity(
         text,
         shards=args.shards,
@@ -681,10 +829,67 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workload_async(args: argparse.Namespace) -> int:
+    """``repro workload --clients N`` (N >= 2): the async pipelined
+    community with N concurrent client coroutines."""
+    from repro.distributed.workload import run_async_sharded, run_oracle
+    from repro.observability.export import render_shard_prometheus
+
+    result = run_async_sharded(
+        args.shards,
+        counters=args.counters,
+        ops=args.ops,
+        clients=args.clients,
+        spool_dir=args.spool_dir,
+        export=True,
+        trace=args.trace,
+    )
+    print(
+        f"async sharded run: {args.shards} shard(s), {args.clients} "
+        f"client(s), {result['counters']} counters, {result['ops']} ops"
+    )
+    print(f"  {result['seconds']:.3f}s -> {result['throughput']:.0f} ops/s")
+    totals = result["export"]["totals"]
+    print(
+        f"  commits={totals['commits']} rollbacks={totals['rollbacks']} "
+        f"requests={totals['requests']} restarts={totals['restarts']}"
+    )
+    group = result.get("group_commit") or {}
+    if group.get("flushes"):
+        print(
+            f"  group commit: {group['records']} record(s) in "
+            f"{group['flushes']} fsync batch(es) "
+            f"({group['records'] / group['flushes']:.1f} records/fsync)"
+        )
+    if args.trace:
+        print(f"  traced {len(result['traces'])} request(s)")
+    if args.oracle:
+        oracle = run_oracle(counters=args.counters, ops=args.ops)
+        match = oracle["state"] == result["state"]
+        print(
+            f"oracle run: {oracle['seconds']:.3f}s -> "
+            f"{oracle['throughput']:.0f} ops/s; merged state "
+            f"{'identical' if match else 'DIVERGED'}"
+        )
+        if not match:
+            return 1
+    if args.metrics:
+        text = render_shard_prometheus(result["export"])
+        if args.metrics == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote shard metrics to {args.metrics}")
+    return 0
+
+
 def _cmd_workload(args: argparse.Namespace) -> int:
     from repro.distributed.workload import run_oracle, run_sharded
     from repro.observability.export import render_shard_prometheus
 
+    if args.clients > 1:
+        return _cmd_workload_async(args)
     slow_threshold = args.slow_ms / 1e3 if args.slow_ms is not None else None
     result = run_sharded(
         args.shards,
@@ -936,6 +1141,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-shard durability spool (journal + snapshots); "
         "enables crash recovery",
     )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="serve JSON lines over TCP on this port instead of "
+        "stdin/stdout, accepting many concurrent clients against the "
+        "async pipelined community (0 picks an ephemeral port)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     workload = sub.add_parser(
@@ -977,6 +1188,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--slow-ms", type=float, default=None, dest="slow_ms",
         help="with --trace: capture merged traces of requests slower "
         "than this many milliseconds",
+    )
+    workload.add_argument(
+        "--clients", type=int, default=1,
+        help="concurrent client coroutines; 2 or more switches to the "
+        "async pipelined coordinator with group-commit workers "
+        "(default: 1, the synchronous oracle path)",
     )
     workload.set_defaults(func=_cmd_workload)
 

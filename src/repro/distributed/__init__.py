@@ -1,10 +1,14 @@
 """The sharded object-community server (Section 6 as a process
-boundary): coordinator, shard workers, wire protocol, partitioning."""
+boundary): coordinator (sync oracle + async pipelined), shard workers
+with group-commit durability, wire protocol, partitioning."""
 
+from repro.distributed.aio import AsyncShardedCommunity
 from repro.distributed.coordinator import (
+    BACKOFF_CAP,
     MAX_2PC_ROUNDS,
     ShardUnavailable,
     ShardedCommunity,
+    backoff_delay,
     merge_states,
     normalize_state,
 )
@@ -22,21 +26,28 @@ from repro.distributed.wire import (
     MAX_FRAME,
     MAX_SPAN_BATCH,
     WireClosed,
+    WireDesync,
     WireError,
     WireTimeout,
+    async_recv_frame,
+    async_send_frame,
     bounded_span_batch,
+    encode_frame,
     recv_frame,
     send_frame,
 )
 from repro.distributed.worker import (
     ShardWorker,
     Spool,
+    fsync_directory,
     occurrence_from_wire,
     occurrence_to_wire,
     worker_main,
 )
 
 __all__ = [
+    "AsyncShardedCommunity",
+    "BACKOFF_CAP",
     "MAX_2PC_ROUNDS",
     "MAX_FRAME",
     "MAX_SPAN_BATCH",
@@ -49,10 +60,16 @@ __all__ = [
     "ShardedCommunity",
     "Spool",
     "WireClosed",
+    "WireDesync",
     "WireError",
     "WireTimeout",
+    "async_recv_frame",
+    "async_send_frame",
+    "backoff_delay",
     "bounded_span_batch",
     "canonical_key",
+    "encode_frame",
+    "fsync_directory",
     "merge_states",
     "normalize_state",
     "occurrence_from_wire",

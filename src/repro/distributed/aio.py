@@ -1,0 +1,1072 @@
+"""The async pipelined coordinator: many requests in flight per shard.
+
+:class:`AsyncShardedCommunity` speaks the same society-interface wire
+protocol as the synchronous :class:`~repro.distributed.coordinator.
+ShardedCommunity` -- the two are behaviourally equivalent and the sync
+path stays the oracle -- but over asyncio streams with a ``mid``
+(message id) on every frame, so N client coroutines can have N requests
+in flight on one socket per shard.  A demultiplexer task per connection
+resolves response frames to their waiting futures by mid.
+
+Workers run the group-commit event loop
+(:func:`~repro.distributed.worker.async_worker_serve`): they apply
+mutations immediately but withhold the replies until a shared fsync
+covers the whole pending batch, so durability cost is amortized across
+every concurrently pending request instead of paid once per mutation.
+
+**Consistency.**  Each worker's event loop serializes its handlers, so
+concurrent shard-local mutations on one shard never interleave
+mid-unit.  The cross-shard invariant -- between a distributed unit's
+unanimous yes vote and its commit, no conflicting unit may run on a
+participant -- is preserved with a global unit lock (distributed units
+are serialized against each other, as in the sync coordinator) plus a
+write-preferring readers/writer gate per shard: shard-local mutations
+hold their shard's gate as readers, a distributed unit holds the gates
+of every participant as the writer for its whole prepare->commit
+window.  Reads (``get``) bypass the gates; they only ever see committed
+state.  Prepare rounds fan out to all participants concurrently
+(:func:`asyncio.gather`), as do commit and abort rounds.
+
+**Failures.**  A request timeout tears the connection down (the stream
+may no longer be frame-aligned -- see :class:`~repro.distributed.wire.
+WireDesync`) and respawns the shard; every other request in flight on
+that connection fails over to a retry on the fresh connection.  Retries
+back off exponentially with a cap and jitter
+(:func:`~repro.distributed.coordinator.backoff_delay`) and never block
+the event loop.  Retried request ids stay exactly-once through the
+worker's applied-id spool.
+
+**Tracing.**  The stack-based tracer cannot nest spans across
+interleaved await points, so the async coordinator builds its span
+trees explicitly: one ``request`` root per society-interface call held
+in a :class:`contextvars.ContextVar` (task-local, so concurrent client
+coroutines never cross wires), ``dispatch`` children appended per wire
+round-trip, worker span batches grafted with
+:func:`~repro.observability.distributed.attach_remote_spans`, and the
+completed root emitted straight to the sinks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+import itertools
+import socket
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.datatypes.values import Value, from_python
+from repro.diagnostics import CheckError, RuntimeSpecError, TrollError
+from repro.distributed.coordinator import (
+    MAX_2PC_ROUNDS,
+    ShardUnavailable,
+    _item_key,
+    backoff_delay,
+    merge_states,
+    remote_error,
+)
+from repro.distributed.shardbase import Partitioner
+from repro.distributed.wire import (
+    WireError,
+    async_recv_frame,
+    async_send_frame,
+    encode_frame,
+)
+from repro.distributed.worker import worker_main
+from repro.observability.distributed import (
+    attach_remote_spans,
+    request_traces,
+    trace_by_id,
+)
+from repro.observability.export import merge_fleet_registry
+from repro.observability.hooks import Observability
+from repro.observability.tracer import RingBufferSink, Span
+from repro.lang.checker import check_specification
+from repro.lang.parser import parse_specification
+from repro.runtime.compilespec import compile_specification
+from repro.runtime.persistence import (
+    _payload_from_json,
+    _payload_to_json,
+    value_from_json,
+    value_to_json,
+)
+
+#: the current society-interface call's root span (task-local)
+_ROOT_SPAN: contextvars.ContextVar[Optional[Span]] = contextvars.ContextVar(
+    "repro_async_root_span", default=None
+)
+
+
+class _ConnectionLost(Exception):
+    """Internal, always-retryable: the connection died with requests in
+    flight (worker crash, teardown after a peer's timeout)."""
+
+
+class _AsyncHandle:
+    """One shard connection: process, streams, in-flight futures, and
+    the outbox of frames coalescing into the next write."""
+
+    __slots__ = (
+        "index",
+        "process",
+        "reader",
+        "writer",
+        "futures",
+        "demux",
+        "alive",
+        "outbox",
+        "flush_pending",
+        "deadlines",
+    )
+
+    def __init__(self, index: int, process, reader, writer):
+        self.index = index
+        self.process = process
+        self.reader = reader
+        self.writer = writer
+        self.futures: Dict[int, asyncio.Future] = {}
+        self.demux: Optional[asyncio.Task] = None
+        self.alive = True
+        self.outbox: List[bytes] = []
+        self.flush_pending = False
+        self.deadlines: Dict[int, float] = {}
+
+
+class _ShardGate:
+    """A write-preferring readers/writer gate.
+
+    Shard-local mutations are readers (the worker's event loop already
+    serializes them against each other); a distributed unit is the
+    writer for every participating shard.  Writers are preferred --
+    arriving readers queue behind a waiting writer -- so a steady local
+    stream cannot starve 2PC.  Deadlock-free: a reader holds exactly one
+    gate and never awaits another, and the coordinator's unit lock
+    admits one writer at a time.
+
+    No lock inside: the event loop is single-threaded and every state
+    transition below happens between awaits, so the counters are
+    already atomic.  The uncontended reader path -- every shard-local
+    mutation -- is two integer operations and no suspension at all."""
+
+    __slots__ = ("_readers", "_writer", "_writers_waiting", "_waiters")
+
+    def __init__(self):
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+        self._waiters: List[asyncio.Future] = []
+
+    def _wake(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+
+    async def _wait(self) -> None:
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        await waiter
+
+    async def acquire_read(self) -> None:
+        while self._writer or self._writers_waiting:
+            await self._wait()
+        self._readers += 1
+
+    def release_read(self) -> None:
+        self._readers -= 1
+        if self._waiters and self._readers == 0:
+            self._wake()
+
+    async def acquire_write(self) -> None:
+        self._writers_waiting += 1
+        try:
+            while self._writer or self._readers:
+                await self._wait()
+        finally:
+            self._writers_waiting -= 1
+        self._writer = True
+
+    def release_write(self) -> None:
+        self._writer = False
+        self._wake()
+
+
+class AsyncShardedCommunity:
+    """The pipelined society interface over N group-commit workers.
+
+    Use as an async context manager (``__aenter__`` spawns the
+    workers), or construct and ``await community.start()``.  All
+    society-interface methods are coroutines safe to call from many
+    client tasks concurrently."""
+
+    def __init__(
+        self,
+        spec: str,
+        shards: int = 4,
+        placement: Optional[Dict[str, int]] = None,
+        spool_dir: Optional[str] = None,
+        permission_mode: str = "incremental",
+        check_constraints: bool = True,
+        probe_cache: bool = True,
+        snapshot_interval: int = 64,
+        request_timeout: float = 30.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        observe: bool = False,
+        trace: bool = False,
+        trace_capacity: int = 256,
+        span_batch_limit: Optional[int] = None,
+    ):
+        if not isinstance(spec, str):
+            raise CheckError(
+                "AsyncShardedCommunity needs specification text (workers "
+                "re-parse it in their own processes)"
+            )
+        checked = check_specification(parse_specification(spec))
+        checked.raise_if_errors()
+        self.compiled = compile_specification(checked)
+        self.spec_text = spec
+        self.shards = shards
+        self.partitioner = Partitioner(self.compiled, shards, placement)
+        self.placement = dict(placement or {})
+        self.spool_dir = spool_dir
+        self.permission_mode = permission_mode
+        self.check_constraints = check_constraints
+        self.probe_cache = probe_cache
+        self.snapshot_interval = snapshot_interval
+        self.request_timeout = request_timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.observe = observe
+        self.trace = trace
+        self.span_batch_limit = span_batch_limit
+        self.restarts = 0
+        self.spans_dropped = 0
+        self.in_flight = 0
+        if trace:
+            self.obs: Optional[Observability] = Observability(
+                tracing=True, sinks=[RingBufferSink(trace_capacity)]
+            )
+        elif observe:
+            self.obs = Observability(tracing=False)
+        else:
+            self.obs = None
+        self._tids = itertools.count(1)
+        self._sids = itertools.count(1)
+        self._rids = itertools.count(1)
+        self._mids = itertools.count(1)
+        self._handles: List[Optional[_AsyncHandle]] = [None] * shards
+        self._restart_locks = [asyncio.Lock() for _ in range(shards)]
+        self._gates = [_ShardGate() for _ in range(shards)]
+        self._unit_lock = asyncio.Lock()
+        self._closed = False
+        self._watchdog: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "AsyncShardedCommunity":
+        for index in range(self.shards):
+            if self._handles[index] is None:
+                await self._spawn(index)
+        if self._watchdog is None:
+            self._watchdog = asyncio.ensure_future(self._expire_loop())
+        return self
+
+    async def _expire_loop(self) -> None:
+        """Fail requests whose deadline passed.  One shared sweep task
+        enforces every in-flight timeout; a timeout can fire up to one
+        sweep interval late, which is fine for a failure detector."""
+        interval = min(0.5, max(0.05, self.request_timeout / 4))
+        while not self._closed:
+            await asyncio.sleep(interval)
+            now = asyncio.get_running_loop().time()
+            for handle in self._handles:
+                if handle is None or not handle.deadlines:
+                    continue
+                expired = [
+                    mid
+                    for mid, deadline in handle.deadlines.items()
+                    if deadline <= now
+                ]
+                for mid in expired:
+                    handle.deadlines.pop(mid, None)
+                    future = handle.futures.pop(mid, None)
+                    if future is not None and not future.done():
+                        future.set_exception(asyncio.TimeoutError())
+
+    def _worker_config(self, index: int) -> Dict[str, Any]:
+        return {
+            "spec": self.spec_text,
+            "shard_index": index,
+            "shards": self.shards,
+            "placement": self.placement,
+            "spool_dir": self.spool_dir,
+            "permission_mode": self.permission_mode,
+            "check_constraints": self.check_constraints,
+            "probe_cache": self.probe_cache,
+            "snapshot_interval": self.snapshot_interval,
+            "observe": self.observe,
+            "trace": self.trace,
+            "span_batch_limit": self.span_batch_limit,
+            "async_server": True,
+        }
+
+    async def _spawn(self, index: int) -> _AsyncHandle:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        parent_sock, child_sock = socket.socketpair()
+        process = ctx.Process(
+            target=worker_main,
+            args=(child_sock, self._worker_config(index)),
+            daemon=True,
+            name=f"repro-ashard-{index}",
+        )
+        process.start()
+        child_sock.close()
+        reader, writer = await asyncio.open_connection(sock=parent_sock)
+        handle = _AsyncHandle(index, process, reader, writer)
+        handle.demux = asyncio.ensure_future(self._demux(handle))
+        self._handles[index] = handle
+        return handle
+
+    async def _demux(self, handle: _AsyncHandle) -> None:
+        """Per-connection response router: resolves futures by mid.
+        Any stream failure (EOF on worker death, desync, reset) fails
+        every in-flight request over to the retry path."""
+        try:
+            while True:
+                frame = await async_recv_frame(handle.reader)
+                mid = frame.pop("mid", None)
+                handle.deadlines.pop(mid, None)
+                future = handle.futures.pop(mid, None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except asyncio.CancelledError:
+            self._teardown(handle, _ConnectionLost("connection torn down"))
+        except (WireError, OSError) as exc:
+            self._teardown(handle, exc)
+
+    def _enqueue(self, handle: _AsyncHandle, payload: bytes) -> None:
+        """Queue a frame and coalesce every frame enqueued this loop
+        tick into one transport write: on a single-core host each send
+        wakes the worker process and hands it the CPU, so one syscall
+        carrying the whole burst costs one context switch instead of
+        one per request -- and delivers the worker an arrival wave its
+        group commit can cover with a single fsync."""
+        handle.outbox.append(payload)
+        if not handle.flush_pending:
+            handle.flush_pending = True
+            asyncio.get_running_loop().call_soon(self._flush_outbox, handle)
+
+    def _flush_outbox(self, handle: _AsyncHandle) -> None:
+        handle.flush_pending = False
+        if not handle.outbox or not handle.alive:
+            return
+        data = b"".join(handle.outbox)
+        handle.outbox.clear()
+        try:
+            handle.writer.write(data)
+        except Exception:
+            # a dying stream fails the in-flight futures via the demux
+            # task's teardown; the retry path owns recovery
+            pass
+
+    def _teardown(self, handle: _AsyncHandle, exc: BaseException) -> None:
+        """Mark the connection dead, close the transport, and fail every
+        in-flight future with a retryable error."""
+        handle.alive = False
+        handle.outbox.clear()
+        handle.deadlines.clear()
+        try:
+            handle.writer.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+        futures, handle.futures = handle.futures, {}
+        for future in futures.values():
+            if not future.done():
+                future.set_exception(_ConnectionLost(str(exc) or type(exc).__name__))
+
+    async def _ensure(self, index: int) -> _AsyncHandle:
+        """The live handle for a shard, respawning a dead worker first.
+        Respawns are serialized per shard so concurrent failed requests
+        fund one recovery, not one each."""
+        handle = self._handles[index]
+        if handle is not None and handle.alive:
+            # No is_alive() here: that is a waitpid syscall per request.
+            # A worker that died without the demux noticing yet just
+            # fails this request over to the retry path, which lands in
+            # the locked check below.
+            return handle
+        async with self._restart_locks[index]:
+            handle = self._handles[index]
+            if handle is not None and handle.alive and handle.process.is_alive():
+                return handle
+            if handle is not None:
+                self._teardown(handle, _ConnectionLost("dead worker"))
+                if handle.demux is not None:
+                    handle.demux.cancel()
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                await asyncio.get_running_loop().run_in_executor(
+                    None, handle.process.join, 5
+                )
+                self._handles[index] = None
+            self.restarts += 1
+            if self.obs is not None:
+                self.obs.metrics.counter("rpc.respawns").inc(labels=(str(index),))
+            return await self._spawn(index)
+
+    def kill_worker(self, index: int) -> None:
+        """Hard-kill one shard process (fault injection for tests); the
+        demux task observes the EOF and fails in-flight requests over to
+        crash detection + restart."""
+        handle = self._handles[index]
+        if handle is not None and handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(timeout=5)
+
+    # ------------------------------------------------------------------
+    # The request machinery: pipelining, timeout, retry, restart
+    # ------------------------------------------------------------------
+
+    async def _request(
+        self, index: int, message: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        if self._closed:
+            raise ShardUnavailable("the community has been closed")
+        obs = self.obs
+        if obs is None:
+            return await self._request_attempts(index, message, timeout, None)
+        op = message.get("op")
+        start = time.perf_counter()
+        try:
+            if obs.tracing:
+                sid = f"s{next(self._sids)}"
+                root = _ROOT_SPAN.get()
+                tid = root.attributes.get("tid", "") if root is not None else ""
+                message = dict(message, trace={"tid": tid, "sid": sid})
+                span = Span("dispatch", {"op": op, "shard": index, "sid": sid})
+                if root is not None:
+                    root.children.append(span)
+                try:
+                    response = await self._request_attempts(
+                        index, message, timeout, span
+                    )
+                    batch = response.pop("spans", None)
+                    if batch:
+                        attach_remote_spans(span, batch)
+                    dropped = response.pop("spans_dropped", 0)
+                    if dropped:
+                        self.spans_dropped += dropped
+                        obs.metrics.counter("rpc.spans_dropped").inc(dropped)
+                        span.set("spans_dropped", dropped)
+                    return response
+                except Exception:
+                    span.status = "error"
+                    raise
+                finally:
+                    span.end = time.perf_counter()
+                    if root is None:
+                        # A dispatch outside any request root (management
+                        # round-trips) is its own trace tree.
+                        for sink in obs.tracer.sinks:
+                            sink.emit(span)
+            return await self._request_attempts(index, message, timeout, None)
+        finally:
+            obs.metrics.histogram("rpc").observe(time.perf_counter() - start)
+            obs.metrics.counter("rpc.requests").inc(labels=(str(op),))
+
+    async def _request_attempts(
+        self,
+        index: int,
+        message: Dict[str, Any],
+        timeout: Optional[float],
+        span: Optional[Span],
+    ) -> Dict[str, Any]:
+        timeout = self.request_timeout if timeout is None else timeout
+        attempts = self.retries + 1
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            handle = await self._ensure(index)
+            mid = next(self._mids)
+            loop = asyncio.get_running_loop()
+            future = loop.create_future()
+            handle.futures[mid] = future
+            # The watchdog sweep enforces the deadline: a shared
+            # periodic scan instead of two timer-heap operations per
+            # request (timeouts here are coarse failure detectors with
+            # retries stacked on top, not precision timers).
+            handle.deadlines[mid] = loop.time() + timeout
+            try:
+                self._enqueue(handle, encode_frame(dict(message, mid=mid)))
+                response = await future
+                dump = response.pop("profile", None)
+                if dump is not None:
+                    response.pop("profile_pruned", 0)
+                return response
+            except (
+                asyncio.TimeoutError,
+                _ConnectionLost,
+                WireError,
+                OSError,
+            ) as exc:
+                handle.deadlines.pop(mid, None)
+                handle.futures.pop(mid, None)
+                last_error = exc
+                if self.obs is not None:
+                    kind = (
+                        "timeout"
+                        if isinstance(exc, asyncio.TimeoutError)
+                        else "crash"
+                    )
+                    self.obs.metrics.counter("rpc.failures").inc(labels=(kind,))
+                if isinstance(exc, asyncio.TimeoutError):
+                    # A hung worker, or a reply stuck mid-frame: the
+                    # stream cannot be trusted, so tear it down -- every
+                    # other in-flight request fails over to its retry.
+                    self._teardown(handle, exc)
+                    if handle.demux is not None:
+                        handle.demux.cancel()
+                if attempt + 1 < attempts:
+                    if self.obs is not None:
+                        self.obs.metrics.counter("rpc.retries").inc()
+                    if span is not None:
+                        span.set("retries", attempt + 1)
+                    await asyncio.sleep(backoff_delay(attempt, self.backoff))
+        raise ShardUnavailable(
+            f"shard {index} unreachable after {attempts} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+
+    async def _call(
+        self, index: int, message: Dict[str, Any], timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        response = await self._request(index, message, timeout)
+        if not response.get("ok"):
+            raise remote_error(response, index)
+        return response
+
+    def _rid(self) -> str:
+        return f"r{next(self._rids)}"
+
+    # ------------------------------------------------------------------
+    # Routing helpers
+    # ------------------------------------------------------------------
+
+    def _route(self, class_name: str, key) -> Tuple[Any, int]:
+        if class_name not in self.compiled.classes:
+            raise CheckError(f"unknown class {class_name!r}")
+        payload = key.payload if isinstance(key, Value) else key
+        return payload, self.partitioner.shard_of(class_name, payload)
+
+    @staticmethod
+    def _encode_args(args: Sequence[object]) -> List[Any]:
+        return [value_to_json(from_python(a)) for a in args]
+
+    # ------------------------------------------------------------------
+    # The society interface
+    # ------------------------------------------------------------------
+
+    async def _observed(self, op: str, attributes: Dict[str, Any], thunk):
+        """One society-interface call under telemetry: a task-local
+        ``request`` root span (concurrent client tasks each get their
+        own) and per-op latency histograms."""
+        obs = self.obs
+        self.in_flight += 1
+        start = time.perf_counter()
+        try:
+            if obs.tracing:
+                tid = f"t{next(self._tids)}"
+                root = Span("request", dict(attributes, op=op, tid=tid))
+                token = _ROOT_SPAN.set(root)
+                try:
+                    return await thunk()
+                except Exception:
+                    root.status = "error"
+                    raise
+                finally:
+                    root.end = time.perf_counter()
+                    _ROOT_SPAN.reset(token)
+                    for sink in obs.tracer.sinks:
+                        sink.emit(root)
+            return await thunk()
+        finally:
+            self.in_flight -= 1
+            elapsed = time.perf_counter() - start
+            obs.metrics.histogram("request").observe(elapsed)
+            obs.metrics.histogram(f"request.{op}").observe(elapsed)
+
+    async def create(
+        self,
+        class_name: str,
+        identification: Optional[dict] = None,
+        event: Optional[str] = None,
+        args: Sequence[object] = (),
+    ):
+        """Create an instance on its owning shard; returns the identity
+        payload (the routing key for later calls)."""
+        if self.obs is not None:
+            return await self._observed(
+                "create",
+                {"class": class_name},
+                lambda: self._create_core(class_name, identification, event, args),
+            )
+        return await self._create_core(class_name, identification, event, args)
+
+    async def _create_core(
+        self,
+        class_name: str,
+        identification: Optional[dict],
+        event: Optional[str],
+        args: Sequence[object],
+    ):
+        if class_name not in self.compiled.classes:
+            raise CheckError(f"unknown class {class_name!r}")
+        compiled = self.compiled.classes[class_name]
+        payload = self.partitioner.identity_payload(compiled, identification)
+        shard = self.partitioner.shard_of(class_name, payload)
+        item = {
+            "type": "create",
+            "class": class_name,
+            "identification": {
+                name: value_to_json(from_python(v))
+                for name, v in (identification or {}).items()
+            },
+            "event": event,
+            "args": self._encode_args(args),
+        }
+        message = dict(item, op="create", rid=self._rid())
+        message.pop("type")
+        response = await self._mutate(shard, message)
+        if response.get("status") == "needs_2pc":
+            await self._run_2pc({shard: [item]}, response.get("remote", []))
+        return payload
+
+    async def occur(
+        self, class_name: str, key, event: str, args: Sequence[object] = ()
+    ) -> None:
+        """Drive one event occurrence (plus its synchronization set,
+        across shards when event calling requires it)."""
+        if self.obs is not None:
+            return await self._observed(
+                "occur",
+                {"class": class_name, "event": event},
+                lambda: self._occur_core(class_name, key, event, args),
+            )
+        return await self._occur_core(class_name, key, event, args)
+
+    async def _occur_core(
+        self, class_name: str, key, event: str, args: Sequence[object]
+    ) -> None:
+        payload, shard = self._route(class_name, key)
+        key_json = _payload_to_json(payload)
+        args_json = self._encode_args(args)
+        message = {
+            "op": "occur",
+            "class": class_name,
+            "key": key_json,
+            "event": event,
+            "args": args_json,
+            "rid": self._rid(),
+        }
+        response = await self._mutate(shard, message)
+        if response.get("status") == "needs_2pc":
+            item = {
+                "type": "occur",
+                "class": class_name,
+                "key": key_json,
+                "event": event,
+                "args": args_json,
+            }
+            await self._run_2pc({shard: [item]}, response.get("remote", []))
+
+    async def _mutate(self, shard: int, message: Dict[str, Any]) -> Dict[str, Any]:
+        """A shard-local mutating request, holding the shard's gate as a
+        reader so no distributed unit's vote->commit window overlaps it."""
+        gate = self._gates[shard]
+        await gate.acquire_read()
+        try:
+            return await self._call(shard, message)
+        finally:
+            gate.release_read()
+
+    async def get(
+        self, class_name: str, key, attribute: str, args: Sequence[object] = ()
+    ) -> Value:
+        if self.obs is not None:
+            return await self._observed(
+                "get",
+                {"class": class_name, "attribute": attribute},
+                lambda: self._get_core(class_name, key, attribute, args),
+            )
+        return await self._get_core(class_name, key, attribute, args)
+
+    async def _get_core(
+        self, class_name: str, key, attribute: str, args: Sequence[object]
+    ) -> Value:
+        payload, shard = self._route(class_name, key)
+        response = await self._call(
+            shard,
+            {
+                "op": "get",
+                "class": class_name,
+                "key": _payload_to_json(payload),
+                "attribute": attribute,
+                "args": self._encode_args(args),
+            },
+        )
+        return value_from_json(response["value"])
+
+    async def is_permitted(
+        self, class_name: str, key, event: str, args: Sequence[object] = ()
+    ) -> bool:
+        if self.obs is not None:
+            return await self._observed(
+                "is_permitted",
+                {"class": class_name, "event": event},
+                lambda: self._is_permitted_core(class_name, key, event, args),
+            )
+        return await self._is_permitted_core(class_name, key, event, args)
+
+    async def _is_permitted_core(
+        self, class_name: str, key, event: str, args: Sequence[object]
+    ) -> bool:
+        payload, shard = self._route(class_name, key)
+        item = {
+            "type": "occur",
+            "class": class_name,
+            "key": _payload_to_json(payload),
+            "event": event,
+            "args": self._encode_args(args),
+        }
+        message = dict(item, op="is_permitted")
+        message.pop("type")
+        response = await self._call(shard, message)
+        if response.get("status") == "needs_2pc":
+            # A dry fixpoint: prepares are rolled-back transactions, so
+            # no gates are needed -- but serialize against real units so
+            # the verdict is not computed mid vote->commit window.
+            async with self._unit_lock:
+                ok, _failure, _groups = await self._prepare_fixpoint(
+                    {shard: [item]}, response.get("remote", []), held=None
+                )
+            return ok
+        return bool(response.get("permitted"))
+
+    async def step(self) -> Optional[Tuple[str, Any, str]]:
+        """Fire one enabled active event somewhere in the community;
+        returns (class, key, event) or None at quiescence."""
+        if self.obs is not None:
+            return await self._observed("step", {}, self._step_core)
+        return await self._step_core()
+
+    async def _step_core(self) -> Optional[Tuple[str, Any, str]]:
+        for shard in range(self.shards):
+            response = await self._mutate(
+                shard, {"op": "step", "rid": self._rid()}
+            )
+            status = response.get("status")
+            if status == "fired":
+                return (
+                    response["class"],
+                    _payload_from_json(response["key"]),
+                    response["event"],
+                )
+            if status == "needs_2pc_candidate":
+                item = {
+                    "type": "occur",
+                    "class": response["class"],
+                    "key": response["key"],
+                    "event": response["event"],
+                    "args": [],
+                }
+                try:
+                    await self._run_2pc({shard: [item]}, [])
+                except RuntimeSpecError:
+                    continue
+                return (
+                    response["class"],
+                    _payload_from_json(response["key"]),
+                    response["event"],
+                )
+        return None
+
+    async def run_active(self, max_steps: int = 100) -> List[Tuple[str, Any, str]]:
+        fired: List[Tuple[str, Any, str]] = []
+        for _ in range(max_steps):
+            occurrence = await self.step()
+            if occurrence is None:
+                break
+            fired.append(occurrence)
+        return fired
+
+    # ------------------------------------------------------------------
+    # Two-phase commit (batched rounds, gated participants)
+    # ------------------------------------------------------------------
+
+    async def _prepare_fixpoint(
+        self,
+        groups: Dict[int, List[Dict[str, Any]]],
+        remote: List[Dict[str, Any]],
+        held: Optional[List[int]],
+    ) -> Tuple[bool, Optional[Dict[str, Any]], Dict[int, List[Dict[str, Any]]]]:
+        """Close the participant set, preparing every round's shards
+        concurrently.  When ``held`` is a list, each participant's gate
+        is write-acquired before its first prepare and recorded there
+        for the caller to release (after commit/abort)."""
+        seen = {
+            _item_key(item) for items in groups.values() for item in items
+        }
+        queue = list(remote)
+        for round_index in range(MAX_2PC_ROUNDS):
+            for call in queue:
+                key = _item_key(call)
+                if key in seen:
+                    continue
+                seen.add(key)
+                payload = _payload_from_json(call["key"])
+                owner = self.partitioner.shard_of(call["class"], payload)
+                groups.setdefault(owner, []).append(
+                    {
+                        "type": "occur",
+                        "class": call["class"],
+                        "key": call["key"],
+                        "event": call["event"],
+                        "args": call.get("args") or [],
+                    }
+                )
+            queue = []
+            shards = sorted(groups)
+            if held is not None:
+                for shard in shards:
+                    if shard not in held:
+                        await self._gates[shard].acquire_write()
+                        held.append(shard)
+            responses = await asyncio.gather(
+                *(
+                    self._call(
+                        shard, {"op": "prepare_group", "items": groups[shard]}
+                    )
+                    for shard in shards
+                )
+            )
+            for shard, response in zip(shards, responses):
+                if not response.get("vote"):
+                    return False, response, groups
+                for call in response.get("remote", []):
+                    if _item_key(call) not in seen:
+                        queue.append(call)
+            if not queue:
+                return True, None, groups
+        raise RuntimeSpecError(
+            f"distributed synchronization set did not close within "
+            f"{MAX_2PC_ROUNDS} prepare rounds (calling cycle across shards?)"
+        )
+
+    async def _run_2pc(
+        self,
+        groups: Dict[int, List[Dict[str, Any]]],
+        remote: List[Dict[str, Any]],
+    ) -> None:
+        obs = self.obs
+        root = _ROOT_SPAN.get()
+        if root is not None:
+            root.set("2pc", True)
+        if obs is not None:
+            obs.metrics.counter("2pc.units").inc()
+        async with self._unit_lock:
+            held: List[int] = []
+            try:
+                ok, failure, groups = await self._prepare_fixpoint(
+                    groups, remote, held
+                )
+                if not ok:
+                    reason = failure.get("error", "RuntimeSpecError")
+                    message = failure.get("message", "distributed unit aborted")
+                    if obs is not None:
+                        obs.metrics.counter("2pc.aborts").inc(labels=(reason,))
+
+                    async def _abort(shard: int) -> None:
+                        # Tombstones on every participant, best-effort: a
+                        # shard that cannot journal the abort has nothing
+                        # committed.
+                        try:
+                            await self._call(
+                                shard,
+                                {
+                                    "op": "abort_group",
+                                    "items": groups[shard],
+                                    "reason": reason,
+                                    "message": message,
+                                },
+                            )
+                        except TrollError:
+                            pass
+
+                    await asyncio.gather(
+                        *(_abort(shard) for shard in sorted(groups))
+                    )
+                    raise remote_error(failure)
+                # All voted yes; the unit lock plus the write gates on
+                # every participant admit no conflicting unit in between
+                # -- commits cannot be denied.  A crash mid-round is
+                # covered by restart + the rid spool.
+                await asyncio.gather(
+                    *(
+                        self._call(
+                            shard,
+                            {
+                                "op": "commit_group",
+                                "rid": self._rid(),
+                                "items": groups[shard],
+                            },
+                        )
+                        for shard in sorted(groups)
+                    )
+                )
+            finally:
+                for shard in held:
+                    self._gates[shard].release_write()
+        if obs is not None:
+            obs.metrics.counter("2pc.commits").inc()
+
+    # ------------------------------------------------------------------
+    # Merged state and telemetry
+    # ------------------------------------------------------------------
+
+    async def merged_state(self) -> Dict[str, Any]:
+        """The community's full state as one canonical ``dump_state``
+        snapshot.  Dumps run concurrently; quiesce the clients first
+        when an exact cross-shard cut is needed (the oracle checks do)."""
+        states = await asyncio.gather(
+            *(
+                self._call(shard, {"op": "dump"})
+                for shard in range(self.shards)
+            )
+        )
+        return merge_states([state["state"] for state in states])
+
+    async def merged_export(self) -> Dict[str, Any]:
+        shards = await asyncio.gather(
+            *(
+                self._call(shard, {"op": "export"})
+                for shard in range(self.shards)
+            )
+        )
+        shards = list(shards)
+        totals = {
+            "requests": sum(s.get("requests", 0) for s in shards),
+            "commits": sum(s.get("commits", 0) for s in shards),
+            "rollbacks": sum(s.get("rollbacks", 0) for s in shards),
+            "journal_depth": sum(s.get("journal_depth", 0) for s in shards),
+            "restarts": self.restarts,
+            "spans_dropped": self.spans_dropped
+            + sum(s.get("spans_dropped", 0) for s in shards),
+            "group_commit": {
+                "flushes": sum(
+                    (s.get("group_commit") or {}).get("flushes", 0)
+                    for s in shards
+                ),
+                "records": sum(
+                    (s.get("group_commit") or {}).get("records", 0)
+                    for s in shards
+                ),
+            },
+        }
+        coordinator = {
+            "restarts": self.restarts,
+            "in_flight": self.in_flight,
+            "spans_dropped": self.spans_dropped,
+            "slow_requests": 0,
+            "metrics_dump": self.obs.metrics.dump() if self.obs else None,
+        }
+        return {"shards": shards, "coordinator": coordinator, "totals": totals}
+
+    async def fleet_metrics(self):
+        """One merged metrics registry over coordinator + shards."""
+        return merge_fleet_registry(await self.merged_export())
+
+    def traces(self) -> List[Span]:
+        """The merged request trace trees currently in the ring sink
+        (oldest first); empty when tracing is off."""
+        if self.obs is None or self.obs.ring is None:
+            return []
+        return request_traces(self.obs.ring.spans)
+
+    def find_trace(self, trace_id: str) -> Optional[Span]:
+        if self.obs is None or self.obs.ring is None:
+            return None
+        return trace_by_id(self.obs.ring.spans, trace_id)
+
+    async def snapshot_all(self) -> List[int]:
+        """Force every shard to spool a fresh snapshot; returns the
+        per-shard journal high-water marks."""
+        responses = await asyncio.gather(
+            *(
+                self._call(shard, {"op": "snapshot"})
+                for shard in range(self.shards)
+            )
+        )
+        return [response["journal_seq"] for response in responses]
+
+    async def ping_all(self) -> List[Dict[str, Any]]:
+        return list(
+            await asyncio.gather(
+                *(
+                    self._call(shard, {"op": "ping"})
+                    for shard in range(self.shards)
+                )
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        loop = asyncio.get_running_loop()
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            try:
+                await self._watchdog
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._watchdog = None
+        for index, handle in enumerate(self._handles):
+            if handle is None:
+                continue
+            try:
+                if handle.alive:
+                    mid = next(self._mids)
+                    future = loop.create_future()
+                    handle.futures[mid] = future
+                    await async_send_frame(
+                        handle.writer, {"op": "shutdown", "mid": mid}
+                    )
+                    await asyncio.wait_for(future, 2.0)
+            except (WireError, OSError, asyncio.TimeoutError, _ConnectionLost):
+                pass
+            self._teardown(handle, _ConnectionLost("community closed"))
+            if handle.demux is not None:
+                handle.demux.cancel()
+                try:
+                    await handle.demux
+                except (asyncio.CancelledError, Exception):
+                    pass
+            await loop.run_in_executor(None, handle.process.join, 5)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                await loop.run_in_executor(None, handle.process.join, 5)
+            self._handles[index] = None
+
+    async def __aenter__(self) -> "AsyncShardedCommunity":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import random
 import socket
 import time
 from contextlib import nullcontext
@@ -94,8 +95,52 @@ from repro.runtime.persistence import (
 #: items; real calling chains close in one or two rounds)
 MAX_2PC_ROUNDS = 8
 
+#: ceiling on the retry backoff: one worker's restart must never stall
+#: traffic for longer than this per attempt, however many attempts the
+#: exponential curve has already climbed
+BACKOFF_CAP = 1.0
+
 #: shared no-op `with` target for untraced phase spans
 _NULL_CONTEXT = nullcontext()
+
+
+def backoff_delay(
+    attempt: int,
+    base: float,
+    cap: float = BACKOFF_CAP,
+    jitter: Optional[float] = None,
+) -> float:
+    """The sleep before retry ``attempt + 1``: exponential in
+    ``attempt``, capped at ``cap``, with jitter drawn uniformly from
+    ``[delay/2, delay]`` so simultaneous retries against one restarting
+    worker de-synchronize instead of stampeding in lockstep.
+
+    ``jitter`` pins the uniform draw to a value in ``[0, 1]`` for
+    deterministic tests; ``None`` draws from :func:`random.random`."""
+    if base <= 0:
+        return 0.0
+    delay = min(float(cap), base * (2 ** attempt))
+    fraction = random.random() if jitter is None else jitter
+    return delay * (0.5 + 0.5 * fraction)
+
+
+def remote_error(
+    response: Dict[str, Any], index: Optional[int] = None
+) -> TrollError:
+    """Rebuild a shard-side error with its original type *and* its
+    original error-carrying contract: the failing
+    :class:`~repro.diagnostics.OccurrenceRef` and the shard identity
+    travel on the error frame and are restored here."""
+    exc = error_class(response.get("error", "RuntimeSpecError"))(
+        response.get("message", f"shard {index} error")
+    )
+    failed = response.get("failed_ref")
+    if failed:
+        exc.occurrence = occurrence_from_wire(failed)
+    shard = response.get("shard", index)
+    if shard is not None:
+        exc.shard = shard
+    return exc
 
 
 class ShardUnavailable(TrollError):
@@ -393,7 +438,7 @@ class ShardedCommunity:
                         self.obs.metrics.counter("rpc.retries").inc()
                     if span is not None:
                         span.set("retries", attempt + 1)
-                    time.sleep(self.backoff * (2 ** attempt))
+                    time.sleep(backoff_delay(attempt, self.backoff))
         raise ShardUnavailable(
             f"shard {index} unreachable after {attempts} attempt(s): "
             f"{type(last_error).__name__}: {last_error}"
@@ -416,20 +461,7 @@ class ShardedCommunity:
     def _remote_error(
         self, response: Dict[str, Any], index: Optional[int] = None
     ) -> TrollError:
-        """Rebuild a shard-side error with its original type *and* its
-        original error-carrying contract: the failing
-        :class:`~repro.diagnostics.OccurrenceRef` and the shard identity
-        travel on the error frame and are restored here."""
-        exc = error_class(response.get("error", "RuntimeSpecError"))(
-            response.get("message", f"shard {index} error")
-        )
-        failed = response.get("failed_ref")
-        if failed:
-            exc.occurrence = occurrence_from_wire(failed)
-        shard = response.get("shard", index)
-        if shard is not None:
-            exc.shard = shard
-        return exc
+        return remote_error(response, index)
 
     def _call(
         self, index: int, message: Dict[str, Any], timeout: Optional[float] = None

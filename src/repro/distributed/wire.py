@@ -11,9 +11,23 @@ payloads travel in the persistence layer's sort-tagged value coding
 across the boundary.
 
 The framing functions raise :class:`WireClosed` on a cleanly closed
-peer, :class:`WireTimeout` when the socket timeout expires mid-frame,
-and :class:`WireError` for malformed frames.  Frames are capped at
-``MAX_FRAME`` bytes as a corrupted-length guard.
+peer, :class:`WireTimeout` when the socket timeout expires between
+frames, and :class:`WireError` for malformed frames.  Frames are capped
+at ``MAX_FRAME`` bytes as a corrupted-length guard.
+
+A timeout that expires *mid-frame* is special: part of the frame (a
+partial length prefix, or a prefix without its body) has already been
+consumed, so the next read on that stream would misparse stale bytes as
+a fresh length prefix.  The receive functions therefore tear the
+transport down on a partial-frame timeout and raise
+:class:`WireDesync` (a :class:`WireTimeout` subclass): the stream is no
+longer frame-aligned and must be reconnected, never reused.
+
+The async half of the protocol (:func:`async_recv_frame` /
+:func:`async_send_frame` over :mod:`asyncio` streams) frames messages
+identically -- a sync peer and an async peer interoperate byte for
+byte; requests and responses additionally carry a ``"mid"`` message id
+so many requests can be in flight per connection, multiplexed by id.
 
 **Telemetry fields** (all optional; absent when observability is off,
 so a disabled server exchanges byte-identical frames with the pre-
@@ -115,14 +129,46 @@ class WireTimeout(WireError):
     """The socket timeout expired while waiting for a frame."""
 
 
-def _recv_exact(sock: socket.socket, count: int) -> bytes:
-    """Read exactly ``count`` bytes or raise WireClosed/WireTimeout."""
+class WireDesync(WireTimeout):
+    """A timeout expired *mid-frame*: part of the frame was consumed,
+    the stream is no longer frame-aligned, and the transport has been
+    torn down.  Reconnect; never reuse the connection."""
+
+
+def _teardown(sock: socket.socket) -> None:
+    """Hard-close a desynchronized socket so no later read can misparse
+    the stale frame remainder as a fresh length prefix."""
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+def _recv_exact(sock: socket.socket, count: int, started: bool = False) -> bytes:
+    """Read exactly ``count`` bytes or raise WireClosed/WireTimeout.
+
+    ``started`` marks reads that continue an already part-consumed frame
+    (the body after its length prefix): a timeout there -- or after this
+    read itself consumed some bytes -- desynchronizes the stream, so the
+    socket is torn down and :class:`WireDesync` raised instead of the
+    resumable :class:`WireTimeout`."""
     chunks = []
     remaining = count
     while remaining:
         try:
             chunk = sock.recv(remaining)
         except socket.timeout as exc:  # noqa: PERF203 - must map per recv
+            if started or chunks:
+                _teardown(sock)
+                raise WireDesync(
+                    f"timed out mid-frame ({remaining} of {count} byte(s) "
+                    "missing); socket torn down -- reconnect, the stream "
+                    "is no longer frame-aligned"
+                ) from exc
             raise WireTimeout(f"timed out waiting for {remaining} byte(s)") from exc
         if not chunk:
             raise WireClosed("connection closed by peer")
@@ -131,12 +177,27 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
     return b"".join(chunks)
 
 
-def send_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
-    """Serialize ``message`` as one length-prefixed JSON frame."""
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """``message`` as one length-prefixed JSON frame (header + body)."""
     body = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME:
         raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
-    sock.sendall(_HEADER.pack(len(body)) + body)
+    return _HEADER.pack(len(body)) + body
+
+
+def send_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Serialize ``message`` as one length-prefixed JSON frame."""
+    sock.sendall(encode_frame(message))
+
+
+def _decode_body(body: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise WireError("frame body must be a JSON object")
+    return message
 
 
 def recv_frame(
@@ -146,17 +207,66 @@ def recv_frame(
 
     ``timeout=None`` leaves the socket's current timeout in place (the
     worker's blocking serve loop); a value installs it for this frame.
+    A timeout that fires mid-frame tears the socket down and raises
+    :class:`WireDesync` -- see the module docstring.
     """
     if timeout is not None:
         sock.settimeout(timeout)
     length = _HEADER.unpack(_recv_exact(sock, _HEADER.size))[0]
     if length > MAX_FRAME:
         raise WireError(f"frame length {length} exceeds MAX_FRAME")
-    body = _recv_exact(sock, length)
+    return _decode_body(_recv_exact(sock, length, started=True))
+
+
+# ----------------------------------------------------------------------
+# Async framing (asyncio streams) -- byte-identical to the sync frames
+# ----------------------------------------------------------------------
+
+
+async def async_send_frame(writer, message: Dict[str, Any]) -> None:
+    """Write one frame to an asyncio ``StreamWriter`` and drain."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+async def async_recv_frame(reader, timeout: Optional[float] = None) -> Dict[str, Any]:
+    """Receive one frame from an asyncio ``StreamReader``.
+
+    With a ``timeout``, a header-wait timeout is resumable (readexactly
+    pops its bytes atomically, so a cancelled header read leaves the
+    stream aligned) but a body timeout -- the length prefix already
+    consumed -- poisons the reader and raises :class:`WireDesync`;
+    every later read on a poisoned reader raises the same."""
+    import asyncio
+
+    if getattr(reader, "_repro_desync", False):
+        raise WireDesync("stream previously desynchronized; reconnect")
     try:
-        message = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise WireError(f"undecodable frame: {exc}") from exc
-    if not isinstance(message, dict):
-        raise WireError("frame body must be a JSON object")
-    return message
+        if timeout is None:
+            header = await reader.readexactly(_HEADER.size)
+        else:
+            try:
+                header = await asyncio.wait_for(
+                    reader.readexactly(_HEADER.size), timeout
+                )
+            except asyncio.TimeoutError as exc:
+                raise WireTimeout(
+                    f"timed out waiting for a frame header"
+                ) from exc
+        length = _HEADER.unpack(header)[0]
+        if length > MAX_FRAME:
+            raise WireError(f"frame length {length} exceeds MAX_FRAME")
+        if timeout is None:
+            body = await reader.readexactly(length)
+        else:
+            try:
+                body = await asyncio.wait_for(reader.readexactly(length), timeout)
+            except asyncio.TimeoutError as exc:
+                reader._repro_desync = True
+                raise WireDesync(
+                    f"timed out mid-frame ({length} byte body pending); "
+                    "stream poisoned -- reconnect"
+                ) from exc
+    except asyncio.IncompleteReadError as exc:
+        raise WireClosed("connection closed by peer") from exc
+    return _decode_body(body)

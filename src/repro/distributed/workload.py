@@ -15,9 +15,11 @@ fast path inside each worker -- no two-phase machinery on the hot path.
 
 from __future__ import annotations
 
+import asyncio
 import time
 from typing import Any, Dict, Optional
 
+from repro.distributed.aio import AsyncShardedCommunity
 from repro.distributed.coordinator import (
     ShardedCommunity,
     normalize_state,
@@ -79,6 +81,7 @@ def run_sharded(
     counters: int = DEFAULT_COUNTERS,
     ops: int = DEFAULT_OPS,
     spool_dir: Optional[str] = None,
+    snapshot_interval: int = 64,
     observe: bool = False,
     export: bool = False,
     trace: bool = False,
@@ -102,6 +105,7 @@ def run_sharded(
         spec,
         shards=shards,
         spool_dir=spool_dir,
+        snapshot_interval=snapshot_interval,
         observe=observe,
         trace=trace,
         # headroom past one root per request: management round-trips
@@ -142,6 +146,84 @@ def run_sharded(
         "slow_requests": slow,
         "profile": profile_dump,
     }
+
+
+def run_async_sharded(
+    shards: int,
+    counters: int = DEFAULT_COUNTERS,
+    ops: int = DEFAULT_OPS,
+    clients: int = 8,
+    spool_dir: Optional[str] = None,
+    snapshot_interval: int = 64,
+    observe: bool = False,
+    export: bool = False,
+    trace: bool = False,
+    cross_shard: bool = False,
+) -> Dict[str, Any]:
+    """The counter workload against the async pipelined community:
+    ``clients`` concurrent client coroutines partition the op indices
+    among themselves and hammer the coordinator in parallel.
+
+    Counter bumps commute (``bump`` is ``Value = Value + 1`` with a
+    population-wide read-only guard), so *any* interleaving of the
+    partitioned ops reaches the same final state -- the merged dump
+    stays byte-comparable to the single-process oracle that runs the
+    same multiset of ops."""
+
+    async def _run() -> Dict[str, Any]:
+        spec = AUDITED_COUNTER_SPEC if cross_shard else COUNTER_SPEC
+        async with AsyncShardedCommunity(
+            spec,
+            shards=shards,
+            spool_dir=spool_dir,
+            snapshot_interval=snapshot_interval,
+            observe=observe,
+            trace=trace,
+            trace_capacity=max(256, counters + ops + 8 * shards),
+        ) as community:
+            if cross_shard:
+                await community.create("AUDIT", {"Tag": 0})
+            for index in range(counters):
+                await community.create("COUNTER", {"IdNo": index})
+
+            async def client(worker_index: int) -> int:
+                done = 0
+                for op in range(worker_index, ops, clients):
+                    await community.occur("COUNTER", op % counters, "bump")
+                    done += 1
+                return done
+
+            start = time.perf_counter()
+            completed = await asyncio.gather(
+                *(client(index) for index in range(max(1, clients)))
+            )
+            elapsed = time.perf_counter() - start
+            state = await community.merged_state()
+            exported = (
+                await community.merged_export() if export or trace else None
+            )
+            traces = community.traces() if trace else []
+            group_commit = (
+                (exported or {}).get("totals", {}).get("group_commit")
+                if exported
+                else None
+            )
+            restarts = community.restarts
+        return {
+            "shards": shards,
+            "clients": clients,
+            "counters": counters,
+            "ops": sum(completed),
+            "seconds": elapsed,
+            "throughput": sum(completed) / elapsed if elapsed > 0 else float("inf"),
+            "state": state,
+            "export": exported,
+            "traces": traces,
+            "group_commit": group_commit,
+            "restarts": restarts,
+        }
+
+    return asyncio.run(_run())
 
 
 def run_oracle(
