@@ -1,0 +1,145 @@
+"""Disk-resident instance storage: million-object populations on a
+bounded hot set.
+
+The paper's object base is "structured and persistent database
+objects"; the paging :class:`~repro.storage.registry.InstanceStore`
+makes that literal -- instance records live in a disk backend (paged
+B-tree page file or SQLite) and only a bounded LRU hot set of live
+``Instance`` objects stays resident.
+
+``test_storage_million_guard`` is the CI regression guard: it grows a
+population of ``REPRO_BENCH_STORAGE_POP`` instances (default one
+million) under the paged backend and asserts the resident high-water
+mark stays at least 10x below the population (headline ``overhead`` =
+resident_high / population).  The churn benchmark drives random event
+occurrences through the fault -> mutate -> evict -> write-back cycle,
+and the dump benchmark checks a paged dump stays byte-identical to the
+all-resident MemoryStore oracle while timing it.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.lang import check_specification, parse_specification
+from repro.runtime import ObjectBase
+from repro.runtime.compilespec import compile_specification
+from repro.runtime.persistence import dump_state
+
+CELL_SPEC = """
+object class CELL
+  identification
+    Id: nat;
+  template
+    attributes
+      Value: nat;
+    events
+      birth make;
+      poke;
+    valuation
+      make Value = 0;
+      poke Value = Value + 1;
+end object class CELL;
+"""
+
+#: the guard population; override with REPRO_BENCH_STORAGE_POP
+POPULATION = int(os.environ.get("REPRO_BENCH_STORAGE_POP", "1000000"))
+HOT_SET = 4096
+CHURN_POPULATION = 100_000
+CHURN_OPS = 20_000
+DUMP_POPULATION = 10_000
+
+
+@pytest.fixture(scope="module")
+def compiled_cell():
+    return compile_specification(
+        check_specification(parse_specification(CELL_SPEC)).raise_if_errors()
+    )
+
+
+def paged_system(compiled, tmp_path, name, hot_set=HOT_SET):
+    return ObjectBase(
+        compiled, storage=f"paged:{tmp_path / name}", hot_set=hot_set
+    )
+
+
+def populate(system, size):
+    for index in range(size):
+        system.create("CELL", {"Id": index})
+    return system
+
+
+def test_storage_million_guard(benchmark, compiled_cell, tmp_path):
+    """Regression guard: a population of POPULATION instances under the
+    paged backend keeps its resident high-water mark at least 10x below
+    the population."""
+    built = []
+
+    def run():
+        system = paged_system(compiled_cell, tmp_path, f"pop{len(built)}")
+        start = time.perf_counter()
+        populate(system, POPULATION)
+        elapsed = time.perf_counter() - start
+        built.append((system, elapsed))
+
+    benchmark.pedantic(run, rounds=1)
+    system, elapsed = built[-1]
+    stats = system.store.stats
+    overhead = stats.resident_high / POPULATION
+    benchmark.extra_info["population"] = POPULATION
+    benchmark.extra_info["hot_set"] = HOT_SET
+    benchmark.extra_info["resident_high"] = stats.resident_high
+    benchmark.extra_info["creates_per_second"] = POPULATION / elapsed
+    benchmark.extra_info["overhead"] = overhead
+    assert len(system.store.keys("CELL")) == POPULATION
+    assert overhead <= 0.10, (
+        f"resident high-water {stats.resident_high} is "
+        f"{overhead:.3f}x of the {POPULATION}-instance population "
+        f"(target <= 0.10x)"
+    )
+    system.store.close()
+
+
+def test_bench_storage_churn(benchmark, compiled_cell, tmp_path):
+    """Random-access churn through the fault/evict/write-back cycle:
+    every poke faults a (mostly) cold instance in and dirties it."""
+    system = populate(
+        paged_system(compiled_cell, tmp_path, "churn"), CHURN_POPULATION
+    )
+    counter = iter(range(1 << 30))
+
+    def churn():
+        base = next(counter) * CHURN_OPS
+        for op in range(CHURN_OPS):
+            system.occur(("CELL", ((base + op) * 7919) % CHURN_POPULATION), "poke")
+
+    benchmark.pedantic(churn, rounds=3)
+    stats = system.store.stats
+    benchmark.extra_info["population"] = CHURN_POPULATION
+    benchmark.extra_info["ops_per_round"] = CHURN_OPS
+    benchmark.extra_info["faults"] = stats.faults
+    benchmark.extra_info["writebacks"] = stats.writebacks
+    assert stats.faults > 0
+    assert stats.writebacks > 0
+    system.store.close()
+
+
+def test_bench_storage_dump_oracle(benchmark, compiled_cell, tmp_path):
+    """Snapshot of a paged population, timed -- and byte-identical to
+    the all-resident MemoryStore oracle built by the same run."""
+    oracle = populate(ObjectBase(compiled_cell), DUMP_POPULATION)
+    paged = populate(
+        paged_system(compiled_cell, tmp_path, "dump", hot_set=256),
+        DUMP_POPULATION,
+    )
+    for op in range(2000):
+        oracle.occur(("CELL", (op * 31) % DUMP_POPULATION), "poke")
+        paged.occur(("CELL", (op * 31) % DUMP_POPULATION), "poke")
+
+    dumps = benchmark.pedantic(lambda: dump_state(paged), rounds=3)
+    expected = json.dumps(dump_state(oracle), sort_keys=True)
+    assert json.dumps(dumps, sort_keys=True) == expected
+    benchmark.extra_info["population"] = DUMP_POPULATION
+    paged.store.close()

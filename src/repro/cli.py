@@ -62,6 +62,50 @@ def _read_sources(paths: List[str]) -> str:
     return "\n".join(chunks)
 
 
+def _add_storage_flags(parser: "argparse.ArgumentParser") -> None:
+    parser.add_argument(
+        "--storage", metavar="SPEC", default=None,
+        help="instance storage backend: 'memory' (default), "
+        "'paged[:DIR]' or 'sqlite[:FILE]' -- disk backends keep only "
+        "a bounded hot set of instances resident",
+    )
+    parser.add_argument(
+        "--hot-set", type=int, default=None, dest="hot_set",
+        help="LRU hot-set capacity for disk-resident storage "
+        "(default: 4096)",
+    )
+
+
+def _storage_environment(args: argparse.Namespace):
+    """Context manager exporting the storage flags as the environment
+    defaults (``REPRO_STORAGE`` / ``REPRO_STORAGE_HOT``) that object
+    bases constructed by an animated script fall back to."""
+    import contextlib
+    import os
+
+    @contextlib.contextmanager
+    def _apply():
+        saved = {}
+        updates = {}
+        if getattr(args, "storage", None):
+            updates["REPRO_STORAGE"] = args.storage
+        if getattr(args, "hot_set", None):
+            updates["REPRO_STORAGE_HOT"] = str(args.hot_set)
+        for key, value in updates.items():
+            saved[key] = os.environ.get(key)
+            os.environ[key] = value
+        try:
+            yield
+        finally:
+            for key, previous in saved.items():
+                if previous is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = previous
+
+    return _apply()
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     text = _read_sources(args.files)
     spec = parse_specification(text, source=args.files[0])
@@ -143,9 +187,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     from repro.observability.runner import run_instrumented
 
-    obs = run_instrumented(
-        args.script, tracing=False, capture_output=not args.verbose
-    )
+    # Scripts build their own object bases; the storage flags reach
+    # them through the environment defaults ObjectBase falls back to.
+    with _storage_environment(args):
+        obs = run_instrumented(
+            args.script, tracing=False, capture_output=not args.verbose
+        )
     if args.json:
         print(json.dumps(obs.metrics.snapshot(), indent=2))
     else:
@@ -523,6 +570,8 @@ def _serve_tcp(args: argparse.Namespace, text: str, placement) -> int:
             shards=args.shards,
             placement=placement,
             spool_dir=args.spool_dir,
+            storage=args.storage,
+            hot_set=args.hot_set,
         ) as community:
             stop = asyncio.Event()
 
@@ -617,6 +666,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         placement=placement,
         spool_dir=args.spool_dir,
+        storage=args.storage,
+        hot_set=args.hot_set,
     ) as community:
         print(
             json.dumps({"ok": True, "serving": True, "shards": args.shards}),
@@ -843,6 +894,8 @@ def _cmd_workload_async(args: argparse.Namespace) -> int:
         spool_dir=args.spool_dir,
         export=True,
         trace=args.trace,
+        storage=args.storage,
+        hot_set=args.hot_set,
     )
     print(
         f"async sharded run: {args.shards} shard(s), {args.clients} "
@@ -900,6 +953,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         trace=args.trace,
         verify_traces=args.trace,
         slow_threshold=slow_threshold,
+        storage=args.storage,
+        hot_set=args.hot_set,
     )
     print(
         f"sharded run: {args.shards} shard(s), {result['counters']} "
@@ -999,6 +1054,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="interleave the script's own output",
     )
+    _add_storage_flags(stats)
     stats.set_defaults(func=_cmd_stats)
 
     trace = sub.add_parser(
@@ -1147,6 +1203,7 @@ def build_parser() -> argparse.ArgumentParser:
         "stdin/stdout, accepting many concurrent clients against the "
         "async pipelined community (0 picks an ephemeral port)",
     )
+    _add_storage_flags(serve)
     serve.set_defaults(func=_cmd_serve)
 
     workload = sub.add_parser(
@@ -1195,6 +1252,7 @@ def build_parser() -> argparse.ArgumentParser:
         "async pipelined coordinator with group-commit workers "
         "(default: 1, the synchronous oracle path)",
     )
+    _add_storage_flags(workload)
     workload.set_defaults(func=_cmd_workload)
 
     top = sub.add_parser(

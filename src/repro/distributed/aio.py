@@ -216,6 +216,8 @@ class AsyncShardedCommunity:
         trace: bool = False,
         trace_capacity: int = 256,
         span_batch_limit: Optional[int] = None,
+        storage: Optional[str] = None,
+        hot_set: Optional[int] = None,
     ):
         if not isinstance(spec, str):
             raise CheckError(
@@ -240,6 +242,8 @@ class AsyncShardedCommunity:
         self.observe = observe
         self.trace = trace
         self.span_batch_limit = span_batch_limit
+        self.storage = storage
+        self.hot_set = hot_set
         self.restarts = 0
         self.spans_dropped = 0
         self.in_flight = 0
@@ -310,6 +314,8 @@ class AsyncShardedCommunity:
             "observe": self.observe,
             "trace": self.trace,
             "span_batch_limit": self.span_batch_limit,
+            "storage": self.storage,
+            "hot_set": self.hot_set,
             "async_server": True,
         }
 

@@ -227,6 +227,8 @@ class ShardedCommunity:
         profile: Optional[str] = None,
         profile_interval: int = 16,
         profile_limit: Optional[int] = None,
+        storage: Optional[str] = None,
+        hot_set: Optional[int] = None,
         start: bool = True,
     ):
         if not isinstance(spec, str):
@@ -258,6 +260,11 @@ class ShardedCommunity:
         self.profile = profile
         self.profile_interval = profile_interval
         self.profile_limit = profile_limit
+        #: storage backend spec shipped to every worker; path-bearing
+        #: specs are suffixed per shard (storage_for_shard) so workers
+        #: never share page files
+        self.storage = storage
+        self.hot_set = hot_set
         self.profile_pruned = 0
         self._profiles: Dict[int, Dict[str, Any]] = {}
         #: worker restarts observed (crash detection + recovery)
@@ -315,6 +322,8 @@ class ShardedCommunity:
             "profile": self.profile,
             "profile_interval": self.profile_interval,
             "profile_limit": self.profile_limit,
+            "storage": self.storage,
+            "hot_set": self.hot_set,
         }
 
     def _spawn(self, index: int) -> _WorkerHandle:

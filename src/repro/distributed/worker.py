@@ -60,6 +60,7 @@ from repro.diagnostics import (
     TrollError,
 )
 from repro.distributed.shardbase import RemoteCall, ShardObjectBase
+from repro.storage.base import storage_for_shard
 from repro.distributed.wire import (
     MAX_SPAN_BATCH,
     WireClosed,
@@ -385,6 +386,10 @@ class ShardWorker:
             probe_cache=config.get("probe_cache", True),
             journal=self.recorder,
             observability=self.obs,
+            # path-bearing backends get a per-shard suffix so workers
+            # never contend on one page file / database
+            storage=storage_for_shard(config.get("storage"), self.shard_index),
+            hot_set=config.get("hot_set"),
         )
         spool_dir = config.get("spool_dir")
         self.spool = Spool(spool_dir, self.shard_index) if spool_dir else None

@@ -89,6 +89,8 @@ def run_sharded(
     verify_traces: bool = False,
     profile: Optional[str] = None,
     cross_shard: bool = False,
+    storage: Optional[str] = None,
+    hot_set: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Run the counter workload against a sharded community.  Returns
     elapsed seconds, throughput, the merged final state, and (with
@@ -113,6 +115,8 @@ def run_sharded(
         trace_capacity=max(256, counters + ops + 8 * shards),
         slow_threshold=slow_threshold,
         profile=profile,
+        storage=storage,
+        hot_set=hot_set,
     ) as community:
         if cross_shard:
             community.create("AUDIT", {"Tag": 0})
@@ -159,6 +163,8 @@ def run_async_sharded(
     export: bool = False,
     trace: bool = False,
     cross_shard: bool = False,
+    storage: Optional[str] = None,
+    hot_set: Optional[int] = None,
 ) -> Dict[str, Any]:
     """The counter workload against the async pipelined community:
     ``clients`` concurrent client coroutines partition the op indices
@@ -180,6 +186,8 @@ def run_async_sharded(
             observe=observe,
             trace=trace,
             trace_capacity=max(256, counters + ops + 8 * shards),
+            storage=storage,
+            hot_set=hot_set,
         ) as community:
             if cross_shard:
                 await community.create("AUDIT", {"Tag": 0})
@@ -230,10 +238,16 @@ def run_oracle(
     counters: int = DEFAULT_COUNTERS,
     ops: int = DEFAULT_OPS,
     cross_shard: bool = False,
+    storage: Optional[str] = None,
+    hot_set: Optional[int] = None,
 ) -> Dict[str, Any]:
     """The single-process oracle: the same occurrence sequence on one
     in-process ObjectBase; final state in the merged canonical order."""
-    system = ObjectBase(AUDITED_COUNTER_SPEC if cross_shard else COUNTER_SPEC)
+    system = ObjectBase(
+        AUDITED_COUNTER_SPEC if cross_shard else COUNTER_SPEC,
+        storage=storage,
+        hot_set=hot_set,
+    )
     if cross_shard:
         system.create("AUDIT", {"Tag": 0})
     for index in range(counters):

@@ -62,6 +62,14 @@ _TERM_STATS_FIELDS = {
     "term_compile.cache_hits": "cache_hits",
 }
 
+#: counter name -> StorageStats field it views (delta counters; the
+#: resident gauge is registered separately as a live absolute view)
+_STORAGE_STATS_FIELDS = {
+    "storage.faults": "faults",
+    "storage.evictions": "evictions",
+    "storage.writebacks": "writebacks",
+}
+
 
 class _ExternalCounter(Counter):
     """A counter whose unlabelled series is computed on demand from an
@@ -138,6 +146,10 @@ class Observability:
         #: bases at construction; the probe_cache.* counters are live
         #: views over their deltas
         self._probe_sources: list = []
+        #: StorageStats sources of paging object bases; the storage.*
+        #: counters are registered lazily on first attachment, so
+        #: memory-backed (direct) runs never even carry the series
+        self._storage_sources: list = []
         if enabled:
             # The hottest accounting (per probe, per term evaluation) is
             # already kept as always-on plain ints by the runtime
@@ -212,6 +224,39 @@ class Observability:
             if existing is stats:
                 return
         self._probe_sources.append((stats, stats.snapshot()))
+
+    def attach_storage_source(self, stats) -> None:
+        """Register a paging store's always-on ``StorageStats`` as a
+        live source for the ``storage.*`` counters (faults, evictions,
+        writebacks as deltas since attachment; ``storage.resident`` as
+        the absolute currently-resident count).  Only paging object
+        bases call this, so memory-backed runs carry no storage series
+        and pay no per-fault hook cost."""
+        if not self.enabled:
+            return
+        for existing, _ in self._storage_sources:
+            if existing is stats:
+                return
+        first = not self._storage_sources
+        self._storage_sources.append((stats, stats.snapshot()))
+        if first:
+            counters = self.metrics.counters
+            for name, field in _STORAGE_STATS_FIELDS.items():
+                counters[name] = _ExternalCounter(
+                    name, self._storage_reader(field)
+                )
+            counters["storage.resident"] = _ExternalCounter(
+                "storage.resident",
+                lambda: sum(stats.resident() for stats, _ in self._storage_sources),
+            )
+
+    def _storage_reader(self, field: str):
+        sources = self._storage_sources
+        def read() -> int:
+            return sum(
+                getattr(stats, field) - base[field] for stats, base in sources
+            )
+        return read
 
     # ------------------------------------------------------------------
     # Spans and phases

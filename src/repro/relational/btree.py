@@ -217,12 +217,50 @@ class BTree:
         yield from self._walk(node.children[-1])
 
     def range(self, low: Any, high: Any) -> Iterator[Tuple[Any, Any]]:
-        """Entries with ``low <= key <= high``, in key order."""
-        for key, value in self.items():
+        """Entries with ``low <= key <= high``, in key order.
+
+        Seeks: descends straight to the first key ``>= low`` by
+        per-node bisection (pruning every subtree left of the bound)
+        and stops at the first key ``> high`` -- O(log n + k) for k
+        results, instead of scanning from the minimum key."""
+        if low > high:
+            return
+        yield from self._range(self._root, low, high)
+
+    def _range(self, node: _Node, low: Any, high: Any) -> Iterator[Tuple[Any, Any]]:
+        index = _bisect(node.keys, low)
+        if node.is_leaf:
+            for i in range(index, len(node.keys)):
+                key = node.keys[i]
+                if key > high:
+                    return
+                yield key, node.values[i]
+            return
+        # child[index] is the only subtree that can straddle ``low``;
+        # everything right of it is >= low already, so it streams
+        # through the cheaper high-bounded walk.
+        yield from self._range(node.children[index], low, high)
+        for i in range(index, len(node.keys)):
+            key = node.keys[i]
             if key > high:
                 return
-            if key >= low:
+            yield key, node.values[i]
+            yield from self._walk_until(node.children[i + 1], high)
+
+    def _walk_until(self, node: _Node, high: Any) -> Iterator[Tuple[Any, Any]]:
+        """In-order walk that stops at the first key above ``high``."""
+        if node.is_leaf:
+            for key, value in zip(node.keys, node.values):
+                if key > high:
+                    return
                 yield key, value
+            return
+        for index, key in enumerate(node.keys):
+            yield from self._walk_until(node.children[index], high)
+            if key > high:
+                return
+            yield key, node.values[index]
+        yield from self._walk_until(node.children[-1], high)
 
     def depth(self) -> int:
         depth = 1

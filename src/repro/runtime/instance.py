@@ -26,6 +26,21 @@ if TYPE_CHECKING:  # pragma: no cover
 class Instance:
     """A living (or dead) object aspect."""
 
+    #: encoded plain-attribute values not yet materialized (set only on
+    #: instances faulted in from a storage backend; attribute reads
+    #: decode entries on demand -- faulting evaluates nothing)
+    _lazy_state: Optional[Dict[str, object]] = None
+    #: the backend record's attribute order, captured at fault time.
+    #: observe() materializes lazy entries in *access* order, which
+    #: would otherwise leak into trace-step state tuples and write-back
+    #: records; materialize() and instance_to_json rebuild in this
+    #: order so a faulted twin stays byte-identical to a never-evicted
+    #: one.
+    _state_order: Optional[Tuple[str, ...]] = None
+    #: the epoch at which the storage backend last saw this instance
+    #: (-1: never written; eviction writes back iff epoch differs)
+    _clean_epoch: int = -1
+
     def __init__(
         self,
         compiled: CompiledClass,
@@ -129,8 +144,17 @@ class Instance:
             table = self.param_state.get(name)
             if table is not None and args in table:
                 return table[args]
-        elif name in self.state:
-            return self.state[name]
+        else:
+            if name in self.state:
+                return self.state[name]
+            lazy = self._lazy_state
+            if lazy is not None and name in lazy:
+                # fault-in: decode the paged-out value on first read
+                from repro.storage.codec import value_from_json
+
+                value = value_from_json(lazy.pop(name))
+                self.state[name] = value
+                return value
         if self.base is not None:
             return self.base.observe(name, args)
         raise EvaluationError(
@@ -153,6 +177,12 @@ class Instance:
             obs.on_attribute_write(self.class_name, name)
         owner = self._storage_owner(name)
         owner.epoch += 1
+        if owner is not self:
+            # routed writes dirty the base aspect; pin it into the hot
+            # set so its eventual eviction writes the mutation back
+            store = getattr(self.system, "store", None)
+            if store is not None and not store.direct:
+                store.readmit(owner)
         if args:
             owner.param_state.setdefault(name, {})[args] = value
         else:
@@ -183,19 +213,49 @@ class Instance:
             return self.base._storage_owner(name)
         return self
 
+    def materialize(self) -> None:
+        """Decode every still-lazy attribute value into ``state``
+        (whole-state reads cannot stay partial).  The state dict is
+        rebuilt in the faulted record's attribute order: already-decoded
+        entries landed in access order, and dict insertion order feeds
+        straight into trace-step state tuples."""
+        lazy = self._lazy_state
+        if lazy is not None:
+            from repro.storage.codec import value_from_json
+
+            state = self.state
+            rebuilt: Dict[str, Value] = {}
+            for name in self._state_order or ():
+                if name in state:
+                    rebuilt[name] = state[name]
+                elif name in lazy:
+                    rebuilt[name] = value_from_json(lazy[name])
+            for name, value in state.items():
+                if name not in rebuilt:
+                    rebuilt[name] = value
+            state.clear()
+            state.update(rebuilt)
+            self._lazy_state = None
+            self._state_order = None
+
     def snapshot_state(self) -> Dict[str, Value]:
         """A flat copy of the plain attribute state (trace steps)."""
+        if self._lazy_state is not None:
+            self.materialize()
         return dict(self.state)
 
     def merged_state(self) -> Dict[str, Value]:
         """The state visible from this aspect: the base chain's
         attributes overridden by this aspect's own."""
+        if self._lazy_state is not None:
+            self.materialize()
         merged = self.base.merged_state() if self.base is not None else {}
         merged.update(self.state)
         return merged
 
     def full_snapshot(self):
         """Everything needed to roll this instance back."""
+        lazy = self._lazy_state
         return (
             dict(self.state),
             {name: dict(table) for name, table in self.param_state.items()},
@@ -203,16 +263,31 @@ class Instance:
             self.dead,
             self.protocol_states,
             self.epoch,
+            # observe() pops lazy entries as they materialize; the
+            # rollback image needs its own copy
+            dict(lazy) if lazy is not None else None,
+            self._state_order,
         )
 
     def restore(self, snapshot) -> None:
-        state, param_state, born, dead, protocol_states, epoch = snapshot
+        (
+            state,
+            param_state,
+            born,
+            dead,
+            protocol_states,
+            epoch,
+            lazy,
+            order,
+        ) = snapshot
         self.state = state
         self.param_state = param_state
         self.born = born
         self.dead = dead
         self.protocol_states = protocol_states
         self.epoch = epoch
+        self._lazy_state = lazy
+        self._state_order = order
 
     # ------------------------------------------------------------------
     # Environments
@@ -284,7 +359,10 @@ class InstanceEnvironment(Environment):
         return super().attribute_call(name, args)
 
     def scope_values(self) -> Iterable[Value]:
-        return list(self.instance.state.values())
+        instance = self.instance
+        if instance._lazy_state is not None:
+            instance.materialize()
+        return list(instance.state.values())
 
 
 class SystemEnvironment(Environment):

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import itertools
 import os
+from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.datatypes.compile import evaluate_term
@@ -78,6 +79,7 @@ from repro.runtime.compilespec import (
 )
 from repro.runtime.enabledness import CachedVerdict, ProbeDependencies, ProbeStats
 from repro.runtime.instance import Instance
+from repro.storage.registry import InstanceStore
 
 
 class Occurrence:
@@ -112,14 +114,14 @@ class ClassObject:
         return len(self.members)
 
     def record(self, event: str, member: Value) -> None:
-        from repro.datatypes.values import integer, set_value
+        from repro.datatypes.values import integer
 
-        state = {
-            "members": set_value(
-                self.members, IdSort(name=f"|{self.class_name}|", class_name=self.class_name)
-            ),
-            "count": integer(self.count),
-        }
+        # The step records the member delta (args) and the new count;
+        # the membership at any trace point is the insert/delete prefix
+        # folded together.  Snapshotting the full member set here made
+        # every birth O(population) -- quadratic time and memory over a
+        # class's life, which the disk-resident backends exist to avoid.
+        state = {"count": integer(self.count)}
         self.trace.append(TraceStep(event=event, args=(member,), state=tuple(state.items())))
 
 
@@ -145,6 +147,11 @@ class _Transaction:
     def touch(self, instance: Instance) -> None:
         if id(instance) not in self.snapshots:
             self.snapshots[id(instance)] = (instance, instance.full_snapshot())
+            store = self.system.store
+            if not store.direct:
+                # every touched instance must be hot at commit so the
+                # paging store writes the mutation back on eviction
+                store.readmit(instance)
 
     def touched_instances(self) -> List[Instance]:
         return [inst for inst, _ in self.snapshots.values()]
@@ -163,6 +170,7 @@ class _Transaction:
 
     def commit(self) -> None:
         incremental = self.system.permission_mode == "incremental"
+        paging = not self.system.store.direct
         for instance, step, kind in self.steps:
             instance.record_step(step)
             if incremental:
@@ -172,9 +180,13 @@ class _Transaction:
                 # consulted the population (or the role set of a base
                 # aspect) must notice.
                 self.system._bump_population(instance.class_name)
+                if paging:
+                    self.system.store.note_lifecycle(instance)
                 base = instance.base
                 while base is not None:
                     base.epoch += 1
+                    if paging:
+                        self.system.store.readmit(base)
                     base = base.base
             if instance.compiled.info.kind == "class":
                 class_object = self.system.class_object(instance.class_name)
@@ -201,6 +213,8 @@ class ObjectBase:
         journal: Optional[Journal] = None,
         probe_cache: bool = True,
         term_compile: Optional[bool] = None,
+        storage: Optional[str] = None,
+        hot_set: Optional[int] = None,
     ):
         if permission_mode not in ("incremental", "naive"):
             raise ValueError("permission_mode must be 'incremental' or 'naive'")
@@ -262,13 +276,34 @@ class ObjectBase:
             source = compile_specification(source)
         self.compiled: CompiledSpecification = source
         self.checked: CheckedSpecification = source.checked
-        #: class name -> key payload -> Instance
-        self.instances: Dict[str, Dict[object, Instance]] = {
-            name: {} for name in self.compiled.classes
-        }
+        #: pluggable instance storage: "memory" (all-resident, the seed
+        #: semantics), "paged[:dir]" or "sqlite[:path]".  None defers to
+        #: REPRO_STORAGE; the hot-set bound to REPRO_STORAGE_HOT.
+        if storage is None:
+            storage = os.environ.get("REPRO_STORAGE") or "memory"
+        if hot_set is None:
+            hot_set = int(os.environ.get("REPRO_STORAGE_HOT", "0") or 0) or 4096
+        self.store = InstanceStore(self, storage, hot_set)
+        #: class name -> key payload -> Instance (in direct/memory mode
+        #: the store's plain dicts, byte-for-byte the seed's registry;
+        #: otherwise a read-through facade that faults on access)
+        self.instances: Dict[str, Dict[object, Instance]] = self.store.mapping()
+        if self.obs is not None and not self.store.direct:
+            self.obs.attach_storage_source(self.store.stats)
+        #: depth of atomic units in flight; the store only evicts (and
+        #: population queries only serve their epoch-keyed caches) at
+        #: depth 0, when every instance's flags are committed state
+        self._in_unit = 0
+        self._population_cache: Dict[str, Tuple[int, List[Value]]] = {}
+        self._alive_cache: Dict[str, Tuple[int, List[Instance]]] = {}
+        self._alive_key_cache: Dict[str, Tuple[int, List[object]]] = {}
         self.class_objects: Dict[str, ClassObject] = {}
-        #: every occurrence committed, in order (for inspection/tests)
-        self.journal: List[Occurrence] = []
+        #: every occurrence committed, in order (for inspection/tests).
+        #: Under a paging store an unbounded list would strongly pin
+        #: every instance ever touched, so it becomes a bounded deque.
+        self.journal: List[Occurrence] = (
+            [] if self.store.direct else deque(maxlen=1024)
+        )
         #: commit hooks: called with the occurrence list of each
         #: committed synchronization set (society-interface relays,
         #: Section 6's communicating object societies)
@@ -316,21 +351,82 @@ class ObjectBase:
         return self.find(identity.sort.class_name, identity.payload)
 
     def population(self, class_name: str) -> List[Value]:
-        """Identities of the currently alive instances of a class."""
+        """Identities of the currently alive instances of a class.
+
+        Memoized per population epoch while no atomic unit is in flight
+        (mid-unit, life-cycle flags are uncommitted and the epoch has
+        not advanced yet, so the scan must stay live)."""
         deps = self._probe_deps
         if deps is not None:
             deps.note_population(class_name)
-        return [
-            inst.identity
-            for inst in self.instances.get(class_name, {}).values()
-            if inst.alive
-        ]
+        epoch = self._population_epochs.get(class_name, 0)
+        at_rest = self._in_unit == 0
+        if at_rest:
+            cached = self._population_cache.get(class_name)
+            if cached is not None and cached[0] == epoch:
+                return cached[1]
+        if self.store.direct:
+            result = [
+                inst.identity
+                for inst in self.instances.get(class_name, {}).values()
+                if inst.alive
+            ]
+        else:
+            result = self.store.population_identities(class_name)
+        if at_rest:
+            self._population_cache[class_name] = (epoch, result)
+        return result
 
     def alive_instances(self, class_name: str) -> List[Instance]:
+        """The alive instances of a class (under a paging store this
+        faults every one of them in; prefer :meth:`alive_keys` or
+        :meth:`population` for membership-only questions)."""
         deps = self._probe_deps
         if deps is not None:
             deps.note_population(class_name)
-        return [i for i in self.instances.get(class_name, {}).values() if i.alive]
+        direct = self.store.direct
+        epoch = self._population_epochs.get(class_name, 0)
+        # only the all-resident runtime caches the instance list; under
+        # a paging store the cache itself would pin the population
+        at_rest = direct and self._in_unit == 0
+        if at_rest:
+            cached = self._alive_cache.get(class_name)
+            if cached is not None and cached[0] == epoch:
+                return cached[1]
+        if direct:
+            result = [
+                i for i in self.instances.get(class_name, {}).values() if i.alive
+            ]
+        else:
+            result = self.store.alive_instances(class_name)
+        if at_rest:
+            self._alive_cache[class_name] = (epoch, result)
+        return result
+
+    def alive_keys(self, class_name: str) -> List[object]:
+        """Key payloads of the currently alive instances, in
+        registration order, without faulting any instance in.  Memoized
+        per population epoch at rest."""
+        deps = self._probe_deps
+        if deps is not None:
+            deps.note_population(class_name)
+        epoch = self._population_epochs.get(class_name, 0)
+        at_rest = self._in_unit == 0
+        if at_rest:
+            cached = self._alive_key_cache.get(class_name)
+            if cached is not None and cached[0] == epoch:
+                return cached[1]
+        if self.store.direct:
+            result = [
+                inst.key
+                for inst in self.instances.get(class_name, {}).values()
+                if inst.alive
+            ]
+        else:
+            result = self.store.alive_keys(class_name)
+        if at_rest:
+            self._alive_key_cache[class_name] = (epoch, result)
+        return result
 
     def class_object(self, class_name: str) -> ClassObject:
         if class_name not in self.compiled.classes:
@@ -444,6 +540,7 @@ class ObjectBase:
         prof = self.prof
         if prof is not None:
             prof.begin_root(prof.node_name("probe", instance.class_name, event))
+        self._in_unit += 1
         txn = _Transaction(self)
         try:
             self._process(txn, instance, event, coerced)
@@ -457,15 +554,22 @@ class ObjectBase:
             return False
         finally:
             txn.rollback()
+            self._in_unit -= 1
+            self._balance_store()
             if prof is not None:
                 prof.end_root()
 
     def invalidate_probes(self) -> None:
         """Drop every memoized probe verdict (escape hatch for callers
         that mutate instance state behind the runtime's back)."""
-        for bucket in self.instances.values():
-            for instance in bucket.values():
-                instance.probe_cache.clear()
+        if self.store.direct:
+            for bucket in self.instances.values():
+                for instance in bucket.values():
+                    instance.probe_cache.clear()
+        else:
+            # paged-out instances carry no verdicts (cleared at
+            # eviction); the residents are the complete set
+            self.store.invalidate_resident_probe_caches()
         self._active_candidates = None
 
     # ------------------------------------------------------------------
@@ -536,6 +640,30 @@ class ObjectBase:
         self._active_candidates = (self._registry_version, candidates)
         return candidates
 
+    def _active_schedule_keys(self) -> List[Tuple[str, object, str]]:
+        """The paging-store twin of :meth:`_active_schedule`: the same
+        candidates as (class, key, event) triples, so the cached list
+        pins no instances.  Instances are resolved (and faulted) one at
+        a time when the scheduler actually probes them."""
+        cached = self._active_candidates
+        if cached is not None and cached[0] == self._registry_version:
+            return cached[1]
+        store = self.store
+        candidates: List[Tuple[str, object, str]] = []
+        for class_name in sorted(store.class_names()):
+            events = [
+                event.name
+                for event in self.compiled_class(class_name).active_events()
+                if not event.param_sorts
+            ]
+            if not events:
+                continue
+            for key in store.keys(class_name):
+                for event_name in events:
+                    candidates.append((class_name, key, event_name))
+        self._active_candidates = (self._registry_version, candidates)
+        return candidates
+
     def step(self, order: Optional[Sequence[Tuple[str, object, str]]] = None) -> Optional[Occurrence]:
         """Fire one enabled *active* event (the scheduler step for active
         objects).  Candidates are parameterless active events of alive
@@ -546,6 +674,21 @@ class ObjectBase:
         only candidates whose last verdict was invalidated by an actual
         dependency change are re-probed.  Returns the fired occurrence
         or None when no active event is enabled."""
+        if order is None and not self.store.direct:
+            # the cached candidate list holds (class, key, event)
+            # triples so it pins nothing; aliveness is answered by the
+            # registration index before any instance is faulted in
+            store = self.store
+            for class_name, key, event_name in self._active_schedule_keys():
+                if not store.is_alive(class_name, key):
+                    continue
+                instance = self.find(class_name, key)
+                if instance is None or not instance.alive:
+                    continue
+                if self.is_permitted(instance, event_name):
+                    self._occur_root(instance, event_name, ())
+                    return Occurrence(instance, event_name, ())
+            return None
         candidates: Iterable[Tuple[Instance, str]]
         if order is not None:
             candidates = [
@@ -704,6 +847,14 @@ class ObjectBase:
         epochs[class_name] = epochs.get(class_name, 0) + 1
         self._registry_version += 1
 
+    def _balance_store(self) -> None:
+        """Let the paging store evict down to its hot-set bound, but
+        only at a safe point: no atomic unit in flight (uncommitted
+        state must never be written back, and every in-flight unit holds
+        strong references to its touched instances)."""
+        if self._in_unit == 0 and not self.store.direct:
+            self.store.balance()
+
     def _birth_event(self, compiled: CompiledClass, name: Optional[str]) -> ast.EventDecl:
         births = compiled.info.birth_events()
         if name is not None:
@@ -748,19 +899,24 @@ class ObjectBase:
             return
         recorder = self.recorder
         triggers = recorder.snapshot_triggers(items) if recorder is not None else None
-        txn = _Transaction(self)
+        self._in_unit += 1
         try:
-            for instance, event, args in items:
-                self._process(txn, instance, event, args)
-            self._check_static_constraints(txn)
-        except Exception as exc:
-            txn.rollback()
+            txn = _Transaction(self)
+            try:
+                for instance, event, args in items:
+                    self._process(txn, instance, event, args)
+                self._check_static_constraints(txn)
+            except Exception as exc:
+                txn.rollback()
+                if recorder is not None:
+                    recorder.record_rollback(triggers, exc)
+                raise
             if recorder is not None:
-                recorder.record_rollback(triggers, exc)
-            raise
-        if recorder is not None:
-            recorder.record_commit(txn, triggers)
-        txn.commit()
+                recorder.record_commit(txn, triggers)
+            txn.commit()
+        finally:
+            self._in_unit -= 1
+            self._balance_store()
         committed = [Occurrence(inst, step.event, step.args) for inst, step, _ in txn.steps]
         self.journal.extend(committed)
         self._notify_commit(committed)
@@ -792,6 +948,7 @@ class ObjectBase:
             )
         else:
             span_context = _NULL_SPAN_CONTEXT
+        self._in_unit += 1
         try:
             with span_context as root:
                 txn = _Transaction(self)
@@ -834,6 +991,8 @@ class ObjectBase:
                 self.journal.extend(committed)
                 self._notify_commit(committed)
         finally:
+            self._in_unit -= 1
+            self._balance_store()
             if prof is not None:
                 prof.end_root()
 
@@ -1229,19 +1388,45 @@ class ObjectBase:
     def _monitor_for(self, instance: Instance, rule: ast.PermissionRule) -> FormulaMonitor:
         monitor = instance.monitors.get(id(rule))
         if monitor is None:
-            monitor = FormulaMonitor(
-                rule.formula,
-                instance.compiled.var_sorts_for(rule),
-                hooks=self.obs,
-                term_eval=self._class_term_eval(instance.compiled),
-            )
-            instance.monitors[id(rule)] = monitor
+            monitor = self._create_monitor(instance, rule)
+        return monitor
+
+    def _create_monitor(self, instance: Instance, rule: ast.PermissionRule) -> FormulaMonitor:
+        """Build a rule's incremental monitor and bring it up to date by
+        replaying the instance's committed trace (exactly the restore
+        replay, and equivalent to having updated it at every commit --
+        monitors always exist by first commit in the all-resident
+        runtime).  Instances faulted in from storage therefore rebuild
+        their monitors lazily on first permission check, never at fault
+        time, so faulting evaluates no formulas."""
+        monitor = FormulaMonitor(
+            rule.formula,
+            instance.compiled.var_sorts_for(rule),
+            hooks=self.obs,
+            term_eval=self._class_term_eval(instance.compiled),
+        )
+        instance.monitors[id(rule)] = monitor
+        if instance.trace:
+            env = instance.environment()
+            for step in instance.trace:
+                monitor.update(step, env)
         return monitor
 
     def _update_monitors(self, instance: Instance, step: TraceStep) -> None:
+        monitors = instance.monitors
+        env: Optional[Environment] = None
         for rule_list in instance.compiled.permissions_by_event.values():
             for rule in rule_list:
-                self._monitor_for(instance, rule).update(step, instance.environment())
+                monitor = monitors.get(id(rule))
+                if monitor is None:
+                    # creation replays the whole trace -- the committed
+                    # ``step`` included (record_step ran first), so an
+                    # explicit update here would double-apply it
+                    self._create_monitor(instance, rule)
+                    continue
+                if env is None:
+                    env = instance.environment()
+                monitor.update(step, env)
 
     def _check_static_constraints(self, txn: _Transaction) -> None:
         if not self.check_constraints:
@@ -1555,6 +1740,7 @@ class ObjectBase:
     ) -> bool:
         """Would :meth:`occur_sequence` over ``pairs`` be admitted?  A
         dry transaction that always rolls back."""
+        self._in_unit += 1
         txn = _Transaction(self)
         try:
             for instance, event, args in pairs:
@@ -1565,3 +1751,5 @@ class ObjectBase:
             return False
         finally:
             txn.rollback()
+            self._in_unit -= 1
+            self._balance_store()

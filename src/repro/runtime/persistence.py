@@ -7,7 +7,13 @@ every instance (identity, life-cycle flags, attribute state, recorded
 trace, role links) as a JSON-compatible structure, and
 :func:`restore_state` rebuilds a behaviourally equivalent object base
 over the same compiled specification -- incremental permission monitors
-are reconstructed exactly by replaying the recorded traces.
+are reconstructed exactly by replaying the recorded traces (lazily, on
+first permission check, via the object base's monitor auto-replay).
+
+The value/step/instance codecs live in :mod:`repro.storage.codec`,
+shared with the disk-resident storage backends; snapshots taken under
+any backend are byte-identical (paged-out instances' records pass
+through without being faulted in).
 
 The specification itself is *not* serialised (it is text; store it next
 to the snapshot).  Round-tripping is checked by the test suite: after
@@ -20,152 +26,57 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Optional
 
-from repro.datatypes.sorts import (
-    ANY,
-    IdSort,
-    ListSort,
-    MapSort,
-    SetSort,
-    TupleSort,
-    base_sort,
-)
-from repro.datatypes.values import (
-    Value,
-    boolean,
-    date,
-    identity as make_identity,
-    list_value,
-    map_value,
-    set_value,
-    tuple_value,
-)
+from repro.datatypes.values import identity as make_identity
 from repro.diagnostics import RuntimeSpecError
-from repro.temporal.evaluation import TraceStep
+from repro.storage.codec import (
+    instance_to_json as _instance_to_json,
+    payload_from_json as _payload_from_json,
+    payload_to_json as _payload_to_json,
+    step_from_json as _step_from_json,
+    step_to_json as _step_to_json,
+    value_from_json,
+    value_to_json,
+)
 from repro.runtime.instance import Instance
 from repro.runtime.objectbase import ObjectBase
 
 FORMAT_VERSION = 1
 
-
-# ----------------------------------------------------------------------
-# Value <-> JSON
-# ----------------------------------------------------------------------
-
-def value_to_json(value: Value) -> Any:
-    """A JSON-compatible encoding of a value (sort-tagged)."""
-    sort = value.sort
-    if isinstance(sort, SetSort):
-        return {"k": "set", "items": [value_to_json(v) for v in sorted(value.payload)]}
-    if isinstance(sort, ListSort):
-        return {"k": "list", "items": [value_to_json(v) for v in value.payload]}
-    if isinstance(sort, MapSort):
-        return {
-            "k": "map",
-            "entries": [
-                [value_to_json(key), value_to_json(val)] for key, val in value.payload
-            ],
-        }
-    if isinstance(sort, TupleSort):
-        return {
-            "k": "tuple",
-            "fields": [[name, value_to_json(val)] for name, val in value.payload],
-        }
-    if isinstance(sort, IdSort):
-        return {"k": "id", "class": sort.class_name, "key": _payload_to_json(value.payload)}
-    if sort.name == "date":
-        return {"k": "date", "ymd": list(value.payload)}
-    if sort.name in ("bool", "boolean"):
-        return {"k": "bool", "v": bool(value.payload)}
-    return {"k": "scalar", "sort": sort.name, "v": value.payload}
-
-
-def _payload_to_json(payload: Any) -> Any:
-    if isinstance(payload, tuple):
-        return {"t": [_payload_to_json(p) for p in payload]}
-    return payload
-
-
-def _payload_from_json(data: Any) -> Any:
-    if isinstance(data, dict) and "t" in data:
-        return tuple(_payload_from_json(p) for p in data["t"])
-    return data
-
-
-def value_from_json(data: Any) -> Value:
-    """Decode :func:`value_to_json` output."""
-    kind = data["k"]
-    if kind == "set":
-        return set_value([value_from_json(v) for v in data["items"]])
-    if kind == "list":
-        return list_value([value_from_json(v) for v in data["items"]])
-    if kind == "map":
-        return map_value(
-            {value_from_json(k): value_from_json(v) for k, v in data["entries"]}
-        )
-    if kind == "tuple":
-        return tuple_value({name: value_from_json(v) for name, v in data["fields"]})
-    if kind == "id":
-        return make_identity(data["class"], _payload_from_json(data["key"]))
-    if kind == "date":
-        return date(*data["ymd"])
-    if kind == "bool":
-        return boolean(data["v"])
-    sort = base_sort(data["sort"]) or ANY
-    return Value(sort, data["v"])
+__all__ = [
+    "FORMAT_VERSION",
+    "dump_incremental",
+    "dump_json",
+    "dump_state",
+    "restore_incremental",
+    "restore_json",
+    "restore_state",
+    "value_from_json",
+    "value_to_json",
+]
 
 
 # ----------------------------------------------------------------------
 # Object base -> JSON state
 # ----------------------------------------------------------------------
 
-def _step_to_json(step: TraceStep) -> Dict[str, Any]:
-    return {
-        "event": step.event,
-        "args": [value_to_json(a) for a in step.args],
-        "state": [[name, value_to_json(v)] for name, v in step.state],
-    }
-
-
-def _step_from_json(data: Dict[str, Any]) -> TraceStep:
-    return TraceStep(
-        event=data["event"],
-        args=tuple(value_from_json(a) for a in data["args"]),
-        state=tuple((name, value_from_json(v)) for name, v in data["state"]),
-    )
-
-
-def _instance_to_json(instance: Instance) -> Dict[str, Any]:
-    return {
-        "class": instance.class_name,
-        "key": _payload_to_json(instance.key),
-        "born": instance.born,
-        "dead": instance.dead,
-        "state": {name: value_to_json(v) for name, v in instance.state.items()},
-        "param_state": [
-            [
-                name,
-                [
-                    [[value_to_json(a) for a in args], value_to_json(v)]
-                    for args, v in table.items()
-                ],
-            ]
-            for name, table in instance.param_state.items()
-        ],
-        "trace": [_step_to_json(s) for s in instance.trace],
-        "base": (
-            [instance.base.class_name, _payload_to_json(instance.base.key)]
-            if instance.base is not None
-            else None
-        ),
-    }
-
-
 def dump_state(system: ObjectBase) -> Dict[str, Any]:
-    """Snapshot the full dynamic state of ``system``."""
+    """Snapshot the full dynamic state of ``system``.
+
+    Class buckets are visited in sorted class order, instances in
+    registration order -- the same order under every storage backend, so
+    snapshots of equivalent bases are byte-identical.  Under a paging
+    store, paged-out instances are dumped straight from their backend
+    records without faulting them in."""
     instances = []
-    for class_name in sorted(system.instances):
-        for instance in system.instances[class_name].values():
-            instances.append(_instance_to_json(instance))
+    store = system.store
+    if store.direct:
+        for class_name in sorted(system.instances):
+            for instance in system.instances[class_name].values():
+                instances.append(_instance_to_json(instance))
+    else:
+        for class_name in sorted(store.class_names()):
+            for key in store.keys(class_name):
+                instances.append(store.dump_record(class_name, key))
     return {
         "format": FORMAT_VERSION,
         "permission_mode": system.permission_mode,
@@ -234,13 +145,13 @@ def restore_state(system: ObjectBase, data: Dict[str, Any]) -> ObjectBase:
         class_object = system.class_object(class_name)
         class_object.members = {value_from_json(m) for m in members}
 
-    # Pass 4: rebuild incremental monitors and protocol configurations
-    # exactly, by replaying traces.
+    # Pass 4: rebuild protocol configurations exactly, by replaying
+    # traces.  Incremental permission monitors need no pass here: the
+    # object base replays an instance's trace into a monitor when the
+    # monitor is first needed (_create_monitor), which is precisely the
+    # replay this pass used to perform eagerly.
     for bucket in system.instances.values():
         for instance in bucket.values():
-            if system.permission_mode == "incremental":
-                for step in instance.trace:
-                    system._update_monitors(instance, step)
             automaton = instance.compiled.protocol
             if automaton is not None:
                 states = automaton.initial
@@ -258,6 +169,10 @@ def restore_state(system: ObjectBase, data: Dict[str, Any]) -> ObjectBase:
         if bucket:
             system._bump_population(class_name)
     system.invalidate_probes()
+    # A paging store admitted every restored instance to its hot set;
+    # trim back down to the configured bound (writebacks seed the
+    # backend records).
+    system._balance_store()
     return system
 
 

@@ -1,0 +1,30 @@
+"""Pluggable disk-resident instance storage.
+
+The object base keeps its population behind an
+:class:`~repro.storage.registry.InstanceStore`, which pages instance
+records through one of three backends -- ``memory`` (the seed's
+all-resident dicts), ``paged`` (an append-only page file located by
+B-trees) or ``sqlite`` -- keeping only a bounded LRU hot set of live
+:class:`~repro.runtime.instance.Instance` objects.  Select with
+``ObjectBase(..., storage="paged:/dir", hot_set=4096)``, the CLI's
+``--storage``/``--hot-set`` flags, or the ``REPRO_STORAGE`` /
+``REPRO_STORAGE_HOT`` environment variables.  See docs/STORAGE.md.
+"""
+
+from repro.storage.base import (
+    StorageBackend,
+    StorageStats,
+    make_backend,
+    storage_for_shard,
+)
+from repro.storage.memory import MemoryStore
+from repro.storage.registry import InstanceStore
+
+__all__ = [
+    "InstanceStore",
+    "MemoryStore",
+    "StorageBackend",
+    "StorageStats",
+    "make_backend",
+    "storage_for_shard",
+]

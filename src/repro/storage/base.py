@@ -1,0 +1,150 @@
+"""The pluggable instance-storage contract.
+
+A :class:`StorageBackend` is a record store: it persists the encoded
+instance records (:func:`repro.storage.codec.instance_to_record`) of one
+object base, keyed by ``(class name, identity payload)``.  It knows
+nothing about :class:`~repro.runtime.instance.Instance` objects, hot
+sets or epochs -- that policy lives in
+:class:`repro.storage.registry.InstanceStore`, which owns exactly one
+backend.
+
+Backends:
+
+``memory``
+    The seed semantics: every instance is a resident Python object held
+    in plain dicts (``direct = True``; the record API exists but the
+    registry never pages through it).
+
+``paged[:directory]``
+    Records appended to an explicit page file, located through one
+    :class:`repro.relational.btree.BTree` per class -- the paper's own
+    Section 5.2 move of implementing abstract objects over a B-tree
+    access method.
+
+``sqlite[:path]``
+    One table per class in a stdlib :mod:`sqlite3` database, keyed by
+    the canonical identity-payload encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+
+class StorageStats:
+    """Always-on plain-int paging accounting (the probe-cache
+    ``ProbeStats`` contract: the runtime keeps these regardless of
+    telemetry; observability mirrors them through live-view counters
+    with zero hot-path hook cost)."""
+
+    __slots__ = ("faults", "evictions", "writebacks", "resident_high", "_resident")
+
+    def __init__(self, resident_fn=None):
+        self.faults = 0
+        self.evictions = 0
+        self.writebacks = 0
+        #: high-water mark of simultaneously resident instances,
+        #: sampled at every admission (the bench guard's bound)
+        self.resident_high = 0
+        self._resident = resident_fn if resident_fn is not None else (lambda: 0)
+
+    def resident(self) -> int:
+        """Currently resident instances (live view)."""
+        return self._resident()
+
+    def note_resident(self) -> None:
+        count = self._resident()
+        if count > self.resident_high:
+            self.resident_high = count
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "faults": self.faults,
+            "evictions": self.evictions,
+            "writebacks": self.writebacks,
+            "resident": self.resident(),
+            "resident_high": self.resident_high,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StorageStats(faults={self.faults}, evictions={self.evictions}, "
+            f"writebacks={self.writebacks}, resident={self.resident()})"
+        )
+
+
+class StorageBackend:
+    """Base class of the record stores (see the module docstring)."""
+
+    #: backend name as accepted by :func:`make_backend`
+    name = "abstract"
+    #: True when the registry should keep every instance resident and
+    #: never page (the memory backend -- the seed's exact semantics)
+    direct = False
+
+    def load(self, class_name: str, key: Any) -> Optional[Dict[str, Any]]:
+        """The stored record of ``(class_name, key)``, or None."""
+        raise NotImplementedError
+
+    def store(self, class_name: str, key: Any, record: Dict[str, Any]) -> None:
+        """Insert or replace one record."""
+        raise NotImplementedError
+
+    def remove(self, class_name: str, key: Any) -> None:
+        """Delete one record (missing keys are ignored)."""
+        raise NotImplementedError
+
+    def scan(self, class_name: str) -> Iterator[Tuple[Any, Dict[str, Any]]]:
+        """All live ``(key, record)`` pairs of a class, in canonical
+        encoded-key order (not registration order -- the registry owns
+        registration order)."""
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Flush buffered writes to the underlying medium."""
+
+    def close(self) -> None:
+        """Release file handles / connections."""
+
+    def __enter__(self) -> "StorageBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def make_backend(spec: Optional[str]) -> StorageBackend:
+    """Build a backend from a spec string: ``memory``,
+    ``paged[:directory]`` or ``sqlite[:path]`` (``None`` and the empty
+    string mean ``memory``)."""
+    from repro.storage.memory import MemoryStore
+
+    if not spec or spec == "memory":
+        return MemoryStore()
+    kind, _, location = spec.partition(":")
+    if kind == "paged":
+        from repro.storage.paged import PagedStore
+
+        return PagedStore(location or None)
+    if kind == "sqlite":
+        from repro.storage.sqlite import SQLiteStore
+
+        return SQLiteStore(location or None)
+    raise ValueError(
+        f"unknown storage backend {spec!r} "
+        "(expected 'memory', 'paged[:dir]' or 'sqlite[:path]')"
+    )
+
+
+def storage_for_shard(spec: Optional[str], shard_index: int) -> Optional[str]:
+    """A per-shard variant of a storage spec: workers of a sharded
+    community must not share one page file / database file, so path-
+    bearing specs get a shard suffix.  Pathless specs are already
+    private to the worker process."""
+    if not spec or spec == "memory":
+        return spec
+    kind, _, location = spec.partition(":")
+    if not location:
+        return spec
+    return f"{kind}:{location.rstrip('/')}-shard{shard_index}"

@@ -1,0 +1,227 @@
+"""Value and instance-record codecs shared by persistence and storage.
+
+One canonical JSON-compatible encoding of runtime values, identity
+payloads, trace steps and whole instances.  :mod:`repro.runtime.persistence`
+snapshots through it; the disk-resident storage backends
+(:mod:`repro.storage.paged`, :mod:`repro.storage.sqlite`) page instance
+records through it.  Keeping both on the *same* record shape is what
+makes ``dump_state`` able to pass evicted instances' backend records
+straight through without faulting them in.
+
+The encoding is **round-trip stable**: ``encode(decode(encode(x))) ==
+encode(x)``.  Sets are sorted at encode time, map/tuple entry order is
+preserved through decode, and scalar payloads are JSON natives -- so a
+record written by a backend, read back and re-encoded is byte-identical
+under ``json.dumps(..., sort_keys=True)``.  The storage differential
+tests sweep this property over every example script.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.datatypes.sorts import (
+    ANY,
+    IdSort,
+    ListSort,
+    MapSort,
+    SetSort,
+    TupleSort,
+    base_sort,
+)
+from repro.datatypes.values import (
+    Value,
+    boolean,
+    date,
+    identity as make_identity,
+    list_value,
+    map_value,
+    set_value,
+    tuple_value,
+)
+from repro.temporal.evaluation import TraceStep
+
+
+# ----------------------------------------------------------------------
+# Value <-> JSON
+# ----------------------------------------------------------------------
+
+def value_to_json(value: Value) -> Any:
+    """A JSON-compatible encoding of a value (sort-tagged)."""
+    sort = value.sort
+    if isinstance(sort, SetSort):
+        return {"k": "set", "items": [value_to_json(v) for v in sorted(value.payload)]}
+    if isinstance(sort, ListSort):
+        return {"k": "list", "items": [value_to_json(v) for v in value.payload]}
+    if isinstance(sort, MapSort):
+        return {
+            "k": "map",
+            "entries": [
+                [value_to_json(key), value_to_json(val)] for key, val in value.payload
+            ],
+        }
+    if isinstance(sort, TupleSort):
+        return {
+            "k": "tuple",
+            "fields": [[name, value_to_json(val)] for name, val in value.payload],
+        }
+    if isinstance(sort, IdSort):
+        return {"k": "id", "class": sort.class_name, "key": payload_to_json(value.payload)}
+    if sort.name == "date":
+        return {"k": "date", "ymd": list(value.payload)}
+    if sort.name in ("bool", "boolean"):
+        return {"k": "bool", "v": bool(value.payload)}
+    return {"k": "scalar", "sort": sort.name, "v": value.payload}
+
+
+def value_from_json(data: Any) -> Value:
+    """Decode :func:`value_to_json` output."""
+    kind = data["k"]
+    if kind == "set":
+        return set_value([value_from_json(v) for v in data["items"]])
+    if kind == "list":
+        return list_value([value_from_json(v) for v in data["items"]])
+    if kind == "map":
+        return map_value(
+            {value_from_json(k): value_from_json(v) for k, v in data["entries"]}
+        )
+    if kind == "tuple":
+        return tuple_value({name: value_from_json(v) for name, v in data["fields"]})
+    if kind == "id":
+        return make_identity(data["class"], payload_from_json(data["key"]))
+    if kind == "date":
+        return date(*data["ymd"])
+    if kind == "bool":
+        return boolean(data["v"])
+    sort = base_sort(data["sort"]) or ANY
+    return Value(sort, data["v"])
+
+
+def payload_to_json(payload: Any) -> Any:
+    """Identity payloads are JSON natives or (nested) tuples of them."""
+    if isinstance(payload, tuple):
+        return {"t": [payload_to_json(p) for p in payload]}
+    return payload
+
+
+def payload_from_json(data: Any) -> Any:
+    if isinstance(data, dict) and "t" in data:
+        return tuple(payload_from_json(p) for p in data["t"])
+    return data
+
+
+def encode_key(payload: Any) -> str:
+    """A canonical, totally ordered string key for an identity payload.
+
+    Used where heterogeneous payloads (str | int | tuple) must share one
+    ordered keyspace -- the SQLite primary key and the paged page-file
+    records.  Decode with :func:`decode_key`."""
+    return json.dumps(payload_to_json(payload), sort_keys=True, separators=(",", ":"))
+
+
+def decode_key(text: str) -> Any:
+    return payload_from_json(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Trace steps
+# ----------------------------------------------------------------------
+
+def step_to_json(step: TraceStep) -> Dict[str, Any]:
+    return {
+        "event": step.event,
+        "args": [value_to_json(a) for a in step.args],
+        "state": [[name, value_to_json(v)] for name, v in step.state],
+    }
+
+
+def step_from_json(data: Dict[str, Any]) -> TraceStep:
+    return TraceStep(
+        event=data["event"],
+        args=tuple(value_from_json(a) for a in data["args"]),
+        state=tuple((name, value_from_json(v)) for name, v in data["state"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Instances <-> records
+# ----------------------------------------------------------------------
+
+#: storage-internal record keys that are NOT part of the persistence
+#: snapshot format (stripped by :func:`strip_storage_fields`)
+STORAGE_ONLY_FIELDS = ("epoch", "roles")
+
+
+def instance_to_record(instance) -> Dict[str, Any]:
+    """The full storage record of an instance: the persistence snapshot
+    fields plus the modification epoch and role-link closure needed to
+    fault it back without a global relink pass."""
+    record = instance_to_json(instance)
+    record["epoch"] = instance.epoch
+    record["roles"] = sorted(instance.roles)
+    return record
+
+
+def instance_to_json(instance) -> Dict[str, Any]:
+    """The persistence-format record of an instance (no storage-internal
+    fields).  Plain attribute values still paged out in the instance's
+    lazy overlay are passed through in their encoded form -- re-encoding
+    a decoded value is byte-identical, so the two sources agree.  The
+    record's attribute order is canonical: a partially-materialized
+    instance holds decoded entries in access order, so the write-back
+    follows ``_state_order`` (the faulted record's order) -- the next
+    fault captures the same order and the chain never drifts from a
+    never-evicted twin.  (``param_state`` is order-sensitive and
+    therefore never lazy.)"""
+    lazy_state = instance._lazy_state
+    if lazy_state is None:
+        state = {name: value_to_json(v) for name, v in instance.state.items()}
+    else:
+        own = instance.state
+        state = {}
+        for name in instance._state_order or ():
+            if name in own:
+                state[name] = value_to_json(own[name])
+            elif name in lazy_state:
+                state[name] = lazy_state[name]
+        for name, value in own.items():
+            if name not in state:
+                state[name] = value_to_json(value)
+        for name, encoded in lazy_state.items():
+            if name not in state:
+                state[name] = encoded
+    return {
+        "class": instance.class_name,
+        "key": payload_to_json(instance.key),
+        "born": instance.born,
+        "dead": instance.dead,
+        "state": state,
+        "param_state": [
+            [
+                name,
+                [
+                    [[value_to_json(a) for a in args], value_to_json(v)]
+                    for args, v in table.items()
+                ],
+            ]
+            for name, table in instance.param_state.items()
+        ],
+        "trace": [step_to_json(s) for s in instance.trace],
+        "base": (
+            [instance.base.class_name, payload_to_json(instance.base.key)]
+            if instance.base is not None
+            else None
+        ),
+    }
+
+
+def strip_storage_fields(record: Dict[str, Any]) -> Dict[str, Any]:
+    """A backend record reduced to the persistence snapshot shape."""
+    if any(field in record for field in STORAGE_ONLY_FIELDS):
+        return {
+            name: value
+            for name, value in record.items()
+            if name not in STORAGE_ONLY_FIELDS
+        }
+    return record

@@ -1,0 +1,42 @@
+"""The in-memory backend: the seed's resident-dict semantics.
+
+``direct = True`` tells the registry to keep every
+:class:`~repro.runtime.instance.Instance` as a plain resident object in
+ordinary dicts -- no hot set, no faulting, no record encoding, zero
+added cost on any hot path.  The record API is still implemented (over
+a dict) so the backend test matrix can exercise all three backends
+uniformly."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.storage.base import StorageBackend
+from repro.storage.codec import decode_key, encode_key
+
+
+class MemoryStore(StorageBackend):
+    name = "memory"
+    direct = True
+
+    def __init__(self) -> None:
+        self._records: Dict[str, Dict[str, Dict[str, Any]]] = {}
+
+    def load(self, class_name: str, key: Any) -> Optional[Dict[str, Any]]:
+        bucket = self._records.get(class_name)
+        if bucket is None:
+            return None
+        return bucket.get(encode_key(key))
+
+    def store(self, class_name: str, key: Any, record: Dict[str, Any]) -> None:
+        self._records.setdefault(class_name, {})[encode_key(key)] = record
+
+    def remove(self, class_name: str, key: Any) -> None:
+        bucket = self._records.get(class_name)
+        if bucket is not None:
+            bucket.pop(encode_key(key), None)
+
+    def scan(self, class_name: str) -> Iterator[Tuple[Any, Dict[str, Any]]]:
+        bucket = self._records.get(class_name, {})
+        for ekey in sorted(bucket):
+            yield decode_key(ekey), bucket[ekey]

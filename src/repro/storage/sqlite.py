@@ -1,0 +1,95 @@
+"""The SQLite backend: one table per class, keyed by identity payload.
+
+Records are stored as JSON text under the canonical encoded key
+(:func:`repro.storage.codec.encode_key`) in a stdlib :mod:`sqlite3`
+database -- one ``CREATE TABLE IF NOT EXISTS`` per class on first
+touch.  Durability is deliberately relaxed (``synchronous=OFF``,
+WAL where available): the event journal is the animator's crash story;
+the backend is its capacity story.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.storage.base import StorageBackend
+from repro.storage.codec import decode_key, encode_key
+
+import json
+
+_TABLE_SANITIZE = re.compile(r"[^A-Za-z0-9_]")
+
+
+class SQLiteStore(StorageBackend):
+    name = "sqlite"
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path or ":memory:"
+        self._conn = sqlite3.connect(self.path, isolation_level=None)
+        if self.path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=OFF")
+        #: class name -> quoted table name (created on first touch)
+        self._tables: Dict[str, str] = {}
+
+    def _table(self, class_name: str, create: bool = True) -> Optional[str]:
+        table = self._tables.get(class_name)
+        if table is not None:
+            return table
+        bare = f"cls_{_TABLE_SANITIZE.sub('_', class_name)}"
+        table = f'"{bare}"'
+        if create:
+            self._conn.execute(
+                f"CREATE TABLE IF NOT EXISTS {table} "
+                "(key TEXT PRIMARY KEY, record TEXT NOT NULL)"
+            )
+        else:
+            # A reopened database already holds its tables; the cache
+            # only knows classes touched through this connection.
+            row = self._conn.execute(
+                "SELECT 1 FROM sqlite_master WHERE type='table' AND name=?",
+                (bare,),
+            ).fetchone()
+            if row is None:
+                return None
+        self._tables[class_name] = table
+        return table
+
+    def load(self, class_name: str, key: Any) -> Optional[Dict[str, Any]]:
+        table = self._table(class_name, create=False)
+        if table is None:
+            return None
+        row = self._conn.execute(
+            f"SELECT record FROM {table} WHERE key = ?", (encode_key(key),)
+        ).fetchone()
+        return json.loads(row[0]) if row is not None else None
+
+    def store(self, class_name: str, key: Any, record: Dict[str, Any]) -> None:
+        self._conn.execute(
+            f"INSERT OR REPLACE INTO {self._table(class_name)} VALUES (?, ?)",
+            (encode_key(key), json.dumps(record, separators=(",", ":"))),
+        )
+
+    def remove(self, class_name: str, key: Any) -> None:
+        table = self._table(class_name, create=False)
+        if table is not None:
+            self._conn.execute(
+                f"DELETE FROM {table} WHERE key = ?", (encode_key(key),)
+            )
+
+    def scan(self, class_name: str) -> Iterator[Tuple[Any, Dict[str, Any]]]:
+        table = self._table(class_name, create=False)
+        if table is None:
+            return
+        for ekey, text in self._conn.execute(
+            f"SELECT key, record FROM {table} ORDER BY key"
+        ):
+            yield decode_key(ekey), json.loads(text)
+
+    def sync(self) -> None:
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()

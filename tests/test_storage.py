@@ -1,0 +1,461 @@
+"""The pluggable instance-storage subsystem.
+
+Covers the backend record API uniformly across all three backends, the
+paging registry's LRU/fault/epoch semantics, snapshot byte-identity of
+every example script under every backend, a MemoryStore-vs-PagedStore
+twin-scheduler differential, sharded workers over per-shard page files,
+and the storage telemetry counters.
+"""
+
+import contextlib
+import gc
+import io
+import json
+import pathlib
+import runpy
+import tempfile
+
+import pytest
+
+from repro.diagnostics import RuntimeSpecError
+from repro.observability.hooks import Observability
+from repro.runtime import ObjectBase
+from repro.runtime.clock import CLOCK_SPEC, start_clock
+from repro.runtime.persistence import dump_json, dump_state, restore_state
+from repro.storage import (
+    MemoryStore,
+    StorageStats,
+    make_backend,
+    storage_for_shard,
+)
+from repro.storage.codec import decode_key, encode_key
+from repro.storage.paged import PagedStore
+from repro.storage.sqlite import SQLiteStore
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+COUNTER_SPEC = """
+object class COUNTER
+  identification
+    IdNo: nat;
+  template
+    attributes
+      Value: nat;
+    events
+      birth new_counter;
+      bump;
+      death drop;
+    valuation
+      new_counter Value = 0;
+      bump Value = Value + 1;
+end object class COUNTER;
+"""
+
+BACKENDS = ["memory", "paged", "sqlite"]
+
+
+def _backend(kind, tmp_path):
+    if kind == "memory":
+        return MemoryStore()
+    if kind == "paged":
+        return PagedStore(str(tmp_path / "paged"))
+    return SQLiteStore(str(tmp_path / "records.sqlite"))
+
+
+# ----------------------------------------------------------------------
+# The record API, uniformly over every backend
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", BACKENDS)
+class TestBackendMatrix:
+    def test_load_missing(self, kind, tmp_path):
+        with _backend(kind, tmp_path) as backend:
+            assert backend.load("C", (1,)) is None
+
+    def test_store_load_roundtrip(self, kind, tmp_path):
+        record = {"state": {"Value": 3}, "born": True}
+        with _backend(kind, tmp_path) as backend:
+            backend.store("C", (1,), record)
+            assert backend.load("C", (1,)) == record
+
+    def test_replace(self, kind, tmp_path):
+        with _backend(kind, tmp_path) as backend:
+            backend.store("C", (1,), {"v": 1})
+            backend.store("C", (1,), {"v": 2})
+            assert backend.load("C", (1,)) == {"v": 2}
+
+    def test_remove(self, kind, tmp_path):
+        with _backend(kind, tmp_path) as backend:
+            backend.store("C", (1,), {"v": 1})
+            backend.remove("C", (1,))
+            assert backend.load("C", (1,)) is None
+            backend.remove("C", (1,))  # idempotent
+
+    def test_classes_are_disjoint(self, kind, tmp_path):
+        with _backend(kind, tmp_path) as backend:
+            backend.store("A", (1,), {"v": "a"})
+            backend.store("B", (1,), {"v": "b"})
+            assert backend.load("A", (1,)) == {"v": "a"}
+            assert backend.load("B", (1,)) == {"v": "b"}
+            assert list(backend.scan("missing")) == []
+
+    def test_scan_in_encoded_key_order(self, kind, tmp_path):
+        keys = [(9,), (1,), (30,), ("x",), (("pair", 2),)]
+        with _backend(kind, tmp_path) as backend:
+            for index, key in enumerate(keys):
+                backend.store("C", key, {"i": index})
+            scanned = [key for key, _ in backend.scan("C")]
+            assert scanned == sorted(keys, key=encode_key)
+
+    def test_heterogeneous_keys_roundtrip(self, kind, tmp_path):
+        keys = [(1,), ("one",), (("alice", (1960, 1, 1)),), ((1, "a", (2, 3)),)]
+        with _backend(kind, tmp_path) as backend:
+            for key in keys:
+                backend.store("C", key, {"k": encode_key(key)})
+            for key in keys:
+                assert backend.load("C", key) == {"k": encode_key(key)}
+
+    def test_sync_is_safe(self, kind, tmp_path):
+        with _backend(kind, tmp_path) as backend:
+            backend.store("C", (1,), {"v": 1})
+            backend.sync()
+            assert backend.load("C", (1,)) == {"v": 1}
+
+
+class TestDurableBackends:
+    def test_paged_reopen_rebuilds_index(self, tmp_path):
+        directory = str(tmp_path / "paged")
+        with PagedStore(directory) as backend:
+            backend.store("C", (1,), {"v": 1})
+            backend.store("C", (2,), {"v": 2})
+            backend.store("C", (1,), {"v": 10})  # last line wins
+            backend.remove("C", (2,))  # tombstone survives reopen
+            backend.store("D", ("k",), {"v": "d"})
+        with PagedStore(directory) as backend:
+            assert backend.load("C", (1,)) == {"v": 10}
+            assert backend.load("C", (2,)) is None
+            assert backend.load("D", ("k",)) == {"v": "d"}
+
+    def test_paged_compact_reclaims_dead_lines(self, tmp_path):
+        directory = str(tmp_path / "paged")
+        with PagedStore(directory) as backend:
+            for round_ in range(20):
+                backend.store("C", (1,), {"round": round_})
+            reclaimed = backend.compact()
+            assert reclaimed > 0
+            assert backend.load("C", (1,)) == {"round": 19}
+            assert backend.compact() == 0  # already dense
+        with PagedStore(directory) as backend:
+            assert backend.load("C", (1,)) == {"round": 19}
+
+    def test_sqlite_reopen(self, tmp_path):
+        path = str(tmp_path / "records.sqlite")
+        with SQLiteStore(path) as backend:
+            backend.store("C", (1,), {"v": 1})
+            backend.sync()
+        with SQLiteStore(path) as backend:
+            assert backend.load("C", (1,)) == {"v": 1}
+
+
+class TestSpecsAndKeys:
+    def test_make_backend_specs(self):
+        assert make_backend(None).direct
+        assert make_backend("memory").direct
+        with make_backend("sqlite") as backend:  # in-memory database
+            assert not backend.direct
+        with pytest.raises(ValueError):
+            make_backend("mystery")
+
+    def test_storage_for_shard(self):
+        assert storage_for_shard(None, 3) is None
+        assert storage_for_shard("memory", 3) == "memory"
+        assert storage_for_shard("paged", 3) == "paged"
+        assert storage_for_shard("paged:/tmp/x", 3) == "paged:/tmp/x-shard3"
+        assert storage_for_shard("sqlite:/tmp/x.db", 0) == "sqlite:/tmp/x.db-shard0"
+
+    def test_encode_key_total_order_and_roundtrip(self):
+        payloads = [(1,), (2,), ("a",), ("b",), ((1, 2),), (("x", (1,)),)]
+        encoded = [encode_key(p) for p in payloads]
+        assert len(set(encoded)) == len(encoded)
+        assert sorted(encoded) == sorted(encoded)  # strings: total order
+        for payload in payloads:
+            assert decode_key(encode_key(payload)) == payload
+
+
+# ----------------------------------------------------------------------
+# The paging registry: LRU, faulting, epochs
+# ----------------------------------------------------------------------
+
+
+class TestPagingRegistry:
+    def _system(self, tmp_path, hot_set=16):
+        return ObjectBase(
+            COUNTER_SPEC,
+            storage=f"paged:{tmp_path / 'store'}",
+            hot_set=hot_set,
+        )
+
+    def test_eviction_bounds_residency(self, tmp_path):
+        system = self._system(tmp_path, hot_set=16)
+        for index in range(300):
+            system.create("COUNTER", {"IdNo": index})
+        stats = system.store.stats
+        assert stats.evictions > 0
+        assert stats.writebacks > 0
+        # The journal pins its bounded window; drop it to observe the
+        # hot set alone.
+        system.journal.clear()
+        gc.collect()
+        assert system.store.resident_count() <= 32
+        assert len(system.store.keys("COUNTER")) == 300
+
+    def test_fault_preserves_state_and_epoch(self, tmp_path):
+        system = self._system(tmp_path, hot_set=8)
+        system.create("COUNTER", {"IdNo": 0})
+        for _ in range(3):
+            system.occur(("COUNTER", 0), "bump")
+        epoch_before = system.instance("COUNTER", 0).epoch
+        # Push instance 0 out of the hot set and out of residency.
+        for index in range(1, 80):
+            system.create("COUNTER", {"IdNo": index})
+        system.journal.clear()
+        gc.collect()
+        faults_before = system.store.stats.faults
+        revived = system.instance("COUNTER", 0)
+        assert system.store.stats.faults > faults_before
+        assert revived.epoch == epoch_before  # faulting is not a change
+        assert system.get(revived, "Value").payload == 3
+        assert len(revived.trace) == 4  # birth + three bumps
+
+    def test_faulted_twin_is_identical_object_while_referenced(self, tmp_path):
+        system = self._system(tmp_path, hot_set=8)
+        system.create("COUNTER", {"IdNo": 0})
+        first = system.instance("COUNTER", 0)
+        second = system.instance("COUNTER", 0)
+        assert first is second
+
+    def test_fault_does_not_invalidate_probe_verdicts(self, tmp_path):
+        system = self._system(tmp_path, hot_set=8)
+        for index in range(40):
+            system.create("COUNTER", {"IdNo": index})
+        target = system.instance("COUNTER", 39)
+        assert system.is_permitted(target, "bump")
+        hits_before = system.probe_stats.hits
+        # Fault an unrelated paged-out instance in; the cached verdict
+        # for (39, bump) must survive.
+        system.journal.clear()
+        gc.collect()
+        system.instance("COUNTER", 0)
+        assert system.is_permitted(target, "bump")
+        assert system.probe_stats.hits > hits_before
+
+    def test_register_and_destroy_still_bump_population_epochs(self, tmp_path):
+        system = self._system(tmp_path)
+        before = system._population_epochs.get("COUNTER", 0)
+        system.create("COUNTER", {"IdNo": 0})
+        after_create = system._population_epochs.get("COUNTER", 0)
+        assert after_create > before
+        system.occur(("COUNTER", 0), "drop")
+        assert system._population_epochs.get("COUNTER", 0) > after_create
+
+    def test_death_under_paging(self, tmp_path):
+        system = self._system(tmp_path, hot_set=8)
+        for index in range(30):
+            system.create("COUNTER", {"IdNo": index})
+        system.occur(("COUNTER", 7), "drop")
+        assert not system.store.is_alive("COUNTER", 7)
+        alive = system.alive_keys("COUNTER")
+        assert 7 not in alive
+        assert len(alive) == 29
+        # Dead instances still dump (the paper's object base keeps
+        # object histories); they are just not alive.
+        record = system.store.dump_record("COUNTER", 7)
+        assert record["dead"] is True
+
+    def test_dump_record_missing_raises(self, tmp_path):
+        system = self._system(tmp_path)
+        with pytest.raises(RuntimeSpecError):
+            system.store.dump_record("COUNTER", (404,))
+
+    def test_memory_mode_keeps_plain_dicts(self):
+        system = ObjectBase(COUNTER_SPEC)
+        assert system.store.direct
+        assert isinstance(system.instances, dict)
+        system.create("COUNTER", {"IdNo": 0})
+        assert isinstance(system.instances["COUNTER"], dict)
+
+
+# ----------------------------------------------------------------------
+# Snapshot byte-identity: every example script, every backend
+# ----------------------------------------------------------------------
+
+
+def _run_example_and_dump(script, storage, monkeypatch, tmp_path):
+    """Animate one example under a storage default; JSON dumps of every
+    object base it constructed, in construction order."""
+    systems = []
+    original_init = ObjectBase.__init__
+
+    def recording_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        systems.append(self)
+
+    monkeypatch.setattr(ObjectBase, "__init__", recording_init)
+    if storage:
+        monkeypatch.setenv("REPRO_STORAGE", storage)
+        # Pathless paged stores mkdtemp their page directory; route it
+        # under the test tmp dir.
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+    else:
+        monkeypatch.delenv("REPRO_STORAGE", raising=False)
+    monkeypatch.delenv("REPRO_STORAGE_HOT", raising=False)
+    try:
+        with contextlib.redirect_stdout(io.StringIO()):
+            runpy.run_path(str(script), run_name="__main__")
+        return [dump_json(system) for system in systems]
+    finally:
+        for system in systems:
+            system.store.close()
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(EXAMPLES_DIR.glob("*.py")),
+    ids=lambda script: script.name,
+)
+def test_examples_dump_byte_identical_across_backends(
+    script, monkeypatch, tmp_path
+):
+    oracle = _run_example_and_dump(script, None, monkeypatch, tmp_path)
+    if not oracle:
+        pytest.skip("example animates no ObjectBase (core-framework demo)")
+    for storage in ("paged", "sqlite"):
+        dumps = _run_example_and_dump(script, storage, monkeypatch, tmp_path)
+        assert dumps == oracle, f"{script.name} diverged under {storage}"
+
+
+@pytest.mark.parametrize("storage", ["paged", "sqlite"])
+def test_dump_restore_dump_byte_identical(storage, tmp_path):
+    spec = f"{storage}:{tmp_path / 'a'}" if storage == "paged" else storage
+    system = ObjectBase(COUNTER_SPEC, storage=spec, hot_set=8)
+    for index in range(60):
+        system.create("COUNTER", {"IdNo": index})
+    for index in range(0, 60, 7):
+        system.occur(("COUNTER", index), "bump")
+    system.occur(("COUNTER", 3), "drop")
+    first = dump_state(system)
+    twin_spec = f"{storage}:{tmp_path / 'b'}" if storage == "paged" else storage
+    twin = ObjectBase(COUNTER_SPEC, storage=twin_spec, hot_set=8)
+    restore_state(twin, first)
+    assert json.dumps(dump_state(twin), sort_keys=True) == json.dumps(
+        first, sort_keys=True
+    )
+    # The restored base keeps evolving correctly.
+    twin.occur(("COUNTER", 0), "bump")
+    assert twin.get(twin.instance("COUNTER", 0), "Value").payload == 2
+
+
+# ----------------------------------------------------------------------
+# Twin-scheduler differential: memory vs paged must fire identically
+# ----------------------------------------------------------------------
+
+
+class TestTwinSchedulerDifferential:
+    def test_active_scheduler_fires_identically(self, tmp_path):
+        direct = ObjectBase(CLOCK_SPEC)
+        paged = ObjectBase(
+            CLOCK_SPEC, storage=f"paged:{tmp_path / 'clock'}", hot_set=4
+        )
+        start_clock(direct, horizon=9)
+        start_clock(paged, horizon=9)
+        fired_direct, fired_paged = [], []
+        while True:
+            a = direct.step()
+            b = paged.step()
+            assert (a is None) == (b is None)
+            if a is None:
+                break
+            fired_direct.append((a.instance.class_name, a.instance.key, a.event))
+            fired_paged.append((b.instance.class_name, b.instance.key, b.event))
+        assert fired_direct == fired_paged
+        assert len(fired_direct) == 9
+        assert dump_json(direct) == dump_json(paged)
+
+    def test_driven_workload_dumps_identically(self, tmp_path):
+        direct = ObjectBase(COUNTER_SPEC)
+        paged = ObjectBase(
+            COUNTER_SPEC, storage=f"paged:{tmp_path / 'twin'}", hot_set=8
+        )
+        for system in (direct, paged):
+            for index in range(50):
+                system.create("COUNTER", {"IdNo": index})
+            for op in range(200):
+                system.occur(("COUNTER", op % 50), "bump")
+            system.occur(("COUNTER", 13), "drop")
+        assert dump_json(direct) == dump_json(paged)
+
+
+# ----------------------------------------------------------------------
+# Sharded workers over per-shard page files
+# ----------------------------------------------------------------------
+
+
+class TestShardedStorage:
+    def test_workers_spool_on_paged_storage(self, tmp_path):
+        from repro.distributed.workload import run_oracle, run_sharded
+
+        pages = tmp_path / "pages"
+        result = run_sharded(
+            2,
+            counters=16,
+            ops=64,
+            spool_dir=str(tmp_path / "spool"),
+            storage=f"paged:{pages}",
+            hot_set=8,
+        )
+        oracle = run_oracle(counters=16, ops=64)
+        assert result["state"] == oracle["state"]
+        # Each worker got its own page directory.
+        assert (tmp_path / "pages-shard0").is_dir()
+        assert (tmp_path / "pages-shard1").is_dir()
+
+
+# ----------------------------------------------------------------------
+# Telemetry: storage.* counters
+# ----------------------------------------------------------------------
+
+
+class TestStorageTelemetry:
+    def test_counters_appear_under_paging(self, tmp_path):
+        obs = Observability(enabled=True)
+        system = ObjectBase(
+            COUNTER_SPEC,
+            observability=obs,
+            storage=f"paged:{tmp_path / 'store'}",
+            hot_set=8,
+        )
+        for index in range(100):
+            system.create("COUNTER", {"IdNo": index})
+        counters = obs.metrics.counters
+        assert counters["storage.evictions"].values[()] > 0
+        assert counters["storage.writebacks"].values[()] > 0
+        assert counters["storage.resident"].values[()] > 0
+
+    def test_memory_mode_registers_no_storage_series(self):
+        obs = Observability(enabled=True)
+        system = ObjectBase(COUNTER_SPEC, observability=obs)
+        system.create("COUNTER", {"IdNo": 0})
+        assert not [
+            name for name in obs.metrics.counters if name.startswith("storage.")
+        ]
+
+    def test_stats_snapshot_shape(self):
+        stats = StorageStats()
+        assert stats.snapshot() == {
+            "faults": 0,
+            "evictions": 0,
+            "writebacks": 0,
+            "resident": 0,
+            "resident_high": 0,
+        }
