@@ -1,0 +1,180 @@
+"""Fused per-event transaction closures vs the generic occur pipeline.
+
+The P10 series measures *end-to-end* event-occurrence throughput --
+permission check, valuation, constraint sweep, journal commit -- not
+just rule-body evaluation (that is the P2 series).  The workload is a
+LEDGER object with a rich constraint section: 24 quantifier-free range
+and ordering invariants over a block of configuration attributes that
+the hot ``post`` event never writes, plus the two invariants it
+actually touches.  The generic dry-transaction pipeline re-sweeps all
+26 constraints on every occurrence; the fused transaction closure
+(``repro.runtime.txncompile``) statically intersects each constraint's
+read set with the event's write set and sweeps only the two relevant
+ones, on top of skipping the generic pipeline's snapshot/occurrence
+scaffolding in favour of a targeted undo log.
+
+Both sides run with term compilation enabled, so the measured win is
+whole-transaction fusion alone, not closure-compiled rule bodies.
+
+``test_occur_speedup_guard`` is the CI regression guard: it animates
+the same occurrence stream through twin object bases (``txn_compile``
+on vs off), asserts the committed journals, traces and dumped states
+are bit-identical, and requires the fused animation to be at least 3x
+faster.
+"""
+
+import time
+
+import pytest
+
+from repro.lang import check_specification, parse_specification
+from repro.runtime import ObjectBase
+from repro.runtime.compilespec import compile_specification
+from repro.runtime.persistence import dump_json
+
+N_CONFIG = 24  #: width of the configuration-attribute block
+
+
+def _config_attributes() -> str:
+    return "\n".join(
+        f"      A{i}: integer initially {i};" for i in range(1, N_CONFIG + 1)
+    )
+
+
+def _config_invariants() -> str:
+    """Range and ordering invariants over the configuration block --
+    quantifier-free, so the static analysis can prove them disjoint
+    from ``post``'s write set ``{Balance, Entries}``."""
+
+    def at(i: int, d: int) -> int:
+        return (i - 1 + d) % N_CONFIG + 1
+
+    return "\n".join(
+        "      static 0 - 1000 <= A{i} and A{i} <= 1000 and "
+        "A{i} + A{j} <= 2000 and A{i} + A{j} + A{k} >= 0 - 3000 and "
+        "A{i} - A{k} <= 2000;".format(i=i, j=at(i, 1), k=at(i, 2))
+        for i in range(1, N_CONFIG + 1)
+    )
+
+
+LEDGER_SPEC = f"""
+object class LEDGER
+  identification Book: string;
+  template
+    attributes
+      Balance: integer initially 0;
+      Entries: integer initially 0;
+      Owner: string;
+      Ceiling: integer initially 100000000;
+{_config_attributes()}
+    events
+      birth open(string);
+      post(integer);
+      death close;
+    valuation
+      variables k: integer; o: string;
+      open(o) Owner = o;
+      post(k) Balance = Balance + k;
+      post(k) Entries = Entries + 1;
+    permissions
+      variables k: integer;
+      {{ Balance + k >= 0 - Ceiling }} post(k);
+    constraints
+      static Balance <= Ceiling;
+      static Entries >= 0;
+{_config_invariants()}
+end object class LEDGER;
+"""
+
+POSTS = 3000
+
+
+@pytest.fixture(scope="module")
+def compiled_ledger():
+    return compile_specification(
+        check_specification(parse_specification(LEDGER_SPEC)).raise_if_errors()
+    )
+
+
+def animate(spec, txn_compile: bool):
+    """Open one ledger and feed it the deterministic posting stream.
+    This is the timed region: birth plus POSTS occurrences, journal
+    commit included (outcome extraction is deliberately outside it)."""
+    system = ObjectBase(spec, txn_compile=txn_compile)
+    ledger = system.create("LEDGER", {"Book": "B1"}, "open", ["ops"])
+    for index in range(POSTS):
+        system.occur(ledger, "post", [index % 7 - 3])
+    return system, ledger
+
+
+def outcomes(system, ledger):
+    """Every observable outcome of the workload: the journal (sans
+    wall-clock), the committed trace and the dumped state."""
+    journal = [repr(occurrence) for occurrence in system.journal]
+    trace = [
+        (
+            step.event,
+            tuple(repr(a) for a in step.args),
+            tuple((name, repr(value)) for name, value in step.state),
+        )
+        for step in ledger.trace
+    ]
+    return journal, trace, dump_json(system)
+
+
+def test_bench_occur_generic_pipeline(benchmark, compiled_ledger):
+    """The pre-fusion behaviour: every occurrence through the generic
+    dry-transaction pipeline, full constraint sweep included."""
+    system, _ = benchmark(animate, compiled_ledger, False)
+    assert len(system.journal) == POSTS + 1
+
+
+def test_bench_occur_fused(benchmark, compiled_ledger):
+    """One fused transaction closure per (class, event), relevant-only
+    constraint sweep, targeted undo log."""
+    system, _ = benchmark(animate, compiled_ledger, True)
+    assert len(system.journal) == POSTS + 1
+
+
+def test_occur_speedup_guard(benchmark, compiled_ledger):
+    """Regression guard: fused transactions >= 3x the generic pipeline
+    on the P10 constraint-heavy posting workload, with bit-identical
+    journals, traces and dumped state."""
+    start = time.perf_counter()
+    baseline_system, baseline_ledger = animate(compiled_ledger, False)
+    generic_seconds = time.perf_counter() - start
+    baseline = outcomes(baseline_system, baseline_ledger)
+
+    fused_seconds = []
+    fused_outcomes = []
+
+    def run():
+        start = time.perf_counter()
+        system, ledger = animate(compiled_ledger, True)
+        fused_seconds.append(time.perf_counter() - start)
+        fused_outcomes.append(outcomes(system, ledger))
+
+    benchmark.pedantic(run, rounds=3)
+
+    for outcome in fused_outcomes:
+        assert outcome[0] == baseline[0], (
+            "fused animation committed a different journal"
+        )
+        assert outcome[1] == baseline[1], (
+            "fused animation committed a different trace"
+        )
+        assert outcome[2] == baseline[2], (
+            "fused animation dumped a different state"
+        )
+    best = min(fused_seconds)
+    speedup = generic_seconds / best
+    benchmark.extra_info["workload"] = "P10-occur"
+    benchmark.extra_info["samples"] = POSTS
+    benchmark.extra_info["generic_seconds"] = generic_seconds
+    benchmark.extra_info["fused_seconds"] = best
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= 3.0, (
+        f"transaction fusion regressed: {speedup:.2f}x < 3x "
+        f"(generic {generic_seconds * 1000:.1f} ms, "
+        f"fused {best * 1000:.1f} ms)"
+    )

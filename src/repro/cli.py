@@ -74,12 +74,19 @@ def _add_storage_flags(parser: "argparse.ArgumentParser") -> None:
         help="LRU hot-set capacity for disk-resident storage "
         "(default: 4096)",
     )
+    parser.add_argument(
+        "--no-txn-compile", action="store_true", dest="no_txn_compile",
+        help="run occurrences through the generic dry-transaction "
+        "pipeline instead of fused per-event transaction closures "
+        "(the interpreted oracle; same as REPRO_TXN_COMPILE=0)",
+    )
 
 
 def _storage_environment(args: argparse.Namespace):
-    """Context manager exporting the storage flags as the environment
-    defaults (``REPRO_STORAGE`` / ``REPRO_STORAGE_HOT``) that object
-    bases constructed by an animated script fall back to."""
+    """Context manager exporting the storage and compile-mode flags as
+    the environment defaults (``REPRO_STORAGE`` / ``REPRO_STORAGE_HOT``
+    / ``REPRO_TXN_COMPILE``) that object bases constructed by an
+    animated script fall back to."""
     import contextlib
     import os
 
@@ -91,6 +98,8 @@ def _storage_environment(args: argparse.Namespace):
             updates["REPRO_STORAGE"] = args.storage
         if getattr(args, "hot_set", None):
             updates["REPRO_STORAGE_HOT"] = str(args.hot_set)
+        if getattr(args, "no_txn_compile", False):
+            updates["REPRO_TXN_COMPILE"] = "0"
         for key, value in updates.items():
             saved[key] = os.environ.get(key)
             os.environ[key] = value
@@ -572,6 +581,7 @@ def _serve_tcp(args: argparse.Namespace, text: str, placement) -> int:
             spool_dir=args.spool_dir,
             storage=args.storage,
             hot_set=args.hot_set,
+            txn_compile=False if args.no_txn_compile else None,
         ) as community:
             stop = asyncio.Event()
 
@@ -668,6 +678,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         spool_dir=args.spool_dir,
         storage=args.storage,
         hot_set=args.hot_set,
+        txn_compile=False if args.no_txn_compile else None,
     ) as community:
         print(
             json.dumps({"ok": True, "serving": True, "shards": args.shards}),
@@ -896,6 +907,7 @@ def _cmd_workload_async(args: argparse.Namespace) -> int:
         trace=args.trace,
         storage=args.storage,
         hot_set=args.hot_set,
+        txn_compile=False if args.no_txn_compile else None,
     )
     print(
         f"async sharded run: {args.shards} shard(s), {args.clients} "
@@ -955,6 +967,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         slow_threshold=slow_threshold,
         storage=args.storage,
         hot_set=args.hot_set,
+        txn_compile=False if args.no_txn_compile else None,
     )
     print(
         f"sharded run: {args.shards} shard(s), {result['counters']} "

@@ -218,6 +218,7 @@ class AsyncShardedCommunity:
         span_batch_limit: Optional[int] = None,
         storage: Optional[str] = None,
         hot_set: Optional[int] = None,
+        txn_compile: Optional[bool] = None,
     ):
         if not isinstance(spec, str):
             raise CheckError(
@@ -244,6 +245,9 @@ class AsyncShardedCommunity:
         self.span_batch_limit = span_batch_limit
         self.storage = storage
         self.hot_set = hot_set
+        #: fused-transaction mode shipped to every worker (None defers
+        #: to each worker process's REPRO_TXN_COMPILE default)
+        self.txn_compile = txn_compile
         self.restarts = 0
         self.spans_dropped = 0
         self.in_flight = 0
@@ -316,6 +320,7 @@ class AsyncShardedCommunity:
             "span_batch_limit": self.span_batch_limit,
             "storage": self.storage,
             "hot_set": self.hot_set,
+            "txn_compile": self.txn_compile,
             "async_server": True,
         }
 

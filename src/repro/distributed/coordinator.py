@@ -229,6 +229,7 @@ class ShardedCommunity:
         profile_limit: Optional[int] = None,
         storage: Optional[str] = None,
         hot_set: Optional[int] = None,
+        txn_compile: Optional[bool] = None,
         start: bool = True,
     ):
         if not isinstance(spec, str):
@@ -265,6 +266,9 @@ class ShardedCommunity:
         #: never share page files
         self.storage = storage
         self.hot_set = hot_set
+        #: fused-transaction mode shipped to every worker (None defers
+        #: to each worker process's REPRO_TXN_COMPILE default)
+        self.txn_compile = txn_compile
         self.profile_pruned = 0
         self._profiles: Dict[int, Dict[str, Any]] = {}
         #: worker restarts observed (crash detection + recovery)
@@ -324,6 +328,7 @@ class ShardedCommunity:
             "profile_limit": self.profile_limit,
             "storage": self.storage,
             "hot_set": self.hot_set,
+            "txn_compile": self.txn_compile,
         }
 
     def _spawn(self, index: int) -> _WorkerHandle:

@@ -390,6 +390,7 @@ class ShardWorker:
             # never contend on one page file / database
             storage=storage_for_shard(config.get("storage"), self.shard_index),
             hot_set=config.get("hot_set"),
+            txn_compile=config.get("txn_compile"),
         )
         spool_dir = config.get("spool_dir")
         self.spool = Spool(spool_dir, self.shard_index) if spool_dir else None

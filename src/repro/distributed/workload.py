@@ -91,6 +91,7 @@ def run_sharded(
     cross_shard: bool = False,
     storage: Optional[str] = None,
     hot_set: Optional[int] = None,
+    txn_compile: Optional[bool] = None,
 ) -> Dict[str, Any]:
     """Run the counter workload against a sharded community.  Returns
     elapsed seconds, throughput, the merged final state, and (with
@@ -117,6 +118,7 @@ def run_sharded(
         profile=profile,
         storage=storage,
         hot_set=hot_set,
+        txn_compile=txn_compile,
     ) as community:
         if cross_shard:
             community.create("AUDIT", {"Tag": 0})
@@ -165,6 +167,7 @@ def run_async_sharded(
     cross_shard: bool = False,
     storage: Optional[str] = None,
     hot_set: Optional[int] = None,
+    txn_compile: Optional[bool] = None,
 ) -> Dict[str, Any]:
     """The counter workload against the async pipelined community:
     ``clients`` concurrent client coroutines partition the op indices
@@ -188,6 +191,7 @@ def run_async_sharded(
             trace_capacity=max(256, counters + ops + 8 * shards),
             storage=storage,
             hot_set=hot_set,
+            txn_compile=txn_compile,
         ) as community:
             if cross_shard:
                 await community.create("AUDIT", {"Tag": 0})
@@ -240,6 +244,7 @@ def run_oracle(
     cross_shard: bool = False,
     storage: Optional[str] = None,
     hot_set: Optional[int] = None,
+    txn_compile: Optional[bool] = None,
 ) -> Dict[str, Any]:
     """The single-process oracle: the same occurrence sequence on one
     in-process ObjectBase; final state in the merged canonical order."""
@@ -247,6 +252,7 @@ def run_oracle(
         AUDITED_COUNTER_SPEC if cross_shard else COUNTER_SPEC,
         storage=storage,
         hot_set=hot_set,
+        txn_compile=txn_compile,
     )
     if cross_shard:
         system.create("AUDIT", {"Tag": 0})

@@ -62,6 +62,14 @@ _TERM_STATS_FIELDS = {
     "term_compile.cache_hits": "cache_hits",
 }
 
+#: counter name -> transaction-compiler STATS field it views
+_TXN_STATS_FIELDS = {
+    "txn_compile.compiled": "compiled",
+    "txn_compile.declines": "declines",
+    "txn_compile.fallbacks": "fallbacks",
+    "txn_compile.cache_hits": "cache_hits",
+}
+
 #: counter name -> StorageStats field it views (delta counters; the
 #: resident gauge is registered separately as a live absolute view)
 _STORAGE_STATS_FIELDS = {
@@ -167,6 +175,19 @@ class Observability:
                 counters[name] = _ExternalCounter(
                     name,
                     lambda f=field, b=base[field]: getattr(_TERM_STATS, f) - b,
+                )
+            # imported here, not at module load: txncompile pulls phase
+            # constants from this package, so a top-level import would
+            # be circular
+            from repro.runtime.txncompile import STATS as _txn_stats
+
+            txn_base = _txn_stats.snapshot()
+            for name, field in _TXN_STATS_FIELDS.items():
+                counters[name] = _ExternalCounter(
+                    name,
+                    lambda f=field, b=txn_base[field], s=_txn_stats: (
+                        getattr(s, f) - b
+                    ),
                 )
         # Pre-resolved counters for the remaining per-event hooks
         # (attribute access, manual probe/term callbacks): skip the

@@ -51,6 +51,11 @@ class CompiledClass:
     #: Owned here so a class's rules survive global-cache overflow and
     #: die with the specification.
     term_cache: Dict[int, tuple] = field(default_factory=dict)
+    #: fused whole-transaction plans (repro.runtime.txncompile), keyed
+    #: by event name; entries are TxnPlan objects or decline-reason
+    #: strings.  Plans are system-independent, so systems sharing one
+    #: compiled specification share them; set_txn_compile clears this.
+    txn_cache: Dict[str, object] = field(default_factory=dict)
     #: merged event index (declared + implicit), cached at compile time
     _events_index: Optional[Dict[str, ast.EventDecl]] = None
     _active_events: Optional[List[ast.EventDecl]] = None

@@ -33,6 +33,17 @@ identical.  When a probe cannot account for its reads (it marked the
 dependency set as *punted*), the verdict is simply not cached and the
 next ask falls back to a fresh dry transaction -- the exhaustive-rescan
 behaviour, per probe.
+
+The soundness argument also assumes the *evaluator* that would re-run
+is the one that ran: flipping an execution mode at runtime
+(``set_term_compile``, ``set_txn_compile``) swaps compiled closures for
+their interpreted twins (or fused transactions for the generic
+pipeline), so both toggles drop every memoized verdict rather than
+inherit it.  Fused transaction closures (``repro.runtime.txncompile``)
+participate in the epoch contract unchanged: they perform exactly the
+generic commit path's epoch arithmetic (one bump per attribute write,
+one per committed trace step, rollback restoring the saved epoch), so
+cached verdicts keyed on epochs stay valid across fused commits.
 """
 
 from __future__ import annotations

@@ -79,6 +79,11 @@ from repro.runtime.compilespec import (
 )
 from repro.runtime.enabledness import CachedVerdict, ProbeDependencies, ProbeStats
 from repro.runtime.instance import Instance
+from repro.runtime.txncompile import (
+    STATS as _TXN_STATS,
+    clear_plan_cache as _clear_txn_plans,
+    lookup_plan as _lookup_txn_plan,
+)
 from repro.storage.registry import InstanceStore
 
 
@@ -213,6 +218,7 @@ class ObjectBase:
         journal: Optional[Journal] = None,
         probe_cache: bool = True,
         term_compile: Optional[bool] = None,
+        txn_compile: Optional[bool] = None,
         storage: Optional[str] = None,
         hot_set: Optional[int] = None,
     ):
@@ -228,6 +234,16 @@ class ObjectBase:
         if term_compile is None:
             term_compile = os.environ.get("REPRO_TERM_COMPILE", "1") != "0"
         self.term_compile = bool(term_compile)
+        #: whole transactions executed through fused per-(class, event)
+        #: closures (repro.runtime.txncompile) instead of the generic
+        #: dry-transaction pipeline, which stays the behavioural oracle
+        #: and the fallback for declined constructs.  None defers to
+        #: REPRO_TXN_COMPILE (any value but "0" enables), so twin runs
+        #: of unmodified scripts can compare both modes.  Flip at
+        #: runtime via set_txn_compile.
+        if txn_compile is None:
+            txn_compile = os.environ.get("REPRO_TXN_COMPILE", "1") != "0"
+        self.txn_compile = bool(txn_compile)
         #: epoch-memoized permission probes (False -> every probe is a
         #: fresh dry transaction, the exhaustive-rescan baseline)
         self.probe_caching = probe_cache
@@ -622,6 +638,23 @@ class ObjectBase:
         self.term_compile = enabled
         self.invalidate_probes()
 
+    def set_txn_compile(self, enabled: bool) -> None:
+        """Flip between fused transaction closures and the generic
+        pipeline.
+
+        Mirrors :meth:`set_term_compile`'s invalidation contract:
+        memoized probe verdicts were produced by the *other* execution
+        path and must be dropped, not inherited.  The compiled-plan
+        cache is cleared as well -- the specification may be shared by
+        systems in either mode, and a stale plan compiled before a flip
+        must not survive into the next enable."""
+        enabled = bool(enabled)
+        if enabled == self.txn_compile:
+            return
+        self.txn_compile = enabled
+        self.invalidate_probes()
+        _clear_txn_plans(self.compiled)
+
     def _active_schedule(self) -> List[Tuple[Instance, str]]:
         """The scheduler's candidate list -- every parameterless active
         event of every registered instance, in deterministic registry
@@ -885,6 +918,21 @@ class ObjectBase:
     # ------------------------------------------------------------------
 
     def _occur_root(self, instance: Instance, event: str, args: Tuple[Value, ...]) -> None:
+        if self.txn_compile:
+            plan, fresh = _lookup_txn_plan(instance.compiled, event, self.compiled)
+            if plan is not None and plan.eligible(self, instance):
+                obs = self.obs
+                if obs is not None and obs.enabled:
+                    if not fresh:
+                        _TXN_STATS.cache_hits += 1
+                    plan.run_observed(self, obs, instance, args)
+                    return
+                if self.prof is None:
+                    if not fresh:
+                        _TXN_STATS.cache_hits += 1
+                    plan.run_quiet(self, instance, args)
+                    return
+            _TXN_STATS.fallbacks += 1
         self._run_unit(((instance, event, args),))
 
     def _run_unit(
@@ -1728,12 +1776,39 @@ class ObjectBase:
         """Drive several occurrences as *one* atomic unit (the runtime
         face of transaction calling, used by derived interface events
         whose calling rule lists a target sequence)."""
-        self._run_unit(
-            [
-                (instance, event, self._coerce_args(args))
-                for instance, event, args in pairs
-            ]
-        )
+        items = [
+            (instance, event, self._coerce_args(args))
+            for instance, event, args in pairs
+        ]
+        if self.txn_compile and items:
+            # Homogeneous-batch fast path: one compiled closure reused
+            # across the whole sequence instead of re-resolving rules
+            # per occurrence.  Quiet-only -- instrumented batches keep
+            # the generic pipeline's per-occurrence span structure.
+            first_instance, first_event, _ = items[0]
+            homogeneous = (
+                (self.obs is None or not self.obs.enabled)
+                and self.prof is None
+                and all(
+                    instance.compiled is first_instance.compiled
+                    and event == first_event
+                    for instance, event, _args in items
+                )
+            )
+            if homogeneous:
+                plan, fresh = _lookup_txn_plan(
+                    first_instance.compiled, first_event, self.compiled
+                )
+                if plan is not None and all(
+                    plan.eligible(self, instance) for instance, _e, _a in items
+                ):
+                    _TXN_STATS.cache_hits += (
+                        len(items) - 1 if fresh else len(items)
+                    )
+                    plan.run_batch_quiet(self, items)
+                    return
+            _TXN_STATS.fallbacks += len(items)
+        self._run_unit(items)
 
     def sequence_permitted(
         self, pairs: Sequence[Tuple[Instance, str, Sequence[object]]]

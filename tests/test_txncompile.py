@@ -1,0 +1,634 @@
+"""Whole-transaction compilation: fused per-event transaction closures.
+
+Covers the fuse/decline matrix over the static taxonomy, per-call
+dynamic fallback, mode-flip invalidation (probe + plan caches), static
+constraint-relevance precision, the ``occur_sequence`` homogeneous
+batch fast path, the ``txn_compile.*`` live-view counters and ``txn:``
+profiler roots, and twin-base differentials (txn-compile on/off)
+asserting bit-identical journals, traces, errors and dumps -- including
+every example script under every storage backend.
+"""
+
+import contextlib
+import io
+import pathlib
+import runpy
+import tempfile
+
+import pytest
+
+from repro.diagnostics import (
+    CheckError,
+    ConstraintViolation,
+    PermissionDenied,
+)
+from repro.library.specs import FULL_COMPANY_SPEC, PERSON_MANAGER_SPEC
+from repro.observability.hooks import Observability
+from repro.runtime import ObjectBase
+from repro.runtime.persistence import dump_json
+from repro.runtime.txncompile import (
+    STATS,
+    TxnPlan,
+    compile_txn,
+    constraint_read_set,
+    decline_reason,
+)
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+ACCOUNT_SPEC = """
+object class ACCOUNT
+  identification
+    Number: string;
+  template
+    attributes
+      Balance: integer initially 0;
+      Audits: integer initially 0;
+      Owner: string;
+      Limit: integer initially 1000;
+      derived Headroom: integer;
+    events
+      birth open(string);
+      deposit(integer);
+      withdraw(integer);
+      rename(string);
+      audit;
+      death close;
+    valuation
+      variables k: integer; o: string;
+      open(o) Owner = o;
+      deposit(k) Balance = Balance + k;
+      withdraw(k) Balance = Balance - k;
+      rename(o) Owner = o;
+      audit Audits = Audits + 1;
+    derivation rules
+      Headroom = Limit - Balance;
+    permissions
+      variables k: integer;
+      { Balance >= k } withdraw(k);
+    constraints
+      static Balance >= 0;
+      static Audits >= 0;
+      static Headroom >= 0 - 1000000;
+end object class ACCOUNT;
+"""
+
+VAULT_SPEC = """
+object class VAULT
+  identification id: string;
+  template
+    attributes
+      Balance: integer initially 0;
+      Pin: integer initially 1234;
+    events
+      birth open_vault;
+      deposit(integer);
+      hidden unlock;
+      request_unlock(integer);
+      death seal;
+    valuation
+      variables k: integer;
+      deposit(k) Balance = Balance + k;
+      unlock Balance = Balance;
+    interaction
+      variables k: integer;
+      { k = Pin } => request_unlock(k) >> unlock;
+end object class VAULT;
+"""
+
+
+def _account_base(**kwargs):
+    system = ObjectBase(ACCOUNT_SPEC, **kwargs)
+    account = system.create("ACCOUNT", {"Number": "A1"}, "open", ["alice"])
+    return system, account
+
+
+# ----------------------------------------------------------------------
+# The fuse/decline matrix
+# ----------------------------------------------------------------------
+
+
+class TestDeclineMatrix:
+    def test_plain_events_fuse(self):
+        system = ObjectBase(ACCOUNT_SPEC)
+        compiled = system.compiled_class("ACCOUNT")
+        for event in ("deposit", "withdraw", "rename", "audit"):
+            plan = compile_txn(compiled, event, system.compiled)
+            assert isinstance(plan, TxnPlan), (event, plan)
+
+    def test_lifecycle_events_decline(self):
+        system = ObjectBase(ACCOUNT_SPEC)
+        compiled = system.compiled_class("ACCOUNT")
+        assert decline_reason(compiled, "open", system.compiled) == "lifecycle_event"
+        assert decline_reason(compiled, "close", system.compiled) == "lifecycle_event"
+
+    def test_unknown_event_declines(self):
+        system = ObjectBase(ACCOUNT_SPEC)
+        compiled = system.compiled_class("ACCOUNT")
+        assert decline_reason(compiled, "nosuch", system.compiled) == "unknown_event"
+
+    def test_hidden_event_declines(self):
+        system = ObjectBase(VAULT_SPEC)
+        compiled = system.compiled_class("VAULT")
+        assert decline_reason(compiled, "unlock", system.compiled) == "hidden_event"
+
+    def test_event_calling_declines(self):
+        system = ObjectBase(VAULT_SPEC)
+        compiled = system.compiled_class("VAULT")
+        assert (
+            decline_reason(compiled, "request_unlock", system.compiled)
+            == "event_calling"
+        )
+
+    def test_global_calling_declines(self):
+        system = ObjectBase(FULL_COMPANY_SPEC)
+        dept = system.compiled_class("DEPT")
+        assert (
+            decline_reason(dept, "new_manager", system.compiled)
+            == "event_calling"
+        )
+
+    def test_role_lifecycle_declines(self):
+        system = ObjectBase(PERSON_MANAGER_SPEC)
+        person = system.compiled_class("PERSON")
+        assert (
+            decline_reason(person, "become_manager", system.compiled)
+            == "role_lifecycle"
+        )
+        assert (
+            decline_reason(person, "retire_manager", system.compiled)
+            == "role_lifecycle"
+        )
+
+    def test_view_class_declines(self):
+        system = ObjectBase(PERSON_MANAGER_SPEC)
+        manager = system.compiled_class("MANAGER")
+        assert (
+            decline_reason(manager, "get_car", system.compiled) == "view_class"
+        )
+
+    def test_plain_person_event_fuses(self):
+        system = ObjectBase(PERSON_MANAGER_SPEC)
+        person = system.compiled_class("PERSON")
+        plan = compile_txn(person, "ChangeSalary", system.compiled)
+        assert isinstance(plan, TxnPlan)
+
+
+class TestDynamicFallback:
+    def test_instance_with_roles_falls_back(self):
+        system = ObjectBase(PERSON_MANAGER_SPEC, txn_compile=True)
+        person = system.create(
+            "PERSON",
+            {"Name": "lynn", "BirthDate": "1960-01-01"},
+            "hire_into",
+            ["R&D", 9000],
+        )
+        system.occur(person, "become_manager")
+        assert person.roles
+        STATS.reset()
+        system.occur(person, "ChangeSalary", [9500])
+        # plan exists but the live role aspect makes the call ineligible
+        assert STATS.fallbacks == 1
+        assert STATS.cache_hits == 0
+
+    def test_reentrant_probe_falls_back(self):
+        # is_permitted's dry transaction records a read set; a fused
+        # occurrence inside it must take the generic pipeline so the
+        # probe dependencies stay exact
+        system, account = _account_base(txn_compile=True)
+        system.occur(account, "deposit", [10])
+        STATS.reset()
+        assert system.is_permitted(account, "withdraw", [1])
+        assert STATS.cache_hits == 0
+
+
+# ----------------------------------------------------------------------
+# Mode flips
+# ----------------------------------------------------------------------
+
+
+class TestModeFlip:
+    def test_flip_invalidates_probe_and_plan_caches(self):
+        system, account = _account_base(txn_compile=True)
+        compiled = system.compiled_class("ACCOUNT")
+        system.occur(account, "deposit", [10])
+        assert compiled.txn_cache
+        assert system.is_permitted(account, "withdraw", [1])
+        assert system.is_permitted(account, "withdraw", [1])
+        assert system.probe_stats.hits >= 1
+        assert account.probe_cache
+        system.set_txn_compile(False)
+        assert not compiled.txn_cache
+        assert not account.probe_cache
+        assert not system.txn_compile
+
+    def test_flip_to_same_mode_is_a_noop(self):
+        system, account = _account_base(txn_compile=True)
+        system.occur(account, "deposit", [10])
+        compiled = system.compiled_class("ACCOUNT")
+        assert compiled.txn_cache
+        assert system.is_permitted(account, "withdraw", [1])
+        assert account.probe_cache
+        system.set_txn_compile(True)
+        assert compiled.txn_cache
+        assert account.probe_cache
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TXN_COMPILE", "0")
+        system = ObjectBase(ACCOUNT_SPEC)
+        assert not system.txn_compile
+        monkeypatch.setenv("REPRO_TXN_COMPILE", "1")
+        assert ObjectBase(ACCOUNT_SPEC).txn_compile
+
+    def test_both_modes_produce_identical_results_after_flip(self):
+        system, account = _account_base(txn_compile=True)
+        system.occur(account, "deposit", [10])
+        system.set_txn_compile(False)
+        system.occur(account, "deposit", [5])
+        system.set_txn_compile(True)
+        system.occur(account, "withdraw", [7])
+        twin, twin_account = _account_base(txn_compile=False)
+        twin.occur(twin_account, "deposit", [10])
+        twin.occur(twin_account, "deposit", [5])
+        twin.occur(twin_account, "withdraw", [7])
+        assert list(account.trace) == list(twin_account.trace)
+        assert account.epoch == twin_account.epoch
+
+
+# ----------------------------------------------------------------------
+# Static constraint relevance
+# ----------------------------------------------------------------------
+
+
+class TestConstraintRelevance:
+    def _plan(self, event):
+        system = ObjectBase(ACCOUNT_SPEC)
+        compiled = system.compiled_class("ACCOUNT")
+        return compile_txn(compiled, event, system.compiled)
+
+    def test_write_set_is_the_valuation_targets(self):
+        assert self._plan("deposit").write_set == {"Balance"}
+        assert self._plan("audit").write_set == {"Audits"}
+        assert self._plan("rename").write_set == {"Owner"}
+
+    def test_only_intersecting_constraints_swept(self):
+        # constraints: 0 Balance>=0, 1 Audits>=0, 2 Headroom (derived
+        # from Balance) -- deposit writes Balance, so 0 and 2 are
+        # relevant, 1 is provably untouched
+        plan = self._plan("deposit")
+        assert plan.relevant_indexes == (0, 2)
+        assert plan.constraint_total == 3
+
+    def test_audit_sweeps_only_audit_constraint(self):
+        assert self._plan("audit").relevant_indexes == (1,)
+
+    def test_writes_outside_every_read_set_sweep_nothing(self):
+        assert self._plan("rename").relevant_indexes == ()
+
+    def test_derived_attribute_expands_transitively(self):
+        system = ObjectBase(ACCOUNT_SPEC)
+        compiled = system.compiled_class("ACCOUNT")
+        constraint = compiled.static_constraints[2]
+        reads = constraint_read_set(constraint.formula, compiled)
+        assert reads == {"Headroom", "Limit", "Balance"}
+
+    def test_non_local_constraints_always_sweep(self):
+        spec = ACCOUNT_SPEC.replace(
+            "static Balance >= 0;",
+            "static for all(A: ACCOUNT : A.Balance >= 0 - 1000000);",
+            1,
+        )
+        system = ObjectBase(spec)
+        compiled = system.compiled_class("ACCOUNT")
+        assert (
+            constraint_read_set(
+                compiled.static_constraints[0].formula, compiled
+            )
+            is None
+        )
+        plan = compile_txn(compiled, "rename", system.compiled)
+        # rename writes no constraint-read attribute, but the
+        # quantified constraint cannot be localised: always swept
+        assert plan.relevant_indexes == (0,)
+
+    def test_skipped_constraint_still_holds_semantics(self):
+        # rename sweeps nothing; an actual violation introduced by
+        # deposit is still caught by deposit's own sweep
+        system, account = _account_base(txn_compile=True)
+        with pytest.raises(ConstraintViolation):
+            system.occur(account, "deposit", [-1])
+
+
+# ----------------------------------------------------------------------
+# Differential: fused vs generic, occurrence by occurrence
+# ----------------------------------------------------------------------
+
+
+def _drive(system, account):
+    outcomes = []
+    script = [
+        ("deposit", [100]),
+        ("deposit", [50]),
+        ("audit", []),
+        ("withdraw", [30]),
+        ("rename", ["bob"]),
+        ("withdraw", [1000]),  # permission denied
+        ("deposit", [-200]),  # constraint violated, rolled back
+        ("nosuch", []),  # CheckError
+        ("withdraw", [120]),
+        ("audit", []),
+    ]
+    for event, args in script:
+        try:
+            system.occur(account, event, args)
+            outcomes.append(("ok", event))
+        except (PermissionDenied, ConstraintViolation, CheckError) as exc:
+            outcomes.append(
+                (
+                    type(exc).__name__,
+                    str(exc),
+                    repr(getattr(exc, "occurrence", None)),
+                )
+            )
+    return outcomes
+
+
+class TestDifferential:
+    def test_twin_bases_bit_identical(self):
+        results = {}
+        for mode in (True, False):
+            system, account = _account_base(txn_compile=mode)
+            outcomes = _drive(system, account)
+            results[mode] = (
+                outcomes,
+                [repr(o) for o in system.journal],
+                list(account.trace),
+                account.epoch,
+                dict(account.merged_state()),
+                dump_json(system),
+            )
+        assert results[True] == results[False]
+
+    def test_twin_bases_identical_under_observability(self):
+        snapshots = {}
+        for mode in (True, False):
+            obs = Observability(enabled=True, tracing=True)
+            system = ObjectBase(
+                ACCOUNT_SPEC, observability=obs, txn_compile=mode
+            )
+            account = system.create(
+                "ACCOUNT", {"Number": "A1"}, "open", ["alice"]
+            )
+            outcomes = _drive(system, account)
+            # attribute.reads is work-proportional profiling telemetry:
+            # the fused path reads strictly less (skipped constraint
+            # sweeps skip their attribute reads), which is the point of
+            # the optimisation, not an observable-behaviour divergence
+            counters = {
+                name: counter.values
+                for name, counter in obs.metrics.counters.items()
+                if not name.startswith(("txn_compile.", "term_compile."))
+                and name != "attribute.reads"
+            }
+            histograms = {
+                name: histogram.count
+                for name, histogram in obs.metrics.histograms.items()
+            }
+            snapshots[mode] = (
+                outcomes,
+                [repr(o) for o in system.journal],
+                list(account.trace),
+                counters,
+                histograms,
+            )
+        assert snapshots[True] == snapshots[False]
+
+    def test_journal_recorder_bit_identical(self):
+        from repro.observability.journal import Journal, record_to_json
+
+        records = {}
+        for mode in (True, False):
+            journal = Journal()
+            system = ObjectBase(
+                ACCOUNT_SPEC, journal=journal, txn_compile=mode
+            )
+            account = system.create(
+                "ACCOUNT", {"Number": "A1"}, "open", ["alice"]
+            )
+            _drive(system, account)
+            records[mode] = [
+                {
+                    key: value
+                    for key, value in record_to_json(record).items()
+                    if key not in ("ts", "mono")
+                }
+                for record in journal.records
+            ]
+        assert records[True] == records[False]
+
+    def test_naive_permission_mode_identical(self):
+        results = {}
+        for mode in (True, False):
+            system = ObjectBase(
+                ACCOUNT_SPEC, permission_mode="naive", txn_compile=mode
+            )
+            account = system.create(
+                "ACCOUNT", {"Number": "A1"}, "open", ["alice"]
+            )
+            results[mode] = (
+                _drive(system, account),
+                list(account.trace),
+                account.epoch,
+            )
+        assert results[True] == results[False]
+
+
+# ----------------------------------------------------------------------
+# The homogeneous-batch fast path
+# ----------------------------------------------------------------------
+
+
+class TestBatchFastPath:
+    def _populate(self, system, n=5):
+        return [
+            system.create("ACCOUNT", {"Number": f"A{i}"}, "open", ["o"])
+            for i in range(n)
+        ]
+
+    def test_batch_reuses_one_plan(self):
+        system = ObjectBase(ACCOUNT_SPEC, txn_compile=True)
+        accounts = self._populate(system)
+        STATS.reset()
+        system.occur_sequence(
+            [(account, "deposit", [10]) for account in accounts]
+        )
+        assert STATS.compiled == 1
+        assert STATS.cache_hits == len(accounts) - 1
+        assert STATS.fallbacks == 0
+        STATS.reset()
+        system.occur_sequence(
+            [(account, "deposit", [5]) for account in accounts]
+        )
+        assert STATS.compiled == 0
+        assert STATS.cache_hits == len(accounts)
+
+    def test_batch_matches_generic(self):
+        results = {}
+        for mode in (True, False):
+            system = ObjectBase(ACCOUNT_SPEC, txn_compile=mode)
+            accounts = self._populate(system)
+            system.occur_sequence(
+                [(account, "deposit", [7]) for account in accounts]
+            )
+            # duplicate occurrences deduplicate within the unit
+            system.occur_sequence(
+                [
+                    (accounts[0], "deposit", [3]),
+                    (accounts[0], "deposit", [3]),
+                    (accounts[1], "deposit", [3]),
+                ]
+            )
+            results[mode] = (
+                [repr(o) for o in system.journal],
+                [list(account.trace) for account in accounts],
+                [account.epoch for account in accounts],
+                dump_json(system),
+            )
+        assert results[True] == results[False]
+
+    def test_batch_rollback_is_atomic(self):
+        results = {}
+        for mode in (True, False):
+            system = ObjectBase(ACCOUNT_SPEC, txn_compile=mode)
+            accounts = self._populate(system, 3)
+            with pytest.raises(PermissionDenied):
+                system.occur_sequence(
+                    [
+                        (accounts[0], "deposit", [10]),
+                        (accounts[1], "deposit", [10]),
+                        (accounts[2], "withdraw", [999]),
+                    ]
+                )
+            results[mode] = (
+                [repr(o) for o in system.journal],
+                [dict(account.merged_state()) for account in accounts],
+                [account.epoch for account in accounts],
+            )
+        assert results[True] == results[False]
+        # nothing beyond the three births committed
+        assert len(results[True][0]) == 3
+
+    def test_heterogeneous_batch_falls_back(self):
+        system = ObjectBase(ACCOUNT_SPEC, txn_compile=True)
+        accounts = self._populate(system, 2)
+        STATS.reset()
+        system.occur_sequence(
+            [(accounts[0], "deposit", [1]), (accounts[1], "audit", [])]
+        )
+        assert STATS.fallbacks == 2
+        assert STATS.cache_hits == 0
+
+
+# ----------------------------------------------------------------------
+# Telemetry
+# ----------------------------------------------------------------------
+
+
+class TestTelemetry:
+    def test_live_view_counters(self):
+        obs = Observability(enabled=True, tracing=False)
+        system = ObjectBase(ACCOUNT_SPEC, observability=obs, txn_compile=True)
+        account = system.create("ACCOUNT", {"Number": "A1"}, "open", ["x"])
+        for _ in range(4):
+            system.occur(account, "deposit", [5])
+        counters = obs.metrics.counters
+        assert counters["txn_compile.compiled"].values[()] == 1
+        assert counters["txn_compile.cache_hits"].values[()] == 3
+        # the birth went through the generic pipeline
+        assert counters["txn_compile.declines"].values[()] >= 1
+        assert counters["txn_compile.fallbacks"].values[()] >= 1
+
+    def test_profiler_txn_roots(self):
+        obs = Observability(enabled=True, tracing=False, profile="exact")
+        system = ObjectBase(ACCOUNT_SPEC, observability=obs, txn_compile=True)
+        account = system.create("ACCOUNT", {"Number": "A1"}, "open", ["x"])
+        system.occur(account, "deposit", [5])
+        tree = obs.profiler.dump()["tree"]
+        roots = {child["name"] for child in tree["children"]}
+        # fused occurrences root at txn:, the declined birth at unit:
+        assert "txn:ACCOUNT.deposit" in roots
+        assert "unit:ACCOUNT.open" in roots
+        txn_root = next(
+            child
+            for child in tree["children"]
+            if child["name"] == "txn:ACCOUNT.deposit"
+        )
+        nested = {child["name"] for child in txn_root["children"]}
+        assert "occurrence:ACCOUNT.deposit" in nested
+        assert "phase:constraint_sweep" in nested
+
+    def test_profiler_without_metrics_falls_back(self):
+        # a profiler attached while metrics hooks are disabled cannot
+        # take the quiet fused path; the generic pipeline profiles it
+        obs = Observability(enabled=True, tracing=False, profile="exact")
+        system = ObjectBase(ACCOUNT_SPEC, observability=obs, txn_compile=True)
+        account = system.create("ACCOUNT", {"Number": "A1"}, "open", ["x"])
+        obs.enabled = False
+        STATS.reset()
+        system.occur(account, "deposit", [5])
+        assert STATS.fallbacks == 1
+
+
+# ----------------------------------------------------------------------
+# Every example script x every storage backend, twin compile modes
+# ----------------------------------------------------------------------
+
+
+def _run_example_and_dump(script, storage, txn_compile, monkeypatch, tmp_path):
+    """Animate one example under (storage, txn-compile) defaults; JSON
+    dumps and journals of every object base it constructed."""
+    systems = []
+    original_init = ObjectBase.__init__
+
+    def recording_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        systems.append(self)
+
+    monkeypatch.setattr(ObjectBase, "__init__", recording_init)
+    monkeypatch.setenv("REPRO_TXN_COMPILE", txn_compile)
+    if storage:
+        monkeypatch.setenv("REPRO_STORAGE", storage)
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path / txn_compile))
+        (tmp_path / txn_compile).mkdir(exist_ok=True)
+    else:
+        monkeypatch.delenv("REPRO_STORAGE", raising=False)
+    monkeypatch.delenv("REPRO_STORAGE_HOT", raising=False)
+    try:
+        with contextlib.redirect_stdout(io.StringIO()):
+            runpy.run_path(str(script), run_name="__main__")
+        return [
+            (dump_json(system), [repr(o) for o in system.journal])
+            for system in systems
+        ]
+    finally:
+        for system in systems:
+            system.store.close()
+
+
+@pytest.mark.parametrize("storage", [None, "paged", "sqlite"])
+@pytest.mark.parametrize(
+    "script",
+    sorted(EXAMPLES_DIR.glob("*.py")),
+    ids=lambda script: script.name,
+)
+def test_examples_bit_identical_across_compile_modes(
+    script, storage, monkeypatch, tmp_path
+):
+    fused = _run_example_and_dump(script, storage, "1", monkeypatch, tmp_path)
+    if not fused:
+        pytest.skip("example animates no ObjectBase (core-framework demo)")
+    oracle = _run_example_and_dump(script, storage, "0", monkeypatch, tmp_path)
+    assert fused == oracle, (
+        f"{script.name} diverged between compile modes under "
+        f"{storage or 'memory'}"
+    )
